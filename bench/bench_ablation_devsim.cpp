@@ -1,0 +1,103 @@
+// Device-simulator ablation (DESIGN.md decision 3).
+//
+// Sensitivity of the simulated latencies to the roofline knobs:
+// precision (FP32 vs FP16/TensorRT), batch size, and the per-op
+// efficiency refinement vs a naive flat-efficiency roofline.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "devsim/simulator.hpp"
+#include "models/registry.hpp"
+
+using namespace ocb;
+using namespace ocb::devsim;
+using namespace ocb::models;
+
+namespace {
+/// Flat-roofline baseline: every op gets conv-grade efficiency.
+double flat_model_latency_ms(const nn::ModelProfile& profile,
+                             const DeviceSpec& device) {
+  double total = device.frame_overhead_ms;
+  for (const auto& layer : profile.layers) {
+    if (layer.kind == nn::OpKind::kInput) continue;
+    const double compute_s = layer.flops / (device.eff_gflops * 1e9);
+    const double bytes = static_cast<double>(layer.in_bytes +
+                                             layer.out_bytes +
+                                             layer.weight_bytes);
+    const double memory_s = bytes / (device.eff_bw_gbps * 1e9);
+    total += (std::max(compute_s, memory_s) +
+              device.kernel_overhead_us * 1e-6) *
+             1e3;
+  }
+  return total;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_ablation_devsim",
+          "Ablate the roofline simulator's modelling choices");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  const std::vector<ModelId> models = {ModelId::kYoloV8n, ModelId::kYoloV8x,
+                                       ModelId::kTrtPose,
+                                       ModelId::kMonodepth2};
+
+  // 1) per-op efficiency vs flat roofline.
+  ResultTable eff("Ablation: per-op efficiency vs flat roofline (Orin AGX, "
+                  "ms/frame)",
+                  {"model", "per-op (default)", "flat", "delta %"});
+  const DeviceSpec& agx = device_spec(DeviceId::kOrinAgx);
+  for (ModelId id : models) {
+    const auto profile = profile_model(id);
+    const double with = model_latency_ms(profile, agx);
+    const double flat = flat_model_latency_ms(profile, agx);
+    eff.row()
+        .cell(model_info(id).name)
+        .cell(with, 1)
+        .cell(flat, 1)
+        .cell((with - flat) / flat * 100.0, 1);
+  }
+
+  // 2) precision speedup (the TensorRT/FP16 deployment the Jetsons
+  //    support but the paper's PyTorch FP32 setup does not use).
+  ResultTable precision("Ablation: FP32 vs FP16 execution (ms/frame)",
+                        {"model", "device", "fp32", "fp16 (2x)", "speedup"});
+  for (ModelId id : {ModelId::kYoloV8x, ModelId::kYoloV11x}) {
+    const auto profile = profile_model(id);
+    for (DeviceId dev_id : {DeviceId::kXavierNx, DeviceId::kRtx4090}) {
+      const DeviceSpec& dev = device_spec(dev_id);
+      RooflineOptions fp16;
+      fp16.precision_speedup = 2.0;
+      const double fp32_ms = model_latency_ms(profile, dev);
+      const double fp16_ms = model_latency_ms(profile, dev, fp16);
+      precision.row()
+          .cell(model_info(id).name)
+          .cell(dev.short_name)
+          .cell(fp32_ms, 1)
+          .cell(fp16_ms, 1)
+          .cell(fp32_ms / fp16_ms, 2);
+    }
+  }
+
+  // 3) batching: overhead amortisation on the workstation.
+  ResultTable batching("Ablation: batch size vs per-frame latency "
+                       "(RTX 4090, YOLOv8-n)",
+                       {"batch", "ms/frame", "throughput fps"});
+  const auto v8n = profile_model(ModelId::kYoloV8n);
+  const DeviceSpec& gpu = device_spec(DeviceId::kRtx4090);
+  for (int batch : {1, 2, 4, 8, 16, 32}) {
+    RooflineOptions options;
+    options.batch = batch;
+    options.include_frame_overhead = false;
+    const double ms = model_latency_ms(v8n, gpu, options);
+    batching.row()
+        .cell(static_cast<std::int64_t>(batch))
+        .cell(ms, 3)
+        .cell(1000.0 / ms, 0);
+  }
+
+  bench::emit(cli, {eff, precision, batching});
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Training-set-size ablation (generalises Fig 1; DESIGN.md decision 4).
+//
+// Trains the v11-m detector on curated training sets of increasing
+// size and evaluates on the same diverse test pool — the accuracy curve
+// whose two endpoints Fig 1 reports.
+#include "bench_accuracy_common.hpp"
+
+using namespace ocb;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_ablation_trainsize",
+          "Accuracy vs curated training-set size (v11-m)");
+  bench::add_accuracy_flags(cli);
+  cli.add_string("sizes", "20,45,90,150",
+                 "comma-separated training-set sizes (images)");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  std::vector<std::size_t> sizes;
+  {
+    std::stringstream ss(cli.string("sizes"));
+    std::string item;
+    while (std::getline(ss, item, ','))
+      sizes.push_back(static_cast<std::size_t>(std::stoul(item)));
+  }
+
+  const auto config = bench::accuracy_config(cli);
+  OCB_INFO << "training " << sizes.size() << " v11-m variants...";
+  const auto results = trainer::run_trainsize_sweep(config, sizes);
+
+  ResultTable table("Ablation: accuracy vs training-set size (YOLOv11-m)",
+                    {"train images", "precision %", "recall %",
+                     "accuracy %"});
+  for (const auto& [count, metrics] : results)
+    table.row()
+        .cell(count)
+        .cell(metrics.precision * 100.0, 2)
+        .cell(metrics.recall * 100.0, 2)
+        .cell(metrics.accuracy * 100.0, 2);
+
+  ResultTable verdict("Shape check", {"claim", "holds"});
+  verdict.row()
+      .cell("largest training set at least matches the smallest")
+      .cell(results.back().second.accuracy >=
+                    results.front().second.accuracy
+                ? "yes"
+                : "NO");
+  bench::emit(cli, {table, verdict});
+  return 0;
+}

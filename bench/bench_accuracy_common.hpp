@@ -1,0 +1,48 @@
+// Shared configuration for the accuracy benches (Figs 1/3/4 and the
+// train-size ablation). Defaults complete in minutes on one CPU core;
+// --full approaches the paper's protocol (much slower).
+#pragma once
+
+#include "bench_common.hpp"
+#include "trainer/accuracy_experiment.hpp"
+
+namespace ocb::bench {
+
+inline void add_accuracy_flags(Cli& cli) {
+  add_common_flags(cli);
+  cli.add_double("dataset-scale", 0.02,
+                 "fraction of the paper's 30,711 images to generate");
+  cli.add_int("epochs", 32, "training epochs (paper: 100)");
+  cli.add_int("eval-cap", 100, "max test images per split (0 = all)");
+  cli.add_double("curated-fraction", 0.25,
+                 "per-category training fraction (paper: 0.10 of 30k)");
+  cli.add_int("seed", 2025, "experiment seed");
+  cli.add_flag("full",
+               "paper-scale protocol: 10% of the full dataset, 100 epochs "
+               "(hours of CPU time)");
+}
+
+inline trainer::AccuracyExperimentConfig accuracy_config(const Cli& cli) {
+  trainer::AccuracyExperimentConfig config;
+  if (cli.flag("full")) {
+    config.dataset_scale = 1.0;
+    config.curated_fraction = 0.10;
+    config.train.epochs = 100;
+    config.eval_cap = 0;
+  } else {
+    config.dataset_scale = cli.real("dataset-scale");
+    config.curated_fraction = cli.real("curated-fraction");
+    config.train.epochs = static_cast<int>(cli.integer("epochs"));
+    config.eval_cap = static_cast<int>(cli.integer("eval-cap"));
+  }
+  config.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  return config;
+}
+
+inline std::string variant_name(models::YoloFamily family,
+                                models::YoloSize size) {
+  return std::string(models::yolo_family_name(family)) + "-" +
+         models::yolo_size_name(size) + " (RT)";
+}
+
+}  // namespace ocb::bench

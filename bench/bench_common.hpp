@@ -1,0 +1,36 @@
+// Shared plumbing for the bench binaries: CLI wiring and table output.
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/log.hpp"
+#include "core/table.hpp"
+
+namespace ocb::bench {
+
+/// Print tables as text (default) or markdown (--markdown), with an
+/// optional CSV dump (--csv).
+inline void emit(const Cli& cli, const std::vector<ResultTable>& tables) {
+  for (const ResultTable& table : tables) {
+    if (cli.flag("markdown"))
+      std::cout << table.to_markdown() << '\n';
+    else
+      std::cout << table.to_text() << '\n';
+    if (cli.flag("csv")) std::cout << table.to_csv() << '\n';
+  }
+}
+
+/// Register the output flags every bench shares.
+inline void add_common_flags(Cli& cli) {
+  cli.add_flag("markdown", "emit GitHub-flavoured markdown tables");
+  cli.add_flag("csv", "additionally emit CSV");
+  cli.add_flag("quiet", "suppress informational logging");
+}
+
+inline void apply_common_flags(const Cli& cli) {
+  if (cli.flag("quiet")) set_log_level(LogLevel::kError);
+}
+
+}  // namespace ocb::bench

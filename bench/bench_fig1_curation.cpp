@@ -1,0 +1,51 @@
+// Fig 1 — the effect of dataset curation.
+//
+// Paper: YOLOv11-m retrained on 1k *random* images reaches 93%
+// precision; retrained on 3.8k *curated* (per-category stratified)
+// images it reaches 99.5%. This bench trains the v11-m detector under
+// both regimes (the curated set is ~3.8× larger, as in the paper) and
+// evaluates on the same held-out diverse pool.
+#include "bench_accuracy_common.hpp"
+
+using namespace ocb;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig1_curation",
+          "Reproduce Fig 1: random-1k vs curated-3.8k training");
+  bench::add_accuracy_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  const trainer::AccuracyExperimentConfig config =
+      bench::accuracy_config(cli);
+  OCB_INFO << "training YOLOv11-m twice (random vs curated sample)...";
+  const trainer::CurationResult result =
+      trainer::run_curation_experiment(config);
+
+  ResultTable table("Fig 1: YOLOv11-m precision vs training-set curation",
+                    {"training set", "images", "precision %", "recall %",
+                     "accuracy %", "paper precision %"});
+  table.row()
+      .cell("random sample")
+      .cell(result.random_images)
+      .cell(result.random_small.precision * 100.0, 2)
+      .cell(result.random_small.recall * 100.0, 2)
+      .cell(result.random_small.accuracy * 100.0, 2)
+      .cell("93.0");
+  table.row()
+      .cell("curated (stratified)")
+      .cell(result.curated_images)
+      .cell(result.curated_large.precision * 100.0, 2)
+      .cell(result.curated_large.recall * 100.0, 2)
+      .cell(result.curated_large.accuracy * 100.0, 2)
+      .cell("99.5");
+
+  ResultTable verdict("Fig 1 shape check", {"claim", "holds"});
+  verdict.row()
+      .cell("curated training beats random training")
+      .cell(result.curated_large.precision > result.random_small.precision
+                ? "yes"
+                : "NO");
+  bench::emit(cli, {table, verdict});
+  return 0;
+}

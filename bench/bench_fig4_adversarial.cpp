@@ -1,0 +1,61 @@
+// Fig 4 — accuracy of the six re-trained YOLO variants on the
+// adversarial test set (low light, blur, crops, tilt, noise).
+//
+// Paper: accuracy *increases with model size* here — nano is weakest,
+// x-large peaks (99.11% for v11, 98.11% for v8) — unlike the diverse
+// set where size barely matters.
+#include "bench_accuracy_common.hpp"
+
+using namespace ocb;
+
+namespace {
+double paper_adversarial(models::YoloFamily family, models::YoloSize size) {
+  using enum models::YoloSize;
+  if (family == models::YoloFamily::kV8)
+    return size == kNano ? 95.4 : size == kMedium ? 97.4 : 98.11;
+  return size == kNano ? 95.9 : size == kMedium ? 98.3 : 99.11;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig4_adversarial",
+          "Reproduce Fig 4: RT YOLO accuracy on the adversarial test set");
+  bench::add_accuracy_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  const auto config = bench::accuracy_config(cli);
+  OCB_INFO << "training 6 detector variants (this takes a few minutes)...";
+  const auto results = trainer::run_size_sweep(config);
+
+  ResultTable table("Fig 4: accuracy on adversarial dataset",
+                    {"model", "params", "precision %", "recall %",
+                     "accuracy %", "paper ~%"});
+  for (const auto& r : results)
+    table.row()
+        .cell(bench::variant_name(r.family, r.size))
+        .cell(r.params)
+        .cell(r.adversarial.precision * 100.0, 2)
+        .cell(r.adversarial.recall * 100.0, 2)
+        .cell(r.adversarial.accuracy * 100.0, 2)
+        .cell(paper_adversarial(r.family, r.size), 2);
+
+  // Shape check from §4.2.2: nano weakest within each family.
+  ResultTable verdict("Fig 4 shape checks", {"claim", "holds"});
+  for (auto family : {models::YoloFamily::kV8, models::YoloFamily::kV11}) {
+    double nano = 0.0, best_big = 0.0;
+    for (const auto& r : results) {
+      if (r.family != family) continue;
+      if (r.size == models::YoloSize::kNano)
+        nano = r.adversarial.accuracy;
+      else
+        best_big = std::max(best_big, r.adversarial.accuracy);
+    }
+    verdict.row()
+        .cell(std::string(models::yolo_family_name(family)) +
+              ": larger beats nano on adversarial data")
+        .cell(best_big >= nano ? "yes" : "NO");
+  }
+  bench::emit(cli, {table, verdict});
+  return 0;
+}

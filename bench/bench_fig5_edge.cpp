@@ -1,0 +1,107 @@
+// Fig 5 — per-frame inference time on the Jetson edge accelerators.
+//
+// The paper benchmarks ~1,000 frames per (model, device) and shows box
+// plots in four panels: YOLOv8 sizes, YOLOv11 sizes, Bodypose and
+// Monodepth2. This bench simulates the same experiment through the
+// roofline device model and prints median / IQR / p95 per combination,
+// with the paper's envelope for comparison.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "devsim/simulator.hpp"
+#include "models/registry.hpp"
+
+using namespace ocb;
+using namespace ocb::devsim;
+using namespace ocb::models;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig5_edge",
+          "Reproduce Fig 5: inference times on Jetson edge accelerators");
+  bench::add_common_flags(cli);
+  cli.add_int("frames", 1000, "frames per (model, device) — paper: ~1,000");
+  cli.add_int("seed", 7, "jitter seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  const int frames = static_cast<int>(cli.integer("frames"));
+  std::vector<ResultTable> tables;
+
+  struct Panel {
+    std::string title;
+    std::vector<ModelId> models;
+  };
+  const std::vector<Panel> panels = {
+      {"Fig 5a: YOLOv8 (ms/frame)",
+       {ModelId::kYoloV8n, ModelId::kYoloV8m, ModelId::kYoloV8x}},
+      {"Fig 5b: YOLOv11 (ms/frame)",
+       {ModelId::kYoloV11n, ModelId::kYoloV11m, ModelId::kYoloV11x}},
+      {"Fig 5c: Bodypose (ms/frame)", {ModelId::kTrtPose}},
+      {"Fig 5d: Monodepth2 (ms/frame)", {ModelId::kMonodepth2}},
+  };
+
+  Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  for (const Panel& panel : panels) {
+    ResultTable table(panel.title, {"model", "device", "median", "q1", "q3",
+                                    "p95", "max", "fits RAM"});
+    for (ModelId id : panel.models) {
+      const auto profile = profile_model(id);
+      for (DeviceId dev_id : edge_devices()) {
+        const DeviceSpec& dev = device_spec(dev_id);
+        Rng frame_rng = rng.fork();
+        const Summary s =
+            simulate_summary(profile, dev, frames, frame_rng);
+        table.row()
+            .cell(model_info(id).name)
+            .cell(dev.short_name)
+            .cell(s.median, 1)
+            .cell(s.q1, 1)
+            .cell(s.q3, 1)
+            .cell(s.p95, 1)
+            .cell(s.max, 1)
+            .cell(fits_in_memory(profile, dev) ? "yes" : "NO");
+      }
+    }
+    tables.push_back(std::move(table));
+  }
+
+  // §4.2.3 envelope verdicts.
+  ResultTable verdict("Fig 5 paper-envelope checks", {"claim", "observed"});
+  auto med = [&](ModelId id, DeviceId dev) {
+    return model_latency_ms(profile_model(id), device_spec(dev));
+  };
+  verdict.row()
+      .cell("YOLO n/m <= 200 ms on Orin-class devices")
+      .cell(format_fixed(
+                std::max({med(ModelId::kYoloV8m, DeviceId::kOrinAgx),
+                          med(ModelId::kYoloV8m, DeviceId::kOrinNano),
+                          med(ModelId::kYoloV11m, DeviceId::kOrinNano)}),
+                0) +
+            " ms worst");
+  verdict.row()
+      .cell("YOLO x <= 500 ms on Orin-class devices")
+      .cell(format_fixed(std::max(med(ModelId::kYoloV8x, DeviceId::kOrinAgx),
+                                  med(ModelId::kYoloV8x, DeviceId::kOrinNano)),
+                         0) +
+            " ms worst");
+  verdict.row()
+      .cell("YOLO x reaches ~989 ms on Xavier NX")
+      .cell(format_fixed(med(ModelId::kYoloV8x, DeviceId::kXavierNx), 0) +
+            " ms");
+  verdict.row()
+      .cell("Bodypose median 28-47 ms band")
+      .cell(format_fixed(med(ModelId::kTrtPose, DeviceId::kOrinAgx), 0) +
+            " .. " +
+            format_fixed(med(ModelId::kTrtPose, DeviceId::kXavierNx), 0) +
+            " ms");
+  verdict.row()
+      .cell("Monodepth2 75-232 ms band")
+      .cell(format_fixed(med(ModelId::kMonodepth2, DeviceId::kOrinAgx), 0) +
+            " .. " +
+            format_fixed(med(ModelId::kMonodepth2, DeviceId::kXavierNx), 0) +
+            " ms");
+  tables.push_back(std::move(verdict));
+
+  bench::emit(cli, tables);
+  return 0;
+}

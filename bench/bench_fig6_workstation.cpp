@@ -1,0 +1,76 @@
+// Fig 6 — inference times on the RTX 4090 GPU workstation.
+//
+// Paper (§4.2.4): nano/medium YOLO plus Bodypose and Monodepth2 land
+// within 10 ms per frame, the x-large models under 20 ms, everything
+// under 25 ms — roughly 50× faster than Xavier NX.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "devsim/simulator.hpp"
+#include "models/registry.hpp"
+
+using namespace ocb;
+using namespace ocb::devsim;
+using namespace ocb::models;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig6_workstation",
+          "Reproduce Fig 6: inference times on the RTX 4090 workstation");
+  bench::add_common_flags(cli);
+  cli.add_int("frames", 1000, "frames per model — paper: ~1,000");
+  cli.add_int("seed", 11, "jitter seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  const int frames = static_cast<int>(cli.integer("frames"));
+  const DeviceSpec& gpu = device_spec(DeviceId::kRtx4090);
+  const DeviceSpec& nx = device_spec(DeviceId::kXavierNx);
+
+  Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  ResultTable table("Fig 6: inference times on RTX 4090 (ms/frame)",
+                    {"model", "median", "q1", "q3", "p95", "max",
+                     "speedup vs nx"});
+  for (const ModelInfo& info : model_table()) {
+    const auto profile = profile_model(info.id);
+    Rng frame_rng = rng.fork();
+    const Summary s = simulate_summary(profile, gpu, frames, frame_rng);
+    const double nx_ms = model_latency_ms(profile, nx);
+    table.row()
+        .cell(info.name)
+        .cell(s.median, 2)
+        .cell(s.q1, 2)
+        .cell(s.q3, 2)
+        .cell(s.p95, 2)
+        .cell(s.max, 2)
+        .cell(nx_ms / s.median, 1);
+  }
+
+  ResultTable verdict("Fig 6 paper-envelope checks", {"claim", "observed"});
+  auto ms = [&](ModelId id) {
+    return model_latency_ms(profile_model(id), gpu);
+  };
+  double worst = 0.0;
+  for (const ModelInfo& info : model_table())
+    worst = std::max(worst, ms(info.id));
+  verdict.row()
+      .cell("all models <= 25 ms")
+      .cell(format_fixed(worst, 1) + " ms worst");
+  verdict.row()
+      .cell("n/m YOLO + Bodypose + Monodepth2 <= 10 ms")
+      .cell(format_fixed(std::max({ms(ModelId::kYoloV8m),
+                                   ms(ModelId::kYoloV11m),
+                                   ms(ModelId::kTrtPose),
+                                   ms(ModelId::kMonodepth2)}),
+                         1) +
+            " ms worst");
+  verdict.row()
+      .cell("x-large <= 20 ms, ~50x faster than Xavier NX")
+      .cell(format_fixed(ms(ModelId::kYoloV8x), 1) + " ms, " +
+            format_fixed(model_latency_ms(profile_model(ModelId::kYoloV8x),
+                                          nx) /
+                             ms(ModelId::kYoloV8x),
+                         0) +
+            "x");
+  bench::emit(cli, {table, verdict});
+  return 0;
+}

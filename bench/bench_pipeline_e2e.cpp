@@ -1,0 +1,108 @@
+// End-to-end VIP pipeline study (extends §4.2.4's edge-cloud
+// discussion).
+//
+// Composes the three Ocularone models (vest detection + Bodypose +
+// Monodepth2) per frame on every device, reports achievable FPS against
+// real-time deadlines, and runs the accuracy-aware placement advisor —
+// the "adaptive deployment" direction the paper names as future work.
+#include "bench_common.hpp"
+#include "models/registry.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/placement.hpp"
+
+using namespace ocb;
+using namespace ocb::runtime;
+using namespace ocb::models;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_pipeline_e2e",
+          "VIP pipeline FPS per device + edge-cloud placement advisor");
+  bench::add_common_flags(cli);
+  cli.add_int("frames", 300, "frames per pipeline run");
+  cli.add_double("deadline-ms", 200.0,
+                 "real-time budget per frame (paper uses <=200 ms as the "
+                 "edge feasibility bar)");
+  cli.add_double("rtt-ms", 30.0, "edge->workstation network round trip");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  const int frames = static_cast<int>(cli.integer("frames"));
+  const double deadline = cli.real("deadline-ms");
+
+  // --- per-device pipeline stats (vest-n + pose + depth, sequential) ---
+  ResultTable table(
+      "VIP pipeline (YOLOv8-n + Bodypose + Monodepth2, sequential)",
+      {"device", "median ms", "p95 ms", "fps", "miss rate @deadline"});
+  for (const devsim::DeviceSpec& dev : devsim::device_table()) {
+    std::vector<std::unique_ptr<Executor>> stages;
+    std::uint64_t seed = 1;
+    for (ModelId id :
+         {ModelId::kYoloV8n, ModelId::kTrtPose, ModelId::kMonodepth2})
+      stages.push_back(std::make_unique<SimulatedExecutor>(
+          profile_model(id), dev, seed++));
+    Pipeline pipeline(std::move(stages), Discipline::kSequential);
+    const PipelineStats stats = pipeline.run(frames, deadline);
+    table.row()
+        .cell(dev.short_name)
+        .cell(stats.per_frame.median, 1)
+        .cell(stats.per_frame.p95, 1)
+        .cell(stats.achieved_fps, 1)
+        .cell(stats.deadline_miss_rate * 100.0, 1);
+  }
+
+  // --- placement advisor (accuracies shaped like Figs 3/4) ---
+  const std::vector<Candidate> candidates = {
+      {profile_model(ModelId::kYoloV8n), 0.986},
+      {profile_model(ModelId::kYoloV8m), 0.990},
+      {profile_model(ModelId::kYoloV8x), 0.991},
+      {profile_model(ModelId::kYoloV11n), 0.986},
+      {profile_model(ModelId::kYoloV11m), 0.9949},
+      {profile_model(ModelId::kYoloV11x), 0.9927},
+  };
+  ResultTable placement("Accuracy-aware placement (budget " +
+                            format_fixed(deadline, 0) + " ms)",
+                        {"device", "best model", "latency ms", "accuracy %"});
+  for (const devsim::DeviceSpec& dev : devsim::device_table()) {
+    const auto best = best_on_device(candidates, dev.id, deadline);
+    if (best)
+      placement.row()
+          .cell(dev.short_name)
+          .cell(best->model_name)
+          .cell(best->latency_ms, 1)
+          .cell(best->accuracy * 100.0, 2);
+    else
+      placement.row().cell(dev.short_name).cell("(none fits)").cell("-").cell(
+          "-");
+  }
+
+  ResultTable cloud("Edge-cloud split (rtt " +
+                        format_fixed(cli.real("rtt-ms"), 0) + " ms)",
+                    {"edge device", "edge model", "cloud model",
+                     "cloud latency ms", "accuracy gain %"});
+  for (devsim::DeviceId edge : devsim::edge_devices()) {
+    const auto plan = plan_edge_cloud(candidates, edge, deadline,
+                                      cli.real("rtt-ms"));
+    if (!plan) {
+      cloud.row()
+          .cell(devsim::device_spec(edge).short_name)
+          .cell("(no feasible plan)")
+          .cell("-")
+          .cell("-")
+          .cell("-");
+      continue;
+    }
+    cloud.row()
+        .cell(devsim::device_spec(edge).short_name)
+        .cell(plan->edge.model_name)
+        .cell(plan->cloud ? plan->cloud->model_name : "(stay on edge)")
+        .cell(plan->cloud ? format_fixed(plan->cloud->latency_ms, 1) : "-")
+        .cell(plan->cloud
+                  ? format_fixed(
+                        (plan->cloud->accuracy - plan->edge.accuracy) * 100.0,
+                        2)
+                  : "0");
+  }
+
+  bench::emit(cli, {table, placement, cloud});
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table 1 — dataset summary.
+//
+// Regenerates the Ocularone dataset taxonomy at the requested scale and
+// prints generated counts next to the paper's Table 1 numbers, plus the
+// capture-session statistics (43 videos of 1–2 min at full scale).
+#include "bench_common.hpp"
+#include "dataset/generator.hpp"
+
+using namespace ocb;
+using namespace ocb::dataset;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_table1_dataset",
+          "Reproduce Table 1: the 30,711-image dataset taxonomy");
+  bench::add_common_flags(cli);
+  cli.add_double("scale", 0.1,
+                 "fraction of the paper's image counts (1.0 = full 30,711)");
+  cli.add_int("seed", 42, "dataset seed");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  DatasetConfig config;
+  config.scale = cli.real("scale");
+  config.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const DatasetGenerator generator(config);
+
+  ResultTable table(
+      "Table 1: Dataset summary (scale=" + format_fixed(config.scale, 2) + ")",
+      {"category", "sub-category", "paper count", "generated", "videos"});
+  for (const CategoryInfo& info : category_table()) {
+    std::size_t videos = 0;
+    for (const VideoClip& clip : generator.videos())
+      if (clip.category == info.category) ++videos;
+    table.row()
+        .cell(info.group)
+        .cell(info.sub)
+        .cell(static_cast<std::int64_t>(info.paper_count))
+        .cell(generator.count(info.category))
+        .cell(videos);
+  }
+  table.row()
+      .cell("Total")
+      .cell("")
+      .cell(static_cast<std::int64_t>(paper_total_images()))
+      .cell(generator.samples().size())
+      .cell(generator.videos().size());
+
+  // Capture-session statistics, mirroring §2's description.
+  ResultTable sessions("Capture sessions (paper: 43 videos of 1-2 min, "
+                       "30 FPS capture, 10 FPS extraction)",
+                       {"metric", "value"});
+  double total_s = 0.0, min_s = 1e9, max_s = 0.0;
+  for (const VideoClip& clip : generator.videos()) {
+    total_s += clip.duration_s();
+    min_s = std::min(min_s, clip.duration_s());
+    max_s = std::max(max_s, clip.duration_s());
+  }
+  sessions.row().cell("videos").cell(generator.videos().size());
+  sessions.row().cell("total footage (min)").cell(total_s / 60.0, 1);
+  sessions.row().cell("shortest clip (s)").cell(min_s, 1);
+  sessions.row().cell("longest clip (s)").cell(max_s, 1);
+  sessions.row().cell("extraction fps").cell(std::int64_t{kExtractFps});
+
+  bench::emit(cli, {table, sessions});
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 2 — DNN model specifications.
+//
+// Builds every benchmark model graph and prints parameter counts and
+// serialized sizes next to the paper's numbers. The paper's "Model Size"
+// column for the YOLO/pose models corresponds to FP16 checkpoints, so
+// both FP32 and FP16 sizes are reported.
+#include "bench_common.hpp"
+#include "models/registry.hpp"
+
+using namespace ocb;
+using namespace ocb::models;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_table2_models",
+          "Reproduce Table 2: model parameters and sizes");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  ResultTable table("Table 2: DNN model specifications",
+                    {"category", "model", "params (M)", "paper (M)",
+                     "size fp32 (MB)", "size fp16 (MB)", "paper (MB)",
+                     "GFLOPs", "layers"});
+  for (const ModelInfo& info : model_table()) {
+    const nn::Graph graph = build_model(info.id);
+    const double params_m = static_cast<double>(graph.param_count()) / 1e6;
+    table.row()
+        .cell(info.category)
+        .cell(info.name)
+        .cell(params_m, 2)
+        .cell(info.paper_params_m, 2)
+        .cell(graph.size_mb(), 2)
+        .cell(graph.size_mb() / 2.0, 2)
+        .cell(info.paper_size_mb, 2)
+        .cell(graph.flops() / 1e9, 1)
+        .cell(static_cast<std::size_t>(graph.node_count()));
+  }
+  bench::emit(cli, {table});
+  return 0;
+}

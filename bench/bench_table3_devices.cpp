@@ -1,0 +1,49 @@
+// Table 3 — edge-device specifications, plus the calibrated effective
+// execution parameters the roofline simulator derives from them.
+#include "bench_common.hpp"
+#include "devsim/device.hpp"
+
+using namespace ocb;
+using namespace ocb::devsim;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_table3_devices",
+          "Reproduce Table 3: NVIDIA Jetson device specifications");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  ResultTable table("Table 3: device specifications",
+                    {"feature", "Orin AGX", "Xavier NX", "Orin Nano",
+                     "RTX 4090"});
+  auto row = [&](const std::string& name, auto getter) {
+    auto r = table.row();
+    r.cell(name);
+    for (DeviceId id : {DeviceId::kOrinAgx, DeviceId::kXavierNx,
+                        DeviceId::kOrinNano, DeviceId::kRtx4090})
+      r.cell(getter(device_spec(id)));
+  };
+  row("GPU architecture", [](const DeviceSpec& d) { return d.gpu_arch; });
+  row("CUDA cores", [](const DeviceSpec& d) { return std::to_string(d.cuda_cores); });
+  row("Tensor cores", [](const DeviceSpec& d) { return std::to_string(d.tensor_cores); });
+  row("RAM (GB)", [](const DeviceSpec& d) { return format_fixed(d.ram_gb, 0); });
+  row("Peak power (W)", [](const DeviceSpec& d) { return format_fixed(d.peak_power_w, 0); });
+  row("Price (USD)", [](const DeviceSpec& d) { return format_fixed(d.price_usd, 0); });
+  row("JetPack", [](const DeviceSpec& d) { return d.jetpack; });
+  row("CUDA", [](const DeviceSpec& d) { return d.cuda; });
+
+  ResultTable calibrated(
+      "Calibrated effective execution parameters (PyTorch FP32 eager)",
+      {"device", "eff GFLOP/s", "eff BW (GB/s)", "kernel overhead (us)",
+       "frame overhead (ms)"});
+  for (const DeviceSpec& d : device_table())
+    calibrated.row()
+        .cell(d.name)
+        .cell(d.eff_gflops, 0)
+        .cell(d.eff_bw_gbps, 0)
+        .cell(d.kernel_overhead_us, 0)
+        .cell(d.frame_overhead_ms, 1);
+
+  bench::emit(cli, {table, calibrated});
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Device explorer: "which model can I afford on which device?"
+//
+// Walks every (model, device) pair through the roofline simulator and
+// prints a feasibility matrix against a latency budget, then asks the
+// placement advisor for the best edge-cloud deployment — the
+// accuracy-aware adaptive strategy the paper's conclusions call for.
+//
+//   ./example_device_explorer [budget-ms]
+#include <iomanip>
+#include <iostream>
+
+#include "models/registry.hpp"
+#include "runtime/placement.hpp"
+
+using namespace ocb;
+using namespace ocb::devsim;
+using namespace ocb::models;
+
+int main(int argc, char** argv) {
+  const double budget = argc > 1 ? std::stod(argv[1]) : 200.0;
+  std::cout << "Ocularone device explorer (budget " << budget << " ms)\n"
+            << "===========================================\n\n";
+
+  // Latency matrix.
+  std::cout << std::left << std::setw(12) << "model";
+  for (const DeviceSpec& dev : device_table())
+    std::cout << std::right << std::setw(10) << dev.short_name;
+  std::cout << "\n";
+  for (const ModelInfo& info : model_table()) {
+    const auto profile = profile_model(info.id);
+    std::cout << std::left << std::setw(12) << info.name;
+    for (const DeviceSpec& dev : device_table()) {
+      const double ms = model_latency_ms(profile, dev);
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(0) << ms
+           << (ms <= budget ? " *" : "  ");
+      std::cout << std::right << std::setw(10) << cell.str();
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n(* = meets the " << budget << " ms budget)\n\n";
+
+  // Best placement per device with Fig-3-shaped accuracies.
+  const std::vector<runtime::Candidate> candidates = {
+      {profile_model(ModelId::kYoloV8n), 0.986},
+      {profile_model(ModelId::kYoloV8m), 0.990},
+      {profile_model(ModelId::kYoloV8x), 0.991},
+      {profile_model(ModelId::kYoloV11n), 0.986},
+      {profile_model(ModelId::kYoloV11m), 0.9949},
+      {profile_model(ModelId::kYoloV11x), 0.9927},
+  };
+  std::cout << "best vest detector per device within budget:\n";
+  for (const DeviceSpec& dev : device_table()) {
+    const auto best = runtime::best_on_device(candidates, dev.id, budget);
+    std::cout << "  " << std::left << std::setw(9) << dev.short_name;
+    if (best)
+      std::cout << best->model_name << "  (" << std::fixed
+                << std::setprecision(1) << best->latency_ms << " ms, "
+                << std::setprecision(2) << best->accuracy * 100.0 << "%)\n";
+    else
+      std::cout << "nothing fits\n";
+  }
+
+  std::cout << "\nedge-cloud plans (30 ms RTT):\n";
+  for (DeviceId edge : edge_devices()) {
+    const auto plan =
+        runtime::plan_edge_cloud(candidates, edge, budget, 30.0);
+    std::cout << "  " << std::left << std::setw(9)
+              << device_spec(edge).short_name;
+    if (!plan) {
+      std::cout << "no feasible plan\n";
+      continue;
+    }
+    std::cout << "edge " << plan->edge.model_name;
+    if (plan->cloud)
+      std::cout << " + cloud " << plan->cloud->model_name << " (+"
+                << std::fixed << std::setprecision(2)
+                << (plan->cloud->accuracy - plan->edge.accuracy) * 100.0
+                << "% accuracy)";
+    else
+      std::cout << " (cloud not worthwhile)";
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,339 @@
+#include "autograd/ops.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+
+namespace ocb::ag {
+
+namespace {
+
+// c[M×K] += Σ_l a[m,l] · b[k,l]   (A · Bᵀ)
+void gemm_nt_acc(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t l, std::size_t k) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * l;
+    float* crow = c + i * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      const float* brow = b + j * l;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < l; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+// c[K×L] += Σ_m a[m,k] · b[m,l]   (Aᵀ · B)
+void gemm_tn_acc(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t l) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * l;
+    for (std::size_t j = 0; j < k; ++j) {
+      const float aval = arow[j];
+      if (aval == 0.0f) continue;
+      float* crow = c + j * l;
+      for (std::size_t p = 0; p < l; ++p) crow[p] += aval * brow[p];
+    }
+  }
+}
+
+Var make_op(Tensor value, std::vector<Var> parents) {
+  auto node = std::make_shared<VarNode>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  for (const Var& p : node->parents)
+    node->requires_grad = node->requires_grad || p->requires_grad;
+  return node;
+}
+
+}  // namespace
+
+Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad) {
+  const Shape xs = x->value.shape();
+  const Shape ws = w->value.shape();
+  OCB_CHECK_MSG(ws.c == xs.c, "conv2d channel mismatch");
+  const ConvGeometry geom{xs.c, xs.h, xs.w, ws.h, ws.w, stride, pad};
+  const int oh = geom.out_h();
+  const int ow = geom.out_w();
+  const std::size_t cols = geom.col_cols();
+  const std::size_t rows = geom.col_rows();
+  const int out_c = ws.n;
+
+  Tensor out({xs.n, out_c, oh, ow});
+  std::vector<float> col(rows * cols);
+  for (int n = 0; n < xs.n; ++n) {
+    im2col(x->value.channel(n, 0), geom, col.data());
+    gemm(w->value.data(), col.data(), out.channel(n, 0),
+         static_cast<std::size_t>(out_c), rows, cols);
+    for (int oc = 0; oc < out_c; ++oc) {
+      float* dst = out.channel(n, oc);
+      const float bias = b->value[static_cast<std::size_t>(oc)];
+      for (std::size_t i = 0; i < cols; ++i) dst[i] += bias;
+    }
+  }
+
+  Var node = make_op(std::move(out), {x, w, b});
+  VarNode* self = node.get();
+  Var xp = x, wp = w, bp = b;
+  node->backward_fn = [self, xp, wp, bp, geom, out_c, cols, rows]() {
+    const Tensor& dout = self->grad;
+    const int batch = xp->value.shape().n;
+    std::vector<float> col(rows * cols);
+    std::vector<float> dcol(rows * cols);
+
+    Tensor* dw = wp->requires_grad ? &wp->ensure_grad() : nullptr;
+    Tensor* db = bp->requires_grad ? &bp->ensure_grad() : nullptr;
+    Tensor* dx = xp->requires_grad ? &xp->ensure_grad() : nullptr;
+
+    for (int n = 0; n < batch; ++n) {
+      const float* dout_n = dout.channel(n, 0);
+      if (dw != nullptr || dx != nullptr)
+        im2col(xp->value.channel(n, 0), geom, col.data());
+      if (dw != nullptr)
+        gemm_nt_acc(dout_n, col.data(), dw->data(),
+                    static_cast<std::size_t>(out_c), cols, rows);
+      if (db != nullptr) {
+        for (int oc = 0; oc < out_c; ++oc) {
+          const float* row = dout_n + static_cast<std::size_t>(oc) * cols;
+          float acc = 0.0f;
+          for (std::size_t i = 0; i < cols; ++i) acc += row[i];
+          (*db)[static_cast<std::size_t>(oc)] += acc;
+        }
+      }
+      if (dx != nullptr) {
+        std::fill(dcol.begin(), dcol.end(), 0.0f);
+        gemm_tn_acc(wp->value.data(), dout_n, dcol.data(),
+                    static_cast<std::size_t>(out_c), rows, cols);
+        col2im(dcol.data(), geom, dx->channel(n, 0));
+      }
+    }
+  };
+  return node;
+}
+
+Var relu(const Var& x, float negative_slope) {
+  Tensor out = x->value;
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    if (out[i] < 0.0f) out[i] *= negative_slope;
+
+  Var node = make_op(std::move(out), {x});
+  VarNode* self = node.get();
+  Var xp = x;
+  node->backward_fn = [self, xp, negative_slope]() {
+    if (!xp->requires_grad) return;
+    Tensor& dx = xp->ensure_grad();
+    for (std::size_t i = 0; i < dx.numel(); ++i)
+      dx[i] += self->grad[i] * (xp->value[i] >= 0.0f ? 1.0f : negative_slope);
+  };
+  return node;
+}
+
+Var sigmoid(const Var& x) {
+  Tensor out = x->value;
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+
+  Var node = make_op(std::move(out), {x});
+  VarNode* self = node.get();
+  Var xp = x;
+  node->backward_fn = [self, xp]() {
+    if (!xp->requires_grad) return;
+    Tensor& dx = xp->ensure_grad();
+    for (std::size_t i = 0; i < dx.numel(); ++i) {
+      const float s = self->value[i];
+      dx[i] += self->grad[i] * s * (1.0f - s);
+    }
+  };
+  return node;
+}
+
+Var maxpool2x2(const Var& x) {
+  const Shape xs = x->value.shape();
+  OCB_CHECK_MSG(xs.h % 2 == 0 && xs.w % 2 == 0,
+                "maxpool2x2 requires even spatial dims");
+  const int oh = xs.h / 2;
+  const int ow = xs.w / 2;
+  Tensor out({xs.n, xs.c, oh, ow});
+  auto indices = std::make_shared<std::vector<std::uint32_t>>(out.numel());
+
+  std::size_t oi = 0;
+  for (int n = 0; n < xs.n; ++n)
+    for (int c = 0; c < xs.c; ++c) {
+      const float* src = x->value.channel(n, c);
+      for (int y = 0; y < oh; ++y)
+        for (int xw = 0; xw < ow; ++xw, ++oi) {
+          float best = -1e30f;
+          std::uint32_t best_idx = 0;
+          for (int dy = 0; dy < 2; ++dy)
+            for (int dx = 0; dx < 2; ++dx) {
+              const std::uint32_t idx = static_cast<std::uint32_t>(
+                  (2 * y + dy) * xs.w + (2 * xw + dx));
+              if (src[idx] > best) {
+                best = src[idx];
+                best_idx = idx;
+              }
+            }
+          out[oi] = best;
+          (*indices)[oi] = best_idx;
+        }
+    }
+
+  Var node = make_op(std::move(out), {x});
+  VarNode* self = node.get();
+  Var xp = x;
+  node->backward_fn = [self, xp, indices, xs, oh, ow]() {
+    if (!xp->requires_grad) return;
+    Tensor& dx = xp->ensure_grad();
+    std::size_t oi = 0;
+    const std::size_t plane = static_cast<std::size_t>(xs.h) * xs.w;
+    for (int n = 0; n < xs.n; ++n)
+      for (int c = 0; c < xs.c; ++c) {
+        float* dsrc = dx.data() + (static_cast<std::size_t>(n) * xs.c + c) * plane;
+        for (int i = 0; i < oh * ow; ++i, ++oi)
+          dsrc[(*indices)[oi]] += self->grad[oi];
+      }
+  };
+  return node;
+}
+
+Var add(const Var& a, const Var& b) {
+  OCB_CHECK_MSG(a->value.shape() == b->value.shape(), "add shape mismatch");
+  Tensor out = a->value;
+  out.add_(b->value);
+  Var node = make_op(std::move(out), {a, b});
+  VarNode* self = node.get();
+  Var ap = a, bp = b;
+  node->backward_fn = [self, ap, bp]() {
+    for (const Var& p : {ap, bp}) {
+      if (!p->requires_grad) continue;
+      Tensor& dp = p->ensure_grad();
+      for (std::size_t i = 0; i < dp.numel(); ++i) dp[i] += self->grad[i];
+    }
+  };
+  return node;
+}
+
+Var mean_all(const Var& x) {
+  Tensor out({1, 1, 1, 1});
+  out[0] = static_cast<float>(x->value.sum() /
+                              static_cast<double>(x->value.numel()));
+  Var node = make_op(std::move(out), {x});
+  VarNode* self = node.get();
+  Var xp = x;
+  node->backward_fn = [self, xp]() {
+    if (!xp->requires_grad) return;
+    Tensor& dx = xp->ensure_grad();
+    const float g = self->grad[0] / static_cast<float>(dx.numel());
+    for (std::size_t i = 0; i < dx.numel(); ++i) dx[i] += g;
+  };
+  return node;
+}
+
+Var weighted_sum(const std::vector<Var>& terms,
+                 const std::vector<float>& weights) {
+  OCB_CHECK_MSG(!terms.empty() && terms.size() == weights.size(),
+                "weighted_sum arity mismatch");
+  Tensor out({1, 1, 1, 1});
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    OCB_CHECK_MSG(terms[i]->value.numel() == 1,
+                  "weighted_sum expects scalar terms");
+    out[0] += weights[i] * terms[i]->value[0];
+  }
+  Var node = make_op(std::move(out), terms);
+  VarNode* self = node.get();
+  std::vector<Var> parents = terms;
+  node->backward_fn = [self, parents, weights]() {
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      if (!parents[i]->requires_grad) continue;
+      parents[i]->ensure_grad()[0] += self->grad[0] * weights[i];
+    }
+  };
+  return node;
+}
+
+Var yolo_grid_loss(const Var& pred, const Tensor& target,
+                   const Tensor& obj_mask, float neg_weight,
+                   float box_weight) {
+  const Shape ps = pred->value.shape();
+  OCB_CHECK_MSG(ps.c == 5, "yolo_grid_loss expects 5 channels");
+  const Shape expected_t{ps.n, 5, ps.h, ps.w};
+  const Shape expected_m{ps.n, 1, ps.h, ps.w};
+  OCB_CHECK_MSG(target.shape() == expected_t, "target shape mismatch");
+  OCB_CHECK_MSG(obj_mask.shape() == expected_m, "mask shape mismatch");
+
+  const std::size_t cells = static_cast<std::size_t>(ps.h) * ps.w;
+  const double total_cells = static_cast<double>(ps.n) * cells;
+
+  // Count positives. Objectness uses *balanced* BCE — positives and
+  // negatives are normalised separately — otherwise the single
+  // positive cell per image drowns in the grid's negatives and the
+  // detector converges to the constant prior.
+  double num_pos = 0.0;
+  for (std::size_t i = 0; i < obj_mask.numel(); ++i) num_pos += obj_mask[i];
+  const double pos_norm = std::max(1.0, num_pos);
+  const double neg_norm = std::max(1.0, total_cells - num_pos);
+
+  double loss = 0.0;
+  // Grad of the scalar loss w.r.t. pred logits, computed in closed form.
+  auto grad = std::make_shared<Tensor>(ps, 0.0f);
+
+  for (int n = 0; n < ps.n; ++n) {
+    const float* mask = obj_mask.channel(n, 0);
+    for (std::size_t i = 0; i < cells; ++i) {
+      const bool positive = mask[i] > 0.5f;
+      // --- objectness (channel 0), BCE with logits over all cells ---
+      {
+        const float logit = pred->value.channel(n, 0)[i];
+        const float t = positive ? 1.0f : 0.0f;
+        const float p = 1.0f / (1.0f + std::exp(-logit));
+        const float eps = 1e-7f;
+        const double norm = positive ? pos_norm : neg_norm;
+        const float w = positive ? 1.0f : neg_weight;
+        loss += -static_cast<double>(
+                    w * (t * std::log(p + eps) +
+                         (1.0f - t) * std::log(1.0f - p + eps))) /
+                norm;
+        grad->channel(n, 0)[i] =
+            static_cast<float>(w * (p - t) / norm);
+      }
+      if (!positive) continue;
+      // --- box geometry on positive cells ---
+      for (int ch = 1; ch <= 2; ++ch) {  // center offsets via sigmoid
+        const float logit = pred->value.channel(n, ch)[i];
+        const float s = 1.0f / (1.0f + std::exp(-logit));
+        const float t = target.channel(n, ch)[i];
+        const float diff = s - t;
+        loss += box_weight * static_cast<double>(diff * diff) / pos_norm;
+        grad->channel(n, ch)[i] = static_cast<float>(
+            box_weight * 2.0 * diff * s * (1.0f - s) / pos_norm);
+      }
+      for (int ch = 3; ch <= 4; ++ch) {  // log-size, raw L2
+        const float logit = pred->value.channel(n, ch)[i];
+        const float t = target.channel(n, ch)[i];
+        const float diff = logit - t;
+        loss += box_weight * static_cast<double>(diff * diff) / pos_norm;
+        grad->channel(n, ch)[i] =
+            static_cast<float>(box_weight * 2.0 * diff / pos_norm);
+      }
+    }
+  }
+
+  Tensor out({1, 1, 1, 1});
+  out[0] = static_cast<float>(loss);
+  Var node = make_op(std::move(out), {pred});
+  VarNode* self = node.get();
+  Var pp = pred;
+  node->backward_fn = [self, pp, grad]() {
+    if (!pp->requires_grad) return;
+    Tensor& dp = pp->ensure_grad();
+    const float g = self->grad[0];
+    for (std::size_t i = 0; i < dp.numel(); ++i) dp[i] += g * (*grad)[i];
+  };
+  return node;
+}
+
+}  // namespace ocb::ag

@@ -1,0 +1,45 @@
+// Differentiable operations over ag::Var.
+//
+// Forward passes reuse the tensor substrate (im2col + GEMM); backward
+// closures capture shared_ptrs so the tape stays alive until backward().
+#pragma once
+
+#include "autograd/variable.hpp"
+
+namespace ocb::ag {
+
+/// Batched conv2d: x is (N,Cin,H,W), w is (Cout,Cin,k,k), b is
+/// (1,Cout,1,1). Returns (N,Cout,Ho,Wo).
+Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad);
+
+/// ReLU / leaky-ReLU (slope applies to the negative side).
+Var relu(const Var& x, float negative_slope = 0.0f);
+
+Var sigmoid(const Var& x);
+
+/// 2×2 max pooling with stride 2 (requires even H and W).
+Var maxpool2x2(const Var& x);
+
+/// Elementwise sum of same-shaped variables.
+Var add(const Var& a, const Var& b);
+
+/// Mean over all elements → scalar.
+Var mean_all(const Var& x);
+
+/// Scalar-weighted sum of scalar losses: sum_i (k_i · s_i).
+Var weighted_sum(const std::vector<Var>& terms,
+                 const std::vector<float>& weights);
+
+/// Fused detection loss for a single-scale YOLO-style head.
+///
+/// `pred` is (N, 5, S, S) raw logits: channel 0 objectness, 1–2 center
+/// offsets (sigmoid-squashed), 3–4 log-size. `target` has identical
+/// layout holding ground truth; `obj_mask` is (N,1,S,S) with 1 on cells
+/// that own an object. Objectness uses BCE-with-logits over all cells
+/// (negatives weighted by `neg_weight`); geometry uses L2 on positive
+/// cells only, weighted by `box_weight`. Returns a scalar.
+Var yolo_grid_loss(const Var& pred, const Tensor& target,
+                   const Tensor& obj_mask, float neg_weight,
+                   float box_weight);
+
+}  // namespace ocb::ag

@@ -1,0 +1,65 @@
+#include "autograd/optimizer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace ocb::ag {
+
+Sgd::Sgd(std::vector<Var> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  OCB_CHECK_MSG(!params_.empty(), "optimizer needs parameters");
+  velocity_.reserve(params_.size());
+  for (const Var& p : params_)
+    velocity_.emplace_back(p->value.shape(), 0.0f);
+}
+
+void Sgd::step() {
+  // Optional global-norm gradient clipping for stability at high lr.
+  float scale = 1.0f;
+  if (config_.grad_clip > 0.0f) {
+    double norm_sq = 0.0;
+    for (const Var& p : params_) {
+      if (p->grad.empty()) continue;
+      for (std::size_t i = 0; i < p->grad.numel(); ++i)
+        norm_sq += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.grad_clip)
+      scale = static_cast<float>(config_.grad_clip / norm);
+  }
+
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Var& p = params_[k];
+    if (p->grad.empty()) continue;
+    Tensor& v = velocity_[k];
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float g =
+          p->grad[i] * scale + config_.weight_decay * p->value[i];
+      v[i] = config_.momentum * v[i] + g;
+      p->value[i] -= config_.lr * v[i];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Var& p : params_) p->zero_grad();
+}
+
+float cosine_lr(float base_lr, float final_lr, int epoch, int total,
+                int warmup) {
+  OCB_CHECK_MSG(total > 0, "total epochs must be positive");
+  if (warmup > 0 && epoch < warmup)
+    return base_lr * static_cast<float>(epoch + 1) /
+           static_cast<float>(warmup);
+  const float t = total > warmup
+                      ? static_cast<float>(epoch - warmup) /
+                            static_cast<float>(total - warmup)
+                      : 0.0f;
+  const float cosine =
+      0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * std::min(1.0f, t)));
+  return final_lr + (base_lr - final_lr) * cosine;
+}
+
+}  // namespace ocb::ag

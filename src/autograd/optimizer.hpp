@@ -1,0 +1,44 @@
+// Optimisers for the training engine.
+//
+// The paper trains with Ultralytics defaults (SGD, lr 0.01); we provide
+// SGD with momentum + weight decay and a cosine learning-rate schedule.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace ocb::ag {
+
+struct SgdConfig {
+  float lr = 0.01f;          ///< paper's default learning rate
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  float grad_clip = 10.0f;   ///< global-norm clip; <= 0 disables
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Var> params, SgdConfig config = {});
+
+  /// Apply one update using the gradients accumulated on the params.
+  void step();
+  /// Zero all parameter gradients.
+  void zero_grad();
+
+  void set_lr(float lr) noexcept { config_.lr = lr; }
+  float lr() const noexcept { return config_.lr; }
+  const std::vector<Var>& params() const noexcept { return params_; }
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+};
+
+/// Cosine decay from `base_lr` to `final_lr` over `total` epochs, with
+/// `warmup` linear-ramp epochs at the front.
+float cosine_lr(float base_lr, float final_lr, int epoch, int total,
+                int warmup = 0);
+
+}  // namespace ocb::ag

@@ -1,0 +1,68 @@
+#include "autograd/variable.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace ocb::ag {
+
+Tensor& VarNode::ensure_grad() {
+  if (grad.empty()) grad = Tensor(value.shape(), 0.0f);
+  return grad;
+}
+
+void VarNode::zero_grad() {
+  if (!grad.empty()) grad.zero();
+}
+
+Var make_param(Tensor value) {
+  auto node = std::make_shared<VarNode>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return node;
+}
+
+Var make_input(Tensor value) {
+  auto node = std::make_shared<VarNode>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return node;
+}
+
+namespace {
+void topo_sort(const Var& node, std::unordered_set<const VarNode*>& seen,
+               std::vector<Var>& order) {
+  if (!node || seen.count(node.get())) return;
+  seen.insert(node.get());
+  for (const Var& parent : node->parents) topo_sort(parent, seen, order);
+  order.push_back(node);
+}
+}  // namespace
+
+void backward(const Var& root) {
+  OCB_CHECK_MSG(root != nullptr, "backward on null variable");
+  OCB_CHECK_MSG(root->value.numel() == 1, "backward root must be scalar");
+
+  std::unordered_set<const VarNode*> seen;
+  std::vector<Var> order;
+  topo_sort(root, seen, order);
+
+  root->ensure_grad();
+  root->grad[0] = 1.0f;
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it)
+    if ((*it)->backward_fn) (*it)->backward_fn();
+}
+
+std::vector<Var> collect_parameters(const Var& root) {
+  std::unordered_set<const VarNode*> seen;
+  std::vector<Var> order;
+  topo_sort(root, seen, order);
+  std::vector<Var> params;
+  for (const Var& v : order)
+    if (v->requires_grad && !v->backward_fn) params.push_back(v);
+  return params;
+}
+
+}  // namespace ocb::ag

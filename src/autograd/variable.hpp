@@ -1,0 +1,49 @@
+// Reverse-mode automatic differentiation (define-by-run tape).
+//
+// This is the training substrate for the accuracy experiments: the
+// MiniYolo detector family is trained with it from scratch. The op set
+// is deliberately small (conv / relu / pool / sigmoid / add / fused
+// losses) — exactly what a YOLO-style single-shot detector needs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ocb::ag {
+
+class VarNode;
+using Var = std::shared_ptr<VarNode>;
+
+/// One node of the dynamic computation graph.
+class VarNode {
+ public:
+  Tensor value;
+  Tensor grad;             ///< same shape as value; lazily allocated
+  bool requires_grad = false;
+
+  std::vector<Var> parents;
+  /// Propagate this->grad into parents' grads. Null for leaves.
+  std::function<void()> backward_fn;
+
+  /// Ensure grad storage exists (zero-filled).
+  Tensor& ensure_grad();
+  void zero_grad();
+};
+
+/// Leaf with gradient tracking (model parameter).
+Var make_param(Tensor value);
+/// Leaf without gradient tracking (input batch, targets).
+Var make_input(Tensor value);
+
+/// Run reverse-mode accumulation from a scalar root (numel()==1).
+/// Seeds d root / d root = 1 and visits the tape in reverse topological
+/// order. Gradients accumulate — call zero_grad between steps.
+void backward(const Var& root);
+
+/// Collect the distinct parameter leaves reachable from `root`.
+std::vector<Var> collect_parameters(const Var& root);
+
+}  // namespace ocb::ag

@@ -1,0 +1,126 @@
+#include "core/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace ocb {
+
+Cli::Cli(std::string program, std::string synopsis)
+    : program_(std::move(program)), synopsis_(std::move(synopsis)) {
+  add_flag("help", "print this help text and exit");
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  OCB_CHECK_MSG(!opts_.count(name), "duplicate flag --" + name);
+  opts_[name] = Opt{Kind::kBool, help, "false", false};
+  order_.push_back(name);
+}
+
+void Cli::add_string(const std::string& name, const std::string& def,
+                     const std::string& help) {
+  OCB_CHECK_MSG(!opts_.count(name), "duplicate flag --" + name);
+  opts_[name] = Opt{Kind::kString, help, def, false};
+  order_.push_back(name);
+}
+
+void Cli::add_int(const std::string& name, std::int64_t def,
+                  const std::string& help) {
+  OCB_CHECK_MSG(!opts_.count(name), "duplicate flag --" + name);
+  opts_[name] = Opt{Kind::kInt, help, std::to_string(def), false};
+  order_.push_back(name);
+}
+
+void Cli::add_double(const std::string& name, double def,
+                     const std::string& help) {
+  OCB_CHECK_MSG(!opts_.count(name), "duplicate flag --" + name);
+  std::ostringstream os;
+  os << def;
+  opts_[name] = Opt{Kind::kDouble, help, os.str(), false};
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw InvalidArgument("unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+      throw InvalidArgument("unknown flag --" + name + " (see --help)");
+    Opt& opt = it->second;
+
+    if (opt.kind == Kind::kBool) {
+      opt.value = inline_value.value_or("true");
+    } else if (inline_value) {
+      opt.value = *inline_value;
+    } else {
+      if (i + 1 >= argc)
+        throw InvalidArgument("flag --" + name + " expects a value");
+      opt.value = argv[++i];
+    }
+    opt.set = true;
+
+    // Validate numeric values eagerly so errors point at the flag.
+    try {
+      if (opt.kind == Kind::kInt) (void)std::stoll(opt.value);
+      if (opt.kind == Kind::kDouble) (void)std::stod(opt.value);
+    } catch (const std::exception&) {
+      throw InvalidArgument("flag --" + name + " expects a number, got '" +
+                            opt.value + "'");
+    }
+  }
+
+  if (flag("help")) {
+    std::cout << help_text();
+    return false;
+  }
+  return true;
+}
+
+const Cli::Opt& Cli::lookup(const std::string& name, Kind kind) const {
+  auto it = opts_.find(name);
+  OCB_CHECK_MSG(it != opts_.end(), "flag --" + name + " was never registered");
+  OCB_CHECK_MSG(it->second.kind == kind, "flag --" + name + " type mismatch");
+  return it->second;
+}
+
+bool Cli::flag(const std::string& name) const {
+  return lookup(name, Kind::kBool).value == "true";
+}
+
+const std::string& Cli::string(const std::string& name) const {
+  return lookup(name, Kind::kString).value;
+}
+
+std::int64_t Cli::integer(const std::string& name) const {
+  return std::stoll(lookup(name, Kind::kInt).value);
+}
+
+double Cli::real(const std::string& name) const {
+  return std::stod(lookup(name, Kind::kDouble).value);
+}
+
+std::string Cli::help_text() const {
+  std::ostringstream os;
+  os << program_ << " — " << synopsis_ << "\n\nflags:\n";
+  for (const auto& name : order_) {
+    const Opt& opt = opts_.at(name);
+    os << "  --" << name;
+    if (opt.kind != Kind::kBool) os << " <" << opt.value << ">";
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ocb

@@ -1,0 +1,57 @@
+// Tiny command-line flag parser shared by the bench/example binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms,
+// prints a generated --help, and rejects unknown flags so typos do not
+// silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ocb {
+
+class Cli {
+ public:
+  /// `program` and `synopsis` feed the generated --help text.
+  Cli(std::string program, std::string synopsis);
+
+  /// Register flags (must happen before parse()).
+  void add_flag(const std::string& name, const std::string& help);
+  void add_string(const std::string& name, const std::string& def,
+                  const std::string& help);
+  void add_int(const std::string& name, std::int64_t def,
+               const std::string& help);
+  void add_double(const std::string& name, double def, const std::string& help);
+
+  /// Parse argv. Returns false when --help was requested (help text is
+  /// printed); throws InvalidArgument on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  const std::string& string(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kBool, kString, kInt, kDouble };
+  struct Opt {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+    bool set = false;
+  };
+
+  const Opt& lookup(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string synopsis_;
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace ocb

@@ -1,0 +1,58 @@
+// Error handling primitives for Ocularone-Bench.
+//
+// The suite uses exceptions for unrecoverable precondition violations
+// (per C++ Core Guidelines E.2) and OCB_CHECK/OCB_REQUIRE macros so that
+// failure messages carry source location without hand-written plumbing.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ocb {
+
+/// Base exception for all errors raised by the suite.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a function argument violates its contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an I/O operation (dataset export, image write, ...) fails.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ocb
+
+/// Verify an invariant; throws ocb::Error with location info on failure.
+#define OCB_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::ocb::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Verify an invariant with an explanatory message.
+#define OCB_CHECK_MSG(expr, msg)                                           \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::ocb::detail::throw_check_failure(#expr, __FILE__, __LINE__,        \
+                                         (msg));                           \
+  } while (0)

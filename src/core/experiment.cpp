@@ -1,0 +1,45 @@
+#include "core/experiment.hpp"
+
+#include "core/error.hpp"
+
+namespace ocb {
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(Experiment exp) {
+  OCB_CHECK_MSG(!exp.id.empty(), "experiment id must be non-empty");
+  OCB_CHECK_MSG(static_cast<bool>(exp.run),
+                "experiment '" + exp.id + "' has no run function");
+  auto [it, inserted] = experiments_.emplace(exp.id, std::move(exp));
+  (void)it;
+  OCB_CHECK_MSG(inserted, "duplicate experiment id");
+}
+
+bool ExperimentRegistry::contains(const std::string& id) const {
+  return experiments_.count(id) != 0;
+}
+
+const Experiment& ExperimentRegistry::get(const std::string& id) const {
+  auto it = experiments_.find(id);
+  OCB_CHECK_MSG(it != experiments_.end(), "unknown experiment: " + id);
+  return it->second;
+}
+
+std::vector<std::string> ExperimentRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(experiments_.size());
+  for (const auto& [id, exp] : experiments_) {
+    (void)exp;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ResultTable> ExperimentRegistry::run(const std::string& id) const {
+  return get(id).run();
+}
+
+}  // namespace ocb

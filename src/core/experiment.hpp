@@ -1,0 +1,47 @@
+// Experiment registry: the benchmark-suite skeleton.
+//
+// Each table/figure of the paper is an Experiment with an id
+// ("fig5", "table2", ...), a description of what the paper reported,
+// and a run function producing ResultTables. Bench binaries register
+// and run experiments through this registry so the mapping
+// paper artefact → code is explicit and enumerable.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+
+namespace ocb {
+
+/// Immutable description + callable for one paper artefact.
+struct Experiment {
+  std::string id;              ///< e.g. "fig5", "table2"
+  std::string title;           ///< human-readable name
+  std::string paper_claim;     ///< what the paper reports (for side-by-side)
+  std::function<std::vector<ResultTable>()> run;
+};
+
+/// Process-wide registry of experiments.
+class ExperimentRegistry {
+ public:
+  static ExperimentRegistry& instance();
+
+  /// Register an experiment; throws on duplicate id.
+  void add(Experiment exp);
+
+  bool contains(const std::string& id) const;
+  const Experiment& get(const std::string& id) const;
+  std::vector<std::string> ids() const;
+
+  /// Run one experiment and return its tables.
+  std::vector<ResultTable> run(const std::string& id) const;
+
+ private:
+  ExperimentRegistry() = default;
+  std::map<std::string, Experiment> experiments_;
+};
+
+}  // namespace ocb

@@ -1,0 +1,34 @@
+#include "core/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace ocb {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[ocb:" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace ocb

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// The suite logs to stderr; benches print their results to stdout so
+// that log noise never corrupts machine-readable output. Thread-safe:
+// each message is formatted into a local buffer and written with one
+// stream insertion under a mutex.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ocb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_write(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ocb
+
+#define OCB_LOG(LEVEL)                                      \
+  if (::ocb::log_level() <= ::ocb::LogLevel::LEVEL)         \
+  ::ocb::detail::LogLine(::ocb::LogLevel::LEVEL)
+
+#define OCB_DEBUG OCB_LOG(kDebug)
+#define OCB_INFO OCB_LOG(kInfo)
+#define OCB_WARN OCB_LOG(kWarn)
+#define OCB_ERROR OCB_LOG(kError)

@@ -1,0 +1,117 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace ocb {
+
+namespace {
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  const auto n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double pos = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+}  // namespace
+
+double percentile(std::span<const double> values, double q) {
+  OCB_CHECK_MSG(!values.empty(), "percentile of empty sample");
+  OCB_CHECK_MSG(q >= 0.0 && q <= 1.0, "percentile q outside [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_percentile(sorted, q);
+}
+
+Summary summarize(std::span<const double> values) {
+  OCB_CHECK_MSG(!values.empty(), "summarize of empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = sorted_percentile(sorted, 0.25);
+  s.median = sorted_percentile(sorted, 0.50);
+  s.q3 = sorted_percentile(sorted, 0.75);
+  s.p95 = sorted_percentile(sorted, 0.95);
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  return s;
+}
+
+double mean(std::span<const double> values) {
+  OCB_CHECK_MSG(!values.empty(), "mean of empty sample");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double wilson_halfwidth(double p, std::size_t n) {
+  if (n == 0) return 1.0;
+  constexpr double z = 1.96;
+  const double nd = static_cast<double>(n);
+  const double denom = 1.0 + z * z / nd;
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / nd + z * z / (4.0 * nd * nd));
+  return spread / denom;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  OCB_CHECK_MSG(bins > 0, "histogram needs at least one bin");
+  OCB_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  OCB_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  OCB_CHECK(i < counts_.size());
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+}  // namespace ocb

@@ -1,0 +1,81 @@
+// Descriptive statistics used throughout the benchmark suite.
+//
+// Latency benches report median / quartiles / p95 (matching the box plots
+// in Figs 5–6 of the paper); accuracy benches report means with
+// binomial confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ocb {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;      ///< 25th percentile
+  double median = 0.0;  ///< 50th percentile
+  double q3 = 0.0;      ///< 75th percentile
+  double p95 = 0.0;     ///< 95th percentile
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+};
+
+/// Linear-interpolated percentile (q in [0,1]) of an unsorted sample.
+/// Throws InvalidArgument on an empty sample.
+double percentile(std::span<const double> values, double q);
+
+/// Compute the full summary of an unsorted sample.
+Summary summarize(std::span<const double> values);
+
+/// Arithmetic mean; throws on empty input.
+double mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> values);
+
+/// Wilson score interval half-width for a proportion p over n trials at
+/// ~95% confidence. Used for accuracy error bars.
+double wilson_halfwidth(double p, std::size_t n);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1)
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values
+/// outside the range clamp to the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  /// Center of bucket i.
+  double bin_center(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ocb

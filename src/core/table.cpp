@@ -1,0 +1,119 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace ocb {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  OCB_CHECK_MSG(!columns_.empty(), "table needs at least one column");
+}
+
+ResultTable& ResultTable::row() {
+  OCB_CHECK_MSG(cells_.empty() || cells_.back().size() == columns_.size(),
+                "previous row of table '" + title_ + "' is incomplete");
+  cells_.emplace_back();
+  return *this;
+}
+
+ResultTable& ResultTable::cell(const std::string& text) {
+  OCB_CHECK_MSG(!cells_.empty(), "cell() before row()");
+  OCB_CHECK_MSG(cells_.back().size() < columns_.size(),
+                "too many cells in row of table '" + title_ + "'");
+  cells_.back().push_back(text);
+  return *this;
+}
+
+ResultTable& ResultTable::cell(const char* text) {
+  return cell(std::string(text));
+}
+
+ResultTable& ResultTable::cell(double value, int precision) {
+  return cell(format_fixed(value, precision));
+}
+
+ResultTable& ResultTable::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+ResultTable& ResultTable::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+const std::string& ResultTable::at(std::size_t r, std::size_t c) const {
+  OCB_CHECK(r < cells_.size() && c < columns_.size());
+  OCB_CHECK_MSG(c < cells_[r].size(), "row is incomplete");
+  return cells_[r][c];
+}
+
+std::string ResultTable::to_text() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string();
+      os << "  " << std::left << std::setw(static_cast<int>(width[c])) << text;
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  std::vector<std::string> rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    rule.push_back(std::string(width[c], '-'));
+  emit(rule);
+  for (const auto& row : cells_) emit(row);
+  return os.str();
+}
+
+std::string ResultTable::to_markdown() const {
+  std::ostringstream os;
+  os << "### " << title_ << "\n\n|";
+  for (const auto& c : columns_) os << ' ' << c << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : cells_) {
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      os << ' ' << (c < row.size() ? row[c] : "") << " |";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string ResultTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << ',';
+      const std::string& text = c < row.size() ? row[c] : std::string();
+      if (text.find(',') != std::string::npos)
+        os << '"' << text << '"';
+      else
+        os << text;
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : cells_) emit(row);
+  return os.str();
+}
+
+}  // namespace ocb

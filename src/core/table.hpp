@@ -1,0 +1,48 @@
+// Result tables.
+//
+// Every bench binary assembles its output into a ResultTable and renders
+// it as aligned text (human), markdown (EXPERIMENTS.md) or CSV
+// (machine). Cells are stored as strings; numeric helpers format with a
+// fixed precision so paper-vs-measured columns line up.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ocb {
+
+class ResultTable {
+ public:
+  explicit ResultTable(std::string title, std::vector<std::string> columns);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  ResultTable& row();
+  ResultTable& cell(const std::string& text);
+  ResultTable& cell(const char* text);
+  ResultTable& cell(double value, int precision = 2);
+  ResultTable& cell(std::int64_t value);
+  ResultTable& cell(std::size_t value);
+
+  const std::string& title() const noexcept { return title_; }
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return columns_.size(); }
+  const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Aligned plain-text rendering (what benches print to stdout).
+  std::string to_text() const;
+  /// GitHub-flavoured markdown rendering.
+  std::string to_markdown() const;
+  /// RFC-4180-ish CSV (no embedded quotes supported in cells).
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double with fixed precision (helper shared with benches).
+std::string format_fixed(double value, int precision);
+
+}  // namespace ocb

@@ -1,0 +1,127 @@
+#include "dataset/adversarial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.hpp"
+#include "image/transform.hpp"
+
+namespace ocb::dataset {
+
+namespace {
+
+void corrupt_low_light(RenderedFrame& frame, float strength, Rng& rng) {
+  // Darken + raise the noise floor, as a real sensor would at night.
+  const float gain = 0.55f - 0.35f * strength;
+  frame.image = adjust_brightness(frame.image, gain);
+  add_gaussian_noise(frame.image, 0.02f + 0.05f * strength, rng);
+}
+
+void corrupt_blur(RenderedFrame& frame, float strength) {
+  const float sigma =
+      (0.6f + 2.4f * strength) * static_cast<float>(frame.image.width()) / 256.0f;
+  frame.image = gaussian_blur(frame.image, sigma);
+}
+
+void corrupt_motion_blur(RenderedFrame& frame, float strength, Rng& rng) {
+  const int length = 3 + static_cast<int>(
+      12.0f * strength * static_cast<float>(frame.image.width()) / 256.0f);
+  const float angle = static_cast<float>(rng.uniform(0.0, 180.0));
+  frame.image = motion_blur(frame.image, angle, length);
+}
+
+void corrupt_crop(RenderedFrame& frame, float strength, Rng& rng) {
+  const int w = frame.image.width();
+  const int h = frame.image.height();
+  const float keep = 0.85f - 0.35f * strength;  // crop window fraction
+  const int cw = std::max(8, static_cast<int>(w * keep));
+  const int chh = std::max(8, static_cast<int>(h * keep));
+  const int x0 = static_cast<int>(rng.uniform_int(0, w - cw));
+  const int y0 = static_cast<int>(rng.uniform_int(0, h - chh));
+
+  Image cropped = crop(frame.image, x0, y0, cw, chh);
+  frame.image = resize_bilinear(cropped, w, h);
+
+  // Re-map the vest box through crop + rescale.
+  const float sx = static_cast<float>(w) / static_cast<float>(cw);
+  const float sy = static_cast<float>(h) / static_cast<float>(chh);
+  Box b = frame.vest.box;
+  b.x0 = (b.x0 - static_cast<float>(x0)) * sx;
+  b.x1 = (b.x1 - static_cast<float>(x0)) * sx;
+  b.y0 = (b.y0 - static_cast<float>(y0)) * sy;
+  b.y1 = (b.y1 - static_cast<float>(y0)) * sy;
+  frame.vest.box = b.clipped(static_cast<float>(w), static_cast<float>(h));
+  frame.vest_visible =
+      frame.vest.box.valid() && frame.vest.box.area() >= 4.0f;
+}
+
+void corrupt_tilt(RenderedFrame& frame, float strength, Rng& rng) {
+  const float degrees = (5.0f + 25.0f * strength) *
+                        (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+  frame.image = rotate(frame.image, degrees);
+
+  // Enclosing box of the rotated vest corners (inverse of the renderer's
+  // destination→source mapping, i.e. rotate corners by -degrees about
+  // the centre).
+  const float rad = -degrees * std::numbers::pi_v<float> / 180.0f;
+  const float cs = std::cos(rad);
+  const float sn = std::sin(rad);
+  const float cx = static_cast<float>(frame.image.width() - 1) * 0.5f;
+  const float cy = static_cast<float>(frame.image.height() - 1) * 0.5f;
+  const Box& b = frame.vest.box;
+  const float xs[4] = {b.x0, b.x1, b.x0, b.x1};
+  const float ys[4] = {b.y0, b.y0, b.y1, b.y1};
+  Box out{1e9f, 1e9f, -1e9f, -1e9f};
+  for (int i = 0; i < 4; ++i) {
+    const float dx = xs[i] - cx;
+    const float dy = ys[i] - cy;
+    const float rx = cs * dx - sn * dy + cx;
+    const float ry = sn * dx + cs * dy + cy;
+    out.x0 = std::min(out.x0, rx);
+    out.y0 = std::min(out.y0, ry);
+    out.x1 = std::max(out.x1, rx);
+    out.y1 = std::max(out.y1, ry);
+  }
+  frame.vest.box = out.clipped(static_cast<float>(frame.image.width()),
+                               static_cast<float>(frame.image.height()));
+  frame.vest_visible =
+      frame.vest.box.valid() && frame.vest.box.area() >= 4.0f;
+}
+
+void corrupt_noise(RenderedFrame& frame, float strength, Rng& rng) {
+  if (rng.bernoulli(0.5))
+    add_gaussian_noise(frame.image, 0.05f + 0.15f * strength, rng);
+  else
+    add_salt_pepper(frame.image, 0.01f + 0.06f * strength, rng);
+}
+
+}  // namespace
+
+void apply_corruption(RenderedFrame& frame, Corruption corruption,
+                      float strength, Rng& rng) {
+  switch (corruption) {
+    case Corruption::kNone: return;
+    case Corruption::kLowLight: corrupt_low_light(frame, strength, rng); return;
+    case Corruption::kBlur: corrupt_blur(frame, strength); return;
+    case Corruption::kMotionBlur: corrupt_motion_blur(frame, strength, rng); return;
+    case Corruption::kCrop: corrupt_crop(frame, strength, rng); return;
+    case Corruption::kTilt: corrupt_tilt(frame, strength, rng); return;
+    case Corruption::kNoise: corrupt_noise(frame, strength, rng); return;
+  }
+}
+
+const char* corruption_name(Corruption corruption) noexcept {
+  switch (corruption) {
+    case Corruption::kNone: return "none";
+    case Corruption::kLowLight: return "low_light";
+    case Corruption::kBlur: return "blur";
+    case Corruption::kMotionBlur: return "motion_blur";
+    case Corruption::kCrop: return "crop";
+    case Corruption::kTilt: return "tilt";
+    case Corruption::kNoise: return "noise";
+  }
+  return "?";
+}
+
+}  // namespace ocb::dataset

@@ -1,0 +1,18 @@
+// Adversarial corruptions (paper Table 1 row 5: "Low light, blur,
+// cropped image, etc." plus tilted orientations mentioned in §2).
+//
+// Corruptions operate on a rendered frame and keep the vest annotation
+// consistent (crop translates/clips it, tilt re-fits the enclosing box).
+#pragma once
+
+#include "dataset/render.hpp"
+
+namespace ocb::dataset {
+
+/// Apply one corruption in place. `strength` in [0, 1].
+void apply_corruption(RenderedFrame& frame, Corruption corruption,
+                      float strength, Rng& rng);
+
+const char* corruption_name(Corruption corruption) noexcept;
+
+}  // namespace ocb::dataset

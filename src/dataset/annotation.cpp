@@ -1,0 +1,84 @@
+#include "dataset/annotation.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "image/io.hpp"
+
+namespace ocb::dataset {
+
+std::string to_yolo_line(const Annotation& ann, int image_w, int image_h) {
+  OCB_CHECK_MSG(image_w > 0 && image_h > 0, "bad image size");
+  std::ostringstream os;
+  os << ann.class_id << ' '
+     << ann.box.cx() / static_cast<float>(image_w) << ' '
+     << ann.box.cy() / static_cast<float>(image_h) << ' '
+     << ann.box.width() / static_cast<float>(image_w) << ' '
+     << ann.box.height() / static_cast<float>(image_h);
+  return os.str();
+}
+
+Annotation from_yolo_line(const std::string& line, int image_w, int image_h) {
+  std::istringstream is(line);
+  int class_id = 0;
+  float cx = 0, cy = 0, w = 0, h = 0;
+  if (!(is >> class_id >> cx >> cy >> w >> h))
+    throw InvalidArgument("malformed YOLO label line: " + line);
+  Annotation ann;
+  ann.class_id = class_id;
+  ann.box = Box::from_center(cx * static_cast<float>(image_w),
+                             cy * static_cast<float>(image_h),
+                             w * static_cast<float>(image_w),
+                             h * static_cast<float>(image_h));
+  return ann;
+}
+
+std::string csv_header() {
+  return "filename,width,height,class,xmin,ymin,xmax,ymax,category";
+}
+
+std::string to_csv_row(const std::string& filename, const Annotation& ann,
+                       int image_w, int image_h) {
+  std::ostringstream os;
+  os << filename << ',' << image_w << ',' << image_h << ",hazard-vest,"
+     << static_cast<int>(ann.box.x0) << ',' << static_cast<int>(ann.box.y0)
+     << ',' << static_cast<int>(ann.box.x1) << ','
+     << static_cast<int>(ann.box.y1);
+  return os.str();
+}
+
+std::size_t export_dataset(const DatasetGenerator& generator,
+                           const std::vector<Sample>& samples,
+                           const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  std::ofstream manifest(dir + "/_annotations.csv");
+  if (!manifest) throw IoError("cannot create manifest in " + dir);
+  manifest << csv_header() << '\n';
+
+  std::size_t written = 0;
+  for (const Sample& sample : samples) {
+    const RenderedFrame frame = generator.render(sample);
+    std::ostringstream stem;
+    stem << "v" << sample.video_id << "_f" << sample.frame_index;
+    const std::string image_name = stem.str() + ".ppm";
+    write_ppm(frame.image, dir + "/" + image_name);
+
+    std::ofstream label(dir + "/" + stem.str() + ".txt");
+    if (!label) throw IoError("cannot write label for " + image_name);
+    if (frame.vest_visible)
+      label << to_yolo_line(frame.vest, frame.image.width(),
+                            frame.image.height())
+            << '\n';
+    manifest << to_csv_row(image_name, frame.vest, frame.image.width(),
+                           frame.image.height())
+             << ',' << category_name(sample.category) << '\n';
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace ocb::dataset

@@ -1,0 +1,36 @@
+// Annotation serialisation.
+//
+// Two formats, matching the paper's pipeline: YOLO txt labels (class +
+// normalised centre/size, the Ultralytics training input) and a
+// Roboflow-style CSV manifest (class + corner coordinates, §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/generator.hpp"
+#include "detect/box.hpp"
+
+namespace ocb::dataset {
+
+/// "class cx cy w h" with coordinates normalised to [0,1].
+std::string to_yolo_line(const Annotation& ann, int image_w, int image_h);
+
+/// Inverse of to_yolo_line; throws InvalidArgument on malformed input.
+Annotation from_yolo_line(const std::string& line, int image_w, int image_h);
+
+/// Roboflow-style CSV row: filename,width,height,class,xmin,ymin,xmax,ymax.
+std::string to_csv_row(const std::string& filename, const Annotation& ann,
+                       int image_w, int image_h);
+
+/// Header for the CSV manifest.
+std::string csv_header();
+
+/// Render `samples` to `dir` as PPM images + YOLO label files + a CSV
+/// manifest (`_annotations.csv`). Returns the number of images written.
+/// Creates the directory if needed.
+std::size_t export_dataset(const DatasetGenerator& generator,
+                           const std::vector<Sample>& samples,
+                           const std::string& dir);
+
+}  // namespace ocb::dataset

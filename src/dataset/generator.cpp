@@ -1,0 +1,78 @@
+#include "dataset/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace ocb::dataset {
+
+int DatasetGenerator::scaled_count(Category category, double scale) {
+  const int paper = category_info(category).paper_count;
+  return std::max(1, static_cast<int>(std::lround(paper * scale)));
+}
+
+DatasetGenerator::DatasetGenerator(DatasetConfig config)
+    : config_(config) {
+  OCB_CHECK_MSG(config.scale > 0.0 && config.scale <= 1.0,
+                "dataset scale must be in (0, 1]");
+  OCB_CHECK_MSG(config.image_width >= 32 && config.image_height >= 32,
+                "dataset image size too small");
+
+  Rng rng(config.seed);
+  int video_id = 0;
+
+  // Each category's frame budget is cut into clips of 1–2 minutes of
+  // extracted footage (600–1200 frames at 10 FPS), mirroring the
+  // paper's 43 × (1–2 min) capture sessions at full scale.
+  for (const CategoryInfo& info : category_table()) {
+    int remaining = scaled_count(info.category, config.scale);
+    counts_[info.category] = static_cast<std::size_t>(remaining);
+    while (remaining > 0) {
+      const int want = static_cast<int>(rng.uniform_int(600, 1200));
+      const int frames = std::min(remaining, want);
+      VideoClip clip;
+      clip.id = video_id++;
+      clip.category = info.category;
+      clip.seed = hash_combine(config.seed, static_cast<std::uint64_t>(clip.id));
+      clip.extracted_frames = frames;
+      videos_.push_back(clip);
+
+      for (int f = 0; f < frames; ++f) {
+        Sample sample;
+        sample.category = info.category;
+        sample.video_id = clip.id;
+        sample.frame_index = f;
+        sample.render_seed =
+            hash_combine(clip.seed, static_cast<std::uint64_t>(f) + 1);
+        samples_.push_back(sample);
+      }
+      remaining -= frames;
+    }
+  }
+}
+
+std::size_t DatasetGenerator::count(Category category) const {
+  auto it = counts_.find(category);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<Sample> DatasetGenerator::samples_in(Category category) const {
+  std::vector<Sample> out;
+  for (const Sample& s : samples_)
+    if (s.category == category) out.push_back(s);
+  return out;
+}
+
+RenderedFrame DatasetGenerator::render(const Sample& sample) const {
+  OCB_CHECK_MSG(sample.video_id >= 0 &&
+                    sample.video_id < static_cast<int>(videos_.size()),
+                "sample references unknown video");
+  const VideoClip& clip = videos_[static_cast<std::size_t>(sample.video_id)];
+  const SceneSpec spec = clip_frame(clip, sample.frame_index);
+  Rng rng(sample.render_seed);
+  return render_scene(spec, config_.image_width, config_.image_height, rng);
+}
+
+}  // namespace ocb::dataset

@@ -1,0 +1,55 @@
+// Dataset generator: reproduces the Ocularone collection pipeline.
+//
+// videos → 10 FPS frame extraction → categorised, annotated images.
+// Counts follow Table 1 scaled by `scale` (1.0 = the full 30,711).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dataset/render.hpp"
+#include "dataset/video.hpp"
+
+namespace ocb::dataset {
+
+struct DatasetConfig {
+  double scale = 0.1;       ///< fraction of the paper's Table 1 counts
+  int image_width = 256;    ///< rendered frame size (paper: 1280×720)
+  int image_height = 192;
+  std::uint64_t seed = 42;
+};
+
+/// One dataset entry: addressable, lazily rendered.
+struct Sample {
+  Category category = Category::kMixed;
+  int video_id = 0;
+  int frame_index = 0;      ///< extracted-frame index within the video
+  std::uint64_t render_seed = 0;
+};
+
+class DatasetGenerator {
+ public:
+  explicit DatasetGenerator(DatasetConfig config);
+
+  const DatasetConfig& config() const noexcept { return config_; }
+  const std::vector<VideoClip>& videos() const noexcept { return videos_; }
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  std::size_t count(Category category) const;
+  std::vector<Sample> samples_in(Category category) const;
+
+  /// Render a sample (deterministic: same sample → same pixels).
+  RenderedFrame render(const Sample& sample) const;
+
+  /// Expected count for a category at this config's scale.
+  static int scaled_count(Category category, double scale);
+
+ private:
+  DatasetConfig config_;
+  std::vector<VideoClip> videos_;
+  std::vector<Sample> samples_;
+  std::map<Category, std::size_t> counts_;
+};
+
+}  // namespace ocb::dataset

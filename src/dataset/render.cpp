@@ -1,0 +1,420 @@
+#include "dataset/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "dataset/adversarial.hpp"
+#include "image/color.hpp"
+#include "image/draw.hpp"
+#include "image/transform.hpp"
+
+namespace ocb::dataset {
+
+namespace {
+
+constexpr float kTau = 6.2831853f;
+
+/// Vertical feet anchor for an object at absolute distance `d` metres.
+float ground_y(float d, float horizon, int height) {
+  const float t = std::clamp(2.0f / d, 0.06f, 1.0f);
+  return static_cast<float>(height) * (horizon + (1.0f - horizon) * t);
+}
+
+/// Apparent humanoid height in pixels at distance `d`.
+float person_height(float d, int height) {
+  return std::clamp(1.1f * static_cast<float>(height) / d, 8.0f,
+                    0.92f * static_cast<float>(height));
+}
+
+Color muted_palette(std::uint32_t selector) {
+  // Clothing colors for non-VIP actors: avoid the vest's neon band so
+  // the task stays well-posed, but include dull yellows as hard
+  // negatives.
+  static const Color kColors[] = {
+      {0.45f, 0.30f, 0.28f}, {0.25f, 0.32f, 0.55f}, {0.55f, 0.52f, 0.50f},
+      {0.30f, 0.42f, 0.30f}, {0.60f, 0.25f, 0.25f}, {0.20f, 0.20f, 0.24f},
+      {0.62f, 0.55f, 0.30f},  // dull ochre (hard negative)
+      {0.50f, 0.40f, 0.60f}, {0.75f, 0.75f, 0.78f}, {0.35f, 0.25f, 0.18f},
+  };
+  return kColors[selector % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+Color skin_tone(std::uint32_t selector) {
+  static const Color kTones[] = {
+      {0.85f, 0.68f, 0.55f}, {0.70f, 0.52f, 0.40f}, {0.55f, 0.40f, 0.30f}};
+  return kTones[selector % 3];
+}
+
+struct HumanoidStyle {
+  bool vest = false;
+  Color shirt{0.4f, 0.4f, 0.45f};
+  Color trousers{0.25f, 0.25f, 0.3f};
+  Color skin{0.8f, 0.65f, 0.5f};
+};
+
+/// Draw a humanoid with feet at (fx, fy) and the given pixel height.
+/// Returns the torso (vest) bounding box.
+Box draw_humanoid(Image& img, float fx, float fy, float h, float sway,
+                  const HumanoidStyle& style) {
+  const float hip_y = fy - 0.48f * h;
+  const float shoulder_y = fy - 0.78f * h;
+  const float torso_w = 0.30f * h;
+  const float leg_w = std::max(1.0f, 0.07f * h);
+  const float arm_w = std::max(1.0f, 0.055f * h);
+  const float leg_spread = 0.10f * h * std::sin(sway);
+
+  // Legs (behind torso).
+  draw_line(img, fx - 0.06f * h, hip_y, fx - 0.08f * h - leg_spread, fy,
+            style.trousers, leg_w);
+  draw_line(img, fx + 0.06f * h, hip_y, fx + 0.08f * h + leg_spread, fy,
+            style.trousers, leg_w);
+
+  // Torso.
+  const Box torso{fx - torso_w * 0.5f, shoulder_y, fx + torso_w * 0.5f,
+                  hip_y + 0.04f * h};
+  if (style.vest) {
+    const Color vest_c = hazard_vest_color();
+    fill_rect(img, static_cast<int>(torso.x0), static_cast<int>(torso.y0),
+              static_cast<int>(torso.x1), static_cast<int>(torso.y1), vest_c);
+    // Reflective stripes: two horizontal + two shoulder straps.
+    const Color stripe = vest_stripe_color();
+    const float sh = torso.height();
+    fill_rect(img, static_cast<int>(torso.x0),
+              static_cast<int>(torso.y0 + 0.40f * sh),
+              static_cast<int>(torso.x1),
+              static_cast<int>(torso.y0 + 0.40f * sh + std::max(1.0f, 0.09f * sh)),
+              stripe);
+    fill_rect(img, static_cast<int>(torso.x0),
+              static_cast<int>(torso.y0 + 0.68f * sh),
+              static_cast<int>(torso.x1),
+              static_cast<int>(torso.y0 + 0.68f * sh + std::max(1.0f, 0.09f * sh)),
+              stripe);
+    const float strap_w = std::max(1.0f, 0.06f * torso.width());
+    fill_rect(img, static_cast<int>(torso.x0 + 0.22f * torso.width()),
+              static_cast<int>(torso.y0),
+              static_cast<int>(torso.x0 + 0.22f * torso.width() + strap_w),
+              static_cast<int>(torso.y0 + 0.35f * sh), stripe);
+    fill_rect(img, static_cast<int>(torso.x1 - 0.22f * torso.width() - strap_w),
+              static_cast<int>(torso.y0),
+              static_cast<int>(torso.x1 - 0.22f * torso.width()),
+              static_cast<int>(torso.y0 + 0.35f * sh), stripe);
+  } else {
+    fill_rect(img, static_cast<int>(torso.x0), static_cast<int>(torso.y0),
+              static_cast<int>(torso.x1), static_cast<int>(torso.y1),
+              style.shirt);
+  }
+
+  // Arms.
+  const float arm_sway = 0.08f * h * std::sin(sway + 3.14f);
+  draw_line(img, torso.x0, shoulder_y + 0.05f * h,
+            torso.x0 - 0.08f * h + arm_sway, hip_y, style.shirt, arm_w);
+  draw_line(img, torso.x1, shoulder_y + 0.05f * h,
+            torso.x1 + 0.08f * h - arm_sway, hip_y, style.shirt, arm_w);
+
+  // Head.
+  fill_disc(img, fx, shoulder_y - 0.11f * h, 0.095f * h, style.skin);
+  return torso;
+}
+
+void draw_bicycle(Image& img, float cx, float cy, float scale,
+                  std::uint32_t palette) {
+  const Color frame = muted_palette(palette);
+  const Color tire{0.08f, 0.08f, 0.08f};
+  const float r = 0.16f * scale;
+  const float wheel_dx = 0.28f * scale;
+  // Wheels as rings.
+  for (float sx : {-wheel_dx, wheel_dx}) {
+    fill_disc(img, cx + sx, cy - r, r, tire);
+    fill_disc(img, cx + sx, cy - r, r * 0.68f, Color{0.5f, 0.5f, 0.52f});
+  }
+  // Frame triangle + handlebar + seat.
+  draw_line(img, cx - wheel_dx, cy - r, cx, cy - 0.42f * scale, frame,
+            std::max(1.0f, 0.03f * scale));
+  draw_line(img, cx + wheel_dx, cy - r, cx, cy - 0.42f * scale, frame,
+            std::max(1.0f, 0.03f * scale));
+  draw_line(img, cx - wheel_dx, cy - r, cx - 0.1f * scale, cy - 0.5f * scale,
+            frame, std::max(1.0f, 0.03f * scale));
+  draw_line(img, cx + wheel_dx, cy - r, cx + wheel_dx, cy - 0.52f * scale,
+            frame, std::max(1.0f, 0.03f * scale));
+}
+
+void draw_car(Image& img, float cx, float cy, float scale,
+              std::uint32_t palette) {
+  static const Color kBody[] = {{0.75f, 0.75f, 0.78f}, {0.15f, 0.15f, 0.18f},
+                                {0.55f, 0.12f, 0.12f}, {0.16f, 0.25f, 0.45f},
+                                {0.8f, 0.8f, 0.82f},   {0.35f, 0.38f, 0.36f}};
+  const Color body = kBody[palette % 6];
+  const float w = 1.05f * scale;
+  const float h = 0.34f * scale;
+  // Body.
+  fill_rect(img, static_cast<int>(cx - w / 2), static_cast<int>(cy - h),
+            static_cast<int>(cx + w / 2), static_cast<int>(cy), body);
+  // Cabin with windows.
+  fill_rect(img, static_cast<int>(cx - w * 0.28f),
+            static_cast<int>(cy - h - 0.22f * scale),
+            static_cast<int>(cx + w * 0.28f), static_cast<int>(cy - h), body);
+  fill_rect(img, static_cast<int>(cx - w * 0.24f),
+            static_cast<int>(cy - h - 0.18f * scale),
+            static_cast<int>(cx + w * 0.24f), static_cast<int>(cy - h),
+            Color{0.55f, 0.68f, 0.75f});
+  // Wheels.
+  for (float sx : {-0.32f * w, 0.32f * w})
+    fill_disc(img, cx + sx, cy, 0.105f * scale, Color{0.05f, 0.05f, 0.05f});
+}
+
+void draw_tree(Image& img, float cx, float base_y, float h,
+               std::uint64_t seed) {
+  Rng rng(seed);
+  const Color trunk{0.32f, 0.22f, 0.12f};
+  const Color leaf{0.12f + static_cast<float>(rng.uniform(0.0, 0.1)),
+                   0.35f + static_cast<float>(rng.uniform(0.0, 0.18)),
+                   0.10f + static_cast<float>(rng.uniform(0.0, 0.08))};
+  draw_line(img, cx, base_y, cx, base_y - 0.45f * h, trunk,
+            std::max(1.0f, 0.06f * h));
+  fill_disc(img, cx, base_y - 0.62f * h, 0.32f * h, leaf);
+  fill_disc(img, cx - 0.18f * h, base_y - 0.5f * h, 0.22f * h, leaf);
+  fill_disc(img, cx + 0.18f * h, base_y - 0.5f * h, 0.22f * h, leaf);
+}
+
+void draw_building(Image& img, float x0, float base_y, float w, float h,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  const float shade = 0.45f + static_cast<float>(rng.uniform(0.0, 0.25));
+  const Color wall{shade, shade * 0.95f, shade * 0.9f};
+  fill_rect(img, static_cast<int>(x0), static_cast<int>(base_y - h),
+            static_cast<int>(x0 + w), static_cast<int>(base_y), wall);
+  const Color window{0.25f, 0.3f, 0.4f};
+  const int cols = std::max(1, static_cast<int>(w / 10.0f));
+  const int rows = std::max(1, static_cast<int>(h / 12.0f));
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const float wx = x0 + (static_cast<float>(c) + 0.25f) * w / cols;
+      const float wy = base_y - h + (static_cast<float>(r) + 0.2f) * h / rows;
+      fill_rect(img, static_cast<int>(wx), static_cast<int>(wy),
+                static_cast<int>(wx + 0.5f * w / cols),
+                static_cast<int>(wy + 0.55f * h / rows), window);
+    }
+}
+
+void draw_environment(Image& img, const SceneSpec& spec, Rng& texture_rng) {
+  const int w = img.width();
+  const int h = img.height();
+  const float horizon_y = spec.horizon * static_cast<float>(h);
+
+  // Sky.
+  fill_gradient_vertical(img, Color{0.50f, 0.68f, 0.88f},
+                         Color{0.78f, 0.85f, 0.92f});
+
+  // Distant ground strip (grass / dirt beyond the walkway).
+  const Color far_ground = spec.environment == Environment::kPath
+                               ? Color{0.38f, 0.42f, 0.22f}
+                               : Color{0.34f, 0.44f, 0.26f};
+  fill_rect(img, 0, static_cast<int>(horizon_y), w, h, far_ground);
+
+  // Backdrop buildings and trees hug the horizon.
+  for (int i = 0; i < spec.building_count; ++i) {
+    const float bw = static_cast<float>(texture_rng.uniform(0.12, 0.3)) * w;
+    const float bh = static_cast<float>(texture_rng.uniform(0.1, 0.22)) * h;
+    const float bx = static_cast<float>(texture_rng.uniform(0.0, 0.9)) * w;
+    draw_building(img, bx, horizon_y + 2.0f, bw, bh, texture_rng());
+  }
+  for (int i = 0; i < spec.tree_count; ++i) {
+    const float tx = static_cast<float>(texture_rng.uniform(0.02, 0.98)) * w;
+    const float th = static_cast<float>(texture_rng.uniform(0.10, 0.30)) * h;
+    draw_tree(img, tx, horizon_y + static_cast<float>(texture_rng.uniform(2.0, 14.0)),
+              th, texture_rng());
+  }
+
+  // Walkway trapezoid: wide at the bottom, narrow at the horizon.
+  Color surface;
+  switch (spec.environment) {
+    case Environment::kFootpath: surface = {0.58f, 0.56f, 0.54f}; break;
+    case Environment::kPath: surface = {0.52f, 0.44f, 0.33f}; break;
+    case Environment::kRoadside: surface = {0.24f, 0.24f, 0.26f}; break;
+  }
+  const float cx = 0.5f * w;
+  const float near_half = 0.58f * w;
+  const float far_half = 0.06f * w;
+  fill_polygon(img,
+               {{cx - far_half, horizon_y},
+                {cx + far_half, horizon_y},
+                {cx + near_half, static_cast<float>(h)},
+                {cx - near_half, static_cast<float>(h)}},
+               surface);
+
+  if (spec.environment == Environment::kFootpath) {
+    // Paving joints.
+    for (int i = 1; i <= 6; ++i) {
+      const float t = static_cast<float>(i) / 7.0f;
+      const float y = horizon_y + t * t * (h - horizon_y);
+      const float half = far_half + t * t * (near_half - far_half);
+      draw_line(img, cx - half, y, cx + half, y, surface.scaled(0.85f),
+                std::max(1.0f, 2.0f * t));
+    }
+  } else if (spec.environment == Environment::kRoadside) {
+    // Kerb line + dashed centre marking.
+    draw_line(img, cx - near_half * 0.8f, static_cast<float>(h),
+              cx - far_half * 0.8f, horizon_y, Color{0.62f, 0.62f, 0.6f},
+              2.5f);
+    for (int i = 0; i < 5; ++i) {
+      const float t0 = 0.12f + 0.17f * static_cast<float>(i);
+      const float t1 = t0 + 0.07f;
+      const float y0 = horizon_y + t0 * t0 * (h - horizon_y);
+      const float y1 = horizon_y + t1 * t1 * (h - horizon_y);
+      draw_line(img, cx + (far_half + t0 * t0 * (near_half - far_half)) * 0.3f,
+                y0, cx + (far_half + t1 * t1 * (near_half - far_half)) * 0.3f,
+                y1, Color{0.85f, 0.85f, 0.8f}, std::max(1.5f, 3.0f * t0));
+    }
+  }
+
+  // Ground speckle texture.
+  const int speckles = w * h / 160;
+  for (int i = 0; i < speckles; ++i) {
+    const int sx = static_cast<int>(texture_rng.uniform_int(0, w - 1));
+    const int sy = static_cast<int>(
+        texture_rng.uniform_int(static_cast<int>(horizon_y), h - 1));
+    const float gain = 0.9f + static_cast<float>(texture_rng.uniform(0.0, 0.2));
+    Color c = img.pixel(sy, sx);
+    img.set_pixel(sy, sx, c.scaled(gain));
+  }
+}
+
+struct Actor {
+  enum class Kind { kPedestrian, kBicycle, kCar, kVip } kind;
+  float abs_depth;
+  std::size_t index;
+};
+
+}  // namespace
+
+RenderedFrame render_scene_clean(const SceneSpec& spec, int width,
+                                 int height, Rng& rng) {
+  RenderedFrame frame;
+  frame.image = Image(width, height, 3);
+  Image& img = frame.image;
+
+  Rng texture_rng(spec.texture_seed);
+  draw_environment(img, spec, texture_rng);
+
+  // Depth-sort actors (far → near); the VIP sits at depth factor 1.
+  std::vector<Actor> actors;
+  for (std::size_t i = 0; i < spec.pedestrians.size(); ++i)
+    actors.push_back({Actor::Kind::kPedestrian,
+                      spec.pedestrians[i].depth * spec.vip_distance, i});
+  for (std::size_t i = 0; i < spec.bicycles.size(); ++i)
+    actors.push_back({Actor::Kind::kBicycle,
+                      spec.bicycles[i].depth * spec.vip_distance, i});
+  for (std::size_t i = 0; i < spec.cars.size(); ++i)
+    actors.push_back(
+        {Actor::Kind::kCar, spec.cars[i].depth * spec.vip_distance, i});
+  actors.push_back({Actor::Kind::kVip, spec.vip_distance, 0});
+  std::sort(actors.begin(), actors.end(),
+            [](const Actor& a, const Actor& b) {
+              return a.abs_depth > b.abs_depth;
+            });
+
+  Box vest_box;
+  for (const Actor& actor : actors) {
+    const float fy = ground_y(actor.abs_depth, spec.horizon, height);
+    switch (actor.kind) {
+      case Actor::Kind::kPedestrian: {
+        const PedestrianSpec& p = spec.pedestrians[actor.index];
+        HumanoidStyle style;
+        style.vest = false;
+        style.shirt = muted_palette(p.palette);
+        style.trousers = muted_palette(p.palette * 7u + 3u).scaled(0.7f);
+        style.skin = skin_tone(p.palette >> 8);
+        draw_humanoid(img, p.x * static_cast<float>(width), fy,
+                      person_height(actor.abs_depth, height), p.sway, style);
+        break;
+      }
+      case Actor::Kind::kBicycle: {
+        const BicycleSpec& b = spec.bicycles[actor.index];
+        draw_bicycle(img, b.x * static_cast<float>(width), fy,
+                     person_height(actor.abs_depth, height), b.palette);
+        break;
+      }
+      case Actor::Kind::kCar: {
+        const CarSpec& c = spec.cars[actor.index];
+        draw_car(img, c.x * static_cast<float>(width), fy,
+                 person_height(actor.abs_depth, height), c.palette);
+        break;
+      }
+      case Actor::Kind::kVip: {
+        HumanoidStyle style;
+        style.vest = true;
+        style.trousers = Color{0.22f, 0.24f, 0.3f};
+        style.shirt = Color{0.35f, 0.35f, 0.4f};
+        style.skin = skin_tone(static_cast<std::uint32_t>(spec.texture_seed));
+        // Camera height shifts the VIP's vertical anchor slightly.
+        const float fy_vip =
+            fy + (1.5f - spec.camera_height) * 0.05f * static_cast<float>(height);
+        const float fx =
+            (0.5f + 0.4f * spec.vip_lateral) * static_cast<float>(width);
+        vest_box = draw_humanoid(
+            img, fx, fy_vip, person_height(actor.abs_depth, height),
+            spec.vip_sway, style);
+        break;
+      }
+    }
+  }
+
+  // Global illumination + mild sensor noise.
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img.data()[i] = std::clamp(img.data()[i] * spec.daylight, 0.0f, 1.0f);
+  add_gaussian_noise(img, 0.012f, rng);
+
+  frame.vest.box = vest_box.clipped(static_cast<float>(width),
+                                    static_cast<float>(height));
+  frame.vest.class_id = kHazardVestClass;
+  frame.vest_visible = frame.vest.box.valid() && frame.vest.box.area() >= 4.0f;
+  (void)kTau;
+  return frame;
+}
+
+Image render_depth(const SceneSpec& spec, int width, int height) {
+  constexpr float kFarDepth = 30.0f;
+  Image depth(width, height, 1, kFarDepth);
+  const float horizon_y = spec.horizon * static_cast<float>(height);
+
+  // Ground plane: invert ground_y to recover distance per scanline.
+  for (int y = static_cast<int>(horizon_y); y < height; ++y) {
+    const float t = (static_cast<float>(y) / static_cast<float>(height) -
+                     spec.horizon) /
+                    (1.0f - spec.horizon);
+    const float d = 2.0f / std::clamp(t, 0.067f, 1.0f);
+    for (int x = 0; x < width; ++x) depth.at(0, y, x) = d;
+  }
+
+  // Actors overwrite pixels they cover with their own distance.
+  auto stamp = [&](float cx_frac, float abs_d, float half_w_frac) {
+    const float fy = ground_y(abs_d, spec.horizon, height);
+    const float h = person_height(abs_d, height);
+    const int x0 = static_cast<int>((cx_frac - half_w_frac) * width);
+    const int x1 = static_cast<int>((cx_frac + half_w_frac) * width);
+    const int y0 = static_cast<int>(fy - h);
+    const int y1 = static_cast<int>(fy);
+    for (int y = std::max(0, y0); y < std::min(height, y1); ++y)
+      for (int x = std::max(0, x0); x < std::min(width, x1); ++x)
+        depth.at(0, y, x) = std::min(depth.at(0, y, x), abs_d);
+  };
+  for (const PedestrianSpec& p : spec.pedestrians)
+    stamp(p.x, p.depth * spec.vip_distance, 0.04f);
+  for (const BicycleSpec& b : spec.bicycles)
+    stamp(b.x, b.depth * spec.vip_distance, 0.06f);
+  for (const CarSpec& c : spec.cars)
+    stamp(c.x, c.depth * spec.vip_distance, 0.10f);
+  stamp(0.5f + 0.4f * spec.vip_lateral, spec.vip_distance, 0.045f);
+  return depth;
+}
+
+RenderedFrame render_scene(const SceneSpec& spec, int width, int height,
+                           Rng& rng) {
+  RenderedFrame frame = render_scene_clean(spec, width, height, rng);
+  if (spec.corruption != Corruption::kNone)
+    apply_corruption(frame, spec.corruption, spec.corruption_strength, rng);
+  return frame;
+}
+
+}  // namespace ocb::dataset

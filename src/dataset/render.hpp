@@ -1,0 +1,37 @@
+// Procedural frame renderer.
+//
+// Substitutes for the DJI Tello's 720p camera: turns a SceneSpec into an
+// RGB frame plus the ground-truth hazard-vest annotation (the paper
+// annotates the "neon hazard vest" region, not the whole person).
+#pragma once
+
+#include "dataset/scene.hpp"
+#include "detect/box.hpp"
+#include "image/image.hpp"
+
+namespace ocb::dataset {
+
+struct RenderedFrame {
+  Image image;
+  Annotation vest;          ///< ground-truth vest box (class 0)
+  bool vest_visible = true; ///< false if a crop removed the vest entirely
+};
+
+/// Render a scene at the given resolution. Corruptions declared in the
+/// spec are applied (they can move/shrink the annotation box).
+RenderedFrame render_scene(const SceneSpec& spec, int width, int height,
+                           Rng& rng);
+
+/// Render without applying the spec's corruption (used by the
+/// adversarial tests to compare clean vs. corrupted frames).
+RenderedFrame render_scene_clean(const SceneSpec& spec, int width,
+                                 int height, Rng& rng);
+
+/// Ground-truth depth proxy for a scene: a single-channel image whose
+/// values are metres to the nearest surface per pixel (ground plane +
+/// actors at their scene distances). Stands in for Monodepth2's output
+/// in the application-layer examples — the paper treats the depth model
+/// as a black box.
+Image render_depth(const SceneSpec& spec, int width, int height);
+
+}  // namespace ocb::dataset

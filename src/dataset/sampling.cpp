@@ -1,0 +1,77 @@
+#include "dataset/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace ocb::dataset {
+
+namespace {
+/// Split `pool` 80:20 into train/val and classify the remainder of the
+/// dataset into the two test sets.
+void finalize(const DatasetGenerator& generator,
+              std::vector<Sample> selected, SplitResult& out, Rng& rng) {
+  rng.shuffle(selected);
+  const std::size_t val_count = selected.size() / 5;  // 20%
+  out.val.assign(selected.begin(),
+                 selected.begin() + static_cast<std::ptrdiff_t>(val_count));
+  out.train.assign(selected.begin() + static_cast<std::ptrdiff_t>(val_count),
+                   selected.end());
+
+  // Anything not selected is test, partitioned diverse vs adversarial.
+  auto key = [](const Sample& s) {
+    return (static_cast<std::uint64_t>(s.video_id) << 32) |
+           static_cast<std::uint64_t>(s.frame_index);
+  };
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(selected.size());
+  for (const Sample& s : selected) chosen.push_back(key(s));
+  std::sort(chosen.begin(), chosen.end());
+
+  for (const Sample& s : generator.samples()) {
+    if (std::binary_search(chosen.begin(), chosen.end(), key(s))) continue;
+    if (s.category == Category::kAdversarial)
+      out.test_adversarial.push_back(s);
+    else
+      out.test_diverse.push_back(s);
+  }
+}
+}  // namespace
+
+SplitResult curated_split(const DatasetGenerator& generator, double fraction,
+                          Rng& rng) {
+  OCB_CHECK_MSG(fraction > 0.0 && fraction < 1.0,
+                "curated fraction must be in (0, 1)");
+  SplitResult out;
+  std::vector<Sample> selected;
+  for (const CategoryInfo& info : category_table()) {
+    std::vector<Sample> pool = generator.samples_in(info.category);
+    const std::size_t want = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::lround(pool.size() * fraction)));
+    std::vector<Sample> picked = subsample(pool, want, rng);
+    selected.insert(selected.end(), picked.begin(), picked.end());
+  }
+  finalize(generator, std::move(selected), out, rng);
+  return out;
+}
+
+SplitResult random_split(const DatasetGenerator& generator,
+                         std::size_t train_count, Rng& rng) {
+  SplitResult out;
+  std::vector<Sample> selected =
+      subsample(generator.samples(), train_count, rng);
+  finalize(generator, std::move(selected), out, rng);
+  return out;
+}
+
+std::vector<Sample> subsample(const std::vector<Sample>& samples,
+                              std::size_t count, Rng& rng) {
+  std::vector<Sample> pool = samples;
+  rng.shuffle(pool);
+  if (count < pool.size()) pool.resize(count);
+  return pool;
+}
+
+}  // namespace ocb::dataset

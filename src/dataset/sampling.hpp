@@ -1,0 +1,38 @@
+// Train/test sampling strategies (paper §3.1).
+//
+// The paper's *curated* training set samples ≈10% from each of the 12
+// scene categories (3,866 images), split 80:20 into train/val; the
+// remaining images form the test pool, reported separately as the
+// "diverse" (23,543) and "adversarial" (3,805) sets. Fig 1 contrasts
+// this against a *random* 1k sample.
+#pragma once
+
+#include <vector>
+
+#include "dataset/generator.hpp"
+
+namespace ocb::dataset {
+
+struct SplitResult {
+  std::vector<Sample> train;
+  std::vector<Sample> val;
+  std::vector<Sample> test_diverse;      ///< non-adversarial held-out
+  std::vector<Sample> test_adversarial;  ///< adversarial held-out
+};
+
+/// Curated split: stratified `fraction` of every category → train+val
+/// (80:20); everything else is test.
+SplitResult curated_split(const DatasetGenerator& generator, double fraction,
+                          Rng& rng);
+
+/// Random split: `train_count` images drawn uniformly at random with no
+/// stratification (the paper's "1k random" baseline of Fig 1); same
+/// 80:20 train/val and the rest test.
+SplitResult random_split(const DatasetGenerator& generator,
+                         std::size_t train_count, Rng& rng);
+
+/// Uniform subsample without replacement (size capped at input size).
+std::vector<Sample> subsample(const std::vector<Sample>& samples,
+                              std::size_t count, Rng& rng);
+
+}  // namespace ocb::dataset

@@ -1,0 +1,138 @@
+#include "dataset/scene.hpp"
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace ocb::dataset {
+
+namespace {
+
+void add_pedestrians(SceneSpec& spec, Rng& rng, int lo, int hi) {
+  const int count = static_cast<int>(rng.uniform_int(lo, hi));
+  for (int i = 0; i < count; ++i) {
+    PedestrianSpec p;
+    p.x = static_cast<float>(rng.uniform(0.08, 0.92));
+    p.depth = static_cast<float>(rng.uniform(1.2, 4.0));
+    p.sway = static_cast<float>(rng.uniform(0.0, 6.28));
+    p.palette = static_cast<std::uint32_t>(rng());
+    spec.pedestrians.push_back(p);
+  }
+}
+
+void add_bicycles(SceneSpec& spec, Rng& rng, int lo, int hi) {
+  const int count = static_cast<int>(rng.uniform_int(lo, hi));
+  for (int i = 0; i < count; ++i) {
+    BicycleSpec b;
+    b.x = static_cast<float>(rng.uniform(0.1, 0.9));
+    b.depth = static_cast<float>(rng.uniform(1.3, 3.5));
+    b.palette = static_cast<std::uint32_t>(rng());
+    spec.bicycles.push_back(b);
+  }
+}
+
+void add_cars(SceneSpec& spec, Rng& rng, int lo, int hi) {
+  const int count = static_cast<int>(rng.uniform_int(lo, hi));
+  for (int i = 0; i < count; ++i) {
+    CarSpec c;
+    // Parked cars line the road edge.
+    c.x = static_cast<float>(rng.bernoulli(0.5) ? rng.uniform(0.02, 0.3)
+                                                : rng.uniform(0.7, 0.98));
+    c.depth = static_cast<float>(rng.uniform(1.5, 4.5));
+    c.palette = static_cast<std::uint32_t>(rng());
+    spec.cars.push_back(c);
+  }
+}
+
+Corruption pick_corruption(Rng& rng) {
+  switch (rng.uniform_int(0, 5)) {
+    case 0: return Corruption::kLowLight;
+    case 1: return Corruption::kBlur;
+    case 2: return Corruption::kMotionBlur;
+    case 3: return Corruption::kCrop;
+    case 4: return Corruption::kTilt;
+    default: return Corruption::kNoise;
+  }
+}
+
+}  // namespace
+
+SceneSpec sample_scene(Category category, Rng& rng) {
+  SceneSpec spec;
+  spec.category = category;
+
+  // kMixed and kAdversarial cover all environments; others are fixed.
+  if (category == Category::kMixed || category == Category::kAdversarial) {
+    const int env = static_cast<int>(rng.uniform_int(0, 2));
+    spec.environment = static_cast<Environment>(env);
+  } else {
+    spec.environment = category_environment(category);
+  }
+
+  // Handheld drone geometry from the paper's capture protocol:
+  // different heights and distances while following the proxy VIP.
+  spec.vip_distance = static_cast<float>(rng.uniform(1.6, 4.2));
+  spec.vip_lateral = static_cast<float>(rng.uniform(-0.55, 0.55));
+  spec.camera_height = static_cast<float>(rng.uniform(1.0, 2.2));
+  spec.vip_sway = static_cast<float>(rng.uniform(0.0, 6.28));
+  spec.daylight = static_cast<float>(rng.uniform(0.75, 1.1));
+  spec.horizon = static_cast<float>(rng.uniform(0.34, 0.50));
+  spec.texture_seed = rng();
+  spec.tree_count = static_cast<int>(rng.uniform_int(1, 5));
+  spec.building_count = static_cast<int>(rng.uniform_int(0, 2));
+
+  switch (category) {
+    case Category::kFootpathNoPedestrians:
+      break;
+    case Category::kFootpathPedestrians:
+      add_pedestrians(spec, rng, 1, 3);
+      break;
+    case Category::kFootpathUsual:
+      // "Usual surroundings": occasional distant pedestrian + clutter.
+      if (rng.bernoulli(0.3)) add_pedestrians(spec, rng, 1, 1);
+      spec.tree_count += 2;
+      break;
+    case Category::kPathBicycles:
+      add_bicycles(spec, rng, 1, 2);
+      break;
+    case Category::kPathPedestrians:
+      add_pedestrians(spec, rng, 1, 3);
+      break;
+    case Category::kPathPedestriansCycles:
+      add_pedestrians(spec, rng, 1, 2);
+      add_bicycles(spec, rng, 1, 2);
+      break;
+    case Category::kRoadsidePedestrians:
+      add_pedestrians(spec, rng, 1, 3);
+      break;
+    case Category::kRoadsideUsual:
+      if (rng.bernoulli(0.4)) add_cars(spec, rng, 1, 1);
+      spec.tree_count += 1;
+      break;
+    case Category::kRoadsideNoPedestrians:
+      break;
+    case Category::kRoadsideParkedCars:
+      add_cars(spec, rng, 1, 3);
+      break;
+    case Category::kMixed:
+      if (rng.bernoulli(0.55)) add_pedestrians(spec, rng, 1, 3);
+      if (rng.bernoulli(0.30)) add_bicycles(spec, rng, 1, 2);
+      if (spec.environment == Environment::kRoadside && rng.bernoulli(0.45))
+        add_cars(spec, rng, 1, 2);
+      break;
+    case Category::kAdversarial: {
+      // Adversarial frames start from a mixed-style scene and add a
+      // corruption; low light also dims the scene itself.
+      if (rng.bernoulli(0.5)) add_pedestrians(spec, rng, 1, 2);
+      if (rng.bernoulli(0.25)) add_bicycles(spec, rng, 1, 1);
+      spec.corruption = pick_corruption(rng);
+      spec.corruption_strength = static_cast<float>(rng.uniform(0.35, 1.0));
+      if (spec.corruption == Corruption::kLowLight)
+        spec.daylight = static_cast<float>(rng.uniform(0.2, 0.45));
+      break;
+    }
+  }
+  return spec;
+}
+
+}  // namespace ocb::dataset

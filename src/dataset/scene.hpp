@@ -1,0 +1,83 @@
+// Parametric scene specification.
+//
+// A SceneSpec fully determines one rendered frame: environment layout,
+// camera pose (the handheld drone at varying heights/distances), the
+// VIP's position, and the other actors in the field of view. The video
+// simulator (video.hpp) evolves a SceneSpec smoothly over time; the
+// renderer (render.hpp) turns it into pixels + annotation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/taxonomy.hpp"
+
+namespace ocb {
+class Rng;
+}
+
+namespace ocb::dataset {
+
+/// A non-VIP pedestrian in the field of view.
+struct PedestrianSpec {
+  float x = 0.5f;      ///< horizontal position, 0..1 of frame width
+  float depth = 2.0f;  ///< multiples of the VIP's distance (>1 = farther)
+  float sway = 0.0f;   ///< walking phase for limb articulation
+  std::uint32_t palette = 0;  ///< clothing color selector
+};
+
+struct BicycleSpec {
+  float x = 0.5f;
+  float depth = 2.0f;
+  std::uint32_t palette = 0;
+};
+
+struct CarSpec {
+  float x = 0.5f;
+  float depth = 2.5f;
+  std::uint32_t palette = 0;
+};
+
+/// Adversarial corruption kinds (paper: "low light, blur, cropped
+/// image, tilted orientations, etc.").
+enum class Corruption {
+  kNone,
+  kLowLight,
+  kBlur,
+  kMotionBlur,
+  kCrop,
+  kTilt,
+  kNoise,
+};
+
+struct SceneSpec {
+  Category category = Category::kMixed;
+  Environment environment = Environment::kFootpath;
+
+  // Camera / VIP geometry. The drone follows the VIP from behind at
+  // 1–4 m; distance controls apparent scale, height controls the
+  // vertical anchor, lateral the horizontal position.
+  float vip_distance = 2.5f;   ///< metres
+  float vip_lateral = 0.0f;    ///< -1..1 of half frame width
+  float camera_height = 1.5f;  ///< metres above ground
+  float vip_sway = 0.0f;       ///< walking phase
+
+  // Scene dressing.
+  float daylight = 1.0f;       ///< 0.25 dusk .. 1.15 bright noon
+  float horizon = 0.42f;       ///< horizon line as fraction of height
+  std::uint64_t texture_seed = 0;  ///< ground/backdrop clutter noise
+  int tree_count = 3;
+  int building_count = 1;
+
+  std::vector<PedestrianSpec> pedestrians;
+  std::vector<BicycleSpec> bicycles;
+  std::vector<CarSpec> cars;
+
+  Corruption corruption = Corruption::kNone;
+  float corruption_strength = 0.5f;  ///< 0..1
+};
+
+/// Sample a scene consistent with a Table 1 category.
+SceneSpec sample_scene(Category category, Rng& rng);
+
+}  // namespace ocb::dataset

@@ -1,0 +1,75 @@
+#include "dataset/taxonomy.hpp"
+
+#include "core/error.hpp"
+
+namespace ocb::dataset {
+
+const std::vector<CategoryInfo>& category_table() {
+  static const std::vector<CategoryInfo> kTable = {
+      {Category::kFootpathNoPedestrians, "Footpath", "No pedestrians", 2294},
+      {Category::kFootpathPedestrians, "Footpath", "Pedestrians in FoV", 1371},
+      {Category::kFootpathUsual, "Footpath", "Usual surroundings", 2115},
+      {Category::kPathBicycles, "Path", "Bicycles in FoV", 901},
+      {Category::kPathPedestrians, "Path", "Pedestrians in FoV", 1658},
+      {Category::kPathPedestriansCycles, "Path",
+       "Pedestrians & Cycles in FoV", 1057},
+      {Category::kRoadsidePedestrians, "Side of road", "Pedestrians in FoV",
+       1326},
+      {Category::kRoadsideUsual, "Side of road", "Usual Surroundings", 1887},
+      {Category::kRoadsideNoPedestrians, "Side of road",
+       "No pedestrians in FoV", 2022},
+      {Category::kRoadsideParkedCars, "Side of road", "Parked cars in FoV",
+       2527},
+      {Category::kMixed, "Mixed scenarios", "", 9169},
+      {Category::kAdversarial, "Adversarial scenarios",
+       "Low light, blur, cropped image, etc.", 4384},
+  };
+  return kTable;
+}
+
+const CategoryInfo& category_info(Category c) {
+  for (const CategoryInfo& info : category_table())
+    if (info.category == c) return info;
+  throw Error("unknown category");
+}
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kFootpathNoPedestrians: return "footpath/no_pedestrians";
+    case Category::kFootpathPedestrians: return "footpath/pedestrians";
+    case Category::kFootpathUsual: return "footpath/usual";
+    case Category::kPathBicycles: return "path/bicycles";
+    case Category::kPathPedestrians: return "path/pedestrians";
+    case Category::kPathPedestriansCycles: return "path/pedestrians_cycles";
+    case Category::kRoadsidePedestrians: return "roadside/pedestrians";
+    case Category::kRoadsideUsual: return "roadside/usual";
+    case Category::kRoadsideNoPedestrians: return "roadside/no_pedestrians";
+    case Category::kRoadsideParkedCars: return "roadside/parked_cars";
+    case Category::kMixed: return "mixed";
+    case Category::kAdversarial: return "adversarial";
+  }
+  return "?";
+}
+
+Environment category_environment(Category c) {
+  switch (c) {
+    case Category::kFootpathNoPedestrians:
+    case Category::kFootpathPedestrians:
+    case Category::kFootpathUsual:
+      return Environment::kFootpath;
+    case Category::kPathBicycles:
+    case Category::kPathPedestrians:
+    case Category::kPathPedestriansCycles:
+      return Environment::kPath;
+    default:
+      return Environment::kRoadside;
+  }
+}
+
+int paper_total_images() {
+  int total = 0;
+  for (const CategoryInfo& info : category_table()) total += info.paper_count;
+  return total;
+}
+
+}  // namespace ocb::dataset

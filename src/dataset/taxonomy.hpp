@@ -1,0 +1,55 @@
+// The Ocularone dataset taxonomy (paper Table 1).
+//
+// 43 drone videos were categorised into footpath / path / road-side
+// scenes with sub-categories for pedestrians, bicycles, parked cars and
+// "usual surroundings", plus mixed and adversarial groups — 30,711
+// annotated images in total. The synthetic generator reproduces this
+// taxonomy with counts scaled by a configurable factor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ocb::dataset {
+
+enum class Category {
+  kFootpathNoPedestrians,      // 1a
+  kFootpathPedestrians,        // 1b
+  kFootpathUsual,              // 1c
+  kPathBicycles,               // 2a
+  kPathPedestrians,            // 2b
+  kPathPedestriansCycles,      // 2c
+  kRoadsidePedestrians,        // 3a
+  kRoadsideUsual,              // 3b
+  kRoadsideNoPedestrians,      // 3c
+  kRoadsideParkedCars,         // 3d
+  kMixed,                      // 4
+  kAdversarial,                // 5
+};
+
+inline constexpr int kCategoryCount = 12;
+
+/// The walking-surface environment implied by the category.
+enum class Environment { kFootpath, kPath, kRoadside };
+
+struct CategoryInfo {
+  Category category;
+  std::string group;        ///< "Footpath", "Path", "Side of road", ...
+  std::string sub;          ///< "No pedestrians", ...
+  int paper_count;          ///< annotated images in Table 1
+};
+
+/// All categories in Table 1 order; counts sum to 30,711.
+const std::vector<CategoryInfo>& category_table();
+
+const CategoryInfo& category_info(Category c);
+const char* category_name(Category c);
+
+/// Environment used when rendering a category. kMixed/kAdversarial draw
+/// a random environment per image, so this returns the default.
+Environment category_environment(Category c);
+
+/// Total image count at the paper's scale.
+int paper_total_images();
+
+}  // namespace ocb::dataset

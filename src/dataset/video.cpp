@@ -1,0 +1,92 @@
+#include "dataset/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace ocb::dataset {
+
+namespace {
+/// Band-limited oscillation: two incommensurate sinusoids with random
+/// phase/amplitude — smooth, deterministic, and non-repeating over a
+/// clip's duration.
+struct Wobble {
+  float a1, w1, p1, a2, w2, p2;
+
+  static Wobble sample(Rng& rng, float amplitude) {
+    Wobble w;
+    w.a1 = amplitude * static_cast<float>(rng.uniform(0.5, 1.0));
+    w.w1 = static_cast<float>(rng.uniform(0.05, 0.2));
+    w.p1 = static_cast<float>(rng.uniform(0.0, 6.28));
+    w.a2 = amplitude * static_cast<float>(rng.uniform(0.15, 0.4));
+    w.w2 = static_cast<float>(rng.uniform(0.3, 0.8));
+    w.p2 = static_cast<float>(rng.uniform(0.0, 6.28));
+    return w;
+  }
+
+  float at(float t) const noexcept {
+    return a1 * std::sin(w1 * t + p1) + a2 * std::sin(w2 * t + p2);
+  }
+};
+}  // namespace
+
+SceneSpec clip_frame(const VideoClip& clip, int index) {
+  // Base scene + trajectory parameters are derived only from the seed,
+  // so every frame of the clip is independently addressable.
+  Rng base_rng(clip.seed);
+  SceneSpec spec = sample_scene(clip.category, base_rng);
+
+  Rng traj_rng(hash_combine(clip.seed, 0x7261'6a65ULL));
+  const Wobble dist = Wobble::sample(traj_rng, 0.8f);
+  const Wobble lateral = Wobble::sample(traj_rng, 0.3f);
+  const Wobble height = Wobble::sample(traj_rng, 0.35f);
+  const Wobble light = Wobble::sample(traj_rng, 0.05f);
+
+  const float t = static_cast<float>(index) / kExtractFps;  // seconds
+  spec.vip_distance = std::clamp(spec.vip_distance + dist.at(t), 1.4f, 4.5f);
+  spec.vip_lateral = std::clamp(spec.vip_lateral + lateral.at(t), -0.8f, 0.8f);
+  spec.camera_height =
+      std::clamp(spec.camera_height + height.at(t), 0.9f, 2.4f);
+  spec.daylight = std::clamp(spec.daylight + light.at(t), 0.15f, 1.2f);
+  // Walking cadence ~1.8 steps/s.
+  spec.vip_sway += 1.8f * 6.2831853f * t;
+
+  // Actors drift: pedestrians walk, bicycles ride past.
+  for (std::size_t i = 0; i < spec.pedestrians.size(); ++i) {
+    PedestrianSpec& p = spec.pedestrians[i];
+    Rng arng(hash_combine(clip.seed, 100 + i));
+    const float vx = static_cast<float>(arng.uniform(-0.02, 0.02));
+    p.x = std::clamp(p.x + vx * t, 0.03f, 0.97f);
+    p.sway += 1.8f * 6.2831853f * t;
+    p.depth = std::clamp(
+        p.depth + static_cast<float>(arng.uniform(-0.08, 0.08)) * t, 1.1f,
+        5.0f);
+  }
+  for (std::size_t i = 0; i < spec.bicycles.size(); ++i) {
+    BicycleSpec& bike = spec.bicycles[i];
+    Rng arng(hash_combine(clip.seed, 200 + i));
+    const float vx = static_cast<float>(arng.uniform(-0.06, 0.06));
+    bike.x = std::clamp(bike.x + vx * t, 0.03f, 0.97f);
+  }
+
+  // Per-frame corruption strength varies a little within a clip.
+  if (spec.corruption != Corruption::kNone) {
+    Rng crng(hash_combine(clip.seed, static_cast<std::uint64_t>(index)));
+    spec.corruption_strength = std::clamp(
+        spec.corruption_strength +
+            static_cast<float>(crng.uniform(-0.15, 0.15)),
+        0.1f, 1.0f);
+  }
+  return spec;
+}
+
+std::vector<SceneSpec> extract_frames(const VideoClip& clip) {
+  std::vector<SceneSpec> frames;
+  frames.reserve(static_cast<std::size_t>(clip.extracted_frames));
+  for (int i = 0; i < clip.extracted_frames; ++i)
+    frames.push_back(clip_frame(clip, i));
+  return frames;
+}
+
+}  // namespace ocb::dataset

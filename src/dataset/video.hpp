@@ -1,0 +1,38 @@
+// Video trajectory simulation.
+//
+// The paper's capture protocol: 43 clips of 1–2 minutes, 30 FPS drone
+// camera, frames extracted at 10 FPS with moviepy. We simulate each
+// clip as a smoothly-evolving SceneSpec — the camera/VIP geometry and
+// actors move along band-limited trajectories — and "extract" frames by
+// sampling the trajectory at 10 FPS, which yields the temporal
+// correlation real video frames have.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/scene.hpp"
+
+namespace ocb::dataset {
+
+inline constexpr int kCaptureFps = 30;
+inline constexpr int kExtractFps = 10;
+
+struct VideoClip {
+  int id = 0;
+  Category category = Category::kMixed;
+  std::uint64_t seed = 0;   ///< determines base scene + trajectories
+  int extracted_frames = 0; ///< frames at kExtractFps
+  double duration_s() const noexcept {
+    return static_cast<double>(extracted_frames) / kExtractFps;
+  }
+};
+
+/// Scene spec of extracted frame `index` (0-based) of a clip. Pure
+/// function of (clip.seed, index) — no mutable trajectory state.
+SceneSpec clip_frame(const VideoClip& clip, int index);
+
+/// All extracted frames of a clip.
+std::vector<SceneSpec> extract_frames(const VideoClip& clip);
+
+}  // namespace ocb::dataset

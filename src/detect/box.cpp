@@ -1,0 +1,35 @@
+#include "detect/box.hpp"
+
+#include <algorithm>
+
+namespace ocb {
+
+float Box::area() const noexcept {
+  return valid() ? width() * height() : 0.0f;
+}
+
+Box Box::clipped(float w, float h) const noexcept {
+  Box out;
+  out.x0 = std::clamp(x0, 0.0f, w);
+  out.y0 = std::clamp(y0, 0.0f, h);
+  out.x1 = std::clamp(x1, 0.0f, w);
+  out.y1 = std::clamp(y1, 0.0f, h);
+  return out;
+}
+
+Box Box::from_center(float cx, float cy, float w, float h) noexcept {
+  return {cx - 0.5f * w, cy - 0.5f * h, cx + 0.5f * w, cy + 0.5f * h};
+}
+
+float iou(const Box& a, const Box& b) noexcept {
+  const float ix0 = std::max(a.x0, b.x0);
+  const float iy0 = std::max(a.y0, b.y0);
+  const float ix1 = std::min(a.x1, b.x1);
+  const float iy1 = std::min(a.y1, b.y1);
+  if (ix1 <= ix0 || iy1 <= iy0) return 0.0f;
+  const float inter = (ix1 - ix0) * (iy1 - iy0);
+  const float uni = a.area() + b.area() - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+}  // namespace ocb

@@ -1,0 +1,48 @@
+// Bounding boxes and detections.
+//
+// Boxes use corner form (x0, y0, x1, y1) in pixels, matching the
+// Roboflow annotation convention the paper describes (top-left +
+// bottom-right corners).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ocb {
+
+struct Box {
+  float x0 = 0.0f, y0 = 0.0f, x1 = 0.0f, y1 = 0.0f;
+
+  float width() const noexcept { return x1 - x0; }
+  float height() const noexcept { return y1 - y0; }
+  float area() const noexcept;
+  float cx() const noexcept { return 0.5f * (x0 + x1); }
+  float cy() const noexcept { return 0.5f * (y0 + y1); }
+  bool valid() const noexcept { return x1 > x0 && y1 > y0; }
+
+  /// Clip to an image of the given size.
+  Box clipped(float width, float height) const noexcept;
+
+  static Box from_center(float cx, float cy, float w, float h) noexcept;
+};
+
+/// Intersection-over-union; 0 when either box is degenerate.
+float iou(const Box& a, const Box& b) noexcept;
+
+/// One detection: box + confidence + class id.
+struct Detection {
+  Box box;
+  float confidence = 0.0f;
+  int class_id = 0;
+};
+
+/// Ground-truth object annotation (class + box), Roboflow-style.
+struct Annotation {
+  Box box;
+  int class_id = 0;
+};
+
+/// Class id of the single Ocularone target class.
+inline constexpr int kHazardVestClass = 0;
+
+}  // namespace ocb

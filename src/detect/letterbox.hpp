@@ -1,0 +1,26 @@
+// Letterbox preprocessing (aspect-preserving resize + pad), the standard
+// YOLO input transform, plus the inverse mapping for boxes.
+#pragma once
+
+#include "detect/box.hpp"
+#include "image/image.hpp"
+
+namespace ocb {
+
+struct LetterboxInfo {
+  float scale = 1.0f;  ///< source → target scale factor
+  float pad_x = 0.0f;  ///< left padding in target pixels
+  float pad_y = 0.0f;  ///< top padding in target pixels
+};
+
+/// Resize `src` into a `size`×`size` canvas preserving aspect ratio,
+/// padding with neutral grey (0.447 — Ultralytics' 114/255).
+Image letterbox(const Image& src, int size, LetterboxInfo& info);
+
+/// Map a box from letterboxed coordinates back to source coordinates.
+Box unletterbox_box(const Box& box, const LetterboxInfo& info) noexcept;
+
+/// Map a box from source coordinates into letterboxed coordinates.
+Box letterbox_box(const Box& box, const LetterboxInfo& info) noexcept;
+
+}  // namespace ocb

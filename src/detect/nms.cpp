@@ -1,0 +1,47 @@
+#include "detect/nms.hpp"
+
+#include <algorithm>
+
+namespace ocb {
+
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           float iou_threshold) {
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.confidence > b.confidence;
+            });
+  std::vector<Detection> kept;
+  std::vector<bool> suppressed(detections.size(), false);
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    if (suppressed[i]) continue;
+    kept.push_back(detections[i]);
+    for (std::size_t j = i + 1; j < detections.size(); ++j) {
+      if (suppressed[j]) continue;
+      if (detections[j].class_id != detections[i].class_id) continue;
+      if (iou(detections[i].box, detections[j].box) > iou_threshold)
+        suppressed[j] = true;
+    }
+  }
+  return kept;
+}
+
+std::vector<Detection> filter_confidence(std::vector<Detection> detections,
+                                         float min_confidence) {
+  std::erase_if(detections, [min_confidence](const Detection& d) {
+    return d.confidence < min_confidence;
+  });
+  return detections;
+}
+
+int argmax_confidence(const std::vector<Detection>& detections) noexcept {
+  int best = -1;
+  float best_conf = -1.0f;
+  for (std::size_t i = 0; i < detections.size(); ++i)
+    if (detections[i].confidence > best_conf) {
+      best_conf = detections[i].confidence;
+      best = static_cast<int>(i);
+    }
+  return best;
+}
+
+}  // namespace ocb

@@ -1,0 +1,24 @@
+// Non-maximum suppression and confidence filtering.
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace ocb {
+
+/// Class-aware greedy NMS: keep the highest-confidence detection, drop
+/// same-class detections overlapping it above `iou_threshold`, repeat.
+/// The paper uses the Ultralytics default IoU threshold of 0.7.
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           float iou_threshold = 0.7f);
+
+/// Drop detections below the confidence threshold.
+std::vector<Detection> filter_confidence(std::vector<Detection> detections,
+                                         float min_confidence);
+
+/// Highest-confidence detection, or nullptr-like empty optional pattern:
+/// returns index into `detections`, or -1 when empty.
+int argmax_confidence(const std::vector<Detection>& detections) noexcept;
+
+}  // namespace ocb

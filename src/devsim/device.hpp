@@ -1,0 +1,53 @@
+// Device models: the three NVIDIA Jetson boards of Table 3 plus the
+// RTX 4090 workstation (§4.1).
+//
+// Static specs come straight from Table 3. The *effective* execution
+// parameters (sustained FLOP/s, memory bandwidth, launch overhead,
+// per-frame host overhead) are calibration constants representing
+// PyTorch 2.0 FP32 eager-mode execution — the paper's own measured
+// environment — and are documented per device below. The roofline model
+// (roofline.hpp) consumes them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ocb::devsim {
+
+enum class DeviceId { kOrinAgx, kXavierNx, kOrinNano, kRtx4090 };
+
+struct DeviceSpec {
+  DeviceId id;
+  std::string name;        ///< "Orin AGX"
+  std::string short_name;  ///< "o-agx" (the paper's axis labels)
+  std::string gpu_arch;    ///< "Ampere" / "Volta"
+  int cuda_cores;
+  int tensor_cores;
+  double ram_gb;
+  double peak_power_w;
+  double price_usd;
+  std::string jetpack;     ///< "6.1" etc.; "-" for the workstation
+  std::string cuda;
+
+  // --- calibrated effective execution parameters (FP32 eager) ---
+  double eff_gflops;        ///< sustained compute throughput
+  double eff_bw_gbps;       ///< sustained memory bandwidth
+  double kernel_overhead_us;///< per-kernel launch cost
+  double frame_overhead_ms; ///< per-frame host-side cost (pre/post)
+
+  /// Theoretical FP32 peak (2 FLOP/core/cycle at boost clock).
+  double peak_gflops(double boost_ghz) const noexcept {
+    return cuda_cores * 2.0 * boost_ghz;
+  }
+};
+
+/// The three Jetson boards (Table 3 order) + the RTX 4090.
+const std::vector<DeviceSpec>& device_table();
+
+const DeviceSpec& device_spec(DeviceId id);
+const DeviceSpec& device_by_short_name(const std::string& short_name);
+
+/// The edge subset (Fig 5's x-axes).
+std::vector<DeviceId> edge_devices();
+
+}  // namespace ocb::devsim

@@ -1,0 +1,62 @@
+#include "devsim/roofline.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace ocb::devsim {
+
+double op_compute_efficiency(nn::OpKind kind) noexcept {
+  using nn::OpKind;
+  switch (kind) {
+    case OpKind::kConv:
+    case OpKind::kDeconv:
+    case OpKind::kLinear:
+      return 1.0;   // GEMM-shaped: the calibration anchor
+    case OpKind::kDwConv:
+      return 0.35;  // low arithmetic intensity
+    case OpKind::kMaxPool:
+    case OpKind::kGlobalAvgPool:
+      return 0.25;
+    case OpKind::kUpsample:
+    case OpKind::kConcat:
+    case OpKind::kSlice:
+    case OpKind::kAdd:
+      return 0.15;  // bandwidth-bound elementwise/copy
+    case OpKind::kInput:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double layer_latency_ms(const nn::LayerProfile& layer,
+                        const DeviceSpec& device,
+                        const RooflineOptions& options) {
+  if (layer.kind == nn::OpKind::kInput) return 0.0;
+  OCB_CHECK_MSG(options.batch >= 1, "batch must be >= 1");
+
+  const double batch = static_cast<double>(options.batch);
+  const double eff =
+      op_compute_efficiency(layer.kind) * options.precision_speedup;
+  const double compute_s =
+      batch * layer.flops / (device.eff_gflops * 1e9 * eff);
+  const double bytes = batch * static_cast<double>(layer.in_bytes +
+                                                   layer.out_bytes) +
+                       static_cast<double>(layer.weight_bytes);
+  const double memory_s = bytes / (device.eff_bw_gbps * 1e9);
+  const double launch_s = device.kernel_overhead_us * 1e-6;
+  // Per-frame cost: the batch amortises launch overhead.
+  return (std::max(compute_s, memory_s) + launch_s) / batch * 1e3;
+}
+
+double model_latency_ms(const nn::ModelProfile& profile,
+                        const DeviceSpec& device,
+                        const RooflineOptions& options) {
+  double total = 0.0;
+  for (const nn::LayerProfile& layer : profile.layers)
+    total += layer_latency_ms(layer, device, options);
+  if (options.include_frame_overhead) total += device.frame_overhead_ms;
+  return total;
+}
+
+}  // namespace ocb::devsim

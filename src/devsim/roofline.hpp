@@ -1,0 +1,35 @@
+// Roofline latency model.
+//
+// Each layer contributes max(compute time, memory time) + launch
+// overhead; the frame adds a host-side constant. Per-op efficiency
+// factors capture that GEMM-backed convolutions reach a much larger
+// fraction of peak than elementwise/memory ops do — the standard
+// roofline refinement for DNN inference.
+#pragma once
+
+#include "devsim/device.hpp"
+#include "nn/profile.hpp"
+
+namespace ocb::devsim {
+
+struct RooflineOptions {
+  double precision_speedup = 1.0;  ///< 2.0 models FP16/TensorRT
+  int batch = 1;                   ///< batch amortises launch overhead
+  bool include_frame_overhead = true;
+};
+
+/// Fraction of the device's sustained compute an op kind achieves.
+double op_compute_efficiency(nn::OpKind kind) noexcept;
+
+/// Latency of a single layer on a device (milliseconds).
+double layer_latency_ms(const nn::LayerProfile& layer,
+                        const DeviceSpec& device,
+                        const RooflineOptions& options = {});
+
+/// Deterministic end-to-end latency of one frame (milliseconds):
+/// sum of layer latencies + per-frame host overhead.
+double model_latency_ms(const nn::ModelProfile& profile,
+                        const DeviceSpec& device,
+                        const RooflineOptions& options = {});
+
+}  // namespace ocb::devsim

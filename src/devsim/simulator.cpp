@@ -1,0 +1,53 @@
+#include "devsim/simulator.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace ocb::devsim {
+
+std::vector<double> simulate_latencies(const nn::ModelProfile& profile,
+                                       const DeviceSpec& device, int frames,
+                                       Rng& rng,
+                                       const RooflineOptions& options,
+                                       const JitterModel& jitter) {
+  OCB_CHECK_MSG(frames > 0, "frames must be positive");
+  const double base = model_latency_ms(profile, device, options);
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    double latency = base * rng.lognormal(0.0, jitter.sigma);
+    if (f < jitter.warmup_frames)
+      latency *= jitter.warmup_scale;
+    else if (rng.bernoulli(jitter.straggler_prob))
+      latency *= jitter.straggler_scale;
+    out.push_back(latency);
+  }
+  return out;
+}
+
+Summary simulate_summary(const nn::ModelProfile& profile,
+                         const DeviceSpec& device, int frames, Rng& rng,
+                         const RooflineOptions& options,
+                         const JitterModel& jitter) {
+  const std::vector<double> samples =
+      simulate_latencies(profile, device, frames, rng, options, jitter);
+  return summarize(samples);
+}
+
+bool fits_in_memory(const nn::ModelProfile& profile,
+                    const DeviceSpec& device) noexcept {
+  constexpr double kRuntimeReserveGb = 2.5;  // CUDA context + framework
+  const double weights_gb =
+      static_cast<double>(profile.total_weight_bytes()) / 1e9;
+  // Peak live activations are a fraction of the total traffic; use the
+  // largest single layer in/out as the proxy.
+  double peak_act = 0.0;
+  for (const auto& layer : profile.layers)
+    peak_act = std::max(
+        peak_act, static_cast<double>(layer.in_bytes + layer.out_bytes));
+  return weights_gb + peak_act / 1e9 + kRuntimeReserveGb <= device.ram_gb;
+}
+
+}  // namespace ocb::devsim

@@ -1,0 +1,45 @@
+// Per-frame latency distribution simulation.
+//
+// The paper benchmarks ~1,000 frames per (model, device) and reports
+// box plots (Figs 5–6). Real per-frame latencies jitter around the
+// deterministic roofline value: thermal/DVFS noise (log-normal
+// multiplicative) plus occasional straggler frames (GC, page faults,
+// contention). The simulator draws a sample of frames accordingly.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "devsim/roofline.hpp"
+
+namespace ocb::devsim {
+
+struct JitterModel {
+  double sigma = 0.06;            ///< log-normal sigma of per-frame noise
+  double straggler_prob = 0.015;  ///< chance a frame is a straggler
+  double straggler_scale = 1.8;   ///< straggler latency multiplier
+  double warmup_frames = 3;       ///< first frames pay extra (JIT, cache)
+  double warmup_scale = 2.5;
+};
+
+/// Simulate `frames` per-frame latencies (ms) for one model on one
+/// device. Deterministic in `rng`.
+std::vector<double> simulate_latencies(const nn::ModelProfile& profile,
+                                       const DeviceSpec& device, int frames,
+                                       Rng& rng,
+                                       const RooflineOptions& options = {},
+                                       const JitterModel& jitter = {});
+
+/// Convenience: simulate and summarise (median/quartiles/p95).
+Summary simulate_summary(const nn::ModelProfile& profile,
+                         const DeviceSpec& device, int frames, Rng& rng,
+                         const RooflineOptions& options = {},
+                         const JitterModel& jitter = {});
+
+/// Whether the model's weights fit the device's RAM (with a fixed
+/// runtime reserve) — Orin-class boards share RAM with the CPU.
+bool fits_in_memory(const nn::ModelProfile& profile,
+                    const DeviceSpec& device) noexcept;
+
+}  // namespace ocb::devsim

@@ -1,0 +1,50 @@
+#include "eval/matcher.hpp"
+
+#include <algorithm>
+
+namespace ocb::eval {
+
+MatchResult match_detections(const std::vector<Detection>& detections,
+                             const std::vector<Annotation>& truths,
+                             float iou_threshold) {
+  MatchResult result;
+  std::vector<bool> claimed(truths.size(), false);
+
+  std::vector<std::size_t> order(detections.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return detections[a].confidence > detections[b].confidence;
+  });
+
+  for (std::size_t k : order) {
+    const Detection& det = detections[k];
+    float best_iou = iou_threshold;
+    std::ptrdiff_t best = -1;
+    for (std::size_t t = 0; t < truths.size(); ++t) {
+      if (claimed[t] || truths[t].class_id != det.class_id) continue;
+      const float overlap = iou(det.box, truths[t].box);
+      if (overlap >= best_iou) {
+        best_iou = overlap;
+        best = static_cast<std::ptrdiff_t>(t);
+      }
+    }
+    if (best >= 0) {
+      claimed[static_cast<std::size_t>(best)] = true;
+      ++result.true_positives;
+    } else {
+      ++result.false_positives;
+    }
+  }
+  for (bool c : claimed)
+    if (!c) ++result.false_negatives;
+  return result;
+}
+
+MatchResult& operator+=(MatchResult& lhs, const MatchResult& rhs) {
+  lhs.true_positives += rhs.true_positives;
+  lhs.false_positives += rhs.false_positives;
+  lhs.false_negatives += rhs.false_negatives;
+  return lhs;
+}
+
+}  // namespace ocb::eval

@@ -1,0 +1,27 @@
+// Detection ↔ ground-truth matching.
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace ocb::eval {
+
+struct MatchResult {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+};
+
+/// Greedy confidence-ordered matching: each detection claims the
+/// unmatched ground-truth box with the highest IoU ≥ `iou_threshold`
+/// of its own class; unclaimed detections are false positives,
+/// unclaimed truths are false negatives.
+MatchResult match_detections(const std::vector<Detection>& detections,
+                             const std::vector<Annotation>& truths,
+                             float iou_threshold = 0.5f);
+
+/// Accumulate another image's result.
+MatchResult& operator+=(MatchResult& lhs, const MatchResult& rhs);
+
+}  // namespace ocb::eval

@@ -1,0 +1,25 @@
+#include "eval/metrics.hpp"
+
+namespace ocb::eval {
+
+Metrics compute_metrics(const MatchResult& counts,
+                        std::size_t correct_images, std::size_t images) {
+  Metrics m;
+  m.counts = counts;
+  m.images = images;
+  const double tp = static_cast<double>(counts.true_positives);
+  const double fp = static_cast<double>(counts.false_positives);
+  const double fn = static_cast<double>(counts.false_negatives);
+  m.precision = tp + fp > 0.0 ? tp / (tp + fp) : 0.0;
+  m.recall = tp + fn > 0.0 ? tp / (tp + fn) : 0.0;
+  m.f1 = m.precision + m.recall > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  m.accuracy = images > 0
+                   ? static_cast<double>(correct_images) /
+                         static_cast<double>(images)
+                   : 0.0;
+  return m;
+}
+
+}  // namespace ocb::eval

@@ -1,0 +1,28 @@
+// Detection metrics.
+//
+// The paper reports precision and notes that "since there are no false
+// positives, precision equals accuracy" (§4.2); we report precision,
+// recall, F1 and that same single-object accuracy definition.
+#pragma once
+
+#include "eval/matcher.hpp"
+
+namespace ocb::eval {
+
+struct Metrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// Fraction of images whose single ground-truth vest was correctly
+  /// detected with no false positive — the paper's "accuracy".
+  double accuracy = 0.0;
+  std::size_t images = 0;
+  MatchResult counts;
+};
+
+/// Metrics from accumulated match counts; `correct_images` is the
+/// number of images detected perfectly, for the accuracy column.
+Metrics compute_metrics(const MatchResult& counts,
+                        std::size_t correct_images, std::size_t images);
+
+}  // namespace ocb::eval

@@ -1,0 +1,108 @@
+#include "eval/pr_curve.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace ocb::eval {
+
+PrCurveBuilder::PrCurveBuilder(float iou_threshold)
+    : iou_threshold_(iou_threshold) {
+  OCB_CHECK_MSG(iou_threshold > 0.0f && iou_threshold <= 1.0f,
+                "IoU threshold must be in (0, 1]");
+}
+
+void PrCurveBuilder::add_image(const std::vector<Detection>& detections,
+                               const std::vector<Annotation>& truths) {
+  total_truths_ += truths.size();
+
+  std::vector<std::size_t> order(detections.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return detections[a].confidence > detections[b].confidence;
+  });
+
+  std::vector<bool> claimed(truths.size(), false);
+  for (std::size_t k : order) {
+    const Detection& det = detections[k];
+    float best_iou = iou_threshold_;
+    std::ptrdiff_t best = -1;
+    for (std::size_t t = 0; t < truths.size(); ++t) {
+      if (claimed[t] || truths[t].class_id != det.class_id) continue;
+      const float overlap = iou(det.box, truths[t].box);
+      if (overlap >= best_iou) {
+        best_iou = overlap;
+        best = static_cast<std::ptrdiff_t>(t);
+      }
+    }
+    const bool tp = best >= 0;
+    if (tp) claimed[static_cast<std::size_t>(best)] = true;
+    samples_.push_back({det.confidence, tp});
+  }
+}
+
+std::vector<PrPoint> PrCurveBuilder::curve() const {
+  std::vector<Sample> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Sample& a, const Sample& b) {
+              return a.confidence > b.confidence;
+            });
+  std::vector<PrPoint> points;
+  std::size_t tp = 0, fp = 0;
+  for (const Sample& s : sorted) {
+    if (s.is_tp)
+      ++tp;
+    else
+      ++fp;
+    PrPoint point;
+    point.threshold = s.confidence;
+    point.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    point.recall = total_truths_ > 0
+                       ? static_cast<double>(tp) /
+                             static_cast<double>(total_truths_)
+                       : 0.0;
+    points.push_back(point);
+  }
+  return points;
+}
+
+double PrCurveBuilder::average_precision() const {
+  const auto points = curve();
+  if (points.empty() || total_truths_ == 0) return 0.0;
+
+  // All-point interpolation: precision envelope from the right, then
+  // sum precision · Δrecall.
+  std::vector<double> precision(points.size());
+  std::vector<double> recall(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    precision[i] = points[i].precision;
+    recall[i] = points[i].recall;
+  }
+  for (std::size_t i = precision.size() - 1; i-- > 0;)
+    precision[i] = std::max(precision[i], precision[i + 1]);
+
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ap += precision[i] * (recall[i] - prev_recall);
+    prev_recall = recall[i];
+  }
+  return ap;
+}
+
+PrPoint PrCurveBuilder::best_f1() const {
+  PrPoint best;
+  double best_f1 = -1.0;
+  for (const PrPoint& point : curve()) {
+    const double denom = point.precision + point.recall;
+    const double f1 =
+        denom > 0.0 ? 2.0 * point.precision * point.recall / denom : 0.0;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best = point;
+    }
+  }
+  return best;
+}
+
+}  // namespace ocb::eval

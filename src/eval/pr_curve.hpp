@@ -1,0 +1,53 @@
+// Precision–recall curves and average precision.
+//
+// The paper reports point estimates; this module adds the full PR sweep
+// (VOC-style all-point interpolation) so detector comparisons do not
+// depend on a single confidence threshold.
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace ocb::eval {
+
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// Accumulates scored detections across images and produces the curve.
+class PrCurveBuilder {
+ public:
+  explicit PrCurveBuilder(float iou_threshold = 0.5f);
+
+  /// Record one image's detections against its ground truth. Detections
+  /// are greedily matched (confidence order) exactly like
+  /// match_detections; each becomes a scored TP or FP sample.
+  void add_image(const std::vector<Detection>& detections,
+                 const std::vector<Annotation>& truths);
+
+  std::size_t total_truths() const noexcept { return total_truths_; }
+  std::size_t total_detections() const noexcept { return samples_.size(); }
+
+  /// PR points at every distinct confidence (descending threshold).
+  std::vector<PrPoint> curve() const;
+
+  /// Average precision: area under the interpolated PR curve.
+  double average_precision() const;
+
+  /// Best F1 over the curve and the threshold achieving it.
+  PrPoint best_f1() const;
+
+ private:
+  struct Sample {
+    float confidence;
+    bool is_tp;
+  };
+  float iou_threshold_;
+  std::vector<Sample> samples_;
+  std::size_t total_truths_ = 0;
+};
+
+}  // namespace ocb::eval

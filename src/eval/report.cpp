@@ -1,0 +1,65 @@
+#include "eval/report.hpp"
+
+namespace ocb::eval {
+
+Report::Report(std::string title) : title_(std::move(title)) {}
+
+void Report::add(const std::string& group, const MatchResult& result,
+                 bool correct) {
+  Bucket& bucket = buckets_[group];
+  bucket.counts += result;
+  ++bucket.images;
+  if (correct) ++bucket.correct;
+}
+
+Metrics Report::group_metrics(const std::string& group) const {
+  auto it = buckets_.find(group);
+  if (it == buckets_.end()) return {};
+  return compute_metrics(it->second.counts, it->second.correct,
+                         it->second.images);
+}
+
+Metrics Report::overall() const {
+  Bucket total;
+  for (const auto& [name, bucket] : buckets_) {
+    (void)name;
+    total.counts += bucket.counts;
+    total.images += bucket.images;
+    total.correct += bucket.correct;
+  }
+  return compute_metrics(total.counts, total.correct, total.images);
+}
+
+std::vector<std::string> Report::groups() const {
+  std::vector<std::string> out;
+  out.reserve(buckets_.size());
+  for (const auto& [name, bucket] : buckets_) {
+    (void)bucket;
+    out.push_back(name);
+  }
+  return out;
+}
+
+ResultTable Report::to_table() const {
+  ResultTable table(title_, {"group", "images", "precision %", "recall %",
+                             "accuracy %", "TP", "FP", "FN"});
+  auto emit = [&](const std::string& name, const Metrics& m) {
+    table.row()
+        .cell(name)
+        .cell(m.images)
+        .cell(m.precision * 100.0, 2)
+        .cell(m.recall * 100.0, 2)
+        .cell(m.accuracy * 100.0, 2)
+        .cell(m.counts.true_positives)
+        .cell(m.counts.false_positives)
+        .cell(m.counts.false_negatives);
+  };
+  for (const auto& [name, bucket] : buckets_) {
+    (void)bucket;
+    emit(name, group_metrics(name));
+  }
+  emit("TOTAL", overall());
+  return table;
+}
+
+}  // namespace ocb::eval

@@ -1,0 +1,38 @@
+// Per-category evaluation reports (the structure behind Figs 1/3/4).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/table.hpp"
+#include "eval/metrics.hpp"
+
+namespace ocb::eval {
+
+/// Accumulates per-group matching counts and renders a table.
+class Report {
+ public:
+  explicit Report(std::string title);
+
+  /// Record one image's result under a group label (e.g. a Table 1
+  /// category). `correct` means perfectly detected (TP, no FP).
+  void add(const std::string& group, const MatchResult& result, bool correct);
+
+  Metrics group_metrics(const std::string& group) const;
+  Metrics overall() const;
+  std::vector<std::string> groups() const;
+
+  /// Render as a ResultTable: one row per group + a Total row.
+  ResultTable to_table() const;
+
+ private:
+  struct Bucket {
+    MatchResult counts;
+    std::size_t images = 0;
+    std::size_t correct = 0;
+  };
+  std::string title_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace ocb::eval

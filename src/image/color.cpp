@@ -1,0 +1,54 @@
+#include "image/color.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ocb {
+
+Hsv rgb_to_hsv(const Color& rgb) noexcept {
+  const float mx = std::max({rgb.r, rgb.g, rgb.b});
+  const float mn = std::min({rgb.r, rgb.g, rgb.b});
+  const float delta = mx - mn;
+  Hsv out;
+  out.v = mx;
+  out.s = mx > 0.0f ? delta / mx : 0.0f;
+  if (delta < 1e-6f) {
+    out.h = 0.0f;
+  } else if (mx == rgb.r) {
+    out.h = 60.0f * std::fmod((rgb.g - rgb.b) / delta, 6.0f);
+  } else if (mx == rgb.g) {
+    out.h = 60.0f * ((rgb.b - rgb.r) / delta + 2.0f);
+  } else {
+    out.h = 60.0f * ((rgb.r - rgb.g) / delta + 4.0f);
+  }
+  if (out.h < 0.0f) out.h += 360.0f;
+  return out;
+}
+
+Color hsv_to_rgb(const Hsv& hsv) noexcept {
+  const float c = hsv.v * hsv.s;
+  const float hp = hsv.h / 60.0f;
+  const float x = c * (1.0f - std::fabs(std::fmod(hp, 2.0f) - 1.0f));
+  float r = 0, g = 0, b = 0;
+  if (hp < 1)      { r = c; g = x; }
+  else if (hp < 2) { r = x; g = c; }
+  else if (hp < 3) { g = c; b = x; }
+  else if (hp < 4) { g = x; b = c; }
+  else if (hp < 5) { r = x; b = c; }
+  else             { r = c; b = x; }
+  const float m = hsv.v - c;
+  return {r + m, g + m, b + m};
+}
+
+float luminance(const Color& rgb) noexcept {
+  return 0.2126f * rgb.r + 0.7152f * rgb.g + 0.0722f * rgb.b;
+}
+
+Color hazard_vest_color() noexcept {
+  // Fluorescent yellow-green: hue ~75°, full saturation, high value.
+  return hsv_to_rgb({75.0f, 0.95f, 1.0f});
+}
+
+Color vest_stripe_color() noexcept { return {0.82f, 0.82f, 0.85f}; }
+
+}  // namespace ocb

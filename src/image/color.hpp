@@ -1,0 +1,28 @@
+// Color-space conversions.
+//
+// The scene renderer keys the hazard vest on a high-chroma hue band;
+// HSV round-trips are also used by tests as invariants.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace ocb {
+
+struct Hsv {
+  float h = 0.0f;  ///< hue in degrees [0, 360)
+  float s = 0.0f;  ///< saturation [0, 1]
+  float v = 0.0f;  ///< value [0, 1]
+};
+
+Hsv rgb_to_hsv(const Color& rgb) noexcept;
+Color hsv_to_rgb(const Hsv& hsv) noexcept;
+
+/// Relative luminance (Rec. 709 weights).
+float luminance(const Color& rgb) noexcept;
+
+/// Neon "safety-yellow/green" used by hazard vests (EN ISO 20471 hue).
+Color hazard_vest_color() noexcept;
+/// Reflective grey stripe color on the vest.
+Color vest_stripe_color() noexcept;
+
+}  // namespace ocb

@@ -1,0 +1,129 @@
+#include "image/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ocb {
+
+void fill_gradient_vertical(Image& image, const Color& top,
+                            const Color& bottom) {
+  const int h = image.height();
+  for (int y = 0; y < h; ++y) {
+    const float t = h > 1 ? static_cast<float>(y) / static_cast<float>(h - 1)
+                          : 0.0f;
+    const Color c = top.mixed(bottom, t);
+    for (int x = 0; x < image.width(); ++x) image.set_pixel(y, x, c);
+  }
+}
+
+void fill_rect(Image& image, int x0, int y0, int x1, int y1,
+               const Color& color, float alpha) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, image.width());
+  y1 = std::min(y1, image.height());
+  for (int y = y0; y < y1; ++y)
+    for (int x = x0; x < x1; ++x)
+      if (alpha >= 1.0f)
+        image.set_pixel(y, x, color);
+      else
+        image.blend_pixel(y, x, color, alpha);
+}
+
+void fill_disc(Image& image, float cx, float cy, float radius,
+               const Color& color, float alpha) {
+  fill_ellipse(image, cx, cy, radius, radius, color, alpha);
+}
+
+void fill_ellipse(Image& image, float cx, float cy, float rx, float ry,
+                  const Color& color, float alpha) {
+  if (rx <= 0.0f || ry <= 0.0f) return;
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - ry)));
+  const int y1 = std::min(image.height() - 1, static_cast<int>(std::ceil(cy + ry)));
+  const int x0 = std::max(0, static_cast<int>(std::floor(cx - rx)));
+  const int x1 = std::min(image.width() - 1, static_cast<int>(std::ceil(cx + rx)));
+  for (int y = y0; y <= y1; ++y)
+    for (int x = x0; x <= x1; ++x) {
+      const float dx = (static_cast<float>(x) - cx) / rx;
+      const float dy = (static_cast<float>(y) - cy) / ry;
+      if (dx * dx + dy * dy <= 1.0f) {
+        if (alpha >= 1.0f)
+          image.set_pixel(y, x, color);
+        else
+          image.blend_pixel(y, x, color, alpha);
+      }
+    }
+}
+
+void fill_polygon(Image& image, const std::vector<Point2>& points,
+                  const Color& color, float alpha) {
+  if (points.size() < 3) return;
+  float miny = std::numeric_limits<float>::max();
+  float maxy = std::numeric_limits<float>::lowest();
+  for (const auto& p : points) {
+    miny = std::min(miny, p.y);
+    maxy = std::max(maxy, p.y);
+  }
+  const int y0 = std::max(0, static_cast<int>(std::floor(miny)));
+  const int y1 = std::min(image.height() - 1, static_cast<int>(std::ceil(maxy)));
+
+  std::vector<float> xs;
+  for (int y = y0; y <= y1; ++y) {
+    xs.clear();
+    const float fy = static_cast<float>(y) + 0.5f;
+    for (std::size_t i = 0, n = points.size(); i < n; ++i) {
+      const Point2& a = points[i];
+      const Point2& b = points[(i + 1) % n];
+      // Half-open rule: count edges crossing the scanline once.
+      if ((a.y <= fy && b.y > fy) || (b.y <= fy && a.y > fy)) {
+        const float t = (fy - a.y) / (b.y - a.y);
+        xs.push_back(a.x + t * (b.x - a.x));
+      }
+    }
+    std::sort(xs.begin(), xs.end());
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+      const int xa = std::max(0, static_cast<int>(std::ceil(xs[i] - 0.5f)));
+      const int xb = std::min(image.width() - 1,
+                              static_cast<int>(std::floor(xs[i + 1] - 0.5f)));
+      for (int x = xa; x <= xb; ++x) {
+        if (alpha >= 1.0f)
+          image.set_pixel(y, x, color);
+        else
+          image.blend_pixel(y, x, color, alpha);
+      }
+    }
+  }
+}
+
+void draw_line(Image& image, float x0, float y0, float x1, float y1,
+               const Color& color, float thickness, float alpha) {
+  const float dx = x1 - x0;
+  const float dy = y1 - y0;
+  const float len = std::sqrt(dx * dx + dy * dy);
+  if (len < 1e-6f) {
+    fill_disc(image, x0, y0, thickness * 0.5f, color, alpha);
+    return;
+  }
+  // Draw as a rotated rectangle (quad) plus rounded caps.
+  const float nx = -dy / len * thickness * 0.5f;
+  const float ny = dx / len * thickness * 0.5f;
+  fill_polygon(image,
+               {{x0 + nx, y0 + ny},
+                {x1 + nx, y1 + ny},
+                {x1 - nx, y1 - ny},
+                {x0 - nx, y0 - ny}},
+               color, alpha);
+  fill_disc(image, x0, y0, thickness * 0.5f, color, alpha);
+  fill_disc(image, x1, y1, thickness * 0.5f, color, alpha);
+}
+
+void stroke_rect(Image& image, int x0, int y0, int x1, int y1,
+                 const Color& color, int thickness) {
+  fill_rect(image, x0, y0, x1, y0 + thickness, color);
+  fill_rect(image, x0, y1 - thickness, x1, y1, color);
+  fill_rect(image, x0, y0, x0 + thickness, y1, color);
+  fill_rect(image, x1 - thickness, y0, x1, y1, color);
+}
+
+}  // namespace ocb

@@ -1,0 +1,43 @@
+// 2D drawing primitives used by the procedural scene renderer.
+#pragma once
+
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace ocb {
+
+struct Point2 {
+  float x = 0.0f, y = 0.0f;
+};
+
+/// Fill the whole image with a vertical gradient (top → bottom).
+void fill_gradient_vertical(Image& image, const Color& top,
+                            const Color& bottom);
+
+/// Fill an axis-aligned rectangle [x0,x1)×[y0,y1), clipped to the image.
+void fill_rect(Image& image, int x0, int y0, int x1, int y1,
+               const Color& color, float alpha = 1.0f);
+
+/// Fill a solid disc, clipped.
+void fill_disc(Image& image, float cx, float cy, float radius,
+               const Color& color, float alpha = 1.0f);
+
+/// Fill an ellipse with independent radii.
+void fill_ellipse(Image& image, float cx, float cy, float rx, float ry,
+                  const Color& color, float alpha = 1.0f);
+
+/// Fill a convex or concave simple polygon (even-odd scanline).
+void fill_polygon(Image& image, const std::vector<Point2>& points,
+                  const Color& color, float alpha = 1.0f);
+
+/// Draw a line of the given thickness.
+void draw_line(Image& image, float x0, float y0, float x1, float y1,
+               const Color& color, float thickness = 1.0f,
+               float alpha = 1.0f);
+
+/// Stroke an axis-aligned rectangle outline (used to visualise boxes).
+void stroke_rect(Image& image, int x0, int y0, int x1, int y1,
+                 const Color& color, int thickness = 1);
+
+}  // namespace ocb

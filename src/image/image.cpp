@@ -1,0 +1,110 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ocb {
+
+Image::Image(int width, int height, int channels, float fill)
+    : width_(width), height_(height), channels_(channels) {
+  OCB_CHECK_MSG(width > 0 && height > 0 && channels > 0,
+                "image dimensions must be positive");
+  data_.assign(static_cast<std::size_t>(width) * height * channels, fill);
+}
+
+float* Image::plane(int c) {
+  OCB_CHECK(c >= 0 && c < channels_);
+  return data_.data() + static_cast<std::size_t>(c) * width_ * height_;
+}
+
+const float* Image::plane(int c) const {
+  OCB_CHECK(c >= 0 && c < channels_);
+  return data_.data() + static_cast<std::size_t>(c) * width_ * height_;
+}
+
+float& Image::at(int c, int y, int x) {
+  OCB_CHECK_MSG(c >= 0 && c < channels_ && in_bounds(y, x),
+                "image index out of range");
+  return data_[(static_cast<std::size_t>(c) * height_ + y) * width_ + x];
+}
+
+float Image::at(int c, int y, int x) const {
+  OCB_CHECK_MSG(c >= 0 && c < channels_ && in_bounds(y, x),
+                "image index out of range");
+  return data_[(static_cast<std::size_t>(c) * height_ + y) * width_ + x];
+}
+
+float Image::sample_clamped(int c, int y, int x) const noexcept {
+  y = std::clamp(y, 0, height_ - 1);
+  x = std::clamp(x, 0, width_ - 1);
+  return data_[(static_cast<std::size_t>(c) * height_ + y) * width_ + x];
+}
+
+float Image::sample_bilinear(int c, float y, float x) const noexcept {
+  const float yc = std::clamp(y, 0.0f, static_cast<float>(height_ - 1));
+  const float xc = std::clamp(x, 0.0f, static_cast<float>(width_ - 1));
+  const int y0 = static_cast<int>(yc);
+  const int x0 = static_cast<int>(xc);
+  const int y1 = std::min(y0 + 1, height_ - 1);
+  const int x1 = std::min(x0 + 1, width_ - 1);
+  const float fy = yc - static_cast<float>(y0);
+  const float fx = xc - static_cast<float>(x0);
+  const float v00 = sample_clamped(c, y0, x0);
+  const float v01 = sample_clamped(c, y0, x1);
+  const float v10 = sample_clamped(c, y1, x0);
+  const float v11 = sample_clamped(c, y1, x1);
+  const float top = v00 + (v01 - v00) * fx;
+  const float bot = v10 + (v11 - v10) * fx;
+  return top + (bot - top) * fy;
+}
+
+Color Image::pixel(int y, int x) const {
+  OCB_CHECK_MSG(channels_ == 3, "pixel() requires an RGB image");
+  return {at(0, y, x), at(1, y, x), at(2, y, x)};
+}
+
+void Image::set_pixel(int y, int x, const Color& color) {
+  OCB_CHECK_MSG(channels_ == 3, "set_pixel() requires an RGB image");
+  at(0, y, x) = color.r;
+  at(1, y, x) = color.g;
+  at(2, y, x) = color.b;
+}
+
+void Image::blend_pixel(int y, int x, const Color& color, float alpha) {
+  if (!in_bounds(y, x)) return;
+  const Color base = pixel(y, x);
+  set_pixel(y, x, base.mixed(color, std::clamp(alpha, 0.0f, 1.0f)));
+}
+
+void Image::clamp01() noexcept {
+  for (float& v : data_) v = std::clamp(v, 0.0f, 1.0f);
+}
+
+std::vector<std::uint8_t> to_u8_interleaved(const Image& image) {
+  OCB_CHECK_MSG(!image.empty(), "export of empty image");
+  std::vector<std::uint8_t> out(
+      static_cast<std::size_t>(image.width()) * image.height() *
+      image.channels());
+  std::size_t i = 0;
+  for (int y = 0; y < image.height(); ++y)
+    for (int x = 0; x < image.width(); ++x)
+      for (int c = 0; c < image.channels(); ++c) {
+        const float v = std::clamp(image.at(c, y, x), 0.0f, 1.0f);
+        out[i++] = static_cast<std::uint8_t>(std::lround(v * 255.0f));
+      }
+  return out;
+}
+
+Image from_u8_interleaved(const std::uint8_t* rgb, int width, int height,
+                          int channels) {
+  OCB_CHECK_MSG(rgb != nullptr, "null pixel buffer");
+  Image image(width, height, channels);
+  std::size_t i = 0;
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      for (int c = 0; c < channels; ++c)
+        image.at(c, y, x) = static_cast<float>(rgb[i++]) / 255.0f;
+  return image;
+}
+
+}  // namespace ocb

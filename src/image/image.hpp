@@ -1,0 +1,79 @@
+// Planar float image container.
+//
+// Images are stored channel-planar (CHW) with float values in [0, 1] —
+// the same layout NN input tensors use, so dataset frames feed the
+// inference engine without a repack. Drawing/transform routines live in
+// draw.hpp / transform.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace ocb {
+
+/// RGB color with components in [0, 1].
+struct Color {
+  float r = 0.0f, g = 0.0f, b = 0.0f;
+
+  Color scaled(float k) const noexcept { return {r * k, g * k, b * k}; }
+  Color mixed(const Color& other, float t) const noexcept {
+    return {r + (other.r - r) * t, g + (other.g - g) * t,
+            b + (other.b - b) * t};
+  }
+};
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, int channels = 3, float fill = 0.0f);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  int channels() const noexcept { return channels_; }
+  bool empty() const noexcept { return data_.empty(); }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  float* plane(int c);
+  const float* plane(int c) const;
+
+  float& at(int c, int y, int x);
+  float at(int c, int y, int x) const;
+
+  /// Clamp-to-edge sample (integer coordinates).
+  float sample_clamped(int c, int y, int x) const noexcept;
+  /// Clamp-to-edge bilinear sample (continuous coordinates).
+  float sample_bilinear(int c, float y, float x) const noexcept;
+
+  /// Get/set an RGB pixel (requires channels() == 3).
+  Color pixel(int y, int x) const;
+  void set_pixel(int y, int x, const Color& color);
+  /// Alpha-blend `color` over the pixel.
+  void blend_pixel(int y, int x, const Color& color, float alpha);
+
+  /// Clamp every value into [0, 1].
+  void clamp01() noexcept;
+
+  bool in_bounds(int y, int x) const noexcept {
+    return y >= 0 && y < height_ && x >= 0 && x < width_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<float> data_;
+};
+
+/// Convert to interleaved 8-bit RGB (for PPM export).
+std::vector<std::uint8_t> to_u8_interleaved(const Image& image);
+
+/// Build an image from interleaved 8-bit RGB.
+Image from_u8_interleaved(const std::uint8_t* rgb, int width, int height,
+                          int channels = 3);
+
+}  // namespace ocb

@@ -1,0 +1,71 @@
+#include "image/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "image/color.hpp"
+
+namespace ocb {
+
+void write_ppm(const Image& image, const std::string& path) {
+  OCB_CHECK_MSG(image.channels() == 3, "write_ppm requires RGB");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+  const auto bytes = to_u8_interleaved(image);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw IoError("short write: " + path);
+}
+
+void write_pgm(const Image& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(static_cast<std::size_t>(image.width()) * image.height());
+  for (int y = 0; y < image.height(); ++y)
+    for (int x = 0; x < image.width(); ++x) {
+      float v;
+      if (image.channels() >= 3)
+        v = luminance(image.pixel(y, x));
+      else
+        v = image.at(0, y, x);
+      bytes.push_back(static_cast<std::uint8_t>(
+          std::lround(std::clamp(v, 0.0f, 1.0f) * 255.0f)));
+    }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw IoError("short write: " + path);
+}
+
+Image read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P6") throw IoError("not a binary PPM: " + path);
+  int width = 0, height = 0, maxval = 0;
+  // Skip comments between header tokens.
+  auto next_int = [&](int& value) {
+    while (in >> std::ws && in.peek() == '#') {
+      std::string comment;
+      std::getline(in, comment);
+    }
+    in >> value;
+  };
+  next_int(width);
+  next_int(height);
+  next_int(maxval);
+  if (!in || width <= 0 || height <= 0 || maxval != 255)
+    throw IoError("bad PPM header: " + path);
+  in.get();  // single whitespace after maxval
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(width) * height * 3);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in) throw IoError("short read: " + path);
+  return from_u8_interleaved(bytes.data(), width, height, 3);
+}
+
+}  // namespace ocb

@@ -1,0 +1,20 @@
+// Minimal netpbm I/O (binary P6/P5) for dataset export and debugging.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace ocb {
+
+/// Write an RGB image as binary PPM (P6). Throws IoError on failure.
+void write_ppm(const Image& image, const std::string& path);
+
+/// Write a single-channel image as binary PGM (P5); multi-channel inputs
+/// are converted to luminance first.
+void write_pgm(const Image& image, const std::string& path);
+
+/// Read a binary PPM (P6) back into a float image.
+Image read_ppm(const std::string& path);
+
+}  // namespace ocb

@@ -1,0 +1,177 @@
+#include "image/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace ocb {
+
+Image resize_bilinear(const Image& src, int out_width, int out_height) {
+  OCB_CHECK_MSG(out_width > 0 && out_height > 0, "resize to empty image");
+  Image dst(out_width, out_height, src.channels());
+  const float sx = static_cast<float>(src.width()) / static_cast<float>(out_width);
+  const float sy = static_cast<float>(src.height()) / static_cast<float>(out_height);
+  parallel_rows(static_cast<std::size_t>(out_height), [&](std::size_t row) {
+    const int y = static_cast<int>(row);
+    const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+    for (int x = 0; x < out_width; ++x) {
+      const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+      for (int c = 0; c < src.channels(); ++c)
+        dst.at(c, y, x) = src.sample_bilinear(c, fy, fx);
+    }
+  });
+  return dst;
+}
+
+namespace {
+std::vector<float> gaussian_kernel(float sigma) {
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0f * sigma)));
+  std::vector<float> k(static_cast<std::size_t>(2 * radius + 1));
+  float sum = 0.0f;
+  for (int i = -radius; i <= radius; ++i) {
+    const float v = std::exp(-0.5f * static_cast<float>(i * i) / (sigma * sigma));
+    k[static_cast<std::size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (float& v : k) v /= sum;
+  return k;
+}
+}  // namespace
+
+Image gaussian_blur(const Image& src, float sigma) {
+  if (sigma <= 0.0f) return src;
+  const auto kernel = gaussian_kernel(sigma);
+  const int radius = static_cast<int>(kernel.size() / 2);
+
+  Image tmp(src.width(), src.height(), src.channels());
+  // Horizontal pass.
+  parallel_rows(static_cast<std::size_t>(src.height()), [&](std::size_t row) {
+    const int y = static_cast<int>(row);
+    for (int c = 0; c < src.channels(); ++c)
+      for (int x = 0; x < src.width(); ++x) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i)
+          acc += kernel[static_cast<std::size_t>(i + radius)] *
+                 src.sample_clamped(c, y, x + i);
+        tmp.at(c, y, x) = acc;
+      }
+  });
+  // Vertical pass.
+  Image dst(src.width(), src.height(), src.channels());
+  parallel_rows(static_cast<std::size_t>(src.height()), [&](std::size_t row) {
+    const int y = static_cast<int>(row);
+    for (int c = 0; c < src.channels(); ++c)
+      for (int x = 0; x < src.width(); ++x) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i)
+          acc += kernel[static_cast<std::size_t>(i + radius)] *
+                 tmp.sample_clamped(c, y + i, x);
+        dst.at(c, y, x) = acc;
+      }
+  });
+  return dst;
+}
+
+Image adjust_brightness(const Image& src, float gain) {
+  Image dst = src;
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    dst.data()[i] = std::clamp(dst.data()[i] * gain, 0.0f, 1.0f);
+  return dst;
+}
+
+Image adjust_contrast(const Image& src, float gain) {
+  Image dst = src;
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    dst.data()[i] = std::clamp((dst.data()[i] - 0.5f) * gain + 0.5f, 0.0f, 1.0f);
+  return dst;
+}
+
+Image rotate(const Image& src, float degrees) {
+  const float rad = degrees * std::numbers::pi_v<float> / 180.0f;
+  const float cs = std::cos(rad);
+  const float sn = std::sin(rad);
+  const float cx = static_cast<float>(src.width() - 1) * 0.5f;
+  const float cy = static_cast<float>(src.height() - 1) * 0.5f;
+  Image dst(src.width(), src.height(), src.channels());
+  parallel_rows(static_cast<std::size_t>(src.height()), [&](std::size_t row) {
+    const int y = static_cast<int>(row);
+    for (int x = 0; x < src.width(); ++x) {
+      // Inverse mapping: rotate destination coords back into the source.
+      const float dx = static_cast<float>(x) - cx;
+      const float dy = static_cast<float>(y) - cy;
+      const float sx = cs * dx + sn * dy + cx;
+      const float sy = -sn * dx + cs * dy + cy;
+      for (int c = 0; c < src.channels(); ++c)
+        dst.at(c, y, x) = src.sample_bilinear(c, sy, sx);
+    }
+  });
+  return dst;
+}
+
+Image crop(const Image& src, int x0, int y0, int w, int h) {
+  const int cx0 = std::clamp(x0, 0, src.width() - 1);
+  const int cy0 = std::clamp(y0, 0, src.height() - 1);
+  const int cx1 = std::clamp(x0 + w, cx0 + 1, src.width());
+  const int cy1 = std::clamp(y0 + h, cy0 + 1, src.height());
+  Image dst(cx1 - cx0, cy1 - cy0, src.channels());
+  for (int c = 0; c < src.channels(); ++c)
+    for (int y = cy0; y < cy1; ++y)
+      for (int x = cx0; x < cx1; ++x)
+        dst.at(c, y - cy0, x - cx0) = src.at(c, y, x);
+  return dst;
+}
+
+void add_gaussian_noise(Image& image, float stddev, Rng& rng) {
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    const float noisy =
+        image.data()[i] + static_cast<float>(rng.normal(0.0, stddev));
+    image.data()[i] = std::clamp(noisy, 0.0f, 1.0f);
+  }
+}
+
+void add_salt_pepper(Image& image, float p, Rng& rng) {
+  const int pixels = image.width() * image.height();
+  for (int i = 0; i < pixels; ++i) {
+    if (!rng.bernoulli(p)) continue;
+    const float v = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    const int y = i / image.width();
+    const int x = i % image.width();
+    for (int c = 0; c < image.channels(); ++c) image.at(c, y, x) = v;
+  }
+}
+
+Image flip_horizontal(const Image& src) {
+  Image dst(src.width(), src.height(), src.channels());
+  for (int c = 0; c < src.channels(); ++c)
+    for (int y = 0; y < src.height(); ++y)
+      for (int x = 0; x < src.width(); ++x)
+        dst.at(c, y, x) = src.at(c, y, src.width() - 1 - x);
+  return dst;
+}
+
+Image motion_blur(const Image& src, float angle_degrees, int length) {
+  if (length <= 1) return src;
+  const float rad = angle_degrees * std::numbers::pi_v<float> / 180.0f;
+  const float dx = std::cos(rad);
+  const float dy = std::sin(rad);
+  Image dst(src.width(), src.height(), src.channels());
+  parallel_rows(static_cast<std::size_t>(src.height()), [&](std::size_t row) {
+    const int y = static_cast<int>(row);
+    for (int x = 0; x < src.width(); ++x)
+      for (int c = 0; c < src.channels(); ++c) {
+        float acc = 0.0f;
+        for (int i = 0; i < length; ++i) {
+          const float t = static_cast<float>(i) - static_cast<float>(length - 1) * 0.5f;
+          acc += src.sample_bilinear(c, static_cast<float>(y) + dy * t,
+                                     static_cast<float>(x) + dx * t);
+        }
+        dst.at(c, y, x) = acc / static_cast<float>(length);
+      }
+  });
+  return dst;
+}
+
+}  // namespace ocb

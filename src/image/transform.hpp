@@ -1,0 +1,45 @@
+// Image transforms: geometric, photometric and noise.
+//
+// These implement both the dataset pipeline (resize to model input) and
+// the paper's adversarial conditions — low light, blur, cropping and
+// tilted orientations (§2, Table 1 row 5).
+#pragma once
+
+#include "core/rng.hpp"
+#include "image/image.hpp"
+
+namespace ocb {
+
+/// Bilinear resize to the target size.
+Image resize_bilinear(const Image& src, int out_width, int out_height);
+
+/// Separable Gaussian blur; sigma <= 0 returns a copy.
+Image gaussian_blur(const Image& src, float sigma);
+
+/// Scale brightness (gain < 1 darkens — the paper's "low light").
+Image adjust_brightness(const Image& src, float gain);
+
+/// Contrast about mid-grey: out = (in - 0.5) * gain + 0.5.
+Image adjust_contrast(const Image& src, float gain);
+
+/// Rotate about the image centre by `degrees` (bilinear, edge-clamped)
+/// — the paper's "tilted orientations".
+Image rotate(const Image& src, float degrees);
+
+/// Crop the window [x0, x0+w)×[y0, y0+h); the window is clipped to the
+/// image and must retain a positive area.
+Image crop(const Image& src, int x0, int y0, int w, int h);
+
+/// Per-pixel additive Gaussian noise with the given stddev.
+void add_gaussian_noise(Image& image, float stddev, Rng& rng);
+
+/// Salt-and-pepper noise: each pixel flips to 0 or 1 with probability p.
+void add_salt_pepper(Image& image, float p, Rng& rng);
+
+/// Horizontal flip (augmentation).
+Image flip_horizontal(const Image& src);
+
+/// Simulated motion blur: average along a direction over `length` px.
+Image motion_blur(const Image& src, float angle_degrees, int length);
+
+}  // namespace ocb

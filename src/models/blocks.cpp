@@ -1,0 +1,159 @@
+#include "models/blocks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace ocb::models {
+
+using nn::Act;
+using nn::Graph;
+
+int scale_channels(int base, double width, int max_channels) {
+  const double capped = std::min(base, max_channels) * width;
+  // make_divisible(x, 8)
+  const int divisible =
+      std::max(8, static_cast<int>(std::ceil(capped / 8.0)) * 8);
+  return divisible;
+}
+
+int scale_depth(int base, double depth) {
+  return std::max(1, static_cast<int>(std::lround(base * depth)));
+}
+
+int conv_block(Graph& g, int src, int out_c, int k, int s,
+               const std::string& name) {
+  return g.conv(src, out_c, k, s, k / 2, Act::kSilu, name);
+}
+
+int bottleneck(Graph& g, int src, int in_c, int out_c, bool shortcut,
+               double e, const std::string& name) {
+  const int hidden = std::max(1, static_cast<int>(out_c * e));
+  int x = conv_block(g, src, hidden, 3, 1, name + ".cv1");
+  x = conv_block(g, x, out_c, 3, 1, name + ".cv2");
+  if (shortcut && in_c == out_c) x = g.add(src, x, name + ".add");
+  return x;
+}
+
+int c2f(Graph& g, int src, int in_c, int out_c, int n, bool shortcut,
+        const std::string& name) {
+  (void)in_c;
+  const int c = out_c / 2;
+  const int cv1 = conv_block(g, src, 2 * c, 1, 1, name + ".cv1");
+  const int y0 = g.slice(cv1, 0, c, name + ".split0");
+  int cur = g.slice(cv1, c, 2 * c, name + ".split1");
+  std::vector<int> ys = {y0, cur};
+  for (int i = 0; i < n; ++i) {
+    cur = bottleneck(g, cur, c, c, shortcut, 1.0,
+                     name + ".m" + std::to_string(i));
+    ys.push_back(cur);
+  }
+  const int cat = g.concat(ys, name + ".cat");
+  return conv_block(g, cat, out_c, 1, 1, name + ".cv2");
+}
+
+int c3k(Graph& g, int src, int in_c, int out_c, int n,
+        const std::string& name) {
+  const int c = out_c / 2;
+  const int cv1 = conv_block(g, src, c, 1, 1, name + ".cv1");
+  const int cv2 = conv_block(g, src, c, 1, 1, name + ".cv2");
+  (void)in_c;
+  int cur = cv1;
+  for (int i = 0; i < n; ++i)
+    cur = bottleneck(g, cur, c, c, true, 1.0, name + ".m" + std::to_string(i));
+  const int cat = g.concat({cur, cv2}, name + ".cat");
+  return conv_block(g, cat, out_c, 1, 1, name + ".cv3");
+}
+
+int c3k2(Graph& g, int src, int in_c, int out_c, int n, bool use_c3k,
+         bool shortcut, double e, const std::string& name) {
+  (void)in_c;
+  const int c = std::max(8, static_cast<int>(out_c * e));
+  const int cv1 = conv_block(g, src, 2 * c, 1, 1, name + ".cv1");
+  const int y0 = g.slice(cv1, 0, c, name + ".split0");
+  int cur = g.slice(cv1, c, 2 * c, name + ".split1");
+  std::vector<int> ys = {y0, cur};
+  for (int i = 0; i < n; ++i) {
+    if (use_c3k)
+      cur = c3k(g, cur, c, c, 2, name + ".c3k" + std::to_string(i));
+    else
+      cur = bottleneck(g, cur, c, c, shortcut, 1.0,
+                       name + ".m" + std::to_string(i));
+    ys.push_back(cur);
+  }
+  const int cat = g.concat(ys, name + ".cat");
+  return conv_block(g, cat, out_c, 1, 1, name + ".cv2");
+}
+
+int sppf(Graph& g, int src, int in_c, int out_c, const std::string& name) {
+  const int c = in_c / 2;
+  const int cv1 = conv_block(g, src, c, 1, 1, name + ".cv1");
+  const int p1 = g.maxpool(cv1, 5, 1, 2, name + ".pool1");
+  const int p2 = g.maxpool(p1, 5, 1, 2, name + ".pool2");
+  const int p3 = g.maxpool(p2, 5, 1, 2, name + ".pool3");
+  const int cat = g.concat({cv1, p1, p2, p3}, name + ".cat");
+  return conv_block(g, cat, out_c, 1, 1, name + ".cv2");
+}
+
+int c2psa(Graph& g, int src, int c, int n, const std::string& name) {
+  const int hidden = c / 2;
+  const int cv1 = conv_block(g, src, 2 * hidden, 1, 1, name + ".cv1");
+  const int a = g.slice(cv1, 0, hidden, name + ".split0");
+  int b = g.slice(cv1, hidden, 2 * hidden, name + ".split1");
+  const int num_heads = std::max(1, hidden / 64);
+  const int key_dim = std::max(1, (hidden / num_heads) / 2);
+  const int qkv_out = hidden + 2 * key_dim * num_heads;
+  for (int i = 0; i < n; ++i) {
+    const std::string p = name + ".psa" + std::to_string(i);
+    // Attention: qkv projection, positional-encoding dwconv (stands in
+    // for the parameter-free token mixing), output projection.
+    int attn = g.conv(b, qkv_out, 1, 1, 0, Act::kNone, p + ".qkv");
+    attn = g.conv(attn, hidden, 1, 1, 0, Act::kNone, p + ".mix");
+    attn = g.dwconv(attn, 3, 1, 1, Act::kNone, p + ".pe");
+    attn = g.conv(attn, hidden, 1, 1, 0, Act::kNone, p + ".proj");
+    b = g.add(b, attn, p + ".attn_add");
+    // FFN: expand ×2, contract.
+    int ffn = conv_block(g, b, hidden * 2, 1, 1, p + ".ffn1");
+    ffn = g.conv(ffn, hidden, 1, 1, 0, Act::kNone, p + ".ffn2");
+    b = g.add(b, ffn, p + ".ffn_add");
+  }
+  const int cat = g.concat({a, b}, name + ".cat");
+  return conv_block(g, cat, c, 1, 1, name + ".cv2");
+}
+
+namespace {
+int basic_block(Graph& g, int src, int in_c, int out_c, int stride,
+                const std::string& name) {
+  int x = g.conv(src, out_c, 3, stride, 1, nn::Act::kRelu, name + ".conv1");
+  x = g.conv(x, out_c, 3, 1, 1, nn::Act::kNone, name + ".conv2");
+  int identity = src;
+  if (stride != 1 || in_c != out_c)
+    identity =
+        g.conv(src, out_c, 1, stride, 0, nn::Act::kNone, name + ".down");
+  return g.add(x, identity, name + ".add", nn::Act::kRelu);
+}
+}  // namespace
+
+int resnet18_backbone(Graph& g, int src, std::vector<int>& out_stages) {
+  out_stages.clear();
+  int x = g.conv(src, 64, 7, 2, 3, Act::kRelu, "stem.conv");
+  out_stages.push_back(x);  // C1 (stride 2)
+  x = g.maxpool(x, 3, 2, 1, "stem.pool");
+
+  const int stage_channels[4] = {64, 128, 256, 512};
+  int in_c = 64;
+  for (int s = 0; s < 4; ++s) {
+    const int out_c = stage_channels[s];
+    const int stride = s == 0 ? 1 : 2;
+    x = basic_block(g, x, in_c, out_c, stride,
+                    "layer" + std::to_string(s + 1) + ".0");
+    x = basic_block(g, x, out_c, out_c, 1,
+                    "layer" + std::to_string(s + 1) + ".1");
+    in_c = out_c;
+    out_stages.push_back(x);  // C2..C5
+  }
+  return x;
+}
+
+}  // namespace ocb::models

@@ -1,0 +1,55 @@
+// Shared building blocks for the Ultralytics-style model builders.
+//
+// Naming follows the upstream modules (Conv, Bottleneck, C2f, C3k,
+// C3k2, SPPF, C2PSA) so the graphs can be audited against the YAML
+// definitions. BatchNorm is folded into the convolution (inference
+// form), so each "Conv" here is conv + bias + SiLU.
+#pragma once
+
+#include "nn/graph.hpp"
+
+namespace ocb::models {
+
+/// Ultralytics channel scaling: make_divisible(min(c, max_ch) * width, 8).
+int scale_channels(int base, double width, int max_channels);
+
+/// Depth scaling: max(1, round(n * depth)).
+int scale_depth(int base, double depth);
+
+/// Conv(c, k, s) with folded BN and SiLU.
+int conv_block(nn::Graph& g, int src, int out_c, int k, int s,
+               const std::string& name);
+
+/// Standard bottleneck: Conv3x3 → Conv3x3 (+ residual when shortcut and
+/// channels match). `e` is the hidden-channel expansion.
+int bottleneck(nn::Graph& g, int src, int in_c, int out_c, bool shortcut,
+               double e, const std::string& name);
+
+/// CSP bottleneck with 2 convolutions and n blocks (YOLOv8).
+int c2f(nn::Graph& g, int src, int in_c, int out_c, int n, bool shortcut,
+        const std::string& name);
+
+/// C3 block with kernel-3 bottlenecks (inner module of C3k2 for m/x).
+int c3k(nn::Graph& g, int src, int in_c, int out_c, int n,
+        const std::string& name);
+
+/// YOLOv11's C3k2: a C2f whose inner blocks are C3k (when use_c3k) or
+/// plain bottlenecks; `e` is the split-channel ratio (0.5 or 0.25).
+int c3k2(nn::Graph& g, int src, int in_c, int out_c, int n, bool use_c3k,
+         bool shortcut, double e, const std::string& name);
+
+/// Spatial pyramid pooling — fast (three chained 5×5 max pools).
+int sppf(nn::Graph& g, int src, int in_c, int out_c,
+         const std::string& name);
+
+/// C2PSA attention stage (YOLOv11). The parameterised convolutions
+/// (qkv / positional-encoding dwconv / projection / FFN) are built
+/// exactly; the parameter-free token-mixing matmul is approximated by
+/// the surrounding convs (see DESIGN.md §1).
+int c2psa(nn::Graph& g, int src, int c, int n, const std::string& name);
+
+/// ResNet-18 feature extractor (ImageNet stem, 4 stages). Returns the
+/// node ids of C1..C5 feature maps via `out_stages` (size 5).
+int resnet18_backbone(nn::Graph& g, int src, std::vector<int>& out_stages);
+
+}  // namespace ocb::models

@@ -1,0 +1,193 @@
+#include "models/mini_yolo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "detect/letterbox.hpp"
+#include "detect/nms.hpp"
+
+namespace ocb::models {
+
+const char* yolo_family_name(YoloFamily family) noexcept {
+  return family == YoloFamily::kV8 ? "YOLOv8" : "YOLOv11";
+}
+
+namespace {
+struct MiniScale {
+  double width;
+  int depth;  ///< refine blocks at grid resolution
+};
+
+MiniScale mini_scale(YoloFamily family, YoloSize size) {
+  // v11: deeper but narrower at the same size letter, mirroring the
+  // real family's parameter efficiency (Table 2: v11 < v8 params).
+  if (family == YoloFamily::kV11) {
+    switch (size) {
+      case YoloSize::kNano: return {0.4, 2};
+      case YoloSize::kMedium: return {0.8, 3};
+      case YoloSize::kXLarge: return {1.45, 4};
+    }
+  }
+  switch (size) {
+    case YoloSize::kNano: return {0.5, 1};
+    case YoloSize::kMedium: return {1.0, 2};
+    case YoloSize::kXLarge: return {1.75, 3};
+  }
+  return {1.0, 2};
+}
+
+int scaled(int base, double w) {
+  return std::max(4, static_cast<int>(std::lround(base * w)));
+}
+}  // namespace
+
+MiniYolo::MiniYolo(YoloFamily family, YoloSize size, MiniYoloConfig config,
+                   std::uint64_t seed)
+    : family_(family), size_(size), config_(config) {
+  OCB_CHECK_MSG(config.input_size % 8 == 0, "input_size must be a multiple of 8");
+  OCB_CHECK_MSG(config.grid == config.input_size / 8,
+                "grid must equal input_size / 8");
+  const MiniScale ms = mini_scale(family, size);
+  depth_ = ms.depth;
+
+  const int c1 = scaled(8, ms.width);
+  const int c2 = scaled(16, ms.width);
+  const int c3 = scaled(32, ms.width);
+
+  Rng rng(seed);
+  auto add_layer = [&](int in_c, int out_c, int k, bool pool) {
+    Tensor w({out_c, in_c, k, k});
+    w.init_he(rng, in_c * k * k);
+    Tensor b({1, out_c, 1, 1}, 0.0f);
+    weights_.push_back(ag::make_param(std::move(w)));
+    biases_.push_back(ag::make_param(std::move(b)));
+    strides_.push_back(1);
+    pooled_.push_back(pool);
+  };
+
+  add_layer(3, c1, 3, true);    // 64 → 32
+  add_layer(c1, c2, 3, true);   // 32 → 16
+  add_layer(c2, c3, 3, true);   // 16 → 8 (grid)
+  for (int i = 0; i < depth_; ++i) add_layer(c3, c3, 3, false);
+  add_layer(c3, 5, 1, false);   // head (no activation; raw logits)
+}
+
+std::size_t MiniYolo::param_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& w : weights_) total += w->value.numel();
+  for (const auto& b : biases_) total += b->value.numel();
+  return total;
+}
+
+ag::Var MiniYolo::forward(const Tensor& batch) const {
+  OCB_CHECK_MSG(batch.shape().c == 3 && batch.shape().h == config_.input_size &&
+                    batch.shape().w == config_.input_size,
+                "bad batch shape " + batch.shape().str());
+  ag::Var x = ag::make_input(batch);
+  const std::size_t layers = weights_.size();
+  for (std::size_t i = 0; i < layers; ++i) {
+    const int k = weights_[i]->value.shape().h;
+    x = ag::conv2d(x, weights_[i], biases_[i], 1, k / 2);
+    if (i + 1 < layers) x = ag::relu(x, 0.1f);  // leaky; head stays raw
+    if (pooled_[i]) x = ag::maxpool2x2(x);
+  }
+  return x;
+}
+
+std::vector<ag::Var> MiniYolo::parameters() const {
+  std::vector<ag::Var> params;
+  params.reserve(weights_.size() + biases_.size());
+  for (const auto& w : weights_) params.push_back(w);
+  for (const auto& b : biases_) params.push_back(b);
+  return params;
+}
+
+void MiniYolo::encode_targets(
+    const std::vector<std::vector<Annotation>>& truth, Tensor& target,
+    Tensor& obj_mask) const {
+  const int n = static_cast<int>(truth.size());
+  const int g = config_.grid;
+  const float stride = static_cast<float>(config_.input_size) / g;
+  const float base =
+      config_.base_box * static_cast<float>(config_.input_size);
+  target = Tensor({n, 5, g, g}, 0.0f);
+  obj_mask = Tensor({n, 1, g, g}, 0.0f);
+
+  for (int i = 0; i < n; ++i) {
+    for (const Annotation& ann : truth[static_cast<std::size_t>(i)]) {
+      if (!ann.box.valid()) continue;
+      const float cx = ann.box.cx();
+      const float cy = ann.box.cy();
+      int gx = static_cast<int>(cx / stride);
+      int gy = static_cast<int>(cy / stride);
+      gx = std::clamp(gx, 0, g - 1);
+      gy = std::clamp(gy, 0, g - 1);
+      obj_mask.at(i, 0, gy, gx) = 1.0f;
+      target.at(i, 0, gy, gx) = 1.0f;
+      target.at(i, 1, gy, gx) =
+          std::clamp(cx / stride - static_cast<float>(gx), 0.0f, 1.0f);
+      target.at(i, 2, gy, gx) =
+          std::clamp(cy / stride - static_cast<float>(gy), 0.0f, 1.0f);
+      target.at(i, 3, gy, gx) =
+          std::log(std::max(1.0f, ann.box.width()) / base);
+      target.at(i, 4, gy, gx) =
+          std::log(std::max(1.0f, ann.box.height()) / base);
+    }
+  }
+}
+
+std::vector<Detection> MiniYolo::decode(const Tensor& logits, int n,
+                                        float min_confidence) const {
+  const int g = config_.grid;
+  const float stride = static_cast<float>(config_.input_size) / g;
+  const float base =
+      config_.base_box * static_cast<float>(config_.input_size);
+  auto sig = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+
+  std::vector<Detection> out;
+  for (int gy = 0; gy < g; ++gy)
+    for (int gx = 0; gx < g; ++gx) {
+      const float obj = sig(logits.at(n, 0, gy, gx));
+      if (obj < min_confidence) continue;
+      const float cx = (static_cast<float>(gx) + sig(logits.at(n, 1, gy, gx))) * stride;
+      const float cy = (static_cast<float>(gy) + sig(logits.at(n, 2, gy, gx))) * stride;
+      const float bw =
+          std::exp(std::clamp(logits.at(n, 3, gy, gx), -4.0f, 2.0f)) * base;
+      const float bh =
+          std::exp(std::clamp(logits.at(n, 4, gy, gx), -4.0f, 2.0f)) * base;
+      Detection det;
+      det.box = Box::from_center(cx, cy, bw, bh)
+                    .clipped(static_cast<float>(config_.input_size),
+                             static_cast<float>(config_.input_size));
+      det.confidence = obj;
+      det.class_id = kHazardVestClass;
+      out.push_back(det);
+    }
+  // Adjacent-cell duplicates of a single object overlap less than the
+  // Ultralytics 0.7 default; the single-scale grid needs a tighter NMS.
+  return nms(std::move(out), 0.35f);
+}
+
+std::vector<Detection> MiniYolo::detect(const Image& image,
+                                        float min_confidence,
+                                        bool top1) const {
+  LetterboxInfo info;
+  const Image input = letterbox(image, config_.input_size, info);
+  Tensor batch({1, 3, config_.input_size, config_.input_size});
+  std::copy(input.data(), input.data() + input.size(), batch.data());
+
+  const ag::Var logits = forward(batch);
+  std::vector<Detection> dets = decode(logits->value, 0, min_confidence);
+  if (top1 && dets.size() > 1) {
+    const int best = argmax_confidence(dets);
+    dets = {dets[static_cast<std::size_t>(best)]};
+  }
+  for (Detection& d : dets)
+    d.box = unletterbox_box(d.box, info)
+                .clipped(static_cast<float>(image.width()),
+                         static_cast<float>(image.height()));
+  return dets;
+}
+
+}  // namespace ocb::models

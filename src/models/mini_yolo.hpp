@@ -1,0 +1,84 @@
+// MiniYolo: the *trainable* detector family for the accuracy
+// experiments (Figs 1, 3, 4).
+//
+// Training the full 640×640 YOLO graphs for 100 epochs is a multi-GPU
+// job; on this reproduction's CPU substrate we instead train real
+// convolutional single-shot detectors at reduced resolution whose
+// capacity scales with the same nano/medium/x-large idea: width and
+// depth multipliers. The paper's accuracy effects (curation, model
+// size vs. robustness) are *measured*, not asserted — see DESIGN.md §1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "autograd/optimizer.hpp"
+#include "detect/box.hpp"
+#include "image/image.hpp"
+#include "models/yolo_v8.hpp"  // YoloSize
+
+namespace ocb::models {
+
+/// Architecture family. The v11 minis follow YOLOv11's philosophy —
+/// deeper but narrower than the v8 mini at the same size letter.
+enum class YoloFamily { kV8, kV11 };
+
+const char* yolo_family_name(YoloFamily family) noexcept;
+
+struct MiniYoloConfig {
+  int input_size = 64;   ///< square input resolution
+  int grid = 8;          ///< output grid (input_size / 8)
+  float base_box = 0.6f; ///< anchor size as a fraction of input_size
+};
+
+/// Single-scale anchor-free grid detector with YOLO-style head
+/// (objectness + center offsets + log sizes), 5 output channels.
+class MiniYolo {
+ public:
+  MiniYolo(YoloFamily family, YoloSize size, MiniYoloConfig config,
+           std::uint64_t seed);
+
+  YoloFamily family() const noexcept { return family_; }
+  YoloSize size() const noexcept { return size_; }
+  const MiniYoloConfig& config() const noexcept { return config_; }
+  std::size_t param_count() const noexcept;
+
+  /// Forward a batch (N,3,S,S) → raw logits (N,5,G,G).
+  ag::Var forward(const Tensor& batch) const;
+
+  /// All trainable parameters (for the optimizer).
+  std::vector<ag::Var> parameters() const;
+
+  /// Run detection on one image (any size — letterboxed internally).
+  /// With `top1` (the Ocularone deployment mode) only the single
+  /// highest-confidence vest candidate is returned — the application
+  /// tracks exactly one VIP, and the paper's retrained models likewise
+  /// report no false positives.
+  std::vector<Detection> detect(const Image& image,
+                                float min_confidence = 0.5f,
+                                bool top1 = true) const;
+
+  /// Encode ground truth for a batch into (target, obj_mask) tensors
+  /// with the layout yolo_grid_loss expects.
+  void encode_targets(const std::vector<std::vector<Annotation>>& truth,
+                      Tensor& target, Tensor& obj_mask) const;
+
+  /// Decode raw logits for item `n` of a forward pass into detections
+  /// in model-input pixel coordinates.
+  std::vector<Detection> decode(const Tensor& logits, int n,
+                                float min_confidence) const;
+
+ private:
+  YoloFamily family_;
+  YoloSize size_;
+  MiniYoloConfig config_;
+  // conv stack: stem + 2 downsample convs + `depth` refine convs + head
+  std::vector<ag::Var> weights_;
+  std::vector<ag::Var> biases_;
+  std::vector<int> strides_;   ///< conv stride per layer (1; pooling separate)
+  std::vector<bool> pooled_;   ///< 2×2 pool after layer i?
+  int depth_ = 1;
+};
+
+}  // namespace ocb::models

@@ -1,0 +1,35 @@
+#include "models/monodepth2.hpp"
+
+#include "models/blocks.hpp"
+
+namespace ocb::models {
+
+using nn::Act;
+using nn::Graph;
+
+nn::Graph build_monodepth2(int input_w, int input_h) {
+  Graph g;
+  const int in = g.input(3, input_h, input_w);
+  std::vector<int> stages;
+  resnet18_backbone(g, in, stages);  // C1..C5 at strides 2,4,8,16,32
+
+  // Depth decoder: five upconv stages with encoder skips, ELU-like
+  // activations approximated by ReLU (parameter-identical).
+  const int dec_channels[5] = {256, 128, 64, 32, 16};
+  int x = stages[4];  // C5, 512 channels
+  for (int stage = 0; stage < 5; ++stage) {
+    const std::string p = "dec" + std::to_string(4 - stage);
+    const int c = dec_channels[stage];
+    x = g.conv(x, c, 3, 1, 1, Act::kRelu, p + ".upconv0");
+    x = g.upsample2x(x, p + ".up");
+    // Skip connection from the encoder at matching resolution
+    // (stages C4, C3, C2, C1 for the first four decoder stages).
+    if (stage < 4) x = g.concat({x, stages[3 - stage]}, p + ".skip");
+    x = g.conv(x, c, 3, 1, 1, Act::kRelu, p + ".upconv1");
+  }
+  const int disp = g.conv(x, 1, 3, 1, 1, Act::kSigmoid, "dispconv");
+  g.mark_output(disp);
+  return g;
+}
+
+}  // namespace ocb::models

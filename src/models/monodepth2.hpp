@@ -1,0 +1,15 @@
+// Monodepth2-style monocular depth estimation (ResNet-18 encoder +
+// skip-connected decoder), used by Ocularone for obstacle avoidance
+// (Table 2: 14.84 M params).
+#pragma once
+
+#include "nn/graph.hpp"
+
+namespace ocb::models {
+
+/// Build Monodepth2 at the given resolution (deployment default
+/// 640×192, the KITTI aspect the upstream model ships with).
+/// The full-resolution disparity map is the (single) marked output.
+nn::Graph build_monodepth2(int input_w = 640, int input_h = 192);
+
+}  // namespace ocb::models

@@ -1,0 +1,64 @@
+#include "models/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "models/monodepth2.hpp"
+#include "models/trt_pose.hpp"
+#include "models/yolo_v11.hpp"
+#include "models/yolo_v8.hpp"
+
+namespace ocb::models {
+
+const std::vector<ModelInfo>& model_table() {
+  static const std::vector<ModelInfo> kTable = {
+      {ModelId::kYoloV8n, "YOLOv8-n", "Vest Detection", 3.2, 5.95, 640, 640},
+      {ModelId::kYoloV8m, "YOLOv8-m", "Vest Detection", 25.9, 49.61, 640, 640},
+      {ModelId::kYoloV8x, "YOLOv8-x", "Vest Detection", 68.2, 130.38, 640, 640},
+      {ModelId::kYoloV11n, "YOLOv11-n", "Vest Detection", 2.6, 5.22, 640, 640},
+      {ModelId::kYoloV11m, "YOLOv11-m", "Vest Detection", 20.1, 38.64, 640, 640},
+      {ModelId::kYoloV11x, "YOLOv11-x", "Vest Detection", 56.9, 109.09, 640, 640},
+      {ModelId::kTrtPose, "trt_pose", "Pose Detection", 12.8, 25.0, 224, 224},
+      {ModelId::kMonodepth2, "Monodepth2", "Depth Estimation", 14.84, 98.7,
+       320, 1024},
+  };
+  return kTable;
+}
+
+const ModelInfo& model_info(ModelId id) {
+  for (const ModelInfo& info : model_table())
+    if (info.id == id) return info;
+  throw Error("unknown model id");
+}
+
+namespace {
+int scaled_dim(int dim, double scale) {
+  const int raw = static_cast<int>(std::lround(dim * scale));
+  return std::max(32, (raw / 32) * 32);  // keep stride-32 compatibility
+}
+}  // namespace
+
+nn::Graph build_model(ModelId id, double input_scale) {
+  const ModelInfo& info = model_info(id);
+  const int h = scaled_dim(info.default_h, input_scale);
+  const int w = scaled_dim(info.default_w, input_scale);
+  switch (id) {
+    case ModelId::kYoloV8n: return build_yolo_v8(YoloSize::kNano, h);
+    case ModelId::kYoloV8m: return build_yolo_v8(YoloSize::kMedium, h);
+    case ModelId::kYoloV8x: return build_yolo_v8(YoloSize::kXLarge, h);
+    case ModelId::kYoloV11n: return build_yolo_v11(YoloSize::kNano, h);
+    case ModelId::kYoloV11m: return build_yolo_v11(YoloSize::kMedium, h);
+    case ModelId::kYoloV11x: return build_yolo_v11(YoloSize::kXLarge, h);
+    case ModelId::kTrtPose: return build_trt_pose(h);
+    case ModelId::kMonodepth2: return build_monodepth2(w, h);
+  }
+  throw Error("unknown model id");
+}
+
+nn::ModelProfile profile_model(ModelId id, double input_scale) {
+  const nn::Graph graph = build_model(id, input_scale);
+  return nn::profile_graph(graph, model_info(id).name);
+}
+
+}  // namespace ocb::models

@@ -1,0 +1,42 @@
+// Model registry: the eight benchmark models of Table 2, with the
+// paper's reported parameter counts / sizes for side-by-side reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "nn/profile.hpp"
+
+namespace ocb::models {
+
+enum class ModelId {
+  kYoloV8n, kYoloV8m, kYoloV8x,
+  kYoloV11n, kYoloV11m, kYoloV11x,
+  kTrtPose, kMonodepth2,
+};
+
+struct ModelInfo {
+  ModelId id;
+  std::string name;        ///< "YOLOv8-n", "trt_pose", ...
+  std::string category;    ///< "Vest Detection", "Pose Detection", ...
+  double paper_params_m;   ///< Table 2 "# of parameters (millions)"
+  double paper_size_mb;    ///< Table 2 "Model Size (MB)"
+  int default_h;           ///< deployment input height
+  int default_w;           ///< deployment input width
+};
+
+/// All eight models in Table 2 order.
+const std::vector<ModelInfo>& model_table();
+
+const ModelInfo& model_info(ModelId id);
+
+/// Build a model's graph; `input_scale` shrinks the deployment
+/// resolution (for CPU execution tests) while keeping it divisible
+/// by 32. 1.0 reproduces the paper's deployment resolution.
+nn::Graph build_model(ModelId id, double input_scale = 1.0);
+
+/// Profile a model at deployment resolution.
+nn::ModelProfile profile_model(ModelId id, double input_scale = 1.0);
+
+}  // namespace ocb::models

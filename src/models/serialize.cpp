@@ -1,0 +1,95 @@
+#include "models/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace ocb::models {
+
+namespace {
+constexpr char kMagic[4] = {'O', 'C', 'B', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw IoError("truncated checkpoint");
+  return value;
+}
+}  // namespace
+
+void save_mini_yolo(const MiniYolo& model, std::ostream& out) {
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint8_t>(model.family()));
+  write_pod(out, static_cast<std::uint8_t>(model.size()));
+  write_pod(out, static_cast<std::uint16_t>(model.config().input_size));
+  write_pod(out, model.config().base_box);
+
+  const auto params = model.parameters();
+  std::uint64_t total = 0;
+  for (const auto& p : params) total += p->value.numel();
+  write_pod(out, total);
+  for (const auto& p : params)
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  if (!out) throw IoError("checkpoint write failed");
+}
+
+void save_mini_yolo(const MiniYolo& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  save_mini_yolo(model, out);
+}
+
+MiniYolo load_mini_yolo(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0)
+    throw IoError("not an Ocularone-Bench checkpoint");
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion)
+    throw IoError("unsupported checkpoint version " +
+                  std::to_string(version));
+
+  const auto family = static_cast<YoloFamily>(read_pod<std::uint8_t>(in));
+  const auto size = static_cast<YoloSize>(read_pod<std::uint8_t>(in));
+  const int input_size = read_pod<std::uint16_t>(in);
+  const float base_box = read_pod<float>(in);
+  OCB_CHECK_MSG(input_size >= 8 && input_size % 8 == 0,
+                "checkpoint has invalid input size");
+
+  MiniYoloConfig config;
+  config.input_size = input_size;
+  config.grid = input_size / 8;
+  config.base_box = base_box;
+  MiniYolo model(family, size, config, /*seed=*/0);
+
+  const auto total = read_pod<std::uint64_t>(in);
+  if (total != model.param_count())
+    throw InvalidArgument(
+        "checkpoint parameter count mismatch: file has " +
+        std::to_string(total) + ", architecture needs " +
+        std::to_string(model.param_count()));
+  for (const auto& p : model.parameters()) {
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    if (!in) throw IoError("truncated checkpoint parameters");
+  }
+  return model;
+}
+
+MiniYolo load_mini_yolo(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  return load_mini_yolo(in);
+}
+
+}  // namespace ocb::models

@@ -1,0 +1,28 @@
+// MiniYolo checkpoint serialization.
+//
+// The paper publishes its retrained models alongside the dataset; this
+// module provides the equivalent for the reproduction: a small binary
+// checkpoint format (magic + architecture descriptor + raw FP32
+// parameters) with strict validation on load.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "models/mini_yolo.hpp"
+
+namespace ocb::models {
+
+/// Write a trained detector to a stream/file. Format:
+///   "OCBM" u32 version | family u8 | size u8 | input u16 | base_box f32
+///   | param count u64 | raw float32 parameters (weights then biases,
+///   layer order).
+void save_mini_yolo(const MiniYolo& model, std::ostream& out);
+void save_mini_yolo(const MiniYolo& model, const std::string& path);
+
+/// Load a detector; throws IoError on malformed input and
+/// InvalidArgument on an architecture mismatch with the checkpoint.
+MiniYolo load_mini_yolo(std::istream& in);
+MiniYolo load_mini_yolo(const std::string& path);
+
+}  // namespace ocb::models

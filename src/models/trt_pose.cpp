@@ -1,0 +1,29 @@
+#include "models/trt_pose.hpp"
+
+#include "models/blocks.hpp"
+
+namespace ocb::models {
+
+using nn::Act;
+using nn::Graph;
+
+nn::Graph build_trt_pose(int input_size) {
+  Graph g;
+  const int in = g.input(3, input_size, input_size);
+  std::vector<int> stages;
+  const int c5 = resnet18_backbone(g, in, stages);  // 512 × s/32
+
+  // Upsample head (UpsampleCBR): two transposed convs back to s/8.
+  int x = g.deconv(c5, 256, Act::kRelu, "head.up1");
+  x = g.deconv(x, 256, Act::kRelu, "head.up2");
+
+  // CMap and PAF 1×1 prediction heads.
+  const int cmap =
+      g.conv(x, kPoseKeypoints, 1, 1, 0, Act::kNone, "head.cmap");
+  const int paf = g.conv(x, kPafChannels, 1, 1, 0, Act::kNone, "head.paf");
+  g.mark_output(cmap);
+  g.mark_output(paf);
+  return g;
+}
+
+}  // namespace ocb::models

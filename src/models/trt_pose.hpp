@@ -1,0 +1,19 @@
+// trt_pose-style body-pose estimation model (ResNet-18 backbone with
+// confidence-map + part-affinity-field heads), used by Ocularone for
+// posture analysis and fall detection (Table 2: 12.8 M params).
+#pragma once
+
+#include "nn/graph.hpp"
+
+namespace ocb::models {
+
+/// Number of human keypoints (COCO-style topology used by trt_pose).
+inline constexpr int kPoseKeypoints = 18;
+/// Number of part-affinity links ×2 (x/y fields).
+inline constexpr int kPafChannels = 42;
+
+/// Build the pose model at `input_size`² (deployment default 224).
+/// Outputs: CMap (18 channels) and PAF (42 channels) at 1/8 resolution.
+nn::Graph build_trt_pose(int input_size = 224);
+
+}  // namespace ocb::models

@@ -1,0 +1,101 @@
+#include "models/yolo_v11.hpp"
+
+#include <algorithm>
+
+#include "models/blocks.hpp"
+
+namespace ocb::models {
+
+using nn::Act;
+using nn::Graph;
+
+namespace {
+struct V11Scale {
+  double depth;
+  double width;
+  int max_channels;
+  bool c3k_everywhere;  ///< m/x use C3k inner blocks in every C3k2
+};
+
+V11Scale v11_scale(YoloSize size) {
+  switch (size) {
+    case YoloSize::kNano: return {0.50, 0.25, 1024, false};
+    case YoloSize::kMedium: return {0.50, 1.00, 512, true};
+    case YoloSize::kXLarge: return {1.00, 1.50, 512, true};
+  }
+  return {1.0, 1.0, 512, true};
+}
+
+/// v11 detect head: DFL box branch as in v8; class branch uses
+/// depthwise-separable convolutions.
+int detect_head_v11(Graph& g, int feat, int c2, int c3, int nc,
+                    const std::string& name) {
+  constexpr int kRegMax = 16;
+  int box = conv_block(g, feat, c2, 3, 1, name + ".box1");
+  box = conv_block(g, box, c2, 3, 1, name + ".box2");
+  box = g.conv(box, 4 * kRegMax, 1, 1, 0, Act::kNone, name + ".box_out");
+
+  int cls = g.dwconv(feat, 3, 1, 1, Act::kSilu, name + ".cls_dw1");
+  cls = conv_block(g, cls, c3, 1, 1, name + ".cls_pw1");
+  cls = g.dwconv(cls, 3, 1, 1, Act::kSilu, name + ".cls_dw2");
+  cls = conv_block(g, cls, c3, 1, 1, name + ".cls_pw2");
+  cls = g.conv(cls, nc, 1, 1, 0, Act::kSigmoid, name + ".cls_out");
+  return g.concat({box, cls}, name + ".out");
+}
+}  // namespace
+
+nn::Graph build_yolo_v11(YoloSize size, int input_size, int nc) {
+  const V11Scale s = v11_scale(size);
+  auto ch = [&](int c) { return scale_channels(c, s.width, s.max_channels); };
+  auto dep = [&](int n) { return scale_depth(n, s.depth); };
+  const bool k = s.c3k_everywhere;
+
+  Graph g;
+  const int in = g.input(3, input_size, input_size);
+
+  // ---- backbone (yolo11 YAML) ----
+  int x = conv_block(g, in, ch(64), 3, 2, "b0");                 // P1/2
+  x = conv_block(g, x, ch(128), 3, 2, "b1");                     // P2/4
+  x = c3k2(g, x, ch(128), ch(256), dep(2), k, true, 0.25, "b2");
+  x = conv_block(g, x, ch(256), 3, 2, "b3");                     // P3/8
+  const int p3 = c3k2(g, x, ch(256), ch(512), dep(2), k, true, 0.25, "b4");
+  x = conv_block(g, p3, ch(512), 3, 2, "b5");                    // P4/16
+  const int p4 = c3k2(g, x, ch(512), ch(512), dep(2), true, true, 0.5, "b6");
+  x = conv_block(g, p4, ch(1024), 3, 2, "b7");                   // P5/32
+  x = c3k2(g, x, ch(1024), ch(1024), dep(2), true, true, 0.5, "b8");
+  x = sppf(g, x, ch(1024), ch(1024), "b9");
+  const int p5 = c2psa(g, x, ch(1024), dep(2), "b10");
+
+  // ---- PAN head ----
+  int u = g.upsample2x(p5, "h11.up");
+  u = g.concat({u, p4}, "h12.cat");
+  const int n13 =
+      c3k2(g, u, ch(1024) + ch(512), ch(512), dep(2), k, false, 0.5, "h13");
+
+  u = g.upsample2x(n13, "h14.up");
+  u = g.concat({u, p3}, "h15.cat");
+  const int n16 =
+      c3k2(g, u, ch(512) + ch(512), ch(256), dep(2), k, false, 0.5, "h16");
+
+  int d = conv_block(g, n16, ch(256), 3, 2, "h17");
+  d = g.concat({d, n13}, "h18.cat");
+  const int n19 =
+      c3k2(g, d, ch(256) + ch(512), ch(512), dep(2), k, false, 0.5, "h19");
+
+  d = conv_block(g, n19, ch(512), 3, 2, "h20");
+  d = g.concat({d, p5}, "h21.cat");
+  const int n22 =
+      c3k2(g, d, ch(512) + ch(1024), ch(1024), dep(2), true, true, 0.5, "h22");
+
+  // ---- detect heads ----
+  const int ch_p3 = g.shape(n16).c;
+  constexpr int kRegMax = 16;
+  const int c2 = std::max({16, ch_p3 / 4, kRegMax * 4});
+  const int c3_ = std::max(ch_p3, std::min(nc, 100));
+  g.mark_output(detect_head_v11(g, n16, c2, c3_, nc, "detect.p3"));
+  g.mark_output(detect_head_v11(g, n19, c2, c3_, nc, "detect.p4"));
+  g.mark_output(detect_head_v11(g, n22, c2, c3_, nc, "detect.p5"));
+  return g;
+}
+
+}  // namespace ocb::models

@@ -1,0 +1,16 @@
+// YOLOv11 detection models (n / m / x) — the second detector family the
+// paper retrains (Table 2; Figs 1, 3, 4).
+#pragma once
+
+#include "models/yolo_v8.hpp"
+#include "nn/graph.hpp"
+
+namespace ocb::models {
+
+/// Build YOLOv11-{n,m,x}. Structure follows the upstream yolo11 YAML:
+/// C3k2 blocks (plain bottlenecks for nano, C3k inner blocks for m/x),
+/// SPPF + C2PSA tail, PAN head, v11 detect head with depthwise-
+/// separable class branch.
+nn::Graph build_yolo_v11(YoloSize size, int input_size = 640, int nc = 1);
+
+}  // namespace ocb::models

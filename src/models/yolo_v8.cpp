@@ -1,0 +1,101 @@
+#include "models/yolo_v8.hpp"
+
+#include <algorithm>
+
+#include "models/blocks.hpp"
+
+namespace ocb::models {
+
+using nn::Act;
+using nn::Graph;
+
+const char* yolo_size_name(YoloSize size) noexcept {
+  switch (size) {
+    case YoloSize::kNano: return "n";
+    case YoloSize::kMedium: return "m";
+    case YoloSize::kXLarge: return "x";
+  }
+  return "?";
+}
+
+namespace {
+struct V8Scale {
+  double depth;
+  double width;
+  int max_channels;
+};
+
+V8Scale v8_scale(YoloSize size) {
+  switch (size) {
+    case YoloSize::kNano: return {0.33, 0.25, 1024};
+    case YoloSize::kMedium: return {0.67, 0.75, 768};
+    case YoloSize::kXLarge: return {1.00, 1.25, 512};
+  }
+  return {1.0, 1.0, 1024};
+}
+
+/// YOLOv8 detect head for one scale (anchor-free, decoupled, DFL).
+int detect_head_v8(Graph& g, int feat, int feat_c, int c2, int c3, int nc,
+                   const std::string& name) {
+  constexpr int kRegMax = 16;
+  (void)feat_c;
+  int box = conv_block(g, feat, c2, 3, 1, name + ".box1");
+  box = conv_block(g, box, c2, 3, 1, name + ".box2");
+  box = g.conv(box, 4 * kRegMax, 1, 1, 0, Act::kNone, name + ".box_out");
+  int cls = conv_block(g, feat, c3, 3, 1, name + ".cls1");
+  cls = conv_block(g, cls, c3, 3, 1, name + ".cls2");
+  cls = g.conv(cls, nc, 1, 1, 0, Act::kSigmoid, name + ".cls_out");
+  return g.concat({box, cls}, name + ".out");
+}
+}  // namespace
+
+nn::Graph build_yolo_v8(YoloSize size, int input_size, int nc) {
+  const V8Scale s = v8_scale(size);
+  auto ch = [&](int c) { return scale_channels(c, s.width, s.max_channels); };
+  auto dep = [&](int n) { return scale_depth(n, s.depth); };
+
+  Graph g;
+  const int in = g.input(3, input_size, input_size);
+
+  // ---- backbone ----
+  int x = conv_block(g, in, ch(64), 3, 2, "b0");            // P1/2
+  x = conv_block(g, x, ch(128), 3, 2, "b1");                // P2/4
+  x = c2f(g, x, ch(128), ch(128), dep(3), true, "b2");
+  x = conv_block(g, x, ch(256), 3, 2, "b3");                // P3/8
+  const int p3 = c2f(g, x, ch(256), ch(256), dep(6), true, "b4");
+  x = conv_block(g, p3, ch(512), 3, 2, "b5");               // P4/16
+  const int p4 = c2f(g, x, ch(512), ch(512), dep(6), true, "b6");
+  x = conv_block(g, p4, ch(1024), 3, 2, "b7");              // P5/32
+  x = c2f(g, x, ch(1024), ch(1024), dep(3), true, "b8");
+  const int p5 = sppf(g, x, ch(1024), ch(1024), "b9");
+
+  // ---- PAN-FPN head ----
+  int u = g.upsample2x(p5, "h10.up");
+  u = g.concat({u, p4}, "h11.cat");
+  const int n12 = c2f(g, u, ch(1024) + ch(512), ch(512), dep(3), false, "h12");
+
+  u = g.upsample2x(n12, "h13.up");
+  u = g.concat({u, p3}, "h14.cat");
+  const int n15 = c2f(g, u, ch(512) + ch(256), ch(256), dep(3), false, "h15");
+
+  int d = conv_block(g, n15, ch(256), 3, 2, "h16");
+  d = g.concat({d, n12}, "h17.cat");
+  const int n18 = c2f(g, d, ch(256) + ch(512), ch(512), dep(3), false, "h18");
+
+  d = conv_block(g, n18, ch(512), 3, 2, "h19");
+  d = g.concat({d, p5}, "h20.cat");
+  const int n21 =
+      c2f(g, d, ch(512) + ch(1024), ch(1024), dep(3), false, "h21");
+
+  // ---- detect heads ----
+  const int ch_p3 = g.shape(n15).c;
+  constexpr int kRegMax = 16;
+  const int c2 = std::max({16, ch_p3 / 4, kRegMax * 4});
+  const int c3 = std::max(ch_p3, std::min(nc, 100));
+  g.mark_output(detect_head_v8(g, n15, ch_p3, c2, c3, nc, "detect.p3"));
+  g.mark_output(detect_head_v8(g, n18, g.shape(n18).c, c2, c3, nc, "detect.p4"));
+  g.mark_output(detect_head_v8(g, n21, g.shape(n21).c, c2, c3, nc, "detect.p5"));
+  return g;
+}
+
+}  // namespace ocb::models

@@ -1,0 +1,19 @@
+// YOLOv8 detection models (n / m / x), re-trained variants of which the
+// paper benchmarks for hazard-vest detection (Table 2).
+#pragma once
+
+#include "nn/graph.hpp"
+
+namespace ocb::models {
+
+enum class YoloSize { kNano, kMedium, kXLarge };
+
+const char* yolo_size_name(YoloSize size) noexcept;  // "n" / "m" / "x"
+
+/// Build YOLOv8-{n,m,x} at the given input resolution (`nc` classes —
+/// the Ocularone retraining uses a single "hazard vest" class).
+/// The three detect-head outputs (P3, P4, P5) are marked as graph
+/// outputs, each with 64 DFL box channels + nc class channels.
+nn::Graph build_yolo_v8(YoloSize size, int input_size = 640, int nc = 1);
+
+}  // namespace ocb::models

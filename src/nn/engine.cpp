@@ -1,0 +1,174 @@
+#include "nn/engine.hpp"
+
+#include "core/error.hpp"
+
+namespace ocb::nn {
+
+Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
+  const int n = graph_.node_count();
+  OCB_CHECK_MSG(n > 0, "cannot build an engine over an empty graph");
+  weights_.resize(static_cast<std::size_t>(n));
+  biases_.resize(static_cast<std::size_t>(n));
+  activations_.resize(static_cast<std::size_t>(n));
+
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = graph_.node(i);
+    if (graph_.node_params(i) == 0) continue;
+    const FeatShape in0 = graph_.shape(nd.inputs[0]);
+    Rng rng(hash_combine(seed, static_cast<std::uint64_t>(i)));
+
+    switch (nd.kind) {
+      case OpKind::kConv: {
+        const int fan_in = in0.c * nd.kernel * nd.kernel;
+        weights_[i] = Tensor({nd.out_c, in0.c, nd.kernel, nd.kernel});
+        weights_[i].init_he(rng, fan_in);
+        biases_[i] = Tensor({1, nd.out_c, 1, 1});
+        break;
+      }
+      case OpKind::kDwConv: {
+        weights_[i] = Tensor({in0.c, 1, nd.kernel, nd.kernel});
+        weights_[i].init_he(rng, nd.kernel * nd.kernel);
+        biases_[i] = Tensor({1, in0.c, 1, 1});
+        break;
+      }
+      case OpKind::kDeconv: {
+        weights_[i] = Tensor({in0.c, nd.out_c, 4, 4});
+        weights_[i].init_he(rng, in0.c * 16);
+        biases_[i] = Tensor({1, nd.out_c, 1, 1});
+        break;
+      }
+      case OpKind::kLinear: {
+        const auto in_features = in0.numel();
+        weights_[i] = Tensor(
+            {nd.out_c, static_cast<int>(in_features), 1, 1});
+        weights_[i].init_he(rng, static_cast<int>(in_features));
+        biases_[i] = Tensor({1, nd.out_c, 1, 1});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<Tensor> Engine::run(const Tensor& input) {
+  const FeatShape in_shape = graph_.input_shape();
+  const Shape expected{1, in_shape.c, in_shape.h, in_shape.w};
+  OCB_CHECK_MSG(input.shape() == expected,
+                "engine input shape mismatch: got " + input.shape().str());
+
+  const int n = graph_.node_count();
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = graph_.node(i);
+    const FeatShape out = graph_.shape(i);
+    Tensor& dst = activations_[static_cast<std::size_t>(i)];
+    if (!(dst.shape() == Shape{1, out.c, out.h, out.w}))
+      dst = Tensor({1, out.c, out.h, out.w});
+
+    auto src = [&](std::size_t k) -> const Tensor& {
+      return activations_[static_cast<std::size_t>(nd.inputs[k])];
+    };
+
+    switch (nd.kind) {
+      case OpKind::kInput:
+        dst = input;
+        break;
+      case OpKind::kConv: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
+                                nd.stride, nd.pad};
+        conv2d(src(0).data(), geom, nd.out_c, weights_[i].data(),
+               biases_[i].data(), nd.act, dst.data(), scratch_);
+        break;
+      }
+      case OpKind::kDwConv: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
+                                nd.stride, nd.pad};
+        dwconv2d(src(0).data(), geom, weights_[i].data(), biases_[i].data(),
+                 nd.act, dst.data());
+        break;
+      }
+      case OpKind::kDeconv: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        deconv2d_2x(src(0).data(), s.c, s.h, s.w, nd.out_c,
+                    weights_[i].data(), biases_[i].data(), nd.act,
+                    dst.data());
+        break;
+      }
+      case OpKind::kMaxPool: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
+                                nd.stride, nd.pad};
+        maxpool2d(src(0).data(), geom, dst.data());
+        break;
+      }
+      case OpKind::kUpsample: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        upsample2x_nearest(src(0).data(), s.c, s.h, s.w, dst.data());
+        break;
+      }
+      case OpKind::kConcat: {
+        std::vector<const float*> ptrs;
+        std::vector<int> channels;
+        for (std::size_t k = 0; k < nd.inputs.size(); ++k) {
+          ptrs.push_back(src(k).data());
+          channels.push_back(graph_.shape(nd.inputs[k]).c);
+        }
+        concat_channels(ptrs, channels, out.h, out.w, dst.data());
+        break;
+      }
+      case OpKind::kAdd:
+        add_elementwise(src(0).data(), src(1).data(), out.numel(),
+                        dst.data());
+        apply_activation(nd.act, dst.data(), out.numel());
+        break;
+      case OpKind::kSlice: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        slice_channels(src(0).data(), s.c, s.h, s.w, nd.slice_begin,
+                       nd.slice_end, dst.data());
+        break;
+      }
+      case OpKind::kGlobalAvgPool: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        global_avg_pool(src(0).data(), s.c, s.h, s.w, dst.data());
+        break;
+      }
+      case OpKind::kLinear: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        linear(src(0).data(), s.numel(), nd.out_c, weights_[i].data(),
+               biases_[i].data(), nd.act, dst.data());
+        break;
+      }
+    }
+  }
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(graph_.outputs().size());
+  for (int node : graph_.outputs())
+    outputs.push_back(activations_[static_cast<std::size_t>(node)]);
+  return outputs;
+}
+
+const Tensor& Engine::node_output(int node) const {
+  OCB_CHECK(node >= 0 && node < graph_.node_count());
+  const Tensor& t = activations_[static_cast<std::size_t>(node)];
+  OCB_CHECK_MSG(!t.empty(), "node_output before run()");
+  return t;
+}
+
+Tensor& Engine::weight(int node) {
+  OCB_CHECK(node >= 0 && node < graph_.node_count());
+  OCB_CHECK_MSG(!weights_[static_cast<std::size_t>(node)].empty(),
+                "node has no weights");
+  return weights_[static_cast<std::size_t>(node)];
+}
+
+Tensor& Engine::bias(int node) {
+  OCB_CHECK(node >= 0 && node < graph_.node_count());
+  OCB_CHECK_MSG(!biases_[static_cast<std::size_t>(node)].empty(),
+                "node has no bias");
+  return biases_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace ocb::nn

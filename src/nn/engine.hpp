@@ -1,0 +1,46 @@
+// Inference engine: materialises a Graph's weights and executes it.
+//
+// Weights are deterministic functions of (graph structure, seed); this
+// reproduction benchmarks compute behaviour, which is independent of the
+// trained values, so He-initialised weights stand in for checkpoints.
+// (Accuracy experiments use the separately *trained* MiniYolo models —
+// see src/trainer.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "nn/ops.hpp"
+
+namespace ocb::nn {
+
+class Engine {
+ public:
+  /// Allocates and initialises all parameters (He-normal, per-node
+  /// deterministic seeds derived from `seed`).
+  Engine(const Graph& graph, std::uint64_t seed = 1);
+
+  const Graph& graph() const noexcept { return graph_; }
+
+  /// Run a forward pass; `input` must match the graph's input shape
+  /// (batch 1). Returns the outputs marked by Graph::mark_output, in
+  /// order.
+  std::vector<Tensor> run(const Tensor& input);
+
+  /// Output tensor of a specific node from the most recent run().
+  const Tensor& node_output(int node) const;
+
+  /// Direct access to a conv/linear node's weights (tests & trainer).
+  Tensor& weight(int node);
+  Tensor& bias(int node);
+
+ private:
+  Graph graph_;  // engine owns an immutable copy of the structure
+  std::vector<Tensor> weights_;
+  std::vector<Tensor> biases_;
+  std::vector<Tensor> activations_;
+  ConvScratch scratch_;
+};
+
+}  // namespace ocb::nn

@@ -1,0 +1,45 @@
+#include "nn/layer.hpp"
+
+#include <cmath>
+
+namespace ocb::nn {
+
+const char* op_name(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kInput: return "input";
+    case OpKind::kConv: return "conv";
+    case OpKind::kDwConv: return "dwconv";
+    case OpKind::kDeconv: return "deconv";
+    case OpKind::kMaxPool: return "maxpool";
+    case OpKind::kUpsample: return "upsample";
+    case OpKind::kConcat: return "concat";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSlice: return "slice";
+    case OpKind::kGlobalAvgPool: return "gap";
+    case OpKind::kLinear: return "linear";
+  }
+  return "?";
+}
+
+void apply_activation(Act act, float* data, std::size_t n) noexcept {
+  switch (act) {
+    case Act::kNone:
+      return;
+    case Act::kRelu:
+      for (std::size_t i = 0; i < n; ++i)
+        if (data[i] < 0.0f) data[i] = 0.0f;
+      return;
+    case Act::kSilu:
+      for (std::size_t i = 0; i < n; ++i) {
+        const float x = data[i];
+        data[i] = x / (1.0f + std::exp(-x));
+      }
+      return;
+    case Act::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i)
+        data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+      return;
+  }
+}
+
+}  // namespace ocb::nn

@@ -1,0 +1,192 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "tensor/gemm.hpp"
+
+namespace ocb::nn {
+
+void conv2d(const float* input, const ConvGeometry& geom, int out_c,
+            const float* weight, const float* bias, Act act, float* output,
+            ConvScratch& scratch) {
+  const std::size_t rows = geom.col_rows();
+  const std::size_t cols = geom.col_cols();
+  scratch.col.resize(rows * cols);
+  im2col(input, geom, scratch.col.data());
+  gemm(weight, scratch.col.data(), output, static_cast<std::size_t>(out_c),
+       rows, cols);
+  if (bias != nullptr) {
+    for (int oc = 0; oc < out_c; ++oc) {
+      float* row = output + static_cast<std::size_t>(oc) * cols;
+      const float b = bias[oc];
+      for (std::size_t i = 0; i < cols; ++i) row[i] += b;
+    }
+  }
+  apply_activation(act, output, static_cast<std::size_t>(out_c) * cols);
+}
+
+void dwconv2d(const float* input, const ConvGeometry& geom,
+              const float* weight, const float* bias, Act act,
+              float* output) {
+  const int oh = geom.out_h();
+  const int ow = geom.out_w();
+  const std::size_t in_plane = static_cast<std::size_t>(geom.in_h) * geom.in_w;
+  const std::size_t out_plane = static_cast<std::size_t>(oh) * ow;
+  for (int c = 0; c < geom.in_c; ++c) {
+    const float* src = input + static_cast<std::size_t>(c) * in_plane;
+    const float* w = weight + static_cast<std::size_t>(c) * geom.kernel_h *
+                                  geom.kernel_w;
+    float* dst = output + static_cast<std::size_t>(c) * out_plane;
+    const float b = bias != nullptr ? bias[c] : 0.0f;
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        float acc = b;
+        for (int ky = 0; ky < geom.kernel_h; ++ky) {
+          const int sy = y * geom.stride - geom.pad + ky;
+          if (sy < 0 || sy >= geom.in_h) continue;
+          for (int kx = 0; kx < geom.kernel_w; ++kx) {
+            const int sx = x * geom.stride - geom.pad + kx;
+            if (sx < 0 || sx >= geom.in_w) continue;
+            acc += w[ky * geom.kernel_w + kx] *
+                   src[static_cast<std::size_t>(sy) * geom.in_w + sx];
+          }
+        }
+        dst[static_cast<std::size_t>(y) * ow + x] = acc;
+      }
+    }
+  }
+  apply_activation(act, output, static_cast<std::size_t>(geom.in_c) * out_plane);
+}
+
+void deconv2d_2x(const float* input, int in_c, int in_h, int in_w, int out_c,
+                 const float* weight, const float* bias, Act act,
+                 float* output) {
+  const int out_h = in_h * 2;
+  const int out_w = in_w * 2;
+  const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
+  const std::size_t total = static_cast<std::size_t>(out_c) * out_plane;
+  // Initialise with bias, then scatter-add input contributions.
+  for (int oc = 0; oc < out_c; ++oc) {
+    const float b = bias != nullptr ? bias[oc] : 0.0f;
+    std::fill_n(output + static_cast<std::size_t>(oc) * out_plane, out_plane, b);
+  }
+  constexpr int kK = 4, kStride = 2, kPad = 1;
+  const std::size_t in_plane = static_cast<std::size_t>(in_h) * in_w;
+  for (int ic = 0; ic < in_c; ++ic) {
+    const float* src = input + static_cast<std::size_t>(ic) * in_plane;
+    for (int oc = 0; oc < out_c; ++oc) {
+      const float* w =
+          weight + ((static_cast<std::size_t>(ic) * out_c) + oc) * kK * kK;
+      float* dst = output + static_cast<std::size_t>(oc) * out_plane;
+      for (int y = 0; y < in_h; ++y) {
+        for (int x = 0; x < in_w; ++x) {
+          const float v = src[static_cast<std::size_t>(y) * in_w + x];
+          if (v == 0.0f) continue;
+          for (int ky = 0; ky < kK; ++ky) {
+            const int oy = y * kStride - kPad + ky;
+            if (oy < 0 || oy >= out_h) continue;
+            for (int kx = 0; kx < kK; ++kx) {
+              const int ox = x * kStride - kPad + kx;
+              if (ox < 0 || ox >= out_w) continue;
+              dst[static_cast<std::size_t>(oy) * out_w + ox] +=
+                  v * w[ky * kK + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  apply_activation(act, output, total);
+}
+
+void maxpool2d(const float* input, const ConvGeometry& geom, float* output) {
+  const int oh = geom.out_h();
+  const int ow = geom.out_w();
+  const std::size_t in_plane = static_cast<std::size_t>(geom.in_h) * geom.in_w;
+  const std::size_t out_plane = static_cast<std::size_t>(oh) * ow;
+  for (int c = 0; c < geom.in_c; ++c) {
+    const float* src = input + static_cast<std::size_t>(c) * in_plane;
+    float* dst = output + static_cast<std::size_t>(c) * out_plane;
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        float best = std::numeric_limits<float>::lowest();
+        for (int ky = 0; ky < geom.kernel_h; ++ky) {
+          const int sy = y * geom.stride - geom.pad + ky;
+          if (sy < 0 || sy >= geom.in_h) continue;
+          for (int kx = 0; kx < geom.kernel_w; ++kx) {
+            const int sx = x * geom.stride - geom.pad + kx;
+            if (sx < 0 || sx >= geom.in_w) continue;
+            best = std::max(best,
+                            src[static_cast<std::size_t>(sy) * geom.in_w + sx]);
+          }
+        }
+        dst[static_cast<std::size_t>(y) * ow + x] = best;
+      }
+    }
+  }
+}
+
+void upsample2x_nearest(const float* input, int c, int h, int w,
+                        float* output) {
+  const int oh = h * 2;
+  const int ow = w * 2;
+  for (int ch = 0; ch < c; ++ch) {
+    const float* src = input + static_cast<std::size_t>(ch) * h * w;
+    float* dst = output + static_cast<std::size_t>(ch) * oh * ow;
+    for (int y = 0; y < oh; ++y) {
+      const float* src_row = src + static_cast<std::size_t>(y / 2) * w;
+      float* dst_row = dst + static_cast<std::size_t>(y) * ow;
+      for (int x = 0; x < ow; ++x) dst_row[x] = src_row[x / 2];
+    }
+  }
+}
+
+void concat_channels(const std::vector<const float*>& srcs,
+                     const std::vector<int>& channels, int h, int w,
+                     float* output) {
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  float* dst = output;
+  for (std::size_t i = 0; i < srcs.size(); ++i) {
+    const std::size_t count = static_cast<std::size_t>(channels[i]) * plane;
+    std::memcpy(dst, srcs[i], count * sizeof(float));
+    dst += count;
+  }
+}
+
+void add_elementwise(const float* a, const float* b, std::size_t n,
+                     float* output) {
+  for (std::size_t i = 0; i < n; ++i) output[i] = a[i] + b[i];
+}
+
+void slice_channels(const float* input, int c, int h, int w, int begin,
+                    int end, float* output) {
+  (void)c;
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  std::memcpy(output, input + static_cast<std::size_t>(begin) * plane,
+              static_cast<std::size_t>(end - begin) * plane * sizeof(float));
+}
+
+void global_avg_pool(const float* input, int c, int h, int w, float* output) {
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  for (int ch = 0; ch < c; ++ch) {
+    const float* src = input + static_cast<std::size_t>(ch) * plane;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < plane; ++i) acc += src[i];
+    output[ch] = static_cast<float>(acc / static_cast<double>(plane));
+  }
+}
+
+void linear(const float* input, std::size_t in_features, int out_features,
+            const float* weight, const float* bias, Act act, float* output) {
+  for (int o = 0; o < out_features; ++o) {
+    const float* w = weight + static_cast<std::size_t>(o) * in_features;
+    float acc = bias != nullptr ? bias[o] : 0.0f;
+    for (std::size_t i = 0; i < in_features; ++i) acc += w[i] * input[i];
+    output[o] = acc;
+  }
+  apply_activation(act, output, static_cast<std::size_t>(out_features));
+}
+
+}  // namespace ocb::nn

@@ -1,0 +1,60 @@
+// Kernel implementations for the inference engine.
+//
+// All buffers are contiguous CHW float32 for a batch of one; the Engine
+// drives these per node. Convolution lowers to im2col + GEMM; the other
+// ops are direct loops (they are bandwidth-bound and simple).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace ocb::nn {
+
+/// Scratch space reused across conv invocations to avoid reallocating
+/// the column matrix per layer.
+struct ConvScratch {
+  std::vector<float> col;
+};
+
+/// output[out_c × oh × ow] = act(W · im2col(input) + b).
+/// `weight` is [out_c × (in_c·k·k)] row-major, `bias` is [out_c].
+void conv2d(const float* input, const ConvGeometry& geom, int out_c,
+            const float* weight, const float* bias, Act act, float* output,
+            ConvScratch& scratch);
+
+/// Depthwise conv: one k×k filter per channel. `weight` is [c × k·k].
+void dwconv2d(const float* input, const ConvGeometry& geom,
+              const float* weight, const float* bias, Act act, float* output);
+
+/// Transposed conv, kernel 4, stride 2, pad 1 (exact 2× upsampling).
+/// `weight` is [in_c × out_c × 4 × 4].
+void deconv2d_2x(const float* input, int in_c, int in_h, int in_w, int out_c,
+                 const float* weight, const float* bias, Act act,
+                 float* output);
+
+void maxpool2d(const float* input, const ConvGeometry& geom, float* output);
+
+void upsample2x_nearest(const float* input, int c, int h, int w,
+                        float* output);
+
+/// Concatenate along channels; `srcs[i]` has `channels[i]` channels and
+/// common spatial size h×w.
+void concat_channels(const std::vector<const float*>& srcs,
+                     const std::vector<int>& channels, int h, int w,
+                     float* output);
+
+void add_elementwise(const float* a, const float* b, std::size_t n,
+                     float* output);
+
+void slice_channels(const float* input, int c, int h, int w, int begin,
+                    int end, float* output);
+
+void global_avg_pool(const float* input, int c, int h, int w, float* output);
+
+/// output[out] = act(W · flatten(input) + b); weight is [out × in].
+void linear(const float* input, std::size_t in_features, int out_features,
+            const float* weight, const float* bias, Act act, float* output);
+
+}  // namespace ocb::nn

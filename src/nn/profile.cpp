@@ -1,0 +1,61 @@
+#include "nn/profile.hpp"
+
+namespace ocb::nn {
+
+double ModelProfile::total_flops() const noexcept {
+  double total = 0.0;
+  for (const auto& l : layers) total += l.flops;
+  return total;
+}
+
+std::size_t ModelProfile::total_params() const noexcept {
+  std::size_t total = 0;
+  for (const auto& l : layers) total += l.params;
+  return total;
+}
+
+std::size_t ModelProfile::total_weight_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& l : layers) total += l.weight_bytes;
+  return total;
+}
+
+std::size_t ModelProfile::total_activation_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& l : layers) total += l.in_bytes + l.out_bytes;
+  return total;
+}
+
+std::size_t ModelProfile::kernel_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& l : layers)
+    if (l.kind != OpKind::kInput) ++count;
+  return count;
+}
+
+ModelProfile profile_graph(const Graph& graph, const std::string& model_name) {
+  ModelProfile profile;
+  profile.model_name = model_name;
+  const FeatShape in = graph.input_shape();
+  profile.input_h = in.h;
+  profile.input_w = in.w;
+  profile.layers.reserve(static_cast<std::size_t>(graph.node_count()));
+
+  for (int i = 0; i < graph.node_count(); ++i) {
+    const Node& nd = graph.node(i);
+    LayerProfile layer;
+    layer.name = nd.name.empty() ? op_name(nd.kind) : nd.name;
+    layer.kind = nd.kind;
+    layer.flops = graph.node_flops(i);
+    layer.params = graph.node_params(i);
+    layer.weight_bytes = layer.params * sizeof(float);
+    std::size_t in_elems = 0;
+    for (int src : nd.inputs) in_elems += graph.shape(src).numel();
+    layer.in_bytes = in_elems * sizeof(float);
+    layer.out_bytes = graph.shape(i).numel() * sizeof(float);
+    profile.layers.push_back(std::move(layer));
+  }
+  return profile;
+}
+
+}  // namespace ocb::nn

@@ -1,0 +1,41 @@
+// Per-layer compute/memory profile of a Graph.
+//
+// The device simulator consumes these profiles: each layer contributes
+// a compute term (FLOPs) and a memory-traffic term (activation + weight
+// bytes) to the roofline latency model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace ocb::nn {
+
+struct LayerProfile {
+  std::string name;
+  OpKind kind = OpKind::kInput;
+  double flops = 0.0;        ///< multiply-accumulate FLOPs (2·MACs)
+  std::size_t params = 0;    ///< learnable parameters
+  std::size_t in_bytes = 0;  ///< activation bytes read
+  std::size_t out_bytes = 0; ///< activation bytes written
+  std::size_t weight_bytes = 0;
+};
+
+struct ModelProfile {
+  std::string model_name;
+  int input_h = 0, input_w = 0;
+  std::vector<LayerProfile> layers;
+
+  double total_flops() const noexcept;
+  std::size_t total_params() const noexcept;
+  std::size_t total_weight_bytes() const noexcept;
+  std::size_t total_activation_bytes() const noexcept;
+  /// Number of layers that launch device kernels (excludes kInput).
+  std::size_t kernel_count() const noexcept;
+};
+
+/// Build the profile of a graph (batch size 1, FP32 activations).
+ModelProfile profile_graph(const Graph& graph, const std::string& model_name);
+
+}  // namespace ocb::nn

@@ -1,0 +1,57 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace ocb {
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  ThreadPool::global().for_range(begin, end, fn, grain);
+}
+
+void parallel_rows(std::size_t rows,
+                   const std::function<void(std::size_t)>& fn) {
+  parallel_for(0, rows, fn, /*grain=*/8);
+}
+
+double parallel_sum(std::size_t n,
+                    const std::function<double(std::size_t)>& fn,
+                    std::size_t grain) {
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.size() <= 1 || n <= grain) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += fn(i);
+    return sum;
+  }
+
+  // Static chunking with per-chunk partials: no shared mutable state
+  // inside the hot loop, one write per chunk.
+  const std::size_t chunks =
+      std::min(pool.size() * 4, (n + grain - 1) / grain);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<double> partial(chunks, 0.0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * chunk_size;
+    if (lo >= n) break;
+    const std::size_t hi = std::min(n, lo + chunk_size);
+    futures.push_back(pool.submit([&fn, &partial, c, lo, hi] {
+      double acc = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) acc += fn(i);
+      partial[c] = acc;
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+}  // namespace ocb

@@ -1,0 +1,24 @@
+// Convenience data-parallel loops over the global thread pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ocb {
+
+/// Execute fn(i) for i in [begin, end) on the global pool.
+/// `grain` is the minimum per-chunk iteration count; ranges smaller than
+/// one grain run inline on the calling thread.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 64);
+
+/// 2D variant: fn(row) over [0, rows) — a thin wrapper used by image and
+/// tensor kernels where the row is the natural unit of work.
+void parallel_rows(std::size_t rows, const std::function<void(std::size_t)>& fn);
+
+/// Parallel sum reduction of fn(i) over [0, n).
+double parallel_sum(std::size_t n, const std::function<double(std::size_t)>& fn,
+                    std::size_t grain = 1024);
+
+}  // namespace ocb

@@ -1,0 +1,54 @@
+#include "runtime/executor.hpp"
+
+#include <chrono>
+#include <vector>
+
+namespace ocb::runtime {
+
+HostExecutor::HostExecutor(const nn::Graph& graph, std::string name,
+                           std::uint64_t seed)
+    : engine_(graph, seed), name_(std::move(name)) {
+  const nn::FeatShape in = graph.input_shape();
+  input_ = Tensor({1, in.c, in.h, in.w});
+  Rng rng(seed);
+  input_.init_uniform(rng, 0.0f, 1.0f);
+}
+
+double HostExecutor::infer_ms() {
+  const auto start = std::chrono::steady_clock::now();
+  (void)engine_.run(input_);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+SimulatedExecutor::SimulatedExecutor(nn::ModelProfile profile,
+                                     devsim::DeviceSpec device,
+                                     std::uint64_t seed,
+                                     devsim::RooflineOptions options,
+                                     devsim::JitterModel jitter)
+    : profile_(std::move(profile)),
+      device_(std::move(device)),
+      options_(options),
+      jitter_(jitter),
+      rng_(seed),
+      base_ms_(devsim::model_latency_ms(profile_, device_, options_)),
+      name_(profile_.model_name + "@" + device_.short_name) {}
+
+double SimulatedExecutor::infer_ms() {
+  double latency = base_ms_ * rng_.lognormal(0.0, jitter_.sigma);
+  if (frame_ < jitter_.warmup_frames)
+    latency *= jitter_.warmup_scale;
+  else if (rng_.bernoulli(jitter_.straggler_prob))
+    latency *= jitter_.straggler_scale;
+  ++frame_;
+  return latency;
+}
+
+Summary benchmark_executor(Executor& executor, int frames) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(frames));
+  for (int i = 0; i < frames; ++i) samples.push_back(executor.infer_ms());
+  return summarize(samples);
+}
+
+}  // namespace ocb::runtime

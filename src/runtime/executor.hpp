@@ -1,0 +1,65 @@
+// Inference executors.
+//
+// Two implementations behind one interface: HostExecutor runs the real
+// CPU engine and measures wall-clock time; SimulatedExecutor draws
+// latencies from the device model — the paper's benchmark loop over
+// ~1,000 frames is driven through either.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "devsim/simulator.hpp"
+#include "nn/engine.hpp"
+
+namespace ocb::runtime {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Execute one inference; returns the per-frame latency in ms.
+  virtual double infer_ms() = 0;
+  virtual const std::string& name() const noexcept = 0;
+};
+
+/// Wall-clock execution of a real graph on the host CPU.
+class HostExecutor final : public Executor {
+ public:
+  HostExecutor(const nn::Graph& graph, std::string name,
+               std::uint64_t seed = 1);
+  double infer_ms() override;
+  const std::string& name() const noexcept override { return name_; }
+
+ private:
+  nn::Engine engine_;
+  Tensor input_;
+  std::string name_;
+};
+
+/// Latency simulation on a modelled device.
+class SimulatedExecutor final : public Executor {
+ public:
+  SimulatedExecutor(nn::ModelProfile profile, devsim::DeviceSpec device,
+                    std::uint64_t seed,
+                    devsim::RooflineOptions options = {},
+                    devsim::JitterModel jitter = {});
+  double infer_ms() override;
+  const std::string& name() const noexcept override { return name_; }
+
+ private:
+  nn::ModelProfile profile_;
+  devsim::DeviceSpec device_;
+  devsim::RooflineOptions options_;
+  devsim::JitterModel jitter_;
+  Rng rng_;
+  double base_ms_;
+  int frame_ = 0;
+  std::string name_;
+};
+
+/// Run `frames` inferences and summarise the latencies.
+Summary benchmark_executor(Executor& executor, int frames);
+
+}  // namespace ocb::runtime

@@ -1,0 +1,45 @@
+#include "runtime/frame_source.hpp"
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "dataset/render.hpp"
+
+namespace ocb::runtime {
+
+CameraSource::CameraSource(dataset::VideoClip clip, int width, int height,
+                           double fps, std::uint64_t seed)
+    : clip_(clip), width_(width), height_(height), fps_(fps), seed_(seed) {
+  OCB_CHECK_MSG(fps > 0.0 && fps <= dataset::kExtractFps,
+                "fps must be in (0, extract rate]");
+}
+
+int CameraSource::remaining() const noexcept {
+  const int total = static_cast<int>(
+      std::floor(clip_.duration_s() * fps_));
+  return std::max(0, total - cursor_);
+}
+
+std::optional<Frame> CameraSource::next() {
+  if (remaining() <= 0) return std::nullopt;
+  const double t = static_cast<double>(cursor_) / fps_;
+  const int extract_index =
+      static_cast<int>(std::floor(t * dataset::kExtractFps));
+  const dataset::SceneSpec spec = dataset::clip_frame(
+      clip_, std::min(extract_index, clip_.extracted_frames - 1));
+
+  Rng rng(hash_combine(seed_, static_cast<std::uint64_t>(cursor_)));
+  dataset::RenderedFrame rendered =
+      dataset::render_scene(spec, width_, height_, rng);
+
+  Frame frame;
+  frame.image = std::move(rendered.image);
+  frame.spec = spec;
+  frame.vest_truth = rendered.vest;
+  frame.timestamp_s = t;
+  frame.index = cursor_;
+  ++cursor_;
+  return frame;
+}
+
+}  // namespace ocb::runtime

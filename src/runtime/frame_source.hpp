@@ -1,0 +1,44 @@
+// Frame sources for the application runtime.
+//
+// Wraps the dataset video simulator as a live camera: frames arrive at
+// the capture rate with monotonically increasing timestamps, as the
+// buddy drone's 30 FPS feed would.
+#pragma once
+
+#include <optional>
+
+#include "dataset/generator.hpp"
+#include "dataset/video.hpp"
+
+namespace ocb::runtime {
+
+struct Frame {
+  Image image;
+  dataset::SceneSpec spec;    ///< ground truth (for evaluation/demo)
+  Annotation vest_truth;
+  double timestamp_s = 0.0;
+  int index = 0;
+};
+
+class CameraSource {
+ public:
+  /// Stream `clip` at `fps` (≤ capture rate), rendering at w×h.
+  CameraSource(dataset::VideoClip clip, int width, int height, double fps,
+               std::uint64_t seed);
+
+  /// Next frame, or nullopt at end of clip.
+  std::optional<Frame> next();
+
+  void reset() noexcept { cursor_ = 0; }
+  int remaining() const noexcept;
+  double fps() const noexcept { return fps_; }
+
+ private:
+  dataset::VideoClip clip_;
+  int width_, height_;
+  double fps_;
+  std::uint64_t seed_;
+  int cursor_ = 0;
+};
+
+}  // namespace ocb::runtime

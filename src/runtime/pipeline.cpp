@@ -1,0 +1,42 @@
+#include "runtime/pipeline.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace ocb::runtime {
+
+Pipeline::Pipeline(std::vector<std::unique_ptr<Executor>> stages,
+                   Discipline discipline)
+    : stages_(std::move(stages)), discipline_(discipline) {
+  OCB_CHECK_MSG(!stages_.empty(), "pipeline needs at least one stage");
+}
+
+PipelineStats Pipeline::run(int frames, double deadline_ms) {
+  OCB_CHECK_MSG(frames > 0, "frames must be positive");
+  std::vector<double> per_frame;
+  per_frame.reserve(static_cast<std::size_t>(frames));
+  std::size_t misses = 0;
+
+  for (int f = 0; f < frames; ++f) {
+    double total = 0.0;
+    for (auto& stage : stages_) {
+      const double ms = stage->infer_ms();
+      total = discipline_ == Discipline::kSequential ? total + ms
+                                                     : std::max(total, ms);
+    }
+    per_frame.push_back(total);
+    if (total > deadline_ms) ++misses;
+  }
+
+  PipelineStats stats;
+  stats.per_frame = summarize(per_frame);
+  stats.achieved_fps =
+      stats.per_frame.median > 0.0 ? 1000.0 / stats.per_frame.median : 0.0;
+  stats.deadline_ms = deadline_ms;
+  stats.deadline_miss_rate =
+      static_cast<double>(misses) / static_cast<double>(frames);
+  return stats;
+}
+
+}  // namespace ocb::runtime

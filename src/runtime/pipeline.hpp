@@ -1,0 +1,42 @@
+// Multi-model VIP pipeline timing.
+//
+// Ocularone runs three situation-awareness models per frame (vest
+// detection, body pose, depth). This module composes their latencies
+// under two execution disciplines and derives the achievable frame
+// rate — the "real-time feasibility" analysis of §4.2.3/4.2.4.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/executor.hpp"
+
+namespace ocb::runtime {
+
+enum class Discipline {
+  kSequential,  ///< one CUDA stream: latencies add
+  kParallel,    ///< independent engines/devices: max latency dominates
+};
+
+struct PipelineStats {
+  Summary per_frame;      ///< end-to-end latency per frame (ms)
+  double achieved_fps = 0.0;
+  double deadline_ms = 0.0;
+  double deadline_miss_rate = 0.0;  ///< fraction of frames over deadline
+};
+
+class Pipeline {
+ public:
+  Pipeline(std::vector<std::unique_ptr<Executor>> stages,
+           Discipline discipline);
+
+  /// Run `frames` end-to-end iterations; `deadline_ms` defines the
+  /// real-time budget (e.g. 1000/30 for a 30 FPS feed).
+  PipelineStats run(int frames, double deadline_ms);
+
+ private:
+  std::vector<std::unique_ptr<Executor>> stages_;
+  Discipline discipline_;
+};
+
+}  // namespace ocb::runtime

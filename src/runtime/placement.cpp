@@ -1,0 +1,50 @@
+#include "runtime/placement.hpp"
+
+#include "devsim/simulator.hpp"
+
+namespace ocb::runtime {
+
+std::optional<Placement> best_on_device(
+    const std::vector<Candidate>& candidates, devsim::DeviceId device,
+    double budget_ms) {
+  const devsim::DeviceSpec& spec = devsim::device_spec(device);
+  std::optional<Placement> best;
+  for (const Candidate& candidate : candidates) {
+    if (!devsim::fits_in_memory(candidate.profile, spec)) continue;
+    const double latency = devsim::model_latency_ms(candidate.profile, spec);
+    if (latency > budget_ms) continue;
+    if (!best || candidate.accuracy > best->accuracy ||
+        (candidate.accuracy == best->accuracy && latency < best->latency_ms)) {
+      best = Placement{candidate.profile.model_name, device, latency,
+                       candidate.accuracy};
+    }
+  }
+  return best;
+}
+
+std::optional<EdgeCloudPlan> plan_edge_cloud(
+    const std::vector<Candidate>& candidates, devsim::DeviceId edge_device,
+    double budget_ms, double network_rtt_ms, double min_edge_accuracy) {
+  std::vector<Candidate> edge_ok;
+  for (const Candidate& c : candidates)
+    if (c.accuracy >= min_edge_accuracy) edge_ok.push_back(c);
+
+  const auto edge = best_on_device(edge_ok, edge_device, budget_ms);
+  if (!edge) return std::nullopt;
+
+  EdgeCloudPlan plan;
+  plan.edge = *edge;
+  plan.cloud_round_trip_ms = network_rtt_ms;
+
+  // Cloud escalation is worthwhile only if it buys accuracy within the
+  // same budget after paying the network round trip.
+  const auto cloud = best_on_device(candidates, devsim::DeviceId::kRtx4090,
+                                    budget_ms - network_rtt_ms);
+  if (cloud && cloud->accuracy > edge->accuracy) {
+    plan.cloud = *cloud;
+    plan.cloud->latency_ms += network_rtt_ms;
+  }
+  return plan;
+}
+
+}  // namespace ocb::runtime

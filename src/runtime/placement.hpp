@@ -1,0 +1,51 @@
+// Accuracy-aware adaptive deployment advisor.
+//
+// The paper's conclusion (§4.2.4, §5) calls for "accuracy-aware
+// adaptive deployment strategies for seamless execution across
+// edge-cloud environments": larger, more accurate models on the
+// workstation; smaller ones on the edge. This module implements that
+// policy: given candidate (model, accuracy) pairs and a latency budget,
+// it selects the best placement per device and an edge+cloud split.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devsim/roofline.hpp"
+
+namespace ocb::runtime {
+
+struct Candidate {
+  nn::ModelProfile profile;
+  double accuracy = 0.0;   ///< measured accuracy of this model (0..1)
+};
+
+struct Placement {
+  std::string model_name;
+  devsim::DeviceId device;
+  double latency_ms = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Highest-accuracy candidate whose simulated latency on `device` meets
+/// `budget_ms` (nullopt if none fits, including the RAM check).
+std::optional<Placement> best_on_device(
+    const std::vector<Candidate>& candidates, devsim::DeviceId device,
+    double budget_ms);
+
+struct EdgeCloudPlan {
+  Placement edge;                      ///< always-available local model
+  std::optional<Placement> cloud;      ///< higher-accuracy remote model
+  double cloud_round_trip_ms = 0.0;
+};
+
+/// Edge-cloud split: the fastest acceptable model runs locally for
+/// every frame; when the cloud model (+ network RTT) still meets the
+/// budget, frames are escalated to it for higher accuracy.
+std::optional<EdgeCloudPlan> plan_edge_cloud(
+    const std::vector<Candidate>& candidates, devsim::DeviceId edge_device,
+    double budget_ms, double network_rtt_ms,
+    double min_edge_accuracy = 0.0);
+
+}  // namespace ocb::runtime

@@ -1,0 +1,70 @@
+#include "sensors/fusion.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "dataset/render.hpp"
+
+namespace ocb::sensors {
+
+FusionDetector::FusionDetector(FusionConfig config) : config_(config) {
+  OCB_CHECK_MSG(config_.sectors >= 1, "need at least one sector");
+}
+
+std::vector<FusedSector> FusionDetector::fuse(
+    const std::vector<vip::SectorReading>& vision,
+    const std::vector<float>& lidar_sectors,
+    const std::vector<Box>& hotspots, int image_width) const {
+  std::vector<FusedSector> out(static_cast<std::size_t>(config_.sectors));
+  const float sector_w =
+      static_cast<float>(image_width) / static_cast<float>(config_.sectors);
+
+  for (int s = 0; s < config_.sectors; ++s) {
+    FusedSector& fused = out[static_cast<std::size_t>(s)];
+    fused.sector = s;
+    if (s < static_cast<int>(vision.size()))
+      fused.vision_m = vision[static_cast<std::size_t>(s)].nearest_m;
+    if (s < static_cast<int>(lidar_sectors.size()))
+      fused.lidar_m = lidar_sectors[static_cast<std::size_t>(s)];
+    fused.fused_m = std::min(fused.vision_m, fused.lidar_m);
+
+    for (const Box& hotspot : hotspots) {
+      const float cx = hotspot.cx();
+      if (cx >= static_cast<float>(s) * sector_w &&
+          cx < static_cast<float>(s + 1) * sector_w) {
+        fused.thermal_body = true;
+        break;
+      }
+    }
+    fused.alert = fused.fused_m <= config_.alert_distance_m;
+  }
+  return out;
+}
+
+std::vector<FusedSector> FusionDetector::analyse_scene(
+    const dataset::SceneSpec& spec, int width, int height, Rng& rng,
+    bool mask_vip) const {
+  // Vision depth path.
+  vip::ObstacleConfig ocfg;
+  ocfg.sectors = config_.sectors;
+  ocfg.alert_distance_m = config_.alert_distance_m;
+  if (mask_vip) ocfg.vip_distance_m = spec.vip_distance;
+  const vip::ObstacleDetector obstacle(ocfg);
+  const Image depth = dataset::render_depth(spec, width, height);
+  const auto vision = obstacle.analyse(depth);
+
+  // LiDAR path.
+  LidarConfig lcfg;
+  lcfg.include_vip = !mask_vip;
+  const LidarScan scan = lidar_scan(spec, lcfg, rng);
+  const auto lidar_sectors = sector_min_ranges(scan, config_.sectors);
+
+  // Thermal path.
+  const Image thermal = render_thermal(spec, width, height, {}, rng);
+  const auto hotspots =
+      detect_hotspots(thermal, config_.hotspot_threshold);
+
+  return fuse(vision, lidar_sectors, hotspots, width);
+}
+
+}  // namespace ocb::sensors

@@ -1,0 +1,55 @@
+// Multi-modal sensor fusion (paper §5 future work).
+//
+// Combines the three ranging/identification modalities the Ocularone
+// platform could carry: vision depth (Monodepth2's role), 2D LiDAR and
+// thermal imaging. Per horizontal sector the fused reading takes the
+// most pessimistic (nearest) range and flags whether a warm body backs
+// it — the cue that survives the low-light conditions where the
+// vision-only detector degrades (Fig 4's adversarial split).
+#pragma once
+
+#include "sensors/lidar.hpp"
+#include "sensors/thermal.hpp"
+#include "vip/obstacle.hpp"
+
+namespace ocb::sensors {
+
+struct FusedSector {
+  int sector = 0;
+  float vision_m = 1e9f;   ///< nearest from the depth map
+  float lidar_m = 1e9f;    ///< nearest from the LiDAR scan
+  float fused_m = 1e9f;    ///< min of the available modalities
+  bool thermal_body = false;  ///< a hotspot falls in this sector
+  bool alert = false;
+};
+
+struct FusionConfig {
+  int sectors = 3;
+  float alert_distance_m = 2.0f;
+  float hotspot_threshold = 0.6f;
+};
+
+class FusionDetector {
+ public:
+  explicit FusionDetector(FusionConfig config = {});
+
+  /// Fuse per-sector readings. Any of the inputs may be "absent":
+  /// pass an empty vector for missing modalities.
+  std::vector<FusedSector> fuse(
+      const std::vector<vip::SectorReading>& vision,
+      const std::vector<float>& lidar_sectors,
+      const std::vector<Box>& hotspots, int image_width) const;
+
+  /// Convenience end-to-end path: scene → (depth, LiDAR, thermal) →
+  /// fused sectors. `mask_vip` removes the VIP's own returns.
+  std::vector<FusedSector> analyse_scene(const dataset::SceneSpec& spec,
+                                         int width, int height, Rng& rng,
+                                         bool mask_vip = true) const;
+
+  const FusionConfig& config() const noexcept { return config_; }
+
+ private:
+  FusionConfig config_;
+};
+
+}  // namespace ocb::sensors

@@ -1,0 +1,87 @@
+#include "sensors/lidar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace ocb::sensors {
+
+namespace {
+struct Cylinder {
+  float angle_deg;  ///< bearing of the centre
+  float range_m;
+  float radius_m;
+};
+
+/// Bearing of an actor from its frame-x fraction: the camera's FoV maps
+/// linearly onto [-fov/2, fov/2].
+float bearing(float x_frac, float fov_deg) {
+  return (x_frac - 0.5f) * fov_deg;
+}
+
+std::vector<Cylinder> scene_cylinders(const dataset::SceneSpec& spec,
+                                      const LidarConfig& config) {
+  std::vector<Cylinder> out;
+  const float fov = config.fov_deg;
+  for (const auto& p : spec.pedestrians)
+    out.push_back({bearing(p.x, fov), p.depth * spec.vip_distance, 0.25f});
+  for (const auto& b : spec.bicycles)
+    out.push_back({bearing(b.x, fov), b.depth * spec.vip_distance, 0.45f});
+  for (const auto& c : spec.cars)
+    out.push_back({bearing(c.x, fov), c.depth * spec.vip_distance, 1.1f});
+  if (config.include_vip)
+    out.push_back({bearing(0.5f + 0.4f * spec.vip_lateral, fov),
+                   spec.vip_distance, 0.25f});
+  return out;
+}
+}  // namespace
+
+LidarScan lidar_scan(const dataset::SceneSpec& spec,
+                     const LidarConfig& config, Rng& rng) {
+  OCB_CHECK_MSG(config.beams >= 2, "need at least two beams");
+  OCB_CHECK_MSG(config.max_range_m > 0.0f, "max range must be positive");
+
+  LidarScan scan;
+  scan.config = config;
+  scan.ranges.assign(static_cast<std::size_t>(config.beams),
+                     config.max_range_m);
+  const auto cylinders = scene_cylinders(spec, config);
+
+  for (int beam = 0; beam < config.beams; ++beam) {
+    const float theta = scan.angle_deg(beam);
+    float best = config.max_range_m;
+    for (const Cylinder& cyl : cylinders) {
+      if (cyl.range_m >= best) continue;
+      // Angular half-width subtended by the cylinder at its range.
+      const float half_width_deg =
+          std::atan2(cyl.radius_m, cyl.range_m) * 180.0f /
+          std::numbers::pi_v<float>;
+      if (std::fabs(theta - cyl.angle_deg) <= half_width_deg)
+        best = cyl.range_m;
+    }
+    if (best < config.max_range_m && config.noise_sigma > 0.0f)
+      best *= static_cast<float>(rng.lognormal(0.0, config.noise_sigma));
+    scan.ranges[static_cast<std::size_t>(beam)] =
+        std::min(best, config.max_range_m);
+  }
+  return scan;
+}
+
+std::vector<float> sector_min_ranges(const LidarScan& scan, int sectors) {
+  OCB_CHECK_MSG(sectors >= 1, "need at least one sector");
+  std::vector<float> out(static_cast<std::size_t>(sectors),
+                         scan.config.max_range_m);
+  const int beams = scan.config.beams;
+  for (int beam = 0; beam < beams; ++beam) {
+    int sector = beam * sectors / beams;
+    sector = std::min(sector, sectors - 1);
+    out[static_cast<std::size_t>(sector)] =
+        std::min(out[static_cast<std::size_t>(sector)],
+                 scan.ranges[static_cast<std::size_t>(beam)]);
+  }
+  return out;
+}
+
+}  // namespace ocb::sensors

@@ -1,0 +1,45 @@
+// 2D LiDAR simulation (paper §5 future work: "integrating multi-modal
+// sensing (LiDAR, thermal imaging)").
+//
+// Simulates a planar scanner mounted on the buddy drone: a fan of beams
+// across the camera's field of view, each returning the range to the
+// nearest actor it hits (VIP, pedestrians, bicycles, parked cars) or
+// max_range. Ranges carry multiplicative Gaussian noise.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "dataset/scene.hpp"
+
+namespace ocb::sensors {
+
+struct LidarConfig {
+  float fov_deg = 90.0f;   ///< total horizontal field of view
+  int beams = 181;         ///< angular resolution (~0.5°)
+  float max_range_m = 12.0f;
+  float noise_sigma = 0.01f;  ///< multiplicative range noise
+  bool include_vip = true;    ///< false masks out the VIP's own return
+};
+
+struct LidarScan {
+  LidarConfig config;
+  std::vector<float> ranges;  ///< metres, size == config.beams
+
+  float angle_deg(int beam) const noexcept {
+    return -config.fov_deg / 2.0f +
+           config.fov_deg * static_cast<float>(beam) /
+               static_cast<float>(config.beams - 1);
+  }
+};
+
+/// Cast the scan against a scene. Actors are modelled as vertical
+/// cylinders at their scene positions (radius by actor type).
+LidarScan lidar_scan(const dataset::SceneSpec& spec,
+                     const LidarConfig& config, Rng& rng);
+
+/// Minimum range per horizontal sector (matching ObstacleDetector's
+/// sector convention: sector 0 = leftmost).
+std::vector<float> sector_min_ranges(const LidarScan& scan, int sectors);
+
+}  // namespace ocb::sensors

@@ -1,0 +1,132 @@
+#include "sensors/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "core/error.hpp"
+#include "image/draw.hpp"
+#include "image/transform.hpp"
+
+namespace ocb::sensors {
+
+namespace {
+// Camera geometry shared with the RGB renderer (dataset/render.cpp):
+// feet anchor and apparent height from distance.
+float ground_y(float d, float horizon, int height) {
+  const float t = std::clamp(2.0f / d, 0.06f, 1.0f);
+  return static_cast<float>(height) * (horizon + (1.0f - horizon) * t);
+}
+
+float person_height(float d, int height) {
+  return std::clamp(1.1f * static_cast<float>(height) / d, 8.0f,
+                    0.92f * static_cast<float>(height));
+}
+
+void stamp_person(Image& img, float cx, float fy, float h, float temp) {
+  // Head + torso blob; limbs are thin and cool quickly, so the warm
+  // signature is the core.
+  const Color warm{temp, temp, temp};
+  fill_ellipse(img, cx, fy - 0.62f * h, 0.17f * h, 0.34f * h, warm);
+  fill_disc(img, cx, fy - 0.9f * h, 0.10f * h, warm);
+}
+}  // namespace
+
+Image render_thermal(const dataset::SceneSpec& spec, int width, int height,
+                     const ThermalConfig& config, Rng& rng) {
+  // Note: thermal is built as a 3-channel image so the drawing
+  // primitives apply, then collapsed to one channel.
+  Image canvas(width, height, 3, config.ambient);
+
+  // Sky is cold, ground holds a little residual heat.
+  const float horizon_y = spec.horizon * static_cast<float>(height);
+  fill_rect(canvas, 0, 0, width, static_cast<int>(horizon_y),
+            Color{config.ambient * 0.6f, config.ambient * 0.6f,
+                  config.ambient * 0.6f});
+
+  // Parked cars: warm engine block at the front of the body.
+  for (const auto& car : spec.cars) {
+    const float d = car.depth * spec.vip_distance;
+    const float fy = ground_y(d, spec.horizon, height);
+    const float scale = person_height(d, height);
+    fill_rect(canvas,
+              static_cast<int>(car.x * static_cast<float>(width) -
+                               0.2f * scale),
+              static_cast<int>(fy - 0.3f * scale),
+              static_cast<int>(car.x * static_cast<float>(width) +
+                               0.2f * scale),
+              static_cast<int>(fy),
+              Color{config.engine, config.engine, config.engine});
+  }
+
+  // People (pedestrians + the VIP) are the strongest sources.
+  for (const auto& p : spec.pedestrians) {
+    const float d = p.depth * spec.vip_distance;
+    stamp_person(canvas, p.x * static_cast<float>(width),
+                 ground_y(d, spec.horizon, height),
+                 person_height(d, height), config.person);
+  }
+  stamp_person(canvas,
+               (0.5f + 0.4f * spec.vip_lateral) * static_cast<float>(width),
+               ground_y(spec.vip_distance, spec.horizon, height),
+               person_height(spec.vip_distance, height), config.person);
+
+  // Collapse to one channel + sensor noise. Crucially, daylight and the
+  // visible-light corruptions do NOT affect the thermal channel.
+  Image thermal(width, height, 1);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      thermal.at(0, y, x) = canvas.at(0, y, x);
+  add_gaussian_noise(thermal, config.noise_sigma, rng);
+  return thermal;
+}
+
+std::vector<Box> detect_hotspots(const Image& thermal, float threshold,
+                                 int min_area_px) {
+  OCB_CHECK_MSG(thermal.channels() == 1, "hotspot detection needs 1 channel");
+  const int w = thermal.width();
+  const int h = thermal.height();
+  std::vector<bool> visited(static_cast<std::size_t>(w) * h, false);
+  std::vector<Box> boxes;
+
+  for (int sy = 0; sy < h; ++sy) {
+    for (int sx = 0; sx < w; ++sx) {
+      const std::size_t start = static_cast<std::size_t>(sy) * w + sx;
+      if (visited[start] || thermal.at(0, sy, sx) < threshold) continue;
+
+      // BFS flood fill of this warm component.
+      int min_x = sx, max_x = sx, min_y = sy, max_y = sy, area = 0;
+      std::deque<std::pair<int, int>> queue{{sy, sx}};
+      visited[start] = true;
+      while (!queue.empty()) {
+        const auto [y, x] = queue.front();
+        queue.pop_front();
+        ++area;
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+        const int dy[4] = {-1, 1, 0, 0};
+        const int dx[4] = {0, 0, -1, 1};
+        for (int k = 0; k < 4; ++k) {
+          const int ny = y + dy[k];
+          const int nx = x + dx[k];
+          if (ny < 0 || ny >= h || nx < 0 || nx >= w) continue;
+          const std::size_t idx = static_cast<std::size_t>(ny) * w + nx;
+          if (visited[idx] || thermal.at(0, ny, nx) < threshold) continue;
+          visited[idx] = true;
+          queue.emplace_back(ny, nx);
+        }
+      }
+      if (area >= min_area_px)
+        boxes.push_back({static_cast<float>(min_x), static_cast<float>(min_y),
+                         static_cast<float>(max_x + 1),
+                         static_cast<float>(max_y + 1)});
+    }
+  }
+  std::sort(boxes.begin(), boxes.end(),
+            [](const Box& a, const Box& b) { return a.area() > b.area(); });
+  return boxes;
+}
+
+}  // namespace ocb::sensors

@@ -1,0 +1,36 @@
+// Thermal imaging simulation (paper §5 future work).
+//
+// Renders a normalised long-wave-IR frame of a scene: people are warm
+// (≈0.85), car engines mildly warm, background cool and *independent of
+// visible light* — which is exactly why the paper proposes thermal for
+// the conditions where the vision models degrade (the adversarial
+// low-light split).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "dataset/scene.hpp"
+#include "detect/box.hpp"
+#include "image/image.hpp"
+
+namespace ocb::sensors {
+
+struct ThermalConfig {
+  float ambient = 0.25f;      ///< background temperature (normalised)
+  float person = 0.85f;
+  float engine = 0.55f;
+  float noise_sigma = 0.02f;  ///< sensor noise
+};
+
+/// Render a single-channel thermal frame of the scene (same camera
+/// geometry as the RGB renderer).
+Image render_thermal(const dataset::SceneSpec& spec, int width, int height,
+                     const ThermalConfig& config, Rng& rng);
+
+/// Hotspot detection: threshold + connected components → bounding
+/// boxes of warm regions, largest first. Minimum area filters speckle.
+std::vector<Box> detect_hotspots(const Image& thermal, float threshold,
+                                 int min_area_px = 6);
+
+}  // namespace ocb::sensors

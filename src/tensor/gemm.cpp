@@ -1,0 +1,75 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace ocb {
+
+void gemm_naive(const float* a, const float* b, float* c, std::size_t m,
+                std::size_t k, std::size_t n, bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = accumulate ? c[i * n + j] : 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+namespace {
+
+// Inner kernel: C[mb×nb] += A[mb×kb] · B[kb×nb] with the k-loop hoisted
+// outside the j-loop so B rows stream sequentially (unit stride) and the
+// compiler can vectorise the j-loop.
+void micro_kernel(const float* a, const float* b, float* c, std::size_t mb,
+                  std::size_t kb, std::size_t nb, std::size_t lda,
+                  std::size_t ldb, std::size_t ldc) {
+  for (std::size_t i = 0; i < mb; ++i) {
+    float* crow = c + i * ldc;
+    for (std::size_t p = 0; p < kb; ++p) {
+      const float aval = a[i * lda + p];
+      if (aval == 0.0f) continue;
+      const float* brow = b + p * ldb;
+      for (std::size_t j = 0; j < nb; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate,
+          const GemmConfig& config) {
+  if (m == 0 || n == 0) return;
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  if (k == 0) return;
+
+  const std::size_t bm = std::max<std::size_t>(1, config.block_m);
+  const std::size_t bn = std::max<std::size_t>(1, config.block_n);
+  const std::size_t bk = std::max<std::size_t>(1, config.block_k);
+
+  auto row_panel = [&](std::size_t panel) {
+    const std::size_t i0 = panel * bm;
+    const std::size_t mb = std::min(bm, m - i0);
+    for (std::size_t p0 = 0; p0 < k; p0 += bk) {
+      const std::size_t kb = std::min(bk, k - p0);
+      for (std::size_t j0 = 0; j0 < n; j0 += bn) {
+        const std::size_t nb = std::min(bn, n - j0);
+        micro_kernel(a + i0 * k + p0, b + p0 * n + j0, c + i0 * n + j0, mb,
+                     kb, nb, k, n, n);
+      }
+    }
+  };
+
+  const std::size_t panels = (m + bm - 1) / bm;
+  if (config.parallel && panels > 1) {
+    parallel_for(0, panels, row_panel, /*grain=*/1);
+  } else {
+    for (std::size_t panel = 0; panel < panels; ++panel) row_panel(panel);
+  }
+}
+
+}  // namespace ocb

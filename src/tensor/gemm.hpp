@@ -1,0 +1,29 @@
+// Single-precision GEMM.
+//
+// C[M×N] (+)= A[M×K] · B[K×N], row-major. The kernel is cache-blocked
+// and parallelised over row panels of C via the global thread pool.
+// Convolution lowers onto this through im2col (see im2col.hpp) — the
+// design decision ablated by bench_engine_ops.
+#pragma once
+
+#include <cstddef>
+
+namespace ocb {
+
+struct GemmConfig {
+  std::size_t block_m = 64;
+  std::size_t block_n = 256;
+  std::size_t block_k = 128;
+  bool parallel = true;
+};
+
+/// C = A·B (beta = 0) or C += A·B (accumulate = true).
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate = false,
+          const GemmConfig& config = {});
+
+/// Reference triple-loop implementation used by tests as the oracle.
+void gemm_naive(const float* a, const float* b, float* c, std::size_t m,
+                std::size_t k, std::size_t n, bool accumulate = false);
+
+}  // namespace ocb

@@ -1,0 +1,61 @@
+#include "tensor/im2col.hpp"
+
+namespace ocb {
+
+void im2col(const float* image, const ConvGeometry& geom, float* col) {
+  const int oh = geom.out_h();
+  const int ow = geom.out_w();
+  OCB_CHECK_MSG(oh > 0 && ow > 0, "conv output would be empty");
+  const std::size_t plane = static_cast<std::size_t>(geom.in_h) * geom.in_w;
+  std::size_t row = 0;
+  for (int c = 0; c < geom.in_c; ++c) {
+    const float* src = image + static_cast<std::size_t>(c) * plane;
+    for (int ky = 0; ky < geom.kernel_h; ++ky) {
+      for (int kx = 0; kx < geom.kernel_w; ++kx, ++row) {
+        float* dst = col + row * (static_cast<std::size_t>(oh) * ow);
+        for (int y = 0; y < oh; ++y) {
+          const int sy = y * geom.stride - geom.pad + ky;
+          if (sy < 0 || sy >= geom.in_h) {
+            for (int x = 0; x < ow; ++x) *dst++ = 0.0f;
+            continue;
+          }
+          const float* src_row = src + static_cast<std::size_t>(sy) * geom.in_w;
+          for (int x = 0; x < ow; ++x) {
+            const int sx = x * geom.stride - geom.pad + kx;
+            *dst++ = (sx >= 0 && sx < geom.in_w) ? src_row[sx] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeometry& geom, float* image_grad) {
+  const int oh = geom.out_h();
+  const int ow = geom.out_w();
+  const std::size_t plane = static_cast<std::size_t>(geom.in_h) * geom.in_w;
+  std::size_t row = 0;
+  for (int c = 0; c < geom.in_c; ++c) {
+    float* dst_plane = image_grad + static_cast<std::size_t>(c) * plane;
+    for (int ky = 0; ky < geom.kernel_h; ++ky) {
+      for (int kx = 0; kx < geom.kernel_w; ++kx, ++row) {
+        const float* src = col + row * (static_cast<std::size_t>(oh) * ow);
+        for (int y = 0; y < oh; ++y) {
+          const int sy = y * geom.stride - geom.pad + ky;
+          if (sy < 0 || sy >= geom.in_h) {
+            src += ow;
+            continue;
+          }
+          float* dst_row = dst_plane + static_cast<std::size_t>(sy) * geom.in_w;
+          for (int x = 0; x < ow; ++x) {
+            const int sx = x * geom.stride - geom.pad + kx;
+            if (sx >= 0 && sx < geom.in_w) dst_row[sx] += src[x];
+          }
+          src += ow;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ocb

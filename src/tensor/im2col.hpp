@@ -1,0 +1,40 @@
+// im2col / col2im lowering for convolution.
+//
+// A convolution with Cin input channels, kernel kh×kw and output size
+// Ho×Wo becomes a GEMM of [Cout × Cin·kh·kw] by [Cin·kh·kw × Ho·Wo].
+// col2im is the adjoint, used by the training engine's backward pass.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace ocb {
+
+struct ConvGeometry {
+  int in_c = 0, in_h = 0, in_w = 0;
+  int kernel_h = 1, kernel_w = 1;
+  int stride = 1;
+  int pad = 0;
+
+  int out_h() const noexcept {
+    return (in_h + 2 * pad - kernel_h) / stride + 1;
+  }
+  int out_w() const noexcept {
+    return (in_w + 2 * pad - kernel_w) / stride + 1;
+  }
+  std::size_t col_rows() const noexcept {
+    return static_cast<std::size_t>(in_c) * kernel_h * kernel_w;
+  }
+  std::size_t col_cols() const noexcept {
+    return static_cast<std::size_t>(out_h()) * out_w();
+  }
+};
+
+/// Expand one image (CHW, contiguous) into the column matrix
+/// `col[col_rows × col_cols]` (row-major). Zero padding.
+void im2col(const float* image, const ConvGeometry& geom, float* col);
+
+/// Adjoint of im2col: scatter-add columns back into the image gradient.
+/// `image_grad` must be pre-zeroed by the caller.
+void col2im(const float* col, const ConvGeometry& geom, float* image_grad);
+
+}  // namespace ocb

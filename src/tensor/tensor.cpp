@@ -1,0 +1,103 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace ocb {
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << '(' << n << ", " << c << ", " << h << ", " << w << ')';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape, float fill) : shape_(shape) {
+  OCB_CHECK_MSG(shape.n > 0 && shape.c > 0 && shape.h > 0 && shape.w > 0,
+                "tensor dims must be positive, got " + shape.str());
+  data_.assign(shape.numel(), fill);
+}
+
+float& Tensor::at(int n, int c, int h, int w) {
+  OCB_CHECK_MSG(n >= 0 && n < shape_.n && c >= 0 && c < shape_.c && h >= 0 &&
+                    h < shape_.h && w >= 0 && w < shape_.w,
+                "tensor index out of range for " + shape_.str());
+  return data_[((static_cast<std::size_t>(n) * shape_.c + c) * shape_.h + h) *
+                   shape_.w + w];
+}
+
+float Tensor::at(int n, int c, int h, int w) const {
+  return const_cast<Tensor*>(this)->at(n, c, h, w);
+}
+
+float* Tensor::channel(int n, int c) {
+  OCB_CHECK(n >= 0 && n < shape_.n && c >= 0 && c < shape_.c);
+  return data_.data() +
+         (static_cast<std::size_t>(n) * shape_.c + c) * shape_.h * shape_.w;
+}
+
+const float* Tensor::channel(int n, int c) const {
+  return const_cast<Tensor*>(this)->channel(n, c);
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::init_he(Rng& rng, int fan_in) {
+  OCB_CHECK_MSG(fan_in > 0, "fan_in must be positive");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void Tensor::init_uniform(Rng& rng, float lo, float hi) {
+  for (float& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  OCB_CHECK_MSG(new_shape.numel() == numel(),
+                "reshape " + shape_.str() + " -> " + new_shape.str() +
+                    " changes element count");
+  Tensor out = *this;
+  out.shape_ = new_shape;
+  return out;
+}
+
+void Tensor::add_(const Tensor& other) {
+  OCB_CHECK_MSG(shape_ == other.shape_, "add_ shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::mul_(float k) noexcept {
+  for (float& v : data_) v *= k;
+}
+
+double Tensor::sum() const noexcept {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+float Tensor::min() const noexcept {
+  if (data_.empty()) return 0.0f;
+  float m = std::numeric_limits<float>::max();
+  for (float v : data_) m = std::min(m, v);
+  return m;
+}
+
+float Tensor::max() const noexcept {
+  if (data_.empty()) return 0.0f;
+  float m = std::numeric_limits<float>::lowest();
+  for (float v : data_) m = std::max(m, v);
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol) {
+  if (!(a.shape() == b.shape())) return false;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    if (std::fabs(a[i] - b[i]) > atol) return false;
+  return true;
+}
+
+}  // namespace ocb

@@ -1,0 +1,81 @@
+// Dense float32 tensors in NCHW layout.
+//
+// This is the numeric substrate for both the inference engine (src/nn)
+// and the training engine (src/autograd). Shapes are rank-4 (N, C, H, W);
+// vectors/matrices use degenerate dims (e.g. a bias is {1, C, 1, 1}).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace ocb {
+
+struct Shape {
+  int n = 1, c = 1, h = 1, w = 1;
+
+  std::size_t numel() const noexcept {
+    return static_cast<std::size_t>(n) * c * h * w;
+  }
+  bool operator==(const Shape&) const = default;
+  std::string str() const;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f);
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t numel() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::span<float> span() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  float& at(int n, int c, int h, int w);
+  float at(int n, int c, int h, int w) const;
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Pointer to the start of feature map (n, c).
+  float* channel(int n, int c);
+  const float* channel(int n, int c) const;
+
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// He-normal initialisation for a layer with `fan_in` inputs.
+  void init_he(Rng& rng, int fan_in);
+  /// Uniform initialisation in [lo, hi].
+  void init_uniform(Rng& rng, float lo, float hi);
+
+  /// Reinterpret with a new shape of identical element count.
+  Tensor reshaped(Shape new_shape) const;
+
+  // Elementwise helpers (shapes must match exactly).
+  void add_(const Tensor& other);
+  void mul_(float k) noexcept;
+
+  /// Sum / min / max over all elements.
+  double sum() const noexcept;
+  float min() const noexcept;
+  float max() const noexcept;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Near-equality over all elements (absolute tolerance).
+bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
+
+}  // namespace ocb

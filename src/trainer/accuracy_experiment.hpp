@@ -1,0 +1,53 @@
+// Shared machinery for the paper's accuracy experiments (Figs 1/3/4).
+#pragma once
+
+#include <map>
+
+#include "core/table.hpp"
+#include "trainer/detector_trainer.hpp"
+
+namespace ocb::trainer {
+
+struct AccuracyExperimentConfig {
+  double dataset_scale = 0.04;   ///< fraction of Table 1 counts
+  int image_width = 192;
+  int image_height = 144;
+  double curated_fraction = 0.10;  ///< paper's ≈10% per-category sample
+  TrainConfig train;
+  int eval_cap = 250;   ///< max test images per split (0 = all)
+  std::uint64_t seed = 2025;
+};
+
+struct VariantResult {
+  models::YoloFamily family;
+  models::YoloSize size;
+  eval::Metrics diverse;
+  eval::Metrics adversarial;
+  std::size_t params = 0;
+  double train_seconds = 0.0;
+};
+
+/// Train all six (family, size) variants on the curated split and
+/// evaluate them on both test sets — the data behind Figs 3 and 4.
+std::vector<VariantResult> run_size_sweep(
+    const AccuracyExperimentConfig& config);
+
+struct CurationResult {
+  eval::Metrics random_small;   ///< Fig 1 top: small random training set
+  eval::Metrics curated_large;  ///< Fig 1 bottom: larger curated set
+  std::size_t random_images = 0;
+  std::size_t curated_images = 0;
+};
+
+/// Fig 1: YOLOv11-m trained on a small random sample vs. the curated
+/// per-category sample.
+CurationResult run_curation_experiment(
+    const AccuracyExperimentConfig& config);
+
+/// Training-set-size ablation: curated training sets of the given
+/// sizes (images), evaluated on the diverse test set.
+std::vector<std::pair<std::size_t, eval::Metrics>> run_trainsize_sweep(
+    const AccuracyExperimentConfig& config,
+    const std::vector<std::size_t>& train_sizes);
+
+}  // namespace ocb::trainer

@@ -1,0 +1,201 @@
+#include "trainer/detector_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/log.hpp"
+#include "detect/letterbox.hpp"
+#include "image/transform.hpp"
+
+namespace ocb::trainer {
+
+using dataset::DatasetGenerator;
+using dataset::Sample;
+using models::MiniYolo;
+using models::MiniYoloConfig;
+
+TrainCorpus::TrainCorpus(const DatasetGenerator& generator,
+                         const std::vector<Sample>& samples, int input_size,
+                         bool augment_flip) {
+  images_.reserve(samples.size() * (augment_flip ? 2 : 1));
+  truths_.reserve(images_.capacity());
+  for (const Sample& sample : samples) {
+    const dataset::RenderedFrame frame = generator.render(sample);
+    LetterboxInfo info;
+    const Image boxed = letterbox(frame.image, input_size, info);
+    Tensor tensor({1, 3, input_size, input_size});
+    std::copy(boxed.data(), boxed.data() + boxed.size(), tensor.data());
+
+    std::vector<Annotation> truth;
+    if (frame.vest_visible) {
+      Annotation ann = frame.vest;
+      ann.box = letterbox_box(ann.box, info)
+                    .clipped(static_cast<float>(input_size),
+                             static_cast<float>(input_size));
+      if (ann.box.valid()) truth.push_back(ann);
+    }
+
+    if (augment_flip) {
+      const Image mirrored = flip_horizontal(boxed);
+      Tensor flipped({1, 3, input_size, input_size});
+      std::copy(mirrored.data(), mirrored.data() + mirrored.size(),
+                flipped.data());
+      std::vector<Annotation> flipped_truth;
+      const float s = static_cast<float>(input_size);
+      for (const Annotation& ann : truth) {
+        Annotation out = ann;
+        out.box = Box{s - ann.box.x1, ann.box.y0, s - ann.box.x0,
+                      ann.box.y1};
+        flipped_truth.push_back(out);
+      }
+      images_.push_back(std::move(flipped));
+      truths_.push_back(std::move(flipped_truth));
+    }
+
+    images_.push_back(std::move(tensor));
+    truths_.push_back(std::move(truth));
+  }
+}
+
+DetectorTrainer::DetectorTrainer(const DatasetGenerator& generator,
+                                 TrainConfig config)
+    : generator_(generator), config_(config) {
+  OCB_CHECK_MSG(config.epochs > 0 && config.batch_size > 0,
+                "bad training config");
+}
+
+namespace {
+/// Assemble a minibatch from corpus indices.
+void make_batch(const TrainCorpus& corpus,
+                const std::vector<std::size_t>& indices, std::size_t begin,
+                std::size_t end, int input_size, Tensor& batch,
+                std::vector<std::vector<Annotation>>& truth) {
+  const int n = static_cast<int>(end - begin);
+  batch = Tensor({n, 3, input_size, input_size});
+  truth.clear();
+  const std::size_t image_elems =
+      static_cast<std::size_t>(3) * input_size * input_size;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t idx = indices[begin + static_cast<std::size_t>(i)];
+    std::copy(corpus.image(idx).data(),
+              corpus.image(idx).data() + image_elems,
+              batch.data() + static_cast<std::size_t>(i) * image_elems);
+    truth.push_back(corpus.truth(idx));
+  }
+}
+
+double run_loss(const MiniYolo& model, const Tensor& batch,
+                const std::vector<std::vector<Annotation>>& truth,
+                const TrainConfig& config, bool training,
+                ag::Sgd* optimizer) {
+  const ag::Var logits = model.forward(batch);
+  Tensor target, mask;
+  model.encode_targets(truth, target, mask);
+  const ag::Var loss = ag::yolo_grid_loss(logits, target, mask,
+                                          config.neg_weight,
+                                          config.box_weight);
+  const double value = loss->value[0];
+  if (training) {
+    optimizer->zero_grad();
+    ag::backward(loss);
+    optimizer->step();
+  }
+  return value;
+}
+}  // namespace
+
+MiniYolo DetectorTrainer::train(models::YoloFamily family,
+                                models::YoloSize size,
+                                const std::vector<Sample>& train_set,
+                                const std::vector<Sample>& val_set,
+                                TrainStats* stats) const {
+  OCB_CHECK_MSG(!train_set.empty(), "empty training set");
+  MiniYoloConfig mcfg;
+  mcfg.input_size = config_.input_size;
+  mcfg.grid = config_.input_size / 8;
+  MiniYolo model(family, size, mcfg,
+                 hash_combine(config_.seed, static_cast<std::uint64_t>(size)));
+
+  const TrainCorpus corpus(generator_, train_set, config_.input_size,
+                           config_.augment_flip);
+  const TrainCorpus val_corpus(generator_, val_set, config_.input_size);
+
+  ag::SgdConfig scfg;
+  scfg.lr = config_.lr;
+  ag::Sgd optimizer(model.parameters(), scfg);
+
+  Rng rng(hash_combine(config_.seed, 0xBA7C4ULL));
+  std::vector<std::size_t> order(corpus.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  if (stats != nullptr) {
+    stats->epoch_loss.clear();
+    stats->images = static_cast<int>(corpus.size());
+  }
+
+  Tensor batch;
+  std::vector<std::vector<Annotation>> truth;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    optimizer.set_lr(ag::cosine_lr(config_.lr, config_.final_lr, epoch,
+                                   config_.epochs, /*warmup=*/2));
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < order.size();
+         begin += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), begin + static_cast<std::size_t>(config_.batch_size));
+      make_batch(corpus, order, begin, end, config_.input_size, batch, truth);
+      epoch_loss += run_loss(model, batch, truth, config_, true, &optimizer);
+      ++batches;
+    }
+    if (stats != nullptr)
+      stats->epoch_loss.push_back(epoch_loss /
+                                  static_cast<double>(std::max<std::size_t>(1, batches)));
+    if (config_.verbose)
+      OCB_INFO << yolo_family_name(family) << "-" << yolo_size_name(size)
+               << " epoch " << epoch + 1 << "/" << config_.epochs
+               << " loss=" << epoch_loss / static_cast<double>(std::max<std::size_t>(1, batches));
+  }
+
+  if (stats != nullptr && val_corpus.size() > 0) {
+    std::vector<std::size_t> val_order(val_corpus.size());
+    for (std::size_t i = 0; i < val_order.size(); ++i) val_order[i] = i;
+    double val_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < val_order.size();
+         begin += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t end =
+          std::min(val_order.size(),
+                   begin + static_cast<std::size_t>(config_.batch_size));
+      make_batch(val_corpus, val_order, begin, end, config_.input_size,
+                 batch, truth);
+      val_loss += run_loss(model, batch, truth, config_, false, nullptr);
+      ++batches;
+    }
+    stats->final_val_loss =
+        val_loss / static_cast<double>(std::max<std::size_t>(1, batches));
+  }
+  return model;
+}
+
+eval::Report evaluate_detector(const MiniYolo& model,
+                               const DatasetGenerator& generator,
+                               const std::vector<Sample>& samples,
+                               const std::string& title, float confidence) {
+  eval::Report report(title);
+  for (const Sample& sample : samples) {
+    const dataset::RenderedFrame frame = generator.render(sample);
+    std::vector<Annotation> truth;
+    if (frame.vest_visible) truth.push_back(frame.vest);
+    const auto detections = model.detect(frame.image, confidence);
+    const eval::MatchResult result =
+        eval::match_detections(detections, truth, 0.5f);
+    const bool correct = result.false_positives == 0 &&
+                         result.false_negatives == 0;
+    report.add(dataset::category_name(sample.category), result, correct);
+  }
+  return report;
+}
+
+}  // namespace ocb::trainer

@@ -1,0 +1,79 @@
+// Detector training (the paper's §3.1 "Retraining of YOLO models").
+//
+// Mirrors the paper's recipe at reduced scale: curated/random training
+// split, 80:20 train/val, SGD at lr 0.01 with cosine decay, fixed
+// square input, batch 16. The detectors are MiniYolo variants (see
+// models/mini_yolo.hpp for why full 640² training is substituted).
+#pragma once
+
+#include "dataset/sampling.hpp"
+#include "eval/report.hpp"
+#include "models/mini_yolo.hpp"
+
+namespace ocb::trainer {
+
+struct TrainConfig {
+  int epochs = 30;        ///< paper: 100 (full scale)
+  int batch_size = 16;    ///< paper: 16
+  float lr = 0.01f;       ///< paper: Ultralytics default
+  float final_lr = 0.0005f;
+  int input_size = 64;    ///< paper: 640
+  float neg_weight = 0.6f;   ///< objectness weight on empty cells
+  float box_weight = 2.0f;
+  bool augment_flip = true;  ///< add horizontal mirrors to the corpus
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;
+  double final_val_loss = 0.0;
+  int images = 0;
+};
+
+/// A pre-rendered, letterboxed training corpus.
+class TrainCorpus {
+ public:
+  TrainCorpus(const dataset::DatasetGenerator& generator,
+              const std::vector<dataset::Sample>& samples, int input_size,
+              bool augment_flip = false);
+
+  std::size_t size() const noexcept { return images_.size(); }
+  const Tensor& image(std::size_t i) const { return images_[i]; }
+  const std::vector<Annotation>& truth(std::size_t i) const {
+    return truths_[i];
+  }
+
+ private:
+  std::vector<Tensor> images_;                    ///< (1,3,S,S) each
+  std::vector<std::vector<Annotation>> truths_;   ///< letterboxed coords
+};
+
+class DetectorTrainer {
+ public:
+  DetectorTrainer(const dataset::DatasetGenerator& generator,
+                  TrainConfig config);
+
+  /// Train one MiniYolo variant on `train` (val used for the final
+  /// validation loss only, as in the paper's 80:20 protocol).
+  models::MiniYolo train(models::YoloFamily family, models::YoloSize size,
+                         const std::vector<dataset::Sample>& train_set,
+                         const std::vector<dataset::Sample>& val_set,
+                         TrainStats* stats = nullptr) const;
+
+  const TrainConfig& config() const noexcept { return config_; }
+
+ private:
+  const dataset::DatasetGenerator& generator_;
+  TrainConfig config_;
+};
+
+/// Evaluate a trained detector over dataset samples, grouped by
+/// category (feeds Figs 1/3/4).
+eval::Report evaluate_detector(const models::MiniYolo& model,
+                               const dataset::DatasetGenerator& generator,
+                               const std::vector<dataset::Sample>& samples,
+                               const std::string& title,
+                               float confidence = 0.5f);
+
+}  // namespace ocb::trainer

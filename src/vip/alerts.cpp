@@ -1,0 +1,50 @@
+#include "vip/alerts.hpp"
+
+namespace ocb::vip {
+
+const char* alert_kind_name(AlertKind kind) noexcept {
+  switch (kind) {
+    case AlertKind::kVipLost: return "vip_lost";
+    case AlertKind::kVipReacquired: return "vip_reacquired";
+    case AlertKind::kObstacle: return "obstacle";
+    case AlertKind::kFallDetected: return "fall_detected";
+    case AlertKind::kLowConfidence: return "low_confidence";
+  }
+  return "?";
+}
+
+Severity alert_severity(AlertKind kind) noexcept {
+  switch (kind) {
+    case AlertKind::kFallDetected: return Severity::kCritical;
+    case AlertKind::kVipLost:
+    case AlertKind::kObstacle: return Severity::kWarning;
+    case AlertKind::kVipReacquired:
+    case AlertKind::kLowConfidence: return Severity::kInfo;
+  }
+  return Severity::kInfo;
+}
+
+AlertManager::AlertManager(AlertConfig config) : config_(config) {}
+
+bool AlertManager::raise(AlertKind kind, const std::string& message,
+                         double now_s) {
+  const bool critical = alert_severity(kind) == Severity::kCritical;
+  auto it = last_emitted_.find(kind);
+  if (!critical && it != last_emitted_.end() &&
+      now_s - it->second < config_.repeat_interval_s) {
+    ++suppressed_;
+    return false;
+  }
+  last_emitted_[kind] = now_s;
+  ++counts_[kind];
+  history_.push_back(Alert{kind, message, now_s});
+  while (history_.size() > config_.history_limit) history_.pop_front();
+  return true;
+}
+
+std::size_t AlertManager::emitted(AlertKind kind) const {
+  auto it = counts_.find(kind);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace ocb::vip

@@ -1,0 +1,56 @@
+// Alert manager: turns pipeline events into rate-limited, prioritised
+// guidance messages (the audio channel to the VIP in Ocularone).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ocb::vip {
+
+enum class AlertKind {
+  kVipLost,        ///< tracker lost the vest
+  kVipReacquired,
+  kObstacle,
+  kFallDetected,
+  kLowConfidence,
+};
+
+enum class Severity { kInfo = 0, kWarning = 1, kCritical = 2 };
+
+const char* alert_kind_name(AlertKind kind) noexcept;
+Severity alert_severity(AlertKind kind) noexcept;
+
+struct Alert {
+  AlertKind kind;
+  std::string message;
+  double timestamp_s = 0.0;
+};
+
+struct AlertConfig {
+  double repeat_interval_s = 3.0;  ///< min gap between same-kind alerts
+  std::size_t history_limit = 256;
+};
+
+class AlertManager {
+ public:
+  explicit AlertManager(AlertConfig config = {});
+
+  /// Raise an alert; returns true if it was emitted (not rate-limited).
+  /// Critical alerts bypass rate limiting.
+  bool raise(AlertKind kind, const std::string& message, double now_s);
+
+  const std::deque<Alert>& history() const noexcept { return history_; }
+  std::size_t emitted(AlertKind kind) const;
+  std::size_t suppressed() const noexcept { return suppressed_; }
+
+ private:
+  AlertConfig config_;
+  std::deque<Alert> history_;
+  std::map<AlertKind, double> last_emitted_;
+  std::map<AlertKind, std::size_t> counts_;
+  std::size_t suppressed_ = 0;
+};
+
+}  // namespace ocb::vip

@@ -1,0 +1,168 @@
+#include "vip/fall_svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace ocb::vip {
+
+namespace {
+// COCO-ish indices used by the feature extractor.
+constexpr int kNose = 0;
+constexpr int kNeck = 1;
+constexpr int kLHip = 8;
+constexpr int kRHip = 11;
+constexpr int kLAnkle = 10;
+constexpr int kRAnkle = 13;
+}  // namespace
+
+std::array<float, kPoseFeatures> pose_features(const Pose& pose) noexcept {
+  float min_x = 1e9f, max_x = -1e9f, min_y = 1e9f, max_y = -1e9f;
+  for (int k = 0; k < kKeypoints; ++k) {
+    min_x = std::min(min_x, pose.x[k]);
+    max_x = std::max(max_x, pose.x[k]);
+    min_y = std::min(min_y, pose.y[k]);
+    max_y = std::max(max_y, pose.y[k]);
+  }
+  const float width = std::max(1e-3f, max_x - min_x);
+  const float height = std::max(1e-3f, max_y - min_y);
+
+  const float hip_x = 0.5f * (pose.x[kLHip] + pose.x[kRHip]);
+  const float hip_y = 0.5f * (pose.y[kLHip] + pose.y[kRHip]);
+  const float torso_dx = pose.x[kNeck] - hip_x;
+  const float torso_dy = pose.y[kNeck] - hip_y;
+  // Torso inclination from vertical: 0 upright, ~π/2 horizontal.
+  const float incline =
+      std::atan2(std::fabs(torso_dx), std::fabs(torso_dy) + 1e-5f);
+
+  const float ankle_y = 0.5f * (pose.y[kLAnkle] + pose.y[kRAnkle]);
+  // Head height relative to the body extent (1 = head on the ground).
+  const float head_rel = (pose.y[kNose] - min_y) / height;
+  const float hip_rel = (ankle_y - hip_y) / height;
+
+  return {incline, width / height, head_rel, hip_rel, width};
+}
+
+Pose sample_standing_pose(Rng& rng) {
+  Pose pose;
+  const float cx = static_cast<float>(rng.uniform(0.3, 0.7));
+  const float head_y = static_cast<float>(rng.uniform(0.1, 0.25));
+  const float scale = static_cast<float>(rng.uniform(0.45, 0.65));
+  const float lean = static_cast<float>(rng.uniform(-0.06, 0.06));
+  auto jit = [&] { return static_cast<float>(rng.normal(0.0, 0.012)); };
+
+  const float neck_y = head_y + 0.12f * scale;
+  const float hip_y = head_y + 0.52f * scale;
+  const float knee_y = head_y + 0.75f * scale;
+  const float ankle_y = head_y + scale;
+  const float sw = static_cast<float>(rng.uniform(-0.05, 0.05));  // stride
+
+  auto set = [&](int k, float x, float y) {
+    pose.x[k] = x + jit();
+    pose.y[k] = y + jit();
+  };
+  set(0, cx + lean, head_y);                       // nose
+  set(1, cx + lean * 0.7f, neck_y);                // neck
+  set(2, cx - 0.08f * scale, neck_y + 0.02f);      // shoulders
+  set(5, cx + 0.08f * scale, neck_y + 0.02f);
+  set(3, cx - 0.10f * scale, neck_y + 0.22f * scale);  // elbows
+  set(6, cx + 0.10f * scale, neck_y + 0.22f * scale);
+  set(4, cx - 0.11f * scale, hip_y);               // wrists
+  set(7, cx + 0.11f * scale, hip_y);
+  set(8, cx - 0.06f * scale, hip_y);               // hips
+  set(11, cx + 0.06f * scale, hip_y);
+  set(9, cx - 0.06f * scale + sw, knee_y);         // knees
+  set(12, cx + 0.06f * scale - sw, knee_y);
+  set(10, cx - 0.06f * scale + 1.5f * sw, ankle_y);  // ankles
+  set(13, cx + 0.06f * scale - 1.5f * sw, ankle_y);
+  set(14, cx - 0.03f * scale + lean, head_y + 0.01f);  // eyes
+  set(15, cx + 0.03f * scale + lean, head_y + 0.01f);
+  set(16, cx - 0.05f * scale + lean, head_y + 0.03f);  // ears
+  set(17, cx + 0.05f * scale + lean, head_y + 0.03f);
+  return pose;
+}
+
+Pose sample_fallen_pose(Rng& rng) {
+  Pose pose;
+  const float cy = static_cast<float>(rng.uniform(0.72, 0.9));  // near ground
+  const float cx = static_cast<float>(rng.uniform(0.25, 0.75));
+  const float scale = static_cast<float>(rng.uniform(0.45, 0.65));
+  const float dir = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  const float sag = static_cast<float>(rng.uniform(-0.04, 0.04));
+  auto jit = [&] { return static_cast<float>(rng.normal(0.0, 0.018)); };
+
+  // Body axis is horizontal: head at one end, ankles at the other.
+  auto set = [&](int k, float along, float across) {
+    pose.x[k] = cx + dir * along * scale + jit();
+    pose.y[k] = cy + across * scale + sag + jit();
+  };
+  set(0, -0.50f, -0.02f);  // nose
+  set(1, -0.38f, 0.0f);    // neck
+  set(2, -0.36f, -0.07f);
+  set(5, -0.36f, 0.07f);
+  set(3, -0.20f, -0.10f);
+  set(6, -0.20f, 0.10f);
+  set(4, -0.05f, -0.11f);
+  set(7, -0.05f, 0.11f);
+  set(8, 0.02f, -0.05f);   // hips
+  set(11, 0.02f, 0.05f);
+  set(9, 0.25f, -0.06f);
+  set(12, 0.25f, 0.06f);
+  set(10, 0.50f, -0.05f);  // ankles
+  set(13, 0.50f, 0.05f);
+  set(14, -0.52f, -0.04f);
+  set(15, -0.52f, 0.0f);
+  set(16, -0.50f, -0.06f);
+  set(17, -0.50f, 0.02f);
+  return pose;
+}
+
+FallSvm::FallSvm(SvmConfig config) : config_(config) {}
+
+void FallSvm::train(const std::vector<Pose>& poses,
+                    const std::vector<bool>& fallen, Rng& rng) {
+  OCB_CHECK_MSG(poses.size() == fallen.size() && !poses.empty(),
+                "SVM training set mismatch");
+  std::vector<std::size_t> order(poses.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    const float lr =
+        config_.lr / (1.0f + 0.1f * static_cast<float>(epoch));
+    for (std::size_t idx : order) {
+      const auto f = pose_features(poses[idx]);
+      const float y = fallen[idx] ? 1.0f : -1.0f;
+      float margin = bias_;
+      for (int k = 0; k < kPoseFeatures; ++k) margin += weights_[k] * f[k];
+      margin *= y;
+      for (int k = 0; k < kPoseFeatures; ++k) {
+        float grad = config_.regularization * weights_[k];
+        if (margin < 1.0f) grad -= y * f[k];
+        weights_[k] -= lr * grad;
+      }
+      if (margin < 1.0f) bias_ += lr * y;
+    }
+  }
+  trained_ = true;
+}
+
+float FallSvm::decision(const Pose& pose) const noexcept {
+  const auto f = pose_features(pose);
+  float value = bias_;
+  for (int k = 0; k < kPoseFeatures; ++k) value += weights_[k] * f[k];
+  return value;
+}
+
+double FallSvm::evaluate(const std::vector<Pose>& poses,
+                         const std::vector<bool>& fallen) const {
+  OCB_CHECK_MSG(poses.size() == fallen.size() && !poses.empty(),
+                "SVM eval set mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < poses.size(); ++i)
+    if (is_fallen(poses[i]) == fallen[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(poses.size());
+}
+
+}  // namespace ocb::vip

@@ -1,0 +1,68 @@
+// Fall detection: linear SVM over body-pose keypoints.
+//
+// The paper integrates trt_pose "with an SVM classifier to detect fall
+// scenarios" (§3). We implement that classifier: geometric features
+// from 18 COCO-style keypoints, a linear SVM trained by subgradient
+// descent on the hinge loss, and a synthetic pose sampler (standing /
+// walking vs. fallen) for training and evaluation.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace ocb::vip {
+
+inline constexpr int kKeypoints = 18;
+
+/// One pose: 18 (x, y) keypoints in normalised image coordinates.
+struct Pose {
+  std::array<float, kKeypoints> x{};
+  std::array<float, kKeypoints> y{};
+};
+
+/// Feature vector: torso inclination, bbox aspect, head-relative
+/// height, hip height, limb spread (+ bias handled by the SVM).
+inline constexpr int kPoseFeatures = 5;
+std::array<float, kPoseFeatures> pose_features(const Pose& pose) noexcept;
+
+/// Sample a synthetic standing/walking pose (upright, swinging limbs).
+Pose sample_standing_pose(Rng& rng);
+/// Sample a fallen pose (horizontal body axis, low head).
+Pose sample_fallen_pose(Rng& rng);
+
+struct SvmConfig {
+  float lr = 0.05f;
+  float regularization = 1e-3f;
+  int epochs = 60;
+};
+
+class FallSvm {
+ public:
+  explicit FallSvm(SvmConfig config = {});
+
+  /// Train on labelled poses (label true = fallen).
+  void train(const std::vector<Pose>& poses, const std::vector<bool>& fallen,
+             Rng& rng);
+
+  /// Signed decision value (> 0 ⇒ fallen).
+  float decision(const Pose& pose) const noexcept;
+  bool is_fallen(const Pose& pose) const noexcept {
+    return decision(pose) > 0.0f;
+  }
+
+  /// Accuracy over a labelled set.
+  double evaluate(const std::vector<Pose>& poses,
+                  const std::vector<bool>& fallen) const;
+
+  bool trained() const noexcept { return trained_; }
+
+ private:
+  SvmConfig config_;
+  std::array<float, kPoseFeatures> weights_{};
+  float bias_ = 0.0f;
+  bool trained_ = false;
+};
+
+}  // namespace ocb::vip

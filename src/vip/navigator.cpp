@@ -1,0 +1,72 @@
+#include "vip/navigator.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "dataset/render.hpp"
+
+namespace ocb::vip {
+
+Navigator::Navigator(const models::MiniYolo* detector,
+                     const FallSvm* fall_svm, NavigatorConfig config)
+    : detector_(detector),
+      fall_svm_(fall_svm),
+      config_(config),
+      alerts_(config.alerts) {
+  OCB_CHECK_MSG(detector_ != nullptr, "navigator needs a detector");
+  OCB_CHECK_MSG(fall_svm_ != nullptr && fall_svm_->trained(),
+                "navigator needs a trained fall classifier");
+}
+
+FrameReport Navigator::process(const runtime::Frame& frame, Rng& rng) {
+  FrameReport report;
+  const double now = frame.timestamp_s;
+
+  // 1) Vest detection + tracking.
+  const auto detections =
+      detector_->detect(frame.image, config_.detector_confidence);
+  report.track = tracker_.update(detections);
+
+  if (was_locked_ && !report.track.locked)
+    alerts_.raise(AlertKind::kVipLost, "lost sight of the VIP", now);
+  if (!was_locked_ && report.track.locked)
+    alerts_.raise(AlertKind::kVipReacquired, "VIP reacquired", now);
+  was_locked_ = report.track.locked;
+
+  if (report.track.locked && report.track.confidence < 0.55f)
+    alerts_.raise(AlertKind::kLowConfidence, "detection confidence low", now);
+
+  // 2) Depth → obstacle sectors. Ground-truth depth stands in for
+  //    Monodepth2 (the paper treats depth as an off-the-shelf model).
+  ObstacleConfig obstacle_cfg = config_.obstacle;
+  obstacle_cfg.vip_distance_m = frame.spec.vip_distance;
+  ObstacleDetector obstacle(obstacle_cfg);
+  const Image depth =
+      dataset::render_depth(frame.spec, frame.image.width(),
+                            frame.image.height());
+  report.obstacles = obstacle.analyse(depth);
+  for (const SectorReading& r : report.obstacles) {
+    if (!r.alert) continue;
+    std::ostringstream msg;
+    msg << "obstacle " << obstacle.sector_name(r.sector) << " at "
+        << r.nearest_m << " m";
+    alerts_.raise(AlertKind::kObstacle, msg.str(), now);
+  }
+
+  // 3) Pose → fall. Synthetic keypoints stand in for trt_pose output;
+  //    the VIP walks upright unless the scene sways extremely.
+  const Pose pose = sample_standing_pose(rng);
+  report.fall = fall_svm_->is_fallen(pose);
+  if (report.fall)
+    alerts_.raise(AlertKind::kFallDetected, "VIP fall detected!", now);
+
+  // Collect alerts emitted this frame.
+  for (auto it = alerts_.history().rbegin(); it != alerts_.history().rend();
+       ++it) {
+    if (it->timestamp_s < now) break;
+    report.new_alerts.push_back(*it);
+  }
+  return report;
+}
+
+}  // namespace ocb::vip

@@ -1,0 +1,55 @@
+// The Ocularone application: VIP navigation assistance.
+//
+// Glues the whole stack together per frame: vest detection (a trained
+// MiniYolo) → tracking, pose → fall SVM, depth → obstacle sectors, and
+// alerting. This is what the benchmark suite exists to serve, and what
+// the vip_navigation example drives end to end.
+#pragma once
+
+#include <memory>
+
+#include "models/mini_yolo.hpp"
+#include "runtime/frame_source.hpp"
+#include "vip/alerts.hpp"
+#include "vip/fall_svm.hpp"
+#include "vip/obstacle.hpp"
+#include "vip/tracker.hpp"
+
+namespace ocb::vip {
+
+struct NavigatorConfig {
+  float detector_confidence = 0.45f;
+  ObstacleConfig obstacle;
+  AlertConfig alerts;
+};
+
+struct FrameReport {
+  TrackState track;
+  std::vector<SectorReading> obstacles;
+  bool fall = false;
+  std::vector<Alert> new_alerts;
+};
+
+class Navigator {
+ public:
+  /// The navigator borrows a trained detector and fall classifier.
+  Navigator(const models::MiniYolo* detector, const FallSvm* fall_svm,
+            NavigatorConfig config = {});
+
+  /// Process one camera frame (with its ground-truth scene used as the
+  /// depth/pose oracle, standing in for Monodepth2/trt_pose outputs).
+  FrameReport process(const runtime::Frame& frame, Rng& rng);
+
+  const AlertManager& alerts() const noexcept { return alerts_; }
+  const VestTracker& tracker() const noexcept { return tracker_; }
+
+ private:
+  const models::MiniYolo* detector_;
+  const FallSvm* fall_svm_;
+  NavigatorConfig config_;
+  VestTracker tracker_;
+  AlertManager alerts_;
+  bool was_locked_ = false;
+};
+
+}  // namespace ocb::vip

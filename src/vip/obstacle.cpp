@@ -1,0 +1,62 @@
+#include "vip/obstacle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace ocb::vip {
+
+ObstacleDetector::ObstacleDetector(ObstacleConfig config) : config_(config) {
+  OCB_CHECK_MSG(config_.sectors >= 1, "need at least one sector");
+}
+
+std::vector<SectorReading> ObstacleDetector::analyse(
+    const Image& depth) const {
+  OCB_CHECK_MSG(depth.channels() == 1, "depth map must be single-channel");
+  std::vector<SectorReading> readings(
+      static_cast<std::size_t>(config_.sectors));
+  for (int s = 0; s < config_.sectors; ++s) readings[s].sector = s;
+
+  const int y0 = static_cast<int>(config_.roi_top * depth.height());
+  const int sector_w = depth.width() / config_.sectors;
+
+  for (int y = y0; y < depth.height(); ++y) {
+    // Expected ground distance at this scanline: obstacles must stand
+    // clear of the ground plane by ground_margin.
+    for (int x = 0; x < depth.width(); ++x) {
+      const float d = depth.at(0, y, x);
+      // Ground rejection: the lowest value in the same column *below*
+      // is ground; simpler robust proxy — ignore readings deeper than
+      // 95% of the bottom-row value for this column.
+      const float ground_d = depth.at(0, depth.height() - 1, x);
+      if (d > ground_d - config_.ground_margin_m && ground_d < 25.0f &&
+          y > depth.height() * 3 / 4)
+        continue;  // ground plane, not an obstacle
+      if (config_.vip_distance_m > 0.0f &&
+          std::fabs(d - config_.vip_distance_m) < 0.3f)
+        continue;  // that's the VIP themself
+      const int s =
+          std::min(config_.sectors - 1, x / std::max(1, sector_w));
+      readings[static_cast<std::size_t>(s)].nearest_m =
+          std::min(readings[static_cast<std::size_t>(s)].nearest_m, d);
+    }
+  }
+  for (SectorReading& r : readings)
+    r.alert = r.nearest_m <= config_.alert_distance_m;
+  return readings;
+}
+
+std::string ObstacleDetector::sector_name(int sector) const {
+  if (config_.sectors == 3) {
+    switch (sector) {
+      case 0: return "left";
+      case 1: return "ahead";
+      case 2: return "right";
+      default: break;
+    }
+  }
+  return "sector " + std::to_string(sector);
+}
+
+}  // namespace ocb::vip

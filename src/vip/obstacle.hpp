@@ -1,0 +1,46 @@
+// Depth-based obstacle detection.
+//
+// Consumes a metric depth map (Monodepth2's role in Ocularone) and
+// reports the nearest obstacle per horizontal sector so the navigator
+// can issue "obstacle left / ahead / right" guidance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace ocb::vip {
+
+struct ObstacleConfig {
+  int sectors = 3;            ///< left / centre / right by default
+  float alert_distance_m = 2.0f;
+  float ground_margin_m = 0.35f;  ///< ignore returns near the ground plane
+  float roi_top = 0.3f;       ///< ignore sky (fraction of height)
+  float vip_distance_m = 0.0f;    ///< VIP's own depth to mask out (0 = off)
+};
+
+struct SectorReading {
+  int sector = 0;
+  float nearest_m = 1e9f;
+  bool alert = false;
+};
+
+class ObstacleDetector {
+ public:
+  explicit ObstacleDetector(ObstacleConfig config = {});
+
+  /// Analyse a single-channel metric depth map.
+  std::vector<SectorReading> analyse(const Image& depth) const;
+
+  /// Human-readable direction of sector i ("left", "ahead", "right" for
+  /// 3 sectors; "sector k" otherwise).
+  std::string sector_name(int sector) const;
+
+  const ObstacleConfig& config() const noexcept { return config_; }
+
+ private:
+  ObstacleConfig config_;
+};
+
+}  // namespace ocb::vip

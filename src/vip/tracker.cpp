@@ -1,0 +1,54 @@
+#include "vip/tracker.hpp"
+
+#include "detect/nms.hpp"
+
+namespace ocb::vip {
+
+VestTracker::VestTracker(TrackerConfig config) : config_(config) {}
+
+void VestTracker::reset() noexcept { state_ = TrackState{}; }
+
+const TrackState& VestTracker::update(
+    const std::vector<Detection>& detections) {
+  // Pick the best acceptable detection: highest confidence above the
+  // gate, preferring overlap with the current track.
+  const Detection* best = nullptr;
+  float best_score = 0.0f;
+  for (const Detection& det : detections) {
+    if (det.class_id != kHazardVestClass) continue;
+    if (det.confidence < config_.min_confidence) continue;
+    float score = det.confidence;
+    if (state_.locked) {
+      const float overlap = iou(det.box, state_.box);
+      if (overlap < config_.max_jump_iou && det.confidence < 0.9f)
+        continue;  // reject implausible teleports unless very confident
+      score += overlap;  // prefer continuity
+    }
+    if (best == nullptr || score > best_score) {
+      best = &det;
+      best_score = score;
+    }
+  }
+
+  if (best == nullptr) {
+    ++state_.frames_since_seen;
+    if (state_.frames_since_seen > config_.lost_after) state_.locked = false;
+    return state_;
+  }
+
+  if (!state_.locked) {
+    state_.box = best->box;
+  } else {
+    const float a = config_.smoothing;
+    state_.box.x0 = a * state_.box.x0 + (1.0f - a) * best->box.x0;
+    state_.box.y0 = a * state_.box.y0 + (1.0f - a) * best->box.y0;
+    state_.box.x1 = a * state_.box.x1 + (1.0f - a) * best->box.x1;
+    state_.box.y1 = a * state_.box.y1 + (1.0f - a) * best->box.y1;
+  }
+  state_.confidence = best->confidence;
+  state_.locked = true;
+  state_.frames_since_seen = 0;
+  return state_;
+}
+
+}  // namespace ocb::vip

@@ -1,0 +1,44 @@
+// VIP (hazard-vest) tracker.
+//
+// Smooths per-frame detections into a stable track: exponential box
+// smoothing, confidence gating, and a lost-track counter that triggers
+// re-acquisition alerts — the "uniquely identify the VIP" layer on top
+// of raw detection.
+#pragma once
+
+#include <optional>
+
+#include "detect/box.hpp"
+
+namespace ocb::vip {
+
+struct TrackerConfig {
+  float smoothing = 0.6f;        ///< EMA weight of the previous box
+  float min_confidence = 0.45f;
+  float max_jump_iou = 0.05f;    ///< below this overlap a jump is rejected
+  int lost_after = 8;            ///< frames without detection → lost
+};
+
+struct TrackState {
+  Box box;
+  float confidence = 0.0f;
+  bool locked = false;   ///< currently tracking the VIP
+  int frames_since_seen = 0;
+};
+
+class VestTracker {
+ public:
+  explicit VestTracker(TrackerConfig config = {});
+
+  /// Feed one frame's detections (post-NMS); returns the updated state.
+  const TrackState& update(const std::vector<Detection>& detections);
+
+  const TrackState& state() const noexcept { return state_; }
+  void reset() noexcept;
+
+ private:
+  TrackerConfig config_;
+  TrackState state_;
+};
+
+}  // namespace ocb::vip

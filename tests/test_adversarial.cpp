@@ -1,0 +1,153 @@
+#include "dataset/adversarial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+#include "image/color.hpp"
+
+namespace ocb::dataset {
+namespace {
+
+RenderedFrame make_frame(std::uint64_t seed = 1) {
+  Rng scene_rng(seed);
+  const SceneSpec spec =
+      sample_scene(Category::kFootpathNoPedestrians, scene_rng);
+  Rng rng(seed + 100);
+  return render_scene_clean(spec, 160, 120, rng);
+}
+
+double mean_luminance(const Image& img) {
+  double total = 0.0;
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      total += luminance(img.pixel(y, x));
+  return total / (img.width() * img.height());
+}
+
+TEST(Adversarial, LowLightDarkens) {
+  RenderedFrame frame = make_frame();
+  const double before = mean_luminance(frame.image);
+  Rng rng(2);
+  apply_corruption(frame, Corruption::kLowLight, 0.8f, rng);
+  EXPECT_LT(mean_luminance(frame.image), before * 0.7);
+}
+
+TEST(Adversarial, BlurPreservesAnnotation) {
+  RenderedFrame frame = make_frame();
+  const Box before = frame.vest.box;
+  Rng rng(3);
+  apply_corruption(frame, Corruption::kBlur, 0.5f, rng);
+  EXPECT_FLOAT_EQ(frame.vest.box.x0, before.x0);
+  EXPECT_TRUE(frame.vest_visible);
+}
+
+TEST(Adversarial, CropRemapsAnnotation) {
+  RenderedFrame frame = make_frame(7);
+  Rng rng(4);
+  apply_corruption(frame, Corruption::kCrop, 0.5f, rng);
+  // Image size unchanged (crop is rescaled back up).
+  EXPECT_EQ(frame.image.width(), 160);
+  EXPECT_EQ(frame.image.height(), 120);
+  // Box stays within the image.
+  EXPECT_GE(frame.vest.box.x0, 0.0f);
+  EXPECT_LE(frame.vest.box.x1, 160.0f);
+}
+
+TEST(Adversarial, CropKeepsVestPixelsUnderBoxWhenVisible) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RenderedFrame frame = make_frame(seed);
+    Rng rng(seed * 13);
+    apply_corruption(frame, Corruption::kCrop, 0.6f, rng);
+    if (!frame.vest_visible) continue;  // vest cropped away: fine
+    const Box& b = frame.vest.box;
+    int vest_px = 0;
+    for (int y = static_cast<int>(b.y0); y < static_cast<int>(b.y1); ++y)
+      for (int x = static_cast<int>(b.x0); x < static_cast<int>(b.x1); ++x) {
+        if (!frame.image.in_bounds(y, x)) continue;
+        const Hsv hsv = rgb_to_hsv(frame.image.pixel(y, x));
+        if (hsv.h > 50.0f && hsv.h < 110.0f && hsv.s > 0.4f) ++vest_px;
+      }
+    EXPECT_GT(vest_px, 0) << "seed " << seed;
+  }
+}
+
+TEST(Adversarial, TiltEnclosingBoxGrowsOrEqual) {
+  RenderedFrame frame = make_frame(9);
+  const float area_before = frame.vest.box.area();
+  Rng rng(5);
+  apply_corruption(frame, Corruption::kTilt, 0.7f, rng);
+  // The enclosing box of a rotated rectangle is at least as large
+  // (unless clipped by the frame edge).
+  if (frame.vest.box.x0 > 0.0f && frame.vest.box.x1 < 160.0f &&
+      frame.vest.box.y0 > 0.0f && frame.vest.box.y1 < 120.0f)
+    EXPECT_GE(frame.vest.box.area(), area_before * 0.95f);
+}
+
+TEST(Adversarial, NoiseKeepsValuesInRange) {
+  RenderedFrame frame = make_frame(11);
+  Rng rng(6);
+  apply_corruption(frame, Corruption::kNoise, 1.0f, rng);
+  for (std::size_t i = 0; i < frame.image.size(); ++i) {
+    ASSERT_GE(frame.image.data()[i], 0.0f);
+    ASSERT_LE(frame.image.data()[i], 1.0f);
+  }
+}
+
+TEST(Adversarial, MotionBlurChangesImage) {
+  RenderedFrame frame = make_frame(13);
+  const Image before = frame.image;
+  Rng rng(7);
+  apply_corruption(frame, Corruption::kMotionBlur, 0.8f, rng);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    diff += std::fabs(before.data()[i] - frame.image.data()[i]);
+  EXPECT_GT(diff / static_cast<double>(before.size()), 0.003);
+}
+
+TEST(Adversarial, NoneIsIdentity) {
+  RenderedFrame frame = make_frame(15);
+  const Image before = frame.image;
+  Rng rng(8);
+  apply_corruption(frame, Corruption::kNone, 1.0f, rng);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    ASSERT_FLOAT_EQ(before.data()[i], frame.image.data()[i]);
+}
+
+TEST(Adversarial, NamesAreUnique) {
+  EXPECT_STREQ(corruption_name(Corruption::kLowLight), "low_light");
+  EXPECT_STREQ(corruption_name(Corruption::kTilt), "tilt");
+  EXPECT_STRNE(corruption_name(Corruption::kBlur),
+               corruption_name(Corruption::kNoise));
+}
+
+class AllCorruptionsTest : public ::testing::TestWithParam<Corruption> {};
+
+TEST_P(AllCorruptionsTest, OutputStaysRenderable) {
+  RenderedFrame frame = make_frame(21);
+  Rng rng(9);
+  apply_corruption(frame, GetParam(), 0.9f, rng);
+  EXPECT_EQ(frame.image.width(), 160);
+  EXPECT_EQ(frame.image.height(), 120);
+  for (std::size_t i = 0; i < frame.image.size(); ++i)
+    ASSERT_TRUE(std::isfinite(frame.image.data()[i]));
+  // Annotation, when visible, is a valid in-bounds box.
+  if (frame.vest_visible) {
+    EXPECT_TRUE(frame.vest.box.valid());
+    EXPECT_GE(frame.vest.box.x0, 0.0f);
+    EXPECT_LE(frame.vest.box.y1, 120.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllCorruptionsTest,
+                         ::testing::Values(Corruption::kLowLight,
+                                           Corruption::kBlur,
+                                           Corruption::kMotionBlur,
+                                           Corruption::kCrop,
+                                           Corruption::kTilt,
+                                           Corruption::kNoise));
+
+}  // namespace
+}  // namespace ocb::dataset

@@ -1,0 +1,124 @@
+#include "core/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace ocb {
+namespace {
+
+Cli make_cli() {
+  Cli cli("prog", "test");
+  cli.add_flag("verbose", "be chatty");
+  cli.add_string("name", "default", "a name");
+  cli.add_int("count", 10, "a count");
+  cli.add_double("scale", 0.5, "a scale");
+  return cli;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  Cli cli = make_cli();
+  auto argv = argv_of({});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_EQ(cli.string("name"), "default");
+  EXPECT_EQ(cli.integer("count"), 10);
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 0.5);
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--name", "vest", "--count", "42"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.string("name"), "vest");
+  EXPECT_EQ(cli.integer("count"), 42);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--scale=2.25", "--name=x"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 2.25);
+  EXPECT_EQ(cli.string("name"), "x");
+}
+
+TEST(Cli, BooleanFlag) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--verbose"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--bogus"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--count"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(Cli, RejectsNonNumericValue) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--count", "banana"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"stray"});
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--help"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpTextMentionsAllFlags) {
+  Cli cli = make_cli();
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("--scale"), std::string::npos);
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  Cli cli("p", "s");
+  cli.add_int("n", 1, "x");
+  EXPECT_THROW(cli.add_flag("n", "y"), Error);
+}
+
+TEST(Cli, TypeMismatchAccessThrows) {
+  Cli cli = make_cli();
+  auto argv = argv_of({});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.integer("name"), Error);
+  EXPECT_THROW(cli.string("count"), Error);
+}
+
+TEST(Cli, NegativeNumbersParse) {
+  Cli cli = make_cli();
+  auto argv = argv_of({"--count", "-3", "--scale", "-0.5"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.integer("count"), -3);
+  EXPECT_DOUBLE_EQ(cli.real("scale"), -0.5);
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,143 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace ocb {
+namespace {
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 7.5);
+}
+
+TEST(Percentile, ExtremesAreMinMax) {
+  const std::vector<double> v{5.0, -1.0, 3.0, 8.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 8.0);
+}
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW(percentile({}, 0.5), Error);
+}
+
+TEST(Percentile, ThrowsOnBadQuantile) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, 1.5), Error);
+}
+
+TEST(Summarize, FiveNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.q1, 25.75, 1e-9);
+  EXPECT_NEAR(s.q3, 75.25, 1e-9);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+}
+
+TEST(Summarize, SingleElement) {
+  const std::vector<double> v{4.2};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 4.2);
+  EXPECT_DOUBLE_EQ(s.median, 4.2);
+  EXPECT_DOUBLE_EQ(s.max, 4.2);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stddev, MatchesKnownValue) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stddev with n-1 denominator.
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+}
+
+TEST(Wilson, ShrinksWithSampleSize) {
+  const double small = wilson_halfwidth(0.95, 50);
+  const double large = wilson_halfwidth(0.95, 5000);
+  EXPECT_GT(small, large);
+  EXPECT_GT(small, 0.0);
+}
+
+TEST(Wilson, FullWidthWhenNoSamples) {
+  EXPECT_DOUBLE_EQ(wilson_halfwidth(0.5, 0), 1.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Rng rng(3);
+  std::vector<double> v;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    v.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev(v), 1e-9);
+  EXPECT_EQ(rs.count(), 500u);
+}
+
+TEST(RunningStats, TracksMinMax) {
+  RunningStats rs;
+  rs.add(5.0);
+  rs.add(-2.0);
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(Histogram, CountsFallInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.5);
+  h.add(5.6);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneTest, PercentileIsMonotoneInQ) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.normal(0.0, 5.0));
+  double prev = percentile(v, 0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = percentile(v, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneTest,
+                         ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace ocb

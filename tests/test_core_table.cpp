@@ -1,0 +1,115 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/experiment.hpp"
+
+namespace ocb {
+namespace {
+
+TEST(ResultTable, StoresCells) {
+  ResultTable t("demo", {"a", "b"});
+  t.row().cell("x").cell(std::int64_t{7});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "7");
+}
+
+TEST(ResultTable, FormatsDoublesWithPrecision) {
+  ResultTable t("demo", {"v"});
+  t.row().cell(3.14159, 3);
+  EXPECT_EQ(t.at(0, 0), "3.142");
+}
+
+TEST(ResultTable, RejectsTooManyCells) {
+  ResultTable t("demo", {"only"});
+  t.row().cell("one");
+  EXPECT_THROW(t.cell("two"), Error);
+}
+
+TEST(ResultTable, RejectsCellBeforeRow) {
+  ResultTable t("demo", {"a"});
+  EXPECT_THROW(t.cell("x"), Error);
+}
+
+TEST(ResultTable, RejectsIncompleteRowOnNewRow) {
+  ResultTable t("demo", {"a", "b"});
+  t.row().cell("only-one");
+  EXPECT_THROW(t.row(), Error);
+}
+
+TEST(ResultTable, TextRenderingContainsHeaderAndData) {
+  ResultTable t("title here", {"col1", "col2"});
+  t.row().cell("val1").cell("val2");
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("title here"), std::string::npos);
+  EXPECT_NE(text.find("col1"), std::string::npos);
+  EXPECT_NE(text.find("val2"), std::string::npos);
+}
+
+TEST(ResultTable, MarkdownHasPipeStructure) {
+  ResultTable t("md", {"a", "b"});
+  t.row().cell("1").cell("2");
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+  EXPECT_NE(md.find("---|"), std::string::npos);
+}
+
+TEST(ResultTable, CsvEscapesCommas) {
+  ResultTable t("csv", {"a"});
+  t.row().cell("x,y");
+  EXPECT_NE(t.to_csv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(ResultTable, CsvRoundTripStructure) {
+  ResultTable t("csv", {"h1", "h2"});
+  t.row().cell("a").cell("b");
+  t.row().cell("c").cell("d");
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
+TEST(ResultTable, EmptyColumnsRejected) {
+  EXPECT_THROW(ResultTable("x", {}), Error);
+}
+
+TEST(ExperimentRegistry, RegistersAndRuns) {
+  auto& registry = ExperimentRegistry::instance();
+  if (!registry.contains("test_exp")) {
+    registry.add({"test_exp", "Test", "claim", [] {
+                    ResultTable t("t", {"c"});
+                    t.row().cell("v");
+                    return std::vector<ResultTable>{t};
+                  }});
+  }
+  EXPECT_TRUE(registry.contains("test_exp"));
+  const auto tables = registry.run("test_exp");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].at(0, 0), "v");
+}
+
+TEST(ExperimentRegistry, DuplicateIdThrows) {
+  auto& registry = ExperimentRegistry::instance();
+  if (!registry.contains("dup_exp"))
+    registry.add({"dup_exp", "D", "c", [] {
+                    return std::vector<ResultTable>{};
+                  }});
+  EXPECT_THROW(registry.add({"dup_exp", "D", "c",
+                             [] { return std::vector<ResultTable>{}; }}),
+               Error);
+}
+
+TEST(ExperimentRegistry, UnknownIdThrows) {
+  EXPECT_THROW(ExperimentRegistry::instance().run("nope"), Error);
+}
+
+TEST(FormatFixed, PadsAndRounds) {
+  EXPECT_EQ(format_fixed(1.0, 2), "1.00");
+  EXPECT_EQ(format_fixed(2.675, 2), "2.67");  // IEEE rounding artefact ok
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,244 @@
+#include "dataset/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+#include "dataset/render.hpp"
+#include "dataset/taxonomy.hpp"
+#include "dataset/video.hpp"
+#include "image/color.hpp"
+
+namespace ocb::dataset {
+namespace {
+
+TEST(Taxonomy, TwelveCategoriesTotal30711) {
+  EXPECT_EQ(category_table().size(), 12u);
+  EXPECT_EQ(paper_total_images(), 30711);
+}
+
+TEST(Taxonomy, Table1CountsMatchPaper) {
+  EXPECT_EQ(category_info(Category::kFootpathNoPedestrians).paper_count, 2294);
+  EXPECT_EQ(category_info(Category::kPathBicycles).paper_count, 901);
+  EXPECT_EQ(category_info(Category::kRoadsideParkedCars).paper_count, 2527);
+  EXPECT_EQ(category_info(Category::kMixed).paper_count, 9169);
+  EXPECT_EQ(category_info(Category::kAdversarial).paper_count, 4384);
+}
+
+TEST(Taxonomy, EnvironmentMapping) {
+  EXPECT_EQ(category_environment(Category::kFootpathUsual),
+            Environment::kFootpath);
+  EXPECT_EQ(category_environment(Category::kPathBicycles),
+            Environment::kPath);
+  EXPECT_EQ(category_environment(Category::kRoadsideParkedCars),
+            Environment::kRoadside);
+}
+
+TEST(SceneSampling, CategoryDeterminesActors) {
+  Rng rng(1);
+  const SceneSpec no_peds =
+      sample_scene(Category::kFootpathNoPedestrians, rng);
+  EXPECT_TRUE(no_peds.pedestrians.empty());
+  EXPECT_TRUE(no_peds.bicycles.empty());
+
+  const SceneSpec peds = sample_scene(Category::kFootpathPedestrians, rng);
+  EXPECT_FALSE(peds.pedestrians.empty());
+
+  const SceneSpec bikes = sample_scene(Category::kPathBicycles, rng);
+  EXPECT_FALSE(bikes.bicycles.empty());
+
+  const SceneSpec cars = sample_scene(Category::kRoadsideParkedCars, rng);
+  EXPECT_FALSE(cars.cars.empty());
+}
+
+TEST(SceneSampling, AdversarialAlwaysHasCorruption) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const SceneSpec spec = sample_scene(Category::kAdversarial, rng);
+    EXPECT_NE(spec.corruption, Corruption::kNone);
+  }
+}
+
+TEST(SceneSampling, NonAdversarialHasNoCorruption) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const SceneSpec spec = sample_scene(Category::kMixed, rng);
+    EXPECT_EQ(spec.corruption, Corruption::kNone);
+  }
+}
+
+TEST(SceneSampling, GeometryWithinCaptureProtocol) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const SceneSpec spec = sample_scene(Category::kMixed, rng);
+    EXPECT_GE(spec.vip_distance, 1.6f);
+    EXPECT_LE(spec.vip_distance, 4.2f);
+    EXPECT_GE(spec.camera_height, 1.0f);
+    EXPECT_LE(spec.camera_height, 2.2f);
+  }
+}
+
+TEST(Render, ProducesAnnotatedVest) {
+  Rng scene_rng(5);
+  const SceneSpec spec = sample_scene(Category::kFootpathPedestrians, scene_rng);
+  Rng rng(6);
+  const RenderedFrame frame = render_scene(spec, 192, 144, rng);
+  EXPECT_EQ(frame.image.width(), 192);
+  EXPECT_EQ(frame.image.height(), 144);
+  EXPECT_TRUE(frame.vest_visible);
+  EXPECT_TRUE(frame.vest.box.valid());
+  EXPECT_EQ(frame.vest.class_id, kHazardVestClass);
+}
+
+TEST(Render, VestRegionIsHighChroma) {
+  // The annotated region must actually contain vest-coloured pixels —
+  // the whole premise of the dataset.
+  Rng scene_rng(7);
+  const SceneSpec spec =
+      sample_scene(Category::kFootpathNoPedestrians, scene_rng);
+  Rng rng(8);
+  const RenderedFrame frame = render_scene_clean(spec, 256, 192, rng);
+  const Box& b = frame.vest.box;
+  int vest_pixels = 0, total = 0;
+  for (int y = static_cast<int>(b.y0); y < static_cast<int>(b.y1); ++y)
+    for (int x = static_cast<int>(b.x0); x < static_cast<int>(b.x1); ++x) {
+      if (!frame.image.in_bounds(y, x)) continue;
+      const Hsv hsv = rgb_to_hsv(frame.image.pixel(y, x));
+      ++total;
+      if (hsv.h > 50.0f && hsv.h < 110.0f && hsv.s > 0.5f) ++vest_pixels;
+    }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(vest_pixels) / total, 0.3);
+}
+
+TEST(Render, DeterministicForSameSeed) {
+  Rng scene_rng(9);
+  const SceneSpec spec = sample_scene(Category::kMixed, scene_rng);
+  Rng r1(10), r2(10);
+  const RenderedFrame a = render_scene(spec, 96, 72, r1);
+  const RenderedFrame b = render_scene(spec, 96, 72, r2);
+  for (std::size_t i = 0; i < a.image.size(); ++i)
+    ASSERT_FLOAT_EQ(a.image.data()[i], b.image.data()[i]);
+}
+
+TEST(Render, DepthMapNearerActorsSmallerValues) {
+  Rng scene_rng(11);
+  SceneSpec spec = sample_scene(Category::kFootpathNoPedestrians, scene_rng);
+  spec.vip_distance = 2.0f;
+  spec.vip_lateral = 0.0f;
+  const Image depth = render_depth(spec, 128, 96);
+  EXPECT_EQ(depth.channels(), 1);
+  // Sky is far.
+  EXPECT_GT(depth.at(0, 2, 64), 20.0f);
+  // Somewhere in the VIP column the depth equals the VIP distance.
+  float min_center = 1e9f;
+  for (int y = 0; y < 96; ++y)
+    min_center = std::min(min_center, depth.at(0, y, 64));
+  EXPECT_NEAR(min_center, 2.0f, 0.5f);
+}
+
+TEST(Video, ClipFramesAreTemporallySmooth) {
+  VideoClip clip;
+  clip.id = 0;
+  clip.category = Category::kMixed;
+  clip.seed = 77;
+  clip.extracted_frames = 50;
+  const SceneSpec a = clip_frame(clip, 10);
+  const SceneSpec b = clip_frame(clip, 11);
+  // Adjacent frames (0.1 s apart) move smoothly.
+  EXPECT_LT(std::fabs(a.vip_distance - b.vip_distance), 0.3f);
+  EXPECT_LT(std::fabs(a.vip_lateral - b.vip_lateral), 0.15f);
+}
+
+TEST(Video, FramesAreIndependentlyAddressable) {
+  VideoClip clip;
+  clip.seed = 78;
+  clip.category = Category::kPathPedestrians;
+  clip.extracted_frames = 30;
+  const SceneSpec direct = clip_frame(clip, 17);
+  const auto all = extract_frames(clip);
+  ASSERT_EQ(all.size(), 30u);
+  EXPECT_FLOAT_EQ(all[17].vip_distance, direct.vip_distance);
+  EXPECT_FLOAT_EQ(all[17].vip_sway, direct.vip_sway);
+}
+
+TEST(Generator, ScaledCountsMatchTable1Proportions) {
+  DatasetConfig config;
+  config.scale = 0.1;
+  config.image_width = 64;
+  config.image_height = 48;
+  const DatasetGenerator gen(config);
+  for (const CategoryInfo& info : category_table()) {
+    const int expected = DatasetGenerator::scaled_count(info.category, 0.1);
+    EXPECT_EQ(gen.count(info.category), static_cast<std::size_t>(expected))
+        << info.group << "/" << info.sub;
+    EXPECT_NEAR(static_cast<double>(expected), info.paper_count * 0.1, 1.0);
+  }
+}
+
+TEST(Generator, TotalSamplesSumOverCategories) {
+  DatasetConfig config;
+  config.scale = 0.05;
+  const DatasetGenerator gen(config);
+  std::size_t total = 0;
+  for (const CategoryInfo& info : category_table())
+    total += gen.count(info.category);
+  EXPECT_EQ(gen.samples().size(), total);
+}
+
+TEST(Generator, VideosCoverAllSamples) {
+  DatasetConfig config;
+  config.scale = 0.05;
+  const DatasetGenerator gen(config);
+  std::size_t frames = 0;
+  for (const VideoClip& clip : gen.videos())
+    frames += static_cast<std::size_t>(clip.extracted_frames);
+  EXPECT_EQ(frames, gen.samples().size());
+}
+
+TEST(Generator, FullScaleVideoCountNearPaper43) {
+  // At scale 1.0 the clip-length distribution (600–1200 frames ≈ 1–2
+  // minutes at 10 FPS) should yield roughly the paper's 43 videos.
+  DatasetConfig config;
+  config.scale = 1.0;
+  const DatasetGenerator gen(config);
+  EXPECT_GE(gen.videos().size(), 30u);
+  EXPECT_LE(gen.videos().size(), 60u);
+  EXPECT_EQ(gen.samples().size(), 30711u);
+}
+
+TEST(Generator, RenderIsDeterministicPerSample) {
+  DatasetConfig config;
+  config.scale = 0.02;
+  config.image_width = 96;
+  config.image_height = 72;
+  const DatasetGenerator gen(config);
+  const Sample& s = gen.samples().front();
+  const RenderedFrame a = gen.render(s);
+  const RenderedFrame b = gen.render(s);
+  for (std::size_t i = 0; i < a.image.size(); ++i)
+    ASSERT_FLOAT_EQ(a.image.data()[i], b.image.data()[i]);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  DatasetConfig config;
+  config.scale = 0.0;
+  EXPECT_THROW(DatasetGenerator{config}, Error);
+  config.scale = 0.5;
+  config.image_width = 8;
+  EXPECT_THROW(DatasetGenerator{config}, Error);
+}
+
+TEST(Generator, SamplesInFiltersByCategory) {
+  DatasetConfig config;
+  config.scale = 0.05;
+  const DatasetGenerator gen(config);
+  const auto mixed = gen.samples_in(Category::kMixed);
+  EXPECT_EQ(mixed.size(), gen.count(Category::kMixed));
+  for (const Sample& s : mixed) EXPECT_EQ(s.category, Category::kMixed);
+}
+
+}  // namespace
+}  // namespace ocb::dataset

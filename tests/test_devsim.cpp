@@ -1,0 +1,229 @@
+#include "devsim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/registry.hpp"
+
+namespace ocb::devsim {
+namespace {
+
+using models::ModelId;
+
+TEST(DeviceTable, HasFourDevices) {
+  EXPECT_EQ(device_table().size(), 4u);
+  EXPECT_EQ(edge_devices().size(), 3u);
+}
+
+TEST(DeviceTable, Table3SpecsMatchPaper) {
+  const DeviceSpec& agx = device_spec(DeviceId::kOrinAgx);
+  EXPECT_EQ(agx.cuda_cores, 2048);
+  EXPECT_EQ(agx.tensor_cores, 64);
+  EXPECT_DOUBLE_EQ(agx.ram_gb, 32.0);
+  EXPECT_EQ(agx.gpu_arch, "Ampere");
+
+  const DeviceSpec& nx = device_spec(DeviceId::kXavierNx);
+  EXPECT_EQ(nx.cuda_cores, 384);
+  EXPECT_EQ(nx.gpu_arch, "Volta");
+  EXPECT_DOUBLE_EQ(nx.peak_power_w, 15.0);
+
+  const DeviceSpec& nano = device_spec(DeviceId::kOrinNano);
+  EXPECT_EQ(nano.cuda_cores, 1024);
+  EXPECT_DOUBLE_EQ(nano.ram_gb, 8.0);
+}
+
+TEST(DeviceTable, LookupByShortName) {
+  EXPECT_EQ(device_by_short_name("o-agx").id, DeviceId::kOrinAgx);
+  EXPECT_EQ(device_by_short_name("rtx4090").id, DeviceId::kRtx4090);
+  EXPECT_THROW(device_by_short_name("gameboy"), Error);
+}
+
+TEST(Roofline, ComputeEfficiencyOrdering) {
+  // GEMM-shaped ops must beat elementwise ops.
+  EXPECT_GT(op_compute_efficiency(nn::OpKind::kConv),
+            op_compute_efficiency(nn::OpKind::kConcat));
+  EXPECT_GT(op_compute_efficiency(nn::OpKind::kConv),
+            op_compute_efficiency(nn::OpKind::kDwConv));
+}
+
+TEST(Roofline, LatencyPositiveAndAdditive) {
+  const auto profile = models::profile_model(ModelId::kYoloV8n, 0.2);
+  const DeviceSpec& dev = device_spec(DeviceId::kOrinAgx);
+  double sum = 0.0;
+  for (const auto& layer : profile.layers)
+    sum += layer_latency_ms(layer, dev);
+  const double total = model_latency_ms(profile, dev);
+  EXPECT_NEAR(total, sum + dev.frame_overhead_ms, 1e-9);
+}
+
+TEST(Roofline, FasterDeviceFasterModel) {
+  const auto profile = models::profile_model(ModelId::kYoloV8m);
+  const double agx =
+      model_latency_ms(profile, device_spec(DeviceId::kOrinAgx));
+  const double nano =
+      model_latency_ms(profile, device_spec(DeviceId::kOrinNano));
+  const double nx = model_latency_ms(profile, device_spec(DeviceId::kXavierNx));
+  const double gpu =
+      model_latency_ms(profile, device_spec(DeviceId::kRtx4090));
+  // Fig 5 ordering: o-agx < o-nano < nx; Fig 6: workstation fastest.
+  EXPECT_LT(agx, nano);
+  EXPECT_LT(nano, nx);
+  EXPECT_LT(gpu, agx);
+}
+
+TEST(Roofline, BiggerModelSlower) {
+  const DeviceSpec& dev = device_spec(DeviceId::kOrinAgx);
+  const double n =
+      model_latency_ms(models::profile_model(ModelId::kYoloV8n), dev);
+  const double m =
+      model_latency_ms(models::profile_model(ModelId::kYoloV8m), dev);
+  const double x =
+      model_latency_ms(models::profile_model(ModelId::kYoloV8x), dev);
+  EXPECT_LT(n, m);
+  EXPECT_LT(m, x);
+}
+
+TEST(Roofline, PrecisionSpeedupReducesLatency) {
+  const auto profile = models::profile_model(ModelId::kYoloV8x);
+  const DeviceSpec& dev = device_spec(DeviceId::kOrinAgx);
+  RooflineOptions fp16;
+  fp16.precision_speedup = 2.0;
+  EXPECT_LT(model_latency_ms(profile, dev, fp16),
+            model_latency_ms(profile, dev));
+}
+
+TEST(Roofline, BatchAmortisesOverheadPerFrame) {
+  const auto profile = models::profile_model(ModelId::kYoloV8n);
+  const DeviceSpec& dev = device_spec(DeviceId::kXavierNx);
+  RooflineOptions b1, b8;
+  b1.include_frame_overhead = false;
+  b8.include_frame_overhead = false;
+  b8.batch = 8;
+  EXPECT_LT(model_latency_ms(profile, dev, b8),
+            model_latency_ms(profile, dev, b1));
+}
+
+// ---- Paper envelope checks: the headline claims of §4.2.3 / §4.2.4 ----
+
+TEST(PaperEnvelope, OrinClassYoloBudgets) {
+  for (DeviceId id : {DeviceId::kOrinAgx, DeviceId::kOrinNano}) {
+    const DeviceSpec& dev = device_spec(id);
+    for (ModelId nm : {ModelId::kYoloV8n, ModelId::kYoloV11n,
+                       ModelId::kYoloV8m, ModelId::kYoloV11m})
+      EXPECT_LE(model_latency_ms(models::profile_model(nm), dev), 200.0)
+          << dev.short_name;
+    for (ModelId xl : {ModelId::kYoloV8x, ModelId::kYoloV11x})
+      EXPECT_LE(model_latency_ms(models::profile_model(xl), dev), 500.0)
+          << dev.short_name;
+  }
+}
+
+TEST(PaperEnvelope, XavierNxXLargeNear989ms) {
+  const double ms = model_latency_ms(models::profile_model(ModelId::kYoloV8x),
+                                     device_spec(DeviceId::kXavierNx));
+  EXPECT_NEAR(ms, 989.0, 989.0 * 0.1);
+}
+
+TEST(PaperEnvelope, OnlyNanoUnder200OnXavierNx) {
+  const DeviceSpec& nx = device_spec(DeviceId::kXavierNx);
+  EXPECT_LE(model_latency_ms(models::profile_model(ModelId::kYoloV8n), nx),
+            200.0);
+  EXPECT_GT(model_latency_ms(models::profile_model(ModelId::kYoloV8m), nx),
+            200.0);
+}
+
+TEST(PaperEnvelope, WorkstationAllUnder25ms) {
+  const DeviceSpec& gpu = device_spec(DeviceId::kRtx4090);
+  for (const auto& info : models::model_table())
+    EXPECT_LE(model_latency_ms(models::profile_model(info.id), gpu), 25.0)
+        << info.name;
+}
+
+TEST(PaperEnvelope, WorkstationNanoMediumUnder10ms) {
+  const DeviceSpec& gpu = device_spec(DeviceId::kRtx4090);
+  for (ModelId id : {ModelId::kYoloV8n, ModelId::kYoloV8m, ModelId::kYoloV11n,
+                     ModelId::kYoloV11m, ModelId::kTrtPose})
+    EXPECT_LE(model_latency_ms(models::profile_model(id), gpu), 10.0);
+}
+
+TEST(PaperEnvelope, RoughlyFiftyTimesNxToWorkstation) {
+  const auto profile = models::profile_model(ModelId::kYoloV8x);
+  const double nx = model_latency_ms(profile, device_spec(DeviceId::kXavierNx));
+  const double gpu =
+      model_latency_ms(profile, device_spec(DeviceId::kRtx4090));
+  const double speedup = nx / gpu;
+  EXPECT_GT(speedup, 35.0);
+  EXPECT_LT(speedup, 65.0);
+}
+
+TEST(PaperEnvelope, BodyposeMedianBand) {
+  // Paper: 28–47 ms median across edge devices.
+  const auto profile = models::profile_model(ModelId::kTrtPose);
+  for (DeviceId id : edge_devices()) {
+    const double ms = model_latency_ms(profile, device_spec(id));
+    EXPECT_GE(ms, 20.0) << device_spec(id).short_name;
+    EXPECT_LE(ms, 60.0) << device_spec(id).short_name;
+  }
+}
+
+TEST(PaperEnvelope, MonodepthBand) {
+  // Paper: 75–232 ms across edge devices.
+  const auto profile = models::profile_model(ModelId::kMonodepth2);
+  for (DeviceId id : edge_devices()) {
+    const double ms = model_latency_ms(profile, device_spec(id));
+    EXPECT_GE(ms, 60.0) << device_spec(id).short_name;
+    EXPECT_LE(ms, 240.0) << device_spec(id).short_name;
+  }
+}
+
+TEST(Simulator, DistributionCentersOnDeterministicValue) {
+  const auto profile = models::profile_model(ModelId::kYoloV8n);
+  const DeviceSpec& dev = device_spec(DeviceId::kOrinAgx);
+  Rng rng(1);
+  const Summary s = simulate_summary(profile, dev, 1000, rng);
+  const double base = model_latency_ms(profile, dev);
+  EXPECT_NEAR(s.median, base, base * 0.1);
+  EXPECT_GT(s.p95, s.median);
+  EXPECT_GT(s.max, s.q3);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  const auto profile = models::profile_model(ModelId::kYoloV8n, 0.5);
+  const DeviceSpec& dev = device_spec(DeviceId::kXavierNx);
+  Rng a(9), b(9);
+  const auto sa = simulate_latencies(profile, dev, 50, a);
+  const auto sb = simulate_latencies(profile, dev, 50, b);
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(Simulator, WarmupFramesAreSlower) {
+  const auto profile = models::profile_model(ModelId::kYoloV8n, 0.5);
+  const DeviceSpec& dev = device_spec(DeviceId::kOrinAgx);
+  Rng rng(3);
+  const auto samples = simulate_latencies(profile, dev, 200, rng);
+  const double warm_mean = (samples[0] + samples[1] + samples[2]) / 3.0;
+  double steady = 0.0;
+  for (std::size_t i = 50; i < 150; ++i) steady += samples[i];
+  steady /= 100.0;
+  EXPECT_GT(warm_mean, steady * 1.5);
+}
+
+TEST(Simulator, MemoryCheckRejectsHugeModelOnSmallDevice) {
+  auto profile = models::profile_model(ModelId::kYoloV8n);
+  EXPECT_TRUE(fits_in_memory(profile, device_spec(DeviceId::kOrinNano)));
+  // Inflate to something absurd.
+  profile.layers[1].params = 4'000'000'000ull;
+  profile.layers[1].weight_bytes = 16'000'000'000ull;
+  EXPECT_FALSE(fits_in_memory(profile, device_spec(DeviceId::kOrinNano)));
+  EXPECT_TRUE(fits_in_memory(profile, device_spec(DeviceId::kRtx4090)));
+}
+
+TEST(Simulator, ZeroFramesThrows) {
+  const auto profile = models::profile_model(ModelId::kYoloV8n, 0.5);
+  Rng rng(4);
+  EXPECT_THROW(
+      simulate_latencies(profile, device_spec(DeviceId::kOrinAgx), 0, rng),
+      Error);
+}
+
+}  // namespace
+}  // namespace ocb::devsim

@@ -1,0 +1,159 @@
+#include "eval/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+
+namespace ocb::eval {
+namespace {
+
+TEST(Matcher, PerfectDetectionIsTp) {
+  const std::vector<Detection> dets{{{10, 10, 50, 50}, 0.9f, 0}};
+  const std::vector<Annotation> truth{{{10, 10, 50, 50}, 0}};
+  const MatchResult r = match_detections(dets, truth);
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_positives, 0u);
+  EXPECT_EQ(r.false_negatives, 0u);
+}
+
+TEST(Matcher, MissedTruthIsFn) {
+  const MatchResult r = match_detections({}, {{{10, 10, 50, 50}, 0}});
+  EXPECT_EQ(r.false_negatives, 1u);
+  EXPECT_EQ(r.true_positives, 0u);
+}
+
+TEST(Matcher, SpuriousDetectionIsFp) {
+  const std::vector<Detection> dets{{{10, 10, 50, 50}, 0.9f, 0}};
+  const MatchResult r = match_detections(dets, {});
+  EXPECT_EQ(r.false_positives, 1u);
+}
+
+TEST(Matcher, LowIouDoesNotMatch) {
+  const std::vector<Detection> dets{{{0, 0, 10, 10}, 0.9f, 0}};
+  const std::vector<Annotation> truth{{{100, 100, 120, 120}, 0}};
+  const MatchResult r = match_detections(dets, truth, 0.5f);
+  EXPECT_EQ(r.true_positives, 0u);
+  EXPECT_EQ(r.false_positives, 1u);
+  EXPECT_EQ(r.false_negatives, 1u);
+}
+
+TEST(Matcher, ClassMismatchDoesNotMatch) {
+  const std::vector<Detection> dets{{{10, 10, 50, 50}, 0.9f, 1}};
+  const std::vector<Annotation> truth{{{10, 10, 50, 50}, 0}};
+  const MatchResult r = match_detections(dets, truth);
+  EXPECT_EQ(r.true_positives, 0u);
+}
+
+TEST(Matcher, DuplicateDetectionSecondIsFp) {
+  const std::vector<Detection> dets{
+      {{10, 10, 50, 50}, 0.9f, 0},
+      {{11, 11, 51, 51}, 0.8f, 0},
+  };
+  const std::vector<Annotation> truth{{{10, 10, 50, 50}, 0}};
+  const MatchResult r = match_detections(dets, truth);
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_positives, 1u);
+}
+
+TEST(Matcher, HighestConfidenceClaimsFirst) {
+  // Lower-confidence detection overlaps truth better, but the higher-
+  // confidence one still clears the threshold and claims it first.
+  const std::vector<Detection> dets{
+      {{12, 12, 52, 52}, 0.95f, 0},
+      {{10, 10, 50, 50}, 0.60f, 0},
+  };
+  const std::vector<Annotation> truth{{{10, 10, 50, 50}, 0}};
+  const MatchResult r = match_detections(dets, truth, 0.5f);
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_positives, 1u);
+}
+
+TEST(Matcher, TwoObjectsBothMatched) {
+  const std::vector<Detection> dets{
+      {{0, 0, 20, 20}, 0.9f, 0},
+      {{100, 100, 120, 120}, 0.8f, 0},
+  };
+  const std::vector<Annotation> truth{
+      {{0, 0, 20, 20}, 0}, {{100, 100, 120, 120}, 0}};
+  const MatchResult r = match_detections(dets, truth);
+  EXPECT_EQ(r.true_positives, 2u);
+  EXPECT_EQ(r.false_positives, 0u);
+  EXPECT_EQ(r.false_negatives, 0u);
+}
+
+TEST(Matcher, AccumulationOperator) {
+  MatchResult a{1, 2, 3};
+  const MatchResult b{10, 20, 30};
+  a += b;
+  EXPECT_EQ(a.true_positives, 11u);
+  EXPECT_EQ(a.false_positives, 22u);
+  EXPECT_EQ(a.false_negatives, 33u);
+}
+
+TEST(Metrics, PerfectScores) {
+  const Metrics m = compute_metrics({10, 0, 0}, 10, 10);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+}
+
+TEST(Metrics, KnownValues) {
+  // TP=8, FP=2, FN=4 → P=0.8, R=8/12.
+  const Metrics m = compute_metrics({8, 2, 4}, 6, 12);
+  EXPECT_NEAR(m.precision, 0.8, 1e-9);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.f1, 2.0 * 0.8 * (2.0 / 3.0) / (0.8 + 2.0 / 3.0), 1e-9);
+  EXPECT_NEAR(m.accuracy, 0.5, 1e-9);
+}
+
+TEST(Metrics, ZeroDivisionsAreSafe) {
+  const Metrics m = compute_metrics({0, 0, 0}, 0, 0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+}
+
+TEST(Report, AggregatesGroupsAndTotal) {
+  Report report("test");
+  report.add("cat_a", {1, 0, 0}, true);
+  report.add("cat_a", {0, 1, 1}, false);
+  report.add("cat_b", {1, 0, 0}, true);
+
+  const Metrics a = report.group_metrics("cat_a");
+  EXPECT_EQ(a.images, 2u);
+  EXPECT_NEAR(a.accuracy, 0.5, 1e-9);
+
+  const Metrics total = report.overall();
+  EXPECT_EQ(total.images, 3u);
+  EXPECT_EQ(total.counts.true_positives, 2u);
+  EXPECT_NEAR(total.accuracy, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Report, UnknownGroupIsEmptyMetrics) {
+  Report report("test");
+  const Metrics m = report.group_metrics("nope");
+  EXPECT_EQ(m.images, 0u);
+}
+
+TEST(Report, TableHasRowPerGroupPlusTotal) {
+  Report report("title");
+  report.add("g1", {1, 0, 0}, true);
+  report.add("g2", {1, 0, 0}, true);
+  const ResultTable table = report.to_table();
+  EXPECT_EQ(table.rows(), 3u);  // g1, g2, TOTAL
+  EXPECT_EQ(table.at(2, 0), "TOTAL");
+}
+
+TEST(Report, GroupsListsAll) {
+  Report report("t");
+  report.add("b", {0, 0, 0}, false);
+  report.add("a", {0, 0, 0}, false);
+  const auto groups = report.groups();
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ocb::eval

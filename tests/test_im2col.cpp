@@ -1,0 +1,141 @@
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace ocb {
+namespace {
+
+TEST(ConvGeometry, OutputDims) {
+  const ConvGeometry g{3, 32, 32, 3, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 32);
+  EXPECT_EQ(g.out_w(), 32);
+  const ConvGeometry s{3, 32, 32, 3, 3, 2, 1};
+  EXPECT_EQ(s.out_h(), 16);
+  EXPECT_EQ(s.out_w(), 16);
+  const ConvGeometry v{1, 5, 5, 3, 3, 1, 0};
+  EXPECT_EQ(v.out_h(), 3);
+}
+
+TEST(ConvGeometry, ColMatrixDims) {
+  const ConvGeometry g{4, 8, 8, 3, 3, 1, 1};
+  EXPECT_EQ(g.col_rows(), 36u);
+  EXPECT_EQ(g.col_cols(), 64u);
+}
+
+TEST(Im2col, IdentityKernelCopiesImage) {
+  // 1×1 kernel, stride 1, no pad: col == image.
+  const ConvGeometry g{2, 3, 3, 1, 1, 1, 0};
+  std::vector<float> image(18);
+  for (std::size_t i = 0; i < 18; ++i) image[i] = static_cast<float>(i);
+  std::vector<float> col(g.col_rows() * g.col_cols());
+  im2col(image.data(), g, col.data());
+  for (std::size_t i = 0; i < 18; ++i) EXPECT_FLOAT_EQ(col[i], image[i]);
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  const ConvGeometry g{1, 2, 2, 3, 3, 1, 1};
+  std::vector<float> image{1, 2, 3, 4};
+  std::vector<float> col(g.col_rows() * g.col_cols());
+  im2col(image.data(), g, col.data());
+  // First row of col = kernel position (0,0): top-left taps come from
+  // padding for output (0,0).
+  EXPECT_FLOAT_EQ(col[0], 0.0f);
+  // Kernel centre (1,1) row index = 4; output (0,0) should see image[0].
+  EXPECT_FLOAT_EQ(col[4 * g.col_cols() + 0], 1.0f);
+}
+
+TEST(Im2col, StrideSkipsPixels) {
+  const ConvGeometry g{1, 4, 4, 2, 2, 2, 0};
+  std::vector<float> image(16);
+  for (std::size_t i = 0; i < 16; ++i) image[i] = static_cast<float>(i);
+  std::vector<float> col(g.col_rows() * g.col_cols());
+  im2col(image.data(), g, col.data());
+  // Kernel tap (0,0) over 2×2 output grid samples pixels 0, 2, 8, 10.
+  EXPECT_FLOAT_EQ(col[0], 0.0f);
+  EXPECT_FLOAT_EQ(col[1], 2.0f);
+  EXPECT_FLOAT_EQ(col[2], 8.0f);
+  EXPECT_FLOAT_EQ(col[3], 10.0f);
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // Adjoint test: <im2col(x), y> == <x, col2im(y)> for random x, y.
+  const ConvGeometry g{3, 6, 5, 3, 3, 2, 1};
+  Rng rng(7);
+  const std::size_t image_size = 3 * 6 * 5;
+  const std::size_t col_size = g.col_rows() * g.col_cols();
+
+  std::vector<float> x(image_size), y(col_size);
+  for (float& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : y) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  std::vector<float> col(col_size);
+  im2col(x.data(), g, col.data());
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < col_size; ++i)
+    lhs += static_cast<double>(col[i]) * y[i];
+
+  std::vector<float> xt(image_size, 0.0f);
+  col2im(y.data(), g, xt.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < image_size; ++i)
+    rhs += static_cast<double>(x[i]) * xt[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Col2im, AccumulatesOverlaps) {
+  // 2×2 kernel stride 1 over 3×3: centre pixel is covered 4 times.
+  const ConvGeometry g{1, 3, 3, 2, 2, 1, 0};
+  std::vector<float> col(g.col_rows() * g.col_cols(), 1.0f);
+  std::vector<float> image(9, 0.0f);
+  col2im(col.data(), g, image.data());
+  EXPECT_FLOAT_EQ(image[4], 4.0f);  // centre
+  EXPECT_FLOAT_EQ(image[0], 1.0f);  // corner
+}
+
+TEST(Im2col, EmptyOutputThrows) {
+  const ConvGeometry g{1, 2, 2, 5, 5, 1, 0};  // kernel larger than image
+  std::vector<float> image(4, 0.0f);
+  std::vector<float> col(64);
+  EXPECT_THROW(im2col(image.data(), g, col.data()), Error);
+}
+
+class Im2colAdjointTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Im2colAdjointTest, AdjointHoldsForRandomGeometries) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int c = static_cast<int>(rng.uniform_int(1, 4));
+  const int h = static_cast<int>(rng.uniform_int(4, 10));
+  const int w = static_cast<int>(rng.uniform_int(4, 10));
+  const int k = static_cast<int>(rng.uniform_int(1, 3));
+  const int stride = static_cast<int>(rng.uniform_int(1, 2));
+  const int pad = static_cast<int>(rng.uniform_int(0, 1));
+  const ConvGeometry g{c, h, w, k, k, stride, pad};
+  if (g.out_h() <= 0 || g.out_w() <= 0) GTEST_SKIP();
+
+  const std::size_t image_size = static_cast<std::size_t>(c) * h * w;
+  const std::size_t col_size = g.col_rows() * g.col_cols();
+  std::vector<float> x(image_size), y(col_size), col(col_size),
+      xt(image_size, 0.0f);
+  for (float& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : y) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  im2col(x.data(), g, col.data());
+  col2im(y.data(), g, xt.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_size; ++i)
+    lhs += static_cast<double>(col[i]) * y[i];
+  for (std::size_t i = 0; i < image_size; ++i)
+    rhs += static_cast<double>(x[i]) * xt[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGeometries, Im2colAdjointTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace ocb

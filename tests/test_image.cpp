@@ -1,0 +1,175 @@
+#include "image/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "image/color.hpp"
+#include "image/draw.hpp"
+#include "image/io.hpp"
+
+namespace ocb {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  Image img(8, 6, 3, 0.25f);
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img.height(), 6);
+  EXPECT_EQ(img.channels(), 3);
+  EXPECT_EQ(img.size(), 8u * 6u * 3u);
+  EXPECT_FLOAT_EQ(img.at(2, 5, 7), 0.25f);
+}
+
+TEST(Image, RejectsBadDimensions) {
+  EXPECT_THROW(Image(0, 5), Error);
+  EXPECT_THROW(Image(5, -1), Error);
+}
+
+TEST(Image, OutOfRangeAccessThrows) {
+  Image img(4, 4);
+  EXPECT_THROW(img.at(0, 4, 0), Error);
+  EXPECT_THROW(img.at(3, 0, 0), Error);
+}
+
+TEST(Image, PixelRoundTrip) {
+  Image img(4, 4);
+  img.set_pixel(1, 2, {0.1f, 0.5f, 0.9f});
+  const Color c = img.pixel(1, 2);
+  EXPECT_FLOAT_EQ(c.r, 0.1f);
+  EXPECT_FLOAT_EQ(c.g, 0.5f);
+  EXPECT_FLOAT_EQ(c.b, 0.9f);
+}
+
+TEST(Image, ClampedSamplingAtEdges) {
+  Image img(3, 3);
+  img.at(0, 0, 0) = 0.7f;
+  EXPECT_FLOAT_EQ(img.sample_clamped(0, -5, -5), 0.7f);
+  img.at(0, 2, 2) = 0.3f;
+  EXPECT_FLOAT_EQ(img.sample_clamped(0, 99, 99), 0.3f);
+}
+
+TEST(Image, BilinearInterpolatesMidpoint) {
+  Image img(2, 1, 1);
+  img.at(0, 0, 0) = 0.0f;
+  img.at(0, 0, 1) = 1.0f;
+  EXPECT_NEAR(img.sample_bilinear(0, 0.0f, 0.5f), 0.5f, 1e-6f);
+}
+
+TEST(Image, BlendPixelMixesColors) {
+  Image img(2, 2);
+  img.set_pixel(0, 0, {0.0f, 0.0f, 0.0f});
+  img.blend_pixel(0, 0, {1.0f, 1.0f, 1.0f}, 0.5f);
+  EXPECT_NEAR(img.pixel(0, 0).r, 0.5f, 1e-6f);
+}
+
+TEST(Image, BlendOutOfBoundsIsIgnored) {
+  Image img(2, 2);
+  EXPECT_NO_THROW(img.blend_pixel(-1, 5, {1, 1, 1}, 1.0f));
+}
+
+TEST(Image, U8RoundTrip) {
+  Image img(5, 4);
+  img.set_pixel(2, 3, {0.2f, 0.4f, 0.6f});
+  const auto bytes = to_u8_interleaved(img);
+  const Image back = from_u8_interleaved(bytes.data(), 5, 4);
+  EXPECT_NEAR(back.pixel(2, 3).g, 0.4f, 1.0f / 255.0f);
+}
+
+TEST(Draw, FillRectClipsToImage) {
+  Image img(4, 4);
+  fill_rect(img, -10, -10, 100, 100, {1.0f, 0.0f, 0.0f});
+  EXPECT_FLOAT_EQ(img.pixel(0, 0).r, 1.0f);
+  EXPECT_FLOAT_EQ(img.pixel(3, 3).r, 1.0f);
+}
+
+TEST(Draw, DiscCoversCenterNotCorner) {
+  Image img(21, 21);
+  fill_disc(img, 10.0f, 10.0f, 5.0f, {0.0f, 1.0f, 0.0f});
+  EXPECT_FLOAT_EQ(img.pixel(10, 10).g, 1.0f);
+  EXPECT_FLOAT_EQ(img.pixel(0, 0).g, 0.0f);
+}
+
+TEST(Draw, PolygonFillsTriangleInterior) {
+  Image img(20, 20);
+  fill_polygon(img, {{2, 2}, {18, 2}, {10, 18}}, {0.0f, 0.0f, 1.0f});
+  EXPECT_FLOAT_EQ(img.pixel(5, 10).b, 1.0f);   // inside
+  EXPECT_FLOAT_EQ(img.pixel(17, 2).b, 0.0f);   // outside bottom-left
+}
+
+TEST(Draw, GradientIsMonotoneVertically) {
+  Image img(4, 16);
+  fill_gradient_vertical(img, {0, 0, 0}, {1, 1, 1});
+  float prev = -1.0f;
+  for (int y = 0; y < 16; ++y) {
+    const float v = img.pixel(y, 2).r;
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Draw, LineTouchesEndpoints) {
+  Image img(20, 20);
+  draw_line(img, 2, 2, 17, 17, {1, 0, 0}, 2.0f);
+  EXPECT_GT(img.pixel(2, 2).r, 0.5f);
+  EXPECT_GT(img.pixel(17, 17).r, 0.5f);
+}
+
+TEST(Draw, StrokeRectLeavesInteriorUntouched) {
+  Image img(20, 20);
+  stroke_rect(img, 2, 2, 18, 18, {1, 1, 1}, 2);
+  EXPECT_FLOAT_EQ(img.pixel(10, 10).r, 0.0f);
+  EXPECT_FLOAT_EQ(img.pixel(3, 10).r, 1.0f);
+}
+
+TEST(Color, HsvRoundTrip) {
+  const Color original{0.3f, 0.7f, 0.2f};
+  const Color back = hsv_to_rgb(rgb_to_hsv(original));
+  EXPECT_NEAR(back.r, original.r, 1e-4f);
+  EXPECT_NEAR(back.g, original.g, 1e-4f);
+  EXPECT_NEAR(back.b, original.b, 1e-4f);
+}
+
+TEST(Color, HazardVestIsHighChromaYellowGreen) {
+  const Hsv hsv = rgb_to_hsv(hazard_vest_color());
+  EXPECT_GT(hsv.s, 0.8f);
+  EXPECT_GT(hsv.v, 0.9f);
+  EXPECT_GT(hsv.h, 50.0f);
+  EXPECT_LT(hsv.h, 100.0f);
+}
+
+TEST(Color, LuminanceOrdersGreyLevels) {
+  EXPECT_LT(luminance({0.1f, 0.1f, 0.1f}), luminance({0.9f, 0.9f, 0.9f}));
+  EXPECT_NEAR(luminance({1, 1, 1}), 1.0f, 1e-5f);
+}
+
+TEST(ImageIo, PpmRoundTrip) {
+  Image img(7, 5);
+  img.set_pixel(2, 3, {0.5f, 0.25f, 0.75f});
+  img.set_pixel(4, 6, {1.0f, 0.0f, 0.5f});
+  const std::string path = "/tmp/ocb_test_roundtrip.ppm";
+  write_ppm(img, path);
+  const Image back = read_ppm(path);
+  EXPECT_EQ(back.width(), 7);
+  EXPECT_EQ(back.height(), 5);
+  EXPECT_NEAR(back.pixel(2, 3).b, 0.75f, 1.0f / 255.0f);
+  EXPECT_NEAR(back.pixel(4, 6).r, 1.0f, 1.0f / 255.0f);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, ReadRejectsMissingFile) {
+  EXPECT_THROW(read_ppm("/tmp/does_not_exist_ocb.ppm"), IoError);
+}
+
+TEST(ImageIo, PgmWritesLuminance) {
+  Image img(3, 3);
+  fill_rect(img, 0, 0, 3, 3, {1, 1, 1});
+  const std::string path = "/tmp/ocb_test_lum.pgm";
+  write_pgm(img, path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 9u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,210 @@
+#include "image/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/draw.hpp"
+
+namespace ocb {
+namespace {
+
+Image checkerboard(int size) {
+  Image img(size, size);
+  for (int y = 0; y < size; ++y)
+    for (int x = 0; x < size; ++x) {
+      const float v = ((x / 4 + y / 4) % 2 == 0) ? 1.0f : 0.0f;
+      img.set_pixel(y, x, {v, v, v});
+    }
+  return img;
+}
+
+TEST(Resize, ProducesRequestedSize) {
+  const Image src = checkerboard(32);
+  const Image dst = resize_bilinear(src, 13, 9);
+  EXPECT_EQ(dst.width(), 13);
+  EXPECT_EQ(dst.height(), 9);
+}
+
+TEST(Resize, IdentityKeepsPixels) {
+  const Image src = checkerboard(16);
+  const Image dst = resize_bilinear(src, 16, 16);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      EXPECT_NEAR(dst.at(0, y, x), src.at(0, y, x), 1e-5f);
+}
+
+TEST(Resize, PreservesMeanApproximately) {
+  const Image src = checkerboard(64);
+  const Image dst = resize_bilinear(src, 16, 16);
+  double mean_src = 0.0, mean_dst = 0.0;
+  for (std::size_t i = 0; i < src.size(); ++i) mean_src += src.data()[i];
+  for (std::size_t i = 0; i < dst.size(); ++i) mean_dst += dst.data()[i];
+  mean_src /= static_cast<double>(src.size());
+  mean_dst /= static_cast<double>(dst.size());
+  EXPECT_NEAR(mean_src, mean_dst, 0.05);
+}
+
+TEST(Resize, ThrowsOnEmptyTarget) {
+  const Image src = checkerboard(8);
+  EXPECT_THROW(resize_bilinear(src, 0, 4), Error);
+}
+
+TEST(Blur, ReducesVariance) {
+  const Image src = checkerboard(32);
+  const Image dst = gaussian_blur(src, 2.0f);
+  auto variance = [](const Image& img) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < img.size(); ++i) mean += img.data()[i];
+    mean /= static_cast<double>(img.size());
+    double var = 0.0;
+    for (std::size_t i = 0; i < img.size(); ++i)
+      var += (img.data()[i] - mean) * (img.data()[i] - mean);
+    return var / static_cast<double>(img.size());
+  };
+  EXPECT_LT(variance(dst), variance(src) * 0.8);
+}
+
+TEST(Blur, PreservesConstantImage) {
+  Image src(16, 16, 3, 0.5f);
+  const Image dst = gaussian_blur(src, 1.5f);
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    EXPECT_NEAR(dst.data()[i], 0.5f, 1e-4f);
+}
+
+TEST(Blur, ZeroSigmaIsIdentity) {
+  const Image src = checkerboard(16);
+  const Image dst = gaussian_blur(src, 0.0f);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    EXPECT_FLOAT_EQ(dst.data()[i], src.data()[i]);
+}
+
+TEST(Brightness, ScalesAndClamps) {
+  Image src(4, 4, 3, 0.6f);
+  const Image darker = adjust_brightness(src, 0.5f);
+  EXPECT_NEAR(darker.at(0, 0, 0), 0.3f, 1e-6f);
+  const Image brighter = adjust_brightness(src, 3.0f);
+  EXPECT_FLOAT_EQ(brighter.at(0, 0, 0), 1.0f);  // clamped
+}
+
+TEST(Contrast, ExpandsAroundMidGrey) {
+  Image src(2, 2, 3, 0.6f);
+  const Image out = adjust_contrast(src, 2.0f);
+  EXPECT_NEAR(out.at(0, 0, 0), 0.7f, 1e-6f);
+  Image mid(2, 2, 3, 0.5f);
+  const Image same = adjust_contrast(mid, 2.0f);
+  EXPECT_NEAR(same.at(0, 0, 0), 0.5f, 1e-6f);
+}
+
+TEST(Rotate, ZeroDegreesIsIdentity) {
+  const Image src = checkerboard(16);
+  const Image dst = rotate(src, 0.0f);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    EXPECT_NEAR(dst.data()[i], src.data()[i], 1e-4f);
+}
+
+TEST(Rotate, CenterPixelSurvivesRotation) {
+  Image src(17, 17);
+  src.set_pixel(8, 8, {1.0f, 0.0f, 0.0f});
+  const Image dst = rotate(src, 45.0f);
+  EXPECT_GT(dst.pixel(8, 8).r, 0.5f);
+}
+
+TEST(Rotate, Rotation90MovesCorner) {
+  Image src(11, 11);
+  fill_rect(src, 0, 0, 3, 3, {1.0f, 1.0f, 1.0f});  // top-left block
+  const Image dst = rotate(src, 90.0f);
+  // After ±90° rotation the block is no longer top-left.
+  EXPECT_LT(dst.pixel(1, 1).r, 0.9f);
+}
+
+TEST(Crop, ExtractsSubWindow) {
+  Image src(10, 10);
+  src.set_pixel(4, 5, {1.0f, 0.5f, 0.25f});
+  const Image dst = crop(src, 3, 2, 5, 5);
+  EXPECT_EQ(dst.width(), 5);
+  EXPECT_EQ(dst.height(), 5);
+  EXPECT_FLOAT_EQ(dst.pixel(2, 2).r, 1.0f);  // (4,5) → (2,2)
+}
+
+TEST(Crop, ClipsWindowToImage) {
+  Image src(10, 10, 3, 0.5f);
+  const Image dst = crop(src, 8, 8, 10, 10);
+  EXPECT_EQ(dst.width(), 2);
+  EXPECT_EQ(dst.height(), 2);
+}
+
+TEST(Noise, GaussianChangesPixelsWithinBounds) {
+  Image img(16, 16, 3, 0.5f);
+  Rng rng(5);
+  add_gaussian_noise(img, 0.1f, rng);
+  bool changed = false;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_GE(img.data()[i], 0.0f);
+    EXPECT_LE(img.data()[i], 1.0f);
+    if (img.data()[i] != 0.5f) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Noise, SaltPepperSetsExtremes) {
+  Image img(32, 32, 3, 0.5f);
+  Rng rng(6);
+  add_salt_pepper(img, 0.2f, rng);
+  int extremes = 0;
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) {
+      const float v = img.at(0, y, x);
+      if (v == 0.0f || v == 1.0f) ++extremes;
+    }
+  EXPECT_GT(extremes, 50);
+}
+
+TEST(Flip, HorizontalMirrorsPixels) {
+  Image src(5, 3);
+  src.set_pixel(1, 0, {1.0f, 0.0f, 0.0f});
+  const Image dst = flip_horizontal(src);
+  EXPECT_FLOAT_EQ(dst.pixel(1, 4).r, 1.0f);
+  EXPECT_FLOAT_EQ(dst.pixel(1, 0).r, 0.0f);
+}
+
+TEST(Flip, DoubleFlipIsIdentity) {
+  const Image src = checkerboard(12);
+  const Image dst = flip_horizontal(flip_horizontal(src));
+  for (std::size_t i = 0; i < src.size(); ++i)
+    EXPECT_FLOAT_EQ(dst.data()[i], src.data()[i]);
+}
+
+TEST(MotionBlur, SmearsAlongDirection) {
+  Image src(21, 21);
+  src.set_pixel(10, 10, {1.0f, 1.0f, 1.0f});
+  const Image dst = motion_blur(src, 0.0f, 7);  // horizontal
+  EXPECT_GT(dst.pixel(10, 12).r, 0.0f);  // smeared horizontally
+  EXPECT_FLOAT_EQ(dst.pixel(13, 10).r, 0.0f);  // not vertically
+}
+
+TEST(MotionBlur, LengthOneIsIdentity) {
+  const Image src = checkerboard(8);
+  const Image dst = motion_blur(src, 30.0f, 1);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    EXPECT_FLOAT_EQ(dst.data()[i], src.data()[i]);
+}
+
+class ResizeParamTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ResizeParamTest, OutputInRange01) {
+  const auto [w, h] = GetParam();
+  const Image src = checkerboard(24);
+  const Image dst = resize_bilinear(src, w, h);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    EXPECT_GE(dst.data()[i], 0.0f);
+    EXPECT_LE(dst.data()[i], 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ResizeParamTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{64, 64},
+                                           std::pair{7, 31},
+                                           std::pair{100, 3}));
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,170 @@
+// End-to-end integration tests: the full Ocularone stack — dataset →
+// training → detection → tracking → alerts, plus the benchmark paths
+// the paper's evaluation drives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+#include "runtime/frame_source.hpp"
+#include "trainer/detector_trainer.hpp"
+#include "dataset/annotation.hpp"
+#include "vip/navigator.hpp"
+
+namespace ocb {
+namespace {
+
+using dataset::Category;
+using dataset::DatasetConfig;
+using dataset::DatasetGenerator;
+using models::YoloFamily;
+using models::YoloSize;
+
+struct Fixture {
+  DatasetGenerator generator;
+  models::MiniYolo detector;
+  vip::FallSvm fall_svm;
+
+  /// Shared across all integration tests — training once keeps the
+  /// suite's single-core runtime bounded.
+  static Fixture& shared() {
+    static Fixture instance = make();
+    return instance;
+  }
+
+  static Fixture make() {
+    DatasetConfig dc;
+    dc.scale = 0.01;
+    dc.image_width = 128;
+    dc.image_height = 96;
+    dc.seed = 31;
+    DatasetGenerator gen(dc);
+
+    Rng rng(1);
+    auto split = dataset::curated_split(gen, 0.4, rng);
+    trainer::TrainConfig tc;
+    tc.epochs = 45;
+    trainer::DetectorTrainer trainer(gen, tc);
+    models::MiniYolo detector = trainer.train(
+        YoloFamily::kV11, YoloSize::kMedium, split.train, split.val);
+
+    vip::FallSvm svm;
+    std::vector<vip::Pose> poses;
+    std::vector<bool> labels;
+    Rng pose_rng(2);
+    for (int i = 0; i < 120; ++i) {
+      poses.push_back(vip::sample_standing_pose(pose_rng));
+      labels.push_back(false);
+      poses.push_back(vip::sample_fallen_pose(pose_rng));
+      labels.push_back(true);
+    }
+    svm.train(poses, labels, pose_rng);
+    return {std::move(gen), std::move(detector), std::move(svm)};
+  }
+};
+
+TEST(Integration, NavigatorTracksVipThroughClip) {
+  Fixture& fx = Fixture::shared();
+
+  dataset::VideoClip clip;
+  clip.id = 0;
+  clip.category = Category::kFootpathPedestrians;
+  clip.seed = 405;  // clip with the VIP at close range (~1.7 m)
+  clip.extracted_frames = 40;
+  runtime::CameraSource camera(clip, 128, 96, 5.0, 9);
+
+  vip::Navigator navigator(&fx.detector, &fx.fall_svm);
+  Rng rng(3);
+  int frames = 0, locked_frames = 0;
+  while (auto frame = camera.next()) {
+    const vip::FrameReport report = navigator.process(*frame, rng);
+    if (report.track.locked) {
+      ++locked_frames;
+      // When locked, the track should overlap the ground-truth vest.
+      if (frame->vest_truth.box.valid())
+        EXPECT_GT(iou(report.track.box, frame->vest_truth.box), 0.05f)
+            << "frame " << frames;
+    }
+    ++frames;
+  }
+  EXPECT_EQ(frames, 20);
+  // The trained detector holds the track for most of the clip.
+  EXPECT_GT(locked_frames, frames * 2 / 3);
+}
+
+TEST(Integration, TrainedDetectorGeneralisesAcrossCategories) {
+  Fixture& fx = Fixture::shared();
+  Rng rng(5);
+  // Evaluate on categories the detector may not have seen much of.
+  for (Category cat : {Category::kRoadsideParkedCars, Category::kMixed}) {
+    const auto pool = fx.generator.samples_in(cat);
+    const auto samples = dataset::subsample(pool, 15, rng);
+    const auto metrics =
+        trainer::evaluate_detector(fx.detector, fx.generator, samples, "x")
+            .overall();
+    EXPECT_GT(metrics.accuracy, 0.5) << dataset::category_name(cat);
+  }
+}
+
+TEST(Integration, DetectionsMapBackToOriginalResolution) {
+  Fixture& fx = Fixture::shared();
+  const auto& sample = fx.generator.samples().front();
+  const dataset::RenderedFrame frame = fx.generator.render(sample);
+  const auto dets = fx.detector.detect(frame.image, 0.4f);
+  for (const Detection& det : dets) {
+    EXPECT_GE(det.box.x0, 0.0f);
+    EXPECT_LE(det.box.x1, static_cast<float>(frame.image.width()));
+    EXPECT_GE(det.box.y0, 0.0f);
+    EXPECT_LE(det.box.y1, static_cast<float>(frame.image.height()));
+  }
+}
+
+TEST(Integration, AlertsFireOnCloseObstacleScene) {
+  Fixture& fx = Fixture::shared();
+  vip::NavigatorConfig config;
+  config.obstacle.alert_distance_m = 3.0f;
+  vip::Navigator navigator(&fx.detector, &fx.fall_svm, config);
+
+  // Build a frame whose scene has a pedestrian right in front.
+  Rng scene_rng(6);
+  dataset::SceneSpec spec =
+      dataset::sample_scene(Category::kFootpathPedestrians, scene_rng);
+  spec.vip_distance = 4.0f;
+  spec.pedestrians.clear();
+  dataset::PedestrianSpec ped;
+  ped.x = 0.5f;
+  ped.depth = 0.5f;  // 2 m
+  spec.pedestrians.push_back(ped);
+
+  Rng render_rng(7);
+  const dataset::RenderedFrame rendered =
+      dataset::render_scene(spec, 128, 96, render_rng);
+  runtime::Frame frame;
+  frame.image = rendered.image;
+  frame.spec = spec;
+  frame.vest_truth = rendered.vest;
+  frame.timestamp_s = 1.0;
+
+  Rng rng(8);
+  (void)navigator.process(frame, rng);
+  EXPECT_GE(navigator.alerts().emitted(vip::AlertKind::kObstacle), 1u);
+}
+
+TEST(Integration, DatasetRoundTripThroughYoloLabels) {
+  Fixture& fx = Fixture::shared();
+  Rng rng(9);
+  const auto samples = dataset::subsample(fx.generator.samples(), 5, rng);
+  for (const auto& sample : samples) {
+    const dataset::RenderedFrame frame = fx.generator.render(sample);
+    if (!frame.vest_visible) continue;
+    const std::string line = dataset::to_yolo_line(
+        frame.vest, frame.image.width(), frame.image.height());
+    const Annotation back = dataset::from_yolo_line(
+        line, frame.image.width(), frame.image.height());
+    EXPECT_GT(iou(back.box, frame.vest.box), 0.98f);
+  }
+}
+
+}  // namespace
+}  // namespace ocb

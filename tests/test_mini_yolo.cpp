@@ -1,0 +1,164 @@
+#include "models/mini_yolo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/draw.hpp"
+
+namespace ocb::models {
+namespace {
+
+MiniYoloConfig tiny_config() {
+  MiniYoloConfig config;
+  config.input_size = 64;
+  config.grid = 8;
+  return config;
+}
+
+TEST(MiniYolo, SizeOrderingInParams) {
+  const MiniYolo n(YoloFamily::kV8, YoloSize::kNano, tiny_config(), 1);
+  const MiniYolo m(YoloFamily::kV8, YoloSize::kMedium, tiny_config(), 1);
+  const MiniYolo x(YoloFamily::kV8, YoloSize::kXLarge, tiny_config(), 1);
+  EXPECT_LT(n.param_count(), m.param_count());
+  EXPECT_LT(m.param_count(), x.param_count());
+}
+
+TEST(MiniYolo, V11DeeperNarrowerFewerParams) {
+  const MiniYolo v8(YoloFamily::kV8, YoloSize::kMedium, tiny_config(), 1);
+  const MiniYolo v11(YoloFamily::kV11, YoloSize::kMedium, tiny_config(), 1);
+  EXPECT_LT(v11.param_count(), v8.param_count());
+}
+
+TEST(MiniYolo, ForwardShapeIsGrid) {
+  const MiniYolo model(YoloFamily::kV8, YoloSize::kNano, tiny_config(), 1);
+  Tensor batch({2, 3, 64, 64}, 0.5f);
+  const ag::Var out = model.forward(batch);
+  EXPECT_EQ(out->value.shape(), (Shape{2, 5, 8, 8}));
+}
+
+TEST(MiniYolo, ForwardRejectsWrongShape) {
+  const MiniYolo model(YoloFamily::kV8, YoloSize::kNano, tiny_config(), 1);
+  Tensor batch({1, 3, 32, 32});
+  EXPECT_THROW(model.forward(batch), Error);
+}
+
+TEST(MiniYolo, ConfigValidation) {
+  MiniYoloConfig bad;
+  bad.input_size = 63;
+  bad.grid = 7;
+  EXPECT_THROW(MiniYolo(YoloFamily::kV8, YoloSize::kNano, bad, 1), Error);
+  MiniYoloConfig mismatch;
+  mismatch.input_size = 64;
+  mismatch.grid = 4;
+  EXPECT_THROW(MiniYolo(YoloFamily::kV8, YoloSize::kNano, mismatch, 1),
+               Error);
+}
+
+TEST(MiniYolo, EncodeTargetsPlacesObjectInCorrectCell) {
+  const MiniYolo model(YoloFamily::kV8, YoloSize::kNano, tiny_config(), 1);
+  // Box centred at (36, 20) → cell (gx=4, gy=2) with stride 8.
+  std::vector<std::vector<Annotation>> truth(1);
+  truth[0].push_back({Box::from_center(36, 20, 16, 24), kHazardVestClass});
+  Tensor target, mask;
+  model.encode_targets(truth, target, mask);
+  EXPECT_FLOAT_EQ(mask.at(0, 0, 2, 4), 1.0f);
+  EXPECT_FLOAT_EQ(target.at(0, 0, 2, 4), 1.0f);
+  EXPECT_NEAR(target.at(0, 1, 2, 4), 0.5f, 1e-5f);  // 36/8 - 4
+  // All other cells negative.
+  double mask_sum = 0.0;
+  for (std::size_t i = 0; i < mask.numel(); ++i) mask_sum += mask[i];
+  EXPECT_DOUBLE_EQ(mask_sum, 1.0);
+}
+
+TEST(MiniYolo, EncodeDecodeRoundTrip) {
+  const MiniYolo model(YoloFamily::kV8, YoloSize::kNano, tiny_config(), 1);
+  const Box truth_box = Box::from_center(36, 20, 20, 28);
+  std::vector<std::vector<Annotation>> truth(1);
+  truth[0].push_back({truth_box, kHazardVestClass});
+  Tensor target, mask;
+  model.encode_targets(truth, target, mask);
+
+  // Build logits that decode back to the target: obj logit large,
+  // offsets via logit of the stored sigmoid targets, sizes raw.
+  Tensor logits({1, 5, 8, 8}, -10.0f);  // all background
+  auto logit_of = [](float p) {
+    return std::log(p / (1.0f - p + 1e-9f) + 1e-9f);
+  };
+  logits.at(0, 0, 2, 4) = 10.0f;
+  logits.at(0, 1, 2, 4) = logit_of(target.at(0, 1, 2, 4));
+  logits.at(0, 2, 2, 4) = logit_of(target.at(0, 2, 2, 4));
+  logits.at(0, 3, 2, 4) = target.at(0, 3, 2, 4);
+  logits.at(0, 4, 2, 4) = target.at(0, 4, 2, 4);
+
+  const auto dets = model.decode(logits, 0, 0.5f);
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_GT(iou(dets[0].box, truth_box), 0.9f);
+}
+
+TEST(MiniYolo, DecodeRespectsConfidenceThreshold) {
+  const MiniYolo model(YoloFamily::kV8, YoloSize::kNano, tiny_config(), 1);
+  Tensor logits({1, 5, 8, 8}, -10.0f);
+  EXPECT_TRUE(model.decode(logits, 0, 0.5f).empty());
+}
+
+TEST(MiniYolo, EncodeIgnoresInvalidBoxes) {
+  const MiniYolo model(YoloFamily::kV8, YoloSize::kNano, tiny_config(), 1);
+  std::vector<std::vector<Annotation>> truth(1);
+  truth[0].push_back({{10, 10, 10, 30}, kHazardVestClass});  // zero width
+  Tensor target, mask;
+  model.encode_targets(truth, target, mask);
+  for (std::size_t i = 0; i < mask.numel(); ++i)
+    EXPECT_FLOAT_EQ(mask[i], 0.0f);
+}
+
+TEST(MiniYolo, DetectOnUntrainedModelDoesNotCrash) {
+  const MiniYolo model(YoloFamily::kV8, YoloSize::kNano, tiny_config(), 1);
+  Image img(100, 80, 3, 0.5f);
+  fill_rect(img, 40, 30, 60, 60, {0.9f, 0.9f, 0.1f});
+  EXPECT_NO_THROW(model.detect(img));
+}
+
+TEST(MiniYolo, Top1ReturnsAtMostOneDetection) {
+  const MiniYolo model(YoloFamily::kV8, YoloSize::kNano, tiny_config(), 1);
+  Image img(64, 64, 3, 0.5f);
+  const auto dets = model.detect(img, 0.01f, /*top1=*/true);
+  EXPECT_LE(dets.size(), 1u);
+}
+
+TEST(MiniYolo, DeterministicConstruction) {
+  const MiniYolo a(YoloFamily::kV8, YoloSize::kMedium, tiny_config(), 99);
+  const MiniYolo b(YoloFamily::kV8, YoloSize::kMedium, tiny_config(), 99);
+  Tensor batch({1, 3, 64, 64}, 0.3f);
+  EXPECT_TRUE(allclose(a.forward(batch)->value, b.forward(batch)->value));
+}
+
+TEST(MiniYolo, ParametersListMatchesCount) {
+  const MiniYolo model(YoloFamily::kV8, YoloSize::kNano, tiny_config(), 1);
+  std::size_t total = 0;
+  for (const auto& p : model.parameters()) total += p->value.numel();
+  EXPECT_EQ(total, model.param_count());
+}
+
+class MiniYoloFamilySizeTest
+    : public ::testing::TestWithParam<std::tuple<YoloFamily, YoloSize>> {};
+
+TEST_P(MiniYoloFamilySizeTest, ForwardIsFiniteEverywhere) {
+  const auto [family, size] = GetParam();
+  const MiniYolo model(family, size, tiny_config(), 11);
+  Tensor batch({1, 3, 64, 64});
+  Rng rng(12);
+  batch.init_uniform(rng, 0.0f, 1.0f);
+  const ag::Var out = model.forward(batch);
+  for (std::size_t i = 0; i < out->value.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(out->value[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, MiniYoloFamilySizeTest,
+    ::testing::Combine(::testing::Values(YoloFamily::kV8, YoloFamily::kV11),
+                       ::testing::Values(YoloSize::kNano, YoloSize::kMedium,
+                                         YoloSize::kXLarge)));
+
+}  // namespace
+}  // namespace ocb::models

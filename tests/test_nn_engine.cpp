@@ -1,0 +1,150 @@
+#include "nn/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/profile.hpp"
+
+namespace ocb::nn {
+namespace {
+
+Graph tiny_graph() {
+  Graph g;
+  const int in = g.input(3, 16, 16);
+  const int c1 = g.conv(in, 8, 3, 2, 1, Act::kSilu, "c1");
+  const int c2 = g.conv(c1, 8, 3, 1, 1, Act::kSilu, "c2");
+  const int add = g.add(c1, c2, "res");
+  const int pool = g.maxpool(add, 2, 2, 0, "pool");
+  const int up = g.upsample2x(pool, "up");
+  const int cat = g.concat({up, add}, "cat");
+  const int head = g.conv(cat, 4, 1, 1, 0, Act::kSigmoid, "head");
+  g.mark_output(head);
+  return g;
+}
+
+TEST(Engine, RunsAndProducesOutputShape) {
+  const Graph g = tiny_graph();
+  Engine engine(g, 1);
+  Tensor input({1, 3, 16, 16}, 0.5f);
+  const auto outputs = engine.run(input);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].shape(), (Shape{1, 4, 8, 8}));
+}
+
+TEST(Engine, SigmoidOutputInUnitRange) {
+  const Graph g = tiny_graph();
+  Engine engine(g, 2);
+  Tensor input({1, 3, 16, 16});
+  Rng rng(3);
+  input.init_uniform(rng, 0.0f, 1.0f);
+  const auto outputs = engine.run(input);
+  for (std::size_t i = 0; i < outputs[0].numel(); ++i) {
+    EXPECT_GE(outputs[0][i], 0.0f);
+    EXPECT_LE(outputs[0][i], 1.0f);
+  }
+}
+
+TEST(Engine, DeterministicAcrossInstances) {
+  const Graph g = tiny_graph();
+  Engine a(g, 42), b(g, 42);
+  Tensor input({1, 3, 16, 16}, 0.25f);
+  const auto out_a = a.run(input);
+  const auto out_b = b.run(input);
+  EXPECT_TRUE(allclose(out_a[0], out_b[0]));
+}
+
+TEST(Engine, DifferentSeedsDifferentWeights) {
+  const Graph g = tiny_graph();
+  Engine a(g, 1), b(g, 2);
+  Tensor input({1, 3, 16, 16}, 0.25f);
+  const auto out_a = a.run(input);
+  const auto out_b = b.run(input);
+  EXPECT_FALSE(allclose(out_a[0], out_b[0]));
+}
+
+TEST(Engine, InputShapeMismatchThrows) {
+  const Graph g = tiny_graph();
+  Engine engine(g, 1);
+  Tensor wrong({1, 3, 8, 8});
+  EXPECT_THROW(engine.run(wrong), Error);
+}
+
+TEST(Engine, NodeOutputAccessibleAfterRun) {
+  const Graph g = tiny_graph();
+  Engine engine(g, 1);
+  Tensor input({1, 3, 16, 16}, 0.1f);
+  engine.run(input);
+  EXPECT_EQ(engine.node_output(1).shape(), (Shape{1, 8, 8, 8}));
+}
+
+TEST(Engine, NodeOutputBeforeRunThrows) {
+  const Graph g = tiny_graph();
+  Engine engine(g, 1);
+  EXPECT_THROW(engine.node_output(1), Error);
+}
+
+TEST(Engine, WeightAccessorsValidated) {
+  const Graph g = tiny_graph();
+  Engine engine(g, 1);
+  EXPECT_NO_THROW(engine.weight(1));
+  EXPECT_THROW(engine.weight(0), Error);   // input has no weights
+  EXPECT_THROW(engine.weight(99), Error);  // out of range
+}
+
+TEST(Engine, ZeroWeightsGiveBiasOnlyOutput) {
+  Graph g;
+  const int in = g.input(1, 4, 4);
+  const int c = g.conv(in, 2, 1, 1, 0, Act::kNone, "c");
+  g.mark_output(c);
+  Engine engine(g, 1);
+  engine.weight(c).fill(0.0f);
+  engine.bias(c).fill(1.25f);
+  Tensor input({1, 1, 4, 4}, 0.7f);
+  const auto out = engine.run(input);
+  for (std::size_t i = 0; i < out[0].numel(); ++i)
+    EXPECT_FLOAT_EQ(out[0][i], 1.25f);
+}
+
+TEST(Engine, MultipleOutputsReturned) {
+  Graph g;
+  const int in = g.input(1, 8, 8);
+  const int a = g.conv(in, 2, 3, 1, 1, Act::kRelu, "a");
+  const int b = g.conv(in, 3, 3, 2, 1, Act::kRelu, "b");
+  g.mark_output(a);
+  g.mark_output(b);
+  Engine engine(g, 1);
+  Tensor input({1, 1, 8, 8}, 0.5f);
+  const auto outputs = engine.run(input);
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[0].shape(), (Shape{1, 2, 8, 8}));
+  EXPECT_EQ(outputs[1].shape(), (Shape{1, 3, 4, 4}));
+}
+
+TEST(Profile, CountsMatchGraph) {
+  const Graph g = tiny_graph();
+  const ModelProfile profile = profile_graph(g, "tiny");
+  EXPECT_EQ(profile.model_name, "tiny");
+  EXPECT_EQ(profile.input_h, 16);
+  EXPECT_DOUBLE_EQ(profile.total_flops(), g.flops());
+  EXPECT_EQ(profile.total_params(), g.param_count());
+  EXPECT_EQ(profile.layers.size(),
+            static_cast<std::size_t>(g.node_count()));
+}
+
+TEST(Profile, KernelCountExcludesInput) {
+  const Graph g = tiny_graph();
+  const ModelProfile profile = profile_graph(g, "tiny");
+  EXPECT_EQ(profile.kernel_count(),
+            static_cast<std::size_t>(g.node_count()) - 1);
+}
+
+TEST(Profile, BytesArePositiveForRealLayers) {
+  const Graph g = tiny_graph();
+  const ModelProfile profile = profile_graph(g, "tiny");
+  for (std::size_t i = 1; i < profile.layers.size(); ++i) {
+    EXPECT_GT(profile.layers[i].in_bytes, 0u) << profile.layers[i].name;
+    EXPECT_GT(profile.layers[i].out_bytes, 0u) << profile.layers[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace ocb::nn

@@ -1,0 +1,169 @@
+#include "nn/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace ocb::nn {
+namespace {
+
+TEST(Graph, InputMustComeFirst) {
+  Graph g;
+  const int in = g.input(3, 32, 32);
+  EXPECT_EQ(in, 0);
+  EXPECT_THROW(g.input(3, 16, 16), Error);
+}
+
+TEST(Graph, ConvShapeInference) {
+  Graph g;
+  const int in = g.input(3, 32, 32);
+  const int c = g.conv(in, 16, 3, 2, 1, Act::kSilu);
+  EXPECT_EQ(g.shape(c), (FeatShape{16, 16, 16}));
+}
+
+TEST(Graph, ConvEmptyOutputThrows) {
+  Graph g;
+  const int in = g.input(3, 4, 4);
+  EXPECT_THROW(g.conv(in, 8, 7, 1, 0, Act::kNone), Error);
+}
+
+TEST(Graph, DwConvKeepsChannels) {
+  Graph g;
+  const int in = g.input(8, 16, 16);
+  const int d = g.dwconv(in, 3, 1, 1, Act::kNone);
+  EXPECT_EQ(g.shape(d), (FeatShape{8, 16, 16}));
+}
+
+TEST(Graph, DeconvDoublesSpatial) {
+  Graph g;
+  const int in = g.input(16, 8, 8);
+  const int d = g.deconv(in, 8, Act::kRelu);
+  EXPECT_EQ(g.shape(d), (FeatShape{8, 16, 16}));
+}
+
+TEST(Graph, MaxPoolSamePadding) {
+  Graph g;
+  const int in = g.input(4, 20, 20);
+  const int p = g.maxpool(in, 5, 1, 2);
+  EXPECT_EQ(g.shape(p), (FeatShape{4, 20, 20}));
+}
+
+TEST(Graph, UpsampleDoubles) {
+  Graph g;
+  const int in = g.input(4, 10, 12);
+  const int u = g.upsample2x(in);
+  EXPECT_EQ(g.shape(u), (FeatShape{4, 20, 24}));
+}
+
+TEST(Graph, ConcatSumsChannels) {
+  Graph g;
+  const int in = g.input(4, 8, 8);
+  const int a = g.conv(in, 6, 1, 1, 0, Act::kNone);
+  const int b = g.conv(in, 10, 1, 1, 0, Act::kNone);
+  const int c = g.concat({a, b});
+  EXPECT_EQ(g.shape(c).c, 16);
+}
+
+TEST(Graph, ConcatSpatialMismatchThrows) {
+  Graph g;
+  const int in = g.input(4, 8, 8);
+  const int a = g.conv(in, 4, 3, 2, 1, Act::kNone);
+  EXPECT_THROW(g.concat({in, a}), Error);
+}
+
+TEST(Graph, AddRequiresSameShape) {
+  Graph g;
+  const int in = g.input(4, 8, 8);
+  const int a = g.conv(in, 4, 3, 1, 1, Act::kNone);
+  EXPECT_NO_THROW(g.add(in, a));
+  const int b = g.conv(in, 8, 3, 1, 1, Act::kNone);
+  EXPECT_THROW(g.add(in, b), Error);
+}
+
+TEST(Graph, SliceValidation) {
+  Graph g;
+  const int in = g.input(8, 4, 4);
+  const int s = g.slice(in, 2, 6);
+  EXPECT_EQ(g.shape(s).c, 4);
+  EXPECT_THROW(g.slice(in, 4, 4), Error);
+  EXPECT_THROW(g.slice(in, 0, 9), Error);
+}
+
+TEST(Graph, GlobalAvgPoolCollapsesSpatial) {
+  Graph g;
+  const int in = g.input(12, 7, 9);
+  const int p = g.global_avg_pool(in);
+  EXPECT_EQ(g.shape(p), (FeatShape{12, 1, 1}));
+}
+
+TEST(Graph, LinearShape) {
+  Graph g;
+  const int in = g.input(4, 2, 2);
+  const int l = g.linear(in, 10, Act::kNone);
+  EXPECT_EQ(g.shape(l), (FeatShape{10, 1, 1}));
+}
+
+TEST(Graph, ConvParamCount) {
+  Graph g;
+  const int in = g.input(3, 8, 8);
+  const int c = g.conv(in, 16, 3, 1, 1, Act::kNone);
+  // 16*3*3*3 + 16 bias
+  EXPECT_EQ(g.node_params(c), 448u);
+}
+
+TEST(Graph, LinearParamCount) {
+  Graph g;
+  const int in = g.input(4, 2, 2);
+  const int l = g.linear(in, 10, Act::kNone);
+  EXPECT_EQ(g.node_params(l), 4u * 2 * 2 * 10 + 10);
+}
+
+TEST(Graph, ParameterFreeOpsHaveZeroParams) {
+  Graph g;
+  const int in = g.input(4, 8, 8);
+  const int p = g.maxpool(in, 2, 2, 0);
+  const int u = g.upsample2x(p);
+  EXPECT_EQ(g.node_params(p), 0u);
+  EXPECT_EQ(g.node_params(u), 0u);
+}
+
+TEST(Graph, ConvFlopsFormula) {
+  Graph g;
+  const int in = g.input(3, 8, 8);
+  const int c = g.conv(in, 16, 3, 1, 1, Act::kNone);
+  // 2 * 3 * 9 * 16 * 64 = 55296
+  EXPECT_DOUBLE_EQ(g.node_flops(c), 55296.0);
+}
+
+TEST(Graph, TotalsAreSumsOfNodes) {
+  Graph g;
+  const int in = g.input(3, 16, 16);
+  const int a = g.conv(in, 8, 3, 1, 1, Act::kSilu);
+  const int b = g.conv(a, 8, 3, 1, 1, Act::kSilu);
+  g.mark_output(b);
+  EXPECT_EQ(g.param_count(), g.node_params(a) + g.node_params(b));
+  EXPECT_DOUBLE_EQ(g.flops(), g.node_flops(a) + g.node_flops(b));
+  EXPECT_NEAR(g.size_mb(),
+              static_cast<double>(g.param_count()) * 4.0 / 1048576.0, 1e-12);
+}
+
+TEST(Graph, UnknownInputNodeThrows) {
+  Graph g;
+  (void)g.input(3, 8, 8);
+  EXPECT_THROW(g.conv(42, 8, 3, 1, 1, Act::kNone), Error);
+}
+
+TEST(Graph, OutputsRecordedInOrder) {
+  Graph g;
+  const int in = g.input(3, 8, 8);
+  const int a = g.conv(in, 4, 1, 1, 0, Act::kNone);
+  const int b = g.conv(in, 4, 1, 1, 0, Act::kNone);
+  g.mark_output(b);
+  g.mark_output(a);
+  ASSERT_EQ(g.outputs().size(), 2u);
+  EXPECT_EQ(g.outputs()[0], b);
+  EXPECT_EQ(g.outputs()[1], a);
+}
+
+}  // namespace
+}  // namespace ocb::nn

@@ -1,0 +1,203 @@
+#include "nn/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace ocb::nn {
+namespace {
+
+TEST(Activation, ReluZeroesNegatives) {
+  float data[4] = {-1.0f, 0.0f, 2.0f, -0.5f};
+  apply_activation(Act::kRelu, data, 4);
+  EXPECT_FLOAT_EQ(data[0], 0.0f);
+  EXPECT_FLOAT_EQ(data[1], 0.0f);
+  EXPECT_FLOAT_EQ(data[2], 2.0f);
+  EXPECT_FLOAT_EQ(data[3], 0.0f);
+}
+
+TEST(Activation, SiluMatchesFormula) {
+  float data[2] = {1.0f, -2.0f};
+  apply_activation(Act::kSilu, data, 2);
+  EXPECT_NEAR(data[0], 1.0f / (1.0f + std::exp(-1.0f)), 1e-6f);
+  EXPECT_NEAR(data[1], -2.0f / (1.0f + std::exp(2.0f)), 1e-6f);
+}
+
+TEST(Activation, SigmoidRange) {
+  float data[3] = {-10.0f, 0.0f, 10.0f};
+  apply_activation(Act::kSigmoid, data, 3);
+  EXPECT_LT(data[0], 0.01f);
+  EXPECT_FLOAT_EQ(data[1], 0.5f);
+  EXPECT_GT(data[2], 0.99f);
+}
+
+TEST(Activation, NoneIsIdentity) {
+  float data[2] = {3.0f, -4.0f};
+  apply_activation(Act::kNone, data, 2);
+  EXPECT_FLOAT_EQ(data[0], 3.0f);
+  EXPECT_FLOAT_EQ(data[1], -4.0f);
+}
+
+TEST(Conv2d, IdentityKernel) {
+  // 1×1 conv with unit weight reproduces the input.
+  const ConvGeometry g{1, 3, 3, 1, 1, 1, 0};
+  std::vector<float> input{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const float weight[1] = {1.0f};
+  const float bias[1] = {0.0f};
+  std::vector<float> output(9);
+  ConvScratch scratch;
+  conv2d(input.data(), g, 1, weight, bias, Act::kNone, output.data(),
+         scratch);
+  for (int i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(output[i], input[i]);
+}
+
+TEST(Conv2d, BiasIsAdded) {
+  const ConvGeometry g{1, 2, 2, 1, 1, 1, 0};
+  std::vector<float> input{0, 0, 0, 0};
+  const float weight[1] = {1.0f};
+  const float bias[1] = {2.5f};
+  std::vector<float> output(4);
+  ConvScratch scratch;
+  conv2d(input.data(), g, 1, weight, bias, Act::kNone, output.data(),
+         scratch);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(output[i], 2.5f);
+}
+
+TEST(Conv2d, BoxFilterSums) {
+  // 3×3 all-ones kernel, pad 1: centre output = sum of all 9 pixels.
+  const ConvGeometry g{1, 3, 3, 3, 3, 1, 1};
+  std::vector<float> input(9, 1.0f);
+  std::vector<float> weight(9, 1.0f);
+  const float bias[1] = {0.0f};
+  std::vector<float> output(9);
+  ConvScratch scratch;
+  conv2d(input.data(), g, 1, weight.data(), bias, Act::kNone, output.data(),
+         scratch);
+  EXPECT_FLOAT_EQ(output[4], 9.0f);  // centre
+  EXPECT_FLOAT_EQ(output[0], 4.0f);  // corner sees 2×2
+}
+
+TEST(DwConv2d, PerChannelFilters) {
+  const ConvGeometry g{2, 2, 2, 1, 1, 1, 0};
+  std::vector<float> input{1, 1, 1, 1, 2, 2, 2, 2};
+  const float weight[2] = {3.0f, 5.0f};  // one 1×1 filter per channel
+  const float bias[2] = {0.0f, 1.0f};
+  std::vector<float> output(8);
+  dwconv2d(input.data(), g, weight, bias, Act::kNone, output.data());
+  EXPECT_FLOAT_EQ(output[0], 3.0f);
+  EXPECT_FLOAT_EQ(output[4], 11.0f);
+}
+
+TEST(Deconv2x, DoublesResolutionAndConservesMass) {
+  const int in_c = 1, in_h = 2, in_w = 2, out_c = 1;
+  std::vector<float> input{1, 0, 0, 0};
+  std::vector<float> weight(16, 0.25f);  // 4×4 kernel
+  const float bias[1] = {0.0f};
+  std::vector<float> output(16);
+  deconv2d_2x(input.data(), in_c, in_h, in_w, out_c, weight.data(), bias,
+              Act::kNone, output.data());
+  double total = 0.0;
+  for (float v : output) total += v;
+  // One unit of input mass spread through a kernel summing to 4 minus
+  // the taps clipped by pad 1 at the boundary.
+  EXPECT_GT(total, 0.0);
+  EXPECT_GT(output[0], 0.0f);  // top-left receives contribution
+}
+
+TEST(MaxPool, PicksMaximum) {
+  const ConvGeometry g{1, 2, 2, 2, 2, 2, 0};
+  std::vector<float> input{1, 7, 3, 5};
+  std::vector<float> output(1);
+  maxpool2d(input.data(), g, output.data());
+  EXPECT_FLOAT_EQ(output[0], 7.0f);
+}
+
+TEST(MaxPool, SamePaddingKeepsSize) {
+  const ConvGeometry g{1, 4, 4, 5, 5, 1, 2};
+  std::vector<float> input(16, 0.0f);
+  input[5] = 3.0f;
+  std::vector<float> output(16);
+  maxpool2d(input.data(), g, output.data());
+  // The 5×5 window centred anywhere within distance 2 of (1,1) sees 3.
+  EXPECT_FLOAT_EQ(output[0], 3.0f);
+  EXPECT_FLOAT_EQ(output[15], 3.0f);
+}
+
+TEST(Upsample, NearestReplicates) {
+  std::vector<float> input{1, 2, 3, 4};  // 2×2
+  std::vector<float> output(16);
+  upsample2x_nearest(input.data(), 1, 2, 2, output.data());
+  EXPECT_FLOAT_EQ(output[0], 1.0f);
+  EXPECT_FLOAT_EQ(output[1], 1.0f);
+  EXPECT_FLOAT_EQ(output[2], 2.0f);
+  EXPECT_FLOAT_EQ(output[4], 1.0f);
+  EXPECT_FLOAT_EQ(output[15], 4.0f);
+}
+
+TEST(Concat, OrdersChannelsBySource) {
+  std::vector<float> a(4, 1.0f);  // 1 channel 2×2
+  std::vector<float> b(8, 2.0f);  // 2 channels 2×2
+  std::vector<float> out(12);
+  concat_channels({a.data(), b.data()}, {1, 2}, 2, 2, out.data());
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[4], 2.0f);
+  EXPECT_FLOAT_EQ(out[11], 2.0f);
+}
+
+TEST(AddElementwise, Adds) {
+  std::vector<float> a{1, 2}, b{3, 4}, out(2);
+  add_elementwise(a.data(), b.data(), 2, out.data());
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+  EXPECT_FLOAT_EQ(out[1], 6.0f);
+}
+
+TEST(SliceChannels, ExtractsMiddle) {
+  std::vector<float> input(12);  // 3 channels 2×2
+  for (std::size_t i = 0; i < 12; ++i) input[i] = static_cast<float>(i);
+  std::vector<float> out(4);
+  slice_channels(input.data(), 3, 2, 2, 1, 2, out.data());
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+  EXPECT_FLOAT_EQ(out[3], 7.0f);
+}
+
+TEST(GlobalAvgPool, AveragesPerChannel) {
+  std::vector<float> input{1, 2, 3, 4, 10, 10, 10, 10};
+  std::vector<float> out(2);
+  global_avg_pool(input.data(), 2, 2, 2, out.data());
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 10.0f);
+}
+
+TEST(Linear, MatVecPlusBias) {
+  std::vector<float> input{1, 2};
+  std::vector<float> weight{1, 1, 2, -1};  // 2×2
+  std::vector<float> bias{0.5f, -0.5f};
+  std::vector<float> out(2);
+  linear(input.data(), 2, 2, weight.data(), bias.data(), Act::kNone,
+         out.data());
+  EXPECT_FLOAT_EQ(out[0], 3.5f);
+  EXPECT_FLOAT_EQ(out[1], -0.5f);
+}
+
+TEST(Conv2d, StridedAgainstManualComputation) {
+  // 2×2 kernel, stride 2 over 4×4 input, single channel.
+  const ConvGeometry g{1, 4, 4, 2, 2, 2, 0};
+  std::vector<float> input(16);
+  for (std::size_t i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
+  const std::vector<float> weight{1, 0, 0, 1};  // trace of each window
+  const float bias[1] = {0.0f};
+  std::vector<float> output(4);
+  ConvScratch scratch;
+  conv2d(input.data(), g, 1, weight.data(), bias, Act::kNone, output.data(),
+         scratch);
+  EXPECT_FLOAT_EQ(output[0], 0.0f + 5.0f);
+  EXPECT_FLOAT_EQ(output[1], 2.0f + 7.0f);
+  EXPECT_FLOAT_EQ(output[2], 8.0f + 13.0f);
+  EXPECT_FLOAT_EQ(output[3], 10.0f + 15.0f);
+}
+
+}  // namespace
+}  // namespace ocb::nn

@@ -1,0 +1,104 @@
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace ocb {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(future.get(), Error);
+}
+
+TEST(ThreadPool, SingleWorkerStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.for_range(0, 100, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ForRangeCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_range(0, 257, [&](std::size_t i) { ++hits[i]; }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ForRangeEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.for_range(5, 5, [&](std::size_t) { ++counter; });
+  pool.for_range(7, 3, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPool, ForRangeRethrowsChunkException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.for_range(0, 100,
+                              [](std::size_t i) {
+                                if (i == 50) throw Error("chunk failure");
+                              }),
+               Error);
+}
+
+TEST(ThreadPool, SubmitEmptyTaskThrows) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), Error);
+}
+
+TEST(ParallelFor, GlobalPoolCoversRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelSum, MatchesSequentialSum) {
+  std::vector<double> v(5000);
+  std::iota(v.begin(), v.end(), 1.0);
+  const double expected = std::accumulate(v.begin(), v.end(), 0.0);
+  const double got = parallel_sum(v.size(), [&](std::size_t i) { return v[i]; });
+  EXPECT_DOUBLE_EQ(got, expected);
+}
+
+TEST(ParallelSum, EmptyRangeIsZero) {
+  EXPECT_DOUBLE_EQ(parallel_sum(0, [](std::size_t) { return 1.0; }), 0.0);
+}
+
+TEST(ParallelSum, SmallRangeRunsInline) {
+  EXPECT_DOUBLE_EQ(parallel_sum(3, [](std::size_t i) {
+                     return static_cast<double>(i);
+                   }),
+                   3.0);
+}
+
+class ForRangeGrainTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ForRangeGrainTest, AllGrainsCoverRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.for_range(0, 100, [&](std::size_t i) { ++hits[i]; }, GetParam());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, ForRangeGrainTest,
+                         ::testing::Values(1, 2, 7, 32, 100, 1000));
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,109 @@
+#include "eval/pr_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace ocb::eval {
+namespace {
+
+Detection det(float x, float conf) {
+  return {{x, 0, x + 10, 10}, conf, 0};
+}
+
+Annotation truth(float x) { return {{x, 0, x + 10, 10}, 0}; }
+
+TEST(PrCurve, PerfectDetectorApIsOne) {
+  PrCurveBuilder builder;
+  for (int i = 0; i < 5; ++i)
+    builder.add_image({det(static_cast<float>(i) * 100, 0.9f)},
+                      {truth(static_cast<float>(i) * 100)});
+  EXPECT_DOUBLE_EQ(builder.average_precision(), 1.0);
+  const auto points = builder.curve();
+  EXPECT_EQ(points.size(), 5u);
+  EXPECT_DOUBLE_EQ(points.back().recall, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().precision, 1.0);
+}
+
+TEST(PrCurve, AllMissesApIsZero) {
+  PrCurveBuilder builder;
+  builder.add_image({}, {truth(0)});
+  builder.add_image({det(500, 0.8f)}, {truth(0)});
+  EXPECT_DOUBLE_EQ(builder.average_precision(), 0.0);
+}
+
+TEST(PrCurve, NoDetectionsEmptyCurve) {
+  PrCurveBuilder builder;
+  builder.add_image({}, {truth(0)});
+  EXPECT_TRUE(builder.curve().empty());
+  EXPECT_DOUBLE_EQ(builder.average_precision(), 0.0);
+}
+
+TEST(PrCurve, MixedDetectorKnownAp) {
+  // 2 truths. One TP at conf 0.9, one FP at conf 0.8, one TP at 0.7.
+  PrCurveBuilder builder;
+  builder.add_image({det(0, 0.9f)}, {truth(0)});
+  builder.add_image({det(500, 0.8f)}, {});       // FP image
+  builder.add_image({det(0, 0.7f)}, {truth(0)});
+  // Curve: (tp1: P=1, R=.5) (fp: P=.5, R=.5) (tp2: P=2/3, R=1).
+  // Envelope: max-from-right → [1, 2/3, 2/3].
+  // AP = 1·0.5 + 2/3·0 + 2/3·0.5 = 0.8333…
+  EXPECT_NEAR(builder.average_precision(), 5.0 / 6.0, 1e-9);
+}
+
+TEST(PrCurve, RecallIsMonotoneNonDecreasing) {
+  PrCurveBuilder builder;
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const bool has_truth = rng.bernoulli(0.8);
+    std::vector<Annotation> truths;
+    if (has_truth) truths.push_back(truth(0));
+    std::vector<Detection> dets;
+    if (rng.bernoulli(0.9))
+      dets.push_back(det(rng.bernoulli(0.7) ? 0.0f : 300.0f,
+                         static_cast<float>(rng.uniform(0.1, 1.0))));
+    builder.add_image(dets, truths);
+  }
+  double prev = 0.0;
+  for (const PrPoint& p : builder.curve()) {
+    EXPECT_GE(p.recall, prev);
+    prev = p.recall;
+  }
+}
+
+TEST(PrCurve, BestF1FindsOperatingPoint) {
+  PrCurveBuilder builder;
+  builder.add_image({det(0, 0.9f)}, {truth(0)});
+  builder.add_image({det(500, 0.3f)}, {});  // low-confidence FP
+  builder.add_image({det(0, 0.8f)}, {truth(0)});
+  const PrPoint best = builder.best_f1();
+  // Operating above the FP's confidence keeps precision 1, recall 1.
+  EXPECT_DOUBLE_EQ(best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(best.recall, 1.0);
+  EXPECT_GE(best.threshold, 0.8 - 1e-6);
+}
+
+TEST(PrCurve, DuplicateDetectionCountedAsFp) {
+  PrCurveBuilder builder;
+  builder.add_image({det(0, 0.9f), det(1, 0.85f)}, {truth(0)});
+  const auto points = builder.curve();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[1].precision, 0.5);
+}
+
+TEST(PrCurve, IouThresholdValidation) {
+  EXPECT_THROW(PrCurveBuilder(0.0f), Error);
+  EXPECT_THROW(PrCurveBuilder(1.5f), Error);
+  EXPECT_NO_THROW(PrCurveBuilder(1.0f));
+}
+
+TEST(PrCurve, TotalsTracked) {
+  PrCurveBuilder builder;
+  builder.add_image({det(0, 0.5f)}, {truth(0), truth(100)});
+  EXPECT_EQ(builder.total_truths(), 2u);
+  EXPECT_EQ(builder.total_detections(), 1u);
+}
+
+}  // namespace
+}  // namespace ocb::eval

@@ -1,0 +1,208 @@
+#include "runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+#include "models/registry.hpp"
+#include "runtime/frame_source.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/placement.hpp"
+
+namespace ocb::runtime {
+namespace {
+
+dataset::VideoClip test_clip() {
+  dataset::VideoClip clip;
+  clip.id = 0;
+  clip.category = dataset::Category::kFootpathPedestrians;
+  clip.seed = 99;
+  clip.extracted_frames = 50;  // 5 s of footage
+  return clip;
+}
+
+TEST(CameraSource, StreamsRequestedFps) {
+  CameraSource source(test_clip(), 96, 72, 5.0, 1);
+  int frames = 0;
+  double last_t = -1.0;
+  while (auto frame = source.next()) {
+    EXPECT_GT(frame->timestamp_s, last_t);
+    last_t = frame->timestamp_s;
+    EXPECT_EQ(frame->image.width(), 96);
+    ++frames;
+  }
+  EXPECT_EQ(frames, 25);  // 5 s at 5 FPS
+}
+
+TEST(CameraSource, ResetRestartsStream) {
+  CameraSource source(test_clip(), 64, 48, 10.0, 1);
+  (void)source.next();
+  (void)source.next();
+  source.reset();
+  auto frame = source.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->index, 0);
+}
+
+TEST(CameraSource, RejectsFpsAboveExtractRate) {
+  EXPECT_THROW(CameraSource(test_clip(), 64, 48, 30.0, 1), Error);
+}
+
+TEST(CameraSource, FramesCarryGroundTruth) {
+  CameraSource source(test_clip(), 96, 72, 5.0, 1);
+  const auto frame = source.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->vest_truth.box.valid());
+}
+
+TEST(HostExecutor, MeasuresRealExecution) {
+  const nn::Graph g = models::build_model(models::ModelId::kYoloV8n, 0.1);
+  HostExecutor executor(g, "v8n@host");
+  const double ms = executor.infer_ms();
+  EXPECT_GT(ms, 0.0);
+  EXPECT_EQ(executor.name(), "v8n@host");
+}
+
+TEST(SimulatedExecutor, NameAndPositiveLatency) {
+  const auto profile = models::profile_model(models::ModelId::kYoloV8n);
+  SimulatedExecutor executor(profile, devsim::device_spec(
+                                          devsim::DeviceId::kOrinAgx),
+                             7);
+  EXPECT_EQ(executor.name(), "YOLOv8-n@o-agx");
+  for (int i = 0; i < 10; ++i) EXPECT_GT(executor.infer_ms(), 0.0);
+}
+
+TEST(BenchmarkExecutor, Summarises) {
+  const auto profile = models::profile_model(models::ModelId::kYoloV8n);
+  SimulatedExecutor executor(
+      profile, devsim::device_spec(devsim::DeviceId::kRtx4090), 7);
+  const Summary s = benchmark_executor(executor, 100);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_LE(s.median, 25.0);  // workstation budget
+}
+
+TEST(Pipeline, SequentialAddsStageLatencies) {
+  std::vector<std::unique_ptr<Executor>> stages;
+  const auto yolo = models::profile_model(models::ModelId::kYoloV8n);
+  const auto pose = models::profile_model(models::ModelId::kTrtPose);
+  const auto& dev = devsim::device_spec(devsim::DeviceId::kOrinAgx);
+  devsim::JitterModel no_jitter;
+  no_jitter.sigma = 0.0;
+  no_jitter.straggler_prob = 0.0;
+  no_jitter.warmup_frames = 0;
+  stages.push_back(std::make_unique<SimulatedExecutor>(yolo, dev, 1,
+                                                       devsim::RooflineOptions{},
+                                                       no_jitter));
+  stages.push_back(std::make_unique<SimulatedExecutor>(pose, dev, 2,
+                                                       devsim::RooflineOptions{},
+                                                       no_jitter));
+  Pipeline pipeline(std::move(stages), Discipline::kSequential);
+  const PipelineStats stats = pipeline.run(20, 1000.0);
+  const double expected = devsim::model_latency_ms(yolo, dev) +
+                          devsim::model_latency_ms(pose, dev);
+  EXPECT_NEAR(stats.per_frame.median, expected, expected * 0.02);
+  EXPECT_DOUBLE_EQ(stats.deadline_miss_rate, 0.0);
+}
+
+TEST(Pipeline, ParallelTakesMaxLatency) {
+  std::vector<std::unique_ptr<Executor>> stages;
+  const auto yolo = models::profile_model(models::ModelId::kYoloV8x);
+  const auto pose = models::profile_model(models::ModelId::kTrtPose);
+  const auto& dev = devsim::device_spec(devsim::DeviceId::kOrinAgx);
+  devsim::JitterModel no_jitter;
+  no_jitter.sigma = 0.0;
+  no_jitter.straggler_prob = 0.0;
+  no_jitter.warmup_frames = 0;
+  stages.push_back(std::make_unique<SimulatedExecutor>(yolo, dev, 1,
+                                                       devsim::RooflineOptions{},
+                                                       no_jitter));
+  stages.push_back(std::make_unique<SimulatedExecutor>(pose, dev, 2,
+                                                       devsim::RooflineOptions{},
+                                                       no_jitter));
+  Pipeline pipeline(std::move(stages), Discipline::kParallel);
+  const PipelineStats stats = pipeline.run(20, 1000.0);
+  const double expected = devsim::model_latency_ms(yolo, dev);
+  EXPECT_NEAR(stats.per_frame.median, expected, expected * 0.02);
+}
+
+TEST(Pipeline, DeadlineMissRateCounted) {
+  std::vector<std::unique_ptr<Executor>> stages;
+  const auto yolo = models::profile_model(models::ModelId::kYoloV8x);
+  const auto& nx = devsim::device_spec(devsim::DeviceId::kXavierNx);
+  stages.push_back(std::make_unique<SimulatedExecutor>(yolo, nx, 1));
+  Pipeline pipeline(std::move(stages), Discipline::kSequential);
+  // ~989 ms per frame against a 33 ms deadline: everything misses.
+  const PipelineStats stats = pipeline.run(30, 1000.0 / 30.0);
+  EXPECT_DOUBLE_EQ(stats.deadline_miss_rate, 1.0);
+}
+
+TEST(Pipeline, EmptyStagesThrow) {
+  EXPECT_THROW(Pipeline({}, Discipline::kSequential), Error);
+}
+
+std::vector<Candidate> make_candidates() {
+  // Accuracy values shaped like Fig 3: larger models slightly better.
+  return {
+      {models::profile_model(models::ModelId::kYoloV8n), 0.986},
+      {models::profile_model(models::ModelId::kYoloV8m), 0.990},
+      {models::profile_model(models::ModelId::kYoloV8x), 0.991},
+      {models::profile_model(models::ModelId::kYoloV11m), 0.9949},
+      {models::profile_model(models::ModelId::kYoloV11x), 0.9927},
+  };
+}
+
+TEST(Placement, PicksMostAccurateWithinBudget) {
+  const auto candidates = make_candidates();
+  const auto placement =
+      best_on_device(candidates, devsim::DeviceId::kOrinAgx, 200.0);
+  ASSERT_TRUE(placement.has_value());
+  // v11-m (~115 ms on AGX, accuracy 0.9949) wins under a 200 ms budget.
+  EXPECT_EQ(placement->model_name, "YOLOv11-m");
+  EXPECT_LE(placement->latency_ms, 200.0);
+}
+
+TEST(Placement, TightBudgetForcesNano) {
+  const auto candidates = make_candidates();
+  const auto placement =
+      best_on_device(candidates, devsim::DeviceId::kXavierNx, 80.0);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->model_name, "YOLOv8-n");
+}
+
+TEST(Placement, ImpossibleBudgetGivesNothing) {
+  const auto candidates = make_candidates();
+  EXPECT_FALSE(
+      best_on_device(candidates, devsim::DeviceId::kXavierNx, 1.0).has_value());
+}
+
+TEST(Placement, WorkstationRunsEverything) {
+  const auto candidates = make_candidates();
+  const auto placement =
+      best_on_device(candidates, devsim::DeviceId::kRtx4090, 25.0);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->model_name, "YOLOv11-m");  // highest accuracy fits
+}
+
+TEST(Placement, EdgeCloudEscalatesWhenRttAllows) {
+  const auto candidates = make_candidates();
+  const auto plan = plan_edge_cloud(candidates, devsim::DeviceId::kXavierNx,
+                                    200.0, 30.0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->edge.model_name, "YOLOv8-n");  // only one fitting NX@200
+  ASSERT_TRUE(plan->cloud.has_value());
+  EXPECT_GT(plan->cloud->accuracy, plan->edge.accuracy);
+  EXPECT_LE(plan->cloud->latency_ms, 200.0);
+}
+
+TEST(Placement, EdgeCloudSkipsCloudWhenRttTooHigh) {
+  const auto candidates = make_candidates();
+  const auto plan = plan_edge_cloud(candidates, devsim::DeviceId::kOrinAgx,
+                                    200.0, 500.0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_FALSE(plan->cloud.has_value());
+}
+
+}  // namespace
+}  // namespace ocb::runtime

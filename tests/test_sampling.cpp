@@ -1,0 +1,191 @@
+#include "dataset/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "dataset/annotation.hpp"
+
+namespace ocb::dataset {
+namespace {
+
+DatasetGenerator small_generator() {
+  DatasetConfig config;
+  config.scale = 0.05;
+  config.image_width = 96;
+  config.image_height = 72;
+  config.seed = 11;
+  return DatasetGenerator(config);
+}
+
+std::uint64_t key(const Sample& s) {
+  return (static_cast<std::uint64_t>(s.video_id) << 32) |
+         static_cast<std::uint64_t>(s.frame_index);
+}
+
+TEST(CuratedSplit, PartitionsDataset) {
+  const DatasetGenerator gen = small_generator();
+  Rng rng(1);
+  const SplitResult split = curated_split(gen, 0.1, rng);
+  const std::size_t total = split.train.size() + split.val.size() +
+                            split.test_diverse.size() +
+                            split.test_adversarial.size();
+  EXPECT_EQ(total, gen.samples().size());
+}
+
+TEST(CuratedSplit, NoOverlapBetweenTrainAndTest) {
+  const DatasetGenerator gen = small_generator();
+  Rng rng(2);
+  const SplitResult split = curated_split(gen, 0.1, rng);
+  std::set<std::uint64_t> train_keys;
+  for (const Sample& s : split.train) train_keys.insert(key(s));
+  for (const Sample& s : split.val) train_keys.insert(key(s));
+  for (const Sample& s : split.test_diverse)
+    EXPECT_EQ(train_keys.count(key(s)), 0u);
+  for (const Sample& s : split.test_adversarial)
+    EXPECT_EQ(train_keys.count(key(s)), 0u);
+}
+
+TEST(CuratedSplit, CoversEveryCategory) {
+  // The paper's curated set samples ~10% from each of the 12 categories.
+  const DatasetGenerator gen = small_generator();
+  Rng rng(3);
+  const SplitResult split = curated_split(gen, 0.1, rng);
+  std::set<Category> covered;
+  for (const Sample& s : split.train) covered.insert(s.category);
+  for (const Sample& s : split.val) covered.insert(s.category);
+  EXPECT_EQ(covered.size(), static_cast<std::size_t>(kCategoryCount));
+}
+
+TEST(CuratedSplit, ValIsRoughly20Percent) {
+  const DatasetGenerator gen = small_generator();
+  Rng rng(4);
+  const SplitResult split = curated_split(gen, 0.2, rng);
+  const double ratio =
+      static_cast<double>(split.val.size()) /
+      static_cast<double>(split.train.size() + split.val.size());
+  EXPECT_NEAR(ratio, 0.2, 0.03);
+}
+
+TEST(CuratedSplit, TestSetsPartitionedByAdversarial) {
+  const DatasetGenerator gen = small_generator();
+  Rng rng(5);
+  const SplitResult split = curated_split(gen, 0.1, rng);
+  for (const Sample& s : split.test_diverse)
+    EXPECT_NE(s.category, Category::kAdversarial);
+  for (const Sample& s : split.test_adversarial)
+    EXPECT_EQ(s.category, Category::kAdversarial);
+  EXPECT_FALSE(split.test_adversarial.empty());
+}
+
+TEST(CuratedSplit, RejectsBadFraction) {
+  const DatasetGenerator gen = small_generator();
+  Rng rng(6);
+  EXPECT_THROW(curated_split(gen, 0.0, rng), Error);
+  EXPECT_THROW(curated_split(gen, 1.0, rng), Error);
+}
+
+TEST(RandomSplit, HonorsRequestedCount) {
+  const DatasetGenerator gen = small_generator();
+  Rng rng(7);
+  const SplitResult split = random_split(gen, 100, rng);
+  EXPECT_EQ(split.train.size() + split.val.size(), 100u);
+}
+
+TEST(Subsample, CapsAtPoolSize) {
+  const DatasetGenerator gen = small_generator();
+  Rng rng(8);
+  const auto pool = gen.samples_in(Category::kPathBicycles);
+  const auto sub = subsample(pool, pool.size() + 50, rng);
+  EXPECT_EQ(sub.size(), pool.size());
+}
+
+TEST(Subsample, NoDuplicates) {
+  const DatasetGenerator gen = small_generator();
+  Rng rng(9);
+  const auto sub = subsample(gen.samples(), 50, rng);
+  std::set<std::uint64_t> keys;
+  for (const Sample& s : sub) keys.insert(key(s));
+  EXPECT_EQ(keys.size(), 50u);
+}
+
+TEST(Annotation, YoloLineRoundTrip) {
+  Annotation ann;
+  ann.class_id = 0;
+  ann.box = Box{10.0f, 20.0f, 50.0f, 80.0f};
+  const std::string line = to_yolo_line(ann, 160, 120);
+  const Annotation back = from_yolo_line(line, 160, 120);
+  EXPECT_EQ(back.class_id, 0);
+  EXPECT_NEAR(back.box.x0, 10.0f, 0.05f);
+  EXPECT_NEAR(back.box.y1, 80.0f, 0.05f);
+}
+
+TEST(Annotation, YoloLineIsNormalized) {
+  Annotation ann;
+  ann.box = Box{0.0f, 0.0f, 160.0f, 120.0f};
+  const std::string line = to_yolo_line(ann, 160, 120);
+  std::istringstream is(line);
+  int cls;
+  float cx, cy, w, h;
+  is >> cls >> cx >> cy >> w >> h;
+  EXPECT_FLOAT_EQ(cx, 0.5f);
+  EXPECT_FLOAT_EQ(w, 1.0f);
+}
+
+TEST(Annotation, MalformedLineThrows) {
+  EXPECT_THROW(from_yolo_line("not a label", 100, 100), Error);
+}
+
+TEST(Annotation, CsvRowContainsCorners) {
+  Annotation ann;
+  ann.box = Box{1.0f, 2.0f, 30.0f, 40.0f};
+  const std::string row = to_csv_row("img.ppm", ann, 100, 100);
+  EXPECT_NE(row.find("img.ppm"), std::string::npos);
+  EXPECT_NE(row.find("hazard-vest"), std::string::npos);
+  EXPECT_NE(row.find(",1,2,30,40"), std::string::npos);
+}
+
+TEST(Annotation, ExportWritesImagesLabelsManifest) {
+  const DatasetGenerator gen = small_generator();
+  Rng rng(10);
+  const auto samples = subsample(gen.samples(), 4, rng);
+  const std::string dir = "/tmp/ocb_test_export";
+  std::filesystem::remove_all(dir);
+  const std::size_t written = export_dataset(gen, samples, dir);
+  EXPECT_EQ(written, 4u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/_annotations.csv"));
+  std::size_t ppm = 0, txt = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ppm") ++ppm;
+    if (entry.path().extension() == ".txt") ++txt;
+  }
+  EXPECT_EQ(ppm, 4u);
+  EXPECT_EQ(txt, 4u);
+
+  // Manifest has a header + 4 rows.
+  std::ifstream manifest(dir + "/_annotations.csv");
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(manifest, line)) ++lines;
+  EXPECT_EQ(lines, 5u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SplitDeterminism, SameSeedSameSplit) {
+  const DatasetGenerator gen = small_generator();
+  Rng rng_a(42), rng_b(42);
+  const SplitResult a = curated_split(gen, 0.1, rng_a);
+  const SplitResult b = curated_split(gen, 0.1, rng_b);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i)
+    EXPECT_EQ(key(a.train[i]), key(b.train[i]));
+}
+
+}  // namespace
+}  // namespace ocb::dataset

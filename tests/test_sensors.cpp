@@ -1,0 +1,239 @@
+#include "sensors/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "image/transform.hpp"
+
+namespace ocb::sensors {
+namespace {
+
+dataset::SceneSpec scene_with_pedestrian(float ped_x, float ped_depth) {
+  Rng rng(1);
+  dataset::SceneSpec spec =
+      dataset::sample_scene(dataset::Category::kFootpathPedestrians, rng);
+  spec.vip_distance = 3.0f;
+  spec.vip_lateral = 0.0f;
+  spec.pedestrians.clear();
+  dataset::PedestrianSpec ped;
+  ped.x = ped_x;
+  ped.depth = ped_depth;
+  spec.pedestrians.push_back(ped);
+  spec.bicycles.clear();
+  spec.cars.clear();
+  return spec;
+}
+
+// ---------------- LiDAR ----------------
+
+TEST(Lidar, EmptySceneReturnsMaxRange) {
+  Rng rng(2);
+  dataset::SceneSpec spec = scene_with_pedestrian(0.5f, 0.5f);
+  spec.pedestrians.clear();
+  LidarConfig config;
+  config.include_vip = false;
+  const LidarScan scan = lidar_scan(spec, config, rng);
+  for (float r : scan.ranges) EXPECT_FLOAT_EQ(r, config.max_range_m);
+}
+
+TEST(Lidar, DetectsPedestrianAtCorrectBearingAndRange) {
+  Rng rng(3);
+  // Pedestrian dead ahead at 1.5 m (depth 0.5 × vip 3 m).
+  const dataset::SceneSpec spec = scene_with_pedestrian(0.5f, 0.5f);
+  LidarConfig config;
+  config.include_vip = false;
+  config.noise_sigma = 0.0f;
+  const LidarScan scan = lidar_scan(spec, config, rng);
+  const int centre = config.beams / 2;
+  EXPECT_NEAR(scan.ranges[static_cast<std::size_t>(centre)], 1.5f, 0.01f);
+  // Edge beams see nothing.
+  EXPECT_FLOAT_EQ(scan.ranges[0], config.max_range_m);
+  EXPECT_FLOAT_EQ(scan.ranges.back(), config.max_range_m);
+}
+
+TEST(Lidar, VipMaskToggle) {
+  Rng rng(4);
+  dataset::SceneSpec spec = scene_with_pedestrian(0.5f, 0.5f);
+  spec.pedestrians.clear();
+  LidarConfig with_vip;
+  with_vip.noise_sigma = 0.0f;
+  LidarConfig without_vip = with_vip;
+  without_vip.include_vip = false;
+  const LidarScan a = lidar_scan(spec, with_vip, rng);
+  const LidarScan b = lidar_scan(spec, without_vip, rng);
+  const int centre = with_vip.beams / 2;
+  EXPECT_NEAR(a.ranges[static_cast<std::size_t>(centre)], 3.0f, 0.01f);
+  EXPECT_FLOAT_EQ(b.ranges[static_cast<std::size_t>(centre)],
+                  without_vip.max_range_m);
+}
+
+TEST(Lidar, NearerActorOccludesFarther) {
+  Rng rng(5);
+  dataset::SceneSpec spec = scene_with_pedestrian(0.5f, 0.4f);  // 1.2 m
+  dataset::PedestrianSpec far;
+  far.x = 0.5f;
+  far.depth = 1.5f;  // 4.5 m behind
+  spec.pedestrians.push_back(far);
+  LidarConfig config;
+  config.include_vip = false;
+  config.noise_sigma = 0.0f;
+  const LidarScan scan = lidar_scan(spec, config, rng);
+  const int centre = config.beams / 2;
+  EXPECT_NEAR(scan.ranges[static_cast<std::size_t>(centre)], 1.2f, 0.01f);
+}
+
+TEST(Lidar, SectorMinRangesPartitionBeams) {
+  LidarScan scan;
+  scan.config.beams = 9;
+  scan.config.max_range_m = 10.0f;
+  scan.ranges = {10, 10, 2, 10, 5, 10, 10, 1, 10};
+  const auto sectors = sector_min_ranges(scan, 3);
+  ASSERT_EQ(sectors.size(), 3u);
+  EXPECT_FLOAT_EQ(sectors[0], 2.0f);
+  EXPECT_FLOAT_EQ(sectors[1], 5.0f);
+  EXPECT_FLOAT_EQ(sectors[2], 1.0f);
+}
+
+TEST(Lidar, ConfigValidation) {
+  Rng rng(6);
+  const dataset::SceneSpec spec = scene_with_pedestrian(0.5f, 0.5f);
+  LidarConfig bad;
+  bad.beams = 1;
+  EXPECT_THROW(lidar_scan(spec, bad, rng), Error);
+}
+
+// ---------------- thermal ----------------
+
+TEST(Thermal, PeopleAreWarmerThanBackground) {
+  Rng rng(7);
+  const dataset::SceneSpec spec = scene_with_pedestrian(0.3f, 0.6f);
+  const Image thermal = render_thermal(spec, 160, 120, {}, rng);
+  EXPECT_EQ(thermal.channels(), 1);
+  // Background (sky corner) is cool.
+  EXPECT_LT(thermal.at(0, 2, 2), 0.35f);
+  // Somewhere in the frame there is a warm body (> 0.7).
+  float max_temp = 0.0f;
+  for (int y = 0; y < 120; ++y)
+    for (int x = 0; x < 160; ++x)
+      max_temp = std::max(max_temp, thermal.at(0, y, x));
+  EXPECT_GT(max_temp, 0.7f);
+}
+
+TEST(Thermal, IndependentOfDaylight) {
+  // The point of the modality: a pitch-dark scene looks identical in IR.
+  Rng rng_a(8), rng_b(8);
+  dataset::SceneSpec day = scene_with_pedestrian(0.5f, 0.6f);
+  dataset::SceneSpec night = day;
+  day.daylight = 1.0f;
+  night.daylight = 0.2f;
+  const Image a = render_thermal(day, 120, 90, {}, rng_a);
+  const Image b = render_thermal(night, 120, 90, {}, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Thermal, HotspotDetectionFindsBodies) {
+  Rng rng(9);
+  const dataset::SceneSpec spec = scene_with_pedestrian(0.25f, 0.6f);
+  const Image thermal = render_thermal(spec, 160, 120, {}, rng);
+  const auto hotspots = detect_hotspots(thermal, 0.6f);
+  // Pedestrian + VIP → at least two warm components.
+  EXPECT_GE(hotspots.size(), 2u);
+  for (const Box& b : hotspots) EXPECT_TRUE(b.valid());
+}
+
+TEST(Thermal, HotspotMinAreaFiltersSpeckle) {
+  Image noise_only(64, 48, 1, 0.2f);
+  Rng rng(10);
+  add_salt_pepper(noise_only, 0.01f, rng);
+  const auto hotspots = detect_hotspots(noise_only, 0.6f, /*min_area=*/6);
+  EXPECT_TRUE(hotspots.empty());
+}
+
+TEST(Thermal, HotspotsSortedByAreaDescending) {
+  Image img(64, 48, 1, 0.1f);
+  // Two warm rectangles of different sizes.
+  for (int y = 5; y < 15; ++y)
+    for (int x = 5; x < 15; ++x) img.at(0, y, x) = 0.9f;
+  for (int y = 30; y < 34; ++y)
+    for (int x = 40; x < 44; ++x) img.at(0, y, x) = 0.9f;
+  const auto hotspots = detect_hotspots(img, 0.5f);
+  ASSERT_EQ(hotspots.size(), 2u);
+  EXPECT_GT(hotspots[0].area(), hotspots[1].area());
+}
+
+TEST(Thermal, RejectsMultiChannelInput) {
+  const Image rgb(10, 10, 3);
+  EXPECT_THROW(detect_hotspots(rgb, 0.5f), Error);
+}
+
+// ---------------- fusion ----------------
+
+TEST(Fusion, TakesNearestModality) {
+  FusionDetector fusion;
+  std::vector<vip::SectorReading> vision(3);
+  vision[0].nearest_m = 5.0f;
+  vision[1].nearest_m = 3.0f;
+  vision[2].nearest_m = 8.0f;
+  const std::vector<float> lidar = {2.0f, 6.0f, 8.0f};
+  const auto fused = fusion.fuse(vision, lidar, {}, 120);
+  EXPECT_FLOAT_EQ(fused[0].fused_m, 2.0f);  // lidar wins
+  EXPECT_FLOAT_EQ(fused[1].fused_m, 3.0f);  // vision wins
+  EXPECT_FLOAT_EQ(fused[2].fused_m, 8.0f);
+}
+
+TEST(Fusion, MissingModalitiesAreTolerated) {
+  FusionDetector fusion;
+  const auto fused = fusion.fuse({}, {}, {}, 120);
+  ASSERT_EQ(fused.size(), 3u);
+  for (const auto& f : fused) {
+    EXPECT_FALSE(f.alert);
+    EXPECT_FALSE(f.thermal_body);
+  }
+}
+
+TEST(Fusion, HotspotAssignsThermalFlagToSector) {
+  FusionDetector fusion;
+  // Hotspot centred at x=100 of a 120-wide frame → sector 2.
+  const std::vector<Box> hotspots = {{95, 10, 105, 30}};
+  const auto fused = fusion.fuse({}, {}, hotspots, 120);
+  EXPECT_FALSE(fused[0].thermal_body);
+  EXPECT_FALSE(fused[1].thermal_body);
+  EXPECT_TRUE(fused[2].thermal_body);
+}
+
+TEST(Fusion, AlertBelowDistanceThreshold) {
+  FusionConfig config;
+  config.alert_distance_m = 2.5f;
+  FusionDetector fusion(config);
+  const std::vector<float> lidar = {2.0f, 3.0f, 10.0f};
+  const auto fused = fusion.fuse({}, lidar, {}, 120);
+  EXPECT_TRUE(fused[0].alert);
+  EXPECT_FALSE(fused[1].alert);
+}
+
+TEST(Fusion, EndToEndSceneDetectsCloseObstacle) {
+  Rng rng(11);
+  const dataset::SceneSpec spec = scene_with_pedestrian(0.5f, 0.5f);  // 1.5 m
+  FusionDetector fusion;
+  const auto fused = fusion.analyse_scene(spec, 120, 90, rng);
+  ASSERT_EQ(fused.size(), 3u);
+  EXPECT_TRUE(fused[1].alert);          // ahead, 1.5 m
+  EXPECT_TRUE(fused[1].thermal_body);   // and it is a person
+  EXPECT_NEAR(fused[1].fused_m, 1.5f, 0.3f);
+}
+
+TEST(Fusion, LowLightDoesNotBlindFusedStack) {
+  Rng rng(12);
+  dataset::SceneSpec spec = scene_with_pedestrian(0.5f, 0.5f);
+  spec.daylight = 0.15f;  // nearly dark
+  FusionDetector fusion;
+  const auto fused = fusion.analyse_scene(spec, 120, 90, rng);
+  EXPECT_TRUE(fused[1].alert);
+  EXPECT_TRUE(fused[1].thermal_body);
+}
+
+}  // namespace
+}  // namespace ocb::sensors

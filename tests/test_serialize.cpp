@@ -1,0 +1,89 @@
+#include "models/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace ocb::models {
+namespace {
+
+MiniYolo make_model(YoloFamily family = YoloFamily::kV8,
+                    YoloSize size = YoloSize::kMedium,
+                    std::uint64_t seed = 5) {
+  MiniYoloConfig config;
+  return MiniYolo(family, size, config, seed);
+}
+
+TEST(Serialize, StreamRoundTripPreservesOutputs) {
+  const MiniYolo original = make_model();
+  std::stringstream buffer;
+  save_mini_yolo(original, buffer);
+  const MiniYolo loaded = load_mini_yolo(buffer);
+
+  EXPECT_EQ(loaded.family(), original.family());
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.param_count(), original.param_count());
+
+  Tensor batch({1, 3, 64, 64}, 0.37f);
+  EXPECT_TRUE(allclose(original.forward(batch)->value,
+                       loaded.forward(batch)->value));
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const MiniYolo original =
+      make_model(YoloFamily::kV11, YoloSize::kNano, 99);
+  const std::string path = "/tmp/ocb_test_ckpt.bin";
+  save_mini_yolo(original, path);
+  const MiniYolo loaded = load_mini_yolo(path);
+  Tensor batch({1, 3, 64, 64}, 0.5f);
+  EXPECT_TRUE(allclose(original.forward(batch)->value,
+                       loaded.forward(batch)->value));
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, PreservesTrainedWeightsNotSeed) {
+  // Mutate a weight after construction; the checkpoint must carry the
+  // mutated value, not the seed-derived one.
+  MiniYolo model = make_model();
+  model.parameters().front()->value[0] = 42.5f;
+  std::stringstream buffer;
+  save_mini_yolo(model, buffer);
+  const MiniYolo loaded = load_mini_yolo(buffer);
+  EXPECT_FLOAT_EQ(loaded.parameters().front()->value[0], 42.5f);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer("not a checkpoint at all");
+  EXPECT_THROW(load_mini_yolo(buffer), IoError);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  const MiniYolo model = make_model();
+  std::stringstream buffer;
+  save_mini_yolo(model, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_mini_yolo(truncated), IoError);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_THROW(load_mini_yolo("/tmp/does_not_exist_ocb_ckpt.bin"), IoError);
+}
+
+TEST(Serialize, DifferentVariantsRoundTrip) {
+  for (YoloFamily family : {YoloFamily::kV8, YoloFamily::kV11})
+    for (YoloSize size :
+         {YoloSize::kNano, YoloSize::kMedium, YoloSize::kXLarge}) {
+      const MiniYolo original = make_model(family, size, 3);
+      std::stringstream buffer;
+      save_mini_yolo(original, buffer);
+      const MiniYolo loaded = load_mini_yolo(buffer);
+      EXPECT_EQ(loaded.param_count(), original.param_count());
+    }
+}
+
+}  // namespace
+}  // namespace ocb::models

@@ -1,0 +1,136 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocb {
+namespace {
+
+TEST(Shape, NumelMultipliesDims) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.numel(), 120u);
+}
+
+TEST(Shape, EqualityAndStr) {
+  EXPECT_EQ((Shape{1, 2, 3, 4}), (Shape{1, 2, 3, 4}));
+  EXPECT_NE((Shape{1, 2, 3, 4}), (Shape{1, 2, 3, 5}));
+  EXPECT_EQ((Shape{1, 2, 3, 4}).str(), "(1, 2, 3, 4)");
+}
+
+TEST(Tensor, ConstructionFills) {
+  Tensor t({1, 2, 3, 4}, 1.5f);
+  EXPECT_EQ(t.numel(), 24u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+  EXPECT_THROW(Tensor({0, 1, 1, 1}), Error);
+  EXPECT_THROW(Tensor({1, -2, 1, 1}), Error);
+}
+
+TEST(Tensor, IndexingIsRowMajorNchw) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  // offset = ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_FLOAT_EQ(t[119], 9.0f);
+}
+
+TEST(Tensor, OutOfRangeIndexThrows) {
+  Tensor t({1, 1, 2, 2});
+  EXPECT_THROW(t.at(0, 0, 2, 0), Error);
+  EXPECT_THROW(t.at(0, 1, 0, 0), Error);
+}
+
+TEST(Tensor, ChannelPointerOffsets) {
+  Tensor t({2, 3, 2, 2});
+  t.at(1, 2, 0, 0) = 5.0f;
+  EXPECT_FLOAT_EQ(t.channel(1, 2)[0], 5.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({1, 2, 3, 4});
+  t[7] = 3.25f;
+  const Tensor r = t.reshaped({1, 4, 3, 2});
+  EXPECT_FLOAT_EQ(r[7], 3.25f);
+  EXPECT_EQ(r.shape(), (Shape{1, 4, 3, 2}));
+}
+
+TEST(Tensor, ReshapeRejectsDifferentCount) {
+  Tensor t({1, 2, 3, 4});
+  EXPECT_THROW(t.reshaped({1, 2, 3, 5}), Error);
+}
+
+TEST(Tensor, AddAccumulates) {
+  Tensor a({1, 1, 2, 2}, 1.0f);
+  Tensor b({1, 1, 2, 2}, 2.5f);
+  a.add_(b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 3.5f);
+}
+
+TEST(Tensor, AddShapeMismatchThrows) {
+  Tensor a({1, 1, 2, 2});
+  Tensor b({1, 1, 2, 3});
+  EXPECT_THROW(a.add_(b), Error);
+}
+
+TEST(Tensor, MulScales) {
+  Tensor a({1, 1, 1, 4}, 2.0f);
+  a.mul_(-0.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], -1.0f);
+}
+
+TEST(Tensor, SumMinMax) {
+  Tensor t({1, 1, 1, 4});
+  t[0] = -1.0f; t[1] = 2.0f; t[2] = 0.5f; t[3] = 3.5f;
+  EXPECT_DOUBLE_EQ(t.sum(), 5.0);
+  EXPECT_FLOAT_EQ(t.min(), -1.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.5f);
+}
+
+TEST(Tensor, HeInitHasExpectedScale) {
+  Tensor t({256, 64, 3, 3});
+  Rng rng(1);
+  t.init_he(rng, 64 * 9);
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sum_sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double n = static_cast<double>(t.numel());
+  const double expected_var = 2.0 / (64.0 * 9.0);
+  EXPECT_NEAR(sum / n, 0.0, 0.001);
+  EXPECT_NEAR(sum_sq / n, expected_var, expected_var * 0.1);
+}
+
+TEST(Tensor, UniformInitBounds) {
+  Tensor t({1, 1, 10, 10});
+  Rng rng(2);
+  t.init_uniform(rng, -0.25f, 0.75f);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -0.25f);
+    EXPECT_LE(t[i], 0.75f);
+  }
+}
+
+TEST(Tensor, AllcloseDetectsDifference) {
+  Tensor a({1, 1, 2, 2}, 1.0f);
+  Tensor b = a;
+  EXPECT_TRUE(allclose(a, b));
+  b[3] += 1e-3f;
+  EXPECT_FALSE(allclose(a, b, 1e-5f));
+  EXPECT_TRUE(allclose(a, b, 1e-2f));
+}
+
+TEST(Tensor, AllcloseShapeMismatchIsFalse) {
+  Tensor a({1, 1, 2, 2});
+  Tensor b({1, 1, 4, 1});
+  EXPECT_FALSE(allclose(a, b));
+}
+
+TEST(Tensor, DefaultConstructedIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+}  // namespace
+}  // namespace ocb

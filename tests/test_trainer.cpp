@@ -1,0 +1,137 @@
+#include "trainer/detector_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace ocb::trainer {
+namespace {
+
+using dataset::DatasetConfig;
+using dataset::DatasetGenerator;
+using models::YoloFamily;
+using models::YoloSize;
+
+DatasetGenerator tiny_generator() {
+  DatasetConfig config;
+  config.scale = 0.004;  // ~125 images total
+  config.image_width = 128;
+  config.image_height = 96;
+  config.seed = 5;
+  return DatasetGenerator(config);
+}
+
+TEST(TrainCorpus, LetterboxesAndKeepsTruth) {
+  const DatasetGenerator gen = tiny_generator();
+  Rng rng(1);
+  const auto samples = dataset::subsample(gen.samples(), 6, rng);
+  const TrainCorpus corpus(gen, samples, 64);
+  EXPECT_EQ(corpus.size(), 6u);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus.image(i).shape(), (Shape{1, 3, 64, 64}));
+    for (const Annotation& ann : corpus.truth(i)) {
+      EXPECT_GE(ann.box.x0, 0.0f);
+      EXPECT_LE(ann.box.x1, 64.0f);
+    }
+  }
+}
+
+TEST(TrainCorpus, MostFramesHaveVisibleVest) {
+  const DatasetGenerator gen = tiny_generator();
+  Rng rng(2);
+  const auto samples = dataset::subsample(gen.samples(), 30, rng);
+  const TrainCorpus corpus(gen, samples, 64);
+  std::size_t with_truth = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    if (!corpus.truth(i).empty()) ++with_truth;
+  EXPECT_GT(with_truth, corpus.size() * 3 / 4);
+}
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  const DatasetGenerator gen = tiny_generator();
+  Rng rng(3);
+  auto split = dataset::curated_split(gen, 0.3, rng);
+  TrainConfig config;
+  config.epochs = 8;
+  DetectorTrainer trainer(gen, config);
+  TrainStats stats;
+  (void)trainer.train(YoloFamily::kV8, YoloSize::kNano, split.train,
+                      split.val, &stats);
+  ASSERT_EQ(stats.epoch_loss.size(), 8u);
+  // Robust check: the mean of the last two epochs is well below the
+  // first epoch.
+  const double late =
+      (stats.epoch_loss[6] + stats.epoch_loss[7]) / 2.0;
+  EXPECT_LT(late, stats.epoch_loss[0] * 0.8);
+  EXPECT_GT(stats.final_val_loss, 0.0);
+}
+
+TEST(Trainer, EmptyTrainingSetThrows) {
+  const DatasetGenerator gen = tiny_generator();
+  TrainConfig config;
+  DetectorTrainer trainer(gen, config);
+  EXPECT_THROW(
+      trainer.train(YoloFamily::kV8, YoloSize::kNano, {}, {}, nullptr),
+      Error);
+}
+
+TEST(Trainer, TrainedBeatsUntrainedOnTrainingData) {
+  DatasetConfig dc;
+  dc.scale = 0.008;
+  dc.image_width = 128;
+  dc.image_height = 96;
+  dc.seed = 5;
+  const DatasetGenerator gen(dc);
+  Rng rng(4);
+  auto split = dataset::curated_split(gen, 0.4, rng);
+  TrainConfig config;
+  config.epochs = 30;
+  DetectorTrainer trainer(gen, config);
+  const models::MiniYolo trained = trainer.train(
+      YoloFamily::kV8, YoloSize::kMedium, split.train, split.val);
+
+  models::MiniYoloConfig mcfg;
+  const models::MiniYolo untrained(YoloFamily::kV8, YoloSize::kMedium, mcfg,
+                                   999);
+
+  const auto eval_on = dataset::subsample(split.train, 30, rng);
+  const double acc_trained =
+      evaluate_detector(trained, gen, eval_on, "t").overall().accuracy;
+  const double acc_untrained =
+      evaluate_detector(untrained, gen, eval_on, "u").overall().accuracy;
+  EXPECT_GT(acc_trained, acc_untrained + 0.4);
+  EXPECT_GT(acc_trained, 0.6);
+}
+
+TEST(Trainer, DeterministicTraining) {
+  const DatasetGenerator gen = tiny_generator();
+  Rng rng(6);
+  auto split = dataset::curated_split(gen, 0.25, rng);
+  TrainConfig config;
+  config.epochs = 2;
+  DetectorTrainer trainer(gen, config);
+  TrainStats a, b;
+  (void)trainer.train(YoloFamily::kV8, YoloSize::kNano, split.train,
+                      split.val, &a);
+  (void)trainer.train(YoloFamily::kV8, YoloSize::kNano, split.train,
+                      split.val, &b);
+  ASSERT_EQ(a.epoch_loss.size(), b.epoch_loss.size());
+  for (std::size_t i = 0; i < a.epoch_loss.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.epoch_loss[i], b.epoch_loss[i]);
+}
+
+TEST(EvaluateDetector, GroupsByCategory) {
+  const DatasetGenerator gen = tiny_generator();
+  Rng rng(7);
+  const auto samples = dataset::subsample(gen.samples(), 20, rng);
+  models::MiniYoloConfig mcfg;
+  const models::MiniYolo model(YoloFamily::kV8, YoloSize::kNano, mcfg, 1);
+  const eval::Report report = evaluate_detector(model, gen, samples, "r");
+  EXPECT_EQ(report.overall().images, 20u);
+  EXPECT_FALSE(report.groups().empty());
+}
+
+}  // namespace
+}  // namespace ocb::trainer

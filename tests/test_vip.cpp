@@ -1,0 +1,262 @@
+#include "vip/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+#include "dataset/render.hpp"
+#include "vip/alerts.hpp"
+#include "vip/fall_svm.hpp"
+#include "vip/obstacle.hpp"
+
+namespace ocb::vip {
+namespace {
+
+// ---------------- tracker ----------------
+
+TEST(Tracker, LocksOnFirstGoodDetection) {
+  VestTracker tracker;
+  const std::vector<Detection> dets{{{10, 10, 40, 60}, 0.9f, 0}};
+  const TrackState& state = tracker.update(dets);
+  EXPECT_TRUE(state.locked);
+  EXPECT_FLOAT_EQ(state.box.x0, 10.0f);
+}
+
+TEST(Tracker, IgnoresLowConfidence) {
+  VestTracker tracker;
+  const std::vector<Detection> dets{{{10, 10, 40, 60}, 0.2f, 0}};
+  EXPECT_FALSE(tracker.update(dets).locked);
+}
+
+TEST(Tracker, SmoothsBoxOverTime) {
+  VestTracker tracker;
+  tracker.update({{{10, 10, 40, 60}, 0.9f, 0}});
+  const TrackState& state = tracker.update({{{14, 10, 44, 60}, 0.9f, 0}});
+  // EMA: somewhere strictly between old and new.
+  EXPECT_GT(state.box.x0, 10.0f);
+  EXPECT_LT(state.box.x0, 14.0f);
+}
+
+TEST(Tracker, RejectsTeleportsAtModerateConfidence) {
+  VestTracker tracker;
+  tracker.update({{{10, 10, 40, 60}, 0.9f, 0}});
+  const TrackState& state =
+      tracker.update({{{200, 200, 230, 260}, 0.6f, 0}});
+  // The far-away moderate-confidence detection is rejected.
+  EXPECT_EQ(state.frames_since_seen, 1);
+  EXPECT_LT(state.box.x1, 100.0f);
+}
+
+TEST(Tracker, AcceptsTeleportAtVeryHighConfidence) {
+  VestTracker tracker;
+  tracker.update({{{10, 10, 40, 60}, 0.9f, 0}});
+  const TrackState& state =
+      tracker.update({{{200, 200, 230, 260}, 0.95f, 0}});
+  EXPECT_EQ(state.frames_since_seen, 0);
+}
+
+TEST(Tracker, LosesTrackAfterConfiguredFrames) {
+  TrackerConfig config;
+  config.lost_after = 3;
+  VestTracker tracker(config);
+  tracker.update({{{10, 10, 40, 60}, 0.9f, 0}});
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(tracker.update({}).locked);
+  EXPECT_FALSE(tracker.update({}).locked);
+}
+
+TEST(Tracker, IgnoresWrongClass) {
+  VestTracker tracker;
+  EXPECT_FALSE(tracker.update({{{10, 10, 40, 60}, 0.9f, 5}}).locked);
+}
+
+TEST(Tracker, ResetClearsState) {
+  VestTracker tracker;
+  tracker.update({{{10, 10, 40, 60}, 0.9f, 0}});
+  tracker.reset();
+  EXPECT_FALSE(tracker.state().locked);
+}
+
+// ---------------- fall SVM ----------------
+
+TEST(FallSvm, FeaturesSeparateStandingFromFallen) {
+  Rng rng(1);
+  const Pose standing = sample_standing_pose(rng);
+  const Pose fallen = sample_fallen_pose(rng);
+  const auto fs = pose_features(standing);
+  const auto ff = pose_features(fallen);
+  EXPECT_LT(fs[0], ff[0]);  // torso inclination
+  EXPECT_LT(fs[1], ff[1]);  // aspect ratio
+}
+
+TEST(FallSvm, TrainsToHighAccuracy) {
+  Rng rng(2);
+  std::vector<Pose> poses;
+  std::vector<bool> labels;
+  for (int i = 0; i < 200; ++i) {
+    poses.push_back(sample_standing_pose(rng));
+    labels.push_back(false);
+    poses.push_back(sample_fallen_pose(rng));
+    labels.push_back(true);
+  }
+  FallSvm svm;
+  svm.train(poses, labels, rng);
+  EXPECT_TRUE(svm.trained());
+
+  std::vector<Pose> test_poses;
+  std::vector<bool> test_labels;
+  for (int i = 0; i < 100; ++i) {
+    test_poses.push_back(sample_standing_pose(rng));
+    test_labels.push_back(false);
+    test_poses.push_back(sample_fallen_pose(rng));
+    test_labels.push_back(true);
+  }
+  EXPECT_GT(svm.evaluate(test_poses, test_labels), 0.95);
+}
+
+TEST(FallSvm, MismatchedTrainingSetsThrow) {
+  FallSvm svm;
+  Rng rng(3);
+  std::vector<Pose> poses(3);
+  std::vector<bool> labels(2);
+  EXPECT_THROW(svm.train(poses, labels, rng), Error);
+}
+
+TEST(FallSvm, DecisionSignMatchesClassification) {
+  Rng rng(4);
+  std::vector<Pose> poses;
+  std::vector<bool> labels;
+  for (int i = 0; i < 100; ++i) {
+    poses.push_back(sample_standing_pose(rng));
+    labels.push_back(false);
+    poses.push_back(sample_fallen_pose(rng));
+    labels.push_back(true);
+  }
+  FallSvm svm;
+  svm.train(poses, labels, rng);
+  const Pose p = sample_fallen_pose(rng);
+  EXPECT_EQ(svm.is_fallen(p), svm.decision(p) > 0.0f);
+}
+
+// ---------------- obstacle detection ----------------
+
+Image flat_depth(int w, int h, float metres) {
+  return Image(w, h, 1, metres);
+}
+
+TEST(Obstacle, FarSceneRaisesNoAlert) {
+  ObstacleDetector detector;
+  const Image depth = flat_depth(60, 40, 25.0f);
+  for (const auto& reading : detector.analyse(depth))
+    EXPECT_FALSE(reading.alert);
+}
+
+TEST(Obstacle, NearObjectInLeftSectorAlertsLeft) {
+  ObstacleConfig config;
+  config.alert_distance_m = 2.0f;
+  ObstacleDetector detector(config);
+  Image depth = flat_depth(60, 40, 25.0f);
+  // A 1.5 m obstacle occupying the left third, above the ground band.
+  for (int y = 15; y < 30; ++y)
+    for (int x = 0; x < 15; ++x) depth.at(0, y, x) = 1.5f;
+  const auto readings = detector.analyse(depth);
+  EXPECT_TRUE(readings[0].alert);
+  EXPECT_FALSE(readings[2].alert);
+  EXPECT_NEAR(readings[0].nearest_m, 1.5f, 1e-4f);
+}
+
+TEST(Obstacle, VipOwnDepthIsMasked) {
+  ObstacleConfig config;
+  config.alert_distance_m = 3.0f;
+  config.vip_distance_m = 2.5f;
+  ObstacleDetector detector(config);
+  Image depth = flat_depth(60, 40, 25.0f);
+  for (int y = 15; y < 30; ++y)
+    for (int x = 25; x < 35; ++x) depth.at(0, y, x) = 2.5f;  // the VIP
+  const auto readings = detector.analyse(depth);
+  EXPECT_FALSE(readings[1].alert);
+}
+
+TEST(Obstacle, SectorNamesForThreeSectors) {
+  ObstacleDetector detector;
+  EXPECT_EQ(detector.sector_name(0), "left");
+  EXPECT_EQ(detector.sector_name(1), "ahead");
+  EXPECT_EQ(detector.sector_name(2), "right");
+}
+
+TEST(Obstacle, RejectsMultiChannelDepth) {
+  ObstacleDetector detector;
+  const Image rgb(10, 10, 3);
+  EXPECT_THROW(detector.analyse(rgb), Error);
+}
+
+TEST(Obstacle, RenderedSceneDepthDetectsPedestrianAhead) {
+  Rng rng(5);
+  dataset::SceneSpec spec =
+      dataset::sample_scene(dataset::Category::kFootpathPedestrians, rng);
+  spec.vip_distance = 3.0f;
+  spec.pedestrians.clear();
+  dataset::PedestrianSpec ped;
+  ped.x = 0.5f;
+  ped.depth = 0.6f;  // 1.8 m — closer than the VIP
+  spec.pedestrians.push_back(ped);
+  const Image depth = dataset::render_depth(spec, 120, 90);
+
+  ObstacleConfig config;
+  config.alert_distance_m = 2.0f;
+  config.vip_distance_m = spec.vip_distance;
+  ObstacleDetector detector(config);
+  const auto readings = detector.analyse(depth);
+  EXPECT_TRUE(readings[1].alert);  // ahead
+}
+
+// ---------------- alert manager ----------------
+
+TEST(Alerts, EmitsAndRecordsHistory) {
+  AlertManager manager;
+  EXPECT_TRUE(manager.raise(AlertKind::kObstacle, "obstacle ahead", 0.0));
+  EXPECT_EQ(manager.history().size(), 1u);
+  EXPECT_EQ(manager.emitted(AlertKind::kObstacle), 1u);
+}
+
+TEST(Alerts, RateLimitsRepeats) {
+  AlertConfig config;
+  config.repeat_interval_s = 5.0;
+  AlertManager manager(config);
+  EXPECT_TRUE(manager.raise(AlertKind::kObstacle, "x", 0.0));
+  EXPECT_FALSE(manager.raise(AlertKind::kObstacle, "x", 2.0));
+  EXPECT_EQ(manager.suppressed(), 1u);
+  EXPECT_TRUE(manager.raise(AlertKind::kObstacle, "x", 6.0));
+}
+
+TEST(Alerts, CriticalBypassesRateLimit) {
+  AlertManager manager;
+  EXPECT_TRUE(manager.raise(AlertKind::kFallDetected, "fall", 0.0));
+  EXPECT_TRUE(manager.raise(AlertKind::kFallDetected, "fall", 0.1));
+}
+
+TEST(Alerts, DifferentKindsIndependentlyLimited) {
+  AlertManager manager;
+  EXPECT_TRUE(manager.raise(AlertKind::kObstacle, "x", 0.0));
+  EXPECT_TRUE(manager.raise(AlertKind::kVipLost, "y", 0.1));
+}
+
+TEST(Alerts, HistoryBounded) {
+  AlertConfig config;
+  config.history_limit = 5;
+  config.repeat_interval_s = 0.0;
+  AlertManager manager(config);
+  for (int i = 0; i < 20; ++i)
+    manager.raise(AlertKind::kFallDetected, "f", static_cast<double>(i));
+  EXPECT_EQ(manager.history().size(), 5u);
+}
+
+TEST(Alerts, SeverityMapping) {
+  EXPECT_EQ(alert_severity(AlertKind::kFallDetected), Severity::kCritical);
+  EXPECT_EQ(alert_severity(AlertKind::kObstacle), Severity::kWarning);
+  EXPECT_EQ(alert_severity(AlertKind::kVipReacquired), Severity::kInfo);
+}
+
+}  // namespace
+}  // namespace ocb::vip
