@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_devsim.dir/bench_ablation_devsim.cpp.o"
+  "CMakeFiles/bench_ablation_devsim.dir/bench_ablation_devsim.cpp.o.d"
+  "bench_ablation_devsim"
+  "bench_ablation_devsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_devsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trainsize.dir/bench_ablation_trainsize.cpp.o"
+  "CMakeFiles/bench_ablation_trainsize.dir/bench_ablation_trainsize.cpp.o.d"
+  "bench_ablation_trainsize"
+  "bench_ablation_trainsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trainsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_ops.dir/bench_engine_ops.cpp.o"
+  "CMakeFiles/bench_engine_ops.dir/bench_engine_ops.cpp.o.d"
+  "bench_engine_ops"
+  "bench_engine_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_curation.dir/bench_fig1_curation.cpp.o"
+  "CMakeFiles/bench_fig1_curation.dir/bench_fig1_curation.cpp.o.d"
+  "bench_fig1_curation"
+  "bench_fig1_curation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_curation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_diverse.dir/bench_fig3_diverse.cpp.o"
+  "CMakeFiles/bench_fig3_diverse.dir/bench_fig3_diverse.cpp.o.d"
+  "bench_fig3_diverse"
+  "bench_fig3_diverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_diverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

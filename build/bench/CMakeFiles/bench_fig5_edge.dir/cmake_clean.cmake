@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_edge.dir/bench_fig5_edge.cpp.o"
+  "CMakeFiles/bench_fig5_edge.dir/bench_fig5_edge.cpp.o.d"
+  "bench_fig5_edge"
+  "bench_fig5_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

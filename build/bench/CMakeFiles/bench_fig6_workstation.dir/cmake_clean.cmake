@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_workstation.dir/bench_fig6_workstation.cpp.o"
+  "CMakeFiles/bench_fig6_workstation.dir/bench_fig6_workstation.cpp.o.d"
+  "bench_fig6_workstation"
+  "bench_fig6_workstation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_workstation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dataset_export.dir/dataset_export.cpp.o"
+  "CMakeFiles/example_dataset_export.dir/dataset_export.cpp.o.d"
+  "example_dataset_export"
+  "example_dataset_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dataset_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

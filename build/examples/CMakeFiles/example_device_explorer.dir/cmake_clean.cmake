@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_device_explorer.dir/device_explorer.cpp.o"
+  "CMakeFiles/example_device_explorer.dir/device_explorer.cpp.o.d"
+  "example_device_explorer"
+  "example_device_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_device_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vip_navigation.dir/vip_navigation.cpp.o"
+  "CMakeFiles/example_vip_navigation.dir/vip_navigation.cpp.o.d"
+  "example_vip_navigation"
+  "example_vip_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vip_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

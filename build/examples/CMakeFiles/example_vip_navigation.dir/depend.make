@@ -1,0 +1,2 @@
+# Empty dependencies file for example_vip_navigation.
+# This may be replaced when dependencies are built.

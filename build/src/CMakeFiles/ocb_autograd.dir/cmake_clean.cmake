@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_autograd.dir/autograd/ops.cpp.o"
+  "CMakeFiles/ocb_autograd.dir/autograd/ops.cpp.o.d"
+  "CMakeFiles/ocb_autograd.dir/autograd/optimizer.cpp.o"
+  "CMakeFiles/ocb_autograd.dir/autograd/optimizer.cpp.o.d"
+  "CMakeFiles/ocb_autograd.dir/autograd/variable.cpp.o"
+  "CMakeFiles/ocb_autograd.dir/autograd/variable.cpp.o.d"
+  "libocb_autograd.a"
+  "libocb_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

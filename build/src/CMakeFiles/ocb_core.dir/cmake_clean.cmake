@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_core.dir/core/cli.cpp.o"
+  "CMakeFiles/ocb_core.dir/core/cli.cpp.o.d"
+  "CMakeFiles/ocb_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/ocb_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/ocb_core.dir/core/log.cpp.o"
+  "CMakeFiles/ocb_core.dir/core/log.cpp.o.d"
+  "CMakeFiles/ocb_core.dir/core/rng.cpp.o"
+  "CMakeFiles/ocb_core.dir/core/rng.cpp.o.d"
+  "CMakeFiles/ocb_core.dir/core/stats.cpp.o"
+  "CMakeFiles/ocb_core.dir/core/stats.cpp.o.d"
+  "CMakeFiles/ocb_core.dir/core/table.cpp.o"
+  "CMakeFiles/ocb_core.dir/core/table.cpp.o.d"
+  "libocb_core.a"
+  "libocb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

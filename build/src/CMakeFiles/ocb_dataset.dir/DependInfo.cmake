@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/adversarial.cpp" "src/CMakeFiles/ocb_dataset.dir/dataset/adversarial.cpp.o" "gcc" "src/CMakeFiles/ocb_dataset.dir/dataset/adversarial.cpp.o.d"
+  "/root/repo/src/dataset/annotation.cpp" "src/CMakeFiles/ocb_dataset.dir/dataset/annotation.cpp.o" "gcc" "src/CMakeFiles/ocb_dataset.dir/dataset/annotation.cpp.o.d"
+  "/root/repo/src/dataset/generator.cpp" "src/CMakeFiles/ocb_dataset.dir/dataset/generator.cpp.o" "gcc" "src/CMakeFiles/ocb_dataset.dir/dataset/generator.cpp.o.d"
+  "/root/repo/src/dataset/render.cpp" "src/CMakeFiles/ocb_dataset.dir/dataset/render.cpp.o" "gcc" "src/CMakeFiles/ocb_dataset.dir/dataset/render.cpp.o.d"
+  "/root/repo/src/dataset/sampling.cpp" "src/CMakeFiles/ocb_dataset.dir/dataset/sampling.cpp.o" "gcc" "src/CMakeFiles/ocb_dataset.dir/dataset/sampling.cpp.o.d"
+  "/root/repo/src/dataset/scene.cpp" "src/CMakeFiles/ocb_dataset.dir/dataset/scene.cpp.o" "gcc" "src/CMakeFiles/ocb_dataset.dir/dataset/scene.cpp.o.d"
+  "/root/repo/src/dataset/taxonomy.cpp" "src/CMakeFiles/ocb_dataset.dir/dataset/taxonomy.cpp.o" "gcc" "src/CMakeFiles/ocb_dataset.dir/dataset/taxonomy.cpp.o.d"
+  "/root/repo/src/dataset/video.cpp" "src/CMakeFiles/ocb_dataset.dir/dataset/video.cpp.o" "gcc" "src/CMakeFiles/ocb_dataset.dir/dataset/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocb_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

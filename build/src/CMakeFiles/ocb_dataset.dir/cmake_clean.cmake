@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_dataset.dir/dataset/adversarial.cpp.o"
+  "CMakeFiles/ocb_dataset.dir/dataset/adversarial.cpp.o.d"
+  "CMakeFiles/ocb_dataset.dir/dataset/annotation.cpp.o"
+  "CMakeFiles/ocb_dataset.dir/dataset/annotation.cpp.o.d"
+  "CMakeFiles/ocb_dataset.dir/dataset/generator.cpp.o"
+  "CMakeFiles/ocb_dataset.dir/dataset/generator.cpp.o.d"
+  "CMakeFiles/ocb_dataset.dir/dataset/render.cpp.o"
+  "CMakeFiles/ocb_dataset.dir/dataset/render.cpp.o.d"
+  "CMakeFiles/ocb_dataset.dir/dataset/sampling.cpp.o"
+  "CMakeFiles/ocb_dataset.dir/dataset/sampling.cpp.o.d"
+  "CMakeFiles/ocb_dataset.dir/dataset/scene.cpp.o"
+  "CMakeFiles/ocb_dataset.dir/dataset/scene.cpp.o.d"
+  "CMakeFiles/ocb_dataset.dir/dataset/taxonomy.cpp.o"
+  "CMakeFiles/ocb_dataset.dir/dataset/taxonomy.cpp.o.d"
+  "CMakeFiles/ocb_dataset.dir/dataset/video.cpp.o"
+  "CMakeFiles/ocb_dataset.dir/dataset/video.cpp.o.d"
+  "libocb_dataset.a"
+  "libocb_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

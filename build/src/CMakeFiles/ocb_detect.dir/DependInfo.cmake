@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/box.cpp" "src/CMakeFiles/ocb_detect.dir/detect/box.cpp.o" "gcc" "src/CMakeFiles/ocb_detect.dir/detect/box.cpp.o.d"
+  "/root/repo/src/detect/letterbox.cpp" "src/CMakeFiles/ocb_detect.dir/detect/letterbox.cpp.o" "gcc" "src/CMakeFiles/ocb_detect.dir/detect/letterbox.cpp.o.d"
+  "/root/repo/src/detect/nms.cpp" "src/CMakeFiles/ocb_detect.dir/detect/nms.cpp.o" "gcc" "src/CMakeFiles/ocb_detect.dir/detect/nms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

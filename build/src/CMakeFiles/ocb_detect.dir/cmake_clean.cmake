@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_detect.dir/detect/box.cpp.o"
+  "CMakeFiles/ocb_detect.dir/detect/box.cpp.o.d"
+  "CMakeFiles/ocb_detect.dir/detect/letterbox.cpp.o"
+  "CMakeFiles/ocb_detect.dir/detect/letterbox.cpp.o.d"
+  "CMakeFiles/ocb_detect.dir/detect/nms.cpp.o"
+  "CMakeFiles/ocb_detect.dir/detect/nms.cpp.o.d"
+  "libocb_detect.a"
+  "libocb_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devsim/device.cpp" "src/CMakeFiles/ocb_devsim.dir/devsim/device.cpp.o" "gcc" "src/CMakeFiles/ocb_devsim.dir/devsim/device.cpp.o.d"
+  "/root/repo/src/devsim/roofline.cpp" "src/CMakeFiles/ocb_devsim.dir/devsim/roofline.cpp.o" "gcc" "src/CMakeFiles/ocb_devsim.dir/devsim/roofline.cpp.o.d"
+  "/root/repo/src/devsim/simulator.cpp" "src/CMakeFiles/ocb_devsim.dir/devsim/simulator.cpp.o" "gcc" "src/CMakeFiles/ocb_devsim.dir/devsim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_devsim.dir/devsim/device.cpp.o"
+  "CMakeFiles/ocb_devsim.dir/devsim/device.cpp.o.d"
+  "CMakeFiles/ocb_devsim.dir/devsim/roofline.cpp.o"
+  "CMakeFiles/ocb_devsim.dir/devsim/roofline.cpp.o.d"
+  "CMakeFiles/ocb_devsim.dir/devsim/simulator.cpp.o"
+  "CMakeFiles/ocb_devsim.dir/devsim/simulator.cpp.o.d"
+  "libocb_devsim.a"
+  "libocb_devsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_devsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

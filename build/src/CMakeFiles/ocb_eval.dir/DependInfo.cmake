@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/matcher.cpp" "src/CMakeFiles/ocb_eval.dir/eval/matcher.cpp.o" "gcc" "src/CMakeFiles/ocb_eval.dir/eval/matcher.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/ocb_eval.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/ocb_eval.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/pr_curve.cpp" "src/CMakeFiles/ocb_eval.dir/eval/pr_curve.cpp.o" "gcc" "src/CMakeFiles/ocb_eval.dir/eval/pr_curve.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/ocb_eval.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/ocb_eval.dir/eval/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocb_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

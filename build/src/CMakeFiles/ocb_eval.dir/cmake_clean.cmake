@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_eval.dir/eval/matcher.cpp.o"
+  "CMakeFiles/ocb_eval.dir/eval/matcher.cpp.o.d"
+  "CMakeFiles/ocb_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/ocb_eval.dir/eval/metrics.cpp.o.d"
+  "CMakeFiles/ocb_eval.dir/eval/pr_curve.cpp.o"
+  "CMakeFiles/ocb_eval.dir/eval/pr_curve.cpp.o.d"
+  "CMakeFiles/ocb_eval.dir/eval/report.cpp.o"
+  "CMakeFiles/ocb_eval.dir/eval/report.cpp.o.d"
+  "libocb_eval.a"
+  "libocb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

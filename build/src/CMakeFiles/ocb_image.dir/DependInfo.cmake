@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/color.cpp" "src/CMakeFiles/ocb_image.dir/image/color.cpp.o" "gcc" "src/CMakeFiles/ocb_image.dir/image/color.cpp.o.d"
+  "/root/repo/src/image/draw.cpp" "src/CMakeFiles/ocb_image.dir/image/draw.cpp.o" "gcc" "src/CMakeFiles/ocb_image.dir/image/draw.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/CMakeFiles/ocb_image.dir/image/image.cpp.o" "gcc" "src/CMakeFiles/ocb_image.dir/image/image.cpp.o.d"
+  "/root/repo/src/image/io.cpp" "src/CMakeFiles/ocb_image.dir/image/io.cpp.o" "gcc" "src/CMakeFiles/ocb_image.dir/image/io.cpp.o.d"
+  "/root/repo/src/image/transform.cpp" "src/CMakeFiles/ocb_image.dir/image/transform.cpp.o" "gcc" "src/CMakeFiles/ocb_image.dir/image/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_image.dir/image/color.cpp.o"
+  "CMakeFiles/ocb_image.dir/image/color.cpp.o.d"
+  "CMakeFiles/ocb_image.dir/image/draw.cpp.o"
+  "CMakeFiles/ocb_image.dir/image/draw.cpp.o.d"
+  "CMakeFiles/ocb_image.dir/image/image.cpp.o"
+  "CMakeFiles/ocb_image.dir/image/image.cpp.o.d"
+  "CMakeFiles/ocb_image.dir/image/io.cpp.o"
+  "CMakeFiles/ocb_image.dir/image/io.cpp.o.d"
+  "CMakeFiles/ocb_image.dir/image/transform.cpp.o"
+  "CMakeFiles/ocb_image.dir/image/transform.cpp.o.d"
+  "libocb_image.a"
+  "libocb_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/blocks.cpp" "src/CMakeFiles/ocb_models.dir/models/blocks.cpp.o" "gcc" "src/CMakeFiles/ocb_models.dir/models/blocks.cpp.o.d"
+  "/root/repo/src/models/mini_yolo.cpp" "src/CMakeFiles/ocb_models.dir/models/mini_yolo.cpp.o" "gcc" "src/CMakeFiles/ocb_models.dir/models/mini_yolo.cpp.o.d"
+  "/root/repo/src/models/monodepth2.cpp" "src/CMakeFiles/ocb_models.dir/models/monodepth2.cpp.o" "gcc" "src/CMakeFiles/ocb_models.dir/models/monodepth2.cpp.o.d"
+  "/root/repo/src/models/registry.cpp" "src/CMakeFiles/ocb_models.dir/models/registry.cpp.o" "gcc" "src/CMakeFiles/ocb_models.dir/models/registry.cpp.o.d"
+  "/root/repo/src/models/serialize.cpp" "src/CMakeFiles/ocb_models.dir/models/serialize.cpp.o" "gcc" "src/CMakeFiles/ocb_models.dir/models/serialize.cpp.o.d"
+  "/root/repo/src/models/trt_pose.cpp" "src/CMakeFiles/ocb_models.dir/models/trt_pose.cpp.o" "gcc" "src/CMakeFiles/ocb_models.dir/models/trt_pose.cpp.o.d"
+  "/root/repo/src/models/yolo_v11.cpp" "src/CMakeFiles/ocb_models.dir/models/yolo_v11.cpp.o" "gcc" "src/CMakeFiles/ocb_models.dir/models/yolo_v11.cpp.o.d"
+  "/root/repo/src/models/yolo_v8.cpp" "src/CMakeFiles/ocb_models.dir/models/yolo_v8.cpp.o" "gcc" "src/CMakeFiles/ocb_models.dir/models/yolo_v8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_models.dir/models/blocks.cpp.o"
+  "CMakeFiles/ocb_models.dir/models/blocks.cpp.o.d"
+  "CMakeFiles/ocb_models.dir/models/mini_yolo.cpp.o"
+  "CMakeFiles/ocb_models.dir/models/mini_yolo.cpp.o.d"
+  "CMakeFiles/ocb_models.dir/models/monodepth2.cpp.o"
+  "CMakeFiles/ocb_models.dir/models/monodepth2.cpp.o.d"
+  "CMakeFiles/ocb_models.dir/models/registry.cpp.o"
+  "CMakeFiles/ocb_models.dir/models/registry.cpp.o.d"
+  "CMakeFiles/ocb_models.dir/models/serialize.cpp.o"
+  "CMakeFiles/ocb_models.dir/models/serialize.cpp.o.d"
+  "CMakeFiles/ocb_models.dir/models/trt_pose.cpp.o"
+  "CMakeFiles/ocb_models.dir/models/trt_pose.cpp.o.d"
+  "CMakeFiles/ocb_models.dir/models/yolo_v11.cpp.o"
+  "CMakeFiles/ocb_models.dir/models/yolo_v11.cpp.o.d"
+  "CMakeFiles/ocb_models.dir/models/yolo_v8.cpp.o"
+  "CMakeFiles/ocb_models.dir/models/yolo_v8.cpp.o.d"
+  "libocb_models.a"
+  "libocb_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/engine.cpp" "src/CMakeFiles/ocb_nn.dir/nn/engine.cpp.o" "gcc" "src/CMakeFiles/ocb_nn.dir/nn/engine.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/CMakeFiles/ocb_nn.dir/nn/graph.cpp.o" "gcc" "src/CMakeFiles/ocb_nn.dir/nn/graph.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/ocb_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/ocb_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/CMakeFiles/ocb_nn.dir/nn/ops.cpp.o" "gcc" "src/CMakeFiles/ocb_nn.dir/nn/ops.cpp.o.d"
+  "/root/repo/src/nn/profile.cpp" "src/CMakeFiles/ocb_nn.dir/nn/profile.cpp.o" "gcc" "src/CMakeFiles/ocb_nn.dir/nn/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_nn.dir/nn/engine.cpp.o"
+  "CMakeFiles/ocb_nn.dir/nn/engine.cpp.o.d"
+  "CMakeFiles/ocb_nn.dir/nn/graph.cpp.o"
+  "CMakeFiles/ocb_nn.dir/nn/graph.cpp.o.d"
+  "CMakeFiles/ocb_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/ocb_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/ocb_nn.dir/nn/ops.cpp.o"
+  "CMakeFiles/ocb_nn.dir/nn/ops.cpp.o.d"
+  "CMakeFiles/ocb_nn.dir/nn/profile.cpp.o"
+  "CMakeFiles/ocb_nn.dir/nn/profile.cpp.o.d"
+  "libocb_nn.a"
+  "libocb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

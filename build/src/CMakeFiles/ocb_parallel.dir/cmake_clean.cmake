@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_parallel.dir/parallel/parallel_for.cpp.o"
+  "CMakeFiles/ocb_parallel.dir/parallel/parallel_for.cpp.o.d"
+  "CMakeFiles/ocb_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/ocb_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libocb_parallel.a"
+  "libocb_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

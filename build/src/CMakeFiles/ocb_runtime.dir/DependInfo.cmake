@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/ocb_runtime.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/ocb_runtime.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/frame_source.cpp" "src/CMakeFiles/ocb_runtime.dir/runtime/frame_source.cpp.o" "gcc" "src/CMakeFiles/ocb_runtime.dir/runtime/frame_source.cpp.o.d"
+  "/root/repo/src/runtime/pipeline.cpp" "src/CMakeFiles/ocb_runtime.dir/runtime/pipeline.cpp.o" "gcc" "src/CMakeFiles/ocb_runtime.dir/runtime/pipeline.cpp.o.d"
+  "/root/repo/src/runtime/placement.cpp" "src/CMakeFiles/ocb_runtime.dir/runtime/placement.cpp.o" "gcc" "src/CMakeFiles/ocb_runtime.dir/runtime/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_devsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_runtime.dir/runtime/executor.cpp.o"
+  "CMakeFiles/ocb_runtime.dir/runtime/executor.cpp.o.d"
+  "CMakeFiles/ocb_runtime.dir/runtime/frame_source.cpp.o"
+  "CMakeFiles/ocb_runtime.dir/runtime/frame_source.cpp.o.d"
+  "CMakeFiles/ocb_runtime.dir/runtime/pipeline.cpp.o"
+  "CMakeFiles/ocb_runtime.dir/runtime/pipeline.cpp.o.d"
+  "CMakeFiles/ocb_runtime.dir/runtime/placement.cpp.o"
+  "CMakeFiles/ocb_runtime.dir/runtime/placement.cpp.o.d"
+  "libocb_runtime.a"
+  "libocb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

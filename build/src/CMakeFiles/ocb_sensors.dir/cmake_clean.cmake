@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_sensors.dir/sensors/fusion.cpp.o"
+  "CMakeFiles/ocb_sensors.dir/sensors/fusion.cpp.o.d"
+  "CMakeFiles/ocb_sensors.dir/sensors/lidar.cpp.o"
+  "CMakeFiles/ocb_sensors.dir/sensors/lidar.cpp.o.d"
+  "CMakeFiles/ocb_sensors.dir/sensors/thermal.cpp.o"
+  "CMakeFiles/ocb_sensors.dir/sensors/thermal.cpp.o.d"
+  "libocb_sensors.a"
+  "libocb_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

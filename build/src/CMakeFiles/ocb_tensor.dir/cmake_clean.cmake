@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_tensor.dir/tensor/gemm.cpp.o"
+  "CMakeFiles/ocb_tensor.dir/tensor/gemm.cpp.o.d"
+  "CMakeFiles/ocb_tensor.dir/tensor/im2col.cpp.o"
+  "CMakeFiles/ocb_tensor.dir/tensor/im2col.cpp.o.d"
+  "CMakeFiles/ocb_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/ocb_tensor.dir/tensor/tensor.cpp.o.d"
+  "libocb_tensor.a"
+  "libocb_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_trainer.dir/trainer/accuracy_experiment.cpp.o"
+  "CMakeFiles/ocb_trainer.dir/trainer/accuracy_experiment.cpp.o.d"
+  "CMakeFiles/ocb_trainer.dir/trainer/detector_trainer.cpp.o"
+  "CMakeFiles/ocb_trainer.dir/trainer/detector_trainer.cpp.o.d"
+  "libocb_trainer.a"
+  "libocb_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vip/alerts.cpp" "src/CMakeFiles/ocb_vip.dir/vip/alerts.cpp.o" "gcc" "src/CMakeFiles/ocb_vip.dir/vip/alerts.cpp.o.d"
+  "/root/repo/src/vip/fall_svm.cpp" "src/CMakeFiles/ocb_vip.dir/vip/fall_svm.cpp.o" "gcc" "src/CMakeFiles/ocb_vip.dir/vip/fall_svm.cpp.o.d"
+  "/root/repo/src/vip/navigator.cpp" "src/CMakeFiles/ocb_vip.dir/vip/navigator.cpp.o" "gcc" "src/CMakeFiles/ocb_vip.dir/vip/navigator.cpp.o.d"
+  "/root/repo/src/vip/obstacle.cpp" "src/CMakeFiles/ocb_vip.dir/vip/obstacle.cpp.o" "gcc" "src/CMakeFiles/ocb_vip.dir/vip/obstacle.cpp.o.d"
+  "/root/repo/src/vip/tracker.cpp" "src/CMakeFiles/ocb_vip.dir/vip/tracker.cpp.o" "gcc" "src/CMakeFiles/ocb_vip.dir/vip/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_devsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocb_vip.dir/vip/alerts.cpp.o"
+  "CMakeFiles/ocb_vip.dir/vip/alerts.cpp.o.d"
+  "CMakeFiles/ocb_vip.dir/vip/fall_svm.cpp.o"
+  "CMakeFiles/ocb_vip.dir/vip/fall_svm.cpp.o.d"
+  "CMakeFiles/ocb_vip.dir/vip/navigator.cpp.o"
+  "CMakeFiles/ocb_vip.dir/vip/navigator.cpp.o.d"
+  "CMakeFiles/ocb_vip.dir/vip/obstacle.cpp.o"
+  "CMakeFiles/ocb_vip.dir/vip/obstacle.cpp.o.d"
+  "CMakeFiles/ocb_vip.dir/vip/tracker.cpp.o"
+  "CMakeFiles/ocb_vip.dir/vip/tracker.cpp.o.d"
+  "libocb_vip.a"
+  "libocb_vip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocb_vip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

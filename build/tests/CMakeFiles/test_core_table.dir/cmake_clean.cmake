@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_table.dir/test_core_table.cpp.o"
+  "CMakeFiles/test_core_table.dir/test_core_table.cpp.o.d"
+  "test_core_table"
+  "test_core_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

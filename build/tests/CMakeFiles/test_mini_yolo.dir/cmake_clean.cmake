@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mini_yolo.dir/test_mini_yolo.cpp.o"
+  "CMakeFiles/test_mini_yolo.dir/test_mini_yolo.cpp.o.d"
+  "test_mini_yolo"
+  "test_mini_yolo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mini_yolo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

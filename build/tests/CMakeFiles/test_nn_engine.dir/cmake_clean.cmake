@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_engine.dir/test_nn_engine.cpp.o"
+  "CMakeFiles/test_nn_engine.dir/test_nn_engine.cpp.o.d"
+  "test_nn_engine"
+  "test_nn_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

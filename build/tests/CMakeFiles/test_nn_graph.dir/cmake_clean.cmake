@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_graph.dir/test_nn_graph.cpp.o"
+  "CMakeFiles/test_nn_graph.dir/test_nn_graph.cpp.o.d"
+  "test_nn_graph"
+  "test_nn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

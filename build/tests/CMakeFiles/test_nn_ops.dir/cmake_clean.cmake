@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_ops.dir/test_nn_ops.cpp.o"
+  "CMakeFiles/test_nn_ops.dir/test_nn_ops.cpp.o.d"
+  "test_nn_ops"
+  "test_nn_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pr_curve.dir/test_pr_curve.cpp.o"
+  "CMakeFiles/test_pr_curve.dir/test_pr_curve.cpp.o.d"
+  "test_pr_curve"
+  "test_pr_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pr_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

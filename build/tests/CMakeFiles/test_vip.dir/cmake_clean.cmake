@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vip.dir/test_vip.cpp.o"
+  "CMakeFiles/test_vip.dir/test_vip.cpp.o.d"
+  "test_vip"
+  "test_vip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
