@@ -6,14 +6,17 @@
 // roofline device model and prints median / IQR / p95 per combination,
 // with the paper's envelope for comparison.
 #include <algorithm>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "devsim/simulator.hpp"
 #include "models/registry.hpp"
+#include "runtime/pipeline.hpp"
 
 using namespace ocb;
 using namespace ocb::devsim;
 using namespace ocb::models;
+using namespace ocb::runtime;
 
 int main(int argc, char** argv) {
   Cli cli("bench_fig5_edge",
@@ -48,9 +51,15 @@ int main(int argc, char** argv) {
       const auto profile = profile_model(id);
       for (DeviceId dev_id : edge_devices()) {
         const DeviceSpec& dev = device_spec(dev_id);
-        Rng frame_rng = rng.fork();
-        const Summary s =
-            simulate_summary(profile, dev, frames, frame_rng);
+        // One single-stage pipeline per (model, device), as the paper
+        // benchmarks each model in isolation.
+        Pipeline pipeline =
+            PipelineBuilder()
+                .stage(std::make_unique<SimulatedExecutor>(profile, dev,
+                                                           rng()))
+                .deadline_ms(200.0)
+                .build();
+        const Summary s = pipeline.run(frames).per_frame;
         table.row()
             .cell(model_info(id).name)
             .cell(dev.short_name)

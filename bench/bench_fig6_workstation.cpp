@@ -4,14 +4,17 @@
 // within 10 ms per frame, the x-large models under 20 ms, everything
 // under 25 ms — roughly 50× faster than Xavier NX.
 #include <algorithm>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "devsim/simulator.hpp"
 #include "models/registry.hpp"
+#include "runtime/pipeline.hpp"
 
 using namespace ocb;
 using namespace ocb::devsim;
 using namespace ocb::models;
+using namespace ocb::runtime;
 
 int main(int argc, char** argv) {
   Cli cli("bench_fig6_workstation",
@@ -32,8 +35,12 @@ int main(int argc, char** argv) {
                      "speedup vs nx"});
   for (const ModelInfo& info : model_table()) {
     const auto profile = profile_model(info.id);
-    Rng frame_rng = rng.fork();
-    const Summary s = simulate_summary(profile, gpu, frames, frame_rng);
+    Pipeline pipeline =
+        PipelineBuilder()
+            .stage(std::make_unique<SimulatedExecutor>(profile, gpu, rng()))
+            .deadline_ms(25.0)  // the paper's workstation envelope
+            .build();
+    const Summary s = pipeline.run(frames).per_frame;
     const double nx_ms = model_latency_ms(profile, nx);
     table.row()
         .cell(info.name)

@@ -34,14 +34,16 @@ int main(int argc, char** argv) {
       "VIP pipeline (YOLOv8-n + Bodypose + Monodepth2, sequential)",
       {"device", "median ms", "p95 ms", "fps", "miss rate @deadline"});
   for (const devsim::DeviceSpec& dev : devsim::device_table()) {
-    std::vector<std::unique_ptr<Executor>> stages;
+    PipelineBuilder builder;
     std::uint64_t seed = 1;
     for (ModelId id :
          {ModelId::kYoloV8n, ModelId::kTrtPose, ModelId::kMonodepth2})
-      stages.push_back(std::make_unique<SimulatedExecutor>(
+      builder.stage(std::make_unique<SimulatedExecutor>(
           profile_model(id), dev, seed++));
-    Pipeline pipeline(std::move(stages), Discipline::kSequential);
-    const PipelineStats stats = pipeline.run(frames, deadline);
+    Pipeline pipeline = builder.discipline(Discipline::kSequential)
+                            .deadline_ms(deadline)
+                            .build();
+    const PipelineStats stats = pipeline.run(frames);
     table.row()
         .cell(dev.short_name)
         .cell(stats.per_frame.median, 1)

@@ -1,9 +1,19 @@
 #include "runtime/executor.hpp"
 
 #include <chrono>
+#include <utility>
 #include <vector>
 
 namespace ocb::runtime {
+
+const char* stage_status_name(StageStatus status) noexcept {
+  switch (status) {
+    case StageStatus::kOk: return "ok";
+    case StageStatus::kDegraded: return "degraded";
+    case StageStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
 
 HostExecutor::HostExecutor(const nn::Graph& graph, std::string name,
                            std::uint64_t seed)
@@ -14,11 +24,17 @@ HostExecutor::HostExecutor(const nn::Graph& graph, std::string name,
   input_.init_uniform(rng, 0.0f, 1.0f);
 }
 
-double HostExecutor::infer_ms() {
+FrameResult HostExecutor::run(const FrameContext&) {
   const auto start = std::chrono::steady_clock::now();
-  (void)engine_.run(input_);
+  std::vector<Tensor> outputs = engine_.run(input_);
   const auto stop = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(stop - start).count();
+  FrameResult result;
+  result.latency_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  result.stage = name_;
+  result.payload =
+      std::make_shared<std::vector<Tensor>>(std::move(outputs));
+  return result;
 }
 
 SimulatedExecutor::SimulatedExecutor(nn::ModelProfile profile,
@@ -34,20 +50,27 @@ SimulatedExecutor::SimulatedExecutor(nn::ModelProfile profile,
       base_ms_(devsim::model_latency_ms(profile_, device_, options_)),
       name_(profile_.model_name + "@" + device_.short_name) {}
 
-double SimulatedExecutor::infer_ms() {
+FrameResult SimulatedExecutor::run(const FrameContext&) {
   double latency = base_ms_ * rng_.lognormal(0.0, jitter_.sigma);
   if (frame_ < jitter_.warmup_frames)
     latency *= jitter_.warmup_scale;
   else if (rng_.bernoulli(jitter_.straggler_prob))
     latency *= jitter_.straggler_scale;
   ++frame_;
-  return latency;
+  FrameResult result;
+  result.latency_ms = latency;
+  result.stage = name_;
+  return result;
 }
 
 Summary benchmark_executor(Executor& executor, int frames) {
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(frames));
-  for (int i = 0; i < frames; ++i) samples.push_back(executor.infer_ms());
+  FrameContext ctx;
+  for (int i = 0; i < frames; ++i) {
+    ctx.index = i;
+    samples.push_back(executor.run(ctx).latency_ms);
+  }
   return summarize(samples);
 }
 

@@ -4,6 +4,12 @@
 // CPU engine and measures wall-clock time; SimulatedExecutor draws
 // latencies from the device model — the paper's benchmark loop over
 // ~1,000 frames is driven through either.
+//
+// Executors process one frame at a time through `run()`, which carries
+// frame identity in and a structured result (latency, status, optional
+// payload) out. A single executor instance must only be driven from one
+// thread at a time; the streaming runtime assigns each stage its own
+// worker accordingly.
 #pragma once
 
 #include <memory>
@@ -14,14 +20,47 @@
 #include "devsim/simulator.hpp"
 #include "nn/engine.hpp"
 
+namespace ocb {
+class Image;
+}
+
 namespace ocb::runtime {
+
+/// Identity of the frame an executor is asked to process.
+struct FrameContext {
+  int index = 0;              ///< frame number within the stream
+  double timestamp_ms = 0.0;  ///< capture time on the stream clock
+  const Image* image = nullptr;  ///< pixels, when the source provides them
+};
+
+enum class StageStatus {
+  kOk,        ///< processed normally
+  kDegraded,  ///< processed, but the stage is in a degraded state
+  kSkipped,   ///< bypassed (degraded stage cooling down)
+};
+
+const char* stage_status_name(StageStatus status) noexcept;
+
+/// Outcome of one executor invocation.
+struct FrameResult {
+  double latency_ms = 0.0;
+  std::string stage;  ///< name of the executor that produced this
+  StageStatus status = StageStatus::kOk;
+  /// Optional stage output (e.g. the raw output tensors) for consumers
+  /// downstream of the benchmark loop.
+  std::shared_ptr<void> payload;
+};
 
 class Executor {
  public:
   virtual ~Executor() = default;
-  /// Execute one inference; returns the per-frame latency in ms.
-  virtual double infer_ms() = 0;
+  /// Execute one inference for `ctx` and report the structured result.
+  virtual FrameResult run(const FrameContext& ctx) = 0;
   virtual const std::string& name() const noexcept = 0;
+
+  /// Transitional adapter for pre-streaming callers that only want the
+  /// per-frame latency in ms.
+  double infer_ms() { return run(FrameContext{}).latency_ms; }
 };
 
 /// Wall-clock execution of a real graph on the host CPU.
@@ -29,7 +68,7 @@ class HostExecutor final : public Executor {
  public:
   HostExecutor(const nn::Graph& graph, std::string name,
                std::uint64_t seed = 1);
-  double infer_ms() override;
+  FrameResult run(const FrameContext& ctx) override;
   const std::string& name() const noexcept override { return name_; }
 
  private:
@@ -45,7 +84,7 @@ class SimulatedExecutor final : public Executor {
                     std::uint64_t seed,
                     devsim::RooflineOptions options = {},
                     devsim::JitterModel jitter = {});
-  double infer_ms() override;
+  FrameResult run(const FrameContext& ctx) override;
   const std::string& name() const noexcept override { return name_; }
 
  private:

@@ -42,4 +42,19 @@ std::optional<Frame> CameraSource::next() {
   return frame;
 }
 
+SyntheticSource::SyntheticSource(int frames, double fps)
+    : frames_(frames), fps_(fps) {
+  OCB_CHECK_MSG(frames > 0, "frame count must be positive");
+  OCB_CHECK_MSG(fps > 0.0, "fps must be positive");
+}
+
+std::optional<Frame> SyntheticSource::next() {
+  if (cursor_ >= frames_) return std::nullopt;
+  Frame frame;
+  frame.timestamp_s = static_cast<double>(cursor_) / fps_;
+  frame.index = cursor_;
+  ++cursor_;
+  return frame;
+}
+
 }  // namespace ocb::runtime

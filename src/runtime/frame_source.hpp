@@ -1,8 +1,10 @@
 // Frame sources for the application runtime.
 //
-// Wraps the dataset video simulator as a live camera: frames arrive at
-// the capture rate with monotonically increasing timestamps, as the
-// buddy drone's 30 FPS feed would.
+// A FrameSource hands the runtime one frame at a time, as the buddy
+// drone's 30 FPS feed would. CameraSource wraps the dataset video
+// simulator as a live camera (real pixels + ground truth);
+// SyntheticSource stamps timestamps without rendering, for runtime
+// benchmarks where stage cost is pure executor latency.
 #pragma once
 
 #include <optional>
@@ -20,16 +22,27 @@ struct Frame {
   int index = 0;
 };
 
-class CameraSource {
+/// Pull-based stream of frames; exhausted when next() returns nullopt.
+/// Sources are driven from a single thread at a time.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  /// Next frame, or nullopt at end of stream.
+  virtual std::optional<Frame> next() = 0;
+  /// Rewind to the first frame (optional; default is a no-op).
+  virtual void reset() {}
+};
+
+class CameraSource final : public FrameSource {
  public:
   /// Stream `clip` at `fps` (≤ capture rate), rendering at w×h.
   CameraSource(dataset::VideoClip clip, int width, int height, double fps,
                std::uint64_t seed);
 
   /// Next frame, or nullopt at end of clip.
-  std::optional<Frame> next();
+  std::optional<Frame> next() override;
 
-  void reset() noexcept { cursor_ = 0; }
+  void reset() noexcept override { cursor_ = 0; }
   int remaining() const noexcept;
   double fps() const noexcept { return fps_; }
 
@@ -38,6 +51,23 @@ class CameraSource {
   int width_, height_;
   double fps_;
   std::uint64_t seed_;
+  int cursor_ = 0;
+};
+
+/// Pixel-free source: `frames` frames timestamped at `fps`. Used by the
+/// streaming benches, where executors model latency and never look at
+/// the image.
+class SyntheticSource final : public FrameSource {
+ public:
+  SyntheticSource(int frames, double fps = 30.0);
+
+  std::optional<Frame> next() override;
+  void reset() noexcept override { cursor_ = 0; }
+  int remaining() const noexcept { return frames_ - cursor_; }
+
+ private:
+  int frames_;
+  double fps_;
   int cursor_ = 0;
 };
 

@@ -1,15 +1,20 @@
 #include "runtime/pipeline.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/error.hpp"
+#include "runtime/streaming_pipeline.hpp"
 
 namespace ocb::runtime {
 
 Pipeline::Pipeline(std::vector<std::unique_ptr<Executor>> stages,
-                   Discipline discipline)
-    : stages_(std::move(stages)), discipline_(discipline) {
+                   Discipline discipline, double deadline_ms)
+    : stages_(std::move(stages)),
+      discipline_(discipline),
+      deadline_ms_(deadline_ms) {
   OCB_CHECK_MSG(!stages_.empty(), "pipeline needs at least one stage");
+  OCB_CHECK_MSG(deadline_ms_ > 0.0, "deadline must be positive");
 }
 
 PipelineStats Pipeline::run(int frames, double deadline_ms) {
@@ -18,10 +23,12 @@ PipelineStats Pipeline::run(int frames, double deadline_ms) {
   per_frame.reserve(static_cast<std::size_t>(frames));
   std::size_t misses = 0;
 
+  FrameContext ctx;
   for (int f = 0; f < frames; ++f) {
+    ctx.index = f;
     double total = 0.0;
     for (auto& stage : stages_) {
-      const double ms = stage->infer_ms();
+      const double ms = stage->run(ctx).latency_ms;
       total = discipline_ == Discipline::kSequential ? total + ms
                                                      : std::max(total, ms);
     }
@@ -37,6 +44,81 @@ PipelineStats Pipeline::run(int frames, double deadline_ms) {
   stats.deadline_miss_rate =
       static_cast<double>(misses) / static_cast<double>(frames);
   return stats;
+}
+
+PipelineBuilder& PipelineBuilder::stage(std::unique_ptr<Executor> executor) {
+  OCB_CHECK_MSG(executor != nullptr, "stage executor must not be null");
+  stages_.push_back(std::move(executor));
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::discipline(Discipline d) noexcept {
+  discipline_ = d;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::deadline_ms(double ms) {
+  OCB_CHECK_MSG(ms > 0.0, "deadline must be positive");
+  deadline_ms_ = ms;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::queue_capacity(std::size_t frames) {
+  OCB_CHECK_MSG(frames > 0, "queue capacity must be positive");
+  queue_capacity_ = frames;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::drop_policy(DropPolicy policy) noexcept {
+  drop_policy_ = policy;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::stage_timeout_ms(double ms) {
+  OCB_CHECK_MSG(ms >= 0.0, "stage timeout must be >= 0");
+  stage_timeout_ms_ = ms;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::degraded_cooldown_frames(int frames) {
+  OCB_CHECK_MSG(frames >= 0, "cooldown must be >= 0");
+  degraded_cooldown_frames_ = frames;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::emulate_occupancy(bool on) noexcept {
+  emulate_occupancy_ = on;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::time_scale(double scale) {
+  OCB_CHECK_MSG(scale > 0.0, "time scale must be positive");
+  time_scale_ = scale;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::source_fps(double fps) {
+  OCB_CHECK_MSG(fps >= 0.0, "source fps must be >= 0");
+  source_fps_ = fps;
+  return *this;
+}
+
+Pipeline PipelineBuilder::build() {
+  return Pipeline(std::move(stages_), discipline_, deadline_ms_);
+}
+
+std::unique_ptr<StreamingPipeline> PipelineBuilder::build_streaming() {
+  StreamConfig config;
+  config.discipline = discipline_;
+  config.queue_capacity = queue_capacity_;
+  config.drop_policy = drop_policy_;
+  config.deadline_ms = deadline_ms_;
+  config.stage_timeout_ms = stage_timeout_ms_;
+  config.degraded_cooldown_frames = degraded_cooldown_frames_;
+  config.emulate_occupancy = emulate_occupancy_;
+  config.time_scale = time_scale_;
+  config.source_fps = source_fps_;
+  return std::make_unique<StreamingPipeline>(std::move(stages_), config);
 }
 
 }  // namespace ocb::runtime

@@ -1,17 +1,27 @@
 // Multi-model VIP pipeline timing.
 //
 // Ocularone runs three situation-awareness models per frame (vest
-// detection, body pose, depth). This module composes their latencies
-// under two execution disciplines and derives the achievable frame
-// rate — the "real-time feasibility" analysis of §4.2.3/4.2.4.
+// detection, body pose, depth). Two views of that composition live
+// here:
+//
+//  * Pipeline — the closed-form analytic model of §4.2.3/4.2.4: stage
+//    latencies add (sequential, one CUDA stream) or max (parallel,
+//    independent engines), yielding the achievable frame rate.
+//  * PipelineBuilder — the fluent front door. Collects stages and
+//    runtime knobs, then builds either the analytic Pipeline or the
+//    threaded StreamingPipeline (streaming_pipeline.hpp), which
+//    actually executes the stage chain on workers with bounded queues.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "runtime/executor.hpp"
+#include "runtime/stream_queue.hpp"
 
 namespace ocb::runtime {
+
+class StreamingPipeline;
 
 enum class Discipline {
   kSequential,  ///< one CUDA stream: latencies add
@@ -25,18 +35,81 @@ struct PipelineStats {
   double deadline_miss_rate = 0.0;  ///< fraction of frames over deadline
 };
 
+/// Closed-form latency composition (no threads, no queues).
 class Pipeline {
  public:
   Pipeline(std::vector<std::unique_ptr<Executor>> stages,
-           Discipline discipline);
+           Discipline discipline, double deadline_ms = 200.0);
 
   /// Run `frames` end-to-end iterations; `deadline_ms` defines the
   /// real-time budget (e.g. 1000/30 for a 30 FPS feed).
   PipelineStats run(int frames, double deadline_ms);
+  /// Same, against the deadline configured at construction.
+  PipelineStats run(int frames) { return run(frames, deadline_ms_); }
+
+  std::size_t stage_count() const noexcept { return stages_.size(); }
 
  private:
   std::vector<std::unique_ptr<Executor>> stages_;
   Discipline discipline_;
+  double deadline_ms_;
+};
+
+/// Fluent assembly of a stage chain plus runtime configuration.
+///
+///   auto pipeline = PipelineBuilder()
+///                       .stage(std::make_unique<SimulatedExecutor>(...))
+///                       .stage(std::make_unique<SimulatedExecutor>(...))
+///                       .discipline(Discipline::kSequential)
+///                       .deadline_ms(1000.0 / 30.0)
+///                       .queue_capacity(4)
+///                       .drop_policy(DropPolicy::kDropOldest)
+///                       .build_streaming();
+///
+/// build() consumes the collected stages, so a builder produces exactly
+/// one pipeline.
+class PipelineBuilder {
+ public:
+  PipelineBuilder& stage(std::unique_ptr<Executor> executor);
+  PipelineBuilder& discipline(Discipline d) noexcept;
+  PipelineBuilder& deadline_ms(double ms);
+  PipelineBuilder& queue_capacity(std::size_t frames);
+  PipelineBuilder& drop_policy(DropPolicy policy) noexcept;
+  /// Watchdog budget per stage invocation; 0 disables the watchdog.
+  PipelineBuilder& stage_timeout_ms(double ms);
+  /// Frames a degraded stage bypasses before probing the executor again.
+  PipelineBuilder& degraded_cooldown_frames(int frames);
+  /// Streaming only: stages occupy their worker for the modelled
+  /// latency (sleep), so queueing dynamics follow the device model.
+  PipelineBuilder& emulate_occupancy(bool on = true) noexcept;
+  /// Streaming only: real seconds per stream second (e.g. 0.05 replays
+  /// the modelled timeline at 20x speed). Reported times stay in
+  /// stream-clock ms.
+  PipelineBuilder& time_scale(double scale);
+  /// Streaming only: pace the source at this rate; 0 emits frames as
+  /// fast as the first queue accepts them.
+  PipelineBuilder& source_fps(double fps);
+
+  std::size_t stage_count() const noexcept { return stages_.size(); }
+
+  /// Build the closed-form analytic model. Throws Error without stages.
+  Pipeline build();
+  /// Build the threaded streaming runtime. Throws Error without stages
+  /// or on an invalid configuration (parallel discipline requires
+  /// DropPolicy::kBlock).
+  std::unique_ptr<StreamingPipeline> build_streaming();
+
+ private:
+  std::vector<std::unique_ptr<Executor>> stages_;
+  Discipline discipline_ = Discipline::kSequential;
+  DropPolicy drop_policy_ = DropPolicy::kBlock;
+  std::size_t queue_capacity_ = 4;
+  double deadline_ms_ = 1000.0 / 30.0;
+  double stage_timeout_ms_ = 0.0;
+  int degraded_cooldown_frames_ = 8;
+  bool emulate_occupancy_ = false;
+  double time_scale_ = 1.0;
+  double source_fps_ = 0.0;
 };
 
 }  // namespace ocb::runtime

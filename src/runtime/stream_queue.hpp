@@ -1,0 +1,139 @@
+// Bounded inter-stage queue for the streaming runtime.
+//
+// Each pipeline stage pulls from one of these; the backpressure policy
+// decides what happens when a producer outruns its consumer — the
+// queue-induced latency and drop behaviour that dominates real embedded
+// deployments (Schlosser et al., PAPERS.md). Thread-safe (mutex +
+// condition variables), tracks drop counts and the depth high-water
+// mark for telemetry.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace ocb::runtime {
+
+/// What a full queue does with an incoming item.
+enum class DropPolicy {
+  kBlock,       ///< producer waits for space (lossless backpressure)
+  kDropOldest,  ///< evict the queue head to admit the new item
+  kDropNewest,  ///< reject the incoming item
+};
+
+const char* drop_policy_name(DropPolicy policy) noexcept;
+
+enum class PushOutcome {
+  kAccepted,        ///< item enqueued, nothing lost
+  kReplacedOldest,  ///< item enqueued, the oldest item was evicted
+  kRejected,        ///< item lost (queue full with kDropNewest, or closed)
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  BoundedQueue(std::size_t capacity, DropPolicy policy)
+      : capacity_(capacity), policy_(policy) {
+    OCB_CHECK_MSG(capacity_ > 0, "queue capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  PushOutcome push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (policy_ == DropPolicy::kBlock)
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      ++dropped_;
+      return PushOutcome::kRejected;
+    }
+    PushOutcome outcome = PushOutcome::kAccepted;
+    if (items_.size() >= capacity_) {
+      if (policy_ == DropPolicy::kDropNewest) {
+        ++dropped_;
+        return PushOutcome::kRejected;
+      }
+      items_.pop_front();  // kDropOldest
+      ++dropped_;
+      outcome = PushOutcome::kReplacedOldest;
+    }
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return outcome;
+  }
+
+  /// Blocks until an item is available or the queue is closed and
+  /// drained; nullopt signals end-of-stream.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Marks end-of-stream: pending items still drain, new pushes are
+  /// rejected, and blocked producers/consumers wake up.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Deepest the queue has ever been.
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
+  /// Items lost at this queue (evicted, rejected, or pushed after close).
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const DropPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+inline const char* drop_policy_name(DropPolicy policy) noexcept {
+  switch (policy) {
+    case DropPolicy::kBlock: return "block";
+    case DropPolicy::kDropOldest: return "drop-oldest";
+    case DropPolicy::kDropNewest: return "drop-newest";
+  }
+  return "?";
+}
+
+}  // namespace ocb::runtime

@@ -10,6 +10,7 @@
 #include "runtime/frame_source.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/placement.hpp"
+#include "runtime/streaming_pipeline.hpp"
 
 namespace ocb::runtime {
 namespace {
@@ -60,8 +61,11 @@ TEST(CameraSource, FramesCarryGroundTruth) {
 TEST(HostExecutor, MeasuresRealExecution) {
   const nn::Graph g = models::build_model(models::ModelId::kYoloV8n, 0.1);
   HostExecutor executor(g, "v8n@host");
-  const double ms = executor.infer_ms();
-  EXPECT_GT(ms, 0.0);
+  const FrameResult result = executor.run(FrameContext{});
+  EXPECT_GT(result.latency_ms, 0.0);
+  EXPECT_EQ(result.stage, "v8n@host");
+  EXPECT_EQ(result.status, StageStatus::kOk);
+  EXPECT_NE(result.payload, nullptr);  // raw output tensors ride along
   EXPECT_EQ(executor.name(), "v8n@host");
 }
 
@@ -71,7 +75,20 @@ TEST(SimulatedExecutor, NameAndPositiveLatency) {
                                           devsim::DeviceId::kOrinAgx),
                              7);
   EXPECT_EQ(executor.name(), "YOLOv8-n@o-agx");
-  for (int i = 0; i < 10; ++i) EXPECT_GT(executor.infer_ms(), 0.0);
+  FrameContext ctx;
+  for (int i = 0; i < 10; ++i) {
+    ctx.index = i;
+    const FrameResult result = executor.run(ctx);
+    EXPECT_GT(result.latency_ms, 0.0);
+    EXPECT_EQ(result.status, StageStatus::kOk);
+  }
+}
+
+TEST(Executor, InferMsAdapterStillReportsLatency) {
+  const auto profile = models::profile_model(models::ModelId::kYoloV8n);
+  SimulatedExecutor executor(
+      profile, devsim::device_spec(devsim::DeviceId::kOrinAgx), 7);
+  for (int i = 0; i < 5; ++i) EXPECT_GT(executor.infer_ms(), 0.0);
 }
 
 TEST(BenchmarkExecutor, Summarises) {
@@ -83,23 +100,28 @@ TEST(BenchmarkExecutor, Summarises) {
   EXPECT_LE(s.median, 25.0);  // workstation budget
 }
 
+devsim::JitterModel no_jitter() {
+  devsim::JitterModel jitter;
+  jitter.sigma = 0.0;
+  jitter.straggler_prob = 0.0;
+  jitter.warmup_frames = 0;
+  return jitter;
+}
+
 TEST(Pipeline, SequentialAddsStageLatencies) {
-  std::vector<std::unique_ptr<Executor>> stages;
   const auto yolo = models::profile_model(models::ModelId::kYoloV8n);
   const auto pose = models::profile_model(models::ModelId::kTrtPose);
   const auto& dev = devsim::device_spec(devsim::DeviceId::kOrinAgx);
-  devsim::JitterModel no_jitter;
-  no_jitter.sigma = 0.0;
-  no_jitter.straggler_prob = 0.0;
-  no_jitter.warmup_frames = 0;
-  stages.push_back(std::make_unique<SimulatedExecutor>(yolo, dev, 1,
-                                                       devsim::RooflineOptions{},
-                                                       no_jitter));
-  stages.push_back(std::make_unique<SimulatedExecutor>(pose, dev, 2,
-                                                       devsim::RooflineOptions{},
-                                                       no_jitter));
-  Pipeline pipeline(std::move(stages), Discipline::kSequential);
-  const PipelineStats stats = pipeline.run(20, 1000.0);
+  Pipeline pipeline =
+      PipelineBuilder()
+          .stage(std::make_unique<SimulatedExecutor>(
+              yolo, dev, 1, devsim::RooflineOptions{}, no_jitter()))
+          .stage(std::make_unique<SimulatedExecutor>(
+              pose, dev, 2, devsim::RooflineOptions{}, no_jitter()))
+          .discipline(Discipline::kSequential)
+          .deadline_ms(1000.0)
+          .build();
+  const PipelineStats stats = pipeline.run(20);
   const double expected = devsim::model_latency_ms(yolo, dev) +
                           devsim::model_latency_ms(pose, dev);
   EXPECT_NEAR(stats.per_frame.median, expected, expected * 0.02);
@@ -107,39 +129,45 @@ TEST(Pipeline, SequentialAddsStageLatencies) {
 }
 
 TEST(Pipeline, ParallelTakesMaxLatency) {
-  std::vector<std::unique_ptr<Executor>> stages;
   const auto yolo = models::profile_model(models::ModelId::kYoloV8x);
   const auto pose = models::profile_model(models::ModelId::kTrtPose);
   const auto& dev = devsim::device_spec(devsim::DeviceId::kOrinAgx);
-  devsim::JitterModel no_jitter;
-  no_jitter.sigma = 0.0;
-  no_jitter.straggler_prob = 0.0;
-  no_jitter.warmup_frames = 0;
-  stages.push_back(std::make_unique<SimulatedExecutor>(yolo, dev, 1,
-                                                       devsim::RooflineOptions{},
-                                                       no_jitter));
-  stages.push_back(std::make_unique<SimulatedExecutor>(pose, dev, 2,
-                                                       devsim::RooflineOptions{},
-                                                       no_jitter));
-  Pipeline pipeline(std::move(stages), Discipline::kParallel);
+  Pipeline pipeline =
+      PipelineBuilder()
+          .stage(std::make_unique<SimulatedExecutor>(
+              yolo, dev, 1, devsim::RooflineOptions{}, no_jitter()))
+          .stage(std::make_unique<SimulatedExecutor>(
+              pose, dev, 2, devsim::RooflineOptions{}, no_jitter()))
+          .discipline(Discipline::kParallel)
+          .build();
   const PipelineStats stats = pipeline.run(20, 1000.0);
   const double expected = devsim::model_latency_ms(yolo, dev);
   EXPECT_NEAR(stats.per_frame.median, expected, expected * 0.02);
 }
 
 TEST(Pipeline, DeadlineMissRateCounted) {
-  std::vector<std::unique_ptr<Executor>> stages;
   const auto yolo = models::profile_model(models::ModelId::kYoloV8x);
   const auto& nx = devsim::device_spec(devsim::DeviceId::kXavierNx);
-  stages.push_back(std::make_unique<SimulatedExecutor>(yolo, nx, 1));
-  Pipeline pipeline(std::move(stages), Discipline::kSequential);
-  // ~989 ms per frame against a 33 ms deadline: everything misses.
-  const PipelineStats stats = pipeline.run(30, 1000.0 / 30.0);
+  Pipeline pipeline =
+      PipelineBuilder()
+          .stage(std::make_unique<SimulatedExecutor>(yolo, nx, 1))
+          // ~989 ms per frame against a 33 ms deadline: everything misses.
+          .deadline_ms(1000.0 / 30.0)
+          .build();
+  const PipelineStats stats = pipeline.run(30);
   EXPECT_DOUBLE_EQ(stats.deadline_miss_rate, 1.0);
 }
 
-TEST(Pipeline, EmptyStagesThrow) {
-  EXPECT_THROW(Pipeline({}, Discipline::kSequential), Error);
+TEST(PipelineBuilder, EmptyStagesThrow) {
+  EXPECT_THROW(PipelineBuilder().build(), Error);
+  EXPECT_THROW(PipelineBuilder().build_streaming(), Error);
+}
+
+TEST(PipelineBuilder, RejectsInvalidConfiguration) {
+  EXPECT_THROW(PipelineBuilder().deadline_ms(0.0), Error);
+  EXPECT_THROW(PipelineBuilder().queue_capacity(0), Error);
+  EXPECT_THROW(PipelineBuilder().time_scale(0.0), Error);
+  EXPECT_THROW(PipelineBuilder().stage(nullptr), Error);
 }
 
 std::vector<Candidate> make_candidates() {

@@ -1,0 +1,379 @@
+#include "runtime/streaming_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "models/registry.hpp"
+#include "runtime/stream_queue.hpp"
+#include "runtime/telemetry.hpp"
+
+namespace ocb::runtime {
+namespace {
+
+// ---------------------------------------------------------------- queue
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> q(4, DropPolicy::kBlock);
+  EXPECT_EQ(q.push(1), PushOutcome::kAccepted);
+  EXPECT_EQ(q.push(2), PushOutcome::kAccepted);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.high_water(), 2u);
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(BoundedQueue, DropOldestEvictsHead) {
+  BoundedQueue<int> q(2, DropPolicy::kDropOldest);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.push(3), PushOutcome::kReplacedOldest);
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.pop().value(), 2);  // 1 was evicted
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BoundedQueue, DropNewestRejectsIncoming) {
+  BoundedQueue<int> q(2, DropPolicy::kDropNewest);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.push(3), PushOutcome::kRejected);
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.pop().value(), 1);  // survivors untouched
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(2, DropPolicy::kBlock);
+  q.push(7);
+  q.close();
+  EXPECT_EQ(q.push(8), PushOutcome::kRejected);
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, BlockingHandoffAcrossThreads) {
+  BoundedQueue<int> q(1, DropPolicy::kBlock);
+  constexpr int kItems = 200;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) q.push(i);  // blocks when full
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) EXPECT_EQ(*v, expected++);
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+  EXPECT_EQ(q.dropped(), 0u);
+  EXPECT_LE(q.high_water(), 1u);
+}
+
+// ------------------------------------------------------------ telemetry
+
+TEST(LatencyRecorder, TracksMomentsAndPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 1000; ++i) rec.add(static_cast<double>(i));
+  EXPECT_EQ(rec.count(), 1000u);
+  EXPECT_DOUBLE_EQ(rec.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.max(), 1000.0);
+  EXPECT_NEAR(rec.mean(), 500.5, 1e-9);
+  // Log buckets give ~4% relative resolution.
+  EXPECT_NEAR(rec.p50(), 500.0, 500.0 * 0.05);
+  EXPECT_NEAR(rec.p95(), 950.0, 950.0 * 0.05);
+  EXPECT_NEAR(rec.p99(), 990.0, 990.0 * 0.05);
+}
+
+TEST(LatencyRecorder, MergeCombinesSamples) {
+  LatencyRecorder a, b;
+  a.add(1.0);
+  b.add(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+}
+
+// ------------------------------------------------------------- fixtures
+
+/// Deterministic stage: reports `latency_ms` instantly, and really
+/// sleeps `slow_wall_ms` for frame indices in [slow_from, slow_to) to
+/// trip the watchdog.
+class TestExecutor final : public Executor {
+ public:
+  TestExecutor(std::string name, double latency_ms, int slow_from = -1,
+               int slow_to = -1, double slow_wall_ms = 0.0)
+      : name_(std::move(name)),
+        latency_ms_(latency_ms),
+        slow_from_(slow_from),
+        slow_to_(slow_to),
+        slow_wall_ms_(slow_wall_ms) {}
+
+  FrameResult run(const FrameContext& ctx) override {
+    if (ctx.index >= slow_from_ && ctx.index < slow_to_)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slow_wall_ms_));
+    FrameResult r;
+    r.latency_ms = latency_ms_;
+    r.stage = name_;
+    return r;
+  }
+  const std::string& name() const noexcept override { return name_; }
+
+ private:
+  std::string name_;
+  double latency_ms_;
+  int slow_from_, slow_to_;
+  double slow_wall_ms_;
+};
+
+PipelineBuilder three_fixed_stages(double a, double b, double c) {
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<TestExecutor>("a", a))
+      .stage(std::make_unique<TestExecutor>("b", b))
+      .stage(std::make_unique<TestExecutor>("c", c));
+  return builder;
+}
+
+// ------------------------------------------------------------ streaming
+
+TEST(StreamingPipeline, RunsEveryFrameThroughEveryStage) {
+  auto pipeline = three_fixed_stages(0.01, 0.02, 0.03)
+                      .deadline_ms(1000.0)
+                      .queue_capacity(4)
+                      .build_streaming();
+  SyntheticSource source(500, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  EXPECT_EQ(report.frames_emitted, 500u);
+  EXPECT_EQ(report.frames_completed, 500u);
+  EXPECT_EQ(report.frames_dropped, 0u);
+  EXPECT_EQ(report.deadline_misses, 0u);
+  ASSERT_EQ(report.stages.size(), 3u);
+  for (const StageTelemetry& s : report.stages) {
+    EXPECT_EQ(s.frames_in, 500u);
+    EXPECT_EQ(s.frames_out, 500u);
+    EXPECT_EQ(s.queue_dropped, 0u);
+    EXPECT_EQ(s.timeouts, 0u);
+    EXPECT_LE(s.queue_high_water, s.queue_capacity);
+  }
+  // Sequential service latency = sum of stage latencies.
+  EXPECT_NEAR(report.service_ms.mean(), 0.06, 0.06 * 0.05);
+}
+
+TEST(StreamingPipeline, SequentialAgreesWithAnalyticComposition) {
+  const auto yolo = models::profile_model(models::ModelId::kYoloV8n);
+  const auto pose = models::profile_model(models::ModelId::kTrtPose);
+  const auto depth = models::profile_model(models::ModelId::kMonodepth2);
+  const auto& dev = devsim::device_spec(devsim::DeviceId::kOrinAgx);
+
+  const auto make_builder = [&](std::uint64_t seed_base) {
+    PipelineBuilder builder;
+    for (const auto& profile : {yolo, pose, depth})
+      builder.stage(
+          std::make_unique<SimulatedExecutor>(profile, dev, seed_base++));
+    return builder;
+  };
+
+  const PipelineStats analytic =
+      make_builder(1).deadline_ms(1000.0).build().run(500);
+  auto streaming =
+      make_builder(101).deadline_ms(1000.0).queue_capacity(4).build_streaming();
+  SyntheticSource source(500, 30.0);
+  const StreamReport report = streaming->run(source);
+
+  // Same composition law, independent jitter draws: distributions must
+  // agree well within the 10% acceptance tolerance.
+  EXPECT_NEAR(report.service_ms.mean(), analytic.per_frame.mean,
+              analytic.per_frame.mean * 0.10);
+  EXPECT_NEAR(report.service_ms.p50(), analytic.per_frame.median,
+              analytic.per_frame.median * 0.10);
+}
+
+TEST(StreamingPipeline, ParallelDisciplineTakesMaxLatency) {
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<TestExecutor>("fast", 2.0))
+      .stage(std::make_unique<TestExecutor>("slow", 10.0))
+      .discipline(Discipline::kParallel)
+      .deadline_ms(1000.0);
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(200, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  EXPECT_EQ(report.frames_completed, 200u);
+  EXPECT_NEAR(report.service_ms.mean(), 10.0, 10.0 * 0.05);
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].frames_in, 200u);
+  EXPECT_EQ(report.stages[1].frames_in, 200u);
+}
+
+TEST(StreamingPipeline, ParallelDisciplineRequiresLosslessQueues) {
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<TestExecutor>("a", 1.0))
+      .discipline(Discipline::kParallel)
+      .drop_policy(DropPolicy::kDropOldest);
+  EXPECT_THROW(builder.build_streaming(), Error);
+}
+
+TEST(StreamingPipeline, DeadlineMissesAreCounted) {
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<TestExecutor>("busy", 5.0))
+      .deadline_ms(1.0)
+      .emulate_occupancy();  // occupy the worker for the 5 modelled ms
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(50, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  EXPECT_EQ(report.frames_completed, 50u);
+  EXPECT_EQ(report.deadline_misses, 50u);  // every frame takes >= 5 ms
+  EXPECT_DOUBLE_EQ(report.deadline_miss_rate(), 1.0);
+  EXPECT_GE(report.e2e_ms.p50(), 5.0);
+}
+
+TEST(StreamingPipeline, DropOldestShedsLoadUnderPressure) {
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<TestExecutor>("slow", 4.0))
+      .queue_capacity(2)
+      .drop_policy(DropPolicy::kDropOldest)
+      .deadline_ms(1000.0)
+      .emulate_occupancy();
+  auto pipeline = builder.build_streaming();
+  // Unpaced source floods the 2-deep queue far faster than 4 ms/frame.
+  SyntheticSource source(120, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  EXPECT_EQ(report.frames_emitted, 120u);
+  EXPECT_GT(report.frames_dropped, 0u);
+  EXPECT_LT(report.frames_completed, 120u);
+  EXPECT_EQ(report.frames_completed + report.frames_dropped, 120u);
+  EXPECT_EQ(report.stages[0].queue_high_water, 2u);
+}
+
+TEST(StreamingPipeline, DropNewestKeepsEarliestFrames) {
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<TestExecutor>("slow", 4.0))
+      .queue_capacity(2)
+      .drop_policy(DropPolicy::kDropNewest)
+      .deadline_ms(1000.0)
+      .emulate_occupancy();
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(120, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  EXPECT_GT(report.frames_dropped, 0u);
+  EXPECT_EQ(report.frames_completed + report.frames_dropped, 120u);
+  // The queue was full of early frames; they survive, newcomers don't.
+  EXPECT_EQ(report.stages[0].queue_dropped, report.frames_dropped);
+}
+
+TEST(StreamingPipeline, WatchdogDegradesStalledStageAndRecovers) {
+  PipelineBuilder builder;
+  // Frames 5..7 stall the executor for 60 wall ms against a 15 ms budget.
+  builder.stage(std::make_unique<TestExecutor>("stall", 0.5, 5, 8, 60.0))
+      .stage_timeout_ms(15.0)
+      .degraded_cooldown_frames(4)
+      .deadline_ms(1000.0);
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(60, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  // Nothing wedged or was lost: every frame flowed through.
+  EXPECT_EQ(report.frames_completed, 60u);
+  EXPECT_EQ(report.frames_dropped, 0u);
+  const StageTelemetry& stage = report.stages[0];
+  // The watchdog fired at least once and the stage bypassed frames
+  // while degraded...
+  EXPECT_GE(stage.timeouts, 1u);
+  EXPECT_GT(stage.degraded, 0u);
+  EXPECT_GT(report.frames_degraded, 0u);
+  // ...then recovered: the tail of the stream ran clean, so only a
+  // small fraction of frames were touched.
+  EXPECT_LT(stage.degraded, 20u);
+}
+
+TEST(StreamingPipeline, PacedSourceHoldsFrameRate) {
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<TestExecutor>("fast", 0.1))
+      .source_fps(200.0)
+      .deadline_ms(1000.0);
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(50, 200.0);
+  const StreamReport report = pipeline->run(source);
+
+  EXPECT_EQ(report.frames_completed, 50u);
+  // 50 frames at 200 fps should take ~245 ms of stream time.
+  EXPECT_GE(report.wall_ms, 240.0);
+  EXPECT_NEAR(report.throughput_fps, 200.0, 40.0);
+}
+
+TEST(StreamingPipeline, TimeScaleReplaysFasterThanRealTime) {
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<TestExecutor>("stage", 10.0))
+      .source_fps(50.0)
+      .time_scale(0.1)  // 10x faster than the stream clock
+      .emulate_occupancy()
+      .deadline_ms(1000.0);
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(40, 50.0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const StreamReport report = pipeline->run(source);
+  const double real_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  EXPECT_EQ(report.frames_completed, 40u);
+  // Stream clock saw ~800 ms (40 frames at 50 fps); real time ~80 ms.
+  EXPECT_GE(report.wall_ms, 700.0);
+  EXPECT_LT(real_ms, report.wall_ms * 0.5);
+  // Reported latencies stay in stream-clock ms.
+  EXPECT_NEAR(report.service_ms.p50(), 10.0, 1.0);
+}
+
+TEST(StreamingPipeline, FaultyStageDegradesInsteadOfKillingTheStream) {
+  class ThrowingExecutor final : public Executor {
+   public:
+    FrameResult run(const FrameContext& ctx) override {
+      if (ctx.index % 2 == 1) throw Error("injected fault");
+      return {1.0, name_, StageStatus::kOk, nullptr};
+    }
+    const std::string& name() const noexcept override { return name_; }
+
+   private:
+    std::string name_ = "faulty";
+  };
+
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<ThrowingExecutor>())
+      .degraded_cooldown_frames(0)  // probe again immediately
+      .deadline_ms(1000.0);
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(20, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  EXPECT_EQ(report.frames_completed, 20u);
+  EXPECT_GT(report.stages[0].degraded, 0u);
+  EXPECT_GT(report.frames_degraded, 0u);
+}
+
+TEST(StreamReport, TextAndJsonRendering) {
+  auto pipeline =
+      three_fixed_stages(1.0, 2.0, 3.0).deadline_ms(100.0).build_streaming();
+  SyntheticSource source(25, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("25/25 frames completed"), std::string::npos);
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("a"), std::string::npos);
+
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"frames_completed\":25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocb::runtime
