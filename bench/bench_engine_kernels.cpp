@@ -1,0 +1,224 @@
+// Kernel-layer benchmark: packed SIMD GEMM vs the scalar fallback.
+//
+// Measures (a) GFLOP/s on conv-representative GEMM shapes — tall-skinny
+// [out_c × in_c·k·k] by wide [in_c·k·k × oh·ow] matrices like the ones
+// im2col produces — and (b) end-to-end Engine::run ns/frame for the
+// Ocularone VIP models at a reduced input scale, with the SIMD
+// dispatcher forced off and on. Emits the aligned tables plus a
+// machine-readable BENCH_kernels.json consumed by
+// scripts/check_bench_regression.py in CI.
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rng.hpp"
+#include "models/registry.hpp"
+#include "nn/engine.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/simd.hpp"
+
+using namespace ocb;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Run `body` repeatedly until `min_seconds` of wall time accumulates
+/// (at least twice), returning the best per-iteration seconds observed.
+template <typename F>
+double best_seconds(F&& body, double min_seconds) {
+  double best = 1e300;
+  double total = 0.0;
+  int iters = 0;
+  while (total < min_seconds || iters < 2) {
+    const auto t0 = Clock::now();
+    body();
+    const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    best = std::min(best, dt);
+    total += dt;
+    ++iters;
+  }
+  return best;
+}
+
+struct GemmShape {
+  const char* label;  ///< which conv family the shape stands in for
+  std::size_t m, k, n;
+};
+
+struct GemmResult {
+  GemmShape shape;
+  double scalar_gflops = 0.0;
+  double simd_gflops = 0.0;
+  double speedup() const noexcept {
+    return scalar_gflops > 0.0 ? simd_gflops / scalar_gflops : 0.0;
+  }
+};
+
+GemmResult bench_gemm_shape(const GemmShape& shape, double min_seconds) {
+  Rng rng(41);
+  std::vector<float> a(shape.m * shape.k), b(shape.k * shape.n);
+  std::vector<float> c(shape.m * shape.n);
+  std::vector<float> bias(shape.m, 0.1f);
+  for (float& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  const double flops = 2.0 * static_cast<double>(shape.m) *
+                       static_cast<double>(shape.k) *
+                       static_cast<double>(shape.n);
+  const GemmEpilogue epi{bias.data(), EpiAct::kSilu};
+  PackedA packed(a.data(), shape.m, shape.k);
+
+  GemmConfig scalar;
+  scalar.path = GemmPath::kScalar;
+  GemmConfig auto_path;  // SIMD when the dispatcher allows it
+
+  GemmResult result{shape};
+  const double scalar_s = best_seconds(
+      [&] { gemm_packed(packed, b.data(), c.data(), shape.n, false, epi,
+                        scalar); },
+      min_seconds);
+  const double simd_s = best_seconds(
+      [&] { gemm_packed(packed, b.data(), c.data(), shape.n, false, epi,
+                        auto_path); },
+      min_seconds);
+  result.scalar_gflops = flops / scalar_s * 1e-9;
+  result.simd_gflops = flops / simd_s * 1e-9;
+  return result;
+}
+
+struct ModelResult {
+  std::string name;
+  double input_scale = 0.0;
+  double scalar_ns_frame = 0.0;
+  double simd_ns_frame = 0.0;
+  double speedup() const noexcept {
+    return simd_ns_frame > 0.0 ? scalar_ns_frame / simd_ns_frame : 0.0;
+  }
+};
+
+ModelResult bench_model(models::ModelId id, double input_scale,
+                        double min_seconds) {
+  const nn::Graph graph = models::build_model(id, input_scale);
+  nn::Engine engine(graph, 1);
+  const nn::FeatShape in = graph.input_shape();
+  Tensor input({1, in.c, in.h, in.w});
+  Rng rng(5);
+  input.init_uniform(rng, 0.0f, 1.0f);
+  engine.run(input);  // warm-up: arena plan + packed panels settled
+
+  ModelResult result;
+  result.name = models::model_info(id).name;
+  result.input_scale = input_scale;
+
+  simd::set_simd_enabled(false);
+  result.scalar_ns_frame =
+      best_seconds([&] { engine.run(input); }, min_seconds) * 1e9;
+  simd::set_simd_enabled(true);
+  result.simd_ns_frame =
+      best_seconds([&] { engine.run(input); }, min_seconds) * 1e9;
+  return result;
+}
+
+std::string to_json(const std::vector<GemmResult>& gemms,
+                    const std::vector<ModelResult>& model_results) {
+  std::ostringstream out;
+  out << "{\n  \"simd\": \"" << simd::level_name(simd::active()) << "\",\n";
+  out << "  \"gemm\": [\n";
+  for (std::size_t i = 0; i < gemms.size(); ++i) {
+    const GemmResult& g = gemms[i];
+    out << "    {\"label\": \"" << g.shape.label << "\", \"m\": " << g.shape.m
+        << ", \"k\": " << g.shape.k << ", \"n\": " << g.shape.n
+        << ", \"scalar_gflops\": " << g.scalar_gflops
+        << ", \"simd_gflops\": " << g.simd_gflops
+        << ", \"speedup\": " << g.speedup() << "}"
+        << (i + 1 < gemms.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"models\": [\n";
+  for (std::size_t i = 0; i < model_results.size(); ++i) {
+    const ModelResult& m = model_results[i];
+    out << "    {\"name\": \"" << m.name
+        << "\", \"input_scale\": " << m.input_scale
+        << ", \"scalar_ns_frame\": " << m.scalar_ns_frame
+        << ", \"simd_ns_frame\": " << m.simd_ns_frame
+        << ", \"speedup\": " << m.speedup() << "}"
+        << (i + 1 < model_results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_engine_kernels",
+          "packed SIMD GEMM + fused epilogues vs the scalar fallback");
+  bench::add_common_flags(cli);
+  cli.add_double("min-seconds", 0.2,
+                 "minimum sampling time per measurement point");
+  cli.add_double("input-scale", 0.25,
+                 "model input scale for the ns/frame measurements");
+  cli.add_string("out", "BENCH_kernels.json",
+                 "machine-readable output path (empty disables)");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+
+  const double min_seconds = cli.real("min-seconds");
+
+  // im2col shapes from the VIP models' conv families: m = out channels,
+  // k = in_c·kh·kw, n = output pixels. Early layers are wide (large n),
+  // late layers deep (large k); the square shape is the GEMM headline.
+  const std::vector<GemmShape> shapes = {
+      {"stem 3x3", 16, 27, 4096},    {"stage2 3x3", 32, 144, 1024},
+      {"stage3 3x3", 64, 288, 256},  {"stage4 3x3", 128, 576, 64},
+      {"head 1x1", 64, 128, 400},    {"square", 192, 192, 192},
+  };
+
+  std::vector<GemmResult> gemms;
+  ResultTable gemm_table(
+      std::string("Packed GEMM, fused SiLU epilogue (simd: ") +
+          simd::level_name(simd::active()) + ")",
+      {"shape", "m", "k", "n", "scalar GF/s", "simd GF/s", "speedup"});
+  for (const GemmShape& shape : shapes) {
+    gemms.push_back(bench_gemm_shape(shape, min_seconds));
+    const GemmResult& g = gemms.back();
+    gemm_table.row()
+        .cell(g.shape.label)
+        .cell(static_cast<double>(g.shape.m), 0)
+        .cell(static_cast<double>(g.shape.k), 0)
+        .cell(static_cast<double>(g.shape.n), 0)
+        .cell(g.scalar_gflops, 2)
+        .cell(g.simd_gflops, 2)
+        .cell(g.speedup(), 2);
+  }
+
+  const std::vector<models::ModelId> model_ids = {
+      models::ModelId::kYoloV8n, models::ModelId::kTrtPose,
+      models::ModelId::kMonodepth2};
+  std::vector<ModelResult> model_results;
+  ResultTable model_table("Engine::run per frame (input scale " +
+                              format_fixed(cli.real("input-scale"), 2) + ")",
+                          {"model", "scalar ms", "simd ms", "speedup"});
+  for (models::ModelId id : model_ids) {
+    model_results.push_back(
+        bench_model(id, cli.real("input-scale"), min_seconds));
+    const ModelResult& m = model_results.back();
+    model_table.row()
+        .cell(m.name)
+        .cell(m.scalar_ns_frame * 1e-6, 2)
+        .cell(m.simd_ns_frame * 1e-6, 2)
+        .cell(m.speedup(), 2);
+  }
+
+  bench::emit(cli, {gemm_table, model_table});
+
+  if (!cli.string("out").empty()) {
+    std::ofstream file(cli.string("out"));
+    file << to_json(gemms, model_results);
+    std::cout << "wrote " << cli.string("out") << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_kernels.json against the committed baseline.
+
+Fails (exit 1) when any model's SIMD ns/frame regresses more than
+--tolerance (default 15%) over the baseline, or when the GEMM
+SIMD-vs-scalar speedup drops below --min-gemm-speedup on a machine
+whose dispatcher reports a SIMD level.
+
+Absolute ns/frame is only comparable on the machine that produced the
+baseline; on shared CI runners pass --ratio-only, which checks the
+machine-relative quantities (per-model scalar/SIMD speedup and GEMM
+GFLOP/s ratios) instead of wall-clock numbers.
+
+Usage:
+  scripts/check_bench_regression.py BENCH_kernels.json \
+      --baseline bench/baselines/BENCH_kernels.json [--tolerance 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def index_by(items: list[dict], key: str) -> dict[str, dict]:
+    return {item[key]: item for item in items}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated BENCH_kernels.json")
+    parser.add_argument(
+        "--baseline",
+        default="bench/baselines/BENCH_kernels.json",
+        help="committed reference results",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional ns/frame regression (0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--min-gemm-speedup",
+        type=float,
+        default=2.0,
+        help="minimum SIMD-vs-scalar GEMM speedup when SIMD is active",
+    )
+    parser.add_argument(
+        "--ratio-only",
+        action="store_true",
+        help="skip wall-clock comparisons (cross-machine CI runners)",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    failures: list[str] = []
+    simd_active = current.get("simd", "scalar") != "scalar"
+
+    base_models = index_by(baseline.get("models", []), "name")
+    for model in current.get("models", []):
+        name = model["name"]
+        if not args.ratio_only:
+            base = base_models.get(name)
+            if base is None:
+                continue
+            limit = base["simd_ns_frame"] * (1.0 + args.tolerance)
+            if model["simd_ns_frame"] > limit:
+                failures.append(
+                    f"{name}: simd ns/frame {model['simd_ns_frame']:.0f} "
+                    f"exceeds baseline {base['simd_ns_frame']:.0f} "
+                    f"+{args.tolerance:.0%}"
+                )
+        if simd_active and model["speedup"] < 1.0 - args.tolerance:
+            failures.append(
+                f"{name}: SIMD path slower than scalar "
+                f"(speedup {model['speedup']:.2f})"
+            )
+
+    if simd_active:
+        speedups = [g["speedup"] for g in current.get("gemm", [])]
+        if speedups and max(speedups) < args.min_gemm_speedup:
+            failures.append(
+                f"best GEMM speedup {max(speedups):.2f} below required "
+                f"{args.min_gemm_speedup:.2f}"
+            )
+
+    if failures:
+        print("bench regression check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+
+    checked = "ratios" if args.ratio_only else "ns/frame and ratios"
+    print(
+        f"bench regression check passed ({checked}, "
+        f"{len(current.get('models', []))} models, simd={current.get('simd')})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,7 @@
 #include "nn/engine.hpp"
 
+#include <algorithm>
+
 #include "core/error.hpp"
 
 namespace ocb::nn {
@@ -10,6 +12,10 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
   weights_.resize(static_cast<std::size_t>(n));
   biases_.resize(static_cast<std::size_t>(n));
   activations_.resize(static_cast<std::size_t>(n));
+  packed_.resize(static_cast<std::size_t>(n));
+  pack_dirty_.assign(static_cast<std::size_t>(n), 0);
+  concat_srcs_.resize(static_cast<std::size_t>(n));
+  concat_channels_.resize(static_cast<std::size_t>(n));
 
   for (int i = 0; i < n; ++i) {
     const Node& nd = graph_.node(i);
@@ -49,6 +55,51 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
         break;
     }
   }
+
+  // Load-time plan: pre-size every activation (pointers stay stable for
+  // the precomputed concat argument lists below), pack conv/linear
+  // weight panels, and reserve the arena for the largest im2col
+  // lowering any node needs.
+  std::size_t max_scratch_floats = 0;
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = graph_.node(i);
+    const FeatShape out = graph_.shape(i);
+    activations_[static_cast<std::size_t>(i)] =
+        Tensor({1, out.c, out.h, out.w});
+    if (nd.kind == OpKind::kConv || nd.kind == OpKind::kLinear) repack(i);
+    if (nd.kind == OpKind::kConv) {
+      const FeatShape s = graph_.shape(nd.inputs[0]);
+      const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel, nd.stride,
+                              nd.pad};
+      max_scratch_floats =
+          std::max(max_scratch_floats, geom.col_rows() * geom.col_cols());
+    }
+  }
+  scratch_.arena.reserve_bytes(max_scratch_floats * sizeof(float));
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = graph_.node(i);
+    if (nd.kind != OpKind::kConcat) continue;
+    for (int src : nd.inputs) {
+      concat_srcs_[static_cast<std::size_t>(i)].push_back(
+          activations_[static_cast<std::size_t>(src)].data());
+      concat_channels_[static_cast<std::size_t>(i)].push_back(
+          graph_.shape(src).c);
+    }
+  }
+}
+
+void Engine::repack(int node) {
+  const std::size_t i = static_cast<std::size_t>(node);
+  const Node& nd = graph_.node(node);
+  const FeatShape in0 = graph_.shape(nd.inputs[0]);
+  if (nd.kind == OpKind::kConv) {
+    packed_[i].pack(weights_[i].data(), static_cast<std::size_t>(nd.out_c),
+                    static_cast<std::size_t>(in0.c) * nd.kernel * nd.kernel);
+  } else if (nd.kind == OpKind::kLinear) {
+    packed_[i].pack(weights_[i].data(), static_cast<std::size_t>(nd.out_c),
+                    in0.numel());
+  }
+  pack_dirty_[i] = 0;
 }
 
 std::vector<Tensor> Engine::run(const Tensor& input) {
@@ -62,8 +113,7 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
     const Node& nd = graph_.node(i);
     const FeatShape out = graph_.shape(i);
     Tensor& dst = activations_[static_cast<std::size_t>(i)];
-    if (!(dst.shape() == Shape{1, out.c, out.h, out.w}))
-      dst = Tensor({1, out.c, out.h, out.w});
+    if (pack_dirty_[static_cast<std::size_t>(i)] != 0) repack(i);
 
     auto src = [&](std::size_t k) -> const Tensor& {
       return activations_[static_cast<std::size_t>(nd.inputs[k])];
@@ -71,13 +121,15 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
 
     switch (nd.kind) {
       case OpKind::kInput:
-        dst = input;
+        // Same-shape copy: the pre-sized buffer is reused, keeping the
+        // activation pointer (and concat lists) stable.
+        std::copy_n(input.data(), input.numel(), dst.data());
         break;
       case OpKind::kConv: {
         const FeatShape s = graph_.shape(nd.inputs[0]);
         const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
                                 nd.stride, nd.pad};
-        conv2d(src(0).data(), geom, nd.out_c, weights_[i].data(),
+        conv2d(src(0).data(), geom, packed_[static_cast<std::size_t>(i)],
                biases_[i].data(), nd.act, dst.data(), scratch_);
         break;
       }
@@ -108,16 +160,11 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
         upsample2x_nearest(src(0).data(), s.c, s.h, s.w, dst.data());
         break;
       }
-      case OpKind::kConcat: {
-        std::vector<const float*> ptrs;
-        std::vector<int> channels;
-        for (std::size_t k = 0; k < nd.inputs.size(); ++k) {
-          ptrs.push_back(src(k).data());
-          channels.push_back(graph_.shape(nd.inputs[k]).c);
-        }
-        concat_channels(ptrs, channels, out.h, out.w, dst.data());
+      case OpKind::kConcat:
+        concat_channels(concat_srcs_[static_cast<std::size_t>(i)],
+                        concat_channels_[static_cast<std::size_t>(i)], out.h,
+                        out.w, dst.data());
         break;
-      }
       case OpKind::kAdd:
         add_elementwise(src(0).data(), src(1).data(), out.numel(),
                         dst.data());
@@ -135,14 +182,14 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
         break;
       }
       case OpKind::kLinear: {
-        const FeatShape s = graph_.shape(nd.inputs[0]);
-        linear(src(0).data(), s.numel(), nd.out_c, weights_[i].data(),
+        linear(src(0).data(), packed_[static_cast<std::size_t>(i)],
                biases_[i].data(), nd.act, dst.data());
         break;
       }
     }
   }
 
+  has_run_ = true;
   std::vector<Tensor> outputs;
   outputs.reserve(graph_.outputs().size());
   for (int node : graph_.outputs())
@@ -152,15 +199,15 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
 
 const Tensor& Engine::node_output(int node) const {
   OCB_CHECK(node >= 0 && node < graph_.node_count());
-  const Tensor& t = activations_[static_cast<std::size_t>(node)];
-  OCB_CHECK_MSG(!t.empty(), "node_output before run()");
-  return t;
+  OCB_CHECK_MSG(has_run_, "node_output before run()");
+  return activations_[static_cast<std::size_t>(node)];
 }
 
 Tensor& Engine::weight(int node) {
   OCB_CHECK(node >= 0 && node < graph_.node_count());
   OCB_CHECK_MSG(!weights_[static_cast<std::size_t>(node)].empty(),
                 "node has no weights");
+  pack_dirty_[static_cast<std::size_t>(node)] = 1;
   return weights_[static_cast<std::size_t>(node)];
 }
 

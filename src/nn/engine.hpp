@@ -5,6 +5,14 @@
 // trained values, so He-initialised weights stand in for checkpoints.
 // (Accuracy experiments use the separately *trained* MiniYolo models —
 // see src/trainer.)
+//
+// Steady-state frame path: every conv/linear weight matrix is repacked
+// once at load time into PackedA tile panels (re-done lazily if a test
+// or trainer mutates weight()), activations are pre-allocated from the
+// graph's shape plan, concat argument lists are precomputed, and the
+// im2col scratch comes from an arena reserved for the largest lowering
+// in the graph — so run() performs no heap allocation for compute
+// buffers after construction (see scratch_arena() for the test hook).
 #pragma once
 
 #include <cstdint>
@@ -18,7 +26,8 @@ namespace ocb::nn {
 class Engine {
  public:
   /// Allocates and initialises all parameters (He-normal, per-node
-  /// deterministic seeds derived from `seed`).
+  /// deterministic seeds derived from `seed`), packs weight panels and
+  /// reserves the scratch arena from the graph's im2col plan.
   Engine(const Graph& graph, std::uint64_t seed = 1);
 
   const Graph& graph() const noexcept { return graph_; }
@@ -32,15 +41,28 @@ class Engine {
   const Tensor& node_output(int node) const;
 
   /// Direct access to a conv/linear node's weights (tests & trainer).
+  /// Mutating the returned tensor marks the node's packed panels dirty;
+  /// they are repacked on the next run().
   Tensor& weight(int node);
   Tensor& bias(int node);
 
+  /// The im2col scratch arena. Tests assert the frame path stays
+  /// allocation-free: stats().grows must remain 0 across run() calls.
+  const Arena& scratch_arena() const noexcept { return scratch_.arena; }
+
  private:
+  void repack(int node);
+
   Graph graph_;  // engine owns an immutable copy of the structure
   std::vector<Tensor> weights_;
   std::vector<Tensor> biases_;
   std::vector<Tensor> activations_;
+  std::vector<PackedA> packed_;      ///< per-node weight panels (conv/linear)
+  std::vector<char> pack_dirty_;     ///< weight() handed out since last pack
+  std::vector<std::vector<const float*>> concat_srcs_;
+  std::vector<std::vector<int>> concat_channels_;
   ConvScratch scratch_;
+  bool has_run_ = false;  ///< activations hold real data (vs zero-fill)
 };
 
 }  // namespace ocb::nn

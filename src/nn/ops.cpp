@@ -8,23 +8,55 @@
 
 namespace ocb::nn {
 
+EpiAct to_epilogue_act(Act act) noexcept {
+  switch (act) {
+    case Act::kNone: return EpiAct::kNone;
+    case Act::kRelu: return EpiAct::kRelu;
+    case Act::kSilu: return EpiAct::kSilu;
+    case Act::kSigmoid: return EpiAct::kSigmoid;
+  }
+  return EpiAct::kNone;
+}
+
+namespace {
+
+/// Bump-allocate the column matrix and lower the input onto it. The
+/// arena rewinds per call: the buffer only lives for the GEMM below.
+float* im2col_scratch(const float* input, const ConvGeometry& geom,
+                      ConvScratch& scratch) {
+  scratch.arena.reset();
+  float* col = scratch.arena.alloc_floats(geom.col_rows() * geom.col_cols());
+  im2col(input, geom, col);
+  return col;
+}
+
+inline float activate_scalar(Act act, float v) noexcept {
+  switch (act) {
+    case Act::kNone: return v;
+    case Act::kRelu: return v < 0.0f ? 0.0f : v;
+    case Act::kSilu: return fast_silu(v);
+    case Act::kSigmoid: return fast_sigmoid(v);
+  }
+  return v;
+}
+
+}  // namespace
+
 void conv2d(const float* input, const ConvGeometry& geom, int out_c,
             const float* weight, const float* bias, Act act, float* output,
             ConvScratch& scratch) {
-  const std::size_t rows = geom.col_rows();
-  const std::size_t cols = geom.col_cols();
-  scratch.col.resize(rows * cols);
-  im2col(input, geom, scratch.col.data());
-  gemm(weight, scratch.col.data(), output, static_cast<std::size_t>(out_c),
-       rows, cols);
-  if (bias != nullptr) {
-    for (int oc = 0; oc < out_c; ++oc) {
-      float* row = output + static_cast<std::size_t>(oc) * cols;
-      const float b = bias[oc];
-      for (std::size_t i = 0; i < cols; ++i) row[i] += b;
-    }
-  }
-  apply_activation(act, output, static_cast<std::size_t>(out_c) * cols);
+  const float* col = im2col_scratch(input, geom, scratch);
+  gemm_ex(weight, col, output, static_cast<std::size_t>(out_c),
+          geom.col_rows(), geom.col_cols(), /*accumulate=*/false,
+          GemmEpilogue{bias, to_epilogue_act(act)});
+}
+
+void conv2d(const float* input, const ConvGeometry& geom,
+            const PackedA& weight, const float* bias, Act act, float* output,
+            ConvScratch& scratch) {
+  const float* col = im2col_scratch(input, geom, scratch);
+  gemm_packed(weight, col, output, geom.col_cols(), /*accumulate=*/false,
+              GemmEpilogue{bias, to_epilogue_act(act)});
 }
 
 void dwconv2d(const float* input, const ConvGeometry& geom,
@@ -53,11 +85,10 @@ void dwconv2d(const float* input, const ConvGeometry& geom,
                    src[static_cast<std::size_t>(sy) * geom.in_w + sx];
           }
         }
-        dst[static_cast<std::size_t>(y) * ow + x] = acc;
+        dst[static_cast<std::size_t>(y) * ow + x] = activate_scalar(act, acc);
       }
     }
   }
-  apply_activation(act, output, static_cast<std::size_t>(geom.in_c) * out_plane);
 }
 
 void deconv2d_2x(const float* input, int in_c, int in_h, int in_w, int out_c,
@@ -184,9 +215,14 @@ void linear(const float* input, std::size_t in_features, int out_features,
     const float* w = weight + static_cast<std::size_t>(o) * in_features;
     float acc = bias != nullptr ? bias[o] : 0.0f;
     for (std::size_t i = 0; i < in_features; ++i) acc += w[i] * input[i];
-    output[o] = acc;
+    output[o] = activate_scalar(act, acc);
   }
-  apply_activation(act, output, static_cast<std::size_t>(out_features));
+}
+
+void linear(const float* input, const PackedA& weight, const float* bias,
+            Act act, float* output) {
+  gemm_packed(weight, input, output, /*n=*/1, /*accumulate=*/false,
+              GemmEpilogue{bias, to_epilogue_act(act)});
 }
 
 }  // namespace ocb::nn

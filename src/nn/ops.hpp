@@ -1,22 +1,34 @@
 // Kernel implementations for the inference engine.
 //
 // All buffers are contiguous CHW float32 for a batch of one; the Engine
-// drives these per node. Convolution lowers to im2col + GEMM; the other
+// drives these per node. Convolution lowers to im2col + GEMM with the
+// bias + activation epilogue fused into the GEMM write-back; the other
 // ops are direct loops (they are bandwidth-bound and simple).
+//
+// Two conv entry points: the pointer-weight overload packs the weight
+// matrix per call (tests, one-shot users), while the PackedA overload
+// consumes a weight panel cached by the Engine at load time — the
+// steady-state frame path.
 #pragma once
 
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 
 namespace ocb::nn {
 
-/// Scratch space reused across conv invocations to avoid reallocating
-/// the column matrix per layer.
+/// Scratch space reused across conv invocations; the arena is reserved
+/// once from the engine's dry-run plan so the im2col buffer costs a
+/// pointer bump per layer instead of an allocator round-trip.
 struct ConvScratch {
-  std::vector<float> col;
+  Arena arena;
 };
+
+/// The GEMM-epilogue activation matching `act`.
+EpiAct to_epilogue_act(Act act) noexcept;
 
 /// output[out_c × oh × ow] = act(W · im2col(input) + b).
 /// `weight` is [out_c × (in_c·k·k)] row-major, `bias` is [out_c].
@@ -24,7 +36,14 @@ void conv2d(const float* input, const ConvGeometry& geom, int out_c,
             const float* weight, const float* bias, Act act, float* output,
             ConvScratch& scratch);
 
+/// conv2d over a pre-packed weight matrix (see PackedA) — no per-call
+/// packing, fused epilogue, arena-backed im2col.
+void conv2d(const float* input, const ConvGeometry& geom,
+            const PackedA& weight, const float* bias, Act act, float* output,
+            ConvScratch& scratch);
+
 /// Depthwise conv: one k×k filter per channel. `weight` is [c × k·k].
+/// Bias and activation are fused into the output loop.
 void dwconv2d(const float* input, const ConvGeometry& geom,
               const float* weight, const float* bias, Act act, float* output);
 
@@ -56,5 +75,9 @@ void global_avg_pool(const float* input, int c, int h, int w, float* output);
 /// output[out] = act(W · flatten(input) + b); weight is [out × in].
 void linear(const float* input, std::size_t in_features, int out_features,
             const float* weight, const float* bias, Act act, float* output);
+
+/// linear over a pre-packed weight matrix with fused epilogue.
+void linear(const float* input, const PackedA& weight, const float* bias,
+            Act act, float* output);
 
 }  // namespace ocb::nn

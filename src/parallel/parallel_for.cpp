@@ -30,11 +30,16 @@ double parallel_sum(std::size_t n,
   }
 
   // Static chunking with per-chunk partials: no shared mutable state
-  // inside the hot loop, one write per chunk.
+  // inside the hot loop, one write per chunk. Partials are padded to a
+  // cache line — adjacent doubles would otherwise ping-pong the line
+  // between the pool threads that own neighbouring chunks.
+  struct alignas(64) PaddedPartial {
+    double value = 0.0;
+  };
   const std::size_t chunks =
       std::min(pool.size() * 4, (n + grain - 1) / grain);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  std::vector<double> partial(chunks, 0.0);
+  std::vector<PaddedPartial> partial(chunks);
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
@@ -44,13 +49,13 @@ double parallel_sum(std::size_t n,
     futures.push_back(pool.submit([&fn, &partial, c, lo, hi] {
       double acc = 0.0;
       for (std::size_t i = lo; i < hi; ++i) acc += fn(i);
-      partial[c] = acc;
+      partial[c].value = acc;
     }));
   }
   for (auto& f : futures) f.get();
 
   double total = 0.0;
-  for (double p : partial) total += p;
+  for (const PaddedPartial& p : partial) total += p.value;
   return total;
 }
 

@@ -1,0 +1,120 @@
+// Bump-pointer inference arena.
+//
+// Engine::run used to resize a std::vector scratch buffer per conv
+// layer; under a streaming workload that is one allocator round-trip
+// per layer per frame. The arena replaces it: capacity is reserved once
+// from a dry-run plan (Engine knows every im2col footprint at load
+// time), after which alloc() is a pointer bump and reset() rewinds the
+// whole arena between uses. Stats expose block growth so tests can
+// assert the hot path stays allocation-free after warm-up.
+//
+// Lifetime rules: pointers returned by alloc() are valid until the next
+// reset(); the arena never hands memory back mid-cycle. It is not
+// thread-safe — each Engine (and therefore each streaming worker) owns
+// its own arena.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ocb {
+
+class Arena {
+ public:
+  struct Stats {
+    std::size_t capacity_bytes = 0;  ///< total reserved storage
+    std::size_t peak_bytes = 0;      ///< high-water usage within a cycle
+    std::size_t cycle_bytes = 0;     ///< bytes handed out since reset()
+    std::size_t alloc_calls = 0;     ///< alloc() invocations (lifetime)
+    std::size_t block_allocs = 0;    ///< heap blocks ever reserved
+    std::size_t grows = 0;           ///< allocs that outgrew the plan
+  };
+
+  static constexpr std::size_t kAlign = 32;  // AVX2 vector width
+
+  Arena() = default;
+
+  /// Pre-reserve `bytes` of storage (the dry-run plan). Idempotent for
+  /// shrinking requests; growing requests add one block.
+  void reserve_bytes(std::size_t bytes) {
+    if (bytes <= stats_.capacity_bytes) return;
+    add_block(bytes - stats_.capacity_bytes);
+  }
+
+  /// Bump-allocate `bytes` aligned to kAlign. Grows (one new block,
+  /// counted in stats) only when the plan under-reserved.
+  void* alloc(std::size_t bytes) {
+    ++stats_.alloc_calls;
+    const std::size_t need = aligned(bytes == 0 ? 1 : bytes);
+    Block* blk = current_ < blocks_.size() ? &blocks_[current_] : nullptr;
+    if (blk == nullptr || blk->offset + need > blk->size) {
+      // Try the next pre-reserved block before touching the heap.
+      std::size_t next = current_ + (blk != nullptr ? 1 : 0);
+      while (next < blocks_.size() && blocks_[next].size < need) ++next;
+      if (next >= blocks_.size()) {
+        ++stats_.grows;
+        add_block(need);
+        next = blocks_.size() - 1;
+      }
+      current_ = next;
+      blk = &blocks_[current_];
+    }
+    void* p = blk->base + blk->offset;
+    blk->offset += need;
+    used_ += need;
+    stats_.cycle_bytes = used_;
+    stats_.peak_bytes = std::max(stats_.peak_bytes, used_);
+    return p;
+  }
+
+  float* alloc_floats(std::size_t n) {
+    return static_cast<float*>(alloc(n * sizeof(float)));
+  }
+
+  /// Rewind the bump pointer; storage is retained for the next cycle.
+  void reset() noexcept {
+    for (Block& b : blocks_) b.offset = 0;
+    current_ = 0;
+    used_ = 0;
+    stats_.cycle_bytes = 0;
+  }
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t capacity_bytes() const noexcept {
+    return stats_.capacity_bytes;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> storage;
+    unsigned char* base = nullptr;  // kAlign-aligned view into storage
+    std::size_t size = 0;
+    std::size_t offset = 0;
+  };
+
+  static std::size_t aligned(std::size_t bytes) noexcept {
+    return (bytes + kAlign - 1) / kAlign * kAlign;
+  }
+
+  void add_block(std::size_t bytes) {
+    bytes = aligned(bytes);
+    Block blk;
+    blk.storage = std::make_unique<unsigned char[]>(bytes + kAlign);
+    const auto addr = reinterpret_cast<std::uintptr_t>(blk.storage.get());
+    blk.base = blk.storage.get() + (aligned(addr) - addr);
+    blk.size = bytes;
+    blocks_.push_back(std::move(blk));
+    stats_.capacity_bytes += bytes;
+    ++stats_.block_allocs;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+  std::size_t used_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ocb

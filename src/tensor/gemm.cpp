@@ -1,10 +1,15 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
+#include "core/error.hpp"
 #include "parallel/parallel_for.hpp"
+#include "tensor/gemm_kernels.hpp"
+#include "tensor/simd.hpp"
 
 namespace ocb {
 
@@ -19,11 +24,105 @@ void gemm_naive(const float* a, const float* b, float* c, std::size_t m,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fast activations (scalar reference; gemm_avx2.cpp vectorises the same
+// algorithm). exp(x) = 2^i · e^u with t = x/ln2, i = round(t),
+// u = (t−i)·ln2 ∈ [−ln2/2, ln2/2]; e^u by a degree-6 Taylor polynomial
+// whose truncation error ≤ (ln2/2)^7/7! ≈ 1.2e-7 relative — about
+// 1 float ULP, ≤ 2 ULP end-to-end with rounding. Inputs are clamped to
+// [−87, 88] (beyond which float exp under/overflows anyway), which the
+// sigmoid/SiLU users never notice: sigmoid saturates to 0/1 in float
+// by |x| ≈ 17.
+// ---------------------------------------------------------------------------
+
+float fast_exp(float x) noexcept {
+  x = std::min(88.0f, std::max(-87.0f, x));
+  const float t = x * 1.4426950408889634f;  // x / ln 2
+  const float fi = std::floor(t + 0.5f);
+  // Cody–Waite reduction: ln2 split so fi·ln2_hi is exact for |fi| ≤ 2^7
+  // (ln2_hi carries 10 significand bits). A single-constant (t−fi)·ln2
+  // would leak |x|·ε ≈ 1e-5 of reduction error at the clamp boundary.
+  const float u = (x - fi * 0.693359375f) + fi * 2.12194440e-4f;
+  float p = 1.0f / 720.0f;
+  p = p * u + 1.0f / 120.0f;
+  p = p * u + 1.0f / 24.0f;
+  p = p * u + 1.0f / 6.0f;
+  p = p * u + 0.5f;
+  p = p * u + 1.0f;
+  p = p * u + 1.0f;
+  std::int32_t bits = (static_cast<std::int32_t>(fi) + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return p * scale;
+}
+
+float fast_sigmoid(float x) noexcept { return 1.0f / (1.0f + fast_exp(-x)); }
+
+float fast_silu(float x) noexcept { return x / (1.0f + fast_exp(-x)); }
+
+namespace detail {
+
+void epilogue_row_scalar(float* row, std::size_t n, float bias, EpiAct act) {
+  switch (act) {
+    case EpiAct::kNone:
+      if (bias != 0.0f)
+        for (std::size_t j = 0; j < n; ++j) row[j] += bias;
+      return;
+    case EpiAct::kRelu:
+      for (std::size_t j = 0; j < n; ++j) {
+        const float v = row[j] + bias;
+        row[j] = v < 0.0f ? 0.0f : v;
+      }
+      return;
+    case EpiAct::kSilu:
+      for (std::size_t j = 0; j < n; ++j) {
+        const float v = row[j] + bias;
+        row[j] = v / (1.0f + fast_exp(-v));
+      }
+      return;
+    case EpiAct::kSigmoid:
+      for (std::size_t j = 0; j < n; ++j)
+        row[j] = 1.0f / (1.0f + fast_exp(-(row[j] + bias)));
+      return;
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// PackedA
+// ---------------------------------------------------------------------------
+
+void PackedA::pack(const float* a, std::size_t m, std::size_t k) {
+  m_ = m;
+  k_ = k;
+  const std::size_t panels = panel_count();
+  data_.resize(panels * kRowTile * k);
+  for (std::size_t p = 0; p < panels; ++p) {
+    const std::size_t i0 = p * kRowTile;
+    const std::size_t mr = std::min(kRowTile, m - i0);
+    float* dst = data_.data() + p * kRowTile * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      for (std::size_t r = 0; r < mr; ++r)
+        dst[kk * kRowTile + r] = a[(i0 + r) * k + kk];
+      for (std::size_t r = mr; r < kRowTile; ++r)
+        dst[kk * kRowTile + r] = 0.0f;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels
+// ---------------------------------------------------------------------------
+
 namespace {
 
 // Inner kernel: C[mb×nb] += A[mb×kb] · B[kb×nb] with the k-loop hoisted
 // outside the j-loop so B rows stream sequentially (unit stride) and the
-// compiler can vectorise the j-loop.
+// compiler can vectorise the j-loop. The SkipZero variant keeps the old
+// per-element zero test for callers with genuinely sparse A — in the
+// dense case that branch defeats vectorisation, so it is opt-in.
+template <bool SkipZero>
 void micro_kernel(const float* a, const float* b, float* c, std::size_t mb,
                   std::size_t kb, std::size_t nb, std::size_t lda,
                   std::size_t ldb, std::size_t ldc) {
@@ -31,19 +130,18 @@ void micro_kernel(const float* a, const float* b, float* c, std::size_t mb,
     float* crow = c + i * ldc;
     for (std::size_t p = 0; p < kb; ++p) {
       const float aval = a[i * lda + p];
-      if (aval == 0.0f) continue;
+      if constexpr (SkipZero) {
+        if (aval == 0.0f) continue;
+      }
       const float* brow = b + p * ldb;
       for (std::size_t j = 0; j < nb; ++j) crow[j] += aval * brow[j];
     }
   }
 }
 
-}  // namespace
-
-void gemm(const float* a, const float* b, float* c, std::size_t m,
-          std::size_t k, std::size_t n, bool accumulate,
-          const GemmConfig& config) {
-  if (m == 0 || n == 0) return;
+void gemm_scalar_blocked(const float* a, const float* b, float* c,
+                         std::size_t m, std::size_t k, std::size_t n,
+                         bool accumulate, const GemmConfig& config) {
   if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
   if (k == 0) return;
 
@@ -58,8 +156,12 @@ void gemm(const float* a, const float* b, float* c, std::size_t m,
       const std::size_t kb = std::min(bk, k - p0);
       for (std::size_t j0 = 0; j0 < n; j0 += bn) {
         const std::size_t nb = std::min(bn, n - j0);
-        micro_kernel(a + i0 * k + p0, b + p0 * n + j0, c + i0 * n + j0, mb,
-                     kb, nb, k, n, n);
+        if (config.skip_zero)
+          micro_kernel<true>(a + i0 * k + p0, b + p0 * n + j0,
+                             c + i0 * n + j0, mb, kb, nb, k, n, n);
+        else
+          micro_kernel<false>(a + i0 * k + p0, b + p0 * n + j0,
+                              c + i0 * n + j0, mb, kb, nb, k, n, n);
       }
     }
   };
@@ -69,6 +171,144 @@ void gemm(const float* a, const float* b, float* c, std::size_t m,
     parallel_for(0, panels, row_panel, /*grain=*/1);
   } else {
     for (std::size_t panel = 0; panel < panels; ++panel) row_panel(panel);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void gemm_packed_scalar(const PackedA& a, const float* b, float* c,
+                        std::size_t n, bool accumulate,
+                        const GemmEpilogue& epilogue, bool parallel) {
+  constexpr std::size_t MR = PackedA::kRowTile;
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+
+  auto panel_job = [&](std::size_t p) {
+    const float* ap = a.panel(p);
+    const std::size_t i0 = p * MR;
+    const std::size_t mr = std::min(MR, m - i0);
+    float* cpanel = c + i0 * n;
+    if (!accumulate) std::memset(cpanel, 0, mr * n * sizeof(float));
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* brow = b + kk * n;
+      for (std::size_t r = 0; r < mr; ++r) {
+        const float aval = ap[kk * MR + r];
+        float* crow = cpanel + r * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
+    }
+    if (epilogue.active()) {
+      for (std::size_t r = 0; r < mr; ++r)
+        epilogue_row_scalar(
+            cpanel + r * n, n,
+            epilogue.bias != nullptr ? epilogue.bias[i0 + r] : 0.0f,
+            epilogue.act);
+    }
+  };
+
+  const std::size_t panels = a.panel_count();
+  if (parallel && panels > 1) {
+    parallel_for(0, panels, panel_job, /*grain=*/1);
+  } else {
+    for (std::size_t p = 0; p < panels; ++p) panel_job(p);
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool use_simd(const GemmConfig& config) noexcept {
+  switch (config.path) {
+    case GemmPath::kScalar: return false;
+    case GemmPath::kSimd:
+    case GemmPath::kAuto: return simd::active() == simd::Level::kAvx2;
+  }
+  return false;
+}
+
+// Per-thread packing buffer so repeated gemm() calls (im2col conv in a
+// streaming worker, autograd) do not reallocate per invocation.
+PackedA& thread_pack_buffer() {
+  thread_local PackedA pack;
+  return pack;
+}
+
+}  // namespace
+
+void gemm_ex(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate,
+             const GemmEpilogue& epilogue, const GemmConfig& config) {
+  if (m == 0 || n == 0) return;
+  OCB_CHECK_MSG(!(epilogue.active() && accumulate),
+                "fused epilogue requires accumulate == false");
+  if (k == 0) {
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+    if (epilogue.active())
+      for (std::size_t i = 0; i < m; ++i)
+        detail::epilogue_row_scalar(
+            c + i * n, n, epilogue.bias != nullptr ? epilogue.bias[i] : 0.0f,
+            epilogue.act);
+    return;
+  }
+
+  if (use_simd(config)) {
+    PackedA& pack = thread_pack_buffer();
+    pack.pack(a, m, k);
+    detail::gemm_packed_avx2(pack, b, c, n, accumulate, epilogue,
+                             config.parallel);
+    return;
+  }
+
+  gemm_scalar_blocked(a, b, c, m, k, n, accumulate, config);
+  if (epilogue.active()) {
+    auto row_epilogue = [&](std::size_t i) {
+      detail::epilogue_row_scalar(
+          c + i * n, n, epilogue.bias != nullptr ? epilogue.bias[i] : 0.0f,
+          epilogue.act);
+    };
+    if (config.parallel && m > 1) {
+      parallel_for(0, m, row_epilogue, /*grain=*/8);
+    } else {
+      for (std::size_t i = 0; i < m; ++i) row_epilogue(i);
+    }
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate,
+          const GemmConfig& config) {
+  gemm_ex(a, b, c, m, k, n, accumulate, GemmEpilogue{}, config);
+}
+
+void gemm_packed(const PackedA& a, const float* b, float* c, std::size_t n,
+                 bool accumulate, const GemmEpilogue& epilogue,
+                 const GemmConfig& config) {
+  const std::size_t m = a.rows();
+  if (m == 0 || n == 0) return;
+  OCB_CHECK_MSG(!(epilogue.active() && accumulate),
+                "fused epilogue requires accumulate == false");
+  if (a.cols() == 0) {
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+    if (epilogue.active())
+      for (std::size_t i = 0; i < m; ++i)
+        detail::epilogue_row_scalar(
+            c + i * n, n, epilogue.bias != nullptr ? epilogue.bias[i] : 0.0f,
+            epilogue.act);
+    return;
+  }
+  if (use_simd(config)) {
+    detail::gemm_packed_avx2(a, b, c, n, accumulate, epilogue,
+                             config.parallel);
+  } else {
+    detail::gemm_packed_scalar(a, b, c, n, accumulate, epilogue,
+                               config.parallel);
   }
 }
 

@@ -1,29 +1,117 @@
-// Single-precision GEMM.
+// Single-precision GEMM with packed panels, fused epilogues and
+// runtime SIMD dispatch.
 //
-// C[M×N] (+)= A[M×K] · B[K×N], row-major. The kernel is cache-blocked
-// and parallelised over row panels of C via the global thread pool.
-// Convolution lowers onto this through im2col (see im2col.hpp) — the
-// design decision ablated by bench_engine_ops.
+// C[M×N] (+)= A[M×K] · B[K×N], row-major. Two executions paths sit
+// behind one dispatcher (see simd.hpp):
+//   - an AVX2/FMA micro-kernel over tile-major packed A panels
+//     (tensor/gemm_avx2.cpp, compiled with -mavx2 -mfma only), and
+//   - a cache-blocked scalar fallback, bit-stable across machines.
+// Convolution lowers onto this through im2col (see im2col.hpp); the
+// engine pre-packs each layer's weight matrix once (PackedA) and fuses
+// bias + activation into the GEMM write-back so the conv hot path makes
+// a single pass over C.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 namespace ocb {
+
+/// Which kernel the dispatcher should use.
+enum class GemmPath {
+  kAuto,    ///< SIMD when compiled in, CPU-supported and not disabled
+  kScalar,  ///< force the scalar blocked fallback
+  kSimd,    ///< request SIMD; silently falls back if unavailable
+};
 
 struct GemmConfig {
   std::size_t block_m = 64;
   std::size_t block_n = 256;
   std::size_t block_k = 128;
   bool parallel = true;
+  /// Scalar fallback only: skip zero A elements in the inner loop.
+  /// Off by default — the branch defeats vectorisation on dense
+  /// matrices; opt in for genuinely sparse A (e.g. pruned weights).
+  bool skip_zero = false;
+  GemmPath path = GemmPath::kAuto;
 };
 
-/// C = A·B (beta = 0) or C += A·B (accumulate = true).
+/// Activation fused into the GEMM write-back. Mirrors nn::Act without
+/// inverting the tensor→nn layering.
+enum class EpiAct { kNone, kRelu, kSilu, kSigmoid };
+
+/// Fused epilogue applied as C is written back: per-row bias add then
+/// activation. Only valid with accumulate == false — with accumulate
+/// the C tile is re-read and the activation would compose with already
+/// activated values (see DESIGN.md §7).
+struct GemmEpilogue {
+  const float* bias = nullptr;  ///< length M, added to every row i; optional
+  EpiAct act = EpiAct::kNone;
+
+  bool active() const noexcept {
+    return bias != nullptr || act != EpiAct::kNone;
+  }
+};
+
+/// A-matrix repacked into tile-major row panels: ceil(M / kRowTile)
+/// panels, each storing its rows k-major (`panel[k·kRowTile + r]`) so
+/// the micro-kernel broadcasts consecutive floats. Short final panels
+/// are zero-padded. Pack once per weight matrix, reuse every frame.
+class PackedA {
+ public:
+  /// Micro-kernel row tile (MR). 6 rows × 16 columns leaves the AVX2
+  /// register file a 12-accumulator tile + 2 B loads + 1 broadcast,
+  /// exactly filling 15 of 16 ymm registers without spills.
+  static constexpr std::size_t kRowTile = 6;
+
+  PackedA() = default;
+  PackedA(const float* a, std::size_t m, std::size_t k) { pack(a, m, k); }
+
+  /// (Re)pack a row-major M×K matrix. Reuses storage when shapes match.
+  void pack(const float* a, std::size_t m, std::size_t k);
+
+  std::size_t rows() const noexcept { return m_; }
+  std::size_t cols() const noexcept { return k_; }
+  bool empty() const noexcept { return m_ == 0; }
+  std::size_t panel_count() const noexcept {
+    return (m_ + kRowTile - 1) / kRowTile;
+  }
+  /// Pointer to panel p (rows [p·kRowTile, p·kRowTile + kRowTile)).
+  const float* panel(std::size_t p) const noexcept {
+    return data_.data() + p * kRowTile * k_;
+  }
+
+ private:
+  std::vector<float> data_;
+  std::size_t m_ = 0, k_ = 0;
+};
+
+/// C = A·B (or C += A·B when accumulate). Dispatches per GemmConfig.
 void gemm(const float* a, const float* b, float* c, std::size_t m,
           std::size_t k, std::size_t n, bool accumulate = false,
           const GemmConfig& config = {});
 
+/// gemm with a fused epilogue (bias + activation in the write-back).
+/// Requires accumulate == false when the epilogue is active.
+void gemm_ex(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate,
+             const GemmEpilogue& epilogue, const GemmConfig& config = {});
+
+/// gemm over a pre-packed A — the frame hot path. M and K come from the
+/// packing; B is row-major K×N.
+void gemm_packed(const PackedA& a, const float* b, float* c, std::size_t n,
+                 bool accumulate = false, const GemmEpilogue& epilogue = {},
+                 const GemmConfig& config = {});
+
 /// Reference triple-loop implementation used by tests as the oracle.
 void gemm_naive(const float* a, const float* b, float* c, std::size_t m,
                 std::size_t k, std::size_t n, bool accumulate = false);
+
+// Scalar reference of the epilogue's fast activations (same exp2-based
+// polynomial the AVX2 path vectorises; see gemm_avx2.cpp for the error
+// analysis — max relative error vs std::exp ≈ 2 ULP ≈ 2.4e-7).
+float fast_exp(float x) noexcept;
+float fast_sigmoid(float x) noexcept;
+float fast_silu(float x) noexcept;
 
 }  // namespace ocb

@@ -1,0 +1,220 @@
+// AVX2/FMA packed-GEMM micro-kernels.
+//
+// This is the only translation unit compiled with -mavx2 -mfma (see
+// src/CMakeLists.txt); the dispatcher only routes here after CPUID
+// confirms the host supports both (tensor/simd.hpp), so the baseline
+// build stays runnable on any x86-64.
+//
+// Kernel shape: 6×16 register tile over PackedA row panels. Six rows ×
+// two ymm columns gives 12 accumulators + 2 B loads + 1 broadcast = 15
+// of the 16 ymm registers, the largest tile that fits without spills
+// (an 8×16 tile needs 19 live registers). B is walked in 512-column
+// blocks so one K×block stripe stays cache-resident across all row
+// panels; A panels stream k-major, one broadcast per packed element.
+//
+// The fused epilogue (bias + ReLU/SiLU/Sigmoid) runs on the register
+// tile before write-back, so activated conv output is produced in a
+// single pass over C. exp() uses the same exp2-based degree-6
+// polynomial as the scalar fast_exp() in gemm.cpp — max relative error
+// vs std::exp ≈ 2 ULP (≈2.4e-7); the FMA contraction here can differ
+// from the scalar reference by 1 ULP more, still far inside the 1e-4
+// equivalence bound the kernel tests enforce.
+#include "tensor/gemm_kernels.hpp"
+
+#include "core/error.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tensor/simd.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace ocb::simd {
+bool avx2_compiled() noexcept { return true; }
+}  // namespace ocb::simd
+
+namespace ocb::detail {
+namespace {
+
+constexpr std::size_t MR = PackedA::kRowTile;  // 6
+constexpr std::size_t kColBlock = 512;         // B stripe kept cache-hot
+
+inline __m256 exp256(__m256 x) noexcept {
+  x = _mm256_min_ps(_mm256_set1_ps(88.0f),
+                    _mm256_max_ps(_mm256_set1_ps(-87.0f), x));
+  const __m256 t = _mm256_mul_ps(x, _mm256_set1_ps(1.4426950408889634f));
+  const __m256 fi = _mm256_round_ps(
+      _mm256_add_ps(t, _mm256_set1_ps(0.5f)),
+      _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);  // floor(t + 1/2)
+  // Cody–Waite reduction, matching the scalar fast_exp: fi·ln2_hi is
+  // exact for |fi| ≤ 2^7, keeping the reduction error at ULP level
+  // across the full clamp range.
+  __m256 u = _mm256_fnmadd_ps(fi, _mm256_set1_ps(0.693359375f), x);
+  u = _mm256_fmadd_ps(fi, _mm256_set1_ps(2.12194440e-4f), u);
+  __m256 p = _mm256_set1_ps(1.0f / 720.0f);
+  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(1.0f / 120.0f));
+  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(1.0f / 24.0f));
+  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(1.0f / 6.0f));
+  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(0.5f));
+  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(1.0f));
+  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(1.0f));
+  __m256i e = _mm256_cvtps_epi32(fi);
+  e = _mm256_slli_epi32(_mm256_add_epi32(e, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(p, _mm256_castsi256_ps(e));
+}
+
+inline __m256 sigmoid256(__m256 x) noexcept {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 ex = exp256(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(one, _mm256_add_ps(one, ex));
+}
+
+inline __m256 apply_act256(__m256 v, EpiAct act) noexcept {
+  switch (act) {
+    case EpiAct::kNone: return v;
+    case EpiAct::kRelu: return _mm256_max_ps(v, _mm256_setzero_ps());
+    case EpiAct::kSilu: return _mm256_mul_ps(v, sigmoid256(v));
+    case EpiAct::kSigmoid: return sigmoid256(v);
+  }
+  return v;
+}
+
+inline float apply_act_scalar(float v, EpiAct act) noexcept {
+  switch (act) {
+    case EpiAct::kNone: return v;
+    case EpiAct::kRelu: return v < 0.0f ? 0.0f : v;
+    case EpiAct::kSilu: return fast_silu(v);
+    case EpiAct::kSigmoid: return fast_sigmoid(v);
+  }
+  return v;
+}
+
+/// One register tile: rows [i0, i0+mr) × columns [j, j + 8·NV).
+/// `ap` is the panel (k-major, MR floats per k), `ld` the row stride of
+/// B and C. Accumulates over the full K extent, applies the epilogue in
+/// registers, then writes each live row back exactly once.
+template <int NV>
+inline void kernel_tile(const float* ap, const float* b, float* c,
+                        std::size_t ld, std::size_t k, std::size_t mr,
+                        bool accumulate, const float* bias_panel,
+                        EpiAct act) noexcept {
+  __m256 acc[MR][NV];
+  for (std::size_t r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm256_setzero_ps();
+
+  const float* bp = b;
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    __m256 bv[NV];
+    for (int v = 0; v < NV; ++v) bv[v] = _mm256_loadu_ps(bp + 8 * v);
+    const float* apk = ap + kk * MR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const __m256 av = _mm256_broadcast_ss(apk + r);
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm256_fmadd_ps(av, bv[v], acc[r][v]);
+    }
+    bp += ld;
+  }
+
+  for (std::size_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ld;
+    const __m256 bias = bias_panel != nullptr
+                            ? _mm256_broadcast_ss(bias_panel + r)
+                            : _mm256_setzero_ps();
+    for (int v = 0; v < NV; ++v) {
+      __m256 val = acc[r][v];
+      if (accumulate) {
+        val = _mm256_add_ps(_mm256_loadu_ps(crow + 8 * v), val);
+      } else {
+        val = apply_act256(_mm256_add_ps(val, bias), act);
+      }
+      _mm256_storeu_ps(crow + 8 * v, val);
+    }
+  }
+}
+
+/// Scalar remainder for the final n % 8 columns of a panel.
+void kernel_tail(const float* ap, const float* b, float* c, std::size_t ld,
+                 std::size_t k, std::size_t cols, std::size_t mr,
+                 bool accumulate, const float* bias_panel,
+                 EpiAct act) noexcept {
+  for (std::size_t r = 0; r < mr; ++r) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc += ap[kk * MR + r] * b[kk * ld + j];
+      float* out = c + r * ld + j;
+      if (accumulate) {
+        *out += acc;
+      } else {
+        if (bias_panel != nullptr) acc += bias_panel[r];
+        *out = apply_act_scalar(acc, act);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_packed_avx2(const PackedA& a, const float* b, float* c,
+                      std::size_t n, bool accumulate,
+                      const GemmEpilogue& epilogue, bool parallel) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t panels = a.panel_count();
+  const EpiAct act = epilogue.act;
+
+  // Column blocks keep one K×kColBlock stripe of B cache-resident while
+  // every row panel streams over it; panels parallelise freely inside a
+  // block because they write disjoint C rows.
+  for (std::size_t jc = 0; jc < n; jc += kColBlock) {
+    const std::size_t jc_end = std::min(n, jc + kColBlock);
+    auto panel_job = [&](std::size_t p) {
+      const float* ap = a.panel(p);
+      const std::size_t i0 = p * MR;
+      const std::size_t mr = std::min(MR, m - i0);
+      const float* bias_panel =
+          epilogue.bias != nullptr ? epilogue.bias + i0 : nullptr;
+      float* cpanel = c + i0 * n;
+      std::size_t j = jc;
+      for (; j + 16 <= jc_end; j += 16)
+        kernel_tile<2>(ap, b + j, cpanel + j, n, k, mr, accumulate,
+                       bias_panel, act);
+      for (; j + 8 <= jc_end; j += 8)
+        kernel_tile<1>(ap, b + j, cpanel + j, n, k, mr, accumulate,
+                       bias_panel, act);
+      if (j < jc_end)
+        kernel_tail(ap, b + j, cpanel + j, n, k, jc_end - j, mr, accumulate,
+                    bias_panel, act);
+    };
+    if (parallel && panels > 1) {
+      parallel_for(0, panels, panel_job, /*grain=*/1);
+    } else {
+      for (std::size_t p = 0; p < panels; ++p) panel_job(p);
+    }
+  }
+}
+
+}  // namespace ocb::detail
+
+#else  // !(__AVX2__ && __FMA__): baseline build of this TU
+
+namespace ocb::simd {
+bool avx2_compiled() noexcept { return false; }
+}  // namespace ocb::simd
+
+namespace ocb::detail {
+
+void gemm_packed_avx2(const PackedA& a, const float* b, float* c,
+                      std::size_t n, bool accumulate,
+                      const GemmEpilogue& epilogue, bool parallel) {
+  // The dispatcher never routes here when avx2_compiled() is false;
+  // keep a correct fallback anyway rather than a trap.
+  gemm_packed_scalar(a, b, c, n, accumulate, epilogue, parallel);
+}
+
+}  // namespace ocb::detail
+
+#endif

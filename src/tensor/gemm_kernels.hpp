@@ -1,0 +1,32 @@
+// Internal contract between the GEMM dispatcher (gemm.cpp) and the
+// AVX2 translation unit (gemm_avx2.cpp). Not installed as public API.
+//
+// Both kernels consume the same PackedA panel layout, so a matrix
+// packed once is valid whichever path the dispatcher picks (the
+// OCB_DISABLE_SIMD override can flip mid-process without repacking).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/gemm.hpp"
+
+namespace ocb::detail {
+
+/// AVX2/FMA packed kernel: C[(panels·6)×N] (+)= packed(A)·B with the
+/// epilogue fused into the write-back. Defined in gemm_avx2.cpp; must
+/// only be called when simd::active() == Level::kAvx2.
+void gemm_packed_avx2(const PackedA& a, const float* b, float* c,
+                      std::size_t n, bool accumulate,
+                      const GemmEpilogue& epilogue, bool parallel);
+
+/// Scalar packed kernel with the identical traversal and epilogue
+/// semantics — the fallback and the oracle for the AVX2 path.
+void gemm_packed_scalar(const PackedA& a, const float* b, float* c,
+                        std::size_t n, bool accumulate,
+                        const GemmEpilogue& epilogue, bool parallel);
+
+/// Apply `epilogue` to row i of C (scalar; used for k == 0 edge cases
+/// and the scalar blocked path).
+void epilogue_row_scalar(float* row, std::size_t n, float bias, EpiAct act);
+
+}  // namespace ocb::detail

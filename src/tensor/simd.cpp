@@ -1,0 +1,56 @@
+#include "tensor/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace ocb::simd {
+
+namespace {
+
+bool env_disabled() noexcept {
+  const char* v = std::getenv("OCB_DISABLE_SIMD");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+// -1 unset, 0 disabled, 1 enabled. Initialised from the environment on
+// first use; set_simd_enabled() overrides afterwards.
+std::atomic<int>& runtime_flag() noexcept {
+  static std::atomic<int> flag{-1};
+  return flag;
+}
+
+}  // namespace
+
+bool cpu_supports_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Level active() noexcept {
+  int flag = runtime_flag().load(std::memory_order_relaxed);
+  if (flag < 0) {
+    flag = env_disabled() ? 0 : 1;
+    runtime_flag().store(flag, std::memory_order_relaxed);
+  }
+  if (flag == 0) return Level::kScalar;
+  static const bool hw = avx2_compiled() && cpu_supports_avx2();
+  return hw ? Level::kAvx2 : Level::kScalar;
+}
+
+void set_simd_enabled(bool enabled) noexcept {
+  runtime_flag().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace ocb::simd

@@ -1,0 +1,36 @@
+// Runtime SIMD capability dispatch.
+//
+// The AVX2/FMA kernels live in their own translation unit
+// (tensor/gemm_avx2.cpp) compiled with -mavx2 -mfma; everything else is
+// built for the baseline architecture. Path selection is decided once
+// at runtime from three gates:
+//   1. the AVX2 TU was actually compiled with AVX2 (compiler/arch
+//      support detected by CMake),
+//   2. CPUID reports AVX2 + FMA on the running machine,
+//   3. the OCB_DISABLE_SIMD environment variable is unset (or "0").
+// Tests and benchmarks can flip the decision per process via
+// set_simd_enabled() to compare scalar and SIMD paths in one run.
+#pragma once
+
+namespace ocb::simd {
+
+enum class Level { kScalar, kAvx2 };
+
+/// True iff the AVX2 TU was compiled with AVX2+FMA codegen.
+bool avx2_compiled() noexcept;
+
+/// True iff the running CPU reports AVX2 and FMA.
+bool cpu_supports_avx2() noexcept;
+
+/// The path the dispatcher will take right now (all three gates plus
+/// any set_simd_enabled() override applied).
+Level active() noexcept;
+
+/// Process-wide override used by tests/benches. `false` forces the
+/// scalar fallback even on SIMD-capable hardware; `true` restores
+/// hardware detection (it cannot enable SIMD the CPU lacks).
+void set_simd_enabled(bool enabled) noexcept;
+
+const char* level_name(Level level) noexcept;
+
+}  // namespace ocb::simd

@@ -138,5 +138,82 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmDims{1, 128, 1}, GemmDims{100, 3, 2},
                       GemmDims{7, 200, 9}, GemmDims{128, 70, 130}));
 
+// Exhaustive SIMD-vs-naive equivalence over odd shapes that stress
+// every panel/tile tail path (row tails of the 6-row panel, 16/8/scalar
+// column tails, k == 1), with accumulate both off and on.
+TEST(Gemm, ExhaustiveOddShapesMatchNaive) {
+  const std::size_t dims[] = {1, 3, 7, 8, 15, 16, 17, 33};
+  Rng rng(99);
+  for (std::size_t m : dims) {
+    for (std::size_t k : dims) {
+      for (std::size_t n : dims) {
+        for (bool accumulate : {false, true}) {
+          const auto a = random_matrix(m, k, rng);
+          const auto b = random_matrix(k, n, rng);
+          std::vector<float> c(m * n, 0.5f), ref(m * n, 0.5f);
+          gemm(a.data(), b.data(), c.data(), m, k, n, accumulate);
+          gemm_naive(a.data(), b.data(), ref.data(), m, k, n, accumulate);
+          for (std::size_t i = 0; i < c.size(); ++i)
+            ASSERT_NEAR(c[i], ref[i], 1e-4f)
+                << "m=" << m << " k=" << k << " n=" << n
+                << " accumulate=" << accumulate << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+// The forced-scalar fallback must agree with the naive oracle over the
+// same shape sweep (and therefore with pre-SIMD results) within 1e-4.
+TEST(Gemm, ScalarFallbackMatchesNaiveOnOddShapes) {
+  const std::size_t dims[] = {1, 3, 7, 8, 15, 16, 17, 33};
+  GemmConfig scalar;
+  scalar.path = GemmPath::kScalar;
+  Rng rng(101);
+  for (std::size_t m : dims) {
+    for (std::size_t n : dims) {
+      const std::size_t k = 17;
+      const auto a = random_matrix(m, k, rng);
+      const auto b = random_matrix(k, n, rng);
+      std::vector<float> c(m * n), ref(m * n);
+      gemm(a.data(), b.data(), c.data(), m, k, n, false, scalar);
+      gemm_naive(a.data(), b.data(), ref.data(), m, k, n);
+      expect_matrices_near(c, ref, 1e-4f);
+    }
+  }
+}
+
+TEST(Gemm, SkipZeroConfigMatchesDenseOnSparseA) {
+  Rng rng(7);
+  const std::size_t m = 24, k = 40, n = 31;
+  auto a = random_matrix(m, k, rng);
+  for (std::size_t i = 0; i < a.size(); i += 3) a[i] = 0.0f;  // ~1/3 sparse
+  const auto b = random_matrix(k, n, rng);
+  GemmConfig sparse;
+  sparse.path = GemmPath::kScalar;
+  sparse.skip_zero = true;
+  std::vector<float> c(m * n), ref(m * n);
+  gemm(a.data(), b.data(), c.data(), m, k, n, false, sparse);
+  gemm_naive(a.data(), b.data(), ref.data(), m, k, n);
+  expect_matrices_near(c, ref, 1e-4f);
+}
+
+TEST(Gemm, PackedMatchesNaiveAcrossShapes) {
+  const std::size_t dims[] = {1, 5, 6, 7, 12, 13, 33};
+  Rng rng(103);
+  for (std::size_t m : dims) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{9}, std::size_t{40}}) {
+      const std::size_t k = 21;
+      const auto a = random_matrix(m, k, rng);
+      const auto b = random_matrix(k, n, rng);
+      PackedA packed(a.data(), m, k);
+      std::vector<float> c(m * n), ref(m * n);
+      gemm_packed(packed, b.data(), c.data(), n);
+      gemm_naive(a.data(), b.data(), ref.data(), m, k, n);
+      expect_matrices_near(c, ref, 1e-4f);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ocb

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 
 #include "core/error.hpp"
 
@@ -86,6 +87,42 @@ TEST(ParallelSum, SmallRangeRunsInline) {
                      return static_cast<double>(i);
                    }),
                    3.0);
+}
+
+// Grain-size regression guard for parallel_sum: every grain must
+// produce the exact sequential result (chunk partials are summed in
+// index order, so the reduction is deterministic), and a range no
+// larger than one grain must run inline on the calling thread instead
+// of paying a pool round-trip.
+class ParallelSumGrainTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelSumGrainTest, MatchesSequentialAtEveryGrain) {
+  const std::size_t grain = GetParam();
+  const std::size_t n = 4097;
+  double expected = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    expected += static_cast<double>(i) * 0.5 - 3.0;
+  const double got = parallel_sum(
+      n, [](std::size_t i) { return static_cast<double>(i) * 0.5 - 3.0; },
+      grain);
+  EXPECT_DOUBLE_EQ(got, expected) << "grain=" << grain;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, ParallelSumGrainTest,
+                         ::testing::Values(1, 2, 7, 64, 1024, 5000));
+
+TEST(ParallelSum, RangeWithinOneGrainStaysOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(64);
+  const double got = parallel_sum(
+      seen.size(),
+      [&](std::size_t i) {
+        seen[i] = std::this_thread::get_id();
+        return 1.0;
+      },
+      /*grain=*/seen.size());
+  EXPECT_DOUBLE_EQ(got, static_cast<double>(seen.size()));
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
 }
 
 class ForRangeGrainTest : public ::testing::TestWithParam<std::size_t> {};
