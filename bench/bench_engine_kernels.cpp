@@ -17,7 +17,9 @@
 #include "core/rng.hpp"
 #include "models/registry.hpp"
 #include "nn/engine.hpp"
+#include "nn/quantize.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/qgemm.hpp"
 #include "tensor/simd.hpp"
 
 using namespace ocb;
@@ -53,8 +55,17 @@ struct GemmResult {
   GemmShape shape;
   double scalar_gflops = 0.0;
   double simd_gflops = 0.0;
+  double int8_gops = 0.0;  ///< packed u8×s8 GEMM, same shape
+  // Dispatch level the kernel actually took (gemm_last_level()), so CI
+  // can catch silent fallbacks to the scalar path.
+  std::string scalar_path;
+  std::string simd_path;
+  std::string int8_path;
   double speedup() const noexcept {
     return scalar_gflops > 0.0 ? simd_gflops / scalar_gflops : 0.0;
+  }
+  double int8_speedup() const noexcept {
+    return simd_gflops > 0.0 ? int8_gops / simd_gflops : 0.0;
   }
 };
 
@@ -81,12 +92,36 @@ GemmResult bench_gemm_shape(const GemmShape& shape, double min_seconds) {
       [&] { gemm_packed(packed, b.data(), c.data(), shape.n, false, epi,
                         scalar); },
       min_seconds);
+  result.scalar_path = simd::level_name(gemm_last_level());
   const double simd_s = best_seconds(
       [&] { gemm_packed(packed, b.data(), c.data(), shape.n, false, epi,
                         auto_path); },
       min_seconds);
+  result.simd_path = simd::level_name(gemm_last_level());
   result.scalar_gflops = flops / scalar_s * 1e-9;
   result.simd_gflops = flops / simd_s * 1e-9;
+
+  // Same shape through the quantized kernel: per-channel s8 weights ×
+  // u8 activation quads with the fused dequant+bias+SiLU epilogue, so
+  // the ratio to simd_gflops is the honest int8 win on this shape.
+  std::vector<std::int8_t> aq(shape.m * shape.k);
+  std::vector<std::uint8_t> bq(shape.k * shape.n);
+  for (auto& v : aq) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  for (auto& v : bq) v = static_cast<std::uint8_t>(rng.uniform_int(0, 127));
+  PackedQuantA qpacked;
+  qpacked.pack(aq.data(), shape.m, shape.k);
+  std::vector<std::uint8_t> quads(quad_buffer_bytes(shape.k, shape.n));
+  pack_u8_quads(bq.data(), shape.k, shape.n, quads.data());
+  std::vector<float> row_scale(shape.m, 1.0f / 127.0f);
+  QGemmEpilogue qepi;
+  qepi.scale = row_scale.data();
+  qepi.bias = bias.data();
+  qepi.act = EpiAct::kSilu;
+  const double int8_s = best_seconds(
+      [&] { qgemm_packed(qpacked, quads.data(), c.data(), shape.n, qepi); },
+      min_seconds);
+  result.int8_path = simd::level_name(gemm_last_level());
+  result.int8_gops = flops / int8_s * 1e-9;
   return result;
 }
 
@@ -134,7 +169,12 @@ std::string to_json(const std::vector<GemmResult>& gemms,
         << ", \"k\": " << g.shape.k << ", \"n\": " << g.shape.n
         << ", \"scalar_gflops\": " << g.scalar_gflops
         << ", \"simd_gflops\": " << g.simd_gflops
-        << ", \"speedup\": " << g.speedup() << "}"
+        << ", \"speedup\": " << g.speedup()
+        << ", \"scalar_path\": \"" << g.scalar_path << "\""
+        << ", \"simd_path\": \"" << g.simd_path << "\""
+        << ", \"int8_gops\": " << g.int8_gops
+        << ", \"int8_path\": \"" << g.int8_path << "\""
+        << ", \"int8_speedup\": " << g.int8_speedup() << "}"
         << (i + 1 < gemms.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"models\": [\n";
@@ -181,7 +221,8 @@ int main(int argc, char** argv) {
   ResultTable gemm_table(
       std::string("Packed GEMM, fused SiLU epilogue (simd: ") +
           simd::level_name(simd::active()) + ")",
-      {"shape", "m", "k", "n", "scalar GF/s", "simd GF/s", "speedup"});
+      {"shape", "m", "k", "n", "scalar GF/s", "simd GF/s", "speedup",
+       "int8 GOP/s", "int8/simd", "path"});
   for (const GemmShape& shape : shapes) {
     gemms.push_back(bench_gemm_shape(shape, min_seconds));
     const GemmResult& g = gemms.back();
@@ -192,7 +233,10 @@ int main(int argc, char** argv) {
         .cell(static_cast<double>(g.shape.n), 0)
         .cell(g.scalar_gflops, 2)
         .cell(g.simd_gflops, 2)
-        .cell(g.speedup(), 2);
+        .cell(g.speedup(), 2)
+        .cell(g.int8_gops, 2)
+        .cell(g.int8_speedup(), 2)
+        .cell(g.simd_path);
   }
 
   const std::vector<models::ModelId> model_ids = {

@@ -1,0 +1,319 @@
+// Precision-vs-accuracy sweep: the INT8 inference path against FP32.
+//
+// Three views, mirroring how the paper trades accuracy for latency on
+// edge GPUs (§4.3's TensorRT builds quantize the same way):
+//   1. Engine::run ns/frame for the Ocularone VIP models in FP32 and
+//      INT8 (post-calibration), measured on this host.
+//   2. Roofline projections of the same models on the paper's Jetson
+//      devices with the per-device INT8 speedup applied to GEMM ops.
+//   3. Trained MiniYolo variants evaluated through the Engine in both
+//      precisions on the diverse test set — precision / recall / F1 /
+//      accuracy and their INT8 deltas.
+// Emits BENCH_precision_sweep.json for scripts/check_bench_regression.py.
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_accuracy_common.hpp"
+#include "bench_common.hpp"
+#include "core/rng.hpp"
+#include "devsim/roofline.hpp"
+#include "eval/matcher.hpp"
+#include "eval/report.hpp"
+#include "models/registry.hpp"
+#include "nn/engine.hpp"
+#include "trainer/detector_trainer.hpp"
+
+using namespace ocb;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename F>
+double best_seconds(F&& body, double min_seconds) {
+  double best = 1e300;
+  double total = 0.0;
+  int iters = 0;
+  while (total < min_seconds || iters < 2) {
+    const auto t0 = Clock::now();
+    body();
+    const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    best = std::min(best, dt);
+    total += dt;
+    ++iters;
+  }
+  return best;
+}
+
+// --- 1. measured engine latency ---------------------------------------
+
+struct LatencyResult {
+  std::string name;
+  double fp32_ns_frame = 0.0;
+  double int8_ns_frame = 0.0;
+  double speedup() const noexcept {
+    return int8_ns_frame > 0.0 ? fp32_ns_frame / int8_ns_frame : 0.0;
+  }
+};
+
+LatencyResult bench_engine_precision(models::ModelId id, double input_scale,
+                                     double min_seconds) {
+  const nn::Graph graph = models::build_model(id, input_scale);
+  nn::Engine engine(graph, 1);
+  const nn::FeatShape in = graph.input_shape();
+
+  Rng rng(11);
+  std::vector<Tensor> frames;
+  for (int i = 0; i < 3; ++i) {
+    Tensor t({1, in.c, in.h, in.w});
+    t.init_uniform(rng, 0.0f, 1.0f);
+    frames.push_back(std::move(t));
+  }
+  Tensor input({1, in.c, in.h, in.w});
+  input.init_uniform(rng, 0.0f, 1.0f);
+
+  engine.calibrate(frames);  // also serves as FP32 warm-up
+
+  LatencyResult result;
+  result.name = models::model_info(id).name;
+  result.fp32_ns_frame =
+      best_seconds([&] { engine.run(input); }, min_seconds) * 1e9;
+
+  engine.set_precision(nn::Precision::kInt8);
+  engine.run(input);  // warm-up: int8 panels + arena plan settled
+  result.int8_ns_frame =
+      best_seconds([&] { engine.run(input); }, min_seconds) * 1e9;
+  return result;
+}
+
+// --- 2. devsim roofline projection ------------------------------------
+
+struct ProjectionResult {
+  std::string device;
+  std::string model;
+  double fp32_ms = 0.0;
+  double int8_ms = 0.0;
+  double speedup() const noexcept {
+    return int8_ms > 0.0 ? fp32_ms / int8_ms : 0.0;
+  }
+};
+
+// --- 3. trained-detector accuracy in both precisions ------------------
+
+struct AccuracyPair {
+  std::string variant;
+  eval::Metrics fp32;
+  eval::Metrics int8;
+};
+
+eval::Metrics evaluate_engine(const models::MiniYolo& model,
+                              nn::Engine& engine,
+                              const dataset::DatasetGenerator& generator,
+                              const std::vector<dataset::Sample>& samples,
+                              const char* title) {
+  eval::Report report(title);
+  for (const dataset::Sample& sample : samples) {
+    const dataset::RenderedFrame frame = generator.render(sample);
+    std::vector<Annotation> truth;
+    if (frame.vest_visible) truth.push_back(frame.vest);
+    const auto detections = model.detect_with_engine(engine, frame.image);
+    const eval::MatchResult result =
+        eval::match_detections(detections, truth, 0.5f);
+    const bool correct =
+        result.false_positives == 0 && result.false_negatives == 0;
+    report.add(dataset::category_name(sample.category), result, correct);
+  }
+  return report.overall();
+}
+
+std::string json_metrics(const eval::Metrics& m) {
+  std::ostringstream out;
+  out << "{\"precision\": " << m.precision << ", \"recall\": " << m.recall
+      << ", \"f1\": " << m.f1 << ", \"accuracy\": " << m.accuracy
+      << ", \"images\": " << m.images << "}";
+  return out.str();
+}
+
+std::string to_json(const std::vector<LatencyResult>& latency,
+                    const std::vector<ProjectionResult>& projections,
+                    const std::vector<AccuracyPair>& accuracy) {
+  std::ostringstream out;
+  out << "{\n  \"latency\": [\n";
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    const LatencyResult& r = latency[i];
+    out << "    {\"model\": \"" << r.name
+        << "\", \"fp32_ns_frame\": " << r.fp32_ns_frame
+        << ", \"int8_ns_frame\": " << r.int8_ns_frame
+        << ", \"int8_speedup\": " << r.speedup() << "}"
+        << (i + 1 < latency.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"devsim\": [\n";
+  for (std::size_t i = 0; i < projections.size(); ++i) {
+    const ProjectionResult& p = projections[i];
+    out << "    {\"device\": \"" << p.device << "\", \"model\": \""
+        << p.model << "\", \"fp32_ms\": " << p.fp32_ms
+        << ", \"int8_ms\": " << p.int8_ms
+        << ", \"int8_speedup\": " << p.speedup() << "}"
+        << (i + 1 < projections.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"accuracy\": [\n";
+  for (std::size_t i = 0; i < accuracy.size(); ++i) {
+    const AccuracyPair& a = accuracy[i];
+    out << "    {\"variant\": \"" << a.variant
+        << "\", \"fp32\": " << json_metrics(a.fp32)
+        << ", \"int8\": " << json_metrics(a.int8)
+        << ", \"delta_accuracy\": " << a.int8.accuracy - a.fp32.accuracy
+        << ", \"delta_f1\": " << a.int8.f1 - a.fp32.f1 << "}"
+        << (i + 1 < accuracy.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_precision_sweep",
+          "INT8 vs FP32: engine latency, device projections, and trained "
+          "detector accuracy");
+  bench::add_accuracy_flags(cli);
+  cli.add_double("min-seconds", 0.2,
+                 "minimum sampling time per measurement point");
+  cli.add_double("input-scale", 0.25,
+                 "model input scale for the ns/frame measurements");
+  cli.add_flag("skip-training",
+               "skip the trained-detector accuracy sweep (latency only)");
+  cli.add_string("out", "BENCH_precision_sweep.json",
+                 "machine-readable output path (empty disables)");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::apply_common_flags(cli);
+  const double min_seconds = cli.real("min-seconds");
+
+  // 1. Measured FP32 vs INT8 Engine::run on the VIP models.
+  const std::vector<models::ModelId> model_ids = {
+      models::ModelId::kYoloV8n, models::ModelId::kYoloV11n,
+      models::ModelId::kTrtPose, models::ModelId::kMonodepth2};
+  std::vector<LatencyResult> latency;
+  ResultTable latency_table(
+      "Engine::run FP32 vs INT8 (input scale " +
+          format_fixed(cli.real("input-scale"), 2) + ")",
+      {"model", "fp32 ms", "int8 ms", "speedup"});
+  for (models::ModelId id : model_ids) {
+    latency.push_back(
+        bench_engine_precision(id, cli.real("input-scale"), min_seconds));
+    const LatencyResult& r = latency.back();
+    latency_table.row()
+        .cell(r.name)
+        .cell(r.fp32_ns_frame * 1e-6, 2)
+        .cell(r.int8_ns_frame * 1e-6, 2)
+        .cell(r.speedup(), 2);
+  }
+
+  // 2. Roofline projection on the paper's devices.
+  std::vector<ProjectionResult> projections;
+  ResultTable devsim_table("Roofline projection FP32 vs INT8 (full-scale "
+                           "inputs, batch 1)",
+                           {"device", "model", "fp32 ms", "int8 ms",
+                            "speedup"});
+  devsim::RooflineOptions fp32_opts;
+  devsim::RooflineOptions int8_opts;
+  int8_opts.precision = devsim::Precision::kInt8;
+  for (devsim::DeviceId device : devsim::edge_devices()) {
+    const devsim::DeviceSpec& spec = devsim::device_spec(device);
+    for (models::ModelId id : model_ids) {
+      const nn::ModelProfile profile = models::profile_model(id);
+      ProjectionResult p;
+      p.device = spec.name;
+      p.model = models::model_info(id).name;
+      p.fp32_ms = devsim::model_latency_ms(profile, spec, fp32_opts);
+      p.int8_ms = devsim::model_latency_ms(profile, spec, int8_opts);
+      projections.push_back(p);
+      devsim_table.row()
+          .cell(p.device)
+          .cell(p.model)
+          .cell(p.fp32_ms, 2)
+          .cell(p.int8_ms, 2)
+          .cell(p.speedup(), 2);
+    }
+  }
+
+  // 3. Trained detectors through the engine in both precisions.
+  std::vector<AccuracyPair> accuracy;
+  ResultTable accuracy_table(
+      "Trained MiniYolo via Engine: FP32 vs INT8 (diverse test set)",
+      {"variant", "prec fp32", "prec int8", "rec fp32", "rec int8",
+       "F1 fp32", "F1 int8", "acc fp32", "acc int8", "Δacc"});
+  if (!cli.flag("skip-training")) {
+    const trainer::AccuracyExperimentConfig config =
+        bench::accuracy_config(cli);
+    dataset::DatasetConfig dcfg;
+    dcfg.scale = config.dataset_scale;
+    dcfg.image_width = config.image_width;
+    dcfg.image_height = config.image_height;
+    dcfg.seed = config.seed;
+    const dataset::DatasetGenerator generator(dcfg);
+    Rng rng(hash_combine(config.seed, 0x18A7ULL));
+    const dataset::SplitResult split =
+        dataset::curated_split(generator, config.curated_fraction, rng);
+    std::vector<dataset::Sample> test = split.test_diverse;
+    if (config.eval_cap > 0 &&
+        test.size() > static_cast<std::size_t>(config.eval_cap))
+      test = dataset::subsample(
+          test, static_cast<std::size_t>(config.eval_cap), rng);
+
+    // Calibration frames: letterboxed renders of training samples, the
+    // same distribution the detector sees at deployment.
+    const std::vector<dataset::Sample> calib_samples = dataset::subsample(
+        split.train, std::min<std::size_t>(split.train.size(), 8), rng);
+    const trainer::TrainCorpus calib_corpus(generator, calib_samples,
+                                            config.train.input_size);
+    std::vector<Tensor> calib_frames;
+    for (std::size_t i = 0; i < calib_corpus.size(); ++i)
+      calib_frames.push_back(calib_corpus.image(i));
+
+    const trainer::DetectorTrainer trainer(generator, config.train);
+    for (models::YoloFamily family :
+         {models::YoloFamily::kV8, models::YoloFamily::kV11}) {
+      for (models::YoloSize size :
+           {models::YoloSize::kNano, models::YoloSize::kMedium}) {
+        const models::MiniYolo model =
+            trainer.train(family, size, split.train, split.val);
+        nn::Engine engine(model.export_graph(), 1);
+        model.export_weights(engine);
+        engine.calibrate(calib_frames);
+
+        AccuracyPair pair;
+        pair.variant = bench::variant_name(family, size);
+        pair.fp32 =
+            evaluate_engine(model, engine, generator, test, "fp32");
+        engine.set_precision(nn::Precision::kInt8);
+        pair.int8 =
+            evaluate_engine(model, engine, generator, test, "int8");
+        accuracy.push_back(pair);
+        accuracy_table.row()
+            .cell(pair.variant)
+            .cell(pair.fp32.precision, 3)
+            .cell(pair.int8.precision, 3)
+            .cell(pair.fp32.recall, 3)
+            .cell(pair.int8.recall, 3)
+            .cell(pair.fp32.f1, 3)
+            .cell(pair.int8.f1, 3)
+            .cell(pair.fp32.accuracy, 3)
+            .cell(pair.int8.accuracy, 3)
+            .cell(pair.int8.accuracy - pair.fp32.accuracy, 3);
+      }
+    }
+  }
+
+  bench::emit(cli, {latency_table, devsim_table, accuracy_table});
+
+  if (!cli.string("out").empty()) {
+    std::ofstream file(cli.string("out"));
+    file << to_json(latency, projections, accuracy);
+    std::cout << "wrote " << cli.string("out") << '\n';
+  }
+  return 0;
+}

@@ -2,9 +2,12 @@
 """Compare a fresh BENCH_kernels.json against the committed baseline.
 
 Fails (exit 1) when any model's SIMD ns/frame regresses more than
---tolerance (default 15%) over the baseline, or when the GEMM
+--tolerance (default 15%) over the baseline, when the GEMM
 SIMD-vs-scalar speedup drops below --min-gemm-speedup on a machine
-whose dispatcher reports a SIMD level.
+whose dispatcher reports a SIMD level, when the INT8 GEMM fails to
+reach --min-int8-speedup over the FP32 SIMD kernel on the best shape,
+or when a kernel dispatched to a different path than the active SIMD
+level promises (a silent scalar fallback).
 
 Absolute ns/frame is only comparable on the machine that produced the
 baseline; on shared CI runners pass --ratio-only, which checks the
@@ -53,6 +56,13 @@ def main() -> int:
         help="minimum SIMD-vs-scalar GEMM speedup when SIMD is active",
     )
     parser.add_argument(
+        "--min-int8-speedup",
+        type=float,
+        default=1.0,
+        help="minimum INT8-vs-FP32-SIMD GEMM throughput ratio on the "
+        "best shape when SIMD is active",
+    )
+    parser.add_argument(
         "--ratio-only",
         action="store_true",
         help="skip wall-clock comparisons (cross-machine CI runners)",
@@ -91,6 +101,34 @@ def main() -> int:
                 f"best GEMM speedup {max(speedups):.2f} below required "
                 f"{args.min_gemm_speedup:.2f}"
             )
+        int8_speedups = [
+            g["int8_speedup"]
+            for g in current.get("gemm", [])
+            if "int8_speedup" in g
+        ]
+        if int8_speedups and max(int8_speedups) < args.min_int8_speedup:
+            failures.append(
+                f"best INT8 GEMM speedup {max(int8_speedups):.2f} below "
+                f"required {args.min_int8_speedup:.2f}"
+            )
+        # Dispatch audit: with SIMD active, every shape must have taken
+        # the advertised path — the scalar kernel reaching these numbers
+        # would mean the dispatcher silently fell back.
+        level = current.get("simd", "scalar")
+        for g in current.get("gemm", []):
+            for field in ("simd_path", "int8_path"):
+                path = g.get(field)
+                if path is not None and path != level:
+                    failures.append(
+                        f"gemm {g['label']!r}: {field} took {path!r}, "
+                        f"expected active level {level!r}"
+                    )
+            scalar_path = g.get("scalar_path")
+            if scalar_path is not None and scalar_path != "scalar":
+                failures.append(
+                    f"gemm {g['label']!r}: forced-scalar measurement "
+                    f"dispatched to {scalar_path!r}"
+                )
 
     if failures:
         print("bench regression check FAILED:")

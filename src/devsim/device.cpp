@@ -14,19 +14,23 @@ const std::vector<DeviceSpec>& device_table() {
       {DeviceId::kOrinAgx, "Orin AGX", "o-agx", "Ampere", 2048, 64, 32.0,
        60.0, 2370.0, "6.1", "12.6",
        /*eff_gflops=*/850.0, /*eff_bw_gbps=*/70.0,
-       /*kernel_overhead_us=*/55.0, /*frame_overhead_ms=*/19.0},
+       /*kernel_overhead_us=*/55.0, /*frame_overhead_ms=*/19.0,
+       /*int8_speedup=*/4.0},
       {DeviceId::kXavierNx, "Xavier NX", "nx", "Volta", 384, 48, 8.0, 15.0,
        460.0, "5.0.2", "11.4",
        /*eff_gflops=*/281.0, /*eff_bw_gbps=*/22.0,
-       /*kernel_overhead_us=*/110.0, /*frame_overhead_ms=*/24.0},
+       /*kernel_overhead_us=*/110.0, /*frame_overhead_ms=*/24.0,
+       /*int8_speedup=*/2.5},
       {DeviceId::kOrinNano, "Orin Nano", "o-nano", "Ampere", 1024, 32, 8.0,
        15.0, 630.0, "5.1.1", "11.4",
        /*eff_gflops=*/582.0, /*eff_bw_gbps=*/42.0,
-       /*kernel_overhead_us=*/75.0, /*frame_overhead_ms=*/21.0},
+       /*kernel_overhead_us=*/75.0, /*frame_overhead_ms=*/21.0,
+       /*int8_speedup=*/4.0},
       {DeviceId::kRtx4090, "RTX 4090", "rtx4090", "Ada", 16384, 512, 24.0,
        450.0, 1599.0, "-", "12.x",
        /*eff_gflops=*/14500.0, /*eff_bw_gbps=*/580.0,
-       /*kernel_overhead_us=*/6.0, /*frame_overhead_ms=*/1.4},
+       /*kernel_overhead_us=*/6.0, /*frame_overhead_ms=*/1.4,
+       /*int8_speedup=*/4.0},
   };
   return kTable;
 }

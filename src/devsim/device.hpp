@@ -34,6 +34,11 @@ struct DeviceSpec {
   double eff_bw_gbps;       ///< sustained memory bandwidth
   double kernel_overhead_us;///< per-kernel launch cost
   double frame_overhead_ms; ///< per-frame host-side cost (pre/post)
+  /// INT8-vs-FP32 compute throughput ratio for GEMM-shaped ops
+  /// (tensor-core int8 path; DLA excluded). Jetson Ampere and Ada both
+  /// advertise 4× dense int8 over FP32; Volta's first-gen tensor cores
+  /// sustain less of their int8 peak in practice.
+  double int8_speedup = 1.0;
 
   /// Theoretical FP32 peak (2 FLOP/core/cycle at boost clock).
   double peak_gflops(double boost_ghz) const noexcept {

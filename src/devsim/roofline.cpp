@@ -29,20 +29,37 @@ double op_compute_efficiency(nn::OpKind kind) noexcept {
   return 1.0;
 }
 
+bool op_is_gemm_shaped(nn::OpKind kind) noexcept {
+  return kind == nn::OpKind::kConv || kind == nn::OpKind::kDeconv ||
+         kind == nn::OpKind::kLinear;
+}
+
 double layer_latency_ms(const nn::LayerProfile& layer,
                         const DeviceSpec& device,
                         const RooflineOptions& options) {
   if (layer.kind == nn::OpKind::kInput) return 0.0;
   OCB_CHECK_MSG(options.batch >= 1, "batch must be >= 1");
 
+  // INT8 accelerates only the quantized (GEMM-shaped) ops; the rest of
+  // the graph runs FP32 in the engine's mixed plan. FP16 applies the
+  // generic speedup knob everywhere.
+  const bool int8_layer = options.precision == Precision::kInt8 &&
+                          op_is_gemm_shaped(layer.kind);
+  double precision_speedup = options.precision_speedup;
+  double byte_scale = 1.0;
+  if (int8_layer) {
+    precision_speedup = device.int8_speedup;
+    byte_scale = 0.25;  // u8 activations + s8 weights vs 4-byte floats
+  }
+
   const double batch = static_cast<double>(options.batch);
-  const double eff =
-      op_compute_efficiency(layer.kind) * options.precision_speedup;
+  const double eff = op_compute_efficiency(layer.kind) * precision_speedup;
   const double compute_s =
       batch * layer.flops / (device.eff_gflops * 1e9 * eff);
-  const double bytes = batch * static_cast<double>(layer.in_bytes +
-                                                   layer.out_bytes) +
-                       static_cast<double>(layer.weight_bytes);
+  const double bytes =
+      byte_scale * (batch * static_cast<double>(layer.in_bytes +
+                                                layer.out_bytes) +
+                    static_cast<double>(layer.weight_bytes));
   const double memory_s = bytes / (device.eff_bw_gbps * 1e9);
   const double launch_s = device.kernel_overhead_us * 1e-6;
   // Per-frame cost: the batch amortises launch overhead.

@@ -12,11 +12,23 @@
 
 namespace ocb::devsim {
 
+/// Numeric precision the projection models. kFp16 applies the generic
+/// precision_speedup knob below to every op; kInt8 applies the
+/// device's calibrated int8_speedup to GEMM-shaped ops only (conv /
+/// deconv / linear) and quarters their activation+weight traffic —
+/// elementwise and pooling ops stay FP32, matching the engine's actual
+/// INT8 execution plan.
+enum class Precision { kFp32, kFp16, kInt8 };
+
 struct RooflineOptions {
+  Precision precision = Precision::kFp32;
   double precision_speedup = 1.0;  ///< 2.0 models FP16/TensorRT
   int batch = 1;                   ///< batch amortises launch overhead
   bool include_frame_overhead = true;
 };
+
+/// True for the ops the INT8 engine path actually quantizes.
+bool op_is_gemm_shaped(nn::OpKind kind) noexcept;
 
 /// Fraction of the device's sustained compute an op kind achieves.
 double op_compute_efficiency(nn::OpKind kind) noexcept;

@@ -169,16 +169,12 @@ std::vector<Detection> MiniYolo::decode(const Tensor& logits, int n,
   return nms(std::move(out), 0.35f);
 }
 
-std::vector<Detection> MiniYolo::detect(const Image& image,
-                                        float min_confidence,
-                                        bool top1) const {
-  LetterboxInfo info;
-  const Image input = letterbox(image, config_.input_size, info);
-  Tensor batch({1, 3, config_.input_size, config_.input_size});
-  std::copy(input.data(), input.data() + input.size(), batch.data());
+namespace {
 
-  const ag::Var logits = forward(batch);
-  std::vector<Detection> dets = decode(logits->value, 0, min_confidence);
+/// Shared detect() tail: top-1 selection + letterbox inversion.
+std::vector<Detection> finish_detections(std::vector<Detection> dets,
+                                         const LetterboxInfo& info,
+                                         const Image& image, bool top1) {
   if (top1 && dets.size() > 1) {
     const int best = argmax_confidence(dets);
     dets = {dets[static_cast<std::size_t>(best)]};
@@ -188,6 +184,75 @@ std::vector<Detection> MiniYolo::detect(const Image& image,
                 .clipped(static_cast<float>(image.width()),
                          static_cast<float>(image.height()));
   return dets;
+}
+
+}  // namespace
+
+std::vector<Detection> MiniYolo::detect(const Image& image,
+                                        float min_confidence,
+                                        bool top1) const {
+  LetterboxInfo info;
+  const Image input = letterbox(image, config_.input_size, info);
+  Tensor batch({1, 3, config_.input_size, config_.input_size});
+  std::copy(input.data(), input.data() + input.size(), batch.data());
+
+  const ag::Var logits = forward(batch);
+  return finish_detections(decode(logits->value, 0, min_confidence), info,
+                           image, top1);
+}
+
+nn::Graph MiniYolo::export_graph() const {
+  nn::Graph g;
+  int prev = g.input(3, config_.input_size, config_.input_size);
+  const std::size_t layers = weights_.size();
+  for (std::size_t i = 0; i < layers; ++i) {
+    const Shape& ws = weights_[i]->value.shape();
+    const int k = ws.h;
+    // forward() activates before pooling; the head stays raw logits.
+    const nn::Act act =
+        i + 1 < layers ? nn::Act::kLeakyRelu : nn::Act::kNone;
+    prev = g.conv(prev, ws.n, k, 1, k / 2, act,
+                  "mini." + std::to_string(i));
+    if (pooled_[i]) prev = g.maxpool(prev, 2, 2, 0);
+  }
+  g.mark_output(prev);
+  return g;
+}
+
+void MiniYolo::export_weights(nn::Engine& engine) const {
+  std::size_t layer = 0;
+  const int n = engine.graph().node_count();
+  for (int i = 0; i < n; ++i) {
+    if (engine.graph().node(i).kind != nn::OpKind::kConv) continue;
+    OCB_CHECK_MSG(layer < weights_.size(),
+                  "engine graph has more convs than the model");
+    const Tensor& w = weights_[layer]->value;
+    const Tensor& b = biases_[layer]->value;
+    Tensor& ew = engine.weight(i);
+    Tensor& eb = engine.bias(i);
+    OCB_CHECK_MSG(ew.numel() == w.numel() && eb.numel() == b.numel(),
+                  "engine graph does not match this model");
+    std::copy(w.data(), w.data() + w.numel(), ew.data());
+    std::copy(b.data(), b.data() + b.numel(), eb.data());
+    ++layer;
+  }
+  OCB_CHECK_MSG(layer == weights_.size(),
+                "engine graph has fewer convs than the model");
+}
+
+std::vector<Detection> MiniYolo::detect_with_engine(nn::Engine& engine,
+                                                    const Image& image,
+                                                    float min_confidence,
+                                                    bool top1) const {
+  LetterboxInfo info;
+  const Image input = letterbox(image, config_.input_size, info);
+  Tensor batch({1, 3, config_.input_size, config_.input_size});
+  std::copy(input.data(), input.data() + input.size(), batch.data());
+
+  std::vector<Tensor> outputs = engine.run(batch);
+  OCB_CHECK_MSG(outputs.size() == 1, "expected one detection head output");
+  return finish_detections(decode(outputs[0], 0, min_confidence), info,
+                           image, top1);
 }
 
 }  // namespace ocb::models

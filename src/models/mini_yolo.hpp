@@ -17,6 +17,7 @@
 #include "detect/box.hpp"
 #include "image/image.hpp"
 #include "models/yolo_v8.hpp"  // YoloSize
+#include "nn/engine.hpp"
 
 namespace ocb::models {
 
@@ -68,6 +69,23 @@ class MiniYolo {
   /// in model-input pixel coordinates.
   std::vector<Detection> decode(const Tensor& logits, int n,
                                 float min_confidence) const;
+
+  /// The conv stack as an inference-engine graph (fused leaky-ReLU
+  /// convs, explicit maxpool nodes, head marked as output). Build an
+  /// Engine over it and call export_weights to run the *trained* model
+  /// on the engine's FP32 or INT8 path.
+  nn::Graph export_graph() const;
+
+  /// Copy the trained parameters into `engine` (which must have been
+  /// built over export_graph()).
+  void export_weights(nn::Engine& engine) const;
+
+  /// detect(), but with the forward pass executed by `engine` — the
+  /// precision-sweep benchmark compares FP32 vs INT8 accuracy this way.
+  std::vector<Detection> detect_with_engine(nn::Engine& engine,
+                                            const Image& image,
+                                            float min_confidence = 0.5f,
+                                            bool top1 = true) const;
 
  private:
   YoloFamily family_;

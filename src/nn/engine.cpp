@@ -99,7 +99,125 @@ void Engine::repack(int node) {
     packed_[i].pack(weights_[i].data(), static_cast<std::size_t>(nd.out_c),
                     in0.numel());
   }
+  // Mutated weights invalidate the int8 panels too; requantize against
+  // the existing calibration (activation ranges are weight-independent).
+  if (i < qlayers_.size() && qlayers_[i].valid()) {
+    const TensorQuant in_q = qlayers_[i].in_q;
+    const TensorQuant out_q = qlayers_[i].out_q;
+    const EpiAct act = qlayers_[i].act;
+    const bool emit = qlayers_[i].emit_u8;
+    qlayers_[i] = quantize_layer(weights_[i].data(), packed_[i].rows(),
+                                 packed_[i].cols(), in_q, out_q, act);
+    qlayers_[i].emit_u8 = emit;
+  }
   pack_dirty_[i] = 0;
+}
+
+QuantCalibration Engine::calibrate(const std::vector<Tensor>& frames) {
+  OCB_CHECK_MSG(precision_ == Precision::kFp32,
+                "calibrate() requires FP32 precision");
+  OCB_CHECK_MSG(!frames.empty(), "calibration needs at least one frame");
+  const int n = graph_.node_count();
+  QuantCalibration calib;
+  calib.ranges.resize(static_cast<std::size_t>(n));
+  for (const Tensor& frame : frames) {
+    run(frame);
+    for (int i = 0; i < n; ++i) {
+      const Tensor& out = activations_[static_cast<std::size_t>(i)];
+      calib.ranges[static_cast<std::size_t>(i)].observe(out.data(),
+                                                        out.numel());
+    }
+  }
+  calib.frames = static_cast<int>(frames.size());
+  calib_ = calib;
+  return calib;
+}
+
+void Engine::set_precision(Precision precision,
+                           const QuantCalibration* calib) {
+  if (calib != nullptr) calib_ = *calib;
+  if (precision == Precision::kFp32) {
+    precision_ = Precision::kFp32;
+    return;
+  }
+  OCB_CHECK_MSG(calib_.frames > 0 &&
+                    calib_.ranges.size() ==
+                        static_cast<std::size_t>(graph_.node_count()),
+                "INT8 requires a calibration (run calibrate() first)");
+  build_int8_plan();
+  precision_ = Precision::kInt8;
+}
+
+void Engine::build_int8_plan() {
+  const std::size_t n = static_cast<std::size_t>(graph_.node_count());
+  qlayers_.assign(n, {});
+  node_quant_.assign(n, {});
+  u8_acts_.assign(n, {});
+  u8_valid_.assign(n, 0);
+  float_stale_.assign(n, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const TensorRange& r = calib_.ranges[i];
+    if (r.valid()) node_quant_[i] = quant_from_range(r.mn, r.mx);
+  }
+
+  // Consumer map: a conv keeps its output in u8 when every consumer
+  // reads it through the INT8 path (and it isn't a graph output whose
+  // caller expects float).
+  std::vector<std::vector<int>> consumers(n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (int s : graph_.node(static_cast<int>(j)).inputs)
+      consumers[static_cast<std::size_t>(s)].push_back(static_cast<int>(j));
+  auto quantizable = [&](int i) {
+    const OpKind kind = graph_.node(i).kind;
+    return kind == OpKind::kConv || kind == OpKind::kLinear;
+  };
+  const auto& outs = graph_.outputs();
+
+  std::size_t max_quad_bytes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& nd = graph_.node(static_cast<int>(i));
+    if (!quantizable(static_cast<int>(i))) continue;
+    const int src = nd.inputs[0];
+    const FeatShape in0 = graph_.shape(src);
+    std::size_t k;
+    if (nd.kind == OpKind::kConv) {
+      k = static_cast<std::size_t>(in0.c) * nd.kernel * nd.kernel;
+      const ConvGeometry geom{in0.c, in0.h, in0.w, nd.kernel, nd.kernel,
+                              nd.stride, nd.pad};
+      max_quad_bytes = std::max(
+          max_quad_bytes, quad_buffer_bytes(geom.col_rows(),
+                                            geom.col_cols()));
+    } else {
+      k = in0.numel();
+      max_quad_bytes = std::max(max_quad_bytes, quad_buffer_bytes(k, 1));
+    }
+    qlayers_[i] =
+        quantize_layer(weights_[i].data(), static_cast<std::size_t>(nd.out_c),
+                       k, node_quant_[static_cast<std::size_t>(src)],
+                       node_quant_[i], to_epilogue_act(nd.act));
+    bool emit = nd.kind == OpKind::kConv &&
+                std::find(outs.begin(), outs.end(), static_cast<int>(i)) ==
+                    outs.end() &&
+                !consumers[i].empty();
+    for (int c : consumers[i])
+      if (!quantizable(c)) emit = false;
+    qlayers_[i].emit_u8 = emit;
+    // Quantize-on-demand target for this node's input.
+    u8_acts_[static_cast<std::size_t>(src)].resize(in0.numel());
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (qlayers_[i].valid() && qlayers_[i].emit_u8)
+      u8_acts_[i].resize(graph_.shape(static_cast<int>(i)).numel());
+
+  // The INT8 path performs one arena alloc per node (the activation
+  // quad buffer); make sure a single pre-reserved block can hold the
+  // largest one so run() never grows the arena.
+  if (max_quad_bytes > int8_scratch_bytes_) {
+    scratch_.arena.reserve_bytes(scratch_.arena.capacity_bytes() +
+                                 max_quad_bytes);
+    int8_scratch_bytes_ = max_quad_bytes;
+  }
 }
 
 std::vector<Tensor> Engine::run(const Tensor& input) {
@@ -107,6 +225,25 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
   const Shape expected{1, in_shape.c, in_shape.h, in_shape.w};
   OCB_CHECK_MSG(input.shape() == expected,
                 "engine input shape mismatch: got " + input.shape().str());
+
+  const bool int8 = precision_ == Precision::kInt8;
+  if (int8) {
+    std::fill(u8_valid_.begin(), u8_valid_.end(), 0);
+    std::fill(float_stale_.begin(), float_stale_.end(), 0);
+  }
+  // Quantize a producer's float activation into its persistent u8
+  // buffer on first use this frame (no-op when the producer already
+  // emitted u8 directly).
+  auto u8_input = [&](int s) -> const std::uint8_t* {
+    const std::size_t si = static_cast<std::size_t>(s);
+    if (u8_valid_[si] == 0) {
+      const Tensor& a = activations_[si];
+      quantize_to_u8(a.data(), a.numel(), node_quant_[si],
+                     u8_acts_[si].data());
+      u8_valid_[si] = 1;
+    }
+    return u8_acts_[si].data();
+  };
 
   const int n = graph_.node_count();
   for (int i = 0; i < n; ++i) {
@@ -129,8 +266,22 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
         const FeatShape s = graph_.shape(nd.inputs[0]);
         const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
                                 nd.stride, nd.pad};
-        conv2d(src(0).data(), geom, packed_[static_cast<std::size_t>(i)],
-               biases_[i].data(), nd.act, dst.data(), scratch_);
+        const std::size_t ui = static_cast<std::size_t>(i);
+        if (int8 && qlayers_[ui].valid()) {
+          const std::uint8_t* inq = u8_input(nd.inputs[0]);
+          if (qlayers_[ui].emit_u8) {
+            qconv2d(inq, geom, qlayers_[ui], biases_[i].data(),
+                    /*out_f32=*/nullptr, u8_acts_[ui].data(), scratch_);
+            u8_valid_[ui] = 1;
+            float_stale_[ui] = 1;
+          } else {
+            qconv2d(inq, geom, qlayers_[ui], biases_[i].data(), dst.data(),
+                    /*out_u8=*/nullptr, scratch_);
+          }
+        } else {
+          conv2d(src(0).data(), geom, packed_[static_cast<std::size_t>(i)],
+                 biases_[i].data(), nd.act, dst.data(), scratch_);
+        }
         break;
       }
       case OpKind::kDwConv: {
@@ -182,8 +333,16 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
         break;
       }
       case OpKind::kLinear: {
-        linear(src(0).data(), packed_[static_cast<std::size_t>(i)],
-               biases_[i].data(), nd.act, dst.data());
+        const std::size_t ui = static_cast<std::size_t>(i);
+        if (int8 && qlayers_[ui].valid()) {
+          qlinear(u8_input(nd.inputs[0]),
+                  graph_.shape(nd.inputs[0]).numel(), qlayers_[ui],
+                  biases_[i].data(), dst.data(), /*out_u8=*/nullptr,
+                  scratch_);
+        } else {
+          linear(src(0).data(), packed_[static_cast<std::size_t>(i)],
+                 biases_[i].data(), nd.act, dst.data());
+        }
         break;
       }
     }
@@ -200,7 +359,16 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
 const Tensor& Engine::node_output(int node) const {
   OCB_CHECK(node >= 0 && node < graph_.node_count());
   OCB_CHECK_MSG(has_run_, "node_output before run()");
-  return activations_[static_cast<std::size_t>(node)];
+  const std::size_t i = static_cast<std::size_t>(node);
+  if (!float_stale_.empty() && float_stale_[i] != 0) {
+    // The node kept its output in u8 (all consumers were INT8);
+    // materialise the float view on demand.
+    Tensor& dst = activations_[i];
+    dequantize_u8(u8_acts_[i].data(), dst.numel(), node_quant_[i],
+                  dst.data());
+    float_stale_[i] = 0;
+  }
+  return activations_[i];
 }
 
 Tensor& Engine::weight(int node) {

@@ -20,8 +20,14 @@
 
 #include "nn/graph.hpp"
 #include "nn/ops.hpp"
+#include "nn/quantize.hpp"
 
 namespace ocb::nn {
+
+/// Numeric precision the engine executes conv/linear nodes in. kInt8
+/// requires a calibration pass first (see calibrate/set_precision);
+/// all other ops stay FP32 in either mode.
+enum class Precision { kFp32, kInt8 };
 
 class Engine {
  public:
@@ -50,19 +56,47 @@ class Engine {
   /// allocation-free: stats().grows must remain 0 across run() calls.
   const Arena& scratch_arena() const noexcept { return scratch_.arena; }
 
+  /// Run `frames` through the FP32 path, recording per-node output
+  /// min/max. The result is also retained internally, so a following
+  /// set_precision(kInt8) needs no explicit calibration argument.
+  /// Requires the current precision to be kFp32.
+  QuantCalibration calibrate(const std::vector<Tensor>& frames);
+
+  /// Switch execution precision. kInt8 quantizes every conv/linear
+  /// weight matrix per output channel against `calib` (or the ranges
+  /// recorded by the last calibrate() when null), packs int8 panels and
+  /// extends the scratch arena reservation — run() stays heap-free in
+  /// either mode. Conv nodes whose consumers are all conv/linear keep
+  /// their output in u8 (the float activation is dequantized lazily by
+  /// node_output()).
+  void set_precision(Precision precision,
+                     const QuantCalibration* calib = nullptr);
+  Precision precision() const noexcept { return precision_; }
+
  private:
   void repack(int node);
+  void build_int8_plan();
 
   Graph graph_;  // engine owns an immutable copy of the structure
   std::vector<Tensor> weights_;
   std::vector<Tensor> biases_;
-  std::vector<Tensor> activations_;
+  /// Mutable: node_output() lazily dequantizes u8-resident activations.
+  mutable std::vector<Tensor> activations_;
   std::vector<PackedA> packed_;      ///< per-node weight panels (conv/linear)
   std::vector<char> pack_dirty_;     ///< weight() handed out since last pack
   std::vector<std::vector<const float*>> concat_srcs_;
   std::vector<std::vector<int>> concat_channels_;
   ConvScratch scratch_;
   bool has_run_ = false;  ///< activations hold real data (vs zero-fill)
+
+  Precision precision_ = Precision::kFp32;
+  QuantCalibration calib_;                ///< last recorded calibration
+  std::vector<QuantizedLayer> qlayers_;   ///< per-node INT8 state
+  std::vector<TensorQuant> node_quant_;   ///< per-node activation quant
+  std::vector<std::vector<std::uint8_t>> u8_acts_;  ///< persistent u8 bufs
+  std::vector<char> u8_valid_;            ///< u8 buffer current this frame
+  mutable std::vector<char> float_stale_; ///< float view needs dequant
+  std::size_t int8_scratch_bytes_ = 0;    ///< extra arena already reserved
 };
 
 }  // namespace ocb::nn

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/gemm.hpp"
+
 namespace ocb::nn {
 
 const char* op_name(OpKind kind) noexcept {
@@ -28,6 +30,10 @@ void apply_activation(Act act, float* data, std::size_t n) noexcept {
     case Act::kRelu:
       for (std::size_t i = 0; i < n; ++i)
         if (data[i] < 0.0f) data[i] = 0.0f;
+      return;
+    case Act::kLeakyRelu:
+      for (std::size_t i = 0; i < n; ++i)
+        if (data[i] < 0.0f) data[i] *= kLeakySlope;
       return;
     case Act::kSilu:
       for (std::size_t i = 0; i < n; ++i) {

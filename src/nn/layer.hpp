@@ -14,7 +14,7 @@
 namespace ocb::nn {
 
 /// Fused post-op activation.
-enum class Act { kNone, kRelu, kSilu, kSigmoid };
+enum class Act { kNone, kRelu, kLeakyRelu, kSilu, kSigmoid };
 
 enum class OpKind {
   kInput,          ///< graph input placeholder

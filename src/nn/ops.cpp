@@ -12,6 +12,7 @@ EpiAct to_epilogue_act(Act act) noexcept {
   switch (act) {
     case Act::kNone: return EpiAct::kNone;
     case Act::kRelu: return EpiAct::kRelu;
+    case Act::kLeakyRelu: return EpiAct::kLeakyRelu;
     case Act::kSilu: return EpiAct::kSilu;
     case Act::kSigmoid: return EpiAct::kSigmoid;
   }
@@ -34,6 +35,7 @@ inline float activate_scalar(Act act, float v) noexcept {
   switch (act) {
     case Act::kNone: return v;
     case Act::kRelu: return v < 0.0f ? 0.0f : v;
+    case Act::kLeakyRelu: return v < 0.0f ? kLeakySlope * v : v;
     case Act::kSilu: return fast_silu(v);
     case Act::kSigmoid: return fast_sigmoid(v);
   }

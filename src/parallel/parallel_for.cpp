@@ -23,6 +23,7 @@ double parallel_sum(std::size_t n,
                     const std::function<double(std::size_t)>& fn,
                     std::size_t grain) {
   ThreadPool& pool = ThreadPool::global();
+  if (grain == 0) grain = 1;  // grain 0 would divide by zero below
   if (pool.size() <= 1 || n <= grain) {
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) sum += fn(i);

@@ -30,13 +30,15 @@ void gemm_naive(const float* a, const float* b, float* c, std::size_t m,
 // u = (t−i)·ln2 ∈ [−ln2/2, ln2/2]; e^u by a degree-6 Taylor polynomial
 // whose truncation error ≤ (ln2/2)^7/7! ≈ 1.2e-7 relative — about
 // 1 float ULP, ≤ 2 ULP end-to-end with rounding. Inputs are clamped to
-// [−87, 88] (beyond which float exp under/overflows anyway), which the
-// sigmoid/SiLU users never notice: sigmoid saturates to 0/1 in float
-// by |x| ≈ 17.
+// ±87 — not the float-overflow limit 88, because 1/(1+e^88) in the
+// sigmoid/SiLU users is denormal and every later op touching the value
+// pays a microcode assist (see exp256 in simd_math.hpp). The users
+// never notice the clamp: sigmoid saturates to 0/1 in float by
+// |x| ≈ 17.
 // ---------------------------------------------------------------------------
 
 float fast_exp(float x) noexcept {
-  x = std::min(88.0f, std::max(-87.0f, x));
+  x = std::min(87.0f, std::max(-87.0f, x));
   const float t = x * 1.4426950408889634f;  // x / ln 2
   const float fi = std::floor(t + 0.5f);
   // Cody–Waite reduction: ln2 split so fi·ln2_hi is exact for |fi| ≤ 2^7
@@ -72,6 +74,12 @@ void epilogue_row_scalar(float* row, std::size_t n, float bias, EpiAct act) {
       for (std::size_t j = 0; j < n; ++j) {
         const float v = row[j] + bias;
         row[j] = v < 0.0f ? 0.0f : v;
+      }
+      return;
+    case EpiAct::kLeakyRelu:
+      for (std::size_t j = 0; j < n; ++j) {
+        const float v = row[j] + bias;
+        row[j] = v < 0.0f ? kLeakySlope * v : v;
       }
       return;
     case EpiAct::kSilu:
@@ -242,6 +250,20 @@ PackedA& thread_pack_buffer() {
 
 }  // namespace
 
+namespace detail {
+
+// Per-thread record of the level the last dispatch actually executed;
+// both the FP32 (here) and INT8 (qgemm.cpp) dispatchers write it.
+thread_local simd::Level g_last_level = simd::Level::kScalar;
+
+void record_dispatch_level(simd::Level level) noexcept {
+  g_last_level = level;
+}
+
+}  // namespace detail
+
+simd::Level gemm_last_level() noexcept { return detail::g_last_level; }
+
 void gemm_ex(const float* a, const float* b, float* c, std::size_t m,
              std::size_t k, std::size_t n, bool accumulate,
              const GemmEpilogue& epilogue, const GemmConfig& config) {
@@ -259,6 +281,7 @@ void gemm_ex(const float* a, const float* b, float* c, std::size_t m,
   }
 
   if (use_simd(config)) {
+    detail::record_dispatch_level(simd::Level::kAvx2);
     PackedA& pack = thread_pack_buffer();
     pack.pack(a, m, k);
     detail::gemm_packed_avx2(pack, b, c, n, accumulate, epilogue,
@@ -266,6 +289,7 @@ void gemm_ex(const float* a, const float* b, float* c, std::size_t m,
     return;
   }
 
+  detail::record_dispatch_level(simd::Level::kScalar);
   gemm_scalar_blocked(a, b, c, m, k, n, accumulate, config);
   if (epilogue.active()) {
     auto row_epilogue = [&](std::size_t i) {
@@ -304,9 +328,11 @@ void gemm_packed(const PackedA& a, const float* b, float* c, std::size_t n,
     return;
   }
   if (use_simd(config)) {
+    detail::record_dispatch_level(simd::Level::kAvx2);
     detail::gemm_packed_avx2(a, b, c, n, accumulate, epilogue,
                              config.parallel);
   } else {
+    detail::record_dispatch_level(simd::Level::kScalar);
     detail::gemm_packed_scalar(a, b, c, n, accumulate, epilogue,
                                config.parallel);
   }

@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "tensor/simd.hpp"
+
 namespace ocb {
 
 /// Which kernel the dispatcher should use.
@@ -23,6 +25,13 @@ enum class GemmPath {
   kScalar,  ///< force the scalar blocked fallback
   kSimd,    ///< request SIMD; silently falls back if unavailable
 };
+
+/// The SIMD level the most recent GEMM dispatch on this thread actually
+/// executed (as opposed to what the config requested). Benchmarks
+/// record this next to their timings so a silent mis-dispatch — SIMD
+/// requested but the scalar fallback taken — shows up as a baseline
+/// regression instead of a mystery slowdown.
+simd::Level gemm_last_level() noexcept;
 
 struct GemmConfig {
   std::size_t block_m = 64;
@@ -38,7 +47,11 @@ struct GemmConfig {
 
 /// Activation fused into the GEMM write-back. Mirrors nn::Act without
 /// inverting the tensor→nn layering.
-enum class EpiAct { kNone, kRelu, kSilu, kSigmoid };
+enum class EpiAct { kNone, kRelu, kLeakyRelu, kSilu, kSigmoid };
+
+/// Negative-side slope of EpiAct::kLeakyRelu (the MiniYolo detectors
+/// train with ag::relu(x, 0.1), and the engine export must match).
+inline constexpr float kLeakySlope = 0.1f;
 
 /// Fused epilogue applied as C is written back: per-row bias add then
 /// activation. Only valid with accumulate == false — with accumulate
@@ -113,5 +126,18 @@ void gemm_naive(const float* a, const float* b, float* c, std::size_t m,
 float fast_exp(float x) noexcept;
 float fast_sigmoid(float x) noexcept;
 float fast_silu(float x) noexcept;
+
+/// Scalar epilogue activation, shared by the scalar kernels and the
+/// SIMD tails (FP32 and INT8 alike).
+inline float apply_epi_act(EpiAct act, float v) noexcept {
+  switch (act) {
+    case EpiAct::kNone: return v;
+    case EpiAct::kRelu: return v < 0.0f ? 0.0f : v;
+    case EpiAct::kLeakyRelu: return v < 0.0f ? kLeakySlope * v : v;
+    case EpiAct::kSilu: return fast_silu(v);
+    case EpiAct::kSigmoid: return fast_sigmoid(v);
+  }
+  return v;
+}
 
 }  // namespace ocb

@@ -32,6 +32,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/simd_math.hpp"
+
 namespace ocb::simd {
 bool avx2_compiled() noexcept { return true; }
 }  // namespace ocb::simd
@@ -41,56 +43,6 @@ namespace {
 
 constexpr std::size_t MR = PackedA::kRowTile;  // 6
 constexpr std::size_t kColBlock = 512;         // B stripe kept cache-hot
-
-inline __m256 exp256(__m256 x) noexcept {
-  x = _mm256_min_ps(_mm256_set1_ps(88.0f),
-                    _mm256_max_ps(_mm256_set1_ps(-87.0f), x));
-  const __m256 t = _mm256_mul_ps(x, _mm256_set1_ps(1.4426950408889634f));
-  const __m256 fi = _mm256_round_ps(
-      _mm256_add_ps(t, _mm256_set1_ps(0.5f)),
-      _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);  // floor(t + 1/2)
-  // Cody–Waite reduction, matching the scalar fast_exp: fi·ln2_hi is
-  // exact for |fi| ≤ 2^7, keeping the reduction error at ULP level
-  // across the full clamp range.
-  __m256 u = _mm256_fnmadd_ps(fi, _mm256_set1_ps(0.693359375f), x);
-  u = _mm256_fmadd_ps(fi, _mm256_set1_ps(2.12194440e-4f), u);
-  __m256 p = _mm256_set1_ps(1.0f / 720.0f);
-  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(1.0f / 120.0f));
-  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(1.0f / 24.0f));
-  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(1.0f / 6.0f));
-  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(0.5f));
-  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(1.0f));
-  p = _mm256_fmadd_ps(p, u, _mm256_set1_ps(1.0f));
-  __m256i e = _mm256_cvtps_epi32(fi);
-  e = _mm256_slli_epi32(_mm256_add_epi32(e, _mm256_set1_epi32(127)), 23);
-  return _mm256_mul_ps(p, _mm256_castsi256_ps(e));
-}
-
-inline __m256 sigmoid256(__m256 x) noexcept {
-  const __m256 one = _mm256_set1_ps(1.0f);
-  const __m256 ex = exp256(_mm256_sub_ps(_mm256_setzero_ps(), x));
-  return _mm256_div_ps(one, _mm256_add_ps(one, ex));
-}
-
-inline __m256 apply_act256(__m256 v, EpiAct act) noexcept {
-  switch (act) {
-    case EpiAct::kNone: return v;
-    case EpiAct::kRelu: return _mm256_max_ps(v, _mm256_setzero_ps());
-    case EpiAct::kSilu: return _mm256_mul_ps(v, sigmoid256(v));
-    case EpiAct::kSigmoid: return sigmoid256(v);
-  }
-  return v;
-}
-
-inline float apply_act_scalar(float v, EpiAct act) noexcept {
-  switch (act) {
-    case EpiAct::kNone: return v;
-    case EpiAct::kRelu: return v < 0.0f ? 0.0f : v;
-    case EpiAct::kSilu: return fast_silu(v);
-    case EpiAct::kSigmoid: return fast_sigmoid(v);
-  }
-  return v;
-}
 
 /// One register tile: rows [i0, i0+mr) × columns [j, j + 8·NV).
 /// `ap` is the panel (k-major, MR floats per k), `ld` the row stride of
@@ -150,7 +102,7 @@ void kernel_tail(const float* ap, const float* b, float* c, std::size_t ld,
         *out += acc;
       } else {
         if (bias_panel != nullptr) acc += bias_panel[r];
-        *out = apply_act_scalar(acc, act);
+        *out = apply_epi_act(act, acc);
       }
     }
   }

@@ -29,4 +29,8 @@ void gemm_packed_scalar(const PackedA& a, const float* b, float* c,
 /// and the scalar blocked path).
 void epilogue_row_scalar(float* row, std::size_t n, float bias, EpiAct act);
 
+/// Record the level a dispatcher picked (see gemm_last_level()). Also
+/// written by the INT8 dispatcher in qgemm.cpp.
+void record_dispatch_level(simd::Level level) noexcept;
+
 }  // namespace ocb::detail

@@ -1,5 +1,7 @@
 #include "tensor/im2col.hpp"
 
+#include <algorithm>
+
 namespace ocb {
 
 void im2col(const float* image, const ConvGeometry& geom, float* col) {
@@ -23,6 +25,44 @@ void im2col(const float* image, const ConvGeometry& geom, float* col) {
           for (int x = 0; x < ow; ++x) {
             const int sx = x * geom.stride - geom.pad + kx;
             *dst++ = (sx >= 0 && sx < geom.in_w) ? src_row[sx] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void im2col_u8_quads(const std::uint8_t* image, const ConvGeometry& geom,
+                     std::uint8_t pad_value, std::uint8_t* out) {
+  const int oh = geom.out_h();
+  const int ow = geom.out_w();
+  OCB_CHECK_MSG(oh > 0 && ow > 0, "conv output would be empty");
+  constexpr std::size_t Q = 4;  // PackedQuantA::kQuadK
+  const std::size_t cols = static_cast<std::size_t>(oh) * ow;
+  const std::size_t rows = geom.col_rows();
+  const std::size_t plane = static_cast<std::size_t>(geom.in_h) * geom.in_w;
+  if (rows % Q != 0) {
+    // Last partial quad row: zero once, the main loop fills live bytes.
+    std::fill_n(out + (rows / Q) * cols * Q, cols * Q, std::uint8_t{0});
+  }
+  std::size_t row = 0;
+  for (int c = 0; c < geom.in_c; ++c) {
+    const std::uint8_t* src = image + static_cast<std::size_t>(c) * plane;
+    for (int ky = 0; ky < geom.kernel_h; ++ky) {
+      for (int kx = 0; kx < geom.kernel_w; ++kx, ++row) {
+        // Byte `row % Q` of every column quad in quad row `row / Q`.
+        std::uint8_t* dst = out + (row / Q) * cols * Q + row % Q;
+        for (int y = 0; y < oh; ++y) {
+          const int sy = y * geom.stride - geom.pad + ky;
+          if (sy < 0 || sy >= geom.in_h) {
+            for (int x = 0; x < ow; ++x, dst += Q) *dst = pad_value;
+            continue;
+          }
+          const std::uint8_t* src_row =
+              src + static_cast<std::size_t>(sy) * geom.in_w;
+          for (int x = 0; x < ow; ++x, dst += Q) {
+            const int sx = x * geom.stride - geom.pad + kx;
+            *dst = (sx >= 0 && sx < geom.in_w) ? src_row[sx] : pad_value;
           }
         }
       }

@@ -5,6 +5,8 @@
 // col2im is the adjoint, used by the training engine's backward pass.
 #pragma once
 
+#include <cstdint>
+
 #include "tensor/tensor.hpp"
 
 namespace ocb {
@@ -36,5 +38,16 @@ void im2col(const float* image, const ConvGeometry& geom, float* col);
 /// Adjoint of im2col: scatter-add columns back into the image gradient.
 /// `image_grad` must be pre-zeroed by the caller.
 void col2im(const float* col, const ConvGeometry& geom, float* image_grad);
+
+/// im2col over a quantized u8 image, emitting the activation *quad*
+/// layout the INT8 GEMM consumes directly (see qgemm.hpp): quad row q
+/// holds columns 0..col_cols-1 × 4 consecutive col_rows (k) bytes.
+/// Spatial padding writes `pad_value` — the activation zero-point, so a
+/// padded pixel dequantizes to 0. Trailing bytes of the last partial
+/// quad are zeroed (the matching weight bytes are zero, so their value
+/// is irrelevant; zero keeps runs deterministic). `out` must hold
+/// quad_buffer_bytes(col_rows(), col_cols()).
+void im2col_u8_quads(const std::uint8_t* image, const ConvGeometry& geom,
+                     std::uint8_t pad_value, std::uint8_t* out);
 
 }  // namespace ocb

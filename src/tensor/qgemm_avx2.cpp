@@ -1,0 +1,205 @@
+// AVX2 INT8 (u8 × s8) packed-GEMM micro-kernel.
+//
+// Compiled with -mavx2 -mfma alongside gemm_avx2.cpp (see
+// src/CMakeLists.txt); the dispatcher in qgemm.cpp only routes here
+// after CPUID confirms support.
+//
+// The machine has no VNNI, so the i32 dot product is synthesized from
+// two instructions per weight quad:
+//   vpmaddubsw  u8·s8 pairs → i16 with signed saturation
+//   vpmaddwd    i16 pairs (× 1) → i32
+// Saturation in the first step is impossible by construction: the
+// activation quantizer restricts u8 values to [0, 127], and
+// 127·127 + 127·127 = 32258 < 2^15 (see qgemm.hpp).
+//
+// Tile shape: 6 rows × 16 columns. The activation quad layout puts the
+// 4 k-bytes of 8 consecutive columns in 32 contiguous bytes, so one
+// ymm load covers 8 columns of one quad row; the 4-byte weight quad of
+// each packed row broadcasts with a single vpbroadcastd. Six rows × two
+// column vectors = 12 i32 accumulators + 2 activation loads + 1 weight
+// broadcast + the ones constant = 16 ymm registers.
+#include "tensor/qgemm_kernels.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "tensor/simd.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/simd_math.hpp"
+
+namespace ocb::detail {
+namespace {
+
+constexpr std::size_t MR = PackedQuantA::kRowTile;  // 6
+constexpr std::size_t Q = PackedQuantA::kQuadK;     // 4
+constexpr std::size_t kColBlock = 512;  // activation stripe kept cache-hot
+
+/// Dequantize + activate one row's accumulator vector (8 columns).
+inline __m256 finish_row(__m256i acc, std::int32_t offset, float scale,
+                         float bias, EpiAct act) noexcept {
+  if (offset != 0) acc = _mm256_sub_epi32(acc, _mm256_set1_epi32(offset));
+  __m256 v = _mm256_mul_ps(_mm256_cvtepi32_ps(acc), _mm256_set1_ps(scale));
+  v = _mm256_add_ps(v, _mm256_set1_ps(bias));
+  return apply_act256(v, act);
+}
+
+/// Requantize 8 activated floats to u8 in [0, 127] and store them.
+/// _mm256_cvtps_epi32 rounds to nearest-even, matching the scalar
+/// path's lrintf under the default rounding mode.
+inline void store_u8x8(std::uint8_t* dst, __m256 v, float inv_out_scale,
+                       std::int32_t out_zp) noexcept {
+  __m256i q = _mm256_cvtps_epi32(
+      _mm256_mul_ps(v, _mm256_set1_ps(inv_out_scale)));
+  q = _mm256_add_epi32(q, _mm256_set1_epi32(out_zp));
+  q = _mm256_max_epi32(q, _mm256_setzero_si256());
+  q = _mm256_min_epi32(q, _mm256_set1_epi32(127));
+  const __m256i w = _mm256_packs_epi32(q, q);    // i16, per-lane dup
+  const __m256i b = _mm256_packus_epi16(w, w);   // u8, per-lane dup
+  std::memcpy(dst, &b, 4);  // lanes 0..3 live in the low dword
+  const __m128i hi = _mm256_extracti128_si256(b, 1);
+  const int hi32 = _mm_cvtsi128_si32(hi);
+  std::memcpy(dst + 4, &hi32, 4);
+}
+
+/// One register tile: rows [i0, i0+mr) × columns [j, j + 8·NV).
+/// `ap` is the weight panel (quad-major, MR quads per quad row), `bq`
+/// points at the tile's first column inside the activation quad rows.
+template <int NV>
+inline void kernel_tile(const std::int8_t* ap, const std::uint8_t* bq,
+                        std::size_t n, std::size_t quads, std::size_t mr,
+                        std::size_t i0, const QGemmEpilogue& epi,
+                        const QGemmOut& out, std::size_t j,
+                        float inv_out_scale) noexcept {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc[MR][NV];
+  for (std::size_t r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm256_setzero_si256();
+
+  const std::uint8_t* bp = bq;
+  const std::int8_t* wp = ap;
+  for (std::size_t q = 0; q < quads; ++q) {
+    __m256i bv[NV];
+    for (int v = 0; v < NV; ++v)
+      bv[v] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(bp + 32 * v));
+    for (std::size_t r = 0; r < MR; ++r) {
+      std::int32_t wquad;
+      std::memcpy(&wquad, wp + r * Q, sizeof wquad);
+      const __m256i wv = _mm256_set1_epi32(wquad);
+      for (int v = 0; v < NV; ++v) {
+        const __m256i p16 = _mm256_maddubs_epi16(bv[v], wv);
+        acc[r][v] =
+            _mm256_add_epi32(acc[r][v], _mm256_madd_epi16(p16, ones));
+      }
+    }
+    bp += n * Q;
+    wp += MR * Q;
+  }
+
+  for (std::size_t r = 0; r < mr; ++r) {
+    const std::size_t row = i0 + r;
+    const std::int32_t off =
+        epi.row_offset != nullptr ? epi.row_offset[row] : 0;
+    const float bias = epi.bias != nullptr ? epi.bias[row] : 0.0f;
+    for (int v = 0; v < NV; ++v) {
+      const __m256 val =
+          finish_row(acc[r][v], off, epi.scale[row], bias, epi.act);
+      if (out.f32 != nullptr) {
+        _mm256_storeu_ps(out.f32 + row * n + j + 8 * v, val);
+      } else {
+        store_u8x8(out.u8 + row * n + j + 8 * v, val, inv_out_scale,
+                   out.out_zp);
+      }
+    }
+  }
+}
+
+/// Scalar remainder for the final n % 8 columns of a panel.
+void kernel_tail(const std::int8_t* ap, const std::uint8_t* bq,
+                 std::size_t n, std::size_t quads, std::size_t cols,
+                 std::size_t mr, std::size_t i0, const QGemmEpilogue& epi,
+                 const QGemmOut& out, std::size_t j,
+                 float inv_out_scale) noexcept {
+  for (std::size_t r = 0; r < mr; ++r) {
+    const std::size_t row = i0 + r;
+    for (std::size_t jj = 0; jj < cols; ++jj) {
+      std::int32_t acc = 0;
+      for (std::size_t q = 0; q < quads; ++q) {
+        const std::int8_t* w = ap + (q * MR + r) * Q;
+        const std::uint8_t* b = bq + q * n * Q + jj * Q;
+        acc += static_cast<std::int32_t>(w[0]) * b[0] +
+               static_cast<std::int32_t>(w[1]) * b[1] +
+               static_cast<std::int32_t>(w[2]) * b[2] +
+               static_cast<std::int32_t>(w[3]) * b[3];
+      }
+      if (epi.row_offset != nullptr) acc -= epi.row_offset[row];
+      float v = static_cast<float>(acc) * epi.scale[row];
+      if (epi.bias != nullptr) v += epi.bias[row];
+      v = apply_epi_act(epi.act, v);
+      if (out.f32 != nullptr)
+        out.f32[row * n + j + jj] = v;
+      else
+        out.u8[row * n + j + jj] =
+            requantize_u8(v, inv_out_scale, out.out_zp);
+    }
+  }
+}
+
+}  // namespace
+
+void qgemm_packed_avx2(const PackedQuantA& a, const std::uint8_t* b_quads,
+                       std::size_t n, const QGemmEpilogue& epilogue,
+                       const QGemmOut& out, bool parallel) {
+  const std::size_t m = a.rows();
+  const std::size_t quads = a.quad_count();
+  const std::size_t panels = a.panel_count();
+  const float inv_out_scale =
+      out.u8 != nullptr ? 1.0f / out.out_scale : 1.0f;
+
+  for (std::size_t jc = 0; jc < n; jc += kColBlock) {
+    const std::size_t jc_end = std::min(n, jc + kColBlock);
+    auto panel_job = [&](std::size_t p) {
+      const std::int8_t* ap = a.panel(p);
+      const std::size_t i0 = p * MR;
+      const std::size_t mr = std::min(MR, m - i0);
+      std::size_t j = jc;
+      for (; j + 16 <= jc_end; j += 16)
+        kernel_tile<2>(ap, b_quads + j * Q, n, quads, mr, i0, epilogue, out,
+                       j, inv_out_scale);
+      for (; j + 8 <= jc_end; j += 8)
+        kernel_tile<1>(ap, b_quads + j * Q, n, quads, mr, i0, epilogue, out,
+                       j, inv_out_scale);
+      if (j < jc_end)
+        kernel_tail(ap, b_quads + j * Q, n, quads, jc_end - j, mr, i0,
+                    epilogue, out, j, inv_out_scale);
+    };
+    if (parallel && panels > 1) {
+      parallel_for(0, panels, panel_job, /*grain=*/1);
+    } else {
+      for (std::size_t p = 0; p < panels; ++p) panel_job(p);
+    }
+  }
+}
+
+}  // namespace ocb::detail
+
+#else  // !(__AVX2__ && __FMA__): baseline build of this TU
+
+namespace ocb::detail {
+
+void qgemm_packed_avx2(const PackedQuantA& a, const std::uint8_t* b_quads,
+                       std::size_t n, const QGemmEpilogue& epilogue,
+                       const QGemmOut& out, bool parallel) {
+  // The dispatcher never routes here when avx2_compiled() is false;
+  // keep a correct fallback anyway rather than a trap.
+  qgemm_packed_scalar(a, b_quads, n, epilogue, out, parallel);
+}
+
+}  // namespace ocb::detail
+
+#endif

@@ -1,0 +1,45 @@
+// Internal contract between the INT8 GEMM dispatcher (qgemm.cpp) and
+// the AVX2 translation unit (qgemm_avx2.cpp). Not installed as public
+// API. Both kernels consume the same PackedQuantA panel and activation
+// quad layouts, so a layer packed once is valid on either path.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/qgemm.hpp"
+
+namespace ocb::detail {
+
+/// Output target of a quantized GEMM: exactly one of f32/u8 is set.
+/// u8 mode requantizes the activated value to round(v/out_scale)+out_zp
+/// clamped to [0, 127] (the 7-bit activation convention; see qgemm.hpp).
+struct QGemmOut {
+  float* f32 = nullptr;
+  std::uint8_t* u8 = nullptr;
+  float out_scale = 1.0f;
+  std::int32_t out_zp = 0;
+};
+
+/// AVX2 `vpmaddubsw`/`vpmaddwd` kernel. Must only be called when
+/// simd::active() == Level::kAvx2.
+void qgemm_packed_avx2(const PackedQuantA& a, const std::uint8_t* b_quads,
+                       std::size_t n, const QGemmEpilogue& epilogue,
+                       const QGemmOut& out, bool parallel);
+
+/// Scalar kernel with bit-identical i32 accumulation — the fallback and
+/// the oracle for the AVX2 path (integer accumulation is exact; only
+/// the float epilogue can differ, by ≈1 ULP of rounding).
+void qgemm_packed_scalar(const PackedQuantA& a, const std::uint8_t* b_quads,
+                         std::size_t n, const QGemmEpilogue& epilogue,
+                         const QGemmOut& out, bool parallel);
+
+/// Requantize one activated float to u8 in [0, 127].
+inline std::uint8_t requantize_u8(float v, float inv_out_scale,
+                                  std::int32_t out_zp) noexcept {
+  const std::int32_t q =
+      static_cast<std::int32_t>(std::lrintf(v * inv_out_scale)) + out_zp;
+  return static_cast<std::uint8_t>(q < 0 ? 0 : (q > 127 ? 127 : q));
+}
+
+}  // namespace ocb::detail

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/error.hpp"
@@ -29,6 +30,7 @@ float reference_act(EpiAct act, float x) {
   switch (act) {
     case EpiAct::kNone: return x;
     case EpiAct::kRelu: return x < 0.0f ? 0.0f : x;
+    case EpiAct::kLeakyRelu: return x < 0.0f ? kLeakySlope * x : x;
     case EpiAct::kSilu: return x / (1.0f + std::exp(-x));
     case EpiAct::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
   }
@@ -63,10 +65,16 @@ TEST(FastActivations, SigmoidAndSiluBoundedError) {
 }
 
 TEST(FastActivations, ExpSaturatesSanely) {
-  EXPECT_GT(fast_exp(88.0f), 1e38f);
-  EXPECT_LT(fast_exp(-87.0f), 2e-38f);
+  // The clamp sits at ±87, below float overflow, so that downstream
+  // sigmoid/SiLU values stay NORMAL: 1/(1+e^88) would be denormal and
+  // denormal operands cost a ~30-100 cycle microcode assist per op
+  // (see fast_exp in gemm.cpp).
+  EXPECT_GT(fast_exp(88.0f), 6e37f);
+  EXPECT_LT(fast_exp(-88.0f), 2e-38f);
   EXPECT_FLOAT_EQ(fast_sigmoid(100.0f), 1.0f);
   EXPECT_NEAR(fast_sigmoid(-100.0f), 0.0f, 1e-30f);
+  EXPECT_GE(fast_sigmoid(-100.0f), 1.17549435e-38f)  // FLT_MIN: normal
+      << "saturated sigmoid must not produce a denormal";
 }
 
 // --- fused epilogues ---------------------------------------------------
@@ -122,7 +130,8 @@ TEST_P(EpilogueTest, PackedFusedMatchesUnfusedReference) {
 
 INSTANTIATE_TEST_SUITE_P(Acts, EpilogueTest,
                          ::testing::Values(EpiAct::kNone, EpiAct::kRelu,
-                                           EpiAct::kSilu, EpiAct::kSigmoid));
+                                           EpiAct::kLeakyRelu, EpiAct::kSilu,
+                                           EpiAct::kSigmoid));
 
 TEST(Epilogue, ActiveEpilogueWithAccumulateThrows) {
   std::vector<float> a(4, 1.0f), b(4, 1.0f), c(4, 0.0f), bias(2, 1.0f);
@@ -191,6 +200,63 @@ TEST(Arena, GrowsWhenPlanUnderReserved) {
   (void)arena.alloc_floats(1024);  // now satisfied by the grown block
   EXPECT_EQ(arena.stats().grows, 1u);
   EXPECT_EQ(arena.stats().block_allocs, 2u);
+}
+
+TEST(Arena, ZeroSizeAllocReturnsDistinctAlignedPointers) {
+  Arena arena;
+  arena.reserve_bytes(256);
+  void* a = arena.alloc(0);
+  void* b = arena.alloc(0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);  // each zero-size alloc still owns a unique slot
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % Arena::kAlign, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % Arena::kAlign, 0u);
+  EXPECT_EQ(arena.stats().grows, 0u);
+}
+
+TEST(Arena, MixedByteAndFloatAllocsStayAligned) {
+  // The INT8 path interleaves u8 quad buffers with float scratch; every
+  // pointer must stay 32-byte aligned regardless of the previous
+  // alloc's size.
+  Arena arena;
+  arena.reserve_bytes(4096);
+  for (std::size_t odd : {1u, 3u, 7u, 13u, 33u}) {
+    auto* bytes = static_cast<std::uint8_t*>(arena.alloc(odd));
+    float* floats = arena.alloc_floats(5);
+    ASSERT_NE(bytes, nullptr);
+    ASSERT_NE(floats, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(bytes) % Arena::kAlign, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(floats) % Arena::kAlign, 0u);
+  }
+  EXPECT_EQ(arena.stats().grows, 0u);
+}
+
+TEST(Arena, ResetThenReallocReusesMixedSizeSequence) {
+  Arena arena;
+  arena.reserve_bytes(2048);
+  void* a1 = arena.alloc(100);
+  void* b1 = arena.alloc(1000);
+  arena.reset();
+  void* a2 = arena.alloc(100);
+  void* b2 = arena.alloc(1000);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(arena.stats().block_allocs, 1u);
+  EXPECT_EQ(arena.stats().grows, 0u);
+}
+
+TEST(Arena, OverCapacitySingleAllocGrowsOnceThenStabilises) {
+  Arena arena;
+  arena.reserve_bytes(128);
+  // One request larger than total capacity must still succeed.
+  void* big = arena.alloc(100000);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(arena.stats().grows, 1u);
+  arena.reset();
+  void* again = arena.alloc(100000);
+  EXPECT_EQ(big, again);  // grown block is retained and reused
+  EXPECT_EQ(arena.stats().grows, 1u);
 }
 
 TEST(Arena, PeakTracksHighWater) {

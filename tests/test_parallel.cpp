@@ -109,7 +109,29 @@ TEST_P(ParallelSumGrainTest, MatchesSequentialAtEveryGrain) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grains, ParallelSumGrainTest,
-                         ::testing::Values(1, 2, 7, 64, 1024, 5000));
+                         ::testing::Values(0, 1, 2, 7, 64, 1024, 5000));
+
+// grain 0 used to divide by zero in the chunk-count computation when
+// the range was large enough to leave the inline path.
+TEST(ParallelSum, GrainZeroIsClampedNotDivByZero) {
+  const std::size_t n = 10000;
+  const double got =
+      parallel_sum(n, [](std::size_t) { return 1.0; }, /*grain=*/0);
+  EXPECT_DOUBLE_EQ(got, static_cast<double>(n));
+}
+
+TEST(ParallelSum, GrainLargerThanRangeRunsInline) {
+  EXPECT_DOUBLE_EQ(parallel_sum(
+                       5, [](std::size_t i) { return static_cast<double>(i); },
+                       /*grain=*/1000),
+                   10.0);
+}
+
+TEST(ParallelSum, SingleElementRange) {
+  EXPECT_DOUBLE_EQ(parallel_sum(1, [](std::size_t) { return 42.0; }), 42.0);
+  EXPECT_DOUBLE_EQ(
+      parallel_sum(1, [](std::size_t) { return 42.0; }, /*grain=*/0), 42.0);
+}
 
 TEST(ParallelSum, RangeWithinOneGrainStaysOnCallingThread) {
   const std::thread::id caller = std::this_thread::get_id();
@@ -135,7 +157,26 @@ TEST_P(ForRangeGrainTest, AllGrainsCoverRange) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grains, ForRangeGrainTest,
-                         ::testing::Values(1, 2, 7, 32, 100, 1000));
+                         ::testing::Values(0, 1, 2, 7, 32, 100, 1000));
+
+TEST(ForRange, SingleElementRange) {
+  ThreadPool pool(3);
+  int hits = 0;
+  pool.for_range(41, 42, [&](std::size_t i) {
+    EXPECT_EQ(i, 41u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ForRange, ReversedRangeIsNoopAtEveryGrain) {
+  ThreadPool pool(2);
+  for (std::size_t grain : {0u, 1u, 8u}) {
+    int counter = 0;
+    pool.for_range(10, 2, [&](std::size_t) { ++counter; }, grain);
+    EXPECT_EQ(counter, 0) << "grain=" << grain;
+  }
+}
 
 }  // namespace
 }  // namespace ocb
