@@ -14,9 +14,19 @@ baseline; on shared CI runners pass --ratio-only, which checks the
 machine-relative quantities (per-model scalar/SIMD speedup and GEMM
 GFLOP/s ratios) instead of wall-clock numbers.
 
+Also understands BENCH_multi_model.json (top-level "bench":
+"multi_model"): fails when the micro-batched aggregate throughput
+speedup drops below --min-batch-speedup (default 1.5), when the
+scheduler stopped forming batches (mean batch size 1), or when the
+per-model p99 serve latencies violate the priority ordering
+critical < high < normal. All multi-model quantities are
+machine-relative (modelled stream clock), so they hold on any runner.
+
 Usage:
   scripts/check_bench_regression.py BENCH_kernels.json \
       --baseline bench/baselines/BENCH_kernels.json [--tolerance 0.15]
+  scripts/check_bench_regression.py BENCH_multi_model.json \
+      --baseline bench/baselines/BENCH_multi_model.json
 """
 
 from __future__ import annotations
@@ -33,6 +43,44 @@ def load(path: str) -> dict:
 
 def index_by(items: list[dict], key: str) -> dict[str, dict]:
     return {item[key]: item for item in items}
+
+
+PRIORITY_ORDER = {"critical": 0, "high": 1, "normal": 2}
+
+
+def check_multi_model(current: dict, min_speedup: float) -> list[str]:
+    """Gate the serving-scheduler bench: batching must pay off and the
+    priority classes must actually shape the latency distribution."""
+    failures: list[str] = []
+    speedup = current.get("batched_speedup", 0.0)
+    if speedup < min_speedup:
+        failures.append(
+            f"micro-batching speedup {speedup:.2f} below required "
+            f"{min_speedup:.2f}"
+        )
+    models = current.get("models", [])
+    for model in models:
+        if model.get("mean_batch", 0.0) <= 1.0:
+            failures.append(
+                f"{model['model']}: scheduler formed no batches "
+                f"(mean batch {model.get('mean_batch', 0.0):.2f})"
+            )
+    ranked = sorted(
+        models, key=lambda m: PRIORITY_ORDER.get(m.get("priority"), 99)
+    )
+    for higher, lower in zip(ranked, ranked[1:]):
+        if (
+            higher["p99_serve_ms_batched"]
+            >= lower["p99_serve_ms_batched"]
+        ):
+            failures.append(
+                f"p99 ordering violated: {higher['model']} "
+                f"({higher['priority']}, "
+                f"{higher['p99_serve_ms_batched']:.1f} ms) not faster "
+                f"than {lower['model']} ({lower['priority']}, "
+                f"{lower['p99_serve_ms_batched']:.1f} ms)"
+            )
+    return failures
 
 
 def main() -> int:
@@ -67,9 +115,32 @@ def main() -> int:
         action="store_true",
         help="skip wall-clock comparisons (cross-machine CI runners)",
     )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=1.5,
+        help="minimum micro-batched vs frame-at-a-time aggregate "
+        "throughput ratio (multi-model bench)",
+    )
     args = parser.parse_args()
 
     current = load(args.current)
+
+    if current.get("bench") == "multi_model":
+        failures = check_multi_model(current, args.min_batch_speedup)
+        if failures:
+            print("bench regression check FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(
+            "bench regression check passed (multi-model: speedup "
+            f"{current.get('batched_speedup', 0.0):.2f}, "
+            f"{len(current.get('models', []))} models, priority p99 "
+            "ordering holds)"
+        )
+        return 0
+
     baseline = load(args.baseline)
     failures: list[str] = []
     simd_active = current.get("simd", "scalar") != "scalar"

@@ -76,15 +76,61 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
     }
   }
   scratch_.arena.reserve_bytes(max_scratch_floats * sizeof(float));
+  rebuild_concat_lists();
+}
+
+void Engine::rebuild_concat_lists() {
+  const int n = graph_.node_count();
   for (int i = 0; i < n; ++i) {
     const Node& nd = graph_.node(i);
     if (nd.kind != OpKind::kConcat) continue;
+    concat_srcs_[static_cast<std::size_t>(i)].clear();
+    concat_channels_[static_cast<std::size_t>(i)].clear();
     for (int src : nd.inputs) {
       concat_srcs_[static_cast<std::size_t>(i)].push_back(
           activations_[static_cast<std::size_t>(src)].data());
       concat_channels_[static_cast<std::size_t>(i)].push_back(
           graph_.shape(src).c);
     }
+  }
+}
+
+void Engine::plan_batch(int max_batch) {
+  OCB_CHECK_MSG(max_batch >= 1, "plan_batch needs a positive batch");
+  if (max_batch <= max_batch_) return;
+  max_batch_ = max_batch;
+  const int n = graph_.node_count();
+  for (int i = 0; i < n; ++i) {
+    const FeatShape out = graph_.shape(i);
+    activations_[static_cast<std::size_t>(i)] =
+        Tensor({max_batch, out.c, out.h, out.w});
+  }
+  has_run_ = false;
+  // Re-sizing moved the activation storage; the precomputed concat
+  // pointer lists must chase the new buffers.
+  rebuild_concat_lists();
+
+  // One extra arena block holding both buffers conv2d_batched bump-
+  // allocates (the widened column matrix and the channel-major staging
+  // result) for the hungriest conv in the graph, so batched runs never
+  // grow the arena.
+  std::size_t need = 0;
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = graph_.node(i);
+    if (nd.kind != OpKind::kConv) continue;
+    const FeatShape s = graph_.shape(nd.inputs[0]);
+    const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel, nd.stride,
+                            nd.pad};
+    const std::size_t n_tot =
+        geom.col_cols() * static_cast<std::size_t>(max_batch);
+    need = std::max(need,
+                    (geom.col_rows() + static_cast<std::size_t>(nd.out_c)) *
+                        n_tot * sizeof(float));
+  }
+  need += 2 * Arena::kAlign;  // per-alloc alignment rounding
+  if (need > batch_scratch_bytes_) {
+    scratch_.arena.reserve_bytes(scratch_.arena.capacity_bytes() + need);
+    batch_scratch_bytes_ = need;
   }
 }
 
@@ -123,9 +169,11 @@ QuantCalibration Engine::calibrate(const std::vector<Tensor>& frames) {
   for (const Tensor& frame : frames) {
     run(frame);
     for (int i = 0; i < n; ++i) {
+      // Only the front image is live after a batch-1 run(); observing
+      // the whole {max_batch, ...} buffer would fold in stale values.
       const Tensor& out = activations_[static_cast<std::size_t>(i)];
-      calib.ranges[static_cast<std::size_t>(i)].observe(out.data(),
-                                                        out.numel());
+      calib.ranges[static_cast<std::size_t>(i)].observe(
+          out.data(), graph_.shape(i).numel());
     }
   }
   calib.frames = static_cast<int>(frames.size());
@@ -227,19 +275,20 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
                 "engine input shape mismatch: got " + input.shape().str());
 
   const bool int8 = precision_ == Precision::kInt8;
-  if (int8) {
-    std::fill(u8_valid_.begin(), u8_valid_.end(), 0);
-    std::fill(float_stale_.begin(), float_stale_.end(), 0);
-  }
+  if (int8) std::fill(u8_valid_.begin(), u8_valid_.end(), 0);
+  // Cleared in either mode: a float run after an INT8 one must not let
+  // node_output() dequantize stale u8 over the fresh activations.
+  std::fill(float_stale_.begin(), float_stale_.end(), 0);
   // Quantize a producer's float activation into its persistent u8
   // buffer on first use this frame (no-op when the producer already
   // emitted u8 directly).
   auto u8_input = [&](int s) -> const std::uint8_t* {
     const std::size_t si = static_cast<std::size_t>(s);
     if (u8_valid_[si] == 0) {
-      const Tensor& a = activations_[si];
-      quantize_to_u8(a.data(), a.numel(), node_quant_[si],
-                     u8_acts_[si].data());
+      // Per-image numel: the u8 buffers are sized for one image even
+      // when plan_batch() widened the float activations.
+      quantize_to_u8(activations_[si].data(), graph_.shape(s).numel(),
+                     node_quant_[si], u8_acts_[si].data());
       u8_valid_[si] = 1;
     }
     return u8_acts_[si].data();
@@ -351,9 +400,178 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
   has_run_ = true;
   std::vector<Tensor> outputs;
   outputs.reserve(graph_.outputs().size());
-  for (int node : graph_.outputs())
-    outputs.push_back(activations_[static_cast<std::size_t>(node)]);
+  for (int node : graph_.outputs()) {
+    if (max_batch_ == 1) {
+      outputs.push_back(activations_[static_cast<std::size_t>(node)]);
+    } else {
+      // Activations are {max_batch, ...}; callers of batch-1 run()
+      // still get batch-1 tensors.
+      outputs.push_back(output_slice(node, 0));
+    }
+  }
   return outputs;
+}
+
+std::vector<std::vector<Tensor>> Engine::run_batch(
+    const std::vector<Tensor>& inputs) {
+  const int batch = static_cast<int>(inputs.size());
+  OCB_CHECK_MSG(batch >= 1, "run_batch needs at least one frame");
+  OCB_CHECK_MSG(batch <= max_batch_,
+                "run_batch exceeds the planned batch (call plan_batch)");
+  if (batch == 1 || precision_ == Precision::kInt8) {
+    // A batch of one gains nothing from the widened lowering, and the
+    // INT8 path keeps per-image quantized buffers.
+    std::vector<std::vector<Tensor>> results;
+    results.reserve(inputs.size());
+    for (const Tensor& in : inputs) results.push_back(run(in));
+    return results;
+  }
+  const FeatShape in_shape = graph_.input_shape();
+  const Shape expected{1, in_shape.c, in_shape.h, in_shape.w};
+  for (const Tensor& in : inputs) {
+    OCB_CHECK_MSG(in.shape() == expected,
+                  "engine batch input shape mismatch: got " +
+                      in.shape().str());
+  }
+
+  const int n = graph_.node_count();
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = graph_.node(i);
+    const FeatShape out = graph_.shape(i);
+    const std::size_t out_chw = out.numel();
+    Tensor& dst = activations_[static_cast<std::size_t>(i)];
+    if (pack_dirty_[static_cast<std::size_t>(i)] != 0) repack(i);
+
+    // Image b of input k's activation (all images are live: every node
+    // below processes the full batch).
+    auto src_at = [&](std::size_t k, int b) -> const float* {
+      const int s = nd.inputs[k];
+      return activations_[static_cast<std::size_t>(s)].data() +
+             static_cast<std::size_t>(b) * graph_.shape(s).numel();
+    };
+
+    switch (nd.kind) {
+      case OpKind::kInput:
+        for (int b = 0; b < batch; ++b) {
+          std::copy_n(inputs[static_cast<std::size_t>(b)].data(), out_chw,
+                      dst.data() + static_cast<std::size_t>(b) * out_chw);
+        }
+        break;
+      case OpKind::kConv: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
+                                nd.stride, nd.pad};
+        conv2d_batched(src_at(0, 0), s.numel(), batch, geom,
+                       packed_[static_cast<std::size_t>(i)],
+                       biases_[i].data(), nd.act, dst.data(), out_chw,
+                       scratch_);
+        break;
+      }
+      case OpKind::kDwConv: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
+                                nd.stride, nd.pad};
+        for (int b = 0; b < batch; ++b) {
+          dwconv2d(src_at(0, b), geom, weights_[i].data(), biases_[i].data(),
+                   nd.act, dst.data() + static_cast<std::size_t>(b) * out_chw);
+        }
+        break;
+      }
+      case OpKind::kDeconv: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        for (int b = 0; b < batch; ++b) {
+          deconv2d_2x(src_at(0, b), s.c, s.h, s.w, nd.out_c,
+                      weights_[i].data(), biases_[i].data(), nd.act,
+                      dst.data() + static_cast<std::size_t>(b) * out_chw);
+        }
+        break;
+      }
+      case OpKind::kMaxPool: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
+                                nd.stride, nd.pad};
+        for (int b = 0; b < batch; ++b) {
+          maxpool2d(src_at(0, b), geom,
+                    dst.data() + static_cast<std::size_t>(b) * out_chw);
+        }
+        break;
+      }
+      case OpKind::kUpsample: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        for (int b = 0; b < batch; ++b) {
+          upsample2x_nearest(src_at(0, b), s.c, s.h, s.w,
+                             dst.data() +
+                                 static_cast<std::size_t>(b) * out_chw);
+        }
+        break;
+      }
+      case OpKind::kConcat: {
+        std::vector<const float*> srcs(nd.inputs.size());
+        for (int b = 0; b < batch; ++b) {
+          for (std::size_t k = 0; k < nd.inputs.size(); ++k) {
+            srcs[k] = src_at(k, b);
+          }
+          concat_channels(srcs, concat_channels_[static_cast<std::size_t>(i)],
+                          out.h, out.w,
+                          dst.data() + static_cast<std::size_t>(b) * out_chw);
+        }
+        break;
+      }
+      case OpKind::kAdd:
+        // Both sources hold all images contiguously, so one call covers
+        // the whole batch.
+        add_elementwise(src_at(0, 0), src_at(1, 0),
+                        out_chw * static_cast<std::size_t>(batch),
+                        dst.data());
+        apply_activation(nd.act, dst.data(),
+                         out_chw * static_cast<std::size_t>(batch));
+        break;
+      case OpKind::kSlice: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        for (int b = 0; b < batch; ++b) {
+          slice_channels(src_at(0, b), s.c, s.h, s.w, nd.slice_begin,
+                         nd.slice_end,
+                         dst.data() + static_cast<std::size_t>(b) * out_chw);
+        }
+        break;
+      }
+      case OpKind::kGlobalAvgPool: {
+        const FeatShape s = graph_.shape(nd.inputs[0]);
+        for (int b = 0; b < batch; ++b) {
+          global_avg_pool(src_at(0, b), s.c, s.h, s.w,
+                          dst.data() + static_cast<std::size_t>(b) * out_chw);
+        }
+        break;
+      }
+      case OpKind::kLinear: {
+        for (int b = 0; b < batch; ++b) {
+          linear(src_at(0, b), packed_[static_cast<std::size_t>(i)],
+                 biases_[i].data(), nd.act,
+                 dst.data() + static_cast<std::size_t>(b) * out_chw);
+        }
+        break;
+      }
+    }
+  }
+
+  has_run_ = true;
+  std::fill(float_stale_.begin(), float_stale_.end(), 0);
+  std::vector<std::vector<Tensor>> results(static_cast<std::size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    auto& out = results[static_cast<std::size_t>(b)];
+    out.reserve(graph_.outputs().size());
+    for (int node : graph_.outputs()) out.push_back(output_slice(node, b));
+  }
+  return results;
+}
+
+Tensor Engine::output_slice(int node, int image) const {
+  const FeatShape out = graph_.shape(node);
+  Tensor t({1, out.c, out.h, out.w});
+  const float* src = activations_[static_cast<std::size_t>(node)].data() +
+                     static_cast<std::size_t>(image) * out.numel();
+  std::copy_n(src, out.numel(), t.data());
+  return t;
 }
 
 const Tensor& Engine::node_output(int node) const {
@@ -364,8 +582,8 @@ const Tensor& Engine::node_output(int node) const {
     // The node kept its output in u8 (all consumers were INT8);
     // materialise the float view on demand.
     Tensor& dst = activations_[i];
-    dequantize_u8(u8_acts_[i].data(), dst.numel(), node_quant_[i],
-                  dst.data());
+    dequantize_u8(u8_acts_[i].data(), graph_.shape(node).numel(),
+                  node_quant_[i], dst.data());
     float_stale_[i] = 0;
   }
   return activations_[i];

@@ -43,6 +43,25 @@ class Engine {
   /// order.
   std::vector<Tensor> run(const Tensor& input);
 
+  /// Extend the activation and scratch plan to micro-batches of up to
+  /// `max_batch` frames: activations grow to {max_batch, c, h, w}
+  /// (concat argument lists are rebuilt against the new pointers) and
+  /// the arena gains one block sized for the widest batched conv
+  /// lowering, so run_batch() stays heap-free. Shrinking requests are
+  /// no-ops; batch-1 run() keeps working (it executes the front image).
+  void plan_batch(int max_batch);
+  int max_batch() const noexcept { return max_batch_; }
+
+  /// Run up to max_batch() frames as one fused forward pass: every
+  /// conv lowers all frames side by side into a single widened GEMM
+  /// (see conv2d_batched) so per-layer dispatch overhead is paid once
+  /// per batch, not once per frame. Returns outputs[frame][output],
+  /// each a batch-1 tensor matching what run(frame) would produce.
+  /// INT8 engines and single-frame batches fall back to per-frame
+  /// run() (the quantized path keeps its per-image buffers).
+  std::vector<std::vector<Tensor>> run_batch(
+      const std::vector<Tensor>& inputs);
+
   /// Output tensor of a specific node from the most recent run().
   const Tensor& node_output(int node) const;
 
@@ -76,6 +95,9 @@ class Engine {
  private:
   void repack(int node);
   void build_int8_plan();
+  void rebuild_concat_lists();
+  /// Batch-1 copy of image `image` of a node's activation tensor.
+  Tensor output_slice(int node, int image) const;
 
   Graph graph_;  // engine owns an immutable copy of the structure
   std::vector<Tensor> weights_;
@@ -88,6 +110,8 @@ class Engine {
   std::vector<std::vector<int>> concat_channels_;
   ConvScratch scratch_;
   bool has_run_ = false;  ///< activations hold real data (vs zero-fill)
+  int max_batch_ = 1;     ///< activation batch capacity (see plan_batch)
+  std::size_t batch_scratch_bytes_ = 0;  ///< arena block already reserved
 
   Precision precision_ = Precision::kFp32;
   QuantCalibration calib_;                ///< last recorded calibration

@@ -61,6 +61,41 @@ void conv2d(const float* input, const ConvGeometry& geom,
               GemmEpilogue{bias, to_epilogue_act(act)});
 }
 
+void conv2d_batched(const float* input, std::size_t in_stride, int batch,
+                    const ConvGeometry& geom, const PackedA& weight,
+                    const float* bias, Act act, float* output,
+                    std::size_t out_stride, ConvScratch& scratch) {
+  OCB_CHECK_MSG(batch >= 1, "conv2d_batched needs at least one image");
+  if (batch == 1) {
+    conv2d(input, geom, weight, bias, act, output, scratch);
+    return;
+  }
+  const std::size_t m = weight.rows();
+  const std::size_t n_img = geom.col_cols();
+  const std::size_t n_tot = n_img * static_cast<std::size_t>(batch);
+  scratch.arena.reset();
+  float* col = scratch.arena.alloc_floats(geom.col_rows() * n_tot);
+  for (int b = 0; b < batch; ++b) {
+    im2col(input + static_cast<std::size_t>(b) * in_stride, geom, col, n_tot,
+           static_cast<std::size_t>(b) * n_img);
+  }
+  // One GEMM across all images: column b·n_img+j of `wide` is pixel j of
+  // image b, so each image's columns see the exact single-image k-order
+  // and the wide tiles keep the SIMD kernel saturated even when n_img is
+  // smaller than a column block.
+  float* wide = scratch.arena.alloc_floats(m * n_tot);
+  gemm_packed(weight, col, wide, n_tot, /*accumulate=*/false,
+              GemmEpilogue{bias, to_epilogue_act(act)});
+  // Scatter channel rows back into per-image CHW planes.
+  for (int b = 0; b < batch; ++b) {
+    float* dst = output + static_cast<std::size_t>(b) * out_stride;
+    const float* src = wide + static_cast<std::size_t>(b) * n_img;
+    for (std::size_t c = 0; c < m; ++c) {
+      std::memcpy(dst + c * n_img, src + c * n_tot, n_img * sizeof(float));
+    }
+  }
+}
+
 void dwconv2d(const float* input, const ConvGeometry& geom,
               const float* weight, const float* bias, Act act,
               float* output) {

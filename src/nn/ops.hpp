@@ -42,6 +42,19 @@ void conv2d(const float* input, const ConvGeometry& geom,
             const PackedA& weight, const float* bias, Act act, float* output,
             ConvScratch& scratch);
 
+/// Batched conv2d over a pre-packed weight matrix: lowers `batch` CHW
+/// images (`in_stride` floats apart) side by side into one
+/// [col_rows × batch·col_cols] column matrix, runs a *single* fused
+/// GEMM across all columns — the micro-batching hot path, which
+/// amortises per-call overhead and fills SIMD column tiles that a
+/// small single-image spatial extent leaves short — then scatters the
+/// channel-major result back to per-image CHW planes (`out_stride`
+/// floats apart). batch == 1 is exactly conv2d.
+void conv2d_batched(const float* input, std::size_t in_stride, int batch,
+                    const ConvGeometry& geom, const PackedA& weight,
+                    const float* bias, Act act, float* output,
+                    std::size_t out_stride, ConvScratch& scratch);
+
 /// Depthwise conv: one k×k filter per channel. `weight` is [c × k·k].
 /// Bias and activation are fused into the output loop.
 void dwconv2d(const float* input, const ConvGeometry& geom,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "runtime/model_server.hpp"
 #include "runtime/streaming_pipeline.hpp"
 
 namespace ocb::runtime {
@@ -50,6 +51,12 @@ PipelineBuilder& PipelineBuilder::stage(std::unique_ptr<Executor> executor) {
   OCB_CHECK_MSG(executor != nullptr, "stage executor must not be null");
   stages_.push_back(std::move(executor));
   return *this;
+}
+
+PipelineBuilder& PipelineBuilder::stage_served(ModelServer& server, int model,
+                                               std::string name) {
+  return stage(std::make_unique<ServedExecutor>(server, model,
+                                                std::move(name)));
 }
 
 PipelineBuilder& PipelineBuilder::discipline(Discipline d) noexcept {

@@ -22,6 +22,7 @@
 namespace ocb::runtime {
 
 class StreamingPipeline;
+class ModelServer;
 
 enum class Discipline {
   kSequential,  ///< one CUDA stream: latencies add
@@ -71,6 +72,12 @@ class Pipeline {
 class PipelineBuilder {
  public:
   PipelineBuilder& stage(std::unique_ptr<Executor> executor);
+  /// Stage backed by a ModelServer model (see model_server.hpp): the
+  /// stage submits each frame to the shared serving scheduler instead
+  /// of owning a private executor, so concurrent pipelines micro-batch
+  /// against the same engines. The server must outlive the pipeline.
+  PipelineBuilder& stage_served(ModelServer& server, int model,
+                                std::string name);
   PipelineBuilder& discipline(Discipline d) noexcept;
   PipelineBuilder& deadline_ms(double ms);
   PipelineBuilder& queue_capacity(std::size_t frames);

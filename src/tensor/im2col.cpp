@@ -5,16 +5,23 @@
 namespace ocb {
 
 void im2col(const float* image, const ConvGeometry& geom, float* col) {
+  im2col(image, geom, col, geom.col_cols(), 0);
+}
+
+void im2col(const float* image, const ConvGeometry& geom, float* col,
+            std::size_t ld, std::size_t col_offset) {
   const int oh = geom.out_h();
   const int ow = geom.out_w();
   OCB_CHECK_MSG(oh > 0 && ow > 0, "conv output would be empty");
+  OCB_CHECK_MSG(col_offset + geom.col_cols() <= ld,
+                "im2col column window exceeds the destination row");
   const std::size_t plane = static_cast<std::size_t>(geom.in_h) * geom.in_w;
   std::size_t row = 0;
   for (int c = 0; c < geom.in_c; ++c) {
     const float* src = image + static_cast<std::size_t>(c) * plane;
     for (int ky = 0; ky < geom.kernel_h; ++ky) {
       for (int kx = 0; kx < geom.kernel_w; ++kx, ++row) {
-        float* dst = col + row * (static_cast<std::size_t>(oh) * ow);
+        float* dst = col + row * ld + col_offset;
         for (int y = 0; y < oh; ++y) {
           const int sy = y * geom.stride - geom.pad + ky;
           if (sy < 0 || sy >= geom.in_h) {

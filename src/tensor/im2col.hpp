@@ -35,6 +35,16 @@ struct ConvGeometry {
 /// `col[col_rows × col_cols]` (row-major). Zero padding.
 void im2col(const float* image, const ConvGeometry& geom, float* col);
 
+/// As im2col, but lowering into a *wider* row-major matrix: the image's
+/// columns land at column offset `col_offset` of a [col_rows × ld]
+/// matrix. A batched convolution lowers B images side by side
+/// (ld = B·col_cols, col_offset = b·col_cols) and runs one GEMM over
+/// every column — each column's dot product is evaluated in the same
+/// k-order as the single-image call, so per-image results match the
+/// unbatched lowering.
+void im2col(const float* image, const ConvGeometry& geom, float* col,
+            std::size_t ld, std::size_t col_offset);
+
 /// Adjoint of im2col: scatter-add columns back into the image gradient.
 /// `image_grad` must be pre-zeroed by the caller.
 void col2im(const float* col, const ConvGeometry& geom, float* image_grad);

@@ -1,0 +1,273 @@
+// Property tests for the packed GEMM kernels: seeded-random shapes —
+// degenerate (1×), prime, and larger than every tile/block boundary —
+// across accumulate on/off and all fused epilogues, asserting that the
+// SIMD path, the scalar path and the packed-panel path all agree with
+// the naive reference within tolerance. Runs under the `kernels` ctest
+// label (Release, TSan and ASan+UBSan CI configurations).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/qgemm.hpp"
+
+namespace ocb {
+namespace {
+
+// Shape pool mixing the adversarial sizes: 1 (degenerate), primes that
+// dodge every tile width, exact tile/vector widths, and sizes past the
+// AVX2 6-row tile, the 16/8-column register tiles and the 512-column
+// cache block.
+constexpr std::size_t kDims[] = {1, 2, 3, 5, 6, 7, 13, 16, 17, 31, 37, 64};
+constexpr std::size_t kWideN[] = {127, 256, 509, 520, 640};
+
+std::size_t draw_dim(Rng& rng) {
+  return kDims[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(std::size(kDims)) - 1))];
+}
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                 Rng& rng) {
+  std::vector<float> m(rows * cols);
+  for (float& v : m) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+float reference_act(EpiAct act, float x) {
+  // The kernels' own fast activations are the contract (bit-identical
+  // scalar/SIMD polynomials); the fast-vs-std error bound is asserted
+  // separately in test_kernels.cpp.
+  return apply_epi_act(act, x);
+}
+
+struct Fp32Case {
+  std::size_t m, k, n;
+  bool accumulate;
+  EpiAct act;
+  bool with_bias;
+};
+
+void check_fp32_case(const Fp32Case& c, Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "m=" << c.m << " k=" << c.k << " n=" << c.n
+               << " accumulate=" << c.accumulate
+               << " act=" << static_cast<int>(c.act)
+               << " bias=" << c.with_bias);
+  const auto a = random_matrix(c.m, c.k, rng);
+  const auto b = random_matrix(c.k, c.n, rng);
+  const auto c0 = random_matrix(c.m, c.n, rng);  // initial C (accumulate)
+  std::vector<float> bias(c.m);
+  for (float& v : bias) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  GemmEpilogue epilogue;
+  if (!c.accumulate) {
+    epilogue.bias = c.with_bias ? bias.data() : nullptr;
+    epilogue.act = c.act;
+  }
+
+  // Oracle: naive triple loop + scalar epilogue.
+  std::vector<float> want = c0;
+  gemm_naive(a.data(), b.data(), want.data(), c.m, c.k, c.n, c.accumulate);
+  if (epilogue.active()) {
+    for (std::size_t i = 0; i < c.m; ++i) {
+      for (std::size_t j = 0; j < c.n; ++j) {
+        float v = want[i * c.n + j];
+        if (epilogue.bias != nullptr) v += bias[i];
+        want[i * c.n + j] = reference_act(epilogue.act, v);
+      }
+    }
+  }
+
+  const float tol =
+      1e-4f * std::max<float>(1.0f, static_cast<float>(c.k) * 0.05f);
+  const auto expect_close = [&](const std::vector<float>& got,
+                                const char* path) {
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], tol) << path << " at " << i;
+    }
+  };
+
+  for (GemmPath path : {GemmPath::kScalar, GemmPath::kSimd}) {
+    GemmConfig config;
+    config.path = path;
+    const char* label = path == GemmPath::kScalar ? "scalar" : "simd";
+    std::vector<float> got = c0;
+    gemm_ex(a.data(), b.data(), got.data(), c.m, c.k, c.n, c.accumulate,
+            epilogue, config);
+    expect_close(got, label);
+
+    std::vector<float> got_packed = c0;
+    const PackedA packed(a.data(), c.m, c.k);
+    gemm_packed(packed, b.data(), got_packed.data(), c.n, c.accumulate,
+                epilogue, config);
+    expect_close(got_packed, label);
+  }
+}
+
+TEST(GemmProperty, SeededRandomShapesAllPathsAgree) {
+  Rng rng(20260807);
+  constexpr EpiAct kActs[] = {EpiAct::kNone, EpiAct::kRelu,
+                              EpiAct::kLeakyRelu, EpiAct::kSilu,
+                              EpiAct::kSigmoid};
+  for (int trial = 0; trial < 48; ++trial) {
+    Fp32Case c;
+    c.m = draw_dim(rng);
+    c.k = draw_dim(rng);
+    c.n = draw_dim(rng);
+    c.accumulate = rng.uniform() < 0.3;
+    c.act = kActs[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+    c.with_bias = rng.uniform() < 0.7;
+    check_fp32_case(c, rng);
+  }
+}
+
+TEST(GemmProperty, WideColumnsCrossCacheBlocks) {
+  // N past the 512-column block and the 16/8-column register tiles,
+  // including primes that leave scalar tails.
+  Rng rng(7);
+  for (std::size_t n : kWideN) {
+    Fp32Case c{/*m=*/13, /*k=*/31, n, /*accumulate=*/false,
+               EpiAct::kLeakyRelu, /*with_bias=*/true};
+    check_fp32_case(c, rng);
+    Fp32Case acc{/*m=*/7, /*k=*/17, n, /*accumulate=*/true, EpiAct::kNone,
+                 /*with_bias=*/false};
+    check_fp32_case(acc, rng);
+  }
+}
+
+TEST(GemmProperty, DegenerateOneByOne) {
+  Rng rng(3);
+  for (EpiAct act : {EpiAct::kNone, EpiAct::kSigmoid}) {
+    check_fp32_case(Fp32Case{1, 1, 1, false, act, true}, rng);
+  }
+  check_fp32_case(Fp32Case{1, 64, 1, true, EpiAct::kNone, false}, rng);
+}
+
+// --- quantized GEMM --------------------------------------------------------
+
+struct QCase {
+  std::size_t m, k, n;
+  EpiAct act;
+  bool with_bias;
+  bool with_offset;
+};
+
+void check_qgemm_case(const QCase& c, Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "m=" << c.m << " k=" << c.k << " n=" << c.n
+               << " act=" << static_cast<int>(c.act) << " bias="
+               << c.with_bias << " offset=" << c.with_offset);
+  std::vector<std::int8_t> w(c.m * c.k);
+  for (auto& v : w)
+    v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  std::vector<std::uint8_t> act_u8(c.k * c.n);
+  for (auto& v : act_u8)
+    v = static_cast<std::uint8_t>(rng.uniform_int(0, 127));
+
+  // Per-row scales normalising the i32 accumulator to O(1) outputs.
+  std::vector<float> scale(c.m);
+  for (float& s : scale)
+    s = static_cast<float>(rng.uniform(0.5, 2.0)) /
+        (static_cast<float>(c.k) * 64.0f);
+  std::vector<float> bias(c.m);
+  for (float& v : bias) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  // Zero-point correction zp·Σw per row, as the engine computes it.
+  const std::int32_t zp = c.with_offset
+                              ? static_cast<std::int32_t>(rng.uniform_int(1, 15))
+                              : 0;
+  std::vector<std::int32_t> row_offset(c.m, 0);
+  for (std::size_t i = 0; i < c.m; ++i) {
+    std::int32_t sum = 0;
+    for (std::size_t kk = 0; kk < c.k; ++kk) sum += w[i * c.k + kk];
+    row_offset[i] = zp * sum;
+  }
+
+  QGemmEpilogue epilogue;
+  epilogue.scale = scale.data();
+  epilogue.row_offset = c.with_offset ? row_offset.data() : nullptr;
+  epilogue.bias = c.with_bias ? bias.data() : nullptr;
+  epilogue.act = c.act;
+
+  // Oracle: exact i32 accumulation + scalar epilogue.
+  std::vector<std::int32_t> acc(c.m * c.n);
+  qgemm_naive_i32(w.data(), act_u8.data(), acc.data(), c.m, c.k, c.n);
+  std::vector<float> want(c.m * c.n);
+  for (std::size_t i = 0; i < c.m; ++i) {
+    for (std::size_t j = 0; j < c.n; ++j) {
+      float v = static_cast<float>(acc[i * c.n + j] -
+                                   (c.with_offset ? row_offset[i] : 0)) *
+                scale[i];
+      if (c.with_bias) v += bias[i];
+      want[i * c.n + j] = reference_act(c.act, v);
+    }
+  }
+
+  PackedQuantA packed;
+  packed.pack(w.data(), c.m, c.k);
+  std::vector<std::uint8_t> quads(quad_buffer_bytes(c.k, c.n));
+  pack_u8_quads(act_u8.data(), c.k, c.n, quads.data());
+
+  for (GemmPath path : {GemmPath::kScalar, GemmPath::kSimd}) {
+    QGemmConfig config;
+    config.path = path;
+    const char* label = path == GemmPath::kScalar ? "scalar" : "simd";
+    std::vector<float> got(c.m * c.n, -1e9f);
+    qgemm_packed(packed, quads.data(), got.data(), c.n, epilogue, config);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i],
+                  1e-3f * std::max(1.0f, std::abs(want[i])))
+          << label << " at " << i;
+    }
+
+    // Requantized u8 output: integer accumulation is exact, so the only
+    // slack is the float epilogue rounding at the u8 quantization edge.
+    const float out_scale = 0.05f;
+    const std::int32_t out_zp = 32;
+    std::vector<std::uint8_t> got_u8(c.m * c.n, 255);
+    qgemm_packed_u8(packed, quads.data(), got_u8.data(), c.n, out_scale,
+                    out_zp, epilogue, config);
+    for (std::size_t i = 0; i < got_u8.size(); ++i) {
+      const float q = std::round(want[i] / out_scale) +
+                      static_cast<float>(out_zp);
+      const float expect = std::clamp(q, 0.0f, 127.0f);
+      ASSERT_NEAR(static_cast<float>(got_u8[i]), expect, 1.0f)
+          << label << " u8 at " << i;
+    }
+  }
+}
+
+TEST(QGemmProperty, SeededRandomShapesAllPathsAgree) {
+  Rng rng(97);
+  constexpr EpiAct kActs[] = {EpiAct::kNone, EpiAct::kRelu,
+                              EpiAct::kLeakyRelu, EpiAct::kSilu,
+                              EpiAct::kSigmoid};
+  for (int trial = 0; trial < 40; ++trial) {
+    QCase c;
+    c.m = draw_dim(rng);
+    c.k = draw_dim(rng);
+    c.n = draw_dim(rng);
+    c.act = kActs[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+    c.with_bias = rng.uniform() < 0.7;
+    c.with_offset = rng.uniform() < 0.5;
+    check_qgemm_case(c, rng);
+  }
+}
+
+TEST(QGemmProperty, QuadPaddingAndWideColumns) {
+  Rng rng(11);
+  // K not divisible by the 4-byte quad (padding bytes must contribute
+  // zero) and N past the column blocks.
+  for (std::size_t k : {1u, 2u, 3u, 5u, 7u, 127u}) {
+    check_qgemm_case(QCase{6, k, 33, EpiAct::kRelu, true, true}, rng);
+  }
+  check_qgemm_case(QCase{13, 37, 509, EpiAct::kSilu, true, false}, rng);
+  check_qgemm_case(QCase{1, 1, 1, EpiAct::kNone, false, false}, rng);
+}
+
+}  // namespace
+}  // namespace ocb

@@ -69,6 +69,51 @@ TEST(BoundedQueue, BlockingHandoffAcrossThreads) {
   EXPECT_LE(q.high_water(), 1u);
 }
 
+TEST(BoundedQueue, ZeroCapacityIsRejected) {
+  // A zero-deep queue can never hand a frame across threads; the
+  // constructor must refuse it rather than deadlock kBlock producers
+  // or silently drop everything under the shedding policies.
+  EXPECT_THROW(BoundedQueue<int>(0, DropPolicy::kBlock), Error);
+  EXPECT_THROW(BoundedQueue<int>(0, DropPolicy::kDropOldest), Error);
+  EXPECT_THROW(BoundedQueue<int>(0, DropPolicy::kDropNewest), Error);
+  // Same guard at the builder level.
+  PipelineBuilder builder;
+  EXPECT_THROW(builder.queue_capacity(0), Error);
+}
+
+TEST(BoundedQueue, DropNewestUnderProducerConsumerContention) {
+  // Live producer/consumer race on a 2-deep shedding queue: whatever
+  // interleaving the scheduler picks, no item may be both delivered
+  // and counted dropped, none may vanish unaccounted, and survivors
+  // must stay in FIFO order.
+  BoundedQueue<int> q(2, DropPolicy::kDropNewest);
+  constexpr int kItems = 2000;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      if (q.push(i) == PushOutcome::kAccepted)
+        accepted.fetch_add(1);
+      else
+        rejected.fetch_add(1);
+      if (i % 64 == 0) std::this_thread::yield();
+    }
+    q.close();
+  });
+  std::vector<int> received;
+  while (auto v = q.pop()) {
+    received.push_back(*v);
+    if (received.size() % 3 == 0) std::this_thread::yield();
+  }
+  producer.join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kItems);
+  EXPECT_EQ(received.size(), static_cast<std::size_t>(accepted.load()));
+  EXPECT_EQ(q.dropped(), static_cast<std::uint64_t>(rejected.load()));
+  for (std::size_t i = 1; i < received.size(); ++i)
+    ASSERT_LT(received[i - 1], received[i]) << "FIFO order violated";
+}
+
 // ------------------------------------------------------------ telemetry
 
 TEST(LatencyRecorder, TracksMomentsAndPercentiles) {
@@ -354,6 +399,57 @@ TEST(StreamingPipeline, FaultyStageDegradesInsteadOfKillingTheStream) {
   EXPECT_EQ(report.frames_completed, 20u);
   EXPECT_GT(report.stages[0].degraded, 0u);
   EXPECT_GT(report.frames_degraded, 0u);
+}
+
+TEST(StreamingPipeline, WatchdogProbeDuringShutdownDoesNotWedge) {
+  // The last frames of the stream stall the stage past its budget, so
+  // the watchdog fires and the degraded cooldown is still pending when
+  // the source closes the queues. Shutdown must drain cleanly — every
+  // frame accounted for, no deadlock between the watchdog wait and the
+  // closing queue cascade — even though the stage never gets to finish
+  // its recovery probe.
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<TestExecutor>("tail-stall", 0.5, 17, 20,
+                                               60.0))
+      .stage_timeout_ms(10.0)
+      .degraded_cooldown_frames(16)  // longer than the remaining stream
+      .deadline_ms(1000.0);
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(20, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  EXPECT_EQ(report.frames_emitted, 20u);
+  EXPECT_EQ(report.frames_completed + report.frames_dropped, 20u);
+  EXPECT_GE(report.stages[0].timeouts, 1u);
+  EXPECT_GT(report.frames_degraded, 0u);
+}
+
+TEST(StreamingPipeline, TelemetryIsIndependentAcrossConsecutiveRuns) {
+  // Regression guard: per-run stage state (frame counts, latency
+  // recorders, degraded flags) must reset between run() calls on the
+  // same pipeline — a second stream must not inherit or accumulate the
+  // first stream's telemetry.
+  auto pipeline = three_fixed_stages(0.5, 1.0, 1.5)
+                      .deadline_ms(1000.0)
+                      .queue_capacity(4)
+                      .build_streaming();
+  SyntheticSource first(80, 30.0);
+  const StreamReport a = pipeline->run(first);
+  SyntheticSource second(30, 30.0);
+  const StreamReport b = pipeline->run(second);
+
+  EXPECT_EQ(a.frames_completed, 80u);
+  EXPECT_EQ(b.frames_completed, 30u);
+  ASSERT_EQ(b.stages.size(), 3u);
+  for (const StageTelemetry& s : b.stages) {
+    EXPECT_EQ(s.frames_in, 30u);   // not 110
+    EXPECT_EQ(s.frames_out, 30u);
+    EXPECT_EQ(s.queue_dropped, 0u);
+    EXPECT_LE(s.latency.count(), 30u);
+  }
+  // Same stage chain → same per-frame service distribution.
+  EXPECT_NEAR(b.service_ms.mean(), a.service_ms.mean(),
+              a.service_ms.mean() * 0.05);
 }
 
 TEST(StreamReport, TextAndJsonRendering) {
