@@ -1,0 +1,467 @@
+#!/usr/bin/env python3
+"""In-tree lint gate for Ocularone-Bench (DESIGN.md §10).
+
+Project-specific static checks that neither the compiler nor clang-tidy
+enforce. Every rule is a convention this codebase relies on for
+correctness:
+
+  raw-mutex        std::mutex / std::lock_guard / std::unique_lock /
+                   std::condition_variable / std::scoped_lock anywhere in
+                   src/ outside core/thread_annotations.hpp. All locking
+                   goes through the annotated ocb::Mutex/MutexLock/
+                   CondVar wrappers so clang's -Wthread-safety can prove
+                   the lock discipline.
+  raw-assert       assert() call sites (and <cassert>/<assert.h>
+                   includes) in src/. Contracts use OCB_CHECK /
+                   OCB_DCHECK (core/check.hpp), which carry expression +
+                   location, stay on in release builds (CHECK), and
+                   route through the configurable failure handler.
+  hot-path-heap    raw `new` / malloc / calloc / realloc under src/nn
+                   and src/tensor — the steady-state inference layers
+                   whose zero-allocation contract AllocGuard enforces at
+                   test time. Owning containers sized at plan time are
+                   fine; raw allocations in these layers are not.
+  unguarded-field  a class data member declared *after* an ocb::Mutex
+                   member without OCB_GUARDED_BY. Convention: fields the
+                   mutex guards come after it and carry the annotation;
+                   immutable / single-owner fields go before it.
+  include-hygiene  files that use ocb::Mutex / MutexLock / CondVar /
+                   OCB_GUARDED_BY must include core/thread_annotations.hpp
+                   themselves rather than leaning on transitive includes.
+  bench-baseline   bench/baselines/*.json must parse and carry the
+                   top-level keys scripts/check_bench_regression.py
+                   keys off, so a malformed baseline fails in lint, not
+                   in a release-gate CI step.
+
+Suppressions: append `// ocb-lint: allow(<rule>)` to the offending line.
+
+Usage:
+  scripts/ocb_lint.py                 # lint the whole tree
+  scripts/ocb_lint.py --diff BASE     # only files changed since BASE
+  scripts/ocb_lint.py --self-test     # prove every rule still fires
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+CXX_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+
+# Files allowed to touch raw primitives: the annotation shim is the one
+# place std primitives live, and the alloc guard implements the heap
+# hooks themselves.
+RAW_MUTEX_ALLOWED = {"src/core/thread_annotations.hpp"}
+HEAP_ALLOWED = {"src/core/alloc_guard.cpp"}
+
+ALLOW_RE = re.compile(r"//\s*ocb-lint:\s*allow\(([a-z\-, ]+)\)")
+
+
+class Finding:
+    def __init__(self, rule: str, path: str, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of string/char literals and // comments so
+    rule regexes do not fire on prose. Block comments are handled per
+    line (enough for this tree's style)."""
+    out = []
+    i, n = 0, len(line)
+    in_str: str | None = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            close = line.find("*/", i + 2)
+            if close == -1:
+                break
+            i = close + 2
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(line: str) -> set[str]:
+    m = ALLOW_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+# --- rule: raw-mutex --------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable(_any)?)\b"
+)
+
+
+def check_raw_mutex(rel: str, lines: list[str]) -> list[Finding]:
+    if rel in RAW_MUTEX_ALLOWED or not rel.startswith("src/"):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if "raw-mutex" in allowed_rules(raw):
+            continue
+        m = RAW_MUTEX_RE.search(strip_comments_and_strings(raw))
+        if m:
+            findings.append(Finding(
+                "raw-mutex", rel, i,
+                f"{m.group(0)} outside core/thread_annotations.hpp — use "
+                "ocb::Mutex / MutexLock / CondVar so -Wthread-safety can "
+                "check the lock discipline"))
+    return findings
+
+
+# --- rule: raw-assert -------------------------------------------------------
+
+RAW_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+ASSERT_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
+
+
+def check_raw_assert(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith("src/"):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if "raw-assert" in allowed_rules(raw):
+            continue
+        code = strip_comments_and_strings(raw)
+        if ASSERT_INCLUDE_RE.search(code):
+            findings.append(Finding(
+                "raw-assert", rel, i,
+                "<cassert> include — contracts use core/check.hpp"))
+            continue
+        if "static_assert" in code:
+            continue
+        if RAW_ASSERT_RE.search(code):
+            findings.append(Finding(
+                "raw-assert", rel, i,
+                "assert() call — use OCB_CHECK/OCB_DCHECK (core/check.hpp)"))
+    return findings
+
+
+# --- rule: hot-path-heap ----------------------------------------------------
+
+HEAP_PATH_PREFIXES = ("src/nn/", "src/tensor/")
+HEAP_RE = re.compile(
+    r"(?<![A-Za-z0-9_])(new\s+[A-Za-z_:<]|malloc\s*\(|calloc\s*\(|"
+    r"realloc\s*\(|aligned_alloc\s*\(|posix_memalign\s*\()"
+)
+
+
+def check_hot_path_heap(rel: str, lines: list[str]) -> list[Finding]:
+    if rel in HEAP_ALLOWED or not rel.startswith(HEAP_PATH_PREFIXES):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if "heap" in allowed_rules(raw):
+            continue
+        m = HEAP_RE.search(strip_comments_and_strings(raw))
+        if m:
+            findings.append(Finding(
+                "hot-path-heap", rel, i,
+                f"raw allocation ({m.group(0).strip()}...) in an inference "
+                "hot-path layer — plan storage at construction (arena, "
+                "pre-sized members); AllocGuard will fail the tests "
+                "otherwise"))
+    return findings
+
+
+# --- rule: unguarded-field --------------------------------------------------
+
+MUTEX_MEMBER_RE = re.compile(r"^\s*(mutable\s+)?(ocb::)?Mutex\s+\w+_?\s*;")
+# A data-member declaration: type tokens then an identifier ending in
+# '_' and `;` (optionally with an initialiser). Methods, using-decls and
+# friend lines won't match.
+FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?[A-Za-z_][\w:<>,\s\*&\.]*[\s\*&]"
+    r"[A-Za-z_]\w*_\s*(?:=[^;]*|\{[^;]*\})?\s*;"
+)
+SCOPE_RESET_RE = re.compile(r"^\s*(\};|public:|protected:|struct\s|class\s)")
+EXEMPT_FIELD_RE = re.compile(r"(ocb::)?(Mutex|CondVar)\s")
+
+
+def check_unguarded_fields(rel: str, lines: list[str]) -> list[Finding]:
+    if rel in RAW_MUTEX_ALLOWED or not rel.startswith("src/"):
+        return []
+    findings = []
+    after_mutex = False
+    for i, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        if SCOPE_RESET_RE.match(code):
+            after_mutex = False
+            continue
+        if MUTEX_MEMBER_RE.match(code):
+            after_mutex = True
+            continue
+        if not after_mutex:
+            continue
+        if "unguarded-field" in allowed_rules(raw):
+            continue
+        if EXEMPT_FIELD_RE.search(code):
+            continue  # further synchronisation primitives
+        if "OCB_GUARDED_BY" in code or "OCB_PT_GUARDED_BY" in code:
+            continue
+        if FIELD_RE.match(code):
+            findings.append(Finding(
+                "unguarded-field", rel, i,
+                "data member declared after a Mutex without "
+                "OCB_GUARDED_BY — move it above the mutex if it is not "
+                "guarded, or annotate it"))
+    return findings
+
+
+# --- rule: include-hygiene --------------------------------------------------
+
+ANNOTATION_USE_RE = re.compile(
+    r"\b(MutexLock|CondVar|OCB_GUARDED_BY|OCB_REQUIRES|OCB_EXCLUDES)\b"
+    r"|(?<!:)\bMutex\s+\w"
+)
+ANNOTATION_INCLUDE = 'core/thread_annotations.hpp'
+
+
+def check_include_hygiene(rel: str, lines: list[str]) -> list[Finding]:
+    if rel in RAW_MUTEX_ALLOWED or not rel.startswith("src/"):
+        return []
+    uses_at: int | None = None
+    includes = False
+    for i, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        if ANNOTATION_INCLUDE in raw and "#include" in raw:
+            includes = True
+        if uses_at is None and ANNOTATION_USE_RE.search(code):
+            if "include-hygiene" in allowed_rules(raw):
+                continue
+            uses_at = i
+    if uses_at is not None and not includes:
+        return [Finding(
+            "include-hygiene", rel, uses_at,
+            "uses annotated locking primitives without including "
+            f'"{ANNOTATION_INCLUDE}" directly')]
+    return []
+
+
+# --- rule: bench-baseline ---------------------------------------------------
+
+BASELINE_REQUIRED_KEYS = {
+    "BENCH_kernels.json": {"simd", "gemm", "models"},
+    "BENCH_multi_model.json": {"bench", "batched_speedup", "models"},
+    "BENCH_precision_sweep.json": {"latency", "accuracy"},
+}
+
+
+def check_bench_baselines(paths: list[Path]) -> list[Finding]:
+    findings = []
+    for path in paths:
+        rel = path.relative_to(REPO).as_posix()
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            findings.append(Finding(
+                "bench-baseline", rel, 1, f"unreadable baseline: {err}"))
+            continue
+        if not isinstance(data, dict) or not data:
+            findings.append(Finding(
+                "bench-baseline", rel, 1,
+                "baseline must be a non-empty JSON object"))
+            continue
+        required = BASELINE_REQUIRED_KEYS.get(path.name)
+        if required:
+            missing = sorted(required - set(data))
+            if missing:
+                findings.append(Finding(
+                    "bench-baseline", rel, 1,
+                    f"missing required keys: {', '.join(missing)} "
+                    "(check_bench_regression.py keys off these)"))
+    return findings
+
+
+# --- driver -----------------------------------------------------------------
+
+FILE_CHECKS = [
+    check_raw_mutex,
+    check_raw_assert,
+    check_hot_path_heap,
+    check_unguarded_fields,
+    check_include_hygiene,
+]
+
+
+def lint_file(path: Path) -> list[Finding]:
+    rel = path.relative_to(REPO).as_posix()
+    try:
+        lines = path.read_text(errors="replace").splitlines()
+    except OSError as err:
+        return [Finding("io", rel, 1, f"unreadable: {err}")]
+    findings: list[Finding] = []
+    for check in FILE_CHECKS:
+        findings.extend(check(rel, lines))
+    return findings
+
+
+def tree_files() -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "src", "tests", "bench", "examples"],
+        cwd=REPO, capture_output=True, text=True, check=True)
+    return [REPO / f for f in out.stdout.splitlines()
+            if Path(f).suffix in CXX_SUFFIXES]
+
+
+def diff_files(base: str) -> list[Path]:
+    out = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=d", base, "--"],
+        cwd=REPO, capture_output=True, text=True, check=True)
+    return [REPO / f for f in out.stdout.splitlines()
+            if Path(f).suffix in CXX_SUFFIXES and (REPO / f).exists()]
+
+
+def run_lint(files: list[Path], with_baselines: bool) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path))
+    if with_baselines:
+        findings.extend(
+            check_bench_baselines(sorted((REPO / "bench/baselines").glob("*.json"))))
+    return findings
+
+
+# --- self-test --------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (rule expected to fire, relative path to pretend, source lines)
+    ("raw-mutex", "src/runtime/bad.cpp",
+     ["std::mutex mu;"]),
+    ("raw-mutex", "src/runtime/bad.cpp",
+     ["std::lock_guard<std::mutex> lock(mu);"]),
+    ("raw-assert", "src/nn/bad.cpp",
+     ["#include <cassert>"]),
+    ("raw-assert", "src/nn/bad.cpp",
+     ["assert(x > 0);"]),
+    ("hot-path-heap", "src/tensor/bad.cpp",
+     ["float* p = new float[1024];"]),
+    ("hot-path-heap", "src/nn/bad.cpp",
+     ["void* p = malloc(64);"]),
+    ("unguarded-field", "src/runtime/bad.hpp",
+     ["class Q {",
+      " private:",
+      "  mutable Mutex mutex_;",
+      "  std::size_t depth_ = 0;",
+      "};"]),
+    ("include-hygiene", "src/runtime/bad.hpp",
+     ["class Q {",
+      "  MutexLock hold();",
+      "};"]),
+]
+
+SELF_TEST_CLEAN = [
+    ("src/runtime/good.cpp",
+     ["// std::mutex in a comment is fine",
+      "const char* s = \"std::mutex\";",
+      "static_assert(sizeof(int) == 4);",
+      "std::mutex mu;  // ocb-lint: allow(raw-mutex)"]),
+    ("src/runtime/good.hpp",
+     ["#include \"core/thread_annotations.hpp\"",
+      "class Q {",
+      "  std::size_t capacity_;  // before the mutex: immutable",
+      "  mutable Mutex mutex_;",
+      "  CondVar cv_;",
+      "  std::size_t depth_ OCB_GUARDED_BY(mutex_) = 0;",
+      "};"]),
+    ("src/nn/good.cpp",
+     ["buffer_.resize(n);  // owning container growth is fine",
+      "auto plan = std::make_unique<Plan>();  // not a raw new"]),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for rule, rel, lines in SELF_TEST_CASES:
+        findings = [f for check in FILE_CHECKS for f in check(rel, lines)]
+        if not any(f.rule == rule for f in findings):
+            print(f"self-test FAIL: rule {rule} did not fire on {lines!r}")
+            failures += 1
+    for rel, lines in SELF_TEST_CLEAN:
+        findings = [f for check in FILE_CHECKS for f in check(rel, lines)]
+        if findings:
+            print(f"self-test FAIL: clean snippet {rel} raised "
+                  f"{[str(f) for f in findings]}")
+            failures += 1
+    # Baseline rule: must fire on garbage, pass on the committed files.
+    bad = check_bench_baselines([REPO / "scripts" / "ocb_lint.py"])
+    if not bad:
+        print("self-test FAIL: bench-baseline accepted a non-JSON file")
+        failures += 1
+    if failures == 0:
+        print(f"self-test OK: {len(SELF_TEST_CASES)} firing cases, "
+              f"{len(SELF_TEST_CLEAN)} clean cases")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--diff", metavar="BASE",
+                        help="lint only files changed since BASE "
+                             "(git diff BASE)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a known-bad "
+                             "snippet and stays quiet on known-good ones")
+    parser.add_argument("paths", nargs="*",
+                        help="explicit files to lint (default: the tree)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if args.paths:
+        files = [Path(p).resolve() for p in args.paths]
+        with_baselines = False
+    elif args.diff:
+        files = diff_files(args.diff)
+        # Diff mode still validates baselines when one changed.
+        with_baselines = any(
+            "bench/baselines" in f.as_posix() for f in files)
+    else:
+        files = tree_files()
+        with_baselines = True
+
+    findings = run_lint(files, with_baselines)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nocb_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)")
+        return 1
+    print(f"ocb_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

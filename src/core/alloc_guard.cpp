@@ -1,0 +1,114 @@
+#include "core/alloc_guard.hpp"
+
+#include <string>
+
+#include "core/check.hpp"
+
+#if defined(OCB_ALLOC_GUARD) && OCB_ALLOC_GUARD
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Trivially-destructible per-thread counters: constant-initialised, so
+// they are safe to touch from operator new even during static init.
+thread_local ocb::AllocCounters t_counters;
+
+void* counted_alloc(std::size_t size, std::size_t align) noexcept {
+  ++t_counters.allocs;
+  t_counters.bytes += size;
+  if (size == 0) size = 1;
+  if (align <= alignof(std::max_align_t))
+    return std::malloc(size);  // ocb-lint: allow(heap)
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) return nullptr;
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  ++t_counters.frees;
+  std::free(p);
+}
+
+}  // namespace
+
+namespace ocb {
+AllocCounters thread_alloc_counters() noexcept { return t_counters; }
+bool alloc_counting_active() noexcept { return true; }
+}  // namespace ocb
+
+// Replaceable global allocation functions ([new.delete]); every form
+// funnels into counted_alloc/counted_free so sized and aligned deletes
+// stay consistent with their news.
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size, 0);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size, 0);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+#else  // !OCB_ALLOC_GUARD
+
+namespace ocb {
+AllocCounters thread_alloc_counters() noexcept { return {}; }
+bool alloc_counting_active() noexcept { return false; }
+}  // namespace ocb
+
+#endif  // OCB_ALLOC_GUARD
+
+namespace ocb {
+
+void AllocGuard::check_zero(const char* what) const {
+  if (!alloc_counting_active()) return;
+  const std::uint64_t n = allocations();
+  OCB_CHECK_MSG(n == 0, std::string(what) + " performed " +
+                            std::to_string(n) + " heap allocation(s)");
+}
+
+}  // namespace ocb

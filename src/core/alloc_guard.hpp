@@ -1,0 +1,62 @@
+// RAII allocation sentinel for heap-free hot-path contracts.
+//
+// The paper's near-real-time FPS claim rests on the steady-state
+// inference path staying off the allocator (DESIGN.md §7/§10). The
+// arena stats prove the *scratch* plan held; AllocGuard proves the
+// whole thing: when OCB_ALLOC_GUARD is compiled in (the default for
+// plain builds; forced off under sanitizers, whose runtimes own the
+// allocator), the global operator new/delete are replaced with
+// versions that bump per-thread counters, and a guard snapshot turns
+// "Engine::run is heap-free after warm-up" into a hard test failure
+// instead of a code comment.
+//
+// The counters are per-thread, so a guard only observes allocations
+// made by the thread that constructed it — which is exactly the
+// hot-path question; other threads (loggers, test machinery) do not
+// pollute the reading.
+#pragma once
+
+#include <cstdint>
+
+namespace ocb {
+
+/// Snapshot of this thread's allocator traffic.
+struct AllocCounters {
+  std::uint64_t allocs = 0;  ///< operator new calls
+  std::uint64_t frees = 0;   ///< operator delete calls
+  std::uint64_t bytes = 0;   ///< bytes requested through operator new
+};
+
+/// This thread's counters since thread start. All-zero (and never
+/// advancing) when the hooks are compiled out.
+AllocCounters thread_alloc_counters() noexcept;
+
+/// Whether the operator new/delete instrumentation is compiled in.
+/// Tests skip their zero-allocation assertions when this is false
+/// (sanitizer builds, OCB_ALLOC_GUARD=OFF).
+bool alloc_counting_active() noexcept;
+
+class AllocGuard {
+ public:
+  AllocGuard() noexcept : start_(thread_alloc_counters()) {}
+
+  /// Allocations on this thread since the guard was constructed.
+  std::uint64_t allocations() const noexcept {
+    return thread_alloc_counters().allocs - start_.allocs;
+  }
+  std::uint64_t deallocations() const noexcept {
+    return thread_alloc_counters().frees - start_.frees;
+  }
+  std::uint64_t bytes() const noexcept {
+    return thread_alloc_counters().bytes - start_.bytes;
+  }
+
+  /// OCB_CHECK-fails (naming `what`) if this thread allocated since
+  /// construction. No-op when the hooks are compiled out.
+  void check_zero(const char* what) const;
+
+ private:
+  AllocCounters start_;
+};
+
+}  // namespace ocb

@@ -1,0 +1,35 @@
+#include "core/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace ocb::check {
+
+namespace {
+std::atomic<FailureMode> g_mode{FailureMode::kThrow};
+}  // namespace
+
+void set_failure_mode(FailureMode mode) noexcept { g_mode.store(mode); }
+FailureMode failure_mode() noexcept { return g_mode.load(); }
+
+namespace detail {
+
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (failure_mode() == FailureMode::kAbort) {
+    std::fprintf(stderr, "[ocb:FATAL] %s\n", os.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ocb::check

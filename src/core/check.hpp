@@ -1,0 +1,94 @@
+// Contract macros for Ocularone-Bench.
+//
+// OCB_CHECK verifies an invariant in every build; OCB_DCHECK compiles
+// to a no-op in NDEBUG builds but keeps its expression type-checked.
+// Failures carry the stringified expression and source location, plus
+// an optional message, and route through a configurable handler:
+// kThrow (default) raises ocb::Error so tests can assert on contract
+// violations; kAbort writes the diagnostic to stderr and calls
+// std::abort, which is what an embedded deployment wants — a hazard
+// detector that keeps running past a broken invariant is worse than
+// one that restarts (Ocularone-Bench §IV).
+//
+// These macros replace both raw assert() and the original error.hpp
+// definitions; scripts/ocb_lint.py rejects new assert() call sites.
+#pragma once
+
+#include <string>
+
+namespace ocb::check {
+
+enum class FailureMode {
+  kThrow,  ///< raise ocb::Error (default; what the test suite expects)
+  kAbort,  ///< print to stderr and std::abort (deployment posture)
+};
+
+/// Process-wide failure handler selection. Thread-safe.
+void set_failure_mode(FailureMode mode) noexcept;
+FailureMode failure_mode() noexcept;
+
+/// Scoped failure-mode override for tests.
+class ScopedFailureMode {
+ public:
+  explicit ScopedFailureMode(FailureMode mode)
+      : previous_(failure_mode()) {
+    set_failure_mode(mode);
+  }
+  ~ScopedFailureMode() { set_failure_mode(previous_); }
+  ScopedFailureMode(const ScopedFailureMode&) = delete;
+  ScopedFailureMode& operator=(const ScopedFailureMode&) = delete;
+
+ private:
+  FailureMode previous_;
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace ocb::check
+
+/// Verify an invariant in every build; throws ocb::Error (or aborts,
+/// per FailureMode) with expression and location on failure.
+#define OCB_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::ocb::check::detail::fail("check", #expr, __FILE__, __LINE__,   \
+                                 std::string());                       \
+  } while (0)
+
+/// OCB_CHECK with an explanatory message. The message expression is
+/// evaluated only on failure, so it may build strings freely without
+/// taxing the hot path.
+#define OCB_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::ocb::check::detail::fail("check", #expr, __FILE__, __LINE__,   \
+                                 (msg));                               \
+  } while (0)
+
+/// Mark an unreachable branch; always fatal, in every build.
+#define OCB_UNREACHABLE(msg)                                           \
+  ::ocb::check::detail::fail("unreachable", "OCB_UNREACHABLE",         \
+                             __FILE__, __LINE__, (msg))
+
+// Debug-only contracts: full OCB_CHECK semantics in debug builds,
+// compiled out (but still type-checked, so they cannot rot) in NDEBUG
+// builds.
+#ifdef NDEBUG
+#define OCB_DCHECK(expr)                         \
+  do {                                           \
+    if (false && (expr)) { /* type-check only */ \
+    }                                            \
+  } while (0)
+#define OCB_DCHECK_MSG(expr, msg)                \
+  do {                                           \
+    if (false && (expr)) {                       \
+      (void)(msg);                               \
+    }                                            \
+  } while (0)
+#else
+#define OCB_DCHECK(expr) OCB_CHECK(expr)
+#define OCB_DCHECK_MSG(expr, msg) OCB_CHECK_MSG(expr, msg)
+#endif

@@ -1,13 +1,15 @@
 // Error handling primitives for Ocularone-Bench.
 //
 // The suite uses exceptions for unrecoverable precondition violations
-// (per C++ Core Guidelines E.2) and OCB_CHECK/OCB_REQUIRE macros so that
-// failure messages carry source location without hand-written plumbing.
+// (per C++ Core Guidelines E.2). The OCB_CHECK/OCB_DCHECK contract
+// macros live in core/check.hpp and are re-exported here so that every
+// existing `#include "core/error.hpp"` site keeps them in scope.
 #pragma once
 
-#include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "core/check.hpp"
 
 namespace ocb {
 
@@ -29,30 +31,4 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
-namespace detail {
-[[noreturn]] inline void throw_check_failure(const char* expr,
-                                             const char* file, int line,
-                                             const std::string& msg) {
-  std::ostringstream os;
-  os << "check failed: " << expr << " at " << file << ":" << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
-}
-}  // namespace detail
-
 }  // namespace ocb
-
-/// Verify an invariant; throws ocb::Error with location info on failure.
-#define OCB_CHECK(expr)                                                   \
-  do {                                                                    \
-    if (!(expr))                                                          \
-      ::ocb::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
-  } while (0)
-
-/// Verify an invariant with an explanatory message.
-#define OCB_CHECK_MSG(expr, msg)                                           \
-  do {                                                                     \
-    if (!(expr))                                                           \
-      ::ocb::detail::throw_check_failure(#expr, __FILE__, __LINE__,        \
-                                         (msg));                           \
-  } while (0)

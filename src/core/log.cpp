@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "core/thread_annotations.hpp"
 
 namespace ocb {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,7 +27,7 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << "[ocb:" << level_name(level) << "] " << message << '\n';
 }
 }  // namespace detail

@@ -1,0 +1,154 @@
+// Clang thread-safety annotations and annotated locking primitives.
+//
+// The streaming runtime and the serving scheduler rely on lock
+// discipline that TSan can only sample at runtime; clang's
+// -Wthread-safety analysis proves it at compile time. This header is
+// the single place the suite touches raw std primitives: it defines
+//
+//  * OCB_* annotation macros (no-ops on compilers without the
+//    `capability` attributes, i.e. gcc),
+//  * ocb::Mutex — an OCB_CAPABILITY-annotated std::mutex wrapper,
+//  * ocb::MutexLock — an OCB_SCOPED_CAPABILITY RAII guard,
+//  * ocb::CondVar — a condition variable whose wait() takes the
+//    annotated Mutex directly, so waiting code states OCB_REQUIRES
+//    instead of juggling std::unique_lock.
+//
+// Everything concurrent in src/ declares its shared state with
+// OCB_GUARDED_BY and locks through these wrappers; scripts/ocb_lint.py
+// rejects raw std::mutex / std::lock_guard / std::unique_lock outside
+// this header, and the clang CI leg builds with
+// -Wthread-safety -Werror so an unguarded access or a missing unlock
+// is a build break, not a flaky TSan report.
+//
+// Convention (lint-enforced): within a class, fields declared *after*
+// a Mutex member are guarded by it and must carry OCB_GUARDED_BY;
+// fields that are immutable after construction or owned by a single
+// thread go *before* the Mutex.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OCB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef OCB_THREAD_ANNOTATION
+#define OCB_THREAD_ANNOTATION(x)  // no-op: gcc has no -Wthread-safety
+#endif
+
+#define OCB_CAPABILITY(name) OCB_THREAD_ANNOTATION(capability(name))
+#define OCB_SCOPED_CAPABILITY OCB_THREAD_ANNOTATION(scoped_lockable)
+#define OCB_GUARDED_BY(x) OCB_THREAD_ANNOTATION(guarded_by(x))
+#define OCB_PT_GUARDED_BY(x) OCB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define OCB_REQUIRES(...) \
+  OCB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define OCB_ACQUIRE(...) \
+  OCB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define OCB_RELEASE(...) \
+  OCB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define OCB_TRY_ACQUIRE(...) \
+  OCB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define OCB_EXCLUDES(...) OCB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define OCB_RETURN_CAPABILITY(x) OCB_THREAD_ANNOTATION(lock_returned(x))
+#define OCB_ASSERT_CAPABILITY(x) \
+  OCB_THREAD_ANNOTATION(assert_capability(x))
+#define OCB_NO_THREAD_SAFETY_ANALYSIS \
+  OCB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ocb {
+
+/// Annotated mutual-exclusion capability over std::mutex.
+class OCB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() OCB_ACQUIRE() { mu_.lock(); }
+  void unlock() OCB_RELEASE() { mu_.unlock(); }
+  bool try_lock() OCB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII guard: acquires on construction, releases on destruction.
+class OCB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) OCB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() OCB_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Waits state their
+/// lock requirement through OCB_REQUIRES, which is exactly what the
+/// static analysis needs to verify the caller holds the right lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, wait, and re-acquire before returning.
+  void wait(Mutex& mu) OCB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(  // ocb-lint: allow(raw-mutex)
+        mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) OCB_REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  /// Returns false on timeout.
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur)
+      OCB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(  // ocb-lint: allow(raw-mutex)
+        mu.mu_, std::adopt_lock);
+    const bool ok = cv_.wait_for(lk, dur) == std::cv_status::no_timeout;
+    lk.release();
+    return ok;
+  }
+
+  /// Waits until `pred()` holds or `dur` elapses; returns pred().
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+                Predicate pred) OCB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(  // ocb-lint: allow(raw-mutex)
+        mu.mu_, std::adopt_lock);
+    const bool ok = cv_.wait_for(lk, dur, std::move(pred));
+    lk.release();
+    return ok;
+  }
+
+  /// Returns false on timeout.
+  template <typename Clock, typename Duration>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<Clock, Duration>& tp)
+      OCB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(  // ocb-lint: allow(raw-mutex)
+        mu.mu_, std::adopt_lock);
+    const bool ok = cv_.wait_until(lk, tp) == std::cv_status::no_timeout;
+    lk.release();
+    return ok;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ocb

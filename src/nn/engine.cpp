@@ -77,6 +77,37 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
   }
   scratch_.arena.reserve_bytes(max_scratch_floats * sizeof(float));
   rebuild_concat_lists();
+
+  std::size_t widest_concat = 0;
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = graph_.node(i);
+    if (nd.kind == OpKind::kConcat)
+      widest_concat = std::max(widest_concat, nd.inputs.size());
+  }
+  concat_batch_srcs_.reserve(widest_concat);
+  resize_output_slots();
+}
+
+void Engine::resize_output_slots() {
+  const std::vector<int>& outs = graph_.outputs();
+  outputs_.clear();
+  outputs_.reserve(outs.size());
+  for (int node : outs) {
+    const FeatShape s = graph_.shape(node);
+    outputs_.push_back(Tensor({1, s.c, s.h, s.w}));
+  }
+  batch_outputs_.assign(static_cast<std::size_t>(max_batch_), outputs_);
+}
+
+void Engine::materialize_outputs(int image, std::vector<Tensor>& dst) const {
+  const std::vector<int>& outs = graph_.outputs();
+  for (std::size_t j = 0; j < outs.size(); ++j) {
+    const int node = outs[j];
+    const std::size_t numel = graph_.shape(node).numel();
+    const float* src = activations_[static_cast<std::size_t>(node)].data() +
+                       static_cast<std::size_t>(image) * numel;
+    std::copy_n(src, numel, dst[j].data());
+  }
 }
 
 void Engine::rebuild_concat_lists() {
@@ -107,8 +138,10 @@ void Engine::plan_batch(int max_batch) {
   }
   has_run_ = false;
   // Re-sizing moved the activation storage; the precomputed concat
-  // pointer lists must chase the new buffers.
+  // pointer lists must chase the new buffers, and run_batch needs one
+  // output snapshot row per image.
   rebuild_concat_lists();
+  resize_output_slots();
 
   // One extra arena block holding both buffers conv2d_batched bump-
   // allocates (the widened column matrix and the channel-major staging
@@ -268,7 +301,7 @@ void Engine::build_int8_plan() {
   }
 }
 
-std::vector<Tensor> Engine::run(const Tensor& input) {
+const std::vector<Tensor>& Engine::run(const Tensor& input) {
   const FeatShape in_shape = graph_.input_shape();
   const Shape expected{1, in_shape.c, in_shape.h, in_shape.w};
   OCB_CHECK_MSG(input.shape() == expected,
@@ -398,21 +431,14 @@ std::vector<Tensor> Engine::run(const Tensor& input) {
   }
 
   has_run_ = true;
-  std::vector<Tensor> outputs;
-  outputs.reserve(graph_.outputs().size());
-  for (int node : graph_.outputs()) {
-    if (max_batch_ == 1) {
-      outputs.push_back(activations_[static_cast<std::size_t>(node)]);
-    } else {
-      // Activations are {max_batch, ...}; callers of batch-1 run()
-      // still get batch-1 tensors.
-      outputs.push_back(output_slice(node, 0));
-    }
-  }
-  return outputs;
+  // Snapshot image 0 into the pre-sized output tensors (activations are
+  // {max_batch, ...} after plan_batch; batch-1 callers get batch-1
+  // tensors either way).
+  materialize_outputs(0, outputs_);
+  return outputs_;
 }
 
-std::vector<std::vector<Tensor>> Engine::run_batch(
+std::span<const std::vector<Tensor>> Engine::run_batch(
     const std::vector<Tensor>& inputs) {
   const int batch = static_cast<int>(inputs.size());
   OCB_CHECK_MSG(batch >= 1, "run_batch needs at least one frame");
@@ -421,10 +447,11 @@ std::vector<std::vector<Tensor>> Engine::run_batch(
   if (batch == 1 || precision_ == Precision::kInt8) {
     // A batch of one gains nothing from the widened lowering, and the
     // INT8 path keeps per-image quantized buffers.
-    std::vector<std::vector<Tensor>> results;
-    results.reserve(inputs.size());
-    for (const Tensor& in : inputs) results.push_back(run(in));
-    return results;
+    for (int b = 0; b < batch; ++b) {
+      run(inputs[static_cast<std::size_t>(b)]);
+      materialize_outputs(0, batch_outputs_[static_cast<std::size_t>(b)]);
+    }
+    return {batch_outputs_.data(), static_cast<std::size_t>(batch)};
   }
   const FeatShape in_shape = graph_.input_shape();
   const Shape expected{1, in_shape.c, in_shape.h, in_shape.w};
@@ -506,12 +533,15 @@ std::vector<std::vector<Tensor>> Engine::run_batch(
         break;
       }
       case OpKind::kConcat: {
-        std::vector<const float*> srcs(nd.inputs.size());
+        // Reserved for the widest concat at construction: this resize
+        // never reallocates, keeping the batched path heap-free.
+        concat_batch_srcs_.resize(nd.inputs.size());
         for (int b = 0; b < batch; ++b) {
           for (std::size_t k = 0; k < nd.inputs.size(); ++k) {
-            srcs[k] = src_at(k, b);
+            concat_batch_srcs_[k] = src_at(k, b);
           }
-          concat_channels(srcs, concat_channels_[static_cast<std::size_t>(i)],
+          concat_channels(concat_batch_srcs_,
+                          concat_channels_[static_cast<std::size_t>(i)],
                           out.h, out.w,
                           dst.data() + static_cast<std::size_t>(b) * out_chw);
         }
@@ -556,22 +586,9 @@ std::vector<std::vector<Tensor>> Engine::run_batch(
 
   has_run_ = true;
   std::fill(float_stale_.begin(), float_stale_.end(), 0);
-  std::vector<std::vector<Tensor>> results(static_cast<std::size_t>(batch));
-  for (int b = 0; b < batch; ++b) {
-    auto& out = results[static_cast<std::size_t>(b)];
-    out.reserve(graph_.outputs().size());
-    for (int node : graph_.outputs()) out.push_back(output_slice(node, b));
-  }
-  return results;
-}
-
-Tensor Engine::output_slice(int node, int image) const {
-  const FeatShape out = graph_.shape(node);
-  Tensor t({1, out.c, out.h, out.w});
-  const float* src = activations_[static_cast<std::size_t>(node)].data() +
-                     static_cast<std::size_t>(image) * out.numel();
-  std::copy_n(src, out.numel(), t.data());
-  return t;
+  for (int b = 0; b < batch; ++b)
+    materialize_outputs(b, batch_outputs_[static_cast<std::size_t>(b)]);
+  return {batch_outputs_.data(), static_cast<std::size_t>(batch)};
 }
 
 const Tensor& Engine::node_output(int node) const {

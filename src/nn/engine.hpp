@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "nn/graph.hpp"
@@ -40,8 +41,11 @@ class Engine {
 
   /// Run a forward pass; `input` must match the graph's input shape
   /// (batch 1). Returns the outputs marked by Graph::mark_output, in
-  /// order.
-  std::vector<Tensor> run(const Tensor& input);
+  /// order. The returned tensors live in pre-sized engine storage —
+  /// no allocation happens on this path after construction — and stay
+  /// valid until the next run()/run_batch()/plan_batch(); copy them
+  /// (e.g. `auto outs = engine.run(x);`) to keep a snapshot.
+  const std::vector<Tensor>& run(const Tensor& input);
 
   /// Extend the activation and scratch plan to micro-batches of up to
   /// `max_batch` frames: activations grow to {max_batch, c, h, w}
@@ -58,8 +62,11 @@ class Engine {
   /// per batch, not once per frame. Returns outputs[frame][output],
   /// each a batch-1 tensor matching what run(frame) would produce.
   /// INT8 engines and single-frame batches fall back to per-frame
-  /// run() (the quantized path keeps its per-image buffers).
-  std::vector<std::vector<Tensor>> run_batch(
+  /// run() (the quantized path keeps its per-image buffers). Like
+  /// run(), the view aliases pre-sized engine storage (heap-free per
+  /// call) and is invalidated by the next run()/run_batch()/
+  /// plan_batch().
+  std::span<const std::vector<Tensor>> run_batch(
       const std::vector<Tensor>& inputs);
 
   /// Output tensor of a specific node from the most recent run().
@@ -96,8 +103,13 @@ class Engine {
   void repack(int node);
   void build_int8_plan();
   void rebuild_concat_lists();
-  /// Batch-1 copy of image `image` of a node's activation tensor.
-  Tensor output_slice(int node, int image) const;
+  /// (Re)allocates the output snapshot slots: outputs_ plus one
+  /// batch_outputs_ row per planned batch image. The only place output
+  /// storage is allocated — the run paths just copy into it.
+  void resize_output_slots();
+  /// Copies image `image` of every graph output into `dst`'s pre-sized
+  /// batch-1 tensors.
+  void materialize_outputs(int image, std::vector<Tensor>& dst) const;
 
   Graph graph_;  // engine owns an immutable copy of the structure
   std::vector<Tensor> weights_;
@@ -108,6 +120,13 @@ class Engine {
   std::vector<char> pack_dirty_;     ///< weight() handed out since last pack
   std::vector<std::vector<const float*>> concat_srcs_;
   std::vector<std::vector<int>> concat_channels_;
+  /// Per-image concat argument scratch for run_batch (capacity = widest
+  /// concat in the graph, reserved once — resize below capacity is
+  /// allocation-free).
+  std::vector<const float*> concat_batch_srcs_;
+  /// Pre-sized output snapshots returned by run() / run_batch().
+  std::vector<Tensor> outputs_;
+  std::vector<std::vector<Tensor>> batch_outputs_;
   ConvScratch scratch_;
   bool has_run_ = false;  ///< activations hold real data (vs zero-fill)
   int max_batch_ = 1;     ///< activation batch capacity (see plan_batch)

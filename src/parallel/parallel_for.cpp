@@ -4,20 +4,10 @@
 #include <future>
 #include <vector>
 
+#include "core/check.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ocb {
-
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn,
-                  std::size_t grain) {
-  ThreadPool::global().for_range(begin, end, fn, grain);
-}
-
-void parallel_rows(std::size_t rows,
-                   const std::function<void(std::size_t)>& fn) {
-  parallel_for(0, rows, fn, /*grain=*/8);
-}
 
 double parallel_sum(std::size_t n,
                     const std::function<double(std::size_t)>& fn,
@@ -40,6 +30,7 @@ double parallel_sum(std::size_t n,
   const std::size_t chunks =
       std::min(pool.size() * 4, (n + grain - 1) / grain);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  OCB_DCHECK_MSG(chunk_size > 0, "parallel_sum chunking degenerated");
   std::vector<PaddedPartial> partial(chunks);
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);

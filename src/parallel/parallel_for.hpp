@@ -1,21 +1,37 @@
 // Convenience data-parallel loops over the global thread pool.
+//
+// parallel_for / parallel_rows are templates so the callable reaches
+// ThreadPool::for_range without a std::function round-trip — kernels
+// call these per GEMM, and a capture-heavy lambda boxed into
+// std::function would put one heap allocation on every hot-path call
+// (the AllocGuard contract forbids exactly that). parallel_sum keeps
+// the type-erased signature: reductions allocate their partial buffer
+// anyway and sit off the steady-state frame path.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
 
 namespace ocb {
 
 /// Execute fn(i) for i in [begin, end) on the global pool.
 /// `grain` is the minimum per-chunk iteration count; ranges smaller than
 /// one grain run inline on the calling thread.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn,
-                  std::size_t grain = 64);
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                  std::size_t grain = 64) {
+  ThreadPool::global().for_range(begin, end, std::forward<Fn>(fn), grain);
+}
 
 /// 2D variant: fn(row) over [0, rows) — a thin wrapper used by image and
 /// tensor kernels where the row is the natural unit of work.
-void parallel_rows(std::size_t rows, const std::function<void(std::size_t)>& fn);
+template <typename Fn>
+void parallel_rows(std::size_t rows, Fn&& fn) {
+  parallel_for(0, rows, std::forward<Fn>(fn), /*grain=*/8);
+}
 
 /// Parallel sum reduction of fn(i) over [0, n).
 double parallel_sum(std::size_t n, const std::function<double(std::size_t)>& fn,

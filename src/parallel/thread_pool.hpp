@@ -6,16 +6,29 @@
 // correctness does not depend on the worker count — the container this
 // reproduction runs in may expose a single core, so every algorithm is
 // also exercised at threads == 1.
+//
+// Two execution paths:
+//  * submit() — long-lived tasks (streaming stage workers, server
+//    workers); packaged_task + future, allocates, cold path.
+//  * for_range() — the kernel hot path. The parallel region is a
+//    stack-allocated RangeJob published on an intrusive list; workers
+//    and the caller claim chunks off a shared atomic cursor, and the
+//    caller blocks until the last claimant retires. No futures, no
+//    std::function, no heap traffic: a warmed Engine::run that fans its
+//    GEMMs out through for_range stays allocation-free (the AllocGuard
+//    contract, DESIGN.md §10).
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace ocb {
 
@@ -31,25 +44,52 @@ class ThreadPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueue a task; the returned future reports completion/exceptions.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) OCB_EXCLUDES(mutex_);
 
-  /// Run `fn(i)` for i in [begin, end) across the pool and wait.
-  /// Exceptions from any chunk are rethrown (first one wins).
-  void for_range(std::size_t begin, std::size_t end,
-                 const std::function<void(std::size_t)>& fn,
-                 std::size_t grain = 1);
+  /// Run `fn(i)` for i in [begin, end) across the pool and wait; the
+  /// caller participates in the work. The first chunk exception is
+  /// rethrown and cancels chunks not yet claimed. Heap-free on the
+  /// success path (see file comment).
+  template <typename Fn>
+  void for_range(std::size_t begin, std::size_t end, Fn&& fn,
+                 std::size_t grain = 1) {
+    using F = std::remove_reference_t<Fn>;
+    for_range_impl(
+        begin, end,
+        [](void* ctx, std::size_t lo, std::size_t hi) {
+          F& f = *static_cast<F*>(ctx);
+          for (std::size_t i = lo; i < hi; ++i) f(i);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+        grain);
+  }
 
   /// Process-wide default pool (lazily constructed).
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  /// Runs a contiguous index sub-range [lo, hi) against a caller
+  /// context; the type-erased form of for_range's callable.
+  using RangeFn = void (*)(void* ctx, std::size_t lo, std::size_t hi);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  struct RangeJob;
+
+  void for_range_impl(std::size_t begin, std::size_t end, RangeFn fn,
+                      void* ctx, std::size_t grain) OCB_EXCLUDES(mutex_);
+  void worker_loop() OCB_EXCLUDES(mutex_);
+  /// Claim and execute chunks of `job` until exhausted; drops the pool
+  /// lock around the user callable and re-acquires before returning.
+  void run_range_chunks(RangeJob& job) OCB_REQUIRES(mutex_);
+  void unlink_range_job(RangeJob& job) OCB_REQUIRES(mutex_);
+
+  std::vector<std::thread> workers_;  // immutable between ctor and dtor
+
+  Mutex mutex_;
+  CondVar cv_;        ///< workers: task queued, range published, or stopping
+  CondVar range_cv_;  ///< for_range callers: a range job retired a claimant
+  std::deque<std::packaged_task<void()>> queue_ OCB_GUARDED_BY(mutex_);
+  RangeJob* range_head_ OCB_GUARDED_BY(mutex_) = nullptr;
+  bool stopping_ OCB_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ocb

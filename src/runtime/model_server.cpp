@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace ocb::runtime {
 
@@ -87,14 +88,17 @@ BatchRunner::BatchOutput EngineBatchRunner::run(
     inputs.push_back(*r.input);
   }
   const auto t0 = Clock::now();
-  std::vector<std::vector<Tensor>> outputs = engine_->run_batch(inputs);
+  const std::span<const std::vector<Tensor>> outputs =
+      engine_->run_batch(inputs);
   const auto t1 = Clock::now();
   BatchOutput out;
   out.batch_ms = elapsed_ms(t0, t1);
   out.payloads.reserve(outputs.size());
-  for (auto& frame_outputs : outputs) {
+  for (const auto& frame_outputs : outputs) {
+    // The span aliases engine storage that the next batch overwrites;
+    // payloads hand the caller an owning snapshot.
     out.payloads.push_back(
-        std::make_shared<std::vector<Tensor>>(std::move(frame_outputs)));
+        std::make_shared<std::vector<Tensor>>(frame_outputs));
   }
   return out;
 }
@@ -145,6 +149,10 @@ struct ModelServer::Model {
   bool running = false;  ///< a batch is in flight (per-model serialisation)
   bool degraded = false;
   int cooldown_left = 0;
+  /// kBlock submitters parked in room_cv_: counted so the shutdown
+  /// accounting can see requests that are submitted but neither queued
+  /// nor resolved yet.
+  std::size_t blocked = 0;
   ModelServeTelemetry telemetry;
 };
 
@@ -179,14 +187,14 @@ int ModelServer::add_model(ServedModelConfig config,
   model->telemetry.name = model->config.name;
   model->telemetry.priority = model->config.priority;
   model->telemetry.queue_capacity = model->config.queue_capacity;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   OCB_CHECK_MSG(!stopping_, "add_model after shutdown");
   models_.push_back(std::move(model));
   return static_cast<int>(models_.size()) - 1;
 }
 
 std::size_t ModelServer::model_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return models_.size();
 }
 
@@ -194,64 +202,92 @@ std::future<ServeResult> ModelServer::submit(int id, ServeRequest request) {
   std::promise<ServeResult> promise;
   std::future<ServeResult> future = promise.get_future();
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  OCB_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < models_.size(),
-                "unknown model handle");
-  Model& m = *models_[static_cast<std::size_t>(id)];
-  ++m.telemetry.submitted;
+  // Outcomes that resolve without dispatching carry the promise out of
+  // the critical section; promises are fulfilled only after the lock
+  // is released so a woken waiter never contends with us.
+  bool resolve_immediately = false;
+  ServeOutcome immediate_outcome = ServeOutcome::kDropped;
+  bool have_evicted = false;
+  std::promise<ServeResult> evicted_promise;
+  int evicted_frame = 0;
 
-  auto resolve_now = [&](ServeOutcome outcome) {
-    ServeResult r;
-    r.outcome = outcome;
-    r.frame = request.frame;
-    lock.unlock();
-    promise.set_value(std::move(r));
-    return std::move(future);
-  };
+  {
+    MutexLock lock(mutex_);
+    OCB_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < models_.size(),
+                  "unknown model handle");
+    Model& m = *models_[static_cast<std::size_t>(id)];
+    ++m.telemetry.submitted;
 
-  if (stopping_) return resolve_now(ServeOutcome::kDropped);
-
-  // Degraded cooldown: answer immediately without touching the runner,
-  // exactly like a degraded streaming stage bypassing its executor.
-  if (m.degraded && m.cooldown_left > 0) {
-    --m.cooldown_left;
-    ++m.telemetry.degraded;
-    return resolve_now(ServeOutcome::kDegraded);
-  }
-
-  // Admission control.
-  if (m.queue.size() >= m.config.queue_capacity) {
-    switch (m.config.admission) {
-      case DropPolicy::kDropNewest:
-        ++m.telemetry.dropped;
-        return resolve_now(ServeOutcome::kDropped);
-      case DropPolicy::kDropOldest: {
-        Pending evicted = std::move(m.queue.front());
-        m.queue.pop_front();
-        ++m.telemetry.dropped;
-        ServeResult r;
-        r.outcome = ServeOutcome::kDropped;
-        r.frame = evicted.request.frame;
-        evicted.promise.set_value(std::move(r));
-        break;
-      }
-      case DropPolicy::kBlock:
-        room_cv_.wait(lock, [&] {
-          return stopping_ || m.queue.size() < m.config.queue_capacity;
-        });
-        if (stopping_) {
-          ++m.telemetry.dropped;
-          return resolve_now(ServeOutcome::kDropped);
+    if (stopping_) {
+      ++m.telemetry.dropped;
+      resolve_immediately = true;
+      immediate_outcome = ServeOutcome::kDropped;
+    } else if (m.degraded && m.cooldown_left > 0) {
+      // Degraded cooldown: answer immediately without touching the
+      // runner, exactly like a degraded streaming stage bypassing its
+      // executor.
+      --m.cooldown_left;
+      ++m.telemetry.degraded;
+      resolve_immediately = true;
+      immediate_outcome = ServeOutcome::kDegraded;
+    } else {
+      // Admission control.
+      bool admitted = true;
+      if (m.queue.size() >= m.config.queue_capacity) {
+        switch (m.config.admission) {
+          case DropPolicy::kDropNewest:
+            ++m.telemetry.dropped;
+            resolve_immediately = true;
+            immediate_outcome = ServeOutcome::kDropped;
+            admitted = false;
+            break;
+          case DropPolicy::kDropOldest: {
+            Pending evicted = std::move(m.queue.front());
+            m.queue.pop_front();
+            ++m.telemetry.dropped;
+            have_evicted = true;
+            evicted_promise = std::move(evicted.promise);
+            evicted_frame = evicted.request.frame;
+            break;
+          }
+          case DropPolicy::kBlock:
+            ++m.blocked;
+            room_cv_.wait(mutex_, [this, &m]() OCB_REQUIRES(mutex_) {
+              return stopping_ ||
+                     m.queue.size() < m.config.queue_capacity;
+            });
+            --m.blocked;
+            if (stopping_) {
+              ++m.telemetry.dropped;
+              resolve_immediately = true;
+              immediate_outcome = ServeOutcome::kDropped;
+              admitted = false;
+            }
+            break;
         }
-        break;
+      }
+      if (admitted) {
+        m.queue.push_back(
+            Pending{std::move(request), std::move(promise), Clock::now()});
+        m.telemetry.queue_high_water =
+            std::max(m.telemetry.queue_high_water, m.queue.size());
+      }
     }
   }
 
-  m.queue.push_back(
-      Pending{std::move(request), std::move(promise), Clock::now()});
-  m.telemetry.queue_high_water =
-      std::max(m.telemetry.queue_high_water, m.queue.size());
-  lock.unlock();
+  if (have_evicted) {
+    ServeResult r;
+    r.outcome = ServeOutcome::kDropped;
+    r.frame = evicted_frame;
+    evicted_promise.set_value(std::move(r));
+  }
+  if (resolve_immediately) {
+    ServeResult r;
+    r.outcome = immediate_outcome;
+    r.frame = request.frame;
+    promise.set_value(std::move(r));
+    return future;
+  }
   work_cv_.notify_one();
   return future;
 }
@@ -289,16 +325,16 @@ ModelServer::Model* ModelServer::pick_ready(Clock::time_point now,
 }
 
 void ModelServer::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.lock();
   for (;;) {
     auto next_deadline = Clock::time_point::max();
     Model* m = pick_ready(Clock::now(), next_deadline);
     if (m == nullptr) {
-      if (stopping_) return;
+      if (stopping_) break;
       if (next_deadline == Clock::time_point::max()) {
-        work_cv_.wait(lock);
+        work_cv_.wait(mutex_);
       } else {
-        work_cv_.wait_until(lock, next_deadline);
+        work_cv_.wait_until(mutex_, next_deadline);
       }
       continue;
     }
@@ -306,6 +342,7 @@ void ModelServer::worker_loop() {
     const std::size_t take =
         std::min(m->queue.size(),
                  static_cast<std::size_t>(m->config.max_batch));
+    OCB_DCHECK_MSG(take >= 1, "pick_ready returned a model with no work");
     std::vector<Pending> batch;
     batch.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
@@ -314,9 +351,11 @@ void ModelServer::worker_loop() {
     }
     m->running = true;
     ++in_flight_;
-    lock.unlock();
+    mutex_.unlock();
     room_cv_.notify_all();
 
+    // Model objects are owned by unique_ptr and never destroyed before
+    // shutdown, so `m` stays valid across the unlocked batch run.
     std::vector<ServeRequest> requests;
     requests.reserve(batch.size());
     for (Pending& p : batch) requests.push_back(p.request);
@@ -324,7 +363,7 @@ void ModelServer::worker_loop() {
     BatchRunner::BatchOutput out = m->runner->run(requests);
     const auto done = Clock::now();
 
-    lock.lock();
+    mutex_.lock();
     const double per_frame_ms = out.batch_ms / static_cast<double>(take);
     const bool timed_out =
         m->config.timeout_ms > 0.0 && per_frame_ms > m->config.timeout_ms;
@@ -347,7 +386,7 @@ void ModelServer::worker_loop() {
     }
     m->running = false;
     --in_flight_;
-    lock.unlock();
+    mutex_.unlock();
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
       ServeResult r;
@@ -363,15 +402,16 @@ void ModelServer::worker_loop() {
     }
     work_cv_.notify_all();
     idle_cv_.notify_all();
-    lock.lock();
+    mutex_.lock();
   }
+  mutex_.unlock();
 }
 
 void ModelServer::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   draining_ = true;
   work_cv_.notify_all();
-  idle_cv_.wait(lock, [&] {
+  idle_cv_.wait(mutex_, [this]() OCB_REQUIRES(mutex_) {
     if (in_flight_ != 0) return false;
     for (const auto& m : models_)
       if (!m->queue.empty()) return false;
@@ -382,7 +422,7 @@ void ModelServer::drain() {
 
 void ModelServer::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       // Already shut down (or shutting down on another thread): the
       // worker futures below are waited on by the first caller.
@@ -396,10 +436,33 @@ void ModelServer::shutdown() {
   // queued requests drain rather than drop.
   for (auto& w : workers_) w.wait();
   workers_.clear();
+
+  // No-lost-requests invariant: with the workers joined, every request
+  // a client ever submitted must have resolved as exactly one of
+  // ok/dropped/degraded — except kBlock submitters still parked in
+  // room_cv_, which are counted in `blocked` and resolve as dropped
+  // the moment they wake.
+  MutexLock lock(mutex_);
+  OCB_CHECK_MSG(in_flight_ == 0, "shutdown with a batch still in flight");
+  for (const auto& m : models_) {
+    OCB_CHECK_MSG(m->queue.empty(),
+                  "shutdown left queued requests for model '" +
+                      m->config.name + "'");
+    const ModelServeTelemetry& t = m->telemetry;
+    OCB_CHECK_MSG(
+        t.submitted ==
+            t.completed + t.dropped + t.degraded + m->blocked,
+        "model '" + m->config.name + "' lost requests at shutdown: " +
+            std::to_string(t.submitted) + " submitted vs " +
+            std::to_string(t.completed) + " ok + " +
+            std::to_string(t.dropped) + " dropped + " +
+            std::to_string(t.degraded) + " degraded + " +
+            std::to_string(m->blocked) + " blocked");
+  }
 }
 
 ServerReport ModelServer::report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ServerReport report;
   report.models.reserve(models_.size());
   for (const auto& m : models_) report.models.push_back(m->telemetry);

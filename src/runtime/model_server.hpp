@@ -26,15 +26,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 #include "devsim/roofline.hpp"
 #include "nn/engine.hpp"
@@ -229,7 +229,9 @@ class ModelServer {
   void drain();
 
   /// Stop accepting requests, drain in-flight work, and release the
-  /// workers. Idempotent; the destructor calls it.
+  /// workers. Idempotent; the destructor calls it. OCB_CHECKs the
+  /// no-lost-requests invariant after the workers join: every
+  /// submitted request resolved as exactly one of ok/dropped/degraded.
   void shutdown();
 
   /// Snapshot of per-model telemetry.
@@ -242,26 +244,27 @@ class ModelServer {
   struct Pending;
   struct Model;
 
-  void worker_loop();
+  void worker_loop() OCB_EXCLUDES(mutex_);
   /// Highest-priority model with a dispatchable batch; also reports
-  /// the earliest future batch-window expiry. Caller holds the lock.
+  /// the earliest future batch-window expiry.
   Model* pick_ready(std::chrono::steady_clock::time_point now,
-                    std::chrono::steady_clock::time_point& next_deadline);
+                    std::chrono::steady_clock::time_point& next_deadline)
+      OCB_REQUIRES(mutex_);
 
   ServerConfig config_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
-
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< workers: a batch may be ready
-  std::condition_variable room_cv_;  ///< kBlock submitters: queue room
-  std::condition_variable idle_cv_;  ///< drain(): server went idle
-  std::vector<std::unique_ptr<Model>> models_;
-  std::vector<std::future<void>> workers_;
-  std::size_t in_flight_ = 0;
-  bool draining_ = false;
-  bool stopping_ = false;
+  std::vector<std::future<void>> workers_;  // joined by the first shutdown()
   std::chrono::steady_clock::time_point start_;
+
+  mutable Mutex mutex_;
+  CondVar work_cv_;  ///< workers: a batch may be ready
+  CondVar room_cv_;  ///< kBlock submitters: queue room
+  CondVar idle_cv_;  ///< drain(): server went idle
+  std::vector<std::unique_ptr<Model>> models_ OCB_GUARDED_BY(mutex_);
+  std::size_t in_flight_ OCB_GUARDED_BY(mutex_) = 0;
+  bool draining_ OCB_GUARDED_BY(mutex_) = false;
+  bool stopping_ OCB_GUARDED_BY(mutex_) = false;
 };
 
 /// Pipeline-stage adapter: forwards every frame to a ModelServer model

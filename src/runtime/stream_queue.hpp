@@ -3,21 +3,21 @@
 // Each pipeline stage pulls from one of these; the backpressure policy
 // decides what happens when a producer outruns its consumer — the
 // queue-induced latency and drop behaviour that dominates real embedded
-// deployments (Schlosser et al., PAPERS.md). Thread-safe (mutex +
-// condition variables), tracks drop counts and the depth high-water
-// mark for telemetry.
+// deployments (Schlosser et al., PAPERS.md). Thread-safe through the
+// annotated ocb::Mutex/CondVar wrappers, so clang's -Wthread-safety
+// proves every access to the guarded state holds the lock; tracks drop
+// counts and the depth high-water mark for telemetry.
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace ocb::runtime {
 
@@ -47,50 +47,58 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  PushOutcome push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (policy_ == DropPolicy::kBlock)
-      not_full_.wait(lock,
-                     [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) {
-      ++dropped_;
-      return PushOutcome::kRejected;
-    }
+  PushOutcome push(T item) OCB_EXCLUDES(mutex_) {
     PushOutcome outcome = PushOutcome::kAccepted;
-    if (items_.size() >= capacity_) {
-      if (policy_ == DropPolicy::kDropNewest) {
+    {
+      MutexLock lock(mutex_);
+      if (policy_ == DropPolicy::kBlock)
+        not_full_.wait(mutex_, [this]() OCB_REQUIRES(mutex_) {
+          return closed_ || items_.size() < capacity_;
+        });
+      if (closed_) {
         ++dropped_;
         return PushOutcome::kRejected;
       }
-      items_.pop_front();  // kDropOldest
-      ++dropped_;
-      outcome = PushOutcome::kReplacedOldest;
+      if (items_.size() >= capacity_) {
+        OCB_DCHECK_MSG(policy_ != DropPolicy::kBlock,
+                       "kBlock producer woke into a full open queue");
+        if (policy_ == DropPolicy::kDropNewest) {
+          ++dropped_;
+          return PushOutcome::kRejected;
+        }
+        items_.pop_front();  // kDropOldest
+        ++dropped_;
+        outcome = PushOutcome::kReplacedOldest;
+      }
+      items_.push_back(std::move(item));
+      high_water_ = std::max(high_water_, items_.size());
     }
-    items_.push_back(std::move(item));
-    high_water_ = std::max(high_water_, items_.size());
-    lock.unlock();
     not_empty_.notify_one();
     return outcome;
   }
 
   /// Blocks until an item is available or the queue is closed and
   /// drained; nullopt signals end-of-stream.
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;  // closed and drained
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+  std::optional<T> pop() OCB_EXCLUDES(mutex_) {
+    std::optional<T> item;
+    {
+      MutexLock lock(mutex_);
+      not_empty_.wait(mutex_, [this]() OCB_REQUIRES(mutex_) {
+        return closed_ || !items_.empty();
+      });
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
 
   /// Marks end-of-stream: pending items still drain, new pushes are
   /// rejected, and blocked producers/consumers wake up.
-  void close() {
+  void close() OCB_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -99,32 +107,33 @@ class BoundedQueue {
 
   std::size_t capacity() const noexcept { return capacity_; }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const OCB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   /// Deepest the queue has ever been.
-  std::size_t high_water() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t high_water() const OCB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return high_water_;
   }
 
   /// Items lost at this queue (evicted, rejected, or pushed after close).
-  std::uint64_t dropped() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped() const OCB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return dropped_;
   }
 
  private:
   const std::size_t capacity_;
   const DropPolicy policy_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_, not_empty_;
-  std::deque<T> items_;
-  std::size_t high_water_ = 0;
-  std::uint64_t dropped_ = 0;
-  bool closed_ = false;
+
+  mutable Mutex mutex_;
+  CondVar not_full_, not_empty_;
+  std::deque<T> items_ OCB_GUARDED_BY(mutex_);
+  std::size_t high_water_ OCB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ OCB_GUARDED_BY(mutex_) = 0;
+  bool closed_ OCB_GUARDED_BY(mutex_) = false;
 };
 
 inline const char* drop_policy_name(DropPolicy policy) noexcept {
@@ -133,7 +142,7 @@ inline const char* drop_policy_name(DropPolicy policy) noexcept {
     case DropPolicy::kDropOldest: return "drop-oldest";
     case DropPolicy::kDropNewest: return "drop-newest";
   }
-  return "?";
+  OCB_UNREACHABLE("unhandled DropPolicy");
 }
 
 }  // namespace ocb::runtime

@@ -2,19 +2,47 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <future>
-#include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/thread_annotations.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ocb::runtime {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// One-shot completion latch for the watchdog: the sink signals it,
+/// the watchdog polls it with a timeout. Annotated so the clang
+/// thread-safety leg proves the flag is never touched without the lock.
+class DoneLatch {
+ public:
+  void signal() OCB_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Waits up to `period`; returns true once signalled.
+  template <typename Rep, typename Period>
+  bool wait_for(const std::chrono::duration<Rep, Period>& period)
+      OCB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return cv_.wait_for(mu_, period,
+                        [this]() OCB_REQUIRES(mu_) { return done_; });
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool done_ OCB_GUARDED_BY(mu_) = false;
+};
 
 void sleep_wall_ms(double ms) {
   if (ms > 0.0)
@@ -151,9 +179,7 @@ StreamReport StreamingPipeline::run(FrameSource& source, int max_frames) {
 
   // --- launch source, stage workers and watchdog on the pool ---------
   const bool watchdog_on = cfg.stage_timeout_ms > 0.0;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  bool done = false;
+  DoneLatch done;
 
   ThreadPool pool(1 + n + (watchdog_on ? 1 : 0));
   std::vector<std::future<void>> tasks;
@@ -223,8 +249,7 @@ StreamReport StreamingPipeline::run(FrameSource& source, int max_frames) {
       const auto period = std::chrono::duration<double, std::milli>(
           std::max(0.1, cfg.watchdog_period_ms * cfg.time_scale));
       const double budget_wall = cfg.stage_timeout_ms * cfg.time_scale;
-      std::unique_lock<std::mutex> lock(done_mutex);
-      while (!done_cv.wait_for(lock, period, [&] { return done; })) {
+      while (!done.wait_for(period)) {
         const double now = wall_ms();
         for (StageRuntime& st : stages) {
           if (!st.busy.load()) continue;
@@ -267,11 +292,7 @@ StreamReport StreamingPipeline::run(FrameSource& source, int max_frames) {
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(done_mutex);
-    done = true;
-  }
-  done_cv.notify_all();
+  done.signal();
   for (std::future<void>& task : tasks) task.get();
 
   // --- fold telemetry ------------------------------------------------
@@ -294,6 +315,24 @@ StreamReport StreamingPipeline::run(FrameSource& source, int max_frames) {
   if (report.wall_ms > 0.0)
     report.throughput_fps =
         static_cast<double>(report.frames_completed) * 1000.0 / report.wall_ms;
+
+  // No-lost-frames accounting: every emitted frame either reached the
+  // sink or was shed at exactly one queue (sequential), and the
+  // parallel fan-out is lossless by construction (kBlock queues). A
+  // violation here means a frame vanished inside the runtime.
+  if (sequential) {
+    OCB_CHECK_MSG(
+        report.frames_completed + report.frames_dropped ==
+            report.frames_emitted,
+        "streaming shutdown lost frames: emitted " +
+            std::to_string(report.frames_emitted) + ", completed " +
+            std::to_string(report.frames_completed) + ", dropped " +
+            std::to_string(report.frames_dropped));
+  } else {
+    OCB_CHECK_MSG(report.frames_dropped == 0 &&
+                      report.frames_completed == report.frames_emitted,
+                  "parallel fan-out must be lossless");
+  }
   return report;
 }
 

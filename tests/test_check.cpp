@@ -1,0 +1,317 @@
+// Correctness-gate layer: OCB_CHECK contract macros, the AllocGuard
+// heap sentinel (including the zero-allocation proof for the warmed
+// Engine::run / run_batch paths in both precisions and for a streaming
+// pipeline frame), and the annotated Mutex/CondVar wrappers. Runs under
+// the `analysis` ctest label.
+#include "core/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/alloc_guard.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/thread_annotations.hpp"
+#include "nn/engine.hpp"
+#include "runtime/frame_source.hpp"
+#include "runtime/streaming_pipeline.hpp"
+
+namespace ocb {
+namespace {
+
+// --- Contract macros -------------------------------------------------------
+
+TEST(Check, PassingCheckIsSilent) {
+  OCB_CHECK(1 + 1 == 2);
+  OCB_CHECK_MSG(true, "never evaluated");
+}
+
+TEST(Check, FailureThrowsWithExpressionAndLocation) {
+  try {
+    OCB_CHECK(2 + 2 == 5);
+    FAIL() << "OCB_CHECK did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, MessageIsAttachedAndLazilyEvaluated) {
+  int evaluations = 0;
+  const auto message = [&] {
+    ++evaluations;
+    return std::string("queue invariant broke");
+  };
+  OCB_CHECK_MSG(true, message());
+  EXPECT_EQ(evaluations, 0) << "message must only build on failure";
+  try {
+    OCB_CHECK_MSG(false, message());
+    FAIL() << "OCB_CHECK_MSG did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_NE(std::string(e.what()).find("queue invariant broke"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, UnreachableAlwaysThrows) {
+  EXPECT_THROW(OCB_UNREACHABLE("fell off the enum"), Error);
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+  int evaluations = 0;
+  OCB_DCHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0) << "NDEBUG DCHECK must not evaluate";
+#else
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(OCB_DCHECK(false), Error);
+#endif
+}
+
+TEST(Check, AbortModeDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        check::set_failure_mode(check::FailureMode::kAbort);
+        OCB_CHECK_MSG(false, "deployment posture");
+      },
+      "check failed");
+}
+
+TEST(Check, ScopedFailureModeRestores) {
+  ASSERT_EQ(check::failure_mode(), check::FailureMode::kThrow);
+  {
+    check::ScopedFailureMode scoped(check::FailureMode::kAbort);
+    EXPECT_EQ(check::failure_mode(), check::FailureMode::kAbort);
+  }
+  EXPECT_EQ(check::failure_mode(), check::FailureMode::kThrow);
+}
+
+// --- AllocGuard ------------------------------------------------------------
+
+TEST(AllocGuard, CountsDeliberateAllocation) {
+  if (!alloc_counting_active())
+    GTEST_SKIP() << "operator new hooks compiled out";
+  AllocGuard guard;
+  auto owned = std::make_unique<std::vector<double>>(256);
+  EXPECT_GE(guard.allocations(), 1u);
+  EXPECT_GE(guard.bytes(), 256 * sizeof(double));
+  EXPECT_THROW(guard.check_zero("deliberate allocation"), Error);
+  owned.reset();
+  EXPECT_GE(guard.deallocations(), 1u);
+}
+
+TEST(AllocGuard, CleanRegionPassesCheckZero) {
+  if (!alloc_counting_active())
+    GTEST_SKIP() << "operator new hooks compiled out";
+  AllocGuard guard;
+  guard.check_zero("empty region");
+}
+
+TEST(AllocGuard, CountersArePerThread) {
+  if (!alloc_counting_active())
+    GTEST_SKIP() << "operator new hooks compiled out";
+  std::thread other([] { (void)std::make_unique<int>(7); });
+  AllocGuard guard;
+  other.join();
+  guard.check_zero("other thread's traffic must not leak in");
+}
+
+// --- Zero-allocation inference contracts -----------------------------------
+
+nn::Graph contract_graph() {
+  nn::Graph g;
+  const int in = g.input(3, 16, 16);
+  const int c1 = g.conv(in, 8, 3, 2, 1, nn::Act::kSilu, "c1");
+  const int c2 = g.conv(c1, 8, 3, 1, 1, nn::Act::kSilu, "c2");
+  const int add = g.add(c1, c2, "res");
+  const int pool = g.maxpool(add, 2, 2, 0, "pool");
+  const int up = g.upsample2x(pool, "up");
+  const int cat = g.concat({up, add}, "cat");
+  const int head = g.conv(cat, 4, 1, 1, 0, nn::Act::kSigmoid, "head");
+  g.mark_output(head);
+  return g;
+}
+
+Tensor contract_input(int frame = 0) {
+  Tensor t({1, 3, 16, 16});
+  Rng rng(100 + static_cast<std::uint64_t>(frame));
+  t.init_uniform(rng, 0.0f, 1.0f);
+  return t;
+}
+
+void expect_run_heap_free(nn::Engine& engine, const Tensor& input,
+                          const char* what) {
+  (void)engine.run(input);  // warm-up: packs, arena plan, output slots
+  AllocGuard guard;
+  for (int rep = 0; rep < 3; ++rep) (void)engine.run(input);
+  guard.check_zero(what);
+}
+
+TEST(ZeroAlloc, EngineRunFp32) {
+  if (!alloc_counting_active())
+    GTEST_SKIP() << "operator new hooks compiled out";
+  nn::Engine engine(contract_graph(), 7);
+  expect_run_heap_free(engine, contract_input(), "warmed fp32 Engine::run");
+}
+
+TEST(ZeroAlloc, EngineRunInt8) {
+  if (!alloc_counting_active())
+    GTEST_SKIP() << "operator new hooks compiled out";
+  nn::Engine engine(contract_graph(), 7);
+  engine.calibrate({contract_input(0), contract_input(1)});
+  engine.set_precision(nn::Precision::kInt8);
+  expect_run_heap_free(engine, contract_input(), "warmed int8 Engine::run");
+}
+
+void expect_run_batch_heap_free(nn::Engine& engine,
+                                const std::vector<Tensor>& inputs,
+                                const char* what) {
+  (void)engine.run_batch(inputs);  // warm-up
+  AllocGuard guard;
+  for (int rep = 0; rep < 3; ++rep) (void)engine.run_batch(inputs);
+  guard.check_zero(what);
+}
+
+TEST(ZeroAlloc, EngineRunBatchFp32) {
+  if (!alloc_counting_active())
+    GTEST_SKIP() << "operator new hooks compiled out";
+  nn::Engine engine(contract_graph(), 7);
+  engine.plan_batch(4);
+  std::vector<Tensor> inputs;
+  for (int f = 0; f < 4; ++f) inputs.push_back(contract_input(f));
+  expect_run_batch_heap_free(engine, inputs,
+                             "warmed fp32 Engine::run_batch");
+}
+
+TEST(ZeroAlloc, EngineRunBatchInt8) {
+  if (!alloc_counting_active())
+    GTEST_SKIP() << "operator new hooks compiled out";
+  nn::Engine engine(contract_graph(), 7);
+  engine.plan_batch(4);
+  engine.calibrate({contract_input(0), contract_input(1)});
+  engine.set_precision(nn::Precision::kInt8);
+  std::vector<Tensor> inputs;
+  for (int f = 0; f < 4; ++f) inputs.push_back(contract_input(f));
+  expect_run_batch_heap_free(engine, inputs,
+                             "warmed int8 Engine::run_batch");
+}
+
+/// Streaming-stage wrapper that asserts the inference inside each
+/// steady-state frame is heap-free: the stage's engine call runs under
+/// an AllocGuard on the stage worker thread once warmed.
+class GuardedEngineExecutor final : public runtime::Executor {
+ public:
+  explicit GuardedEngineExecutor(const nn::Graph& graph)
+      : engine_(graph, 7), input_(contract_input()), name_("guarded") {
+    (void)engine_.run(input_);  // warm before the stream starts
+  }
+
+  runtime::FrameResult run(const runtime::FrameContext&) override {
+    AllocGuard guard;
+    (void)engine_.run(input_);
+    guard.check_zero("warmed streaming-stage inference frame");
+    ++frames_checked;
+    runtime::FrameResult result;
+    result.latency_ms = 0.01;
+    result.stage = name_;
+    return result;
+  }
+
+  const std::string& name() const noexcept override { return name_; }
+
+  std::atomic<int> frames_checked{0};
+
+ private:
+  nn::Engine engine_;
+  Tensor input_;
+  std::string name_;
+};
+
+TEST(ZeroAlloc, StreamingPipelineFrameInference) {
+  if (!alloc_counting_active())
+    GTEST_SKIP() << "operator new hooks compiled out";
+  auto executor = std::make_unique<GuardedEngineExecutor>(contract_graph());
+  GuardedEngineExecutor* stage = executor.get();
+  std::vector<std::unique_ptr<runtime::Executor>> stages;
+  stages.push_back(std::move(executor));
+  runtime::StreamConfig config;
+  config.source_fps = 0.0;  // as fast as the stage drains
+  runtime::StreamingPipeline pipeline(std::move(stages), config);
+  runtime::SyntheticSource source(16);
+  const runtime::StreamReport report = pipeline.run(source, 16);
+  EXPECT_EQ(report.frames_completed, 16u);
+  // A check_zero failure inside the stage degrades the frame rather
+  // than killing the stream, so assert none degraded AND every frame
+  // actually went through the guard.
+  EXPECT_EQ(report.frames_degraded, 0u);
+  EXPECT_EQ(stage->frames_checked.load(), 16);
+}
+
+// --- Annotated locking primitives ------------------------------------------
+
+TEST(AnnotatedMutex, GuardsCountersAcrossThreads) {
+  Mutex mu;
+  int counter = 0;  // guarded by mu (declared locally; annotation N/A)
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(AnnotatedMutex, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  std::atomic<bool> contended{false};
+  std::thread other([&] { contended.store(!mu.try_lock()); });
+  other.join();
+  EXPECT_TRUE(contended.load());
+  mu.unlock();
+}
+
+TEST(AnnotatedCondVar, PredicateWaitSeesSignal) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(mu);
+    cv.wait(mu, [&]() OCB_REQUIRES(mu) { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(AnnotatedCondVar, WaitForTimesOutWithoutSignal) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const bool ok = cv.wait_for(mu, std::chrono::milliseconds(5),
+                              [] { return false; });
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace ocb
