@@ -76,13 +76,14 @@ LatencyResult bench_engine_precision(models::ModelId id, double input_scale,
   input.init_uniform(rng, 0.0f, 1.0f);
 
   engine.calibrate(frames);  // also serves as FP32 warm-up
+  engine.prepare({});        // planner-selected fp32 kernels
 
   LatencyResult result;
   result.name = models::model_info(id).name;
   result.fp32_ns_frame =
       best_seconds([&] { engine.run(input); }, min_seconds) * 1e9;
 
-  engine.set_precision(nn::Precision::kInt8);
+  engine.prepare({.precision = nn::Precision::kInt8});
   engine.run(input);  // warm-up: int8 panels + arena plan settled
   result.int8_ns_frame =
       best_seconds([&] { engine.run(input); }, min_seconds) * 1e9;
@@ -289,7 +290,7 @@ int main(int argc, char** argv) {
         pair.variant = bench::variant_name(family, size);
         pair.fp32 =
             evaluate_engine(model, engine, generator, test, "fp32");
-        engine.set_precision(nn::Precision::kInt8);
+        engine.prepare({.precision = nn::Precision::kInt8});
         pair.int8 =
             evaluate_engine(model, engine, generator, test, "int8");
         accuracy.push_back(pair);

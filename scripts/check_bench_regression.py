@@ -22,11 +22,23 @@ per-model p99 serve latencies violate the priority ordering
 critical < high < normal. All multi-model quantities are
 machine-relative (modelled stream clock), so they hold on any runner.
 
+Also understands BENCH_planner.json (top-level "bench": "planner"):
+with SIMD active, fails when the kernel planner stopped picking
+Winograd on any 3x3 stage, when the best Winograd layer's measured
+speedup over always-im2col drops below --min-winograd-speedup
+(default 1.5), when any planner choice is measurably SLOWER than
+im2col (a cost-model mischoice), or when the planned engine's output
+diverges from the legacy im2col engine. Layer/model speedups are
+machine-relative; planned ns/frame is additionally compared against
+the baseline unless --ratio-only.
+
 Usage:
   scripts/check_bench_regression.py BENCH_kernels.json \
       --baseline bench/baselines/BENCH_kernels.json [--tolerance 0.15]
   scripts/check_bench_regression.py BENCH_multi_model.json \
       --baseline bench/baselines/BENCH_multi_model.json
+  scripts/check_bench_regression.py BENCH_planner.json \
+      --baseline bench/baselines/BENCH_planner.json
 """
 
 from __future__ import annotations
@@ -83,6 +95,72 @@ def check_multi_model(current: dict, min_speedup: float) -> list[str]:
     return failures
 
 
+MAX_PLANNED_ABS_DIFF = 1e-4
+
+
+def check_planner(
+    current: dict,
+    baseline: dict | None,
+    tolerance: float,
+    min_winograd_speedup: float,
+    ratio_only: bool,
+) -> list[str]:
+    """Gate the conv-planner bench: the cost model must keep choosing
+    kernels that are actually faster, and the planned engine must stay
+    numerically equivalent to the legacy im2col engine."""
+    failures: list[str] = []
+    simd_active = current.get("simd", "scalar") != "scalar"
+    layers = current.get("layers", [])
+
+    winograd_speedups = [
+        layer["speedup"] for layer in layers if layer["chosen"] == "winograd"
+    ]
+    if simd_active:
+        if not winograd_speedups:
+            failures.append(
+                "planner chose winograd on no 3x3 stage (SIMD active)"
+            )
+        elif max(winograd_speedups) < min_winograd_speedup:
+            failures.append(
+                f"best winograd layer speedup {max(winograd_speedups):.2f} "
+                f"below required {min_winograd_speedup:.2f}"
+            )
+    for layer in layers:
+        if layer["chosen"] != "im2col" and layer["speedup"] < 1.0 - tolerance:
+            failures.append(
+                f"{layer['label']}: planner chose {layer['chosen']} but it "
+                f"measured {layer['speedup']:.2f}x vs im2col (mischoice)"
+            )
+
+    base_models = (
+        index_by(baseline.get("models", []), "name") if baseline else {}
+    )
+    for model in current.get("models", []):
+        name = model["name"]
+        if model["max_abs_diff"] > MAX_PLANNED_ABS_DIFF:
+            failures.append(
+                f"{name}: planned engine diverges from legacy im2col engine "
+                f"(max |diff| {model['max_abs_diff']:.2e})"
+            )
+        if model["speedup"] < 1.0 - tolerance:
+            failures.append(
+                f"{name}: planned engine slower than legacy im2col engine "
+                f"(speedup {model['speedup']:.2f})"
+            )
+        if not ratio_only:
+            base = base_models.get(name)
+            if base is None:
+                continue
+            limit = base["planned_ns_frame"] * (1.0 + tolerance)
+            if model["planned_ns_frame"] > limit:
+                failures.append(
+                    f"{name}: planned ns/frame "
+                    f"{model['planned_ns_frame']:.0f} exceeds baseline "
+                    f"{base['planned_ns_frame']:.0f} +{tolerance:.0%}"
+                )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly generated BENCH_kernels.json")
@@ -122,9 +200,43 @@ def main() -> int:
         help="minimum micro-batched vs frame-at-a-time aggregate "
         "throughput ratio (multi-model bench)",
     )
+    parser.add_argument(
+        "--min-winograd-speedup",
+        type=float,
+        default=1.5,
+        help="minimum measured speedup of the best winograd-planned "
+        "layer over always-im2col (planner bench, SIMD active)",
+    )
     args = parser.parse_args()
 
     current = load(args.current)
+
+    if current.get("bench") == "planner":
+        try:
+            baseline = load(args.baseline)
+        except OSError:
+            baseline = None
+        failures = check_planner(
+            current,
+            baseline,
+            args.tolerance,
+            args.min_winograd_speedup,
+            args.ratio_only,
+        )
+        if failures:
+            print("bench regression check FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        layers = current.get("layers", [])
+        wino = [l for l in layers if l["chosen"] == "winograd"]
+        best = max((l["speedup"] for l in wino), default=0.0)
+        print(
+            "bench regression check passed (planner: "
+            f"{len(layers)} layers, {len(wino)} winograd, best winograd "
+            f"speedup {best:.2f}, simd={current.get('simd')})"
+        )
+        return 0
 
     if current.get("bench") == "multi_model":
         failures = check_multi_model(current, args.min_batch_speedup)

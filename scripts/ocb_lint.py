@@ -28,6 +28,13 @@ correctness:
   include-hygiene  files that use ocb::Mutex / MutexLock / CondVar /
                    OCB_GUARDED_BY must include core/thread_annotations.hpp
                    themselves rather than leaning on transitive includes.
+  deprecated-engine-api
+                   calls to the legacy Engine planning entry points
+                   (plan_batch / set_precision) anywhere in src/ outside
+                   nn/engine.{hpp,cpp}. All planning state changes route
+                   through the one entry point, Engine::prepare
+                   (PlanRequest), so precision/batch/algorithm choices
+                   can never go stale against each other (DESIGN.md §11).
   bench-baseline   bench/baselines/*.json must parse and carry the
                    top-level keys scripts/check_bench_regression.py
                    keys off, so a malformed baseline fails in lint, not
@@ -269,11 +276,37 @@ def check_include_hygiene(rel: str, lines: list[str]) -> list[Finding]:
     return []
 
 
+# --- rule: deprecated-engine-api --------------------------------------------
+
+DEPRECATED_ENGINE_API_RE = re.compile(r"\b(?:plan_batch|set_precision)\s*\(")
+# The legacy entry points are declared, defined, and shimmed here; every
+# other call site in src/ must go through Engine::prepare(PlanRequest).
+ENGINE_API_ALLOWED = {"src/nn/engine.hpp", "src/nn/engine.cpp"}
+
+
+def check_deprecated_engine_api(rel: str, lines: list[str]) -> list[Finding]:
+    if rel in ENGINE_API_ALLOWED or not rel.startswith("src/"):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        if not DEPRECATED_ENGINE_API_RE.search(code):
+            continue
+        if "deprecated-engine-api" in allowed_rules(raw):
+            continue
+        findings.append(Finding(
+            "deprecated-engine-api", rel, i,
+            "legacy Engine planning entry point; route through "
+            "Engine::prepare(PlanRequest) instead (DESIGN.md §11)"))
+    return findings
+
+
 # --- rule: bench-baseline ---------------------------------------------------
 
 BASELINE_REQUIRED_KEYS = {
     "BENCH_kernels.json": {"simd", "gemm", "models"},
     "BENCH_multi_model.json": {"bench", "batched_speedup", "models"},
+    "BENCH_planner.json": {"bench", "simd", "layers", "models"},
     "BENCH_precision_sweep.json": {"latency", "accuracy"},
 }
 
@@ -312,6 +345,7 @@ FILE_CHECKS = [
     check_hot_path_heap,
     check_unguarded_fields,
     check_include_hygiene,
+    check_deprecated_engine_api,
 ]
 
 
@@ -379,6 +413,10 @@ SELF_TEST_CASES = [
      ["class Q {",
       "  MutexLock hold();",
       "};"]),
+    ("deprecated-engine-api", "src/runtime/bad.cpp",
+     ["engine->plan_batch(4);"]),
+    ("deprecated-engine-api", "src/runtime/bad.cpp",
+     ["engine.set_precision(nn::Precision::kInt8);"]),
 ]
 
 SELF_TEST_CLEAN = [
@@ -398,6 +436,12 @@ SELF_TEST_CLEAN = [
     ("src/nn/good.cpp",
      ["buffer_.resize(n);  // owning container growth is fine",
       "auto plan = std::make_unique<Plan>();  // not a raw new"]),
+    ("src/runtime/good2.cpp",
+     ["// plan_batch(4) in a comment is fine",
+      "engine->prepare(request);",
+      "legacy.set_precision(p);  // ocb-lint: allow(deprecated-engine-api)"]),
+    ("src/nn/engine.cpp",
+     ["void Engine::plan_batch(int max_batch) {  // the shim itself"]),
 ]
 
 

@@ -82,7 +82,7 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad) {
   node->backward_fn = [self, xp, wp, bp, geom, out_c, cols, rows]() {
     const Tensor& dout = self->grad;
     const int batch = xp->value.shape().n;
-    std::vector<float> col(rows * cols);
+    std::vector<float> bcol(rows * cols);
     std::vector<float> dcol(rows * cols);
 
     Tensor* dw = wp->requires_grad ? &wp->ensure_grad() : nullptr;
@@ -92,9 +92,9 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad) {
     for (int n = 0; n < batch; ++n) {
       const float* dout_n = dout.channel(n, 0);
       if (dw != nullptr || dx != nullptr)
-        im2col(xp->value.channel(n, 0), geom, col.data());
+        im2col(xp->value.channel(n, 0), geom, bcol.data());
       if (dw != nullptr)
-        gemm_nt_acc(dout_n, col.data(), dw->data(),
+        gemm_nt_acc(dout_n, bcol.data(), dw->data(),
                     static_cast<std::size_t>(out_c), cols, rows);
       if (db != nullptr) {
         for (int oc = 0; oc < out_c; ++oc) {
@@ -188,13 +188,13 @@ Var maxpool2x2(const Var& x) {
   node->backward_fn = [self, xp, indices, xs, oh, ow]() {
     if (!xp->requires_grad) return;
     Tensor& dx = xp->ensure_grad();
-    std::size_t oi = 0;
+    std::size_t gi = 0;
     const std::size_t plane = static_cast<std::size_t>(xs.h) * xs.w;
     for (int n = 0; n < xs.n; ++n)
       for (int c = 0; c < xs.c; ++c) {
         float* dsrc = dx.data() + (static_cast<std::size_t>(n) * xs.c + c) * plane;
-        for (int i = 0; i < oh * ow; ++i, ++oi)
-          dsrc[(*indices)[oi]] += self->grad[oi];
+        for (int i = 0; i < oh * ow; ++i, ++gi)
+          dsrc[(*indices)[gi]] += self->grad[gi];
       }
   };
   return node;

@@ -1,0 +1,122 @@
+// Per-layer convolution plans and the shape-keyed plan cache.
+//
+// A ConvPlan records which implementation a conv layer should run
+// through (im2col→packed GEMM, direct 1×1 GEMM, Winograd F(2×2,3×3),
+// or the quantized im2col path) together with the cost model's latency
+// estimates. Plans are pure functions of the ConvPlanKey — the conv
+// geometry, batch, precision and SIMD path — so identical layers across
+// engines, models and threads share one cached decision: PlanCache is
+// a bounded, thread-safe map from key to plan. Lookups never allocate
+// or reshuffle (cache hits on a warmed engine stay heap-free; see
+// tests/test_planner.cpp); insertions evict FIFO once the bound is
+// reached. The enumeration/costing logic that *produces* plans lives
+// in nn/planner.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/thread_annotations.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/simd.hpp"
+
+namespace ocb::nn {
+
+/// Numeric precision a conv/linear node executes in. kInt8 requires a
+/// calibration pass first (see Engine::calibrate / PlanRequest); all
+/// other ops stay FP32 in either mode.
+enum class Precision { kFp32, kInt8 };
+
+const char* precision_name(Precision precision) noexcept;
+
+/// Candidate implementations the planner chooses between.
+enum class ConvAlgo : std::uint8_t {
+  kIm2colGemm,  ///< lower to a column matrix, one fused packed GEMM
+  kDirectGemm,  ///< 1×1 s1 p0: the input already is the column matrix
+  kWinograd,    ///< 3×3 s1: F(2×2,3×3) transforms + 16 pointwise GEMMs
+  kIm2colQuant, ///< u8×s8 quantized im2col path (kInt8 precision only)
+};
+
+const char* conv_algo_name(ConvAlgo algo) noexcept;
+
+/// Everything a conv plan may depend on. Two layers with equal keys run
+/// identically, wherever they appear.
+struct ConvPlanKey {
+  int in_c = 0, in_h = 0, in_w = 0;
+  int kernel = 1, stride = 1, pad = 0;
+  int out_c = 0;
+  int batch = 1;  ///< frames lowered side by side (max_batch of the plan)
+  Precision precision = Precision::kFp32;
+  simd::Level level = simd::Level::kScalar;
+
+  friend bool operator==(const ConvPlanKey&, const ConvPlanKey&) = default;
+
+  ConvGeometry geometry() const noexcept {
+    return ConvGeometry{in_c, in_h, in_w, kernel, kernel, stride, pad};
+  }
+};
+
+struct ConvPlanKeyHash {
+  std::size_t operator()(const ConvPlanKey& key) const noexcept;
+};
+
+/// The winning implementation for one key, plus the estimates that
+/// picked it (retained for observability: ExecutionPlan::to_text and
+/// BENCH_planner report them).
+struct ConvPlan {
+  ConvAlgo algo = ConvAlgo::kIm2colGemm;
+  double est_ms = 0.0;         ///< modelled latency of the chosen algo
+  double est_im2col_ms = 0.0;  ///< baseline candidate, for speedups
+};
+
+/// Thread-safe bounded map from ConvPlanKey to ConvPlan.
+///
+/// Sized for the working set of every model in a serving fleet (a
+/// MiniYolo has ~10 distinct conv shapes); when full, insertion evicts
+/// the oldest entry (FIFO — plans are cheap to recompute, so recency
+/// tracking isn't worth making lookups mutate shared state; a lookup
+/// takes the lock, probes, and copies 24 bytes out).
+class PlanCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+
+  /// Copies the cached plan into `*plan` and returns true on a hit.
+  /// Never allocates and never mutates the map.
+  bool lookup(const ConvPlanKey& key, ConvPlan* plan);
+
+  /// Inserts (or overwrites) a plan, evicting FIFO at capacity.
+  void insert(const ConvPlanKey& key, const ConvPlan& plan);
+
+  Stats stats() const;
+  void clear();
+
+  /// The process-wide cache engines share by default (PlannerConfig
+  /// can point at a private one instead).
+  static PlanCache& global();
+
+ private:
+  const std::size_t capacity_;  // immutable after construction
+
+  mutable Mutex mutex_;
+  std::unordered_map<ConvPlanKey, ConvPlan, ConvPlanKeyHash> map_
+      OCB_GUARDED_BY(mutex_);
+  /// Insertion-ordered ring of live keys; next_evict_ walks it FIFO.
+  std::vector<ConvPlanKey> order_ OCB_GUARDED_BY(mutex_);
+  std::size_t next_evict_ OCB_GUARDED_BY(mutex_) = 0;
+  Stats stats_ OCB_GUARDED_BY(mutex_);
+};
+
+}  // namespace ocb::nn

@@ -1,10 +1,51 @@
 #include "nn/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/error.hpp"
+#include "tensor/winograd.hpp"
 
 namespace ocb::nn {
+
+namespace {
+
+/// Planner configuration the deprecated shims run with: im2col only,
+/// no cache traffic — exactly the pre-planner engine behaviour, so
+/// legacy callers see bit-identical execution.
+PlannerConfig legacy_planner_config() noexcept {
+  PlannerConfig config;
+  config.enable_winograd = false;
+  config.enable_direct = false;
+  config.enable_fp32_fallback = false;
+  config.use_cache = false;
+  return config;
+}
+
+}  // namespace
+
+std::string ExecutionPlan::to_text(const Graph& graph) const {
+  std::string out = "execution plan: precision=";
+  out += precision_name(precision);
+  out += " max_batch=" + std::to_string(max_batch);
+  out += " (cache " + std::to_string(cache_hits) + " hit/" +
+         std::to_string(cache_misses) + " miss)\n";
+  for (int i = 0; i < graph.node_count(); ++i) {
+    const Node& nd = graph.node(i);
+    if (nd.kind != OpKind::kConv) continue;
+    const ConvPlan& p = nodes[static_cast<std::size_t>(i)];
+    const FeatShape s = graph.shape(nd.inputs[0]);
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-16s %3dx%-3d c%-3d->%-3d k%d s%d  %-11s est %.3f ms"
+                  " (im2col %.3f ms)\n",
+                  nd.name.empty() ? "conv" : nd.name.c_str(), s.h, s.w, s.c,
+                  nd.out_c, nd.kernel, nd.stride, conv_algo_name(p.algo),
+                  p.est_ms, p.est_im2col_ms);
+    out += line;
+  }
+  return out;
+}
 
 Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
   const int n = graph_.node_count();
@@ -14,8 +55,11 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
   activations_.resize(static_cast<std::size_t>(n));
   packed_.resize(static_cast<std::size_t>(n));
   pack_dirty_.assign(static_cast<std::size_t>(n), 0);
+  wino_panels_.resize(static_cast<std::size_t>(n));
   concat_srcs_.resize(static_cast<std::size_t>(n));
   concat_channels_.resize(static_cast<std::size_t>(n));
+  plan_.nodes.assign(static_cast<std::size_t>(n), ConvPlan{});
+  plan_scratch_.assign(static_cast<std::size_t>(n), ConvPlan{});
 
   for (int i = 0; i < n; ++i) {
     const Node& nd = graph_.node(i);
@@ -86,6 +130,13 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
   }
   concat_batch_srcs_.reserve(widest_concat);
   resize_output_slots();
+
+  // Baseline plan: fp32, batch 1, im2col everywhere — bit-compatible
+  // with the pre-planner engine. The cost-model planner only engages
+  // through prepare().
+  for (int i = 0; i < n; ++i)
+    if (graph_.node(i).kind == OpKind::kConv) ++plan_.conv_nodes;
+  plan_.im2col_nodes = plan_.conv_nodes;
 }
 
 void Engine::resize_output_slots() {
@@ -126,8 +177,126 @@ void Engine::rebuild_concat_lists() {
   }
 }
 
+const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
+  OCB_CHECK_MSG(request.max_batch >= 1, "prepare needs a positive max_batch");
+  const int n = graph_.node_count();
+  const bool new_calib = request.calibration != nullptr;
+  if (new_calib) calib_ = *request.calibration;
+  if (request.precision == Precision::kInt8) {
+    OCB_CHECK_MSG(calib_.frames > 0 &&
+                      calib_.ranges.size() == static_cast<std::size_t>(n),
+                  "INT8 requires a calibration (run calibrate() first)");
+  }
+
+  // Plan every conv against the shape-keyed cache. Decisions land in
+  // pre-sized staging first so an unchanged re-prepare — the warmed
+  // serving path — allocates nothing.
+  const simd::Level level = simd::active();
+  PlanCache& cache = request.planner.cache != nullptr
+                         ? *request.planner.cache
+                         : PlanCache::global();
+  const PlanCache::Stats before = cache.stats();
+  bool algos_changed = false;
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = graph_.node(i);
+    const std::size_t ui = static_cast<std::size_t>(i);
+    ConvPlan p{};
+    if (nd.kind == OpKind::kConv) {
+      const FeatShape s = graph_.shape(nd.inputs[0]);
+      ConvPlanKey key;
+      key.in_c = s.c;
+      key.in_h = s.h;
+      key.in_w = s.w;
+      key.kernel = nd.kernel;
+      key.stride = nd.stride;
+      key.pad = nd.pad;
+      key.out_c = nd.out_c;
+      key.batch = request.max_batch;
+      key.precision = request.precision;
+      key.level = level;
+      p = plan_conv(key, request.planner);
+    }
+    plan_scratch_[ui] = p;
+    if (p.algo != plan_.nodes[ui].algo) algos_changed = true;
+  }
+  const PlanCache::Stats after = cache.stats();
+  plan_.cache_hits = after.hits - before.hits;
+  plan_.cache_misses = after.misses - before.misses;
+
+  const bool grow = request.max_batch > max_batch_;
+  const bool precision_change = request.precision != precision_;
+  if (!grow && !precision_change && !algos_changed && !new_calib)
+    return plan_;  // active plan already satisfies the request
+
+  // Same-length element-wise copy — no reallocation.
+  for (std::size_t i = 0; i < plan_.nodes.size(); ++i)
+    plan_.nodes[i] = plan_scratch_[i];
+  if (grow) grow_batch_plan(request.max_batch);
+
+  // Winograd nodes need their transformed weight panels and one arena
+  // block for the V + M tile buffers of the hungriest layer.
+  std::size_t wino_need = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    if (plan_.nodes[ui].algo != ConvAlgo::kWinograd) continue;
+    if (wino_panels_[ui].empty()) pack_winograd(i);
+    const Node& nd = graph_.node(i);
+    const FeatShape s = graph_.shape(nd.inputs[0]);
+    const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel, nd.stride,
+                            nd.pad};
+    wino_need = std::max(
+        wino_need,
+        winograd::scratch_floats(geom, nd.out_c, max_batch_) * sizeof(float));
+  }
+  if (wino_need != 0) {
+    wino_need += 2 * Arena::kAlign;  // per-alloc alignment rounding
+    if (wino_need > wino_scratch_bytes_) {
+      scratch_.arena.reserve_bytes(scratch_.arena.capacity_bytes() +
+                                   wino_need);
+      wino_scratch_bytes_ = wino_need;
+    }
+  }
+
+  if (request.precision == Precision::kInt8) {
+    build_int8_plan();
+  } else if (precision_ == Precision::kInt8) {
+    // Leaving INT8: drop u8 residency so a later fp32 run can never
+    // see stale dequantized activations (the fp32-after-int8 class).
+    std::fill(u8_valid_.begin(), u8_valid_.end(), 0);
+    std::fill(float_stale_.begin(), float_stale_.end(), 0);
+  }
+  precision_ = request.precision;
+
+  plan_.precision = precision_;
+  plan_.max_batch = max_batch_;
+  plan_.conv_nodes = 0;
+  plan_.winograd_nodes = 0;
+  plan_.direct_nodes = 0;
+  plan_.im2col_nodes = 0;
+  plan_.quant_nodes = 0;
+  for (int i = 0; i < n; ++i) {
+    if (graph_.node(i).kind != OpKind::kConv) continue;
+    ++plan_.conv_nodes;
+    switch (plan_.nodes[static_cast<std::size_t>(i)].algo) {
+      case ConvAlgo::kWinograd: ++plan_.winograd_nodes; break;
+      case ConvAlgo::kDirectGemm: ++plan_.direct_nodes; break;
+      case ConvAlgo::kIm2colQuant: ++plan_.quant_nodes; break;
+      case ConvAlgo::kIm2colGemm: ++plan_.im2col_nodes; break;
+    }
+  }
+  return plan_;
+}
+
 void Engine::plan_batch(int max_batch) {
-  OCB_CHECK_MSG(max_batch >= 1, "plan_batch needs a positive batch");
+  PlanRequest request;
+  request.max_batch = max_batch;
+  request.precision = precision_;
+  request.planner = legacy_planner_config();
+  prepare(request);
+}
+
+void Engine::grow_batch_plan(int max_batch) {
+  OCB_CHECK_MSG(max_batch >= 1, "batch plan needs a positive batch");
   if (max_batch <= max_batch_) return;
   max_batch_ = max_batch;
   const int n = graph_.node_count();
@@ -189,7 +358,21 @@ void Engine::repack(int node) {
                                  packed_[i].cols(), in_q, out_q, act);
     qlayers_[i].emit_u8 = emit;
   }
+  // Winograd-planned nodes carry a transformed copy of the weights;
+  // refresh it alongside the straight panels.
+  if (nd.kind == OpKind::kConv && !wino_panels_[i].empty())
+    pack_winograd(node);
   pack_dirty_[i] = 0;
+}
+
+void Engine::pack_winograd(int node) {
+  const std::size_t i = static_cast<std::size_t>(node);
+  const Node& nd = graph_.node(node);
+  OCB_CHECK_MSG(nd.kind == OpKind::kConv && nd.kernel == 3 && nd.stride == 1,
+                "winograd panels need a 3x3 stride-1 conv node");
+  const FeatShape in0 = graph_.shape(nd.inputs[0]);
+  winograd::pack_weights(weights_[i].data(), nd.out_c, in0.c,
+                         wino_panels_[i]);
 }
 
 QuantCalibration Engine::calibrate(const std::vector<Tensor>& frames) {
@@ -216,17 +399,12 @@ QuantCalibration Engine::calibrate(const std::vector<Tensor>& frames) {
 
 void Engine::set_precision(Precision precision,
                            const QuantCalibration* calib) {
-  if (calib != nullptr) calib_ = *calib;
-  if (precision == Precision::kFp32) {
-    precision_ = Precision::kFp32;
-    return;
-  }
-  OCB_CHECK_MSG(calib_.frames > 0 &&
-                    calib_.ranges.size() ==
-                        static_cast<std::size_t>(graph_.node_count()),
-                "INT8 requires a calibration (run calibrate() first)");
-  build_int8_plan();
-  precision_ = Precision::kInt8;
+  PlanRequest request;
+  request.max_batch = max_batch_;
+  request.precision = precision;
+  request.calibration = calib;
+  request.planner = legacy_planner_config();
+  prepare(request);
 }
 
 void Engine::build_int8_plan() {
@@ -249,9 +427,16 @@ void Engine::build_int8_plan() {
   for (std::size_t j = 0; j < n; ++j)
     for (int s : graph_.node(static_cast<int>(j)).inputs)
       consumers[static_cast<std::size_t>(s)].push_back(static_cast<int>(j));
+  // A conv is quantized only when the planner kept kIm2colQuant for it
+  // (the cost model may keep a tiny layer in fp32); linear nodes are
+  // always quantized. Consumers of a fallback node read float, so it
+  // must not be counted as an INT8 reader when deciding u8 residency.
   auto quantizable = [&](int i) {
     const OpKind kind = graph_.node(i).kind;
-    return kind == OpKind::kConv || kind == OpKind::kLinear;
+    if (kind == OpKind::kLinear) return true;
+    return kind == OpKind::kConv &&
+           plan_.nodes[static_cast<std::size_t>(i)].algo ==
+               ConvAlgo::kIm2colQuant;
   };
   const auto& outs = graph_.outputs();
 
@@ -349,7 +534,8 @@ const std::vector<Tensor>& Engine::run(const Tensor& input) {
         const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
                                 nd.stride, nd.pad};
         const std::size_t ui = static_cast<std::size_t>(i);
-        if (int8 && qlayers_[ui].valid()) {
+        const ConvAlgo algo = plan_.nodes[ui].algo;
+        if (int8 && algo == ConvAlgo::kIm2colQuant && qlayers_[ui].valid()) {
           const std::uint8_t* inq = u8_input(nd.inputs[0]);
           if (qlayers_[ui].emit_u8) {
             qconv2d(inq, geom, qlayers_[ui], biases_[i].data(),
@@ -360,9 +546,17 @@ const std::vector<Tensor>& Engine::run(const Tensor& input) {
             qconv2d(inq, geom, qlayers_[ui], biases_[i].data(), dst.data(),
                     /*out_u8=*/nullptr, scratch_);
           }
+        } else if (algo == ConvAlgo::kWinograd) {
+          conv2d_winograd(src(0).data(), s.numel(), /*batch=*/1, geom,
+                          wino_panels_[ui], biases_[i].data(), nd.act,
+                          dst.data(), out.numel(), scratch_);
+        } else if (algo == ConvAlgo::kDirectGemm) {
+          conv2d_direct1x1(src(0).data(), s.numel(), /*batch=*/1, geom,
+                           packed_[ui], biases_[i].data(), nd.act,
+                           dst.data(), out.numel());
         } else {
-          conv2d(src(0).data(), geom, packed_[static_cast<std::size_t>(i)],
-                 biases_[i].data(), nd.act, dst.data(), scratch_);
+          conv2d(src(0).data(), geom, packed_[ui], biases_[i].data(), nd.act,
+                 dst.data(), scratch_);
         }
         break;
       }
@@ -443,7 +637,8 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
   const int batch = static_cast<int>(inputs.size());
   OCB_CHECK_MSG(batch >= 1, "run_batch needs at least one frame");
   OCB_CHECK_MSG(batch <= max_batch_,
-                "run_batch exceeds the planned batch (call plan_batch)");
+                "run_batch exceeds the planned batch (prepare a larger "
+                "PlanRequest::max_batch)");
   if (batch == 1 || precision_ == Precision::kInt8) {
     // A batch of one gains nothing from the widened lowering, and the
     // INT8 path keeps per-image quantized buffers.
@@ -488,10 +683,24 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
         const FeatShape s = graph_.shape(nd.inputs[0]);
         const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
                                 nd.stride, nd.pad};
-        conv2d_batched(src_at(0, 0), s.numel(), batch, geom,
-                       packed_[static_cast<std::size_t>(i)],
-                       biases_[i].data(), nd.act, dst.data(), out_chw,
-                       scratch_);
+        const std::size_t ui = static_cast<std::size_t>(i);
+        switch (plan_.nodes[ui].algo) {
+          case ConvAlgo::kWinograd:
+            conv2d_winograd(src_at(0, 0), s.numel(), batch, geom,
+                            wino_panels_[ui], biases_[i].data(), nd.act,
+                            dst.data(), out_chw, scratch_);
+            break;
+          case ConvAlgo::kDirectGemm:
+            conv2d_direct1x1(src_at(0, 0), s.numel(), batch, geom,
+                             packed_[ui], biases_[i].data(), nd.act,
+                             dst.data(), out_chw);
+            break;
+          default:
+            conv2d_batched(src_at(0, 0), s.numel(), batch, geom, packed_[ui],
+                           biases_[i].data(), nd.act, dst.data(), out_chw,
+                           scratch_);
+            break;
+        }
         break;
       }
       case OpKind::kDwConv: {

@@ -6,66 +6,115 @@
 // (Accuracy experiments use the separately *trained* MiniYolo models —
 // see src/trainer.)
 //
+// Planning is explicit: prepare(PlanRequest) is the single entry point
+// that decides, per conv layer, which implementation to run (im2col →
+// packed GEMM, direct 1×1, Winograd F(2×2,3×3), or the quantized
+// path), sizes activations for the requested micro-batch, selects the
+// execution precision, and reserves the scratch arena — consulting the
+// process-wide PlanCache so identical layers across engines share one
+// costed decision (see nn/planner.hpp). run()/run_batch() then just
+// dispatch along the prepared ExecutionPlan.
+//
 // Steady-state frame path: every conv/linear weight matrix is repacked
 // once at load time into PackedA tile panels (re-done lazily if a test
 // or trainer mutates weight()), activations are pre-allocated from the
-// graph's shape plan, concat argument lists are precomputed, and the
-// im2col scratch comes from an arena reserved for the largest lowering
-// in the graph — so run() performs no heap allocation for compute
-// buffers after construction (see scratch_arena() for the test hook).
+// graph's shape plan, concat argument lists are precomputed, and conv
+// scratch comes from an arena reserved at prepare time — so run() and
+// a re-prepare() that changes nothing perform no heap allocation after
+// warm-up (see scratch_arena() for the test hook).
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "nn/graph.hpp"
 #include "nn/ops.hpp"
+#include "nn/planner.hpp"
 #include "nn/quantize.hpp"
 
 namespace ocb::nn {
 
-/// Numeric precision the engine executes conv/linear nodes in. kInt8
-/// requires a calibration pass first (see calibrate/set_precision);
-/// all other ops stay FP32 in either mode.
-enum class Precision { kFp32, kInt8 };
+/// Everything a planning pass depends on. Defaults reproduce a plain
+/// fp32 batch-1 engine with the full candidate set enabled.
+struct PlanRequest {
+  int max_batch = 1;             ///< frames run_batch may fuse
+  Precision precision = Precision::kFp32;
+  /// Optional calibration for kInt8 (when null, the ranges recorded by
+  /// the last calibrate() are used).
+  const QuantCalibration* calibration = nullptr;
+  PlannerConfig planner{};       ///< candidate toggles, cost model, cache
+};
+
+/// The engine's active plan, returned by prepare() for observability.
+/// Valid until the next prepare() on the same engine.
+struct ExecutionPlan {
+  Precision precision = Precision::kFp32;
+  int max_batch = 1;
+  /// Per graph-node plans; non-conv nodes keep the default entry.
+  std::vector<ConvPlan> nodes;
+  int conv_nodes = 0;
+  int winograd_nodes = 0;
+  int direct_nodes = 0;
+  int im2col_nodes = 0;
+  int quant_nodes = 0;
+  /// PlanCache traffic attributable to the last prepare() (approximate
+  /// when other threads plan concurrently against the same cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  /// Human-readable per-layer table (layer, geometry, chosen algo,
+  /// modelled speedup vs im2col) for logs and benches.
+  std::string to_text(const Graph& graph) const;
+};
 
 class Engine {
  public:
   /// Allocates and initialises all parameters (He-normal, per-node
   /// deterministic seeds derived from `seed`), packs weight panels and
-  /// reserves the scratch arena from the graph's im2col plan.
+  /// builds the baseline plan (fp32, batch 1, im2col everywhere — the
+  /// planner engages through prepare()).
   Engine(const Graph& graph, std::uint64_t seed = 1);
 
   const Graph& graph() const noexcept { return graph_; }
+
+  /// Plan execution for `request`: pick each conv's implementation via
+  /// the shape-keyed PlanCache, (re)size activations for max_batch
+  /// (grow-only), transform Winograd weight panels, reserve arena
+  /// scratch and select the precision. Re-preparing with a request
+  /// that changes nothing is heap-free (plans land in pre-sized
+  /// storage; cache lookups never allocate). The returned reference
+  /// stays valid for the engine's lifetime and always describes the
+  /// active plan.
+  const ExecutionPlan& prepare(const PlanRequest& request);
+
+  /// The active plan (as built by the last prepare(), or the
+  /// constructor's baseline).
+  const ExecutionPlan& plan() const noexcept { return plan_; }
 
   /// Run a forward pass; `input` must match the graph's input shape
   /// (batch 1). Returns the outputs marked by Graph::mark_output, in
   /// order. The returned tensors live in pre-sized engine storage —
   /// no allocation happens on this path after construction — and stay
-  /// valid until the next run()/run_batch()/plan_batch(); copy them
+  /// valid until the next run()/run_batch()/prepare(); copy them
   /// (e.g. `auto outs = engine.run(x);`) to keep a snapshot.
   const std::vector<Tensor>& run(const Tensor& input);
 
-  /// Extend the activation and scratch plan to micro-batches of up to
-  /// `max_batch` frames: activations grow to {max_batch, c, h, w}
-  /// (concat argument lists are rebuilt against the new pointers) and
-  /// the arena gains one block sized for the widest batched conv
-  /// lowering, so run_batch() stays heap-free. Shrinking requests are
-  /// no-ops; batch-1 run() keeps working (it executes the front image).
+  [[deprecated("call prepare() with PlanRequest::max_batch instead")]]
   void plan_batch(int max_batch);
   int max_batch() const noexcept { return max_batch_; }
 
   /// Run up to max_batch() frames as one fused forward pass: every
-  /// conv lowers all frames side by side into a single widened GEMM
-  /// (see conv2d_batched) so per-layer dispatch overhead is paid once
-  /// per batch, not once per frame. Returns outputs[frame][output],
-  /// each a batch-1 tensor matching what run(frame) would produce.
-  /// INT8 engines and single-frame batches fall back to per-frame
-  /// run() (the quantized path keeps its per-image buffers). Like
-  /// run(), the view aliases pre-sized engine storage (heap-free per
-  /// call) and is invalidated by the next run()/run_batch()/
-  /// plan_batch().
+  /// conv processes all frames side by side (widened im2col GEMM or
+  /// batched Winograd tiles, per the active plan) so per-layer
+  /// dispatch overhead is paid once per batch, not once per frame.
+  /// Returns outputs[frame][output], each a batch-1 tensor matching
+  /// what run(frame) would produce. INT8 engines and single-frame
+  /// batches fall back to per-frame run() (the quantized path keeps
+  /// its per-image buffers). Like run(), the view aliases pre-sized
+  /// engine storage (heap-free per call) and is invalidated by the
+  /// next run()/run_batch()/prepare().
   std::span<const std::vector<Tensor>> run_batch(
       const std::vector<Tensor>& inputs);
 
@@ -74,34 +123,36 @@ class Engine {
 
   /// Direct access to a conv/linear node's weights (tests & trainer).
   /// Mutating the returned tensor marks the node's packed panels dirty;
-  /// they are repacked on the next run().
+  /// they are repacked (and re-transformed, for Winograd-planned
+  /// nodes) on the next run().
   Tensor& weight(int node);
   Tensor& bias(int node);
 
-  /// The im2col scratch arena. Tests assert the frame path stays
+  /// The conv scratch arena. Tests assert the frame path stays
   /// allocation-free: stats().grows must remain 0 across run() calls.
   const Arena& scratch_arena() const noexcept { return scratch_.arena; }
 
   /// Run `frames` through the FP32 path, recording per-node output
   /// min/max. The result is also retained internally, so a following
-  /// set_precision(kInt8) needs no explicit calibration argument.
-  /// Requires the current precision to be kFp32.
+  /// prepare() for kInt8 needs no explicit calibration argument.
+  /// Requires the active precision to be kFp32.
   QuantCalibration calibrate(const std::vector<Tensor>& frames);
 
-  /// Switch execution precision. kInt8 quantizes every conv/linear
-  /// weight matrix per output channel against `calib` (or the ranges
-  /// recorded by the last calibrate() when null), packs int8 panels and
-  /// extends the scratch arena reservation — run() stays heap-free in
-  /// either mode. Conv nodes whose consumers are all conv/linear keep
-  /// their output in u8 (the float activation is dequantized lazily by
-  /// node_output()).
+  [[deprecated("call prepare() with PlanRequest::precision instead")]]
   void set_precision(Precision precision,
                      const QuantCalibration* calib = nullptr);
+  /// The active plan's precision (folded into PlanRequest; this is a
+  /// read-only view of plan().precision).
   Precision precision() const noexcept { return precision_; }
 
  private:
   void repack(int node);
+  /// Transform + pack node's 3×3 weights into 16 Winograd panels.
+  void pack_winograd(int node);
   void build_int8_plan();
+  /// Grow activations/outputs/arena for micro-batches of `max_batch`
+  /// (grow-only; the old plan_batch body).
+  void grow_batch_plan(int max_batch);
   void rebuild_concat_lists();
   /// (Re)allocates the output snapshot slots: outputs_ plus one
   /// batch_outputs_ row per planned batch image. The only place output
@@ -118,6 +169,9 @@ class Engine {
   mutable std::vector<Tensor> activations_;
   std::vector<PackedA> packed_;      ///< per-node weight panels (conv/linear)
   std::vector<char> pack_dirty_;     ///< weight() handed out since last pack
+  /// Per-node Winograd weight panels (16 each), packed lazily when the
+  /// plan first selects kWinograd for the node.
+  std::vector<std::vector<PackedA>> wino_panels_;
   std::vector<std::vector<const float*>> concat_srcs_;
   std::vector<std::vector<int>> concat_channels_;
   /// Per-image concat argument scratch for run_batch (capacity = widest
@@ -129,8 +183,12 @@ class Engine {
   std::vector<std::vector<Tensor>> batch_outputs_;
   ConvScratch scratch_;
   bool has_run_ = false;  ///< activations hold real data (vs zero-fill)
-  int max_batch_ = 1;     ///< activation batch capacity (see plan_batch)
+  int max_batch_ = 1;     ///< activation batch capacity (see prepare)
   std::size_t batch_scratch_bytes_ = 0;  ///< arena block already reserved
+  std::size_t wino_scratch_bytes_ = 0;   ///< ditto, winograd V+M buffers
+
+  ExecutionPlan plan_;               ///< active plan (see prepare)
+  std::vector<ConvPlan> plan_scratch_;  ///< pre-sized planning staging
 
   Precision precision_ = Precision::kFp32;
   QuantCalibration calib_;                ///< last recorded calibration

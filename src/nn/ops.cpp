@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "tensor/gemm.hpp"
+#include "tensor/winograd.hpp"
 
 namespace ocb::nn {
 
@@ -93,6 +94,62 @@ void conv2d_batched(const float* input, std::size_t in_stride, int batch,
     for (std::size_t c = 0; c < m; ++c) {
       std::memcpy(dst + c * n_img, src + c * n_tot, n_img * sizeof(float));
     }
+  }
+}
+
+void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
+                      const ConvGeometry& geom, const PackedA& weight,
+                      const float* bias, Act act, float* output,
+                      std::size_t out_stride) {
+  OCB_CHECK_MSG(geom.kernel_h == 1 && geom.kernel_w == 1 &&
+                    geom.stride == 1 && geom.pad == 0,
+                "conv2d_direct1x1 needs a 1x1 stride-1 pad-0 conv");
+  const GemmEpilogue epi{bias, to_epilogue_act(act)};
+  for (int b = 0; b < batch; ++b) {
+    gemm_packed(weight, input + static_cast<std::size_t>(b) * in_stride,
+                output + static_cast<std::size_t>(b) * out_stride,
+                geom.col_cols(), /*accumulate=*/false, epi);
+  }
+}
+
+void conv2d_winograd(const float* input, std::size_t in_stride, int batch,
+                     const ConvGeometry& geom,
+                     const std::vector<PackedA>& u_panels, const float* bias,
+                     Act act, float* output, std::size_t out_stride,
+                     ConvScratch& scratch) {
+  OCB_CHECK_MSG(batch >= 1, "conv2d_winograd needs at least one image");
+  OCB_CHECK_MSG(winograd::applicable(geom),
+                "conv2d_winograd needs a 3x3 stride-1 conv");
+  OCB_CHECK_MSG(
+      u_panels.size() == static_cast<std::size_t>(winograd::kTileElems),
+      "conv2d_winograd needs 16 transformed weight panels");
+  const std::size_t out_c = u_panels.front().rows();
+  const std::size_t in_c = static_cast<std::size_t>(geom.in_c);
+  const std::size_t p_img = winograd::tile_count(geom);
+  const std::size_t ld = p_img * static_cast<std::size_t>(batch);
+  scratch.arena.reset();
+  float* v = scratch.arena.alloc_floats(
+      static_cast<std::size_t>(winograd::kTileElems) * in_c * ld);
+  float* m = scratch.arena.alloc_floats(
+      static_cast<std::size_t>(winograd::kTileElems) * out_c * ld);
+  for (int b = 0; b < batch; ++b) {
+    winograd::transform_input(
+        input + static_cast<std::size_t>(b) * in_stride, geom, v, ld,
+        static_cast<std::size_t>(b) * p_img);
+  }
+  // Bias + activation wait for the inverse transform: the GEMMs run
+  // in the transformed domain, where neither distributes.
+  for (int xi = 0; xi < winograd::kTileElems; ++xi) {
+    gemm_packed(u_panels[static_cast<std::size_t>(xi)],
+                v + static_cast<std::size_t>(xi) * in_c * ld,
+                m + static_cast<std::size_t>(xi) * out_c * ld, ld);
+  }
+  const EpiAct epi_act = to_epilogue_act(act);
+  for (int b = 0; b < batch; ++b) {
+    winograd::transform_output(
+        m, ld, static_cast<std::size_t>(b) * p_img, geom,
+        static_cast<int>(out_c), bias, epi_act,
+        output + static_cast<std::size_t>(b) * out_stride);
   }
 }
 

@@ -55,6 +55,28 @@ void conv2d_batched(const float* input, std::size_t in_stride, int batch,
                     const float* bias, Act act, float* output,
                     std::size_t out_stride, ConvScratch& scratch);
 
+/// 1×1 stride-1 pad-0 conv executed directly on the CHW input: the
+/// input already *is* the [in_c × h·w] column matrix, so the lowering
+/// copy (and its scratch) is skipped entirely. Batched images run one
+/// GEMM each. The planner picks this when the copy traffic outweighs
+/// the widened-GEMM benefit (see nn/planner.hpp).
+void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
+                      const ConvGeometry& geom, const PackedA& weight,
+                      const float* bias, Act act, float* output,
+                      std::size_t out_stride);
+
+/// Winograd F(2×2,3×3) conv (kernel 3, stride 1 only) over weight
+/// panels pre-transformed by winograd::pack_weights: per batch, lower
+/// all images' tiles side by side, run the 16 pointwise GEMMs, and
+/// inverse-transform with bias + activation fused. Layout contracts
+/// (ld/col_offset) match conv2d_batched's wide-im2col convention; V
+/// and M live in the arena (see winograd::scratch_floats).
+void conv2d_winograd(const float* input, std::size_t in_stride, int batch,
+                     const ConvGeometry& geom,
+                     const std::vector<PackedA>& u_panels, const float* bias,
+                     Act act, float* output, std::size_t out_stride,
+                     ConvScratch& scratch);
+
 /// Depthwise conv: one k×k filter per channel. `weight` is [c × k·k].
 /// Bias and activation are fused into the output loop.
 void dwconv2d(const float* input, const ConvGeometry& geom,

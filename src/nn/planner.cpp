@@ -1,0 +1,211 @@
+#include "nn/planner.hpp"
+
+#include <algorithm>
+
+#include "tensor/gemm.hpp"
+#include "tensor/winograd.hpp"
+
+namespace ocb::nn {
+namespace {
+
+/// Modelled milliseconds for one packed fp32 GEMM of [m×k]·[k×n],
+/// including the fixed dispatch overhead. Throughput is derated for
+/// micro-kernel tile quantization (6×16 tiles; ragged edges idle
+/// lanes) and short-loop amortization in n and k.
+double gemm_ms(std::size_t m, std::size_t k, std::size_t n,
+               const KernelCostModel& model) noexcept {
+  if (m == 0 || k == 0 || n == 0) return 0.0;
+  const double flops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(k) * static_cast<double>(n);
+  const double tile_m =
+      static_cast<double>((m + PackedA::kRowTile - 1) / PackedA::kRowTile *
+                          PackedA::kRowTile);
+  const double tile_n = static_cast<double>((n + 15) / 16 * 16);
+  const double eff = (static_cast<double>(m) / tile_m) *
+                     (static_cast<double>(n) / tile_n);
+  const double ramp_n =
+      static_cast<double>(n) / (static_cast<double>(n) + 48.0);
+  const double ramp_k =
+      static_cast<double>(k) / (static_cast<double>(k) + 8.0);
+  const double gflops =
+      std::max(0.05, model.gemm_gflops * eff * ramp_n * ramp_k);
+  return flops / (gflops * 1e6) + model.gemm_overhead_us * 1e-3;
+}
+
+double copy_ms(double bytes, double gbps) noexcept {
+  return bytes / (std::max(0.05, gbps) * 1e6);
+}
+
+}  // namespace
+
+KernelCostModel KernelCostModel::defaults(simd::Level level) noexcept {
+  // Calibrated against bench/baselines/BENCH_kernels.json and
+  // BENCH_planner.json for this repo's reference machine: the AVX2
+  // packed GEMM sustains ~19–29 GFLOP/s on engine-sized shapes, the
+  // scalar fallback ~2–4, and the u8×s8 path lands 1.7–3.5× above SIMD
+  // fp32. The transform rate is the effective byte throughput of the
+  // winograd tile transforms: the AVX2 8-tile block kernel
+  // (winograd_avx2.cpp) streams ~10 GB/s, the scalar per-tile code
+  // (gather + ~70 flops + scattered stores per tile-channel) ~3.
+  KernelCostModel m;
+  if (level == simd::Level::kAvx2) {
+    m.gemm_gflops = 22.0;
+    m.int8_gops = 55.0;
+    m.mem_gbps = 8.0;
+    m.transform_gbps = 10.0;
+    m.gemm_overhead_us = 1.5;
+  } else {
+    m.gemm_gflops = 2.8;
+    m.int8_gops = 6.0;
+    m.mem_gbps = 6.0;
+    m.transform_gbps = 3.0;
+    m.gemm_overhead_us = 1.0;
+  }
+  return m;
+}
+
+KernelCostModel KernelCostModel::from_roofline(
+    double eff_gflops, double eff_bw_gbps, double kernel_overhead_us,
+    double int8_speedup) noexcept {
+  KernelCostModel m;
+  m.gemm_gflops = eff_gflops;
+  m.int8_gops = eff_gflops * std::max(1.0, int8_speedup);
+  m.mem_gbps = eff_bw_gbps;
+  // Tile transforms are scalar address arithmetic, not streaming
+  // copies; they reach a fraction of the device's effective bandwidth.
+  m.transform_gbps = eff_bw_gbps / 3.0;
+  m.gemm_overhead_us = kernel_overhead_us;
+  return m;
+}
+
+bool winograd_applicable(const ConvPlanKey& key) noexcept {
+  return key.kernel == 3 && key.stride == 1 &&
+         key.precision == Precision::kFp32;
+}
+
+bool direct_applicable(const ConvPlanKey& key) noexcept {
+  return key.kernel == 1 && key.stride == 1 && key.pad == 0;
+}
+
+double est_im2col_ms(const ConvPlanKey& key,
+                     const KernelCostModel& model) noexcept {
+  const ConvGeometry geom = key.geometry();
+  const double rows = static_cast<double>(geom.col_rows());
+  const double n_tot = static_cast<double>(geom.col_cols()) * key.batch;
+  // Lowering: gathered read of the input window plus the column write.
+  double ms = copy_ms(2.0 * rows * n_tot * sizeof(float), model.mem_gbps);
+  ms += gemm_ms(static_cast<std::size_t>(key.out_c), geom.col_rows(),
+                static_cast<std::size_t>(n_tot), model);
+  if (key.batch > 1) {
+    // Widened batches stage the GEMM result channel-major and scatter
+    // it back to per-image CHW planes.
+    ms += copy_ms(2.0 * key.out_c * n_tot * sizeof(float), model.mem_gbps);
+  }
+  return ms;
+}
+
+double est_direct_ms(const ConvPlanKey& key,
+                     const KernelCostModel& model) noexcept {
+  const ConvGeometry geom = key.geometry();
+  // The input is consumed in place — no lowering, no scatter — but the
+  // GEMM runs per image, so small spatial extents pay the dispatch
+  // overhead batch times.
+  return static_cast<double>(key.batch) *
+         gemm_ms(static_cast<std::size_t>(key.out_c),
+                 static_cast<std::size_t>(key.in_c), geom.col_cols(), model);
+}
+
+double est_winograd_ms(const ConvPlanKey& key,
+                       const KernelCostModel& model) noexcept {
+  const ConvGeometry geom = key.geometry();
+  const double ld =
+      static_cast<double>(winograd::tile_count(geom)) * key.batch;
+  // Input transform: per tile-channel, gather 16 floats and store the
+  // 16 transformed values across the xi planes.
+  double ms = copy_ms(32.0 * key.in_c * ld * sizeof(float),
+                      model.transform_gbps);
+  // 16 pointwise GEMMs of [out_c × in_c] · [in_c × tiles].
+  ms += winograd::kTileElems *
+        gemm_ms(static_cast<std::size_t>(key.out_c),
+                static_cast<std::size_t>(key.in_c),
+                static_cast<std::size_t>(ld), model);
+  // Inverse transform: read 16 product values, write the 2×2 tile.
+  ms += copy_ms(20.0 * key.out_c * ld * sizeof(float), model.transform_gbps);
+  return ms;
+}
+
+double est_int8_ms(const ConvPlanKey& key,
+                   const KernelCostModel& model) noexcept {
+  const ConvGeometry geom = key.geometry();
+  const double rows = static_cast<double>(geom.col_rows());
+  const double n_tot = static_cast<double>(geom.col_cols()) * key.batch;
+  const double in_elems = static_cast<double>(key.in_c) * key.in_h *
+                          key.in_w * key.batch;
+  // Activation quantization (float read + u8 write), quad-layout
+  // lowering (u8 in/out), then the u8×s8 GEMM with fp32 write-back.
+  double ms = copy_ms(in_elems * (sizeof(float) + 1.0), model.mem_gbps);
+  ms += copy_ms(2.0 * rows * n_tot, model.mem_gbps);
+  const double flops = 2.0 * key.out_c * rows * n_tot;
+  const double ramp_n = n_tot / (n_tot + 48.0);
+  ms += flops / (std::max(0.05, model.int8_gops * ramp_n) * 1e6) +
+        model.gemm_overhead_us * 1e-3;
+  return ms;
+}
+
+ConvPlan plan_conv(const ConvPlanKey& key, const PlannerConfig& config) {
+  // Cached plans assume the full candidate set and the default cost
+  // model: a restricted enumeration must not read or shadow the full
+  // decision, and a custom cost model may only cache into a cache its
+  // owner supplied (where every entry shares that model).
+  const bool flags_full = config.enable_winograd && config.enable_direct &&
+                          config.enable_fp32_fallback;
+  const bool cacheable =
+      config.use_cache && flags_full &&
+      (!config.cost.valid() || config.cache != nullptr);
+  PlanCache* cache = nullptr;
+  if (cacheable)
+    cache = config.cache != nullptr ? config.cache : &PlanCache::global();
+
+  if (cache != nullptr) {
+    ConvPlan hit;
+    if (cache->lookup(key, &hit)) return hit;
+  }
+
+  const KernelCostModel model =
+      config.cost.valid() ? config.cost : KernelCostModel::defaults(key.level);
+
+  ConvPlan plan;
+  plan.est_im2col_ms = est_im2col_ms(key, model);
+
+  const auto consider = [&plan](ConvAlgo algo, double ms) {
+    if (ms < plan.est_ms) {
+      plan.algo = algo;
+      plan.est_ms = ms;
+    }
+  };
+
+  if (key.precision == Precision::kInt8) {
+    plan.algo = ConvAlgo::kIm2colQuant;
+    plan.est_ms = est_int8_ms(key, model);
+    if (config.enable_fp32_fallback) {
+      // A tiny layer can be cheaper in fp32 once quantize/dequantize
+      // traffic is priced in; the engine then runs just that node in
+      // fp32 (its consumers read the float activation as usual).
+      consider(ConvAlgo::kIm2colGemm, plan.est_im2col_ms);
+      if (config.enable_direct && direct_applicable(key))
+        consider(ConvAlgo::kDirectGemm, est_direct_ms(key, model));
+    }
+  } else {
+    plan.algo = ConvAlgo::kIm2colGemm;
+    plan.est_ms = plan.est_im2col_ms;
+    if (config.enable_direct && direct_applicable(key))
+      consider(ConvAlgo::kDirectGemm, est_direct_ms(key, model));
+    if (config.enable_winograd && winograd_applicable(key))
+      consider(ConvAlgo::kWinograd, est_winograd_ms(key, model));
+  }
+
+  if (cache != nullptr) cache->insert(key, plan);
+  return plan;
+}
+
+}  // namespace ocb::nn

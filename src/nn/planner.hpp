@@ -1,0 +1,86 @@
+// Cost-model-driven kernel planner for convolution layers.
+//
+// For each conv layer (keyed by ConvPlanKey) the planner enumerates
+// the applicable implementations, prices each with a roofline/
+// micro-kernel cost model, and caches the winner in a PlanCache. The
+// model splits every candidate into a compute term (GEMM FLOPs over a
+// sustained-throughput estimate, derated for tile quantization — the
+// AVX2 micro-kernel works in 6×16 tiles, so ragged edges waste lanes)
+// and a bandwidth term (the lowering / transform / scatter traffic
+// over an effective copy bandwidth), plus a fixed dispatch overhead
+// per GEMM call. Default constants are calibrated against this repo's
+// committed BENCH_kernels baseline; `from_roofline` builds a model
+// from a devsim DeviceSpec's numbers instead so planning can be
+// studied for simulated edge devices.
+//
+// The planner is deliberately a pure function: plan_conv(key, config)
+// has no engine state, so tests can probe decisions directly and any
+// engine, server or bench shares cached decisions through the global
+// PlanCache. Engine::prepare() is the integration point.
+#pragma once
+
+#include "nn/conv_plan.hpp"
+
+namespace ocb::nn {
+
+/// Sustained-throughput estimates feeding the candidate cost model.
+struct KernelCostModel {
+  double gemm_gflops = 0.0;      ///< packed fp32 GEMM, large shapes
+  double int8_gops = 0.0;        ///< u8×s8 quantized GEMM
+  double mem_gbps = 0.0;         ///< streaming copy (lowering/scatter)
+  double transform_gbps = 0.0;   ///< winograd tile-transform traffic
+  double gemm_overhead_us = 0.0; ///< fixed cost per GEMM dispatch
+
+  bool valid() const noexcept { return gemm_gflops > 0.0; }
+
+  /// Constants for this machine class, calibrated against the
+  /// committed BENCH_kernels baseline for the given SIMD path.
+  static KernelCostModel defaults(simd::Level level) noexcept;
+
+  /// Model derived from devsim-style roofline numbers (effective
+  /// GFLOP/s, effective GB/s, per-kernel launch overhead in µs and the
+  /// device's int8:fp32 throughput ratio).
+  static KernelCostModel from_roofline(double eff_gflops, double eff_bw_gbps,
+                                       double kernel_overhead_us,
+                                       double int8_speedup) noexcept;
+};
+
+/// Planner knobs carried inside a PlanRequest.
+struct PlannerConfig {
+  bool enable_winograd = true;
+  bool enable_direct = true;
+  /// kInt8 precision only: let a layer fall back to fp32 when the
+  /// model prices the quantized path slower (tiny layers, where the
+  /// quantize/dequantize traffic dominates).
+  bool enable_fp32_fallback = true;
+  /// Consult and populate the plan cache. Plans computed under
+  /// non-default candidate toggles are never inserted (a restricted
+  /// enumeration must not shadow the full one for later callers).
+  bool use_cache = true;
+  /// Cache to use; nullptr means PlanCache::global().
+  PlanCache* cache = nullptr;
+  /// Cost model override; an invalid (default) model means
+  /// KernelCostModel::defaults(key.level).
+  KernelCostModel cost{};
+};
+
+/// Candidate applicability.
+bool winograd_applicable(const ConvPlanKey& key) noexcept;
+bool direct_applicable(const ConvPlanKey& key) noexcept;
+
+/// Per-candidate latency estimates (milliseconds, whole batch). Public
+/// so tests and bench_conv_planner can introspect the model.
+double est_im2col_ms(const ConvPlanKey& key,
+                     const KernelCostModel& model) noexcept;
+double est_direct_ms(const ConvPlanKey& key,
+                     const KernelCostModel& model) noexcept;
+double est_winograd_ms(const ConvPlanKey& key,
+                       const KernelCostModel& model) noexcept;
+double est_int8_ms(const ConvPlanKey& key,
+                   const KernelCostModel& model) noexcept;
+
+/// Enumerate, cost and pick the cheapest applicable implementation for
+/// `key`, consulting the cache first. Thread-safe.
+ConvPlan plan_conv(const ConvPlanKey& key, const PlannerConfig& config = {});
+
+}  // namespace ocb::nn

@@ -74,7 +74,12 @@ const char* serve_outcome_name(ServeOutcome outcome) noexcept {
 EngineBatchRunner::EngineBatchRunner(nn::Engine& engine, int max_batch)
     : engine_(&engine) {
   OCB_CHECK_MSG(max_batch >= 1, "EngineBatchRunner needs max_batch >= 1");
-  engine_->plan_batch(max_batch);
+  // Route through the unified planning entry point, keeping whatever
+  // precision the caller prepared the engine with.
+  nn::PlanRequest request;
+  request.max_batch = max_batch;
+  request.precision = engine_->precision();
+  engine_->prepare(request);
 }
 
 BatchRunner::BatchOutput EngineBatchRunner::run(

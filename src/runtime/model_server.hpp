@@ -97,9 +97,10 @@ class BatchRunner {
 
 /// Real inference: feeds the batch through nn::Engine::run_batch (one
 /// widened GEMM per conv) and reports measured wall time. The engine
-/// must outlive the runner; plan_batch(max_batch) is applied at
-/// construction. Payloads are shared_ptr<std::vector<Tensor>> — the
-/// engine outputs for that frame, identical to what run(frame) yields.
+/// must outlive the runner; prepare(PlanRequest{max_batch}) is applied
+/// at construction (preserving the engine's prepared precision).
+/// Payloads are shared_ptr<std::vector<Tensor>> — the engine outputs
+/// for that frame, identical to what run(frame) yields.
 class EngineBatchRunner final : public BatchRunner {
  public:
   EngineBatchRunner(nn::Engine& engine, int max_batch);

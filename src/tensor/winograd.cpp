@@ -1,0 +1,125 @@
+#include "tensor/winograd.hpp"
+
+#include "core/error.hpp"
+#include "tensor/simd.hpp"
+#include "tensor/winograd_kernels.hpp"
+
+namespace ocb::winograd {
+
+void transform_weights(const float* weight, int out_c, int in_c, float* u) {
+  const std::size_t kc =
+      static_cast<std::size_t>(out_c) * static_cast<std::size_t>(in_c);
+  for (int k = 0; k < out_c; ++k) {
+    for (int c = 0; c < in_c; ++c) {
+      const float* g = weight +
+                       (static_cast<std::size_t>(k) * in_c + c) * 9;
+      // Columns first: t = G g (4×3), then rows: U = t Gᵀ (4×4).
+      float t[4][3];
+      for (int col = 0; col < 3; ++col) {
+        const float x[3] = {g[col], g[3 + col], g[6 + col]};
+        float y[4];
+        detail::g_mul(x, y);
+        for (int row = 0; row < 4; ++row) t[row][col] = y[row];
+      }
+      const std::size_t at = static_cast<std::size_t>(k) * in_c + c;
+      for (int row = 0; row < 4; ++row) {
+        float y[4];
+        detail::g_mul(t[row], y);
+        for (int col = 0; col < 4; ++col)
+          u[static_cast<std::size_t>(row * 4 + col) * kc + at] = y[col];
+      }
+    }
+  }
+}
+
+void pack_weights(const float* weight, int out_c, int in_c,
+                  std::vector<PackedA>& panels) {
+  const std::size_t kc =
+      static_cast<std::size_t>(out_c) * static_cast<std::size_t>(in_c);
+  std::vector<float> u(static_cast<std::size_t>(kTileElems) * kc);
+  transform_weights(weight, out_c, in_c, u.data());
+  panels.resize(static_cast<std::size_t>(kTileElems));
+  for (int xi = 0; xi < kTileElems; ++xi) {
+    panels[static_cast<std::size_t>(xi)].pack(
+        u.data() + static_cast<std::size_t>(xi) * kc,
+        static_cast<std::size_t>(out_c), static_cast<std::size_t>(in_c));
+  }
+}
+
+namespace detail {
+
+void transform_input_scalar(const float* image, const ConvGeometry& geom,
+                            float* v, std::size_t ld,
+                            std::size_t col_offset) {
+  const int h = geom.in_h, w = geom.in_w, pad = geom.pad;
+  const int th = tiles_h(geom), tw = tiles_w(geom);
+  const std::size_t plane =
+      static_cast<std::size_t>(geom.in_c) * ld;  // stride between xi matrices
+  for (int c = 0; c < geom.in_c; ++c) {
+    const float* src = image + static_cast<std::size_t>(c) * h * w;
+    float* vc = v + static_cast<std::size_t>(c) * ld + col_offset;
+    for (int ty = 0; ty < th; ++ty) {
+      const int iy0 = ty * kTileOut - pad;
+      for (int tx = 0; tx < tw; ++tx) {
+        input_tile_scalar(src, h, w, iy0, tx * kTileOut - pad, vc, plane,
+                          static_cast<std::size_t>(ty) * tw + tx);
+      }
+    }
+  }
+}
+
+void transform_output_scalar(const float* m, std::size_t ld,
+                             std::size_t col_offset, const ConvGeometry& geom,
+                             int out_c, const float* bias, EpiAct act,
+                             float* output) {
+  const int oh = geom.out_h(), ow = geom.out_w();
+  const int th = tiles_h(geom), tw = tiles_w(geom);
+  const std::size_t plane = static_cast<std::size_t>(out_c) * ld;
+  for (int k = 0; k < out_c; ++k) {
+    const float* mk = m + static_cast<std::size_t>(k) * ld + col_offset;
+    float* dst = output + static_cast<std::size_t>(k) * oh * ow;
+    const float bk = bias != nullptr ? bias[k] : 0.0f;
+    for (int ty = 0; ty < th; ++ty) {
+      for (int tx = 0; tx < tw; ++tx) {
+        inverse_tile_scalar(mk, plane,
+                            static_cast<std::size_t>(ty) * tw + tx,
+                            ty * kTileOut, tx * kTileOut, oh, ow, bk, act,
+                            dst);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+void transform_input(const float* image, const ConvGeometry& geom, float* v,
+                     std::size_t ld, std::size_t col_offset) {
+  OCB_CHECK_MSG(applicable(geom),
+                "winograd input transform needs a 3x3 stride-1 conv");
+  // The AVX2 kernel computes 8 consecutive tiles per register block,
+  // so it needs at least one full block per tile row.
+  if (simd::active() == simd::Level::kAvx2 && tiles_w(geom) >= 8) {
+    detail::transform_input_avx2(image, geom, v, ld, col_offset);
+    return;
+  }
+  detail::transform_input_scalar(image, geom, v, ld, col_offset);
+}
+
+void transform_output(const float* m, std::size_t ld, std::size_t col_offset,
+                      const ConvGeometry& geom, int out_c, const float* bias,
+                      EpiAct act, float* output) {
+  OCB_CHECK_MSG(applicable(geom),
+                "winograd output transform needs a 3x3 stride-1 conv");
+  // The AVX2 kernel writes 16-pixel output row segments, so it needs 8
+  // unclipped tiles per tile row.
+  if (simd::active() == simd::Level::kAvx2 &&
+      geom.out_w() / kTileOut >= 8) {
+    detail::transform_output_avx2(m, ld, col_offset, geom, out_c, bias, act,
+                                  output);
+    return;
+  }
+  detail::transform_output_scalar(m, ld, col_offset, geom, out_c, bias, act,
+                                  output);
+}
+
+}  // namespace ocb::winograd

@@ -1,0 +1,101 @@
+// Winograd F(2×2, 3×3) convolution transforms.
+//
+// A 3×3 stride-1 convolution over a 2×2 output tile needs 36 MACs the
+// direct way; Winograd's minimal-filtering form needs 16 — a 2.25×
+// multiply reduction. Each 2×2 output tile is computed from a 4×4
+// input tile through three dense 4×4 transforms:
+//
+//   U = G g Gᵀ          (weights, once per layer at pack time)
+//   V = Bᵀ d B          (input tiles, per frame)
+//   Y = Aᵀ (U ⊙ V) A    (inverse transform, per frame)
+//
+// The element-wise product over channels is what makes this fast in
+// practice: gathering tile element xi of every (channel, tile) pair
+// into a matrix turns the whole layer into 16 independent GEMMs of
+// [out_c × in_c] · [in_c × tiles], which reuse the packed-panel GEMM
+// (see gemm.hpp). This file provides the three transforms plus the
+// panel packer; the conv driver that strings them together lives in
+// nn/ops.cpp (conv2d_winograd) and the planner decides when the
+// transform overhead is worth paying (see nn/planner.hpp).
+//
+// Layout contract (mirrors the wide-im2col batching convention): the
+// transformed-input buffer `v` holds 16 row-major [in_c × ld] matrices
+// back to back (matrix xi starts at v + xi·in_c·ld); tile p of the
+// image being lowered lands at column `col_offset + p`, so a batched
+// call lowers B images side by side with ld = B·tiles_per_image and
+// col_offset = b·tiles_per_image. The product buffer `m` uses the same
+// convention with out_c rows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+
+namespace ocb::winograd {
+
+/// Side of the square input tile (and of every transform matrix).
+inline constexpr int kTileIn = 4;
+/// Side of the square output tile each input tile produces.
+inline constexpr int kTileOut = 2;
+/// Tile elements == number of pointwise GEMMs per convolution.
+inline constexpr int kTileElems = kTileIn * kTileIn;
+
+/// True iff this geometry can run through F(2×2,3×3): 3×3 kernel,
+/// stride 1 (any padding; border tiles gather zeros).
+inline bool applicable(const ConvGeometry& geom) noexcept {
+  return geom.kernel_h == 3 && geom.kernel_w == 3 && geom.stride == 1;
+}
+
+/// 2×2-output tile grid covering an out_h×out_w plane (edge tiles may
+/// hang over by one row/column; the inverse transform clips them).
+inline int tiles_h(const ConvGeometry& geom) noexcept {
+  return (geom.out_h() + kTileOut - 1) / kTileOut;
+}
+inline int tiles_w(const ConvGeometry& geom) noexcept {
+  return (geom.out_w() + kTileOut - 1) / kTileOut;
+}
+inline std::size_t tile_count(const ConvGeometry& geom) noexcept {
+  return static_cast<std::size_t>(tiles_h(geom)) * tiles_w(geom);
+}
+
+/// Floats of scratch conv2d_winograd needs for the V and M buffers of
+/// a batched call (16 input matrices + 16 product matrices).
+inline std::size_t scratch_floats(const ConvGeometry& geom, int out_c,
+                                  int batch) noexcept {
+  const std::size_t ld = tile_count(geom) * static_cast<std::size_t>(batch);
+  return static_cast<std::size_t>(kTileElems) *
+         (static_cast<std::size_t>(geom.in_c) +
+          static_cast<std::size_t>(out_c)) *
+         ld;
+}
+
+/// Transform a [out_c × in_c × 3 × 3] weight tensor into the 16
+/// row-major [out_c × in_c] matrices U: element xi of filter (k, c)
+/// lands at u[xi·out_c·in_c + k·in_c + c]. `u` must hold
+/// 16·out_c·in_c floats.
+void transform_weights(const float* weight, int out_c, int in_c, float* u);
+
+/// transform_weights followed by per-matrix panel packing: `panels`
+/// ends up with 16 PackedA entries, one per tile element, ready for
+/// conv2d_winograd. Pack once per layer, reuse every frame.
+void pack_weights(const float* weight, int out_c, int in_c,
+                  std::vector<PackedA>& panels);
+
+/// Lower one CHW image into the transformed-input buffer `v` (layout
+/// above). Tiles that touch the padded border gather zeros, exactly
+/// matching im2col's zero padding.
+void transform_input(const float* image, const ConvGeometry& geom, float* v,
+                     std::size_t ld, std::size_t col_offset);
+
+/// Inverse-transform the 16 [out_c × ld] product matrices `m` back
+/// into one image's CHW output plane, fusing the bias add and
+/// activation (the GEMMs must therefore run with an empty epilogue).
+/// Reads columns [col_offset, col_offset + tile_count) of each matrix;
+/// odd out_h/out_w edge tiles are clipped.
+void transform_output(const float* m, std::size_t ld, std::size_t col_offset,
+                      const ConvGeometry& geom, int out_c, const float* bias,
+                      EpiAct act, float* output);
+
+}  // namespace ocb::winograd

@@ -169,7 +169,7 @@ TEST(ZeroAlloc, EngineRunInt8) {
     GTEST_SKIP() << "operator new hooks compiled out";
   nn::Engine engine(contract_graph(), 7);
   engine.calibrate({contract_input(0), contract_input(1)});
-  engine.set_precision(nn::Precision::kInt8);
+  engine.prepare({.precision = nn::Precision::kInt8});
   expect_run_heap_free(engine, contract_input(), "warmed int8 Engine::run");
 }
 
@@ -186,7 +186,7 @@ TEST(ZeroAlloc, EngineRunBatchFp32) {
   if (!alloc_counting_active())
     GTEST_SKIP() << "operator new hooks compiled out";
   nn::Engine engine(contract_graph(), 7);
-  engine.plan_batch(4);
+  engine.prepare({.max_batch = 4});
   std::vector<Tensor> inputs;
   for (int f = 0; f < 4; ++f) inputs.push_back(contract_input(f));
   expect_run_batch_heap_free(engine, inputs,
@@ -197,9 +197,8 @@ TEST(ZeroAlloc, EngineRunBatchInt8) {
   if (!alloc_counting_active())
     GTEST_SKIP() << "operator new hooks compiled out";
   nn::Engine engine(contract_graph(), 7);
-  engine.plan_batch(4);
   engine.calibrate({contract_input(0), contract_input(1)});
-  engine.set_precision(nn::Precision::kInt8);
+  engine.prepare({.max_batch = 4, .precision = nn::Precision::kInt8});
   std::vector<Tensor> inputs;
   for (int f = 0; f < 4; ++f) inputs.push_back(contract_input(f));
   expect_run_batch_heap_free(engine, inputs,

@@ -54,7 +54,10 @@ TEST(EngineBatch, BatchedMatchesSerial) {
   const nn::Graph g = serving_graph();
   nn::Engine batched(g, 7);
   nn::Engine serial(g, 7);
-  batched.plan_batch(5);
+  // Plan both through the same planner so batched and serial execution
+  // compare like against like (identical per-layer algorithm choices).
+  batched.prepare({.max_batch = 5});
+  serial.prepare({.max_batch = 1});
 
   std::vector<Tensor> inputs;
   for (int f = 0; f < 5; ++f) inputs.push_back(frame_input(f));
@@ -77,19 +80,22 @@ TEST(EngineBatch, RunStillBatchOneAfterPlan) {
   nn::Engine engine(g, 3);
   const Tensor input = frame_input(1);
   const auto before = engine.run(input);
-  engine.plan_batch(4);
+  engine.prepare({.max_batch = 4});
   const auto after = engine.run(input);
   ASSERT_EQ(before.size(), after.size());
   for (std::size_t o = 0; o < before.size(); ++o) {
     EXPECT_EQ(after[o].shape(), before[o].shape());
-    EXPECT_TRUE(allclose(after[o], before[o], 1e-5f));
+    // Re-planning for a batch may legitimately switch a conv to an
+    // algebraically equivalent kernel (e.g. Winograd), so compare
+    // within the engine's documented numerical tolerance.
+    EXPECT_TRUE(allclose(after[o], before[o], 1e-4f));
   }
 }
 
 TEST(EngineBatch, StaysHeapFreeAfterWarmup) {
   const nn::Graph g = serving_graph();
   nn::Engine engine(g, 3);
-  engine.plan_batch(4);
+  engine.prepare({.max_batch = 4});
   std::vector<Tensor> inputs;
   for (int f = 0; f < 4; ++f) inputs.push_back(frame_input(f));
   (void)engine.run_batch(inputs);
@@ -102,7 +108,7 @@ TEST(EngineBatch, StaysHeapFreeAfterWarmup) {
 TEST(EngineBatch, RejectsOversizedBatch) {
   const nn::Graph g = serving_graph();
   nn::Engine engine(g, 3);
-  engine.plan_batch(2);
+  engine.prepare({.max_batch = 2});
   std::vector<Tensor> inputs;
   for (int f = 0; f < 3; ++f) inputs.push_back(frame_input(f));
   EXPECT_THROW((void)engine.run_batch(inputs), Error);

@@ -93,7 +93,7 @@ PrecisionRun run_seed(std::uint64_t seed) {
   evaluate(fp32_curve, run.fp32_detections);
   run.fp32_ap = fp32_curve.average_precision();
 
-  engine.set_precision(nn::Precision::kInt8);
+  engine.prepare({.precision = nn::Precision::kInt8});
   eval::PrCurveBuilder int8_curve(0.5f);
   evaluate(int8_curve, run.int8_detections);
   run.int8_ap = int8_curve.average_precision();

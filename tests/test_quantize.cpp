@@ -410,8 +410,9 @@ TEST(EngineInt8, OutputsCloseToFp32AfterCalibration) {
   probe.init_uniform(rng, 0.0f, 1.0f);
   const auto fp32 = engine.run(probe);
 
-  engine.set_precision(nn::Precision::kInt8);
+  const auto& plan = engine.prepare({.precision = nn::Precision::kInt8});
   EXPECT_EQ(engine.precision(), nn::Precision::kInt8);
+  EXPECT_EQ(plan.precision, nn::Precision::kInt8);
   const auto int8 = engine.run(probe);
 
   ASSERT_EQ(fp32.size(), int8.size());
@@ -433,7 +434,7 @@ TEST(EngineInt8, MidGraphNodeOutputDequantizesLazily) {
   nn::Engine q_engine(int8_test_graph(), 43);
   const auto frames = calib_frames(3, 55);
   q_engine.calibrate(frames);
-  q_engine.set_precision(nn::Precision::kInt8);
+  q_engine.prepare({.precision = nn::Precision::kInt8});
 
   Tensor probe({1, 3, 24, 24});
   Rng rng(5);
@@ -457,13 +458,13 @@ TEST(EngineInt8, RunStaysArenaAllocationFreeAfterWarmup) {
   nn::Engine engine(int8_test_graph(), 47);
   const auto frames = calib_frames(2, 11);
   engine.calibrate(frames);
-  engine.set_precision(nn::Precision::kInt8);
+  engine.prepare({.precision = nn::Precision::kInt8});
 
   Tensor probe({1, 3, 24, 24}, 0.4f);
   engine.run(probe);
   const Arena::Stats warm = engine.scratch_arena().stats();
   EXPECT_EQ(warm.grows, 0u)
-      << "set_precision must extend the arena plan for the INT8 path";
+      << "prepare must extend the arena plan for the INT8 path";
   for (int i = 0; i < 5; ++i) engine.run(probe);
   const Arena::Stats after = engine.scratch_arena().stats();
   EXPECT_EQ(after.grows, 0u);
@@ -473,14 +474,14 @@ TEST(EngineInt8, RunStaysArenaAllocationFreeAfterWarmup) {
 
 TEST(EngineInt8, RequiresCalibration) {
   nn::Engine engine(int8_test_graph(), 53);
-  EXPECT_THROW(engine.set_precision(nn::Precision::kInt8), Error);
+  EXPECT_THROW(engine.prepare({.precision = nn::Precision::kInt8}), Error);
 }
 
 TEST(EngineInt8, WeightMutationRequantizesLazily) {
   nn::Engine engine(int8_test_graph(), 59);
   const auto frames = calib_frames(2, 21);
   engine.calibrate(frames);
-  engine.set_precision(nn::Precision::kInt8);
+  engine.prepare({.precision = nn::Precision::kInt8});
 
   Tensor probe({1, 3, 24, 24}, 0.3f);
   const auto before = engine.run(probe);
@@ -496,10 +497,13 @@ TEST(EngineInt8, SwitchingBackToFp32RestoresExactFp32Results) {
   engine.calibrate(frames);
 
   Tensor probe({1, 3, 24, 24}, 0.25f);
+  // Plan fp32 through the planner first so both fp32 runs execute the
+  // identical per-layer algorithms and can be compared bit-exactly.
+  engine.prepare({});
   const auto fp32_a = engine.run(probe);
-  engine.set_precision(nn::Precision::kInt8);
+  engine.prepare({.precision = nn::Precision::kInt8});
   engine.run(probe);
-  engine.set_precision(nn::Precision::kFp32);
+  engine.prepare({.precision = nn::Precision::kFp32});
   const auto fp32_b = engine.run(probe);
   EXPECT_TRUE(allclose(fp32_a[0], fp32_b[0], 0.0f));
 }
@@ -508,7 +512,7 @@ TEST(EngineInt8, ScalarAndSimdInt8PathsAgree) {
   nn::Engine engine(int8_test_graph(), 67);
   const auto frames = calib_frames(2, 41);
   engine.calibrate(frames);
-  engine.set_precision(nn::Precision::kInt8);
+  engine.prepare({.precision = nn::Precision::kInt8});
 
   Tensor probe({1, 3, 24, 24});
   Rng rng(71);
@@ -556,7 +560,7 @@ TEST(MiniYoloExport, Int8DetectionRunsEndToEnd) {
     frames.push_back(std::move(t));
   }
   engine.calibrate(frames);
-  engine.set_precision(nn::Precision::kInt8);
+  engine.prepare({.precision = nn::Precision::kInt8});
 
   Image img(80, 60, 3, 0.4f);
   // Untrained weights rarely fire above threshold; the contract under

@@ -1,0 +1,193 @@
+// Winograd F(2×2,3×3) vs the im2col reference path.
+//
+// The planner is free to swap a 3×3 stride-1 conv onto the Winograd
+// kernel, so the two implementations must agree to float rounding on
+// every shape the tiler can see: even and odd spatial extents (odd
+// edges exercise the clipped overhanging tiles), prime channel counts
+// (nothing aligns with the GEMM tile sizes), pad 0 and pad 1, every
+// fused activation, and batched lowering.
+
+#include "tensor/winograd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ocb {
+namespace {
+
+struct ConvCase {
+  int in_c, h, w, out_c, pad;
+};
+
+/// max |a-b| must stay within `rel` of the reference magnitude scale.
+void expect_close(const Tensor& got, const Tensor& ref, float rel,
+                  const char* what) {
+  ASSERT_EQ(got.shape(), ref.shape()) << what;
+  float scale = 1.0f;
+  for (std::size_t i = 0; i < ref.numel(); ++i)
+    scale = std::max(scale, std::fabs(ref[i]));
+  const float tol = rel * scale;
+  for (std::size_t i = 0; i < got.numel(); ++i)
+    ASSERT_NEAR(got[i], ref[i], tol) << what << " i=" << i;
+}
+
+void run_case(const ConvCase& c, nn::Act act, std::uint64_t seed) {
+  const ConvGeometry geom{c.in_c, c.h, c.w, 3, 3, 1, c.pad};
+  ASSERT_TRUE(winograd::applicable(geom));
+  ASSERT_GE(geom.out_h(), 1);
+  ASSERT_GE(geom.out_w(), 1);
+
+  Rng rng(seed);
+  Tensor input({1, c.in_c, c.h, c.w});
+  input.init_uniform(rng, -1.0f, 1.0f);
+  Tensor weight({c.out_c, c.in_c, 3, 3});
+  weight.init_uniform(rng, -0.5f, 0.5f);
+  std::vector<float> bias(static_cast<std::size_t>(c.out_c));
+  for (float& b : bias) b = static_cast<float>(rng.uniform(-0.3, 0.3));
+
+  Tensor ref({1, c.out_c, geom.out_h(), geom.out_w()});
+  nn::ConvScratch ref_scratch;
+  nn::conv2d(input.data(), geom, c.out_c, weight.data(), bias.data(), act,
+             ref.data(), ref_scratch);
+
+  std::vector<PackedA> panels;
+  winograd::pack_weights(weight.data(), c.out_c, c.in_c, panels);
+  ASSERT_EQ(panels.size(), static_cast<std::size_t>(winograd::kTileElems));
+
+  Tensor got({1, c.out_c, geom.out_h(), geom.out_w()});
+  nn::ConvScratch scratch;
+  nn::conv2d_winograd(input.data(), input.numel(), 1, geom, panels,
+                      bias.data(), act, got.data(), got.numel(), scratch);
+  expect_close(got, ref, 1e-4f, "winograd vs im2col");
+}
+
+TEST(Winograd, MatchesIm2colAcrossShapes) {
+  // Even/odd H×W (odd extents clip the overhanging edge tiles), prime
+  // C/K, both pads, minimum-size planes.
+  const ConvCase cases[] = {
+      {1, 4, 4, 1, 1},    // smallest even plane, single channels
+      {1, 3, 3, 1, 1},    // 3×3 output: odd in both dims
+      {3, 7, 5, 8, 1},    // odd rectangular, prime in_c
+      {5, 9, 9, 7, 1},    // prime C and K, odd square
+      {7, 11, 13, 3, 1},  // prime everything, rectangular
+      {8, 16, 16, 8, 1},  // aligned power-of-two plane
+      {13, 8, 8, 11, 1},  // prime channels on an even plane
+      {3, 6, 6, 4, 0},    // pad 0: output 4×4, interior tiles only
+      {4, 7, 9, 5, 0},    // pad 0 with odd output (5×7)
+      {2, 4, 10, 6, 1},   // strongly rectangular
+      // Wide planes engage the AVX2 8-tile block kernel (tiles_w >= 8)
+      // including its padded-border, overlap-recompute tail, and
+      // clipped odd-edge paths.
+      {3, 17, 19, 5, 1},  // odd both dims, 10 tile columns
+      {5, 20, 18, 4, 0},  // pad 0, exactly one full block per row
+      {2, 32, 33, 3, 1},  // odd width on a large plane
+  };
+  std::uint64_t seed = 101;
+  for (const ConvCase& c : cases) {
+    SCOPED_TRACE(::testing::Message()
+                 << "in_c=" << c.in_c << " h=" << c.h << " w=" << c.w
+                 << " out_c=" << c.out_c << " pad=" << c.pad);
+    run_case(c, nn::Act::kNone, seed++);
+  }
+}
+
+TEST(Winograd, MatchesIm2colUnderFusedActivations) {
+  const ConvCase c{5, 10, 9, 7, 1};
+  std::uint64_t seed = 211;
+  for (nn::Act act : {nn::Act::kRelu, nn::Act::kLeakyRelu, nn::Act::kSilu,
+                      nn::Act::kSigmoid}) {
+    SCOPED_TRACE(static_cast<int>(act));
+    run_case(c, act, seed++);
+  }
+}
+
+TEST(Winograd, DeltaFilterReproducesInput) {
+  // A filter that is 1 at the centre tap and 0 elsewhere convolves (pad
+  // 1, stride 1) to the identity: the Winograd round trip through all
+  // three transforms must hand the input back to float rounding.
+  const int ch = 3, h = 8, w = 6;
+  const ConvGeometry geom{ch, h, w, 3, 3, 1, 1};
+  Rng rng(7);
+  Tensor input({1, ch, h, w});
+  input.init_uniform(rng, -2.0f, 2.0f);
+
+  Tensor weight({ch, ch, 3, 3}, 0.0f);
+  for (int k = 0; k < ch; ++k)
+    weight.data()[(static_cast<std::size_t>(k) * ch + k) * 9 + 4] = 1.0f;
+  std::vector<float> bias(ch, 0.0f);
+
+  std::vector<PackedA> panels;
+  winograd::pack_weights(weight.data(), ch, ch, panels);
+  Tensor got({1, ch, h, w});
+  nn::ConvScratch scratch;
+  nn::conv2d_winograd(input.data(), input.numel(), 1, geom, panels,
+                      bias.data(), nn::Act::kNone, got.data(), got.numel(),
+                      scratch);
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    ASSERT_NEAR(got[i], input[i], 1e-5f) << "i=" << i;
+}
+
+TEST(Winograd, BatchedMatchesPerImage) {
+  const int batch = 3;
+  const ConvCase c{4, 9, 7, 6, 1};
+  const ConvGeometry geom{c.in_c, c.h, c.w, 3, 3, 1, c.pad};
+  const std::size_t in_stride =
+      static_cast<std::size_t>(c.in_c) * c.h * c.w;
+  const std::size_t out_stride =
+      static_cast<std::size_t>(c.out_c) * geom.out_h() * geom.out_w();
+
+  Rng rng(31);
+  Tensor inputs({batch, c.in_c, c.h, c.w});
+  inputs.init_uniform(rng, -1.0f, 1.0f);
+  Tensor weight({c.out_c, c.in_c, 3, 3});
+  weight.init_uniform(rng, -0.5f, 0.5f);
+  std::vector<float> bias(static_cast<std::size_t>(c.out_c));
+  for (float& b : bias) b = static_cast<float>(rng.uniform(-0.2, 0.2));
+
+  std::vector<PackedA> panels;
+  winograd::pack_weights(weight.data(), c.out_c, c.in_c, panels);
+
+  Tensor batched({batch, c.out_c, geom.out_h(), geom.out_w()});
+  nn::ConvScratch scratch;
+  nn::conv2d_winograd(inputs.data(), in_stride, batch, geom, panels,
+                      bias.data(), nn::Act::kSilu, batched.data(), out_stride,
+                      scratch);
+
+  for (int b = 0; b < batch; ++b) {
+    Tensor single({1, c.out_c, geom.out_h(), geom.out_w()});
+    nn::ConvScratch single_scratch;
+    nn::conv2d_winograd(inputs.data() + static_cast<std::size_t>(b) * in_stride,
+                        in_stride, 1, geom, panels, bias.data(), nn::Act::kSilu,
+                        single.data(), out_stride, single_scratch);
+    for (std::size_t i = 0; i < out_stride; ++i)
+      ASSERT_NEAR(batched[static_cast<std::size_t>(b) * out_stride + i],
+                  single[i], 1e-6f)
+          << "b=" << b << " i=" << i;
+  }
+}
+
+TEST(Winograd, TilingHelpers) {
+  const ConvGeometry even{3, 8, 8, 3, 3, 1, 1};   // 8×8 out → 4×4 tiles
+  const ConvGeometry odd{3, 7, 9, 3, 3, 1, 1};    // 7×9 out → 4×5 tiles
+  EXPECT_EQ(winograd::tiles_h(even), 4);
+  EXPECT_EQ(winograd::tiles_w(even), 4);
+  EXPECT_EQ(winograd::tile_count(even), 16u);
+  EXPECT_EQ(winograd::tiles_h(odd), 4);
+  EXPECT_EQ(winograd::tiles_w(odd), 5);
+  EXPECT_EQ(winograd::tile_count(odd), 20u);
+  // 16 tile matrices of (in_c + out_c) rows × B·tiles columns.
+  EXPECT_EQ(winograd::scratch_floats(even, 5, 2),
+            16u * (3u + 5u) * (16u * 2u));
+  EXPECT_FALSE(winograd::applicable(ConvGeometry{3, 8, 8, 3, 3, 2, 1}));
+  EXPECT_FALSE(winograd::applicable(ConvGeometry{3, 8, 8, 1, 1, 1, 0}));
+}
+
+}  // namespace
+}  // namespace ocb
