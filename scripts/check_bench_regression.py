@@ -32,6 +32,22 @@ diverges from the legacy im2col engine. Layer/model speedups are
 machine-relative; planned ns/frame is additionally compared against
 the baseline unless --ratio-only.
 
+Also understands BENCH_pareto.json (top-level "bench": "pareto"), the
+accuracy-vs-speed frontier over the compressed execution formats. With
+SIMD active, fails when the sparse packed GEMM stops clearing
+--min-sparse-speedup (default 1.3) over the masked-dense kernel at
+50% N:M on the conv-heavy gate shape, when the fp16-storage kernel's
+best bandwidth-bound point drops below --min-fp16-speedup (default
+1.2), when an nm50-planned engine measures slower than its fp32
+baseline beyond the tolerance, or when the planner stopped selecting
+any sparse/fp16 kernels at all (the observability counters). At any
+SIMD level, fails when the sparse engine diverges from its
+hand-masked dense twin beyond 1e-4 or when a gated frontier variant's
+trained-detector accuracy moved more than --max-accuracy-delta-pt
+(default 1.5 percentage points) from fp32. Kernel/engine speedups are
+machine-relative; frontier ns/frame is additionally compared against
+the baseline unless --ratio-only.
+
 Usage:
   scripts/check_bench_regression.py BENCH_kernels.json \
       --baseline bench/baselines/BENCH_kernels.json [--tolerance 0.15]
@@ -39,6 +55,8 @@ Usage:
       --baseline bench/baselines/BENCH_multi_model.json
   scripts/check_bench_regression.py BENCH_planner.json \
       --baseline bench/baselines/BENCH_planner.json
+  scripts/check_bench_regression.py BENCH_pareto.json \
+      --baseline bench/baselines/BENCH_pareto.json
 """
 
 from __future__ import annotations
@@ -161,6 +179,108 @@ def check_planner(
     return failures
 
 
+def check_pareto(
+    current: dict,
+    baseline: dict | None,
+    tolerance: float,
+    min_sparse_speedup: float,
+    min_fp16_speedup: float,
+    max_accuracy_delta_pt: float,
+    ratio_only: bool,
+) -> list[str]:
+    """Gate the compression Pareto bench: the sparse/fp16 kernels must
+    keep their structural speedups, the sparse engine must stay
+    numerically equivalent to masked-dense, and the gated variants must
+    hold the trained-detector accuracy budget."""
+    failures: list[str] = []
+    simd_active = current.get("simd", "scalar") != "scalar"
+    gates = current.get("kernel_gates", {})
+    frontier = current.get("frontier", [])
+
+    if simd_active:
+        nm50 = [
+            g["speedup"]
+            for g in gates.get("sparse", [])
+            if g.get("sparsity_pct") == 50
+        ]
+        if not nm50:
+            failures.append("no 50% N:M sparse kernel gate point")
+        elif max(nm50) < min_sparse_speedup:
+            failures.append(
+                f"sparse GEMM speedup at 50% N:M {max(nm50):.2f} below "
+                f"required {min_sparse_speedup:.2f}"
+            )
+        fp16 = [g["speedup"] for g in gates.get("fp16", [])]
+        if not fp16:
+            failures.append("no fp16-storage kernel gate point")
+        elif max(fp16) < min_fp16_speedup:
+            failures.append(
+                f"best fp16-storage GEMM speedup {max(fp16):.2f} below "
+                f"required {min_fp16_speedup:.2f}"
+            )
+        # Observability: pruning/fp16 requests must actually reach the
+        # kernels — a frontier where the planner never picks a
+        # compressed format is all control flow and no effect.
+        nm_rows = [p for p in frontier if p["variant"].startswith("nm")]
+        fp16_rows = [p for p in frontier if "fp16" in p["variant"]]
+        if nm_rows and max(p["sparse_nodes"] for p in nm_rows) < 1:
+            failures.append(
+                "no frontier N:M variant ran any sparse-planned node"
+            )
+        if fp16_rows and max(p["fp16_nodes"] for p in fp16_rows) < 1:
+            failures.append(
+                "no frontier fp16 variant ran any half-stored node"
+            )
+        for point in frontier:
+            if (
+                point["variant"] == "nm50"
+                and point["speedup_vs_fp32"] < 1.0 - tolerance
+            ):
+                failures.append(
+                    f"{point['model']}: nm50 engine slower than fp32 "
+                    f"(speedup {point['speedup_vs_fp32']:.2f})"
+                )
+
+    equivalence = current.get("equivalence", {})
+    if equivalence.get("max_abs_diff", 0.0) > MAX_PLANNED_ABS_DIFF:
+        failures.append(
+            f"{equivalence.get('model')}: sparse engine diverges from "
+            f"masked-dense twin (max |diff| "
+            f"{equivalence['max_abs_diff']:.2e})"
+        )
+    if simd_active and equivalence.get("sparse_nodes", 0) < 1:
+        failures.append(
+            "equivalence run planned no sparse nodes (nothing compared)"
+        )
+
+    for point in frontier:
+        if point.get("gated") and "delta_accuracy_pt" in point:
+            if abs(point["delta_accuracy_pt"]) > max_accuracy_delta_pt:
+                failures.append(
+                    f"{point['model']} {point['variant']}: accuracy moved "
+                    f"{point['delta_accuracy_pt']:+.2f} pt vs fp32 "
+                    f"(budget ±{max_accuracy_delta_pt:.1f})"
+                )
+
+    if not ratio_only and baseline is not None:
+        base_points = {
+            (p["model"], p["variant"]): p
+            for p in baseline.get("frontier", [])
+        }
+        for point in frontier:
+            base = base_points.get((point["model"], point["variant"]))
+            if base is None:
+                continue
+            limit = base["ns_frame"] * (1.0 + tolerance)
+            if point["ns_frame"] > limit:
+                failures.append(
+                    f"{point['model']} {point['variant']}: ns/frame "
+                    f"{point['ns_frame']:.0f} exceeds baseline "
+                    f"{base['ns_frame']:.0f} +{tolerance:.0%}"
+                )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly generated BENCH_kernels.json")
@@ -207,9 +327,69 @@ def main() -> int:
         help="minimum measured speedup of the best winograd-planned "
         "layer over always-im2col (planner bench, SIMD active)",
     )
+    parser.add_argument(
+        "--min-sparse-speedup",
+        type=float,
+        default=1.3,
+        help="minimum sparse-vs-masked-dense GEMM speedup at 50%% N:M "
+        "on the conv gate shape (pareto bench, SIMD active)",
+    )
+    parser.add_argument(
+        "--min-fp16-speedup",
+        type=float,
+        default=1.2,
+        help="minimum fp16-storage GEMM speedup on the best "
+        "bandwidth-bound gate shape (pareto bench, SIMD active)",
+    )
+    parser.add_argument(
+        "--max-accuracy-delta-pt",
+        type=float,
+        default=1.5,
+        help="largest trained-detector accuracy move (percentage "
+        "points vs fp32) a gated pareto variant may show",
+    )
     args = parser.parse_args()
 
     current = load(args.current)
+
+    if current.get("bench") == "pareto":
+        try:
+            baseline = load(args.baseline)
+        except OSError:
+            baseline = None
+        failures = check_pareto(
+            current,
+            baseline,
+            args.tolerance,
+            args.min_sparse_speedup,
+            args.min_fp16_speedup,
+            args.max_accuracy_delta_pt,
+            args.ratio_only,
+        )
+        if failures:
+            print("bench regression check FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        gates = current.get("kernel_gates", {})
+        nm50 = max(
+            (
+                g["speedup"]
+                for g in gates.get("sparse", [])
+                if g.get("sparsity_pct") == 50
+            ),
+            default=0.0,
+        )
+        fp16 = max(
+            (g["speedup"] for g in gates.get("fp16", [])), default=0.0
+        )
+        print(
+            "bench regression check passed (pareto: "
+            f"{len(current.get('frontier', []))} frontier points, sparse "
+            f"nm50 {nm50:.2f}x, fp16 {fp16:.2f}x, "
+            f"simd={current.get('simd')})"
+        )
+        return 0
 
     if current.get("bench") == "planner":
         try:

@@ -35,6 +35,22 @@ correctness:
                    through the one entry point, Engine::prepare
                    (PlanRequest), so precision/batch/algorithm choices
                    can never go stale against each other (DESIGN.md §11).
+  simd-tu          AVX2/extended-ISA intrinsics (or <immintrin.h>)
+                   outside a *_avx2.cpp translation unit. Only the
+                   *_avx2.cpp TUs are compiled with -mavx2 -mfma (plus
+                   -mf16c where available); an intrinsic leaking into a
+                   portable TU either fails the build on a plain target
+                   or, worse, emits AVX2 into code reached before the
+                   runtime dispatch check. src/tensor/simd_math.hpp is
+                   the one allowlisted header (included by those TUs
+                   only).
+  sparse-dense-unpack
+                   PackedSparseA::unpack_masked_dense / PackedHalfA::
+                   unpack_dense calls in src/ outside their definition
+                   TU. These reconstruct a dense weight matrix and exist
+                   as test/telemetry oracles; a sparse-plan hot path
+                   calling one silently forfeits the entire bandwidth
+                   win the plan was priced on.
   bench-baseline   bench/baselines/*.json must parse and carry the
                    top-level keys scripts/check_bench_regression.py
                    keys off, so a malformed baseline fails in lint, not
@@ -301,6 +317,67 @@ def check_deprecated_engine_api(rel: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+# --- rule: simd-tu ----------------------------------------------------------
+
+SIMD_INTRINSIC_RE = re.compile(
+    r"\b_mm(?:256|512)?_\w+\s*\(|\b__m(?:128|256|512)[id]?\b"
+)
+SIMD_INCLUDE_RE = re.compile(r'#\s*include\s*[<"]immintrin\.h[>"]')
+# The vector-math header is shared by the *_avx2.cpp TUs; it must never
+# be included from a portable TU (the TUs that may include it are
+# exactly the ones this rule exempts).
+SIMD_ALLOWED = {"src/tensor/simd_math.hpp"}
+
+
+def check_simd_tu(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith("src/"):
+        return []
+    if rel.endswith("_avx2.cpp") or rel in SIMD_ALLOWED:
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if "simd-tu" in allowed_rules(raw):
+            continue
+        code = strip_comments_and_strings(raw)
+        m = SIMD_INCLUDE_RE.search(code) or SIMD_INTRINSIC_RE.search(code)
+        if m:
+            findings.append(Finding(
+                "simd-tu", rel, i,
+                f"extended-ISA intrinsic ({m.group(0).strip()}...) outside "
+                "a *_avx2.cpp TU — only those are compiled with -mavx2; "
+                "move the kernel there behind the runtime dispatch"))
+    return findings
+
+
+# --- rule: sparse-dense-unpack ----------------------------------------------
+
+SPARSE_UNPACK_RE = re.compile(r"\bunpack_(?:masked_)?dense\s*\(")
+# Declaration and definition live here; everything else in src/ must
+# consume the packed panels directly.
+SPARSE_UNPACK_ALLOWED = {
+    "src/tensor/sgemm_sparse.hpp",
+    "src/tensor/sgemm_sparse.cpp",
+}
+
+
+def check_sparse_dense_unpack(rel: str, lines: list[str]) -> list[Finding]:
+    if rel in SPARSE_UNPACK_ALLOWED or not rel.startswith("src/"):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        if not SPARSE_UNPACK_RE.search(code):
+            continue
+        if "sparse-dense-unpack" in allowed_rules(raw):
+            continue
+        findings.append(Finding(
+            "sparse-dense-unpack", rel, i,
+            "dense-weight reconstruction on a compressed panel — the "
+            "unpack oracles are for tests/telemetry; hot paths must read "
+            "the packed panels or the plan's bandwidth win is forfeit"))
+    return findings
+
+
 # --- rule: bench-baseline ---------------------------------------------------
 
 BASELINE_REQUIRED_KEYS = {
@@ -308,6 +385,7 @@ BASELINE_REQUIRED_KEYS = {
     "BENCH_multi_model.json": {"bench", "batched_speedup", "models"},
     "BENCH_planner.json": {"bench", "simd", "layers", "models"},
     "BENCH_precision_sweep.json": {"latency", "accuracy"},
+    "BENCH_pareto.json": {"bench", "kernel_gates", "equivalence", "frontier"},
 }
 
 
@@ -346,6 +424,8 @@ FILE_CHECKS = [
     check_unguarded_fields,
     check_include_hygiene,
     check_deprecated_engine_api,
+    check_simd_tu,
+    check_sparse_dense_unpack,
 ]
 
 
@@ -417,6 +497,14 @@ SELF_TEST_CASES = [
      ["engine->plan_batch(4);"]),
     ("deprecated-engine-api", "src/runtime/bad.cpp",
      ["engine.set_precision(nn::Precision::kInt8);"]),
+    ("simd-tu", "src/nn/bad.cpp",
+     ["__m256 acc = _mm256_setzero_ps();"]),
+    ("simd-tu", "src/tensor/bad.hpp",
+     ["#include <immintrin.h>"]),
+    ("sparse-dense-unpack", "src/nn/bad.cpp",
+     ["sparse_packed_[i].unpack_masked_dense(scratch.data());"]),
+    ("sparse-dense-unpack", "src/nn/bad.cpp",
+     ["half_packed_[i].unpack_dense(scratch.data());"]),
 ]
 
 SELF_TEST_CLEAN = [
@@ -442,6 +530,15 @@ SELF_TEST_CLEAN = [
       "legacy.set_precision(p);  // ocb-lint: allow(deprecated-engine-api)"]),
     ("src/nn/engine.cpp",
      ["void Engine::plan_batch(int max_batch) {  // the shim itself"]),
+    ("src/tensor/sgemm_sparse_avx2.cpp",
+     ["__m256 acc = _mm256_setzero_ps();",
+      "#include <immintrin.h>"]),
+    ("src/tensor/simd_math.hpp",
+     ["#include <immintrin.h>"]),
+    ("src/tensor/sgemm_sparse.cpp",
+     ["void PackedSparseA::unpack_masked_dense(float* out) const {"]),
+    ("src/nn/good2.cpp",
+     ["// unpack_masked_dense is the test oracle, not a hot path"]),
 ]
 
 

@@ -34,6 +34,19 @@ bool op_is_gemm_shaped(nn::OpKind kind) noexcept {
          kind == nn::OpKind::kLinear;
 }
 
+namespace {
+
+// kFp16 weight-storage calibration, measured on the fp16-storage GEMM
+// kernels (bench/baselines/BENCH_pareto.json; mirrored by the planner's
+// KernelCostModel::half_compute_scale): weights stream half-width while
+// the in-register widening costs ~8% of sustained compute. Activations
+// stay fp32 — the engine's fp16 path is a weight-storage format, not a
+// half-precision compute pipeline.
+constexpr double kFp16WeightByteScale = 0.5;
+constexpr double kFp16ComputeScale = 0.92;
+
+}  // namespace
+
 double layer_latency_ms(const nn::LayerProfile& layer,
                         const DeviceSpec& device,
                         const RooflineOptions& options) {
@@ -41,29 +54,47 @@ double layer_latency_ms(const nn::LayerProfile& layer,
   OCB_CHECK_MSG(options.batch >= 1, "batch must be >= 1");
 
   // INT8 accelerates only the quantized (GEMM-shaped) ops; the rest of
-  // the graph runs FP32 in the engine's mixed plan. FP16 applies the
-  // generic speedup knob everywhere.
+  // the graph runs FP32 in the engine's mixed plan. The generic
+  // precision_speedup knob applies everywhere (TensorRT-style projections).
   const bool int8_layer = options.precision == Precision::kInt8 &&
                           op_is_gemm_shaped(layer.kind);
-  double precision_speedup = options.precision_speedup;
-  double byte_scale = 1.0;
-  if (int8_layer) {
-    precision_speedup = device.int8_speedup;
-    byte_scale = 0.25;  // u8 activations + s8 weights vs 4-byte floats
-  }
+  const bool fp16_layer = options.precision == Precision::kFp16 &&
+                          op_is_gemm_shaped(layer.kind);
 
   const double batch = static_cast<double>(options.batch);
-  const double eff = op_compute_efficiency(layer.kind) * precision_speedup;
-  const double compute_s =
-      batch * layer.flops / (device.eff_gflops * 1e9 * eff);
-  const double bytes =
-      byte_scale * (batch * static_cast<double>(layer.in_bytes +
-                                                layer.out_bytes) +
-                    static_cast<double>(layer.weight_bytes));
-  const double memory_s = bytes / (device.eff_bw_gbps * 1e9);
+  const double act_bytes =
+      batch * static_cast<double>(layer.in_bytes + layer.out_bytes);
+  const double weight_bytes = static_cast<double>(layer.weight_bytes);
+  const auto work_s = [&](double speedup, double act_scale,
+                          double weight_scale) {
+    const double eff = op_compute_efficiency(layer.kind) * speedup;
+    const double compute_s =
+        batch * layer.flops / (device.eff_gflops * 1e9 * eff);
+    const double bytes = act_scale * act_bytes + weight_scale * weight_bytes;
+    return std::max(compute_s, bytes / (device.eff_bw_gbps * 1e9));
+  };
+
+  double busy_s;
+  if (int8_layer) {
+    // u8 activations + s8 weights vs 4-byte floats.
+    busy_s = work_s(device.int8_speedup, 0.25, 0.25);
+  } else if (fp16_layer) {
+    // The engine's planner keeps a layer dense when half storage loses
+    // (compute-bound shapes pay the widening derate and never wait on
+    // weight bytes), so the projection takes the better path per layer
+    // — calibrated fp16-storage speedup where traffic dominates, parity
+    // elsewhere.
+    busy_s = std::min(
+        work_s(options.precision_speedup, 1.0, 1.0),
+        work_s(options.precision_speedup * kFp16ComputeScale, 1.0,
+               kFp16WeightByteScale));
+  } else {
+    busy_s = work_s(options.precision_speedup, 1.0, 1.0);
+  }
+
   const double launch_s = device.kernel_overhead_us * 1e-6;
   // Per-frame cost: the batch amortises launch overhead.
-  return (std::max(compute_s, memory_s) + launch_s) / batch * 1e3;
+  return (busy_s + launch_s) / batch * 1e3;
 }
 
 double model_latency_ms(const nn::ModelProfile& profile,

@@ -12,17 +12,22 @@
 
 namespace ocb::devsim {
 
-/// Numeric precision the projection models. kFp16 applies the generic
-/// precision_speedup knob below to every op; kInt8 applies the
-/// device's calibrated int8_speedup to GEMM-shaped ops only (conv /
-/// deconv / linear) and quarters their activation+weight traffic —
-/// elementwise and pooling ops stay FP32, matching the engine's actual
-/// INT8 execution plan.
+/// Numeric precision the projection models. kFp16 models the engine's
+/// half-*storage* format on GEMM-shaped ops (conv / deconv / linear):
+/// weight traffic halves and compute pays a small widening derate, both
+/// calibrated from the measured fp16-storage kernels (see
+/// bench/baselines/BENCH_pareto.json), with each layer taking the
+/// better of the dense and half paths — the planner's own policy.
+/// kInt8 applies the device's calibrated int8_speedup to GEMM-shaped
+/// ops only and quarters their activation+weight traffic — elementwise
+/// and pooling ops stay FP32, matching the engine's actual INT8
+/// execution plan. The generic precision_speedup knob below still
+/// scales every op at any precision (TensorRT-style what-ifs).
 enum class Precision { kFp32, kFp16, kInt8 };
 
 struct RooflineOptions {
   Precision precision = Precision::kFp32;
-  double precision_speedup = 1.0;  ///< 2.0 models FP16/TensorRT
+  double precision_speedup = 1.0;  ///< generic knob; 2.0 models TensorRT-FP16
   int batch = 1;                   ///< batch amortises launch overhead
   bool include_frame_overhead = true;
 };

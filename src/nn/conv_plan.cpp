@@ -2,13 +2,25 @@
 
 #include "core/check.hpp"
 #include "core/rng.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace ocb::nn {
 
 const char* precision_name(Precision precision) noexcept {
   switch (precision) {
     case Precision::kFp32: return "fp32";
+    case Precision::kFp16: return "fp16";
     case Precision::kInt8: return "int8";
+  }
+  return "?";
+}
+
+const char* weight_storage_name(WeightStorage storage) noexcept {
+  switch (storage) {
+    case WeightStorage::kDense: return "dense";
+    case WeightStorage::kHalf: return "half";
+    case WeightStorage::kSparse: return "sparse";
+    case WeightStorage::kSparseHalf: return "sparse-half";
   }
   return "?";
 }
@@ -43,6 +55,8 @@ std::size_t ConvPlanKeyHash::operator()(const ConvPlanKey& key) const
           static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.batch)));
   h = mix(h, static_cast<std::uint64_t>(key.precision));
   h = mix(h, static_cast<std::uint64_t>(key.level));
+  h = mix(h, static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(key.sparsity_pct)));
   return static_cast<std::size_t>(h);
 }
 

@@ -25,11 +25,25 @@
 namespace ocb::nn {
 
 /// Numeric precision a conv/linear node executes in. kInt8 requires a
-/// calibration pass first (see Engine::calibrate / PlanRequest); all
-/// other ops stay FP32 in either mode.
-enum class Precision { kFp32, kInt8 };
+/// calibration pass first (see Engine::calibrate / PlanRequest). kFp16
+/// is a *storage* precision: weights are held half-width (fp16/bf16
+/// panels, see tensor/sgemm_sparse.hpp) and widened to fp32 in-register,
+/// so compute and activations stay fp32 — the planner picks half
+/// storage only where weight traffic, not FLOPs, bounds the layer. All
+/// other ops stay FP32 in every mode.
+enum class Precision { kFp32, kFp16, kInt8 };
 
 const char* precision_name(Precision precision) noexcept;
+
+/// How a layer's weight panels are stored for its chosen kernel.
+enum class WeightStorage : std::uint8_t {
+  kDense,       ///< PackedA fp32 panels (the classic path)
+  kHalf,        ///< PackedHalfA 16-bit panels, widened in-register
+  kSparse,      ///< PackedSparseA surviving-column panels, fp32 values
+  kSparseHalf,  ///< PackedSparseA with 16-bit values
+};
+
+const char* weight_storage_name(WeightStorage storage) noexcept;
 
 /// Candidate implementations the planner chooses between.
 enum class ConvAlgo : std::uint8_t {
@@ -50,6 +64,10 @@ struct ConvPlanKey {
   int batch = 1;  ///< frames lowered side by side (max_batch of the plan)
   Precision precision = Precision::kFp32;
   simd::Level level = simd::Level::kScalar;
+  /// Pruned percent the active SparsityConfig targets for this layer
+  /// (see nn/prune.hpp layer_sparsity_pct); 0 = dense. Part of the key
+  /// because the sparse candidates' prices scale with density.
+  int sparsity_pct = 0;
 
   friend bool operator==(const ConvPlanKey&, const ConvPlanKey&) = default;
 
@@ -67,8 +85,15 @@ struct ConvPlanKeyHash {
 /// BENCH_planner report them).
 struct ConvPlan {
   ConvAlgo algo = ConvAlgo::kIm2colGemm;
+  /// Weight-panel format the chosen kernel reads (dense / half-stored /
+  /// sparse). Only kIm2colGemm and kDirectGemm support non-dense
+  /// storage; Winograd and the quantized path stay kDense.
+  WeightStorage storage = WeightStorage::kDense;
+  /// Surviving weight fraction the cost model priced (1.0 for dense
+  /// storage).
+  float density = 1.0f;
   double est_ms = 0.0;         ///< modelled latency of the chosen algo
-  double est_im2col_ms = 0.0;  ///< baseline candidate, for speedups
+  double est_im2col_ms = 0.0;  ///< baseline candidate (dense im2col)
 };
 
 /// Thread-safe bounded map from ConvPlanKey to ConvPlan.
@@ -77,7 +102,7 @@ struct ConvPlan {
 /// MiniYolo has ~10 distinct conv shapes); when full, insertion evicts
 /// the oldest entry (FIFO — plans are cheap to recompute, so recency
 /// tracking isn't worth making lookups mutate shared state; a lookup
-/// takes the lock, probes, and copies 24 bytes out).
+/// takes the lock, probes, and copies a few dozen bytes out).
 class PlanCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 512;

@@ -22,26 +22,63 @@ PlannerConfig legacy_planner_config() noexcept {
   return config;
 }
 
+/// Weights as the quantizer should see them: when pruning is active for
+/// the layer, a masked copy staged in `scratch` (the int8 kernels stay
+/// dense — the mask only zeroes weights before quantization, matching
+/// what the sparse fp32 path computes).
+const float* masked_for_quant(const float* w, std::size_t m, std::size_t k,
+                              const SparsityConfig& sparsity,
+                              std::vector<float>& scratch) {
+  const std::size_t count = m * k;
+  if (!sparsity.enabled() || layer_sparsity_pct(sparsity, count) == 0)
+    return w;
+  const std::vector<std::uint8_t> mask = magnitude_mask(w, m, k, sparsity);
+  scratch.assign(w, w + count);
+  apply_mask(scratch.data(), mask.data(), count);
+  return scratch.data();
+}
+
 }  // namespace
 
 std::string ExecutionPlan::to_text(const Graph& graph) const {
   std::string out = "execution plan: precision=";
   out += precision_name(precision);
   out += " max_batch=" + std::to_string(max_batch);
+  if (sparse_nodes > 0 || fp16_nodes > 0) {
+    out += " sparse=" + std::to_string(sparse_nodes);
+    out += " fp16=" + std::to_string(fp16_nodes);
+  }
   out += " (cache " + std::to_string(cache_hits) + " hit/" +
          std::to_string(cache_misses) + " miss)\n";
   for (int i = 0; i < graph.node_count(); ++i) {
     const Node& nd = graph.node(i);
-    if (nd.kind != OpKind::kConv) continue;
     const ConvPlan& p = nodes[static_cast<std::size_t>(i)];
+    // Linear nodes appear once the planner assigns them compressed
+    // storage; they run the default dense GEMV otherwise.
+    const bool linear_row = nd.kind == OpKind::kLinear &&
+                            p.storage != WeightStorage::kDense;
+    if (nd.kind != OpKind::kConv && !linear_row) continue;
     const FeatShape s = graph.shape(nd.inputs[0]);
-    char line[160];
-    std::snprintf(line, sizeof(line),
-                  "  %-16s %3dx%-3d c%-3d->%-3d k%d s%d  %-11s est %.3f ms"
-                  " (im2col %.3f ms)\n",
-                  nd.name.empty() ? "conv" : nd.name.c_str(), s.h, s.w, s.c,
-                  nd.out_c, nd.kernel, nd.stride, conv_algo_name(p.algo),
-                  p.est_ms, p.est_im2col_ms);
+    // Algo column, e.g. "winograd", "im2col/sparse", "direct/half".
+    std::string algo = conv_algo_name(p.algo);
+    if (p.storage != WeightStorage::kDense) {
+      algo += '/';
+      algo += weight_storage_name(p.storage);
+    }
+    char line[192];
+    if (linear_row) {
+      std::snprintf(line, sizeof(line),
+                    "  %-16s %8zu->%-4d       %-18s est %.3f ms\n",
+                    nd.name.empty() ? "linear" : nd.name.c_str(),
+                    s.numel(), nd.out_c, algo.c_str(), p.est_ms);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-16s %3dx%-3d c%-3d->%-3d k%d s%d  %-18s est %.3f ms"
+                    " (im2col %.3f ms)\n",
+                    nd.name.empty() ? "conv" : nd.name.c_str(), s.h, s.w, s.c,
+                    nd.out_c, nd.kernel, nd.stride, algo.c_str(), p.est_ms,
+                    p.est_im2col_ms);
+    }
     out += line;
   }
   return out;
@@ -55,6 +92,8 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
   activations_.resize(static_cast<std::size_t>(n));
   packed_.resize(static_cast<std::size_t>(n));
   pack_dirty_.assign(static_cast<std::size_t>(n), 0);
+  sparse_packed_.resize(static_cast<std::size_t>(n));
+  half_packed_.resize(static_cast<std::size_t>(n));
   wino_panels_.resize(static_cast<std::size_t>(n));
   concat_srcs_.resize(static_cast<std::size_t>(n));
   concat_channels_.resize(static_cast<std::size_t>(n));
@@ -196,6 +235,16 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
                          ? *request.planner.cache
                          : PlanCache::global();
   const PlanCache::Stats before = cache.stats();
+  // Pruning keys the plans per layer; under kInt8 the masks only gate
+  // quantization (the quantized kernels stay dense), so the sparse
+  // candidates are enumerated for float precisions only.
+  const bool prune = request.sparsity.enabled() &&
+                     request.precision != Precision::kInt8;
+  // Linear nodes run the dense packed GEMV unless compressed storage is
+  // in play; then they are planned through a pseudo 1×1 conv key (the
+  // GEMV is exactly that GEMM shape), which keeps the classic plans —
+  // and the cache traffic tests count on — untouched.
+  const bool plan_linear = prune || request.precision == Precision::kFp16;
   bool algos_changed = false;
   for (int i = 0; i < n; ++i) {
     const Node& nd = graph_.node(i);
@@ -214,10 +263,31 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
       key.batch = request.max_batch;
       key.precision = request.precision;
       key.level = level;
+      if (prune)
+        key.sparsity_pct =
+            layer_sparsity_pct(request.sparsity, weights_[ui].numel());
       p = plan_conv(key, request.planner);
+    } else if (nd.kind == OpKind::kLinear && plan_linear) {
+      const FeatShape s = graph_.shape(nd.inputs[0]);
+      ConvPlanKey key;
+      key.in_c = static_cast<int>(s.numel());
+      key.in_h = 1;
+      key.in_w = 1;
+      key.out_c = nd.out_c;
+      key.precision = request.precision;
+      key.level = level;
+      if (prune)
+        key.sparsity_pct =
+            layer_sparsity_pct(request.sparsity, weights_[ui].numel());
+      p = plan_conv(key, request.planner);
+      // Only the storage decision applies — linear always runs the
+      // packed GEMV, whatever algo the 1×1 enumeration preferred.
+      p.algo = ConvAlgo::kIm2colGemm;
     }
     plan_scratch_[ui] = p;
-    if (p.algo != plan_.nodes[ui].algo) algos_changed = true;
+    if (p.algo != plan_.nodes[ui].algo ||
+        p.storage != plan_.nodes[ui].storage)
+      algos_changed = true;
   }
   const PlanCache::Stats after = cache.stats();
   plan_.cache_hits = after.hits - before.hits;
@@ -225,13 +295,37 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
 
   const bool grow = request.max_batch > max_batch_;
   const bool precision_change = request.precision != precision_;
-  if (!grow && !precision_change && !algos_changed && !new_calib)
+  // A pruning-config change can leave every plan identical (e.g. a
+  // granularity switch at the same budget) yet still change the masks;
+  // a format change re-encodes the half panels. Both force the rebuild
+  // path below.
+  const bool sparsity_changed = !(request.sparsity == sparsity_);
+  const bool format_changed = request.half_format != half_format_;
+  if (!grow && !precision_change && !algos_changed && !new_calib &&
+      !sparsity_changed && !format_changed)
     return plan_;  // active plan already satisfies the request
 
   // Same-length element-wise copy — no reallocation.
   for (std::size_t i = 0; i < plan_.nodes.size(); ++i)
     plan_.nodes[i] = plan_scratch_[i];
   if (grow) grow_batch_plan(request.max_batch);
+
+  // Invalidate compressed panels the new configuration re-derives, then
+  // (lazily) build whatever the plan's storage choices need. Nodes the
+  // plan keeps dense keep their empty slots.
+  if (sparsity_changed)
+    for (PackedSparseA& sp : sparse_packed_) sp = PackedSparseA{};
+  if (format_changed) {
+    for (PackedHalfA& hp : half_packed_) hp = PackedHalfA{};
+    for (PackedSparseA& sp : sparse_packed_)
+      if (sp.half()) sp = PackedSparseA{};
+  }
+  sparsity_ = request.sparsity;
+  half_format_ = request.half_format;
+  for (int i = 0; i < n; ++i) {
+    const OpKind kind = graph_.node(i).kind;
+    if (kind == OpKind::kConv || kind == OpKind::kLinear) pack_storage(i);
+  }
 
   // Winograd nodes need their transformed weight panels and one arena
   // block for the V + M tile buffers of the hungriest layer.
@@ -274,10 +368,22 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
   plan_.direct_nodes = 0;
   plan_.im2col_nodes = 0;
   plan_.quant_nodes = 0;
+  plan_.sparse_nodes = 0;
+  plan_.fp16_nodes = 0;
   for (int i = 0; i < n; ++i) {
-    if (graph_.node(i).kind != OpKind::kConv) continue;
+    const OpKind kind = graph_.node(i).kind;
+    const ConvPlan& p = plan_.nodes[static_cast<std::size_t>(i)];
+    if (kind == OpKind::kConv || kind == OpKind::kLinear) {
+      if (p.storage == WeightStorage::kSparse ||
+          p.storage == WeightStorage::kSparseHalf)
+        ++plan_.sparse_nodes;
+      if (p.storage == WeightStorage::kHalf ||
+          p.storage == WeightStorage::kSparseHalf)
+        ++plan_.fp16_nodes;
+    }
+    if (kind != OpKind::kConv) continue;
     ++plan_.conv_nodes;
-    switch (plan_.nodes[static_cast<std::size_t>(i)].algo) {
+    switch (p.algo) {
       case ConvAlgo::kWinograd: ++plan_.winograd_nodes; break;
       case ConvAlgo::kDirectGemm: ++plan_.direct_nodes; break;
       case ConvAlgo::kIm2colQuant: ++plan_.quant_nodes; break;
@@ -354,15 +460,57 @@ void Engine::repack(int node) {
     const TensorQuant out_q = qlayers_[i].out_q;
     const EpiAct act = qlayers_[i].act;
     const bool emit = qlayers_[i].emit_u8;
-    qlayers_[i] = quantize_layer(weights_[i].data(), packed_[i].rows(),
-                                 packed_[i].cols(), in_q, out_q, act);
+    const float* wq =
+        masked_for_quant(weights_[i].data(), packed_[i].rows(),
+                         packed_[i].cols(), sparsity_, masked_scratch_);
+    qlayers_[i] = quantize_layer(wq, packed_[i].rows(), packed_[i].cols(),
+                                 in_q, out_q, act);
     qlayers_[i].emit_u8 = emit;
   }
   // Winograd-planned nodes carry a transformed copy of the weights;
   // refresh it alongside the straight panels.
   if (nd.kind == OpKind::kConv && !wino_panels_[i].empty())
     pack_winograd(node);
+  // Compressed panels re-derive from the mutated weights too (masks are
+  // magnitude-based, so they may move).
+  if (!half_packed_[i].empty())
+    half_packed_[i].pack(weights_[i].data(), packed_[i].rows(),
+                         packed_[i].cols(), half_format_);
+  if (!sparse_packed_[i].empty()) {
+    const bool want_half = sparse_packed_[i].half();
+    const std::vector<std::uint8_t> mask = magnitude_mask(
+        weights_[i].data(), packed_[i].rows(), packed_[i].cols(), sparsity_);
+    if (want_half) {
+      sparse_packed_[i].pack(weights_[i].data(), packed_[i].rows(),
+                             packed_[i].cols(), mask.data(), half_format_);
+    } else {
+      sparse_packed_[i].pack(weights_[i].data(), packed_[i].rows(),
+                             packed_[i].cols(), mask.data());
+    }
+  }
   pack_dirty_[i] = 0;
+}
+
+void Engine::pack_storage(int node) {
+  const std::size_t i = static_cast<std::size_t>(node);
+  const WeightStorage st = plan_.nodes[i].storage;
+  if (st == WeightStorage::kDense) return;
+  const std::size_t m = packed_[i].rows();
+  const std::size_t k = packed_[i].cols();
+  const float* w = weights_[i].data();
+  if (st == WeightStorage::kHalf) {
+    if (half_packed_[i].empty()) half_packed_[i].pack(w, m, k, half_format_);
+    return;
+  }
+  const bool want_half = st == WeightStorage::kSparseHalf;
+  if (!sparse_packed_[i].empty() && sparse_packed_[i].half() == want_half)
+    return;  // current panels match the plan (weights repack via repack())
+  const std::vector<std::uint8_t> mask = magnitude_mask(w, m, k, sparsity_);
+  if (want_half) {
+    sparse_packed_[i].pack(w, m, k, mask.data(), half_format_);
+  } else {
+    sparse_packed_[i].pack(w, m, k, mask.data());
+  }
 }
 
 void Engine::pack_winograd(int node) {
@@ -458,9 +606,13 @@ void Engine::build_int8_plan() {
       k = in0.numel();
       max_quad_bytes = std::max(max_quad_bytes, quad_buffer_bytes(k, 1));
     }
+    const float* wq =
+        masked_for_quant(weights_[i].data(),
+                         static_cast<std::size_t>(nd.out_c), k, sparsity_,
+                         masked_scratch_);
     qlayers_[i] =
-        quantize_layer(weights_[i].data(), static_cast<std::size_t>(nd.out_c),
-                       k, node_quant_[static_cast<std::size_t>(src)],
+        quantize_layer(wq, static_cast<std::size_t>(nd.out_c), k,
+                       node_quant_[static_cast<std::size_t>(src)],
                        node_quant_[i], to_epilogue_act(nd.act));
     bool emit = nd.kind == OpKind::kConv &&
                 std::find(outs.begin(), outs.end(), static_cast<int>(i)) ==
@@ -551,12 +703,40 @@ const std::vector<Tensor>& Engine::run(const Tensor& input) {
                           wino_panels_[ui], biases_[i].data(), nd.act,
                           dst.data(), out.numel(), scratch_);
         } else if (algo == ConvAlgo::kDirectGemm) {
-          conv2d_direct1x1(src(0).data(), s.numel(), /*batch=*/1, geom,
-                           packed_[ui], biases_[i].data(), nd.act,
-                           dst.data(), out.numel());
+          switch (plan_.nodes[ui].storage) {
+            case WeightStorage::kHalf:
+              conv2d_direct1x1(src(0).data(), s.numel(), /*batch=*/1, geom,
+                               half_packed_[ui], biases_[i].data(), nd.act,
+                               dst.data(), out.numel());
+              break;
+            case WeightStorage::kSparse:
+            case WeightStorage::kSparseHalf:
+              conv2d_direct1x1(src(0).data(), s.numel(), /*batch=*/1, geom,
+                               sparse_packed_[ui], biases_[i].data(), nd.act,
+                               dst.data(), out.numel());
+              break;
+            case WeightStorage::kDense:
+              conv2d_direct1x1(src(0).data(), s.numel(), /*batch=*/1, geom,
+                               packed_[ui], biases_[i].data(), nd.act,
+                               dst.data(), out.numel());
+              break;
+          }
         } else {
-          conv2d(src(0).data(), geom, packed_[ui], biases_[i].data(), nd.act,
-                 dst.data(), scratch_);
+          switch (plan_.nodes[ui].storage) {
+            case WeightStorage::kHalf:
+              conv2d(src(0).data(), geom, half_packed_[ui],
+                     biases_[i].data(), nd.act, dst.data(), scratch_);
+              break;
+            case WeightStorage::kSparse:
+            case WeightStorage::kSparseHalf:
+              conv2d(src(0).data(), geom, sparse_packed_[ui],
+                     biases_[i].data(), nd.act, dst.data(), scratch_);
+              break;
+            case WeightStorage::kDense:
+              conv2d(src(0).data(), geom, packed_[ui], biases_[i].data(),
+                     nd.act, dst.data(), scratch_);
+              break;
+          }
         }
         break;
       }
@@ -616,8 +796,21 @@ const std::vector<Tensor>& Engine::run(const Tensor& input) {
                   biases_[i].data(), dst.data(), /*out_u8=*/nullptr,
                   scratch_);
         } else {
-          linear(src(0).data(), packed_[static_cast<std::size_t>(i)],
-                 biases_[i].data(), nd.act, dst.data());
+          switch (plan_.nodes[ui].storage) {
+            case WeightStorage::kHalf:
+              linear(src(0).data(), half_packed_[ui], biases_[i].data(),
+                     nd.act, dst.data());
+              break;
+            case WeightStorage::kSparse:
+            case WeightStorage::kSparseHalf:
+              linear(src(0).data(), sparse_packed_[ui], biases_[i].data(),
+                     nd.act, dst.data());
+              break;
+            case WeightStorage::kDense:
+              linear(src(0).data(), packed_[ui], biases_[i].data(), nd.act,
+                     dst.data());
+              break;
+          }
         }
         break;
       }
@@ -684,6 +877,7 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
         const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
                                 nd.stride, nd.pad};
         const std::size_t ui = static_cast<std::size_t>(i);
+        const WeightStorage st = plan_.nodes[ui].storage;
         switch (plan_.nodes[ui].algo) {
           case ConvAlgo::kWinograd:
             conv2d_winograd(src_at(0, 0), s.numel(), batch, geom,
@@ -691,14 +885,44 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
                             dst.data(), out_chw, scratch_);
             break;
           case ConvAlgo::kDirectGemm:
-            conv2d_direct1x1(src_at(0, 0), s.numel(), batch, geom,
-                             packed_[ui], biases_[i].data(), nd.act,
-                             dst.data(), out_chw);
+            switch (st) {
+              case WeightStorage::kHalf:
+                conv2d_direct1x1(src_at(0, 0), s.numel(), batch, geom,
+                                 half_packed_[ui], biases_[i].data(), nd.act,
+                                 dst.data(), out_chw);
+                break;
+              case WeightStorage::kSparse:
+              case WeightStorage::kSparseHalf:
+                conv2d_direct1x1(src_at(0, 0), s.numel(), batch, geom,
+                                 sparse_packed_[ui], biases_[i].data(),
+                                 nd.act, dst.data(), out_chw);
+                break;
+              case WeightStorage::kDense:
+                conv2d_direct1x1(src_at(0, 0), s.numel(), batch, geom,
+                                 packed_[ui], biases_[i].data(), nd.act,
+                                 dst.data(), out_chw);
+                break;
+            }
             break;
           default:
-            conv2d_batched(src_at(0, 0), s.numel(), batch, geom, packed_[ui],
-                           biases_[i].data(), nd.act, dst.data(), out_chw,
-                           scratch_);
+            switch (st) {
+              case WeightStorage::kHalf:
+                conv2d_batched(src_at(0, 0), s.numel(), batch, geom,
+                               half_packed_[ui], biases_[i].data(), nd.act,
+                               dst.data(), out_chw, scratch_);
+                break;
+              case WeightStorage::kSparse:
+              case WeightStorage::kSparseHalf:
+                conv2d_batched(src_at(0, 0), s.numel(), batch, geom,
+                               sparse_packed_[ui], biases_[i].data(), nd.act,
+                               dst.data(), out_chw, scratch_);
+                break;
+              case WeightStorage::kDense:
+                conv2d_batched(src_at(0, 0), s.numel(), batch, geom,
+                               packed_[ui], biases_[i].data(), nd.act,
+                               dst.data(), out_chw, scratch_);
+                break;
+            }
             break;
         }
         break;
@@ -783,10 +1007,24 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
         break;
       }
       case OpKind::kLinear: {
+        const std::size_t ui = static_cast<std::size_t>(i);
         for (int b = 0; b < batch; ++b) {
-          linear(src_at(0, b), packed_[static_cast<std::size_t>(i)],
-                 biases_[i].data(), nd.act,
-                 dst.data() + static_cast<std::size_t>(b) * out_chw);
+          float* obuf = dst.data() + static_cast<std::size_t>(b) * out_chw;
+          switch (plan_.nodes[ui].storage) {
+            case WeightStorage::kHalf:
+              linear(src_at(0, b), half_packed_[ui], biases_[i].data(),
+                     nd.act, obuf);
+              break;
+            case WeightStorage::kSparse:
+            case WeightStorage::kSparseHalf:
+              linear(src_at(0, b), sparse_packed_[ui], biases_[i].data(),
+                     nd.act, obuf);
+              break;
+            case WeightStorage::kDense:
+              linear(src_at(0, b), packed_[ui], biases_[i].data(), nd.act,
+                     obuf);
+              break;
+          }
         }
         break;
       }

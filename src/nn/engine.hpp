@@ -32,6 +32,7 @@
 #include "nn/graph.hpp"
 #include "nn/ops.hpp"
 #include "nn/planner.hpp"
+#include "nn/prune.hpp"
 #include "nn/quantize.hpp"
 
 namespace ocb::nn {
@@ -45,6 +46,15 @@ struct PlanRequest {
   /// the last calibrate() are used).
   const QuantCalibration* calibration = nullptr;
   PlannerConfig planner{};       ///< candidate toggles, cost model, cache
+  /// Structured magnitude pruning (see nn/prune.hpp). When enabled, the
+  /// per-layer sparsity percent joins each conv/linear plan key and the
+  /// planner may pick sparse packed kernels; under kInt8 the masks zero
+  /// weights before quantization (accuracy effect only — the quantized
+  /// kernels stay dense).
+  SparsityConfig sparsity{};
+  /// 16-bit encoding used when the planner picks half storage (kFp16
+  /// precision).
+  HalfFormat half_format = HalfFormat::kFp16;
 };
 
 /// The engine's active plan, returned by prepare() for observability.
@@ -59,6 +69,11 @@ struct ExecutionPlan {
   int direct_nodes = 0;
   int im2col_nodes = 0;
   int quant_nodes = 0;
+  /// Conv/linear nodes running sparse packed kernels (kSparse or
+  /// kSparseHalf storage) and half-stored panels (kHalf or kSparseHalf)
+  /// — a node with kSparseHalf counts in both.
+  int sparse_nodes = 0;
+  int fp16_nodes = 0;
   /// PlanCache traffic attributable to the last prepare() (approximate
   /// when other threads plan concurrently against the same cache).
   std::uint64_t cache_hits = 0;
@@ -147,6 +162,9 @@ class Engine {
 
  private:
   void repack(int node);
+  /// Build the compressed weight panels (sparse and/or half) the active
+  /// plan wants for `node`, if any are missing or stale.
+  void pack_storage(int node);
   /// Transform + pack node's 3×3 weights into 16 Winograd panels.
   void pack_winograd(int node);
   void build_int8_plan();
@@ -169,6 +187,10 @@ class Engine {
   mutable std::vector<Tensor> activations_;
   std::vector<PackedA> packed_;      ///< per-node weight panels (conv/linear)
   std::vector<char> pack_dirty_;     ///< weight() handed out since last pack
+  /// Compressed weight panels, built lazily when the plan assigns the
+  /// node kSparse/kSparseHalf or kHalf storage (empty otherwise).
+  std::vector<PackedSparseA> sparse_packed_;
+  std::vector<PackedHalfA> half_packed_;
   /// Per-node Winograd weight panels (16 each), packed lazily when the
   /// plan first selects kWinograd for the node.
   std::vector<std::vector<PackedA>> wino_panels_;
@@ -191,6 +213,10 @@ class Engine {
   std::vector<ConvPlan> plan_scratch_;  ///< pre-sized planning staging
 
   Precision precision_ = Precision::kFp32;
+  SparsityConfig sparsity_{};             ///< active pruning config
+  HalfFormat half_format_ = HalfFormat::kFp16;
+  /// Masked weight staging for int8 quantization under pruning.
+  std::vector<float> masked_scratch_;
   QuantCalibration calib_;                ///< last recorded calibration
   std::vector<QuantizedLayer> qlayers_;   ///< per-node INT8 state
   std::vector<TensorQuant> node_quant_;   ///< per-node activation quant

@@ -43,32 +43,39 @@ inline float activate_scalar(Act act, float v) noexcept {
   return v;
 }
 
-}  // namespace
-
-void conv2d(const float* input, const ConvGeometry& geom, int out_c,
-            const float* weight, const float* bias, Act act, float* output,
-            ConvScratch& scratch) {
-  const float* col = im2col_scratch(input, geom, scratch);
-  gemm_ex(weight, col, output, static_cast<std::size_t>(out_c),
-          geom.col_rows(), geom.col_cols(), /*accumulate=*/false,
-          GemmEpilogue{bias, to_epilogue_act(act)});
+/// One name for the fused GEMM over any packed-weight format, so the
+/// conv/linear drivers below are written once and instantiated per
+/// storage.
+inline void gemm_any(const PackedA& w, const float* b, float* c,
+                     std::size_t n, const GemmEpilogue& epi) {
+  gemm_packed(w, b, c, n, /*accumulate=*/false, epi);
+}
+inline void gemm_any(const PackedHalfA& w, const float* b, float* c,
+                     std::size_t n, const GemmEpilogue& epi) {
+  gemm_packed_half(w, b, c, n, /*accumulate=*/false, epi);
+}
+inline void gemm_any(const PackedSparseA& w, const float* b, float* c,
+                     std::size_t n, const GemmEpilogue& epi) {
+  gemm_packed_sparse(w, b, c, n, /*accumulate=*/false, epi);
 }
 
-void conv2d(const float* input, const ConvGeometry& geom,
-            const PackedA& weight, const float* bias, Act act, float* output,
-            ConvScratch& scratch) {
+template <typename Packed>
+void conv2d_impl(const float* input, const ConvGeometry& geom,
+                 const Packed& weight, const float* bias, Act act,
+                 float* output, ConvScratch& scratch) {
   const float* col = im2col_scratch(input, geom, scratch);
-  gemm_packed(weight, col, output, geom.col_cols(), /*accumulate=*/false,
-              GemmEpilogue{bias, to_epilogue_act(act)});
+  gemm_any(weight, col, output, geom.col_cols(),
+           GemmEpilogue{bias, to_epilogue_act(act)});
 }
 
-void conv2d_batched(const float* input, std::size_t in_stride, int batch,
-                    const ConvGeometry& geom, const PackedA& weight,
-                    const float* bias, Act act, float* output,
-                    std::size_t out_stride, ConvScratch& scratch) {
+template <typename Packed>
+void conv2d_batched_impl(const float* input, std::size_t in_stride, int batch,
+                         const ConvGeometry& geom, const Packed& weight,
+                         const float* bias, Act act, float* output,
+                         std::size_t out_stride, ConvScratch& scratch) {
   OCB_CHECK_MSG(batch >= 1, "conv2d_batched needs at least one image");
   if (batch == 1) {
-    conv2d(input, geom, weight, bias, act, output, scratch);
+    conv2d_impl(input, geom, weight, bias, act, output, scratch);
     return;
   }
   const std::size_t m = weight.rows();
@@ -85,8 +92,7 @@ void conv2d_batched(const float* input, std::size_t in_stride, int batch,
   // and the wide tiles keep the SIMD kernel saturated even when n_img is
   // smaller than a column block.
   float* wide = scratch.arena.alloc_floats(m * n_tot);
-  gemm_packed(weight, col, wide, n_tot, /*accumulate=*/false,
-              GemmEpilogue{bias, to_epilogue_act(act)});
+  gemm_any(weight, col, wide, n_tot, GemmEpilogue{bias, to_epilogue_act(act)});
   // Scatter channel rows back into per-image CHW planes.
   for (int b = 0; b < batch; ++b) {
     float* dst = output + static_cast<std::size_t>(b) * out_stride;
@@ -97,19 +103,97 @@ void conv2d_batched(const float* input, std::size_t in_stride, int batch,
   }
 }
 
-void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
-                      const ConvGeometry& geom, const PackedA& weight,
-                      const float* bias, Act act, float* output,
-                      std::size_t out_stride) {
+template <typename Packed>
+void conv2d_direct1x1_impl(const float* input, std::size_t in_stride,
+                           int batch, const ConvGeometry& geom,
+                           const Packed& weight, const float* bias, Act act,
+                           float* output, std::size_t out_stride) {
   OCB_CHECK_MSG(geom.kernel_h == 1 && geom.kernel_w == 1 &&
                     geom.stride == 1 && geom.pad == 0,
                 "conv2d_direct1x1 needs a 1x1 stride-1 pad-0 conv");
   const GemmEpilogue epi{bias, to_epilogue_act(act)};
   for (int b = 0; b < batch; ++b) {
-    gemm_packed(weight, input + static_cast<std::size_t>(b) * in_stride,
-                output + static_cast<std::size_t>(b) * out_stride,
-                geom.col_cols(), /*accumulate=*/false, epi);
+    gemm_any(weight, input + static_cast<std::size_t>(b) * in_stride,
+             output + static_cast<std::size_t>(b) * out_stride,
+             geom.col_cols(), epi);
   }
+}
+
+}  // namespace
+
+void conv2d(const float* input, const ConvGeometry& geom, int out_c,
+            const float* weight, const float* bias, Act act, float* output,
+            ConvScratch& scratch) {
+  const float* col = im2col_scratch(input, geom, scratch);
+  gemm_ex(weight, col, output, static_cast<std::size_t>(out_c),
+          geom.col_rows(), geom.col_cols(), /*accumulate=*/false,
+          GemmEpilogue{bias, to_epilogue_act(act)});
+}
+
+void conv2d(const float* input, const ConvGeometry& geom,
+            const PackedA& weight, const float* bias, Act act, float* output,
+            ConvScratch& scratch) {
+  conv2d_impl(input, geom, weight, bias, act, output, scratch);
+}
+
+void conv2d(const float* input, const ConvGeometry& geom,
+            const PackedHalfA& weight, const float* bias, Act act,
+            float* output, ConvScratch& scratch) {
+  conv2d_impl(input, geom, weight, bias, act, output, scratch);
+}
+
+void conv2d(const float* input, const ConvGeometry& geom,
+            const PackedSparseA& weight, const float* bias, Act act,
+            float* output, ConvScratch& scratch) {
+  conv2d_impl(input, geom, weight, bias, act, output, scratch);
+}
+
+void conv2d_batched(const float* input, std::size_t in_stride, int batch,
+                    const ConvGeometry& geom, const PackedA& weight,
+                    const float* bias, Act act, float* output,
+                    std::size_t out_stride, ConvScratch& scratch) {
+  conv2d_batched_impl(input, in_stride, batch, geom, weight, bias, act,
+                      output, out_stride, scratch);
+}
+
+void conv2d_batched(const float* input, std::size_t in_stride, int batch,
+                    const ConvGeometry& geom, const PackedHalfA& weight,
+                    const float* bias, Act act, float* output,
+                    std::size_t out_stride, ConvScratch& scratch) {
+  conv2d_batched_impl(input, in_stride, batch, geom, weight, bias, act,
+                      output, out_stride, scratch);
+}
+
+void conv2d_batched(const float* input, std::size_t in_stride, int batch,
+                    const ConvGeometry& geom, const PackedSparseA& weight,
+                    const float* bias, Act act, float* output,
+                    std::size_t out_stride, ConvScratch& scratch) {
+  conv2d_batched_impl(input, in_stride, batch, geom, weight, bias, act,
+                      output, out_stride, scratch);
+}
+
+void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
+                      const ConvGeometry& geom, const PackedA& weight,
+                      const float* bias, Act act, float* output,
+                      std::size_t out_stride) {
+  conv2d_direct1x1_impl(input, in_stride, batch, geom, weight, bias, act,
+                        output, out_stride);
+}
+
+void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
+                      const ConvGeometry& geom, const PackedHalfA& weight,
+                      const float* bias, Act act, float* output,
+                      std::size_t out_stride) {
+  conv2d_direct1x1_impl(input, in_stride, batch, geom, weight, bias, act,
+                        output, out_stride);
+}
+
+void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
+                      const ConvGeometry& geom, const PackedSparseA& weight,
+                      const float* bias, Act act, float* output,
+                      std::size_t out_stride) {
+  conv2d_direct1x1_impl(input, in_stride, batch, geom, weight, bias, act,
+                        output, out_stride);
 }
 
 void conv2d_winograd(const float* input, std::size_t in_stride, int batch,
@@ -317,6 +401,18 @@ void linear(const float* input, const PackedA& weight, const float* bias,
             Act act, float* output) {
   gemm_packed(weight, input, output, /*n=*/1, /*accumulate=*/false,
               GemmEpilogue{bias, to_epilogue_act(act)});
+}
+
+void linear(const float* input, const PackedHalfA& weight, const float* bias,
+            Act act, float* output) {
+  gemm_packed_half(weight, input, output, /*n=*/1, /*accumulate=*/false,
+                   GemmEpilogue{bias, to_epilogue_act(act)});
+}
+
+void linear(const float* input, const PackedSparseA& weight,
+            const float* bias, Act act, float* output) {
+  gemm_packed_sparse(weight, input, output, /*n=*/1, /*accumulate=*/false,
+                     GemmEpilogue{bias, to_epilogue_act(act)});
 }
 
 }  // namespace ocb::nn

@@ -17,6 +17,7 @@
 #include "tensor/arena.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
+#include "tensor/sgemm_sparse.hpp"
 
 namespace ocb::nn {
 
@@ -62,6 +63,34 @@ void conv2d_batched(const float* input, std::size_t in_stride, int batch,
 /// the widened-GEMM benefit (see nn/planner.hpp).
 void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
                       const ConvGeometry& geom, const PackedA& weight,
+                      const float* bias, Act act, float* output,
+                      std::size_t out_stride);
+
+/// Compressed-storage variants of the conv GEMM paths: identical
+/// lowering, arena use and fused epilogue, but the GEMM reads
+/// PackedHalfA (16-bit weights widened in-register) or PackedSparseA
+/// (surviving-column panels) instead of dense fp32 panels. The engine
+/// dispatches on ConvPlan::storage (see nn/conv_plan.hpp).
+void conv2d(const float* input, const ConvGeometry& geom,
+            const PackedHalfA& weight, const float* bias, Act act,
+            float* output, ConvScratch& scratch);
+void conv2d(const float* input, const ConvGeometry& geom,
+            const PackedSparseA& weight, const float* bias, Act act,
+            float* output, ConvScratch& scratch);
+void conv2d_batched(const float* input, std::size_t in_stride, int batch,
+                    const ConvGeometry& geom, const PackedHalfA& weight,
+                    const float* bias, Act act, float* output,
+                    std::size_t out_stride, ConvScratch& scratch);
+void conv2d_batched(const float* input, std::size_t in_stride, int batch,
+                    const ConvGeometry& geom, const PackedSparseA& weight,
+                    const float* bias, Act act, float* output,
+                    std::size_t out_stride, ConvScratch& scratch);
+void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
+                      const ConvGeometry& geom, const PackedHalfA& weight,
+                      const float* bias, Act act, float* output,
+                      std::size_t out_stride);
+void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
+                      const ConvGeometry& geom, const PackedSparseA& weight,
                       const float* bias, Act act, float* output,
                       std::size_t out_stride);
 
@@ -114,5 +143,12 @@ void linear(const float* input, std::size_t in_features, int out_features,
 /// linear over a pre-packed weight matrix with fused epilogue.
 void linear(const float* input, const PackedA& weight, const float* bias,
             Act act, float* output);
+
+/// linear over compressed weight panels — the n == 1 GEMV shape is the
+/// bandwidth-bound case half storage exists for.
+void linear(const float* input, const PackedHalfA& weight, const float* bias,
+            Act act, float* output);
+void linear(const float* input, const PackedSparseA& weight,
+            const float* bias, Act act, float* output);
 
 }  // namespace ocb::nn

@@ -12,24 +12,88 @@ namespace {
 /// including the fixed dispatch overhead. Throughput is derated for
 /// micro-kernel tile quantization (6×16 tiles; ragged edges idle
 /// lanes) and short-loop amortization in n and k.
-double gemm_ms(std::size_t m, std::size_t k, std::size_t n,
-               const KernelCostModel& model) noexcept {
+bool storage_half(WeightStorage storage) noexcept {
+  return storage == WeightStorage::kHalf ||
+         storage == WeightStorage::kSparseHalf;
+}
+
+bool storage_sparse(WeightStorage storage) noexcept {
+  return storage == WeightStorage::kSparse ||
+         storage == WeightStorage::kSparseHalf;
+}
+
+/// Weight-panel bytes one GEMM pass streams for an m×k matrix in the
+/// given storage. Dense/half panels are row-tile padded; sparse panels
+/// pay 4 index bytes plus kRowTile values per surviving column.
+double weight_panel_bytes(std::size_t m, std::size_t k, WeightStorage storage,
+                          double density) noexcept {
+  constexpr double kTile = static_cast<double>(PackedA::kRowTile);
+  const double m_t = static_cast<double>((m + PackedA::kRowTile - 1) /
+                                         PackedA::kRowTile) *
+                     kTile;
+  const double cols = m_t / kTile * static_cast<double>(k);
+  const double value_bytes = storage_half(storage) ? 2.0 : 4.0;
+  double per_col = kTile * value_bytes;
+  if (storage_sparse(storage)) per_col = density * (per_col + 4.0);
+  return cols * per_col;
+}
+
+/// Modelled milliseconds for one packed GEMM of [m×k]·[k×n] in the
+/// given weight storage, including the fixed dispatch overhead.
+/// Compute: effective FLOPs (dense FLOPs × surviving density) over a
+/// sustained-throughput estimate derated for micro-kernel tile
+/// quantization (6×16 tiles; ragged edges idle lanes), short-loop
+/// amortization in n and k, and the compressed kernels' per-group
+/// widening/indirection cost. Bandwidth: the weight panels themselves
+/// must stream once per pass — max(compute, traffic) models the
+/// overlap, and on GEMV-like shapes the traffic term dominates, which
+/// is what makes half storage worth picking there.
+double gemm_storage_ms(std::size_t m, std::size_t k, std::size_t n,
+                       const KernelCostModel& model, WeightStorage storage,
+                       double density) noexcept {
   if (m == 0 || k == 0 || n == 0) return 0.0;
+  const bool half = storage_half(storage);
+  const bool sparse = storage_sparse(storage);
+  const double d =
+      sparse ? std::clamp(density, 0.02, 1.0) : 1.0;
+  double scale = 1.0;
+  if (half)
+    scale *= model.half_compute_scale > 0.0 ? model.half_compute_scale : 0.9;
+  if (sparse)
+    scale *= model.sparse_compute_scale > 0.0 ? model.sparse_compute_scale
+                                              : 0.85;
   const double flops = 2.0 * static_cast<double>(m) *
-                       static_cast<double>(k) * static_cast<double>(n);
+                       static_cast<double>(k) * static_cast<double>(n) * d;
   const double tile_m =
       static_cast<double>((m + PackedA::kRowTile - 1) / PackedA::kRowTile *
                           PackedA::kRowTile);
   const double tile_n = static_cast<double>((n + 15) / 16 * 16);
-  const double eff = (static_cast<double>(m) / tile_m) *
-                     (static_cast<double>(n) / tile_n);
-  const double ramp_n =
-      static_cast<double>(n) / (static_cast<double>(n) + 48.0);
   const double ramp_k =
       static_cast<double>(k) / (static_cast<double>(k) + 8.0);
+  // n-direction efficiency: column-tile quantization times short-loop
+  // ramp. These model the *dense* kernel, whose remainder columns fall
+  // to a scalar latency chain. The compressed kernels' tails instead
+  // flip lanes across the row tile (see sgemm_sparse_avx2.cpp), so on
+  // GEMV-like shapes they keep a large fraction of peak — floor their
+  // efficiency rather than inheriting the dense collapse.
+  double n_eff = (static_cast<double>(n) / tile_n) *
+                 (static_cast<double>(n) / (static_cast<double>(n) + 48.0));
+  if (half || sparse) n_eff = std::max(n_eff, 0.25);
   const double gflops =
-      std::max(0.05, model.gemm_gflops * eff * ramp_n * ramp_k);
-  return flops / (gflops * 1e6) + model.gemm_overhead_us * 1e-3;
+      std::max(0.05, model.gemm_gflops * scale *
+                         (static_cast<double>(m) / tile_m) * n_eff * ramp_k);
+  double ms = flops / (gflops * 1e6);
+  if (model.weight_gbps > 0.0) {
+    const double traffic_ms = weight_panel_bytes(m, k, storage, d) /
+                              (model.weight_gbps * 1e6);
+    ms = std::max(ms, traffic_ms);
+  }
+  return ms + model.gemm_overhead_us * 1e-3;
+}
+
+double gemm_ms(std::size_t m, std::size_t k, std::size_t n,
+               const KernelCostModel& model) noexcept {
+  return gemm_storage_ms(m, k, n, model, WeightStorage::kDense, 1.0);
 }
 
 double copy_ms(double bytes, double gbps) noexcept {
@@ -47,6 +111,12 @@ KernelCostModel KernelCostModel::defaults(simd::Level level) noexcept {
   // winograd tile transforms: the AVX2 8-tile block kernel
   // (winograd_avx2.cpp) streams ~10 GB/s, the scalar per-tile code
   // (gather + ~70 flops + scattered stores per tile-channel) ~3.
+  // The storage fields are calibrated against BENCH_pareto.json: packed
+  // weight panels stream at roughly the copy rate plus cache reuse; the
+  // half kernel loses a little throughput to the per-group widening
+  // (one convert + store feeding 12 FMAs), the sparse kernel to the
+  // index indirection; the scalar half path converts element-wise and
+  // is priced accordingly.
   KernelCostModel m;
   if (level == simd::Level::kAvx2) {
     m.gemm_gflops = 22.0;
@@ -54,12 +124,18 @@ KernelCostModel KernelCostModel::defaults(simd::Level level) noexcept {
     m.mem_gbps = 8.0;
     m.transform_gbps = 10.0;
     m.gemm_overhead_us = 1.5;
+    m.weight_gbps = 12.0;
+    m.half_compute_scale = 0.92;
+    m.sparse_compute_scale = 0.85;
   } else {
     m.gemm_gflops = 2.8;
     m.int8_gops = 6.0;
     m.mem_gbps = 6.0;
     m.transform_gbps = 3.0;
     m.gemm_overhead_us = 1.0;
+    m.weight_gbps = 6.0;
+    m.half_compute_scale = 0.5;
+    m.sparse_compute_scale = 0.95;
   }
   return m;
 }
@@ -75,27 +151,36 @@ KernelCostModel KernelCostModel::from_roofline(
   // copies; they reach a fraction of the device's effective bandwidth.
   m.transform_gbps = eff_bw_gbps / 3.0;
   m.gemm_overhead_us = kernel_overhead_us;
+  m.weight_gbps = eff_bw_gbps;
+  m.half_compute_scale = 0.9;
+  m.sparse_compute_scale = 0.85;
   return m;
 }
 
 bool winograd_applicable(const ConvPlanKey& key) noexcept {
+  // Winograd panels are dense fp32; under kFp16 it competes as a legal
+  // fallback candidate (half storage only shrinks the direct/im2col
+  // panels, and the model decides which wins).
   return key.kernel == 3 && key.stride == 1 &&
-         key.precision == Precision::kFp32;
+         (key.precision == Precision::kFp32 ||
+          key.precision == Precision::kFp16);
 }
 
 bool direct_applicable(const ConvPlanKey& key) noexcept {
   return key.kernel == 1 && key.stride == 1 && key.pad == 0;
 }
 
-double est_im2col_ms(const ConvPlanKey& key,
-                     const KernelCostModel& model) noexcept {
+double est_im2col_storage_ms(const ConvPlanKey& key,
+                             const KernelCostModel& model,
+                             WeightStorage storage, double density) noexcept {
   const ConvGeometry geom = key.geometry();
   const double rows = static_cast<double>(geom.col_rows());
   const double n_tot = static_cast<double>(geom.col_cols()) * key.batch;
   // Lowering: gathered read of the input window plus the column write.
   double ms = copy_ms(2.0 * rows * n_tot * sizeof(float), model.mem_gbps);
-  ms += gemm_ms(static_cast<std::size_t>(key.out_c), geom.col_rows(),
-                static_cast<std::size_t>(n_tot), model);
+  ms += gemm_storage_ms(static_cast<std::size_t>(key.out_c), geom.col_rows(),
+                        static_cast<std::size_t>(n_tot), model, storage,
+                        density);
   if (key.batch > 1) {
     // Widened batches stage the GEMM result channel-major and scatter
     // it back to per-image CHW planes.
@@ -104,15 +189,27 @@ double est_im2col_ms(const ConvPlanKey& key,
   return ms;
 }
 
-double est_direct_ms(const ConvPlanKey& key,
-                     const KernelCostModel& model) noexcept {
+double est_direct_storage_ms(const ConvPlanKey& key,
+                             const KernelCostModel& model,
+                             WeightStorage storage, double density) noexcept {
   const ConvGeometry geom = key.geometry();
   // The input is consumed in place — no lowering, no scatter — but the
   // GEMM runs per image, so small spatial extents pay the dispatch
   // overhead batch times.
   return static_cast<double>(key.batch) *
-         gemm_ms(static_cast<std::size_t>(key.out_c),
-                 static_cast<std::size_t>(key.in_c), geom.col_cols(), model);
+         gemm_storage_ms(static_cast<std::size_t>(key.out_c),
+                         static_cast<std::size_t>(key.in_c), geom.col_cols(),
+                         model, storage, density);
+}
+
+double est_im2col_ms(const ConvPlanKey& key,
+                     const KernelCostModel& model) noexcept {
+  return est_im2col_storage_ms(key, model, WeightStorage::kDense, 1.0);
+}
+
+double est_direct_ms(const ConvPlanKey& key,
+                     const KernelCostModel& model) noexcept {
+  return est_direct_storage_ms(key, model, WeightStorage::kDense, 1.0);
 }
 
 double est_winograd_ms(const ConvPlanKey& key,
@@ -177,9 +274,12 @@ ConvPlan plan_conv(const ConvPlanKey& key, const PlannerConfig& config) {
   ConvPlan plan;
   plan.est_im2col_ms = est_im2col_ms(key, model);
 
-  const auto consider = [&plan](ConvAlgo algo, double ms) {
+  const auto consider = [&plan](ConvAlgo algo, WeightStorage storage,
+                                double density, double ms) {
     if (ms < plan.est_ms) {
       plan.algo = algo;
+      plan.storage = storage;
+      plan.density = static_cast<float>(density);
       plan.est_ms = ms;
     }
   };
@@ -191,17 +291,54 @@ ConvPlan plan_conv(const ConvPlanKey& key, const PlannerConfig& config) {
       // A tiny layer can be cheaper in fp32 once quantize/dequantize
       // traffic is priced in; the engine then runs just that node in
       // fp32 (its consumers read the float activation as usual).
-      consider(ConvAlgo::kIm2colGemm, plan.est_im2col_ms);
+      consider(ConvAlgo::kIm2colGemm, WeightStorage::kDense, 1.0,
+               plan.est_im2col_ms);
       if (config.enable_direct && direct_applicable(key))
-        consider(ConvAlgo::kDirectGemm, est_direct_ms(key, model));
+        consider(ConvAlgo::kDirectGemm, WeightStorage::kDense, 1.0,
+                 est_direct_ms(key, model));
     }
   } else {
     plan.algo = ConvAlgo::kIm2colGemm;
     plan.est_ms = plan.est_im2col_ms;
-    if (config.enable_direct && direct_applicable(key))
-      consider(ConvAlgo::kDirectGemm, est_direct_ms(key, model));
+    const bool direct_ok = config.enable_direct && direct_applicable(key);
+    if (direct_ok)
+      consider(ConvAlgo::kDirectGemm, WeightStorage::kDense, 1.0,
+               est_direct_ms(key, model));
     if (config.enable_winograd && winograd_applicable(key))
-      consider(ConvAlgo::kWinograd, est_winograd_ms(key, model));
+      consider(ConvAlgo::kWinograd, WeightStorage::kDense, 1.0,
+               est_winograd_ms(key, model));
+
+    // Compressed-storage candidates: half panels under kFp16, sparse
+    // panels when the key targets pruning, and their combination.
+    // Winograd has no compressed variant — its dense estimate above
+    // competes on equal terms.
+    const bool sparse = key.sparsity_pct > 0;
+    const double density = 1.0 - static_cast<double>(key.sparsity_pct) / 100.0;
+    if (key.precision == Precision::kFp16) {
+      consider(ConvAlgo::kIm2colGemm, WeightStorage::kHalf, 1.0,
+               est_im2col_storage_ms(key, model, WeightStorage::kHalf, 1.0));
+      if (direct_ok)
+        consider(ConvAlgo::kDirectGemm, WeightStorage::kHalf, 1.0,
+                 est_direct_storage_ms(key, model, WeightStorage::kHalf, 1.0));
+    }
+    if (sparse) {
+      consider(
+          ConvAlgo::kIm2colGemm, WeightStorage::kSparse, density,
+          est_im2col_storage_ms(key, model, WeightStorage::kSparse, density));
+      if (direct_ok)
+        consider(ConvAlgo::kDirectGemm, WeightStorage::kSparse, density,
+                 est_direct_storage_ms(key, model, WeightStorage::kSparse,
+                                       density));
+      if (key.precision == Precision::kFp16) {
+        consider(ConvAlgo::kIm2colGemm, WeightStorage::kSparseHalf, density,
+                 est_im2col_storage_ms(key, model, WeightStorage::kSparseHalf,
+                                       density));
+        if (direct_ok)
+          consider(ConvAlgo::kDirectGemm, WeightStorage::kSparseHalf, density,
+                   est_direct_storage_ms(key, model,
+                                         WeightStorage::kSparseHalf, density));
+      }
+    }
   }
 
   if (cache != nullptr) cache->insert(key, plan);

@@ -24,12 +24,29 @@
 namespace ocb::nn {
 
 /// Sustained-throughput estimates feeding the candidate cost model.
+///
+/// The last three fields price the compressed-storage candidates
+/// (WeightStorage::kHalf/kSparse/kSparseHalf): a bytes-moved term over
+/// `weight_gbps` models the per-pass streaming of the weight panels —
+/// on GEMV-like shapes (linear layers, n of a few) that traffic, not
+/// FLOPs, bounds the kernel, which is exactly where half storage wins —
+/// and the compute scales derate effective throughput for the widening
+/// / indirection the compressed kernels do per k-group. They default to
+/// 0 (= disabled / use built-in derates), so cost models aggregate-
+/// initialised with the original five fields price dense candidates
+/// identically to before.
 struct KernelCostModel {
   double gemm_gflops = 0.0;      ///< packed fp32 GEMM, large shapes
   double int8_gops = 0.0;        ///< u8×s8 quantized GEMM
   double mem_gbps = 0.0;         ///< streaming copy (lowering/scatter)
   double transform_gbps = 0.0;   ///< winograd tile-transform traffic
   double gemm_overhead_us = 0.0; ///< fixed cost per GEMM dispatch
+  double weight_gbps = 0.0;      ///< weight-panel streaming; 0 disables
+                                 ///< the bytes-moved term entirely
+  double half_compute_scale = 0.0;   ///< fp16/bf16-storage GEMM throughput
+                                     ///< vs dense (0 = default derate)
+  double sparse_compute_scale = 0.0; ///< sparse GEMM throughput on the
+                                     ///< surviving work vs dense
 
   bool valid() const noexcept { return gemm_gflops > 0.0; }
 
@@ -78,6 +95,17 @@ double est_winograd_ms(const ConvPlanKey& key,
                        const KernelCostModel& model) noexcept;
 double est_int8_ms(const ConvPlanKey& key,
                    const KernelCostModel& model) noexcept;
+
+/// Storage-aware variants: the same im2col / direct candidates with the
+/// GEMM priced for compressed weight panels. `density` is the surviving
+/// weight fraction (ignored for kDense/kHalf); passing kDense with
+/// density 1.0 reproduces est_im2col_ms / est_direct_ms exactly.
+double est_im2col_storage_ms(const ConvPlanKey& key,
+                             const KernelCostModel& model,
+                             WeightStorage storage, double density) noexcept;
+double est_direct_storage_ms(const ConvPlanKey& key,
+                             const KernelCostModel& model,
+                             WeightStorage storage, double density) noexcept;
 
 /// Enumerate, cost and pick the cheapest applicable implementation for
 /// `key`, consulting the cache first. Thread-safe.

@@ -1,0 +1,179 @@
+#include "nn/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+
+namespace ocb::nn {
+
+namespace {
+
+constexpr std::size_t kRowTile = PackedA::kRowTile;
+
+/// Columns kept per full N:M group once the budget is applied: the
+/// configured N, raised if N:M would prune past the budget.
+int nm_keep_count(const SparsityConfig& config) noexcept {
+  const int m = std::max(1, config.nm_m);
+  const int n = std::clamp(config.nm_n, 1, m);
+  const double keep_frac =
+      1.0 - std::clamp(static_cast<double>(config.budget), 0.0, 1.0);
+  const int budget_keep =
+      static_cast<int>(std::ceil(keep_frac * static_cast<double>(m) - 1e-9));
+  return std::clamp(std::max(n, budget_keep), 1, m);
+}
+
+/// Keep the `keep` largest-scoring columns of score[0..count): mark
+/// their mask slots. Ties resolve to the lower index (deterministic
+/// across machines).
+void keep_top(const double* score, std::size_t count, std::size_t keep,
+              std::uint8_t* group_keep) {
+  std::fill(group_keep, group_keep + count, std::uint8_t{0});
+  keep = std::min(keep, count);
+  for (std::size_t pick = 0; pick < keep; ++pick) {
+    std::size_t best = count;
+    for (std::size_t j = 0; j < count; ++j) {
+      if (group_keep[j] != 0) continue;
+      if (best == count || score[j] > score[best]) best = j;
+    }
+    group_keep[best] = 1;
+  }
+}
+
+void nm_mask_rows(const float* w, std::size_t k, std::size_t row0,
+                  std::size_t rows, const SparsityConfig& config,
+                  std::uint8_t* mask) {
+  const std::size_t group = static_cast<std::size_t>(std::max(1, config.nm_m));
+  const std::size_t keep = static_cast<std::size_t>(nm_keep_count(config));
+  std::vector<double> score(group);
+  std::vector<std::uint8_t> group_keep(group);
+  for (std::size_t g0 = 0; g0 < k; g0 += group) {
+    const std::size_t gs = std::min(group, k - g0);
+    for (std::size_t j = 0; j < gs; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double v = w[(row0 + r) * k + g0 + j];
+        s += v * v;
+      }
+      score[j] = s;
+    }
+    keep_top(score.data(), gs, keep, group_keep.data());
+    for (std::size_t j = 0; j < gs; ++j)
+      for (std::size_t r = 0; r < rows; ++r)
+        mask[(row0 + r) * k + g0 + j] = group_keep[j];
+  }
+}
+
+void block_mask(const float* w, std::size_t m, std::size_t k,
+                const SparsityConfig& config, std::uint8_t* mask) {
+  const std::size_t bk = static_cast<std::size_t>(std::max(1, config.block_k));
+  const std::size_t tiles = (m + kRowTile - 1) / kRowTile;
+  const std::size_t kblocks = (k + bk - 1) / bk;
+  const std::size_t count = tiles * kblocks;
+
+  struct Scored {
+    double score;
+    std::uint32_t id;
+  };
+  std::vector<Scored> blocks(count);
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::size_t r0 = t * kRowTile;
+    const std::size_t rows = std::min(kRowTile, m - r0);
+    for (std::size_t b = 0; b < kblocks; ++b) {
+      const std::size_t k0 = b * bk;
+      const std::size_t ks = std::min(bk, k - k0);
+      double s = 0.0;
+      for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t j = 0; j < ks; ++j) {
+          const double v = w[(r0 + r) * k + k0 + j];
+          s += v * v;
+        }
+      blocks[t * kblocks + b] = {s, static_cast<std::uint32_t>(t * kblocks + b)};
+    }
+  }
+
+  const double budget =
+      std::clamp(static_cast<double>(config.budget), 0.0, 1.0);
+  const std::size_t prune =
+      static_cast<std::size_t>(budget * static_cast<double>(count));
+  // Lowest L2 first; ties by id for a machine-independent order.
+  std::partial_sort(blocks.begin(), blocks.begin() + prune, blocks.end(),
+                    [](const Scored& a, const Scored& b) {
+                      return a.score != b.score ? a.score < b.score
+                                                : a.id < b.id;
+                    });
+  for (std::size_t i = 0; i < prune; ++i) {
+    const std::size_t t = blocks[i].id / kblocks;
+    const std::size_t b = blocks[i].id % kblocks;
+    const std::size_t r0 = t * kRowTile;
+    const std::size_t rows = std::min(kRowTile, m - r0);
+    const std::size_t k0 = b * bk;
+    const std::size_t ks = std::min(bk, k - k0);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t j = 0; j < ks; ++j) mask[(r0 + r) * k + k0 + j] = 0;
+  }
+}
+
+}  // namespace
+
+const char* sparsity_scheme_name(SparsityScheme scheme) noexcept {
+  switch (scheme) {
+    case SparsityScheme::kNone: return "none";
+    case SparsityScheme::kNm: return "nm";
+    case SparsityScheme::kBlock: return "block";
+  }
+  return "?";
+}
+
+double modelled_density(const SparsityConfig& config) noexcept {
+  if (!config.enabled()) return 1.0;
+  if (config.scheme == SparsityScheme::kNm) {
+    return static_cast<double>(nm_keep_count(config)) /
+           static_cast<double>(std::max(1, config.nm_m));
+  }
+  return 1.0 - std::clamp(static_cast<double>(config.budget), 0.0, 1.0);
+}
+
+int layer_sparsity_pct(const SparsityConfig& config,
+                       std::size_t params) noexcept {
+  if (!config.enabled() || params < config.min_params) return 0;
+  const int pct =
+      static_cast<int>(std::lround((1.0 - modelled_density(config)) * 100.0));
+  return std::clamp(pct, 0, 99);
+}
+
+std::vector<std::uint8_t> magnitude_mask(const float* w, std::size_t m,
+                                         std::size_t k,
+                                         const SparsityConfig& config) {
+  std::vector<std::uint8_t> mask(m * k, std::uint8_t{1});
+  if (layer_sparsity_pct(config, m * k) == 0) return mask;
+
+  if (config.scheme == SparsityScheme::kNm) {
+    if (config.granularity == SparsityGranularity::kPerRow) {
+      for (std::size_t i = 0; i < m; ++i)
+        nm_mask_rows(w, k, i, 1, config, mask.data());
+    } else {
+      for (std::size_t r0 = 0; r0 < m; r0 += kRowTile)
+        nm_mask_rows(w, k, r0, std::min(kRowTile, m - r0), config,
+                     mask.data());
+    }
+  } else {
+    block_mask(w, m, k, config, mask.data());
+  }
+  return mask;
+}
+
+void apply_mask(float* w, const std::uint8_t* mask,
+                std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i)
+    if (mask[i] == 0) w[i] = 0.0f;
+}
+
+double mask_density(const std::uint8_t* mask, std::size_t count) noexcept {
+  if (count == 0) return 1.0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < count; ++i) kept += mask[i] != 0 ? 1 : 0;
+  return static_cast<double>(kept) / static_cast<double>(count);
+}
+
+}  // namespace ocb::nn

@@ -1,0 +1,90 @@
+// Magnitude pruning: structured sparsity masks for conv/linear weights.
+//
+// Produces the binary keep-masks PackedSparseA (tensor/sgemm_sparse.hpp)
+// packs around. Two structures are supported, both aligned to the
+// packed-GEMM micro-kernel's 6-row panels so the pruned work is
+// actually skippable:
+//
+//   - N:M (2:4-style): within every group of M consecutive k-columns,
+//     keep the N largest-magnitude columns. With kPerTile granularity
+//     the magnitude score aggregates over the panel's rows, so all six
+//     rows of a packing tile share one surviving set — the sparse
+//     kernel then skips exactly (M−N)/M of its inner loop. kPerRow
+//     scores each row independently (finer, better accuracy at equal
+//     sparsity) but the per-panel union of six different masks keeps
+//     most columns, so it trades speed back for accuracy.
+//
+//   - Block: prune whole (row-tile × block_k) blocks, lowest L2 score
+//     first, up to the layer budget. Coarser than N:M, cheapest to
+//     skip.
+//
+// The budget caps the pruned fraction per layer, and min_params keeps
+// tiny layers dense — pruning a 3×3×16 stem costs accuracy and saves
+// nothing. Engine::prepare() applies the same config to every eligible
+// layer and the planner prices the surviving density (nn/planner.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ocb::nn {
+
+enum class SparsityScheme : std::uint8_t {
+  kNone,   ///< pruning disabled
+  kNm,     ///< N:M within consecutive k-column groups
+  kBlock,  ///< whole (row-tile × block_k) blocks
+};
+
+const char* sparsity_scheme_name(SparsityScheme scheme) noexcept;
+
+/// Whose magnitudes decide an N:M group's survivors.
+enum class SparsityGranularity : std::uint8_t {
+  kPerTile,  ///< score over the 6-row packing tile (kernel-skippable)
+  kPerRow,   ///< score each row alone (accuracy-oriented)
+};
+
+/// Pruning policy applied uniformly to every eligible layer.
+struct SparsityConfig {
+  SparsityScheme scheme = SparsityScheme::kNone;
+  int nm_n = 2;  ///< keep N of every M k-columns (kNm)
+  int nm_m = 4;
+  SparsityGranularity granularity = SparsityGranularity::kPerTile;
+  int block_k = 4;  ///< k-extent of a pruning block (kBlock)
+  /// Maximum prunable fraction per layer; an N:M ratio more aggressive
+  /// than the budget is relaxed by keeping extra columns per group.
+  float budget = 0.5f;
+  /// Layers with fewer weights stay dense.
+  std::size_t min_params = 4096;
+
+  bool enabled() const noexcept { return scheme != SparsityScheme::kNone; }
+
+  friend bool operator==(const SparsityConfig&,
+                         const SparsityConfig&) = default;
+};
+
+/// Surviving fraction the config targets on an eligible layer (1.0 when
+/// disabled). The planner prices sparse candidates with this before any
+/// mask exists.
+double modelled_density(const SparsityConfig& config) noexcept;
+
+/// The integer pruned-percent a layer of `params` weights contributes
+/// to its ConvPlanKey: 0 when pruning is disabled or the layer is under
+/// the min_params floor, else round(100·(1 − modelled_density)).
+int layer_sparsity_pct(const SparsityConfig& config,
+                       std::size_t params) noexcept;
+
+/// Build the keep-mask (1 = keep, 0 = prune; M×K row-major, matching
+/// `w`) for one layer. Returns an all-ones mask for layers the config
+/// leaves dense.
+std::vector<std::uint8_t> magnitude_mask(const float* w, std::size_t m,
+                                         std::size_t k,
+                                         const SparsityConfig& config);
+
+/// Zero the pruned elements of `w` in place.
+void apply_mask(float* w, const std::uint8_t* mask, std::size_t count) noexcept;
+
+/// Kept fraction of a mask (1.0 for an empty mask).
+double mask_density(const std::uint8_t* mask, std::size_t count) noexcept;
+
+}  // namespace ocb::nn

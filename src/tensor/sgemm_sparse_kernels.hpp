@@ -1,0 +1,41 @@
+// Internal contract between the sparse/half GEMM dispatchers
+// (sgemm_sparse.cpp) and the extended-ISA translation unit
+// (sgemm_sparse_avx2.cpp). Not installed as public API.
+//
+// Both sides consume the same packed layouts, so a matrix packed once
+// is valid whichever path the dispatcher picks (the OCB_DISABLE_SIMD
+// override can flip mid-process without repacking).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/sgemm_sparse.hpp"
+
+namespace ocb::detail {
+
+/// AVX2/FMA half-storage kernel: widens each packed 16-bit group with
+/// F16C (fp16, when compiled in) or an integer shift (bf16) and runs
+/// the dense 6×16 tile. Defined in sgemm_sparse_avx2.cpp; must only be
+/// called when simd::active() == Level::kAvx2.
+void gemm_half_avx2(const PackedHalfA& a, const float* b, float* c,
+                    std::size_t n, bool accumulate,
+                    const GemmEpilogue& epilogue, bool parallel);
+
+/// Scalar half-storage kernel with identical traversal and epilogue
+/// semantics — the fallback and the oracle for the AVX2 path.
+void gemm_half_scalar(const PackedHalfA& a, const float* b, float* c,
+                      std::size_t n, bool accumulate,
+                      const GemmEpilogue& epilogue, bool parallel);
+
+/// AVX2/FMA sparse kernel: iterates each panel's surviving-column list
+/// (fp32 or half-stored values) instead of the full K range.
+void gemm_sparse_avx2(const PackedSparseA& a, const float* b, float* c,
+                      std::size_t n, bool accumulate,
+                      const GemmEpilogue& epilogue, bool parallel);
+
+/// Scalar sparse kernel — fallback and oracle.
+void gemm_sparse_scalar(const PackedSparseA& a, const float* b, float* c,
+                        std::size_t n, bool accumulate,
+                        const GemmEpilogue& epilogue, bool parallel);
+
+}  // namespace ocb::detail

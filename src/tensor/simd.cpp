@@ -30,6 +30,14 @@ bool cpu_supports_avx2() noexcept {
 #endif
 }
 
+bool cpu_supports_f16c() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
 Level active() noexcept {
   int flag = runtime_flag().load(std::memory_order_relaxed);
   if (flag < 0) {

@@ -22,6 +22,10 @@ bool avx2_compiled() noexcept;
 /// True iff the running CPU reports AVX2 and FMA.
 bool cpu_supports_avx2() noexcept;
 
+/// True iff the running CPU reports F16C (hardware fp16<->fp32
+/// widening, used by the half-storage GEMM in sgemm_sparse_avx2.cpp).
+bool cpu_supports_f16c() noexcept;
+
 /// The path the dispatcher will take right now (all three gates plus
 /// any set_simd_enabled() override applied).
 Level active() noexcept;

@@ -179,6 +179,77 @@ MiniYolo DetectorTrainer::train(models::YoloFamily family,
   return model;
 }
 
+void DetectorTrainer::fine_tune_pruned(
+    MiniYolo& model, const nn::SparsityConfig& sparsity, int epochs,
+    const std::vector<Sample>& train_set, TrainStats* stats) const {
+  OCB_CHECK_MSG(epochs > 0 && !train_set.empty(), "bad fine-tune request");
+  OCB_CHECK_MSG(sparsity.enabled(), "fine_tune_pruned needs a sparsity scheme");
+
+  // Masks over the trained weights. Conv weights are the rank-4
+  // params with out_c on the batch dim; bias vectors ({1,C,1,1}) and
+  // layers under the config's min_params floor stay dense
+  // (magnitude_mask returns all-ones for the latter).
+  std::vector<ag::Var> params = model.parameters();
+  std::vector<std::vector<std::uint8_t>> masks(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& value = params[i]->value;
+    if (value.shape().n <= 1) continue;
+    const std::size_t rows = static_cast<std::size_t>(value.shape().n);
+    masks[i] = nn::magnitude_mask(value.data(), rows, value.numel() / rows,
+                                  sparsity);
+    nn::apply_mask(value.data(), masks[i].data(), value.numel());
+  }
+  const auto reapply = [&] {
+    for (std::size_t i = 0; i < params.size(); ++i)
+      if (!masks[i].empty())
+        nn::apply_mask(params[i]->value.data(), masks[i].data(),
+                       params[i]->value.numel());
+  };
+
+  const TrainCorpus corpus(generator_, train_set, config_.input_size,
+                           config_.augment_flip);
+  const float tune_lr = config_.lr * 0.1f;
+  ag::SgdConfig scfg;
+  scfg.lr = tune_lr;
+  ag::Sgd optimizer(params, scfg);
+
+  Rng rng(hash_combine(config_.seed, 0xF17EULL));
+  std::vector<std::size_t> order(corpus.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  if (stats != nullptr) {
+    stats->epoch_loss.clear();
+    stats->images = static_cast<int>(corpus.size());
+  }
+
+  Tensor batch;
+  std::vector<std::vector<Annotation>> truth;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    optimizer.set_lr(ag::cosine_lr(tune_lr, config_.final_lr, epoch, epochs,
+                                   /*warmup=*/0));
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < order.size();
+         begin += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), begin + static_cast<std::size_t>(config_.batch_size));
+      make_batch(corpus, order, begin, end, config_.input_size, batch, truth);
+      epoch_loss += run_loss(model, batch, truth, config_, true, &optimizer);
+      reapply();  // masks frozen: pruned weights stay exactly zero
+      ++batches;
+    }
+    if (stats != nullptr)
+      stats->epoch_loss.push_back(
+          epoch_loss / static_cast<double>(std::max<std::size_t>(1, batches)));
+    if (config_.verbose)
+      OCB_INFO << yolo_family_name(model.family()) << "-"
+               << yolo_size_name(model.size()) << " fine-tune epoch "
+               << epoch + 1 << "/" << epochs << " loss="
+               << epoch_loss / static_cast<double>(std::max<std::size_t>(1, batches));
+  }
+}
+
 eval::Report evaluate_detector(const MiniYolo& model,
                                const DatasetGenerator& generator,
                                const std::vector<Sample>& samples,

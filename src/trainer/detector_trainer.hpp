@@ -9,6 +9,7 @@
 #include "dataset/sampling.hpp"
 #include "eval/report.hpp"
 #include "models/mini_yolo.hpp"
+#include "nn/prune.hpp"
 
 namespace ocb::trainer {
 
@@ -60,6 +61,21 @@ class DetectorTrainer {
                          const std::vector<dataset::Sample>& train_set,
                          const std::vector<dataset::Sample>& val_set,
                          TrainStats* stats = nullptr) const;
+
+  /// Prune-then-fine-tune, in place: build magnitude masks for every
+  /// conv weight under `sparsity` (biases and sub-min_params layers
+  /// stay dense), zero the pruned weights, and continue SGD on
+  /// `train_set` for `epochs` at a tenth of the training lr with the
+  /// masks frozen — pruned weights are re-zeroed after every step, so
+  /// only the survivors adapt to the pruned topology. Post-training
+  /// magnitude pruning alone craters a small detector's accuracy; this
+  /// is the standard recovery recipe the Pareto sweep measures. The
+  /// result is exactly N:M-sparse, so Engine::prepare with the same
+  /// config re-derives identical masks from the exported weights.
+  void fine_tune_pruned(models::MiniYolo& model,
+                        const nn::SparsityConfig& sparsity, int epochs,
+                        const std::vector<dataset::Sample>& train_set,
+                        TrainStats* stats = nullptr) const;
 
   const TrainConfig& config() const noexcept { return config_; }
 

@@ -91,6 +91,41 @@ TEST(Roofline, PrecisionSpeedupReducesLatency) {
             model_latency_ms(profile, dev));
 }
 
+TEST(Roofline, Fp16StorageHelpsBandwidthBoundLayersOnly) {
+  const DeviceSpec& dev = device_spec(DeviceId::kOrinNano);
+  RooflineOptions fp16;
+  fp16.precision = Precision::kFp16;
+
+  // A GEMV-shaped linear head: almost all bytes are weights, so half
+  // storage must land a solid speedup (bytes halve; the widening
+  // derate is hidden behind the memory wall).
+  nn::LayerProfile head;
+  head.kind = nn::OpKind::kLinear;
+  head.flops = 2.0 * 1024 * 4096;
+  head.in_bytes = 4096 * 4;
+  head.out_bytes = 1024 * 4;
+  head.weight_bytes = 1024 * 4096 * 4;
+  const double dense_ms = layer_latency_ms(head, dev);
+  const double half_ms = layer_latency_ms(head, dev, fp16);
+  EXPECT_GT(dense_ms / half_ms, 1.5);
+
+  // A compute-bound conv must not get slower: the model keeps the
+  // dense path when half storage loses.
+  nn::LayerProfile conv;
+  conv.kind = nn::OpKind::kConv;
+  conv.flops = 2.0 * 64 * 576 * 64 * 64;
+  conv.in_bytes = 64 * 64 * 64 * 4;
+  conv.out_bytes = 64 * 64 * 64 * 4;
+  conv.weight_bytes = 64 * 576 * 4;
+  EXPECT_DOUBLE_EQ(layer_latency_ms(conv, dev, fp16),
+                   layer_latency_ms(conv, dev));
+
+  // Whole-model projections therefore never regress under kFp16.
+  const auto profile = models::profile_model(ModelId::kYoloV8x);
+  EXPECT_LE(model_latency_ms(profile, dev, fp16),
+            model_latency_ms(profile, dev));
+}
+
 TEST(Roofline, BatchAmortisesOverheadPerFrame) {
   const auto profile = models::profile_model(ModelId::kYoloV8n);
   const DeviceSpec& dev = device_spec(DeviceId::kXavierNx);

@@ -14,6 +14,7 @@
 #include "core/rng.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/qgemm.hpp"
+#include "tensor/sgemm_sparse.hpp"
 
 namespace ocb {
 namespace {
@@ -145,6 +146,225 @@ TEST(GemmProperty, DegenerateOneByOne) {
     check_fp32_case(Fp32Case{1, 1, 1, false, act, true}, rng);
   }
   check_fp32_case(Fp32Case{1, 64, 1, true, EpiAct::kNone, false}, rng);
+}
+
+// --- compressed-storage GEMM (sgemm_sparse.hpp) ----------------------------
+
+// Sparse/half cases reuse the fp32 harness idea: build the exact fp32
+// matrix the compressed kernel is defined to compute with (masked
+// and/or rounded through the 16-bit format), run the naive oracle over
+// it, and require both GemmPath variants of the packed kernel to agree
+// within the dense tolerance — the only remaining slack is summation
+// order, identical in kind to the dense tests above.
+
+struct StorageCase {
+  std::size_t m, k, n;
+  bool accumulate;
+  EpiAct act;
+  bool with_bias;
+  double keep;  ///< Bernoulli keep probability for the sparse mask
+};
+
+// Independent per-element keep decisions are harsher than the pruner's
+// structured masks: rows of one packing tile disagree, so the packed
+// panel stores the per-panel union with exact zeros in the holes.
+std::vector<std::uint8_t> random_mask(std::size_t count, double keep,
+                                      Rng& rng) {
+  std::vector<std::uint8_t> mask(count);
+  for (auto& v : mask) v = rng.uniform() < keep ? 1 : 0;
+  return mask;
+}
+
+float half_roundtrip(float v, HalfFormat format) {
+  return half_bits_to_float(float_to_half_bits(v, format), format);
+}
+
+// Shared tail: oracle over `a_eff` (the masked/rounded matrix), then
+// both kernel paths against it.
+void check_against_effective(const StorageCase& c,
+                             const std::vector<float>& a_eff,
+                             const std::vector<float>& b,
+                             const std::vector<float>& c0,
+                             const std::vector<float>& bias,
+                             const GemmEpilogue& epilogue,
+                             const PackedHalfA* half_a,
+                             const PackedSparseA* sparse_a) {
+  std::vector<float> want = c0;
+  gemm_naive(a_eff.data(), b.data(), want.data(), c.m, c.k, c.n,
+             c.accumulate);
+  if (epilogue.active()) {
+    for (std::size_t i = 0; i < c.m; ++i) {
+      for (std::size_t j = 0; j < c.n; ++j) {
+        float v = want[i * c.n + j];
+        if (epilogue.bias != nullptr) v += bias[i];
+        want[i * c.n + j] = reference_act(epilogue.act, v);
+      }
+    }
+  }
+
+  const float tol =
+      1e-4f * std::max<float>(1.0f, static_cast<float>(c.k) * 0.05f);
+  for (GemmPath path : {GemmPath::kScalar, GemmPath::kSimd}) {
+    GemmConfig config;
+    config.path = path;
+    const char* label = path == GemmPath::kScalar ? "scalar" : "simd";
+    std::vector<float> got = c0;
+    if (half_a != nullptr) {
+      gemm_packed_half(*half_a, b.data(), got.data(), c.n, c.accumulate,
+                       epilogue, config);
+    } else {
+      gemm_packed_sparse(*sparse_a, b.data(), got.data(), c.n, c.accumulate,
+                         epilogue, config);
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], tol) << label << " at " << i;
+    }
+  }
+}
+
+void check_half_case(const StorageCase& c, HalfFormat format, Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "half m=" << c.m << " k=" << c.k << " n=" << c.n
+               << " accumulate=" << c.accumulate
+               << " act=" << static_cast<int>(c.act) << " bias="
+               << c.with_bias << " format=" << half_format_name(format));
+  const auto a = random_matrix(c.m, c.k, rng);
+  const auto b = random_matrix(c.k, c.n, rng);
+  const auto c0 = random_matrix(c.m, c.n, rng);
+  std::vector<float> bias(c.m);
+  for (float& v : bias) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  GemmEpilogue epilogue;
+  if (!c.accumulate) {
+    epilogue.bias = c.with_bias ? bias.data() : nullptr;
+    epilogue.act = c.act;
+  }
+
+  // The kernel computes with the rounded weights — so does the oracle.
+  std::vector<float> a_eff(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a_eff[i] = half_roundtrip(a[i], format);
+
+  PackedHalfA packed;
+  packed.pack(a.data(), c.m, c.k, format);
+  check_against_effective(c, a_eff, b, c0, bias, epilogue, &packed, nullptr);
+}
+
+void check_sparse_case(const StorageCase& c, bool half, HalfFormat format,
+                       Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "sparse m=" << c.m << " k=" << c.k << " n=" << c.n
+               << " accumulate=" << c.accumulate
+               << " act=" << static_cast<int>(c.act) << " bias="
+               << c.with_bias << " keep=" << c.keep << " half=" << half);
+  const auto a = random_matrix(c.m, c.k, rng);
+  const auto b = random_matrix(c.k, c.n, rng);
+  const auto c0 = random_matrix(c.m, c.n, rng);
+  std::vector<float> bias(c.m);
+  for (float& v : bias) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  const auto mask = random_mask(c.m * c.k, c.keep, rng);
+
+  GemmEpilogue epilogue;
+  if (!c.accumulate) {
+    epilogue.bias = c.with_bias ? bias.data() : nullptr;
+    epilogue.act = c.act;
+  }
+
+  std::vector<float> a_eff(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a_eff[i] = mask[i] == 0 ? 0.0f
+               : half      ? half_roundtrip(a[i], format)
+                           : a[i];
+  }
+
+  PackedSparseA packed;
+  if (half) {
+    packed.pack(a.data(), c.m, c.k, mask.data(), format);
+  } else {
+    packed.pack(a.data(), c.m, c.k, mask.data());
+  }
+  check_against_effective(c, a_eff, b, c0, bias, epilogue, nullptr, &packed);
+}
+
+TEST(HalfGemmProperty, SeededRandomShapesAllPathsAgree) {
+  Rng rng(20260808);
+  constexpr EpiAct kActs[] = {EpiAct::kNone, EpiAct::kRelu,
+                              EpiAct::kLeakyRelu, EpiAct::kSilu,
+                              EpiAct::kSigmoid};
+  for (int trial = 0; trial < 32; ++trial) {
+    StorageCase c;
+    c.m = draw_dim(rng);
+    c.k = draw_dim(rng);
+    c.n = draw_dim(rng);
+    c.accumulate = rng.uniform() < 0.3;
+    c.act = kActs[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+    c.with_bias = rng.uniform() < 0.7;
+    c.keep = 1.0;
+    const HalfFormat format =
+        rng.uniform() < 0.5 ? HalfFormat::kFp16 : HalfFormat::kBf16;
+    check_half_case(c, format, rng);
+  }
+}
+
+TEST(HalfGemmProperty, GemvAndWideColumns) {
+  // n == 1 is the row-parallel tail the format exists for; the wide
+  // cases cross the 512-column cache block with a sub-8 tail.
+  Rng rng(19);
+  for (HalfFormat format : {HalfFormat::kFp16, HalfFormat::kBf16}) {
+    check_half_case(StorageCase{37, 64, 1, false, EpiAct::kNone, true, 1.0},
+                    format, rng);
+    check_half_case(StorageCase{6, 128, 1, true, EpiAct::kNone, false, 1.0},
+                    format, rng);
+    check_half_case(
+        StorageCase{1, 257, 1, false, EpiAct::kSigmoid, true, 1.0}, format,
+        rng);
+  }
+  for (std::size_t n : kWideN) {
+    check_half_case(
+        StorageCase{13, 31, n, false, EpiAct::kLeakyRelu, true, 1.0},
+        HalfFormat::kFp16, rng);
+  }
+}
+
+TEST(SparseGemmProperty, SeededRandomShapesAllPathsAgree) {
+  Rng rng(20260809);
+  constexpr EpiAct kActs[] = {EpiAct::kNone, EpiAct::kRelu,
+                              EpiAct::kLeakyRelu, EpiAct::kSilu,
+                              EpiAct::kSigmoid};
+  constexpr double kKeep[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  for (int trial = 0; trial < 40; ++trial) {
+    StorageCase c;
+    c.m = draw_dim(rng);
+    c.k = draw_dim(rng);
+    c.n = draw_dim(rng);
+    c.accumulate = rng.uniform() < 0.3;
+    c.act = kActs[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+    c.with_bias = rng.uniform() < 0.7;
+    c.keep = kKeep[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+    const bool half = rng.uniform() < 0.4;
+    const HalfFormat format =
+        rng.uniform() < 0.5 ? HalfFormat::kFp16 : HalfFormat::kBf16;
+    check_sparse_case(c, half, format, rng);
+  }
+}
+
+TEST(SparseGemmProperty, GemvTailAndWideColumns) {
+  Rng rng(23);
+  // Sub-8 column counts run the row-parallel sparse tail exclusively.
+  for (std::size_t n : {1u, 2u, 5u, 7u}) {
+    check_sparse_case(StorageCase{37, 64, n, false, EpiAct::kRelu, true, 0.5},
+                      /*half=*/false, HalfFormat::kFp16, rng);
+    check_sparse_case(StorageCase{13, 31, n, true, EpiAct::kNone, false, 0.5},
+                      /*half=*/true, HalfFormat::kBf16, rng);
+  }
+  for (std::size_t n : kWideN) {
+    check_sparse_case(
+        StorageCase{13, 37, n, false, EpiAct::kSilu, true, 0.25},
+        /*half=*/false, HalfFormat::kFp16, rng);
+  }
+  // Fully pruned: the kernel must still run the epilogue over zeros.
+  check_sparse_case(StorageCase{6, 16, 8, false, EpiAct::kRelu, true, 0.0},
+                    /*half=*/false, HalfFormat::kFp16, rng);
 }
 
 // --- quantized GEMM --------------------------------------------------------

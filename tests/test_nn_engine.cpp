@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/alloc_guard.hpp"
 #include "nn/profile.hpp"
+#include "nn/prune.hpp"
 
 namespace ocb::nn {
 namespace {
@@ -117,6 +119,147 @@ TEST(Engine, MultipleOutputsReturned) {
   ASSERT_EQ(outputs.size(), 2u);
   EXPECT_EQ(outputs[0].shape(), (Shape{1, 2, 8, 8}));
   EXPECT_EQ(outputs[1].shape(), (Shape{1, 3, 4, 4}));
+}
+
+// --- compressed weight storage (sparsity / fp16) ---------------------------
+
+// Conv layers above the default 4096-param pruning floor plus a
+// GEMV-shaped linear head — the layer half storage exists for.
+Graph compressed_graph() {
+  Graph g;
+  const int in = g.input(16, 16, 16);
+  const int c1 = g.conv(in, 32, 3, 1, 1, Act::kLeakyRelu, "c1");
+  const int c2 = g.conv(c1, 32, 3, 1, 1, Act::kLeakyRelu, "c2");
+  const int pool = g.global_avg_pool(c2, "gap");
+  const int fc = g.linear(pool, 128, Act::kNone, "fc");
+  g.mark_output(fc);
+  return g;
+}
+
+Tensor compressed_input(std::uint64_t seed) {
+  Tensor input({1, 16, 16, 16});
+  Rng rng(seed);
+  input.init_uniform(rng, 0.0f, 1.0f);
+  return input;
+}
+
+TEST(EngineSparse, PrepareSelectsSparseKernels) {
+  Engine engine(compressed_graph(), 61);
+  PlanRequest request;
+  request.sparsity.scheme = SparsityScheme::kNm;  // 2:4, budget 0.5
+  const ExecutionPlan& plan = engine.prepare(request);
+  // Both big convs and the 4096-param linear head qualify; the planner
+  // must route at least the convs onto the sparse kernels, and the
+  // chosen storage is visible in the plan text.
+  EXPECT_GE(plan.sparse_nodes, 2);
+  EXPECT_EQ(plan.precision, Precision::kFp32);
+  const std::string text = plan.to_text(engine.graph());
+  EXPECT_NE(text.find("sparse="), std::string::npos);
+  EXPECT_NE(text.find("/sparse"), std::string::npos);
+}
+
+TEST(EngineSparse, MatchesMaskedDenseBaselineBitClose) {
+  // The sparse engine's output is defined as a dense run over
+  // magnitude-masked weights: build exactly that by hand on a twin
+  // engine with the same seed and compare.
+  const Graph g = compressed_graph();
+  Engine sparse(g, 62);
+  PlanRequest request;
+  request.sparsity.scheme = SparsityScheme::kNm;
+  const ExecutionPlan& plan = sparse.prepare(request);
+  ASSERT_GE(plan.sparse_nodes, 2);
+
+  Engine masked(g, 62);
+  for (int node = 0; node < g.node_count(); ++node) {
+    const Node& nd = g.node(node);
+    if (nd.kind != OpKind::kConv && nd.kind != OpKind::kLinear) continue;
+    Tensor& w = masked.weight(node);
+    const std::size_t rows = static_cast<std::size_t>(nd.out_c);
+    const std::size_t cols = w.numel() / rows;
+    const auto mask =
+        magnitude_mask(w.data(), rows, cols, request.sparsity);
+    apply_mask(w.data(), mask.data(), w.numel());
+  }
+
+  const Tensor input = compressed_input(63);
+  const auto got = sparse.run(input);
+  const auto want = masked.run(input);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t o = 0; o < want.size(); ++o)
+    EXPECT_TRUE(allclose(got[o], want[o], 1e-4f)) << "output " << o;
+}
+
+TEST(EngineFp16, PrepareSelectsHalfStorageForLinearHead) {
+  Engine engine(compressed_graph(), 64);
+  PlanRequest request;
+  request.precision = Precision::kFp16;
+  const ExecutionPlan& plan = engine.prepare(request);
+  // The GEMV-shaped head is weight-bandwidth-bound: it must move to
+  // half storage. (Conv layers may legitimately stay dense.)
+  EXPECT_GE(plan.fp16_nodes, 1);
+  EXPECT_EQ(plan.precision, Precision::kFp16);
+  const std::string text = plan.to_text(engine.graph());
+  EXPECT_NE(text.find("fp16="), std::string::npos);
+
+  // fp16 storage only rounds the weights; outputs track fp32 closely.
+  Engine baseline(compressed_graph(), 64);
+  const Tensor input = compressed_input(65);
+  const auto got = engine.run(input);
+  const auto want = baseline.run(input);
+  for (std::size_t o = 0; o < want.size(); ++o)
+    EXPECT_TRUE(allclose(got[o], want[o], 2e-2f)) << "output " << o;
+}
+
+TEST(EngineSparse, RequestIsPerPrepareNotSticky) {
+  Engine engine(compressed_graph(), 66);
+  PlanRequest sparse_req;
+  sparse_req.sparsity.scheme = SparsityScheme::kNm;
+  EXPECT_GE(engine.prepare(sparse_req).sparse_nodes, 2);
+  // A default request must fall back to dense kernels everywhere.
+  const ExecutionPlan& dense_plan = engine.prepare({});
+  EXPECT_EQ(dense_plan.sparse_nodes, 0);
+  EXPECT_EQ(dense_plan.fp16_nodes, 0);
+  const auto out = engine.run(compressed_input(67));
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(EngineSparse, Int8PruningStaysOnQuantKernels) {
+  // Under kInt8 the masks zero weights before quantization; the plan
+  // must keep the quantized algo and report no sparse kernels.
+  Engine engine(compressed_graph(), 68);
+  std::vector<Tensor> frames;
+  frames.push_back(compressed_input(69));
+  frames.push_back(compressed_input(70));
+  engine.calibrate(frames);
+
+  PlanRequest request;
+  request.precision = Precision::kInt8;
+  request.sparsity.scheme = SparsityScheme::kNm;
+  const ExecutionPlan& plan = engine.prepare(request);
+  EXPECT_GT(plan.quant_nodes, 0);
+  EXPECT_EQ(plan.sparse_nodes, 0);
+  const auto out = engine.run(frames[0]);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(EngineSparse, WarmSparseFp16RePrepareAndRunAreHeapFree) {
+  if (!alloc_counting_active())
+    GTEST_SKIP() << "operator new hooks compiled out";
+  Engine engine(compressed_graph(), 71);
+  PlanRequest request;
+  request.precision = Precision::kFp16;
+  request.sparsity.scheme = SparsityScheme::kNm;
+  engine.prepare(request);
+
+  const Tensor input = compressed_input(72);
+  (void)engine.run(input);  // warm: compressed panels, arena, outputs
+
+  AllocGuard guard;
+  for (int rep = 0; rep < 3; ++rep) {
+    (void)engine.prepare(request);  // unchanged request: cache-hit path
+    (void)engine.run(input);
+  }
+  guard.check_zero("warmed sparse/fp16 prepare()+run()");
 }
 
 TEST(Profile, CountsMatchGraph) {

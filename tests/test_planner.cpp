@@ -40,7 +40,8 @@ ConvPlanKey base_key() {
 TEST(PlanCache, KeyCoversEveryPlanInput) {
   PlanCache cache(64);
   const ConvPlanKey key = base_key();
-  cache.insert(key, ConvPlan{ConvAlgo::kWinograd, 1.0, 2.0});
+  cache.insert(key, ConvPlan{ConvAlgo::kWinograd, WeightStorage::kDense,
+                             1.0f, 1.0, 2.0});
 
   ConvPlan out;
   ASSERT_TRUE(cache.lookup(key, &out));
@@ -85,6 +86,9 @@ TEST(PlanCache, KeyCoversEveryPlanInput) {
   k = key;
   k.level = simd::Level::kAvx2;
   expect_miss(k, "level");
+  k = key;
+  k.sparsity_pct = 50;
+  expect_miss(k, "sparsity_pct");
 }
 
 TEST(PlanCache, CountsHitsMissesInsertions) {
@@ -108,8 +112,10 @@ TEST(PlanCache, CountsHitsMissesInsertions) {
 TEST(PlanCache, ReinsertRefreshesWithoutGrowth) {
   PlanCache cache(4);
   const ConvPlanKey key = base_key();
-  cache.insert(key, ConvPlan{ConvAlgo::kIm2colGemm, 3.0, 3.0});
-  cache.insert(key, ConvPlan{ConvAlgo::kWinograd, 1.5, 3.0});
+  cache.insert(key, ConvPlan{ConvAlgo::kIm2colGemm, WeightStorage::kDense,
+                             1.0f, 3.0, 3.0});
+  cache.insert(key, ConvPlan{ConvAlgo::kWinograd, WeightStorage::kDense,
+                             1.0f, 1.5, 3.0});
   ConvPlan out;
   ASSERT_TRUE(cache.lookup(key, &out));
   EXPECT_EQ(out.algo, ConvAlgo::kWinograd);
@@ -286,6 +292,109 @@ TEST(Planner, CostModelDefaultsAndRoofline) {
   big.out_c *= 4;
   EXPECT_GT(est_im2col_ms(big, device), est_im2col_ms(small, device));
   EXPECT_GT(est_winograd_ms(big, device), est_winograd_ms(small, device));
+}
+
+// --- compressed-storage candidates -----------------------------------------
+
+// A GEMV-shaped pseudo-conv key, as Engine::prepare() files linear
+// layers: the whole reduction in in_c, one output column.
+ConvPlanKey gemv_key(int in_features, int out_features) {
+  ConvPlanKey key;
+  key.in_c = in_features;
+  key.in_h = 1;
+  key.in_w = 1;
+  key.kernel = 1;
+  key.stride = 1;
+  key.pad = 0;
+  key.out_c = out_features;
+  key.batch = 1;
+  key.precision = Precision::kFp32;
+  key.level = simd::Level::kAvx2;  // pin the model: host-independent
+  return key;
+}
+
+TEST(Planner, Fp16PicksHalfStorageOnGemvShapes) {
+  // A big linear layer at n == 1 is weight-bandwidth-bound: halving
+  // the panel bytes must beat every dense candidate.
+  ConvPlanKey key = gemv_key(4096, 512);
+  key.precision = Precision::kFp16;
+  PlannerConfig config;
+  config.use_cache = false;
+  const ConvPlan plan = plan_conv(key, config);
+  EXPECT_EQ(plan.storage, WeightStorage::kHalf);
+  EXPECT_EQ(plan.algo, ConvAlgo::kDirectGemm);
+  EXPECT_FLOAT_EQ(plan.density, 1.0f);
+  EXPECT_LT(plan.est_ms, plan.est_im2col_ms);
+}
+
+TEST(Planner, SparsityKeyEnablesSparseStorage) {
+  // 50% pruning on a conv-heavy layer: half the FLOPs at a modest
+  // indirection derate beats the dense GEMM.
+  ConvPlanKey key = base_key();
+  key.level = simd::Level::kAvx2;
+  key.sparsity_pct = 50;
+  PlannerConfig config;
+  config.use_cache = false;
+  config.enable_winograd = false;  // isolate sparse-vs-dense GEMM
+  const ConvPlan plan = plan_conv(key, config);
+  EXPECT_EQ(plan.storage, WeightStorage::kSparse);
+  EXPECT_EQ(plan.algo, ConvAlgo::kIm2colGemm);
+  EXPECT_FLOAT_EQ(plan.density, 0.5f);
+  EXPECT_LT(plan.est_ms, plan.est_im2col_ms);
+}
+
+TEST(Planner, Fp16PlusSparsityPicksSparseHalfWhenBandwidthBound) {
+  // On a bandwidth-starved device model (2 GB/s weight streaming, the
+  // edge-accelerator regime) the traffic term dominates both compressed
+  // candidates, and sparse-half — fewest bytes per pass — must win.
+  // On the compute-rich AVX2 default the same key picks plain kSparse:
+  // the combination's widening derate outweighs bytes it never waits on.
+  ConvPlanKey key = gemv_key(4096, 512);
+  key.precision = Precision::kFp16;
+  key.sparsity_pct = 50;
+  PlannerConfig config;
+  config.use_cache = false;
+  config.cost = KernelCostModel::from_roofline(22.0, 2.0, 1.5, 2.0);
+  const ConvPlan plan = plan_conv(key, config);
+  EXPECT_EQ(plan.storage, WeightStorage::kSparseHalf);
+  EXPECT_FLOAT_EQ(plan.density, 0.5f);
+
+  PlannerConfig defaults;
+  defaults.use_cache = false;
+  const ConvPlan avx2_plan = plan_conv(key, defaults);
+  EXPECT_EQ(avx2_plan.storage, WeightStorage::kSparse);
+}
+
+TEST(Planner, DenseFp32ConvNeverGetsCompressedStorage) {
+  // Without a sparsity key or kFp16 the compressed candidates are not
+  // even enumerated; conv-heavy fp16 shapes also stay dense (half
+  // storage only pays off where weight traffic dominates).
+  ConvPlanKey key = base_key();
+  key.level = simd::Level::kAvx2;
+  PlannerConfig config;
+  config.use_cache = false;
+  EXPECT_EQ(plan_conv(key, config).storage, WeightStorage::kDense);
+
+  key.precision = Precision::kFp16;
+  const ConvPlan fp16_plan = plan_conv(key, config);
+  EXPECT_EQ(fp16_plan.storage, WeightStorage::kDense);
+  EXPECT_EQ(fp16_plan.algo, ConvAlgo::kWinograd);
+}
+
+TEST(Planner, Int8IgnoresSparsityKey) {
+  // Under kInt8 the quantized kernels stay dense — pruning only zeroes
+  // weights before quantization (engine-side); the plan must not pick
+  // a sparse kernel it cannot run.
+  ConvPlanKey key = base_key();
+  key.level = simd::Level::kAvx2;
+  key.precision = Precision::kInt8;
+  key.sparsity_pct = 50;
+  PlannerConfig config;
+  config.use_cache = false;
+  config.enable_fp32_fallback = false;
+  const ConvPlan plan = plan_conv(key, config);
+  EXPECT_EQ(plan.algo, ConvAlgo::kIm2colQuant);
+  EXPECT_EQ(plan.storage, WeightStorage::kDense);
 }
 
 // --- Engine integration ----------------------------------------------------

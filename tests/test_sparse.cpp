@@ -1,0 +1,456 @@
+// Structured pruning + compressed weight storage: mask generation
+// (budgets, N:M group structure, block pruning, min_params floor),
+// PackedSparseA/PackedHalfA pack→unpack exactness, and the scalar
+// fp16/bf16 conversions (exhaustive fp16 roundtrip, RNE edge cases).
+// The GEMM-level agreement of the compressed kernels is covered by
+// tests/test_kernels_property.cpp.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/prune.hpp"
+#include "tensor/sgemm_sparse.hpp"
+
+namespace ocb::nn {
+namespace {
+
+constexpr std::size_t kRowTile = PackedA::kRowTile;
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                 Rng& rng) {
+  std::vector<float> m(rows * cols);
+  for (float& v : m) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+float half_roundtrip(float v, HalfFormat format) {
+  return half_bits_to_float(float_to_half_bits(v, format), format);
+}
+
+// --- mask generation -------------------------------------------------------
+
+TEST(PruneMask, NmPerTileKeepsExactlyNPerGroup) {
+  Rng rng(1);
+  const std::size_t m = 12, k = 64;  // two full row tiles, 16 full groups
+  const auto w = random_matrix(m, k, rng);
+  SparsityConfig cfg;
+  cfg.scheme = SparsityScheme::kNm;  // 2:4, kPerTile, budget 0.5
+  cfg.min_params = 1;
+
+  const auto mask = magnitude_mask(w.data(), m, k, cfg);
+  EXPECT_DOUBLE_EQ(mask_density(mask.data(), mask.size()), 0.5);
+
+  for (std::size_t r0 = 0; r0 < m; r0 += kRowTile) {
+    const std::size_t rows = std::min(kRowTile, m - r0);
+    for (std::size_t g0 = 0; g0 < k; g0 += 4) {
+      int kept = 0;
+      for (std::size_t j = 0; j < 4; ++j) {
+        kept += mask[r0 * k + g0 + j] != 0 ? 1 : 0;
+        // kPerTile: every row of the tile shares the surviving set.
+        for (std::size_t r = 1; r < rows; ++r) {
+          EXPECT_EQ(mask[(r0 + r) * k + g0 + j], mask[r0 * k + g0 + j])
+              << "tile rows disagree at r0=" << r0 << " col=" << g0 + j;
+        }
+      }
+      EXPECT_EQ(kept, 2) << "group at r0=" << r0 << " g0=" << g0;
+    }
+  }
+}
+
+TEST(PruneMask, NmPerTileKeepsLargestMagnitudes) {
+  // Deterministic weights: in every 4-group, columns g0+1 and g0+3 carry
+  // the large magnitudes across the whole tile.
+  const std::size_t m = 6, k = 16;
+  std::vector<float> w(m * k, 0.01f);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t g0 = 0; g0 < k; g0 += 4) {
+      w[r * k + g0 + 1] = 2.0f;
+      w[r * k + g0 + 3] = -3.0f;
+    }
+  }
+  SparsityConfig cfg;
+  cfg.scheme = SparsityScheme::kNm;
+  cfg.min_params = 1;
+  const auto mask = magnitude_mask(w.data(), m, k, cfg);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t g0 = 0; g0 < k; g0 += 4) {
+      EXPECT_EQ(mask[r * k + g0 + 0], 0);
+      EXPECT_EQ(mask[r * k + g0 + 1], 1);
+      EXPECT_EQ(mask[r * k + g0 + 2], 0);
+      EXPECT_EQ(mask[r * k + g0 + 3], 1);
+    }
+  }
+}
+
+TEST(PruneMask, NmPerRowKeepsNPerGroupIndependently) {
+  Rng rng(2);
+  const std::size_t m = 7, k = 20;  // ragged tile, ragged final group
+  const auto w = random_matrix(m, k, rng);
+  SparsityConfig cfg;
+  cfg.scheme = SparsityScheme::kNm;
+  cfg.granularity = SparsityGranularity::kPerRow;
+  cfg.min_params = 1;
+  const auto mask = magnitude_mask(w.data(), m, k, cfg);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t g0 = 0; g0 < k; g0 += 4) {
+      const std::size_t gs = std::min<std::size_t>(4, k - g0);
+      int kept = 0;
+      for (std::size_t j = 0; j < gs; ++j)
+        kept += mask[r * k + g0 + j] != 0 ? 1 : 0;
+      EXPECT_EQ(kept, static_cast<int>(std::min<std::size_t>(2, gs)))
+          << "row " << r << " group " << g0;
+    }
+  }
+}
+
+TEST(PruneMask, BudgetRelaxesAggressiveRatio) {
+  // 1:4 wants 75% pruned, but a 0.5 budget caps pruning at half — the
+  // group keep-count is raised to 2.
+  SparsityConfig cfg;
+  cfg.scheme = SparsityScheme::kNm;
+  cfg.nm_n = 1;
+  cfg.budget = 0.5f;
+  cfg.min_params = 1;
+  EXPECT_DOUBLE_EQ(modelled_density(cfg), 0.5);
+  EXPECT_EQ(layer_sparsity_pct(cfg, 4096), 50);
+
+  Rng rng(3);
+  const std::size_t m = 6, k = 32;
+  const auto w = random_matrix(m, k, rng);
+  const auto mask = magnitude_mask(w.data(), m, k, cfg);
+  EXPECT_DOUBLE_EQ(mask_density(mask.data(), mask.size()), 0.5);
+}
+
+TEST(PruneMask, RatioFloorsLooseBudget) {
+  // 2:4 can never prune more than half, even under a 0.75 budget.
+  SparsityConfig cfg;
+  cfg.scheme = SparsityScheme::kNm;
+  cfg.budget = 0.75f;
+  EXPECT_DOUBLE_EQ(modelled_density(cfg), 0.5);
+  EXPECT_EQ(layer_sparsity_pct(cfg, 4096), 50);
+}
+
+TEST(PruneMask, BlockMaskPrunesWholeBlocksToBudget) {
+  Rng rng(4);
+  const std::size_t m = 12, k = 64;
+  const auto w = random_matrix(m, k, rng);
+  SparsityConfig cfg;
+  cfg.scheme = SparsityScheme::kBlock;  // block_k 4, budget 0.5
+  cfg.min_params = 1;
+  const auto mask = magnitude_mask(w.data(), m, k, cfg);
+  EXPECT_DOUBLE_EQ(mask_density(mask.data(), mask.size()), 0.5);
+
+  // Every (row-tile × block_k) block is uniformly kept or pruned.
+  for (std::size_t r0 = 0; r0 < m; r0 += kRowTile) {
+    const std::size_t rows = std::min(kRowTile, m - r0);
+    for (std::size_t k0 = 0; k0 < k; k0 += 4) {
+      const std::uint8_t first = mask[r0 * k + k0];
+      for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t j = 0; j < 4; ++j)
+          EXPECT_EQ(mask[(r0 + r) * k + k0 + j], first)
+              << "block r0=" << r0 << " k0=" << k0 << " is not uniform";
+    }
+  }
+
+  // The pruned half is the low-L2 half.
+  double max_pruned = 0.0, min_kept = std::numeric_limits<double>::max();
+  for (std::size_t r0 = 0; r0 < m; r0 += kRowTile) {
+    for (std::size_t k0 = 0; k0 < k; k0 += 4) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < kRowTile; ++r)
+        for (std::size_t j = 0; j < 4; ++j) {
+          const double v = w[(r0 + r) * k + k0 + j];
+          s += v * v;
+        }
+      if (mask[r0 * k + k0] != 0) {
+        min_kept = std::min(min_kept, s);
+      } else {
+        max_pruned = std::max(max_pruned, s);
+      }
+    }
+  }
+  EXPECT_LE(max_pruned, min_kept);
+}
+
+TEST(PruneMask, MinParamsKeepsTinyLayersDense) {
+  Rng rng(5);
+  const std::size_t m = 6, k = 16;  // 96 params < default 4096 floor
+  const auto w = random_matrix(m, k, rng);
+  SparsityConfig cfg;
+  cfg.scheme = SparsityScheme::kNm;
+  EXPECT_EQ(layer_sparsity_pct(cfg, m * k), 0);
+  const auto mask = magnitude_mask(w.data(), m, k, cfg);
+  EXPECT_DOUBLE_EQ(mask_density(mask.data(), mask.size()), 1.0);
+}
+
+TEST(PruneMask, DisabledConfigIsDense) {
+  SparsityConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_DOUBLE_EQ(modelled_density(cfg), 1.0);
+  EXPECT_EQ(layer_sparsity_pct(cfg, 1 << 20), 0);
+}
+
+TEST(PruneMask, ApplyMaskZeroesExactlyThePruned) {
+  Rng rng(6);
+  auto w = random_matrix(5, 7, rng);
+  const auto orig = w;
+  std::vector<std::uint8_t> mask(w.size());
+  for (std::size_t i = 0; i < mask.size(); ++i) mask[i] = i % 3 == 0 ? 0 : 1;
+  apply_mask(w.data(), mask.data(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (mask[i] == 0) {
+      EXPECT_EQ(w[i], 0.0f);
+    } else {
+      EXPECT_EQ(w[i], orig[i]);
+    }
+  }
+}
+
+// --- sparse packing --------------------------------------------------------
+
+TEST(SparsePack, UnpackReproducesMaskedDenseBitExactly) {
+  Rng rng(7);
+  for (auto [m, k] : {std::pair<std::size_t, std::size_t>{12, 64},
+                      {7, 33},    // ragged tile, ragged group
+                      {1, 4},     // single row
+                      {13, 128}}) {
+    SCOPED_TRACE(::testing::Message() << "m=" << m << " k=" << k);
+    const auto w = random_matrix(m, k, rng);
+    SparsityConfig cfg;
+    cfg.scheme = SparsityScheme::kNm;
+    cfg.min_params = 1;
+    const auto mask = magnitude_mask(w.data(), m, k, cfg);
+
+    PackedSparseA packed;
+    packed.pack(w.data(), m, k, mask.data());
+    EXPECT_FALSE(packed.half());
+
+    std::vector<float> dense(m * k, -1.0f);
+    packed.unpack_masked_dense(dense.data());
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      const float want = mask[i] != 0 ? w[i] : 0.0f;
+      EXPECT_EQ(dense[i], want) << "element " << i;  // bit-exact contract
+    }
+  }
+}
+
+TEST(SparsePack, PerTileMaskDensityIsStoredDensity) {
+  Rng rng(8);
+  const std::size_t m = 12, k = 64;
+  const auto w = random_matrix(m, k, rng);
+  SparsityConfig cfg;
+  cfg.scheme = SparsityScheme::kNm;  // kPerTile: rows of a tile agree
+  cfg.min_params = 1;
+  const auto mask = magnitude_mask(w.data(), m, k, cfg);
+
+  PackedSparseA packed;
+  packed.pack(w.data(), m, k, mask.data());
+  EXPECT_DOUBLE_EQ(packed.density(), 0.5);
+
+  // Index lists are sorted and in range, with 2 survivors per 4-group.
+  for (std::size_t p = 0; p < packed.panel_count(); ++p) {
+    const std::uint32_t* idx = packed.panel_indices(p);
+    const std::size_t nnz = packed.panel_nnz(p);
+    EXPECT_EQ(nnz, k / 2);
+    for (std::size_t t = 0; t < nnz; ++t) {
+      EXPECT_LT(idx[t], k);
+      if (t > 0) EXPECT_LT(idx[t - 1], idx[t]);
+    }
+  }
+}
+
+TEST(SparsePack, PerRowMaskStoresPanelUnion) {
+  // A mask where each row of the tile keeps a different single column:
+  // the panel must store the union (all of them), each with zeros in
+  // the other rows' slots.
+  const std::size_t m = kRowTile, k = 8;
+  std::vector<float> w(m * k, 1.0f);
+  std::vector<std::uint8_t> mask(m * k, 0);
+  for (std::size_t r = 0; r < m; ++r) mask[r * k + r] = 1;
+
+  PackedSparseA packed;
+  packed.pack(w.data(), m, k, mask.data());
+  ASSERT_EQ(packed.panel_count(), 1u);
+  EXPECT_EQ(packed.panel_nnz(0), kRowTile);
+
+  std::vector<float> dense(m * k, -1.0f);
+  packed.unpack_masked_dense(dense.data());
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t j = 0; j < k; ++j)
+      EXPECT_EQ(dense[r * k + j], mask[r * k + j] != 0 ? 1.0f : 0.0f);
+}
+
+TEST(SparsePack, HalfValuesWidenToRoundtrippedWeights) {
+  Rng rng(9);
+  const std::size_t m = 11, k = 36;
+  const auto w = random_matrix(m, k, rng);
+  SparsityConfig cfg;
+  cfg.scheme = SparsityScheme::kNm;
+  cfg.min_params = 1;
+  const auto mask = magnitude_mask(w.data(), m, k, cfg);
+
+  for (HalfFormat format : {HalfFormat::kFp16, HalfFormat::kBf16}) {
+    SCOPED_TRACE(half_format_name(format));
+    PackedSparseA packed;
+    packed.pack(w.data(), m, k, mask.data(), format);
+    EXPECT_TRUE(packed.half());
+    EXPECT_EQ(packed.format(), format);
+
+    std::vector<float> dense(m * k);
+    packed.unpack_masked_dense(dense.data());
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      const float want = mask[i] != 0 ? half_roundtrip(w[i], format) : 0.0f;
+      EXPECT_EQ(dense[i], want) << "element " << i;
+    }
+  }
+}
+
+TEST(SparsePack, StoredBytesShrinkWithSparsityAndHalfWidth) {
+  Rng rng(10);
+  const std::size_t m = 12, k = 128;
+  const auto w = random_matrix(m, k, rng);
+  SparsityConfig cfg;
+  cfg.scheme = SparsityScheme::kNm;
+  cfg.min_params = 1;
+  const auto mask = magnitude_mask(w.data(), m, k, cfg);
+  const std::vector<std::uint8_t> ones(m * k, 1);
+
+  PackedSparseA dense_pack, sparse_f32, sparse_f16;
+  dense_pack.pack(w.data(), m, k, ones.data());
+  sparse_f32.pack(w.data(), m, k, mask.data());
+  sparse_f16.pack(w.data(), m, k, mask.data(), HalfFormat::kFp16);
+
+  EXPECT_LT(sparse_f32.stored_bytes(), dense_pack.stored_bytes());
+  EXPECT_LT(sparse_f16.stored_bytes(), sparse_f32.stored_bytes());
+
+  PackedHalfA half_pack;
+  half_pack.pack(w.data(), m, k, HalfFormat::kFp16);
+  const std::size_t panels = (m + kRowTile - 1) / kRowTile;
+  EXPECT_EQ(half_pack.stored_bytes(), panels * kRowTile * k * 2);
+}
+
+TEST(HalfPack, UnpackDenseIsElementwiseRoundtrip) {
+  Rng rng(11);
+  const std::size_t m = 7, k = 19;  // padded final panel
+  const auto w = random_matrix(m, k, rng);
+  for (HalfFormat format : {HalfFormat::kFp16, HalfFormat::kBf16}) {
+    SCOPED_TRACE(half_format_name(format));
+    PackedHalfA packed;
+    packed.pack(w.data(), m, k, format);
+    EXPECT_EQ(packed.rows(), m);
+    EXPECT_EQ(packed.cols(), k);
+    EXPECT_EQ(packed.format(), format);
+    std::vector<float> dense(m * k, -1.0f);
+    packed.unpack_dense(dense.data());
+    for (std::size_t i = 0; i < dense.size(); ++i)
+      EXPECT_EQ(dense[i], half_roundtrip(w[i], format)) << "element " << i;
+  }
+}
+
+// --- 16-bit conversions ----------------------------------------------------
+
+TEST(HalfConvert, Fp16RoundtripIsExactForAll65536Patterns) {
+  // half → float → half must be the identity for every finite, inf and
+  // signed-zero pattern; NaNs may canonicalise but must stay NaN with
+  // the sign preserved.
+  for (std::uint32_t h = 0; h < 0x10000u; ++h) {
+    const auto bits = static_cast<std::uint16_t>(h);
+    const float f = half_bits_to_float(bits, HalfFormat::kFp16);
+    const std::uint16_t back = float_to_half_bits(f, HalfFormat::kFp16);
+    const bool is_nan = (bits & 0x7c00u) == 0x7c00u && (bits & 0x03ffu) != 0;
+    if (is_nan) {
+      EXPECT_TRUE(std::isnan(f)) << "bits " << h;
+      EXPECT_EQ(back & 0x7c00u, 0x7c00u) << "bits " << h;
+      EXPECT_NE(back & 0x03ffu, 0u) << "bits " << h;
+      EXPECT_EQ(back & 0x8000u, bits & 0x8000u) << "bits " << h;
+    } else {
+      EXPECT_EQ(back, bits) << "bits " << h;
+    }
+  }
+}
+
+TEST(HalfConvert, Fp16KnownEncodings) {
+  EXPECT_EQ(float_to_half_bits(0.0f, HalfFormat::kFp16), 0x0000);
+  EXPECT_EQ(float_to_half_bits(-0.0f, HalfFormat::kFp16), 0x8000);
+  EXPECT_EQ(float_to_half_bits(1.0f, HalfFormat::kFp16), 0x3c00);
+  EXPECT_EQ(float_to_half_bits(-2.0f, HalfFormat::kFp16), 0xc000);
+  EXPECT_EQ(float_to_half_bits(0.5f, HalfFormat::kFp16), 0x3800);
+  EXPECT_EQ(float_to_half_bits(65504.0f, HalfFormat::kFp16), 0x7bff);
+  // Above the max finite half: overflow to infinity (65520 rounds up).
+  EXPECT_EQ(float_to_half_bits(65520.0f, HalfFormat::kFp16), 0x7c00);
+  EXPECT_EQ(float_to_half_bits(1e9f, HalfFormat::kFp16), 0x7c00);
+  EXPECT_EQ(
+      float_to_half_bits(std::numeric_limits<float>::infinity(),
+                         HalfFormat::kFp16),
+      0x7c00);
+  // Smallest subnormal is 2^-24; half of it ties to even (zero), and
+  // 1.5× rounds up to the subnormal.
+  EXPECT_EQ(float_to_half_bits(std::ldexp(1.0f, -24), HalfFormat::kFp16),
+            0x0001);
+  EXPECT_EQ(float_to_half_bits(std::ldexp(1.0f, -25), HalfFormat::kFp16),
+            0x0000);
+  EXPECT_EQ(
+      float_to_half_bits(1.5f * std::ldexp(1.0f, -25), HalfFormat::kFp16),
+      0x0001);
+}
+
+TEST(HalfConvert, Fp16RoundsToNearestEven) {
+  // 1 + 2^-11 sits exactly between 0x3c00 (1.0) and 0x3c01; RNE picks
+  // the even mantissa. 1 + 3·2^-11 sits between 0x3c01 and 0x3c02 and
+  // also picks even (0x3c02).
+  EXPECT_EQ(float_to_half_bits(1.0f + std::ldexp(1.0f, -11),
+                               HalfFormat::kFp16),
+            0x3c00);
+  EXPECT_EQ(float_to_half_bits(1.0f + 3.0f * std::ldexp(1.0f, -11),
+                               HalfFormat::kFp16),
+            0x3c02);
+  // Just past the tie rounds up.
+  EXPECT_EQ(float_to_half_bits(1.0f + std::ldexp(1.0f, -11) +
+                                   std::ldexp(1.0f, -20),
+                               HalfFormat::kFp16),
+            0x3c01);
+}
+
+TEST(HalfConvert, Bf16RoundsToNearestEven) {
+  EXPECT_EQ(float_to_half_bits(1.0f, HalfFormat::kBf16), 0x3f80);
+  // Exact tie (low 16 bits 0x8000): round to even mantissa.
+  EXPECT_EQ(float_to_half_bits(std::bit_cast<float>(0x3f808000u),
+                               HalfFormat::kBf16),
+            0x3f80);
+  EXPECT_EQ(float_to_half_bits(std::bit_cast<float>(0x3f818000u),
+                               HalfFormat::kBf16),
+            0x3f82);
+  // Just past the tie rounds up.
+  EXPECT_EQ(float_to_half_bits(std::bit_cast<float>(0x3f808001u),
+                               HalfFormat::kBf16),
+            0x3f81);
+  EXPECT_EQ(
+      float_to_half_bits(std::numeric_limits<float>::infinity(),
+                         HalfFormat::kBf16),
+      0x7f80);
+  const std::uint16_t nan_bits = float_to_half_bits(
+      std::numeric_limits<float>::quiet_NaN(), HalfFormat::kBf16);
+  EXPECT_TRUE(
+      std::isnan(half_bits_to_float(nan_bits, HalfFormat::kBf16)));
+}
+
+TEST(HalfConvert, Bf16RoundtripExactForTruncatedFloats) {
+  // Any float whose low 16 bits are zero is exactly representable.
+  for (std::uint32_t hi : {0x3f80u, 0x0000u, 0x8000u, 0x7f7fu, 0x0001u,
+                           0xc2c8u, 0x7f80u, 0xff80u}) {
+    const float f = std::bit_cast<float>(hi << 16);
+    EXPECT_EQ(float_to_half_bits(f, HalfFormat::kBf16), hi) << "hi " << hi;
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(
+                  half_bits_to_float(static_cast<std::uint16_t>(hi),
+                                     HalfFormat::kBf16)),
+              hi << 16);
+  }
+}
+
+}  // namespace
+}  // namespace ocb::nn
