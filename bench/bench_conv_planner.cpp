@@ -117,7 +117,20 @@ double measure_algo(const nn::ConvPlanKey& key, nn::ConvAlgo algo,
                  min_seconds) *
              1e3;
     }
+    case nn::ConvAlgo::kIm2colFused: {
+      PackedA packed(weight.data(), static_cast<std::size_t>(key.out_c),
+                     geom.col_rows());
+      return best_seconds(
+                 [&] {
+                   nn::conv2d_fused(input.data(), input.numel(), 1, geom,
+                                    packed, bias.data(), act, output.data(),
+                                    output.numel(), scratch);
+                 },
+                 min_seconds) *
+             1e3;
+    }
     case nn::ConvAlgo::kIm2colQuant:
+    case nn::ConvAlgo::kIm2colQuantFused:
       break;  // fp32 bench; the quantized path has its own sweep
   }
   return 0.0;

@@ -28,13 +28,17 @@ correctness:
   include-hygiene  files that use ocb::Mutex / MutexLock / CondVar /
                    OCB_GUARDED_BY must include core/thread_annotations.hpp
                    themselves rather than leaning on transitive includes.
-  deprecated-engine-api
-                   calls to the legacy Engine planning entry points
-                   (plan_batch / set_precision) anywhere in src/ outside
-                   nn/engine.{hpp,cpp}. All planning state changes route
-                   through the one entry point, Engine::prepare
-                   (PlanRequest), so precision/batch/algorithm choices
-                   can never go stale against each other (DESIGN.md §11).
+  im2col-materialize
+                   direct column-matrix materialization (im2col /
+                   im2col_scratch / im2col_u8_quads) in src/ outside the
+                   planner-dispatched conv drivers (nn/ops.cpp,
+                   nn/quantize.cpp), the kernels' own TUs and the
+                   training-time autograd lowering. The planner prices
+                   whether a layer's full column matrix is worth the
+                   bytes (ConvAlgo::kIm2colGemm vs the fused stripe
+                   packer); an ad-hoc lowering bypasses that decision
+                   and silently reintroduces the O(k^2) DRAM traffic
+                   the fused path exists to eliminate (DESIGN.md §13).
   simd-tu          AVX2/extended-ISA intrinsics (or <immintrin.h>)
                    outside a *_avx2.cpp translation unit. Only the
                    *_avx2.cpp TUs are compiled with -mavx2 -mfma (plus
@@ -83,7 +87,7 @@ CXX_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
 RAW_MUTEX_ALLOWED = {"src/core/thread_annotations.hpp"}
 HEAP_ALLOWED = {"src/core/alloc_guard.cpp"}
 
-ALLOW_RE = re.compile(r"//\s*ocb-lint:\s*allow\(([a-z\-, ]+)\)")
+ALLOW_RE = re.compile(r"//\s*ocb-lint:\s*allow\(([a-z0-9\-, ]+)\)")
 
 
 class Finding:
@@ -292,28 +296,41 @@ def check_include_hygiene(rel: str, lines: list[str]) -> list[Finding]:
     return []
 
 
-# --- rule: deprecated-engine-api --------------------------------------------
+# --- rule: im2col-materialize -----------------------------------------------
 
-DEPRECATED_ENGINE_API_RE = re.compile(r"\b(?:plan_batch|set_precision)\s*\(")
-# The legacy entry points are declared, defined, and shimmed here; every
-# other call site in src/ must go through Engine::prepare(PlanRequest).
-ENGINE_API_ALLOWED = {"src/nn/engine.hpp", "src/nn/engine.cpp"}
+IM2COL_MATERIALIZE_RE = re.compile(
+    r"\bim2col(?:_scratch|_u8_quads)?\s*\("
+)
+# The column-lowering kernels live in tensor/im2col*; the only in-tree
+# consumers allowed to materialize a column matrix are the
+# planner-dispatched conv drivers (float + quantized) and the autograd
+# training path (gradient lowering, never the inference hot path).
+IM2COL_ALLOWED = {
+    "src/tensor/im2col.hpp",
+    "src/tensor/im2col.cpp",
+    "src/tensor/im2col_avx2.cpp",
+    "src/nn/ops.cpp",
+    "src/nn/quantize.cpp",
+    "src/autograd/ops.cpp",
+}
 
 
-def check_deprecated_engine_api(rel: str, lines: list[str]) -> list[Finding]:
-    if rel in ENGINE_API_ALLOWED or not rel.startswith("src/"):
+def check_im2col_materialize(rel: str, lines: list[str]) -> list[Finding]:
+    if rel in IM2COL_ALLOWED or not rel.startswith("src/"):
         return []
     findings = []
     for i, raw in enumerate(lines, 1):
         code = strip_comments_and_strings(raw)
-        if not DEPRECATED_ENGINE_API_RE.search(code):
+        if not IM2COL_MATERIALIZE_RE.search(code):
             continue
-        if "deprecated-engine-api" in allowed_rules(raw):
+        if "im2col-materialize" in allowed_rules(raw):
             continue
         findings.append(Finding(
-            "deprecated-engine-api", rel, i,
-            "legacy Engine planning entry point; route through "
-            "Engine::prepare(PlanRequest) instead (DESIGN.md §11)"))
+            "im2col-materialize", rel, i,
+            "column-matrix materialization outside the planner-approved "
+            "conv drivers — the planner prices im2col vs the fused "
+            "stripe packer per layer; lower through nn/ops.cpp or use "
+            "Im2colPanelPacker (DESIGN.md §13)"))
     return findings
 
 
@@ -386,6 +403,7 @@ BASELINE_REQUIRED_KEYS = {
     "BENCH_planner.json": {"bench", "simd", "layers", "models"},
     "BENCH_precision_sweep.json": {"latency", "accuracy"},
     "BENCH_pareto.json": {"bench", "kernel_gates", "equivalence", "frontier"},
+    "BENCH_fusion.json": {"bench", "simd", "gate_model", "models"},
 }
 
 
@@ -423,7 +441,7 @@ FILE_CHECKS = [
     check_hot_path_heap,
     check_unguarded_fields,
     check_include_hygiene,
-    check_deprecated_engine_api,
+    check_im2col_materialize,
     check_simd_tu,
     check_sparse_dense_unpack,
 ]
@@ -493,10 +511,12 @@ SELF_TEST_CASES = [
      ["class Q {",
       "  MutexLock hold();",
       "};"]),
-    ("deprecated-engine-api", "src/runtime/bad.cpp",
-     ["engine->plan_batch(4);"]),
-    ("deprecated-engine-api", "src/runtime/bad.cpp",
-     ["engine.set_precision(nn::Precision::kInt8);"]),
+    ("im2col-materialize", "src/runtime/bad.cpp",
+     ["im2col(input, geom, col.data());"]),
+    ("im2col-materialize", "src/nn/bad.cpp",
+     ["float* col = im2col_scratch(input, geom, scratch);"]),
+    ("im2col-materialize", "src/nn/bad.cpp",
+     ["im2col_u8_quads(input, geom, zp, quads);"]),
     ("simd-tu", "src/nn/bad.cpp",
      ["__m256 acc = _mm256_setzero_ps();"]),
     ("simd-tu", "src/tensor/bad.hpp",
@@ -525,11 +545,13 @@ SELF_TEST_CLEAN = [
      ["buffer_.resize(n);  // owning container growth is fine",
       "auto plan = std::make_unique<Plan>();  // not a raw new"]),
     ("src/runtime/good2.cpp",
-     ["// plan_batch(4) in a comment is fine",
+     ["// im2col(x) in a comment is fine",
       "engine->prepare(request);",
-      "legacy.set_precision(p);  // ocb-lint: allow(deprecated-engine-api)"]),
-    ("src/nn/engine.cpp",
-     ["void Engine::plan_batch(int max_batch) {  // the shim itself"]),
+      "im2col(input, geom, col);  // ocb-lint: allow(im2col-materialize)"]),
+    ("src/nn/ops.cpp",
+     ["const float* col = im2col_scratch(input, geom, scratch);"]),
+    ("src/nn/good.cpp",
+     ["packer.pack(x0, x1, panel);  // fused stripe packing is the point"]),
     ("src/tensor/sgemm_sparse_avx2.cpp",
      ["__m256 acc = _mm256_setzero_ps();",
       "#include <immintrin.h>"]),

@@ -31,6 +31,8 @@ const char* conv_algo_name(ConvAlgo algo) noexcept {
     case ConvAlgo::kDirectGemm: return "direct";
     case ConvAlgo::kWinograd: return "winograd";
     case ConvAlgo::kIm2colQuant: return "int8-im2col";
+    case ConvAlgo::kIm2colFused: return "im2col-fused";
+    case ConvAlgo::kIm2colQuantFused: return "int8-im2col-fused";
   }
   return "?";
 }

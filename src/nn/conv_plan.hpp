@@ -51,6 +51,8 @@ enum class ConvAlgo : std::uint8_t {
   kDirectGemm,  ///< 1×1 s1 p0: the input already is the column matrix
   kWinograd,    ///< 3×3 s1: F(2×2,3×3) transforms + 16 pointwise GEMMs
   kIm2colQuant, ///< u8×s8 quantized im2col path (kInt8 precision only)
+  kIm2colFused, ///< im2col-free: column stripes packed on the fly
+  kIm2colQuantFused,  ///< fused stripes over the u8 quad layout (kInt8)
 };
 
 const char* conv_algo_name(ConvAlgo algo) noexcept;

@@ -10,18 +10,6 @@ namespace ocb::nn {
 
 namespace {
 
-/// Planner configuration the deprecated shims run with: im2col only,
-/// no cache traffic — exactly the pre-planner engine behaviour, so
-/// legacy callers see bit-identical execution.
-PlannerConfig legacy_planner_config() noexcept {
-  PlannerConfig config;
-  config.enable_winograd = false;
-  config.enable_direct = false;
-  config.enable_fp32_fallback = false;
-  config.use_cache = false;
-  return config;
-}
-
 /// Weights as the quantizer should see them: when pruning is active for
 /// the layer, a masked copy staged in `scratch` (the int8 kernels stay
 /// dense — the mask only zeroes weights before quantization, matching
@@ -50,6 +38,13 @@ std::string ExecutionPlan::to_text(const Graph& graph) const {
   }
   out += " (cache " + std::to_string(cache_hits) + " hit/" +
          std::to_string(cache_misses) + " miss)\n";
+  if (residual_fused > 0 || concat_elided > 0 ||
+      arena_peak_bytes_after != arena_peak_bytes_before) {
+    out += "  fusion: residual=" + std::to_string(residual_fused) +
+           " concat=" + std::to_string(concat_elided) + " arena " +
+           std::to_string(arena_peak_bytes_before / 1024) + "KiB -> " +
+           std::to_string(arena_peak_bytes_after / 1024) + "KiB\n";
+  }
   for (int i = 0; i < graph.node_count(); ++i) {
     const Node& nd = graph.node(i);
     const ConvPlan& p = nodes[static_cast<std::size_t>(i)];
@@ -95,8 +90,6 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
   sparse_packed_.resize(static_cast<std::size_t>(n));
   half_packed_.resize(static_cast<std::size_t>(n));
   wino_panels_.resize(static_cast<std::size_t>(n));
-  concat_srcs_.resize(static_cast<std::size_t>(n));
-  concat_channels_.resize(static_cast<std::size_t>(n));
   plan_.nodes.assign(static_cast<std::size_t>(n), ConvPlan{});
   plan_scratch_.assign(static_cast<std::size_t>(n), ConvPlan{});
 
@@ -159,16 +152,14 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
     }
   }
   scratch_.arena.reserve_bytes(max_scratch_floats * sizeof(float));
-  rebuild_concat_lists();
-
-  std::size_t widest_concat = 0;
-  for (int i = 0; i < n; ++i) {
-    const Node& nd = graph_.node(i);
-    if (nd.kind == OpKind::kConcat)
-      widest_concat = std::max(widest_concat, nd.inputs.size());
-  }
-  concat_batch_srcs_.reserve(widest_concat);
   resize_output_slots();
+
+  // Baseline fusion plan (everything off: one buffer per node) and the
+  // identity activation layout it induces.
+  fusion_ = plan_fusion(graph_, plan_.nodes, FusionConfig{}, 1);
+  plan_.arena_peak_bytes_before = fusion_.naive_floats * sizeof(float);
+  plan_.arena_peak_bytes_after = plan_.arena_peak_bytes_before;
+  rebuild_act_layout();
 
   // Baseline plan: fp32, batch 1, im2col everywhere — bit-compatible
   // with the pre-planner engine. The cost-model planner only engages
@@ -193,26 +184,26 @@ void Engine::materialize_outputs(int image, std::vector<Tensor>& dst) const {
   const std::vector<int>& outs = graph_.outputs();
   for (std::size_t j = 0; j < outs.size(); ++j) {
     const int node = outs[j];
-    const std::size_t numel = graph_.shape(node).numel();
-    const float* src = activations_[static_cast<std::size_t>(node)].data() +
-                       static_cast<std::size_t>(image) * numel;
-    std::copy_n(src, numel, dst[j].data());
+    const std::size_t ni = static_cast<std::size_t>(node);
+    const float* src = act_base_[ni] +
+                       static_cast<std::size_t>(image) * act_stride_[ni];
+    std::copy_n(src, graph_.shape(node).numel(), dst[j].data());
   }
 }
 
-void Engine::rebuild_concat_lists() {
-  const int n = graph_.node_count();
-  for (int i = 0; i < n; ++i) {
-    const Node& nd = graph_.node(i);
-    if (nd.kind != OpKind::kConcat) continue;
-    concat_srcs_[static_cast<std::size_t>(i)].clear();
-    concat_channels_[static_cast<std::size_t>(i)].clear();
-    for (int src : nd.inputs) {
-      concat_srcs_[static_cast<std::size_t>(i)].push_back(
-          activations_[static_cast<std::size_t>(src)].data());
-      concat_channels_[static_cast<std::size_t>(i)].push_back(
-          graph_.shape(src).c);
-    }
+void Engine::rebuild_act_layout() {
+  const std::size_t n = static_cast<std::size_t>(graph_.node_count());
+  act_base_.resize(n);
+  act_stride_.resize(n);
+  if (fusion_.planned) act_arena_.resize(fusion_.arena_floats);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t off = 0;
+    const int root = fusion_.root_of(static_cast<int>(i), &off);
+    const std::size_t ri = static_cast<std::size_t>(root);
+    float* base = fusion_.planned ? act_arena_.data() + fusion_.offsets[ri]
+                                  : activations_[ri].data();
+    act_base_[i] = base + off;
+    act_stride_[i] = graph_.shape(root).numel();
   }
 }
 
@@ -285,8 +276,14 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
       p.algo = ConvAlgo::kIm2colGemm;
     }
     plan_scratch_[ui] = p;
-    if (p.algo != plan_.nodes[ui].algo ||
-        p.storage != plan_.nodes[ui].storage)
+    // An active plan may carry a fusion-requested upgrade (materialized
+    // im2col re-planned as kIm2colFused so a residual could fold);
+    // compare against the planner's raw pick or every re-prepare would
+    // look changed and take the allocating rebuild path.
+    ConvAlgo active = plan_.nodes[ui].algo;
+    if (fusion_.nodes[ui].upgrade_fused && active == ConvAlgo::kIm2colFused)
+      active = ConvAlgo::kIm2colGemm;
+    if (p.algo != active || p.storage != plan_.nodes[ui].storage)
       algos_changed = true;
   }
   const PlanCache::Stats after = cache.stats();
@@ -295,6 +292,11 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
 
   const bool grow = request.max_batch > max_batch_;
   const bool precision_change = request.precision != precision_;
+  // Fusion is a float-path feature: the quantized engine keeps
+  // per-node u8 buffers, so kInt8 forces the all-off config.
+  FusionConfig fusion_cfg = request.fusion;
+  if (request.precision == Precision::kInt8) fusion_cfg = FusionConfig{};
+  const bool fusion_changed = !(fusion_cfg == fusion_cfg_);
   // A pruning-config change can leave every plan identical (e.g. a
   // granularity switch at the same budget) yet still change the masks;
   // a format change re-encodes the half panels. Both force the rebuild
@@ -302,13 +304,32 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
   const bool sparsity_changed = !(request.sparsity == sparsity_);
   const bool format_changed = request.half_format != half_format_;
   if (!grow && !precision_change && !algos_changed && !new_calib &&
-      !sparsity_changed && !format_changed)
+      !sparsity_changed && !format_changed && !fusion_changed)
     return plan_;  // active plan already satisfies the request
 
   // Same-length element-wise copy — no reallocation.
   for (std::size_t i = 0; i < plan_.nodes.size(); ++i)
     plan_.nodes[i] = plan_scratch_[i];
   if (grow) grow_batch_plan(request.max_batch);
+
+  // Graph fusion + activation placement over the settled plans, and
+  // the per-node base/stride views that execute it.
+  fusion_ = plan_fusion(graph_, plan_.nodes, fusion_cfg, max_batch_);
+  // A residual fold into a conv the planner left on materialized
+  // im2col needs the fused kernel's epilogue: apply the re-plan the
+  // fusion pass requested (NodeFusion::upgrade_fused) before sizing
+  // scratch, so the stripe budget below sees the node.
+  for (int i = 0; i < n; ++i) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    if (fusion_.nodes[ui].upgrade_fused)
+      plan_.nodes[ui].algo = ConvAlgo::kIm2colFused;
+  }
+  fusion_cfg_ = fusion_cfg;
+  rebuild_act_layout();
+  plan_.residual_fused = fusion_.residual_fused;
+  plan_.concat_elided = fusion_.concat_elided;
+  plan_.arena_peak_bytes_before = fusion_.naive_floats * sizeof(float);
+  plan_.arena_peak_bytes_after = fusion_.arena_floats * sizeof(float);
 
   // Invalidate compressed panels the new configuration re-derives, then
   // (lazily) build whatever the plan's storage choices need. Nodes the
@@ -351,6 +372,29 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
     }
   }
 
+  // Fused-stripe nodes bump-allocate their panel buffers from the
+  // arena per call; on tiny graphs that can exceed the constructor's
+  // im2col reserve, so budget the hungriest fused layer explicitly.
+  std::size_t fused_need = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    if (plan_.nodes[ui].algo != ConvAlgo::kIm2colFused) continue;
+    const Node& nd = graph_.node(i);
+    const FeatShape s = graph_.shape(nd.inputs[0]);
+    const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel, nd.stride,
+                            nd.pad};
+    fused_need = std::max(fused_need,
+                          fused_conv_scratch_floats(geom) * sizeof(float));
+  }
+  if (fused_need != 0) {
+    fused_need += 2 * Arena::kAlign;
+    if (fused_need > fused_scratch_bytes_) {
+      scratch_.arena.reserve_bytes(scratch_.arena.capacity_bytes() +
+                                   fused_need);
+      fused_scratch_bytes_ = fused_need;
+    }
+  }
+
   if (request.precision == Precision::kInt8) {
     build_int8_plan();
   } else if (precision_ == Precision::kInt8) {
@@ -370,6 +414,7 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
   plan_.quant_nodes = 0;
   plan_.sparse_nodes = 0;
   plan_.fp16_nodes = 0;
+  plan_.fused_nodes = 0;
   for (int i = 0; i < n; ++i) {
     const OpKind kind = graph_.node(i).kind;
     const ConvPlan& p = plan_.nodes[static_cast<std::size_t>(i)];
@@ -388,17 +433,14 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
       case ConvAlgo::kDirectGemm: ++plan_.direct_nodes; break;
       case ConvAlgo::kIm2colQuant: ++plan_.quant_nodes; break;
       case ConvAlgo::kIm2colGemm: ++plan_.im2col_nodes; break;
+      case ConvAlgo::kIm2colFused: ++plan_.fused_nodes; break;
+      case ConvAlgo::kIm2colQuantFused:
+        ++plan_.quant_nodes;
+        ++plan_.fused_nodes;
+        break;
     }
   }
   return plan_;
-}
-
-void Engine::plan_batch(int max_batch) {
-  PlanRequest request;
-  request.max_batch = max_batch;
-  request.precision = precision_;
-  request.planner = legacy_planner_config();
-  prepare(request);
 }
 
 void Engine::grow_batch_plan(int max_batch) {
@@ -412,10 +454,9 @@ void Engine::grow_batch_plan(int max_batch) {
         Tensor({max_batch, out.c, out.h, out.w});
   }
   has_run_ = false;
-  // Re-sizing moved the activation storage; the precomputed concat
-  // pointer lists must chase the new buffers, and run_batch needs one
+  // Re-sizing moved the activation storage; prepare() rebuilds the
+  // per-node base pointers right after this. run_batch needs one
   // output snapshot row per image.
-  rebuild_concat_lists();
   resize_output_slots();
 
   // One extra arena block holding both buffers conv2d_batched bump-
@@ -526,6 +567,10 @@ void Engine::pack_winograd(int node) {
 QuantCalibration Engine::calibrate(const std::vector<Tensor>& frames) {
   OCB_CHECK_MSG(precision_ == Precision::kFp32,
                 "calibrate() requires FP32 precision");
+  OCB_CHECK_MSG(!fusion_cfg_.any(),
+                "calibrate() requires an unfused plan (fused/placed nodes "
+                "hide per-node float outputs); prepare() without a "
+                "FusionConfig first");
   OCB_CHECK_MSG(!frames.empty(), "calibration needs at least one frame");
   const int n = graph_.node_count();
   QuantCalibration calib;
@@ -543,16 +588,6 @@ QuantCalibration Engine::calibrate(const std::vector<Tensor>& frames) {
   calib.frames = static_cast<int>(frames.size());
   calib_ = calib;
   return calib;
-}
-
-void Engine::set_precision(Precision precision,
-                           const QuantCalibration* calib) {
-  PlanRequest request;
-  request.max_batch = max_batch_;
-  request.precision = precision;
-  request.calibration = calib;
-  request.planner = legacy_planner_config();
-  prepare(request);
 }
 
 void Engine::build_int8_plan() {
@@ -582,9 +617,9 @@ void Engine::build_int8_plan() {
   auto quantizable = [&](int i) {
     const OpKind kind = graph_.node(i).kind;
     if (kind == OpKind::kLinear) return true;
-    return kind == OpKind::kConv &&
-           plan_.nodes[static_cast<std::size_t>(i)].algo ==
-               ConvAlgo::kIm2colQuant;
+    const ConvAlgo algo = plan_.nodes[static_cast<std::size_t>(i)].algo;
+    return kind == OpKind::kConv && (algo == ConvAlgo::kIm2colQuant ||
+                                     algo == ConvAlgo::kIm2colQuantFused);
   };
   const auto& outs = graph_.outputs();
 
@@ -599,9 +634,14 @@ void Engine::build_int8_plan() {
       k = static_cast<std::size_t>(in0.c) * nd.kernel * nd.kernel;
       const ConvGeometry geom{in0.c, in0.h, in0.w, nd.kernel, nd.kernel,
                               nd.stride, nd.pad};
+      // Fused nodes never materialize the quad buffer — they only need
+      // their (much smaller) stripe panels, which can still exceed a
+      // tiny layer's quad buffer.
+      const bool fused = plan_.nodes[i].algo == ConvAlgo::kIm2colQuantFused;
       max_quad_bytes = std::max(
-          max_quad_bytes, quad_buffer_bytes(geom.col_rows(),
-                                            geom.col_cols()));
+          max_quad_bytes,
+          fused ? fused_qconv_scratch_bytes(geom)
+                : quad_buffer_bytes(geom.col_rows(), geom.col_cols()));
     } else {
       k = in0.numel();
       max_quad_bytes = std::max(max_quad_bytes, quad_buffer_bytes(k, 1));
@@ -656,7 +696,7 @@ const std::vector<Tensor>& Engine::run(const Tensor& input) {
     const std::size_t si = static_cast<std::size_t>(s);
     if (u8_valid_[si] == 0) {
       // Per-image numel: the u8 buffers are sized for one image even
-      // when plan_batch() widened the float activations.
+      // when prepare() widened the float activations.
       quantize_to_u8(activations_[si].data(), graph_.shape(s).numel(),
                      node_quant_[si], u8_acts_[si].data());
       u8_valid_[si] = 1;
@@ -668,73 +708,108 @@ const std::vector<Tensor>& Engine::run(const Tensor& input) {
   for (int i = 0; i < n; ++i) {
     const Node& nd = graph_.node(i);
     const FeatShape out = graph_.shape(i);
-    Tensor& dst = activations_[static_cast<std::size_t>(i)];
+    // Per-node activation view: the node's own buffer, or — under an
+    // active fusion plan — a slot inside another node's buffer or the
+    // planned arena.
+    float* dstp = act_base_[static_cast<std::size_t>(i)];
     if (pack_dirty_[static_cast<std::size_t>(i)] != 0) repack(i);
 
-    auto src = [&](std::size_t k) -> const Tensor& {
-      return activations_[static_cast<std::size_t>(nd.inputs[k])];
+    auto srcp = [&](std::size_t k) -> const float* {
+      return act_base_[static_cast<std::size_t>(nd.inputs[k])];
     };
 
     switch (nd.kind) {
       case OpKind::kInput:
         // Same-shape copy: the pre-sized buffer is reused, keeping the
-        // activation pointer (and concat lists) stable.
-        std::copy_n(input.data(), input.numel(), dst.data());
+        // activation pointers stable.
+        std::copy_n(input.data(), input.numel(), dstp);
         break;
       case OpKind::kConv: {
         const FeatShape s = graph_.shape(nd.inputs[0]);
         const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
                                 nd.stride, nd.pad};
         const std::size_t ui = static_cast<std::size_t>(i);
+        const std::size_t si = static_cast<std::size_t>(nd.inputs[0]);
         const ConvAlgo algo = plan_.nodes[ui].algo;
-        if (int8 && algo == ConvAlgo::kIm2colQuant && qlayers_[ui].valid()) {
+        if (int8 &&
+            (algo == ConvAlgo::kIm2colQuant ||
+             algo == ConvAlgo::kIm2colQuantFused) &&
+            qlayers_[ui].valid()) {
+          const bool fused_q = algo == ConvAlgo::kIm2colQuantFused;
           const std::uint8_t* inq = u8_input(nd.inputs[0]);
           if (qlayers_[ui].emit_u8) {
             qconv2d(inq, geom, qlayers_[ui], biases_[i].data(),
-                    /*out_f32=*/nullptr, u8_acts_[ui].data(), scratch_);
+                    /*out_f32=*/nullptr, u8_acts_[ui].data(), scratch_,
+                    fused_q);
             u8_valid_[ui] = 1;
             float_stale_[ui] = 1;
           } else {
-            qconv2d(inq, geom, qlayers_[ui], biases_[i].data(), dst.data(),
-                    /*out_u8=*/nullptr, scratch_);
+            qconv2d(inq, geom, qlayers_[ui], biases_[i].data(), dstp,
+                    /*out_u8=*/nullptr, scratch_, fused_q);
           }
-        } else if (algo == ConvAlgo::kWinograd) {
-          conv2d_winograd(src(0).data(), s.numel(), /*batch=*/1, geom,
-                          wino_panels_[ui], biases_[i].data(), nd.act,
-                          dst.data(), out.numel(), scratch_);
+          break;
+        }
+        // Residual fusion: this conv writes into the skipped Add's
+        // buffer, combining per EpiMode. The buffer must hold the
+        // other operand first — free when the plan aliased them.
+        const NodeFusion& fus = fusion_.nodes[ui];
+        EpiMode mode = EpiMode::kStore;
+        Act act = nd.act;
+        float* outp = dstp;
+        std::size_t out_stride = act_stride_[ui];
+        if (fus.residual_add) {
+          const std::size_t ai = static_cast<std::size_t>(fus.residual_out);
+          mode = fus.mode;
+          act = fus.act;
+          outp = act_base_[ai];
+          out_stride = act_stride_[ai];
+          if (fusion_.nodes[ai].place_parent != fus.residual_src)
+            std::copy_n(
+                act_base_[static_cast<std::size_t>(fus.residual_src)],
+                graph_.shape(fus.residual_out).numel(), outp);
+        }
+        if (algo == ConvAlgo::kWinograd) {
+          conv2d_winograd(srcp(0), act_stride_[si], /*batch=*/1, geom,
+                          wino_panels_[ui], biases_[i].data(), act, outp,
+                          out_stride, scratch_, mode);
+        } else if (algo == ConvAlgo::kIm2colFused) {
+          conv2d_fused(srcp(0), act_stride_[si], /*batch=*/1, geom,
+                       packed_[ui], biases_[i].data(), act, outp,
+                       out_stride, scratch_, mode);
         } else if (algo == ConvAlgo::kDirectGemm) {
           switch (plan_.nodes[ui].storage) {
             case WeightStorage::kHalf:
-              conv2d_direct1x1(src(0).data(), s.numel(), /*batch=*/1, geom,
+              conv2d_direct1x1(srcp(0), act_stride_[si], /*batch=*/1, geom,
                                half_packed_[ui], biases_[i].data(), nd.act,
-                               dst.data(), out.numel());
+                               outp, out_stride);
               break;
             case WeightStorage::kSparse:
             case WeightStorage::kSparseHalf:
-              conv2d_direct1x1(src(0).data(), s.numel(), /*batch=*/1, geom,
+              conv2d_direct1x1(srcp(0), act_stride_[si], /*batch=*/1, geom,
                                sparse_packed_[ui], biases_[i].data(), nd.act,
-                               dst.data(), out.numel());
+                               outp, out_stride);
               break;
             case WeightStorage::kDense:
-              conv2d_direct1x1(src(0).data(), s.numel(), /*batch=*/1, geom,
-                               packed_[ui], biases_[i].data(), nd.act,
-                               dst.data(), out.numel());
+              conv2d_direct1x1(srcp(0), act_stride_[si], /*batch=*/1, geom,
+                               packed_[ui], biases_[i].data(), act, outp,
+                               out_stride, mode);
               break;
           }
         } else {
+          // Materialized im2col paths (never residual-fused).
           switch (plan_.nodes[ui].storage) {
             case WeightStorage::kHalf:
-              conv2d(src(0).data(), geom, half_packed_[ui],
-                     biases_[i].data(), nd.act, dst.data(), scratch_);
+              conv2d(srcp(0), geom, half_packed_[ui], biases_[i].data(),
+                     nd.act, dstp, scratch_);
               break;
             case WeightStorage::kSparse:
             case WeightStorage::kSparseHalf:
-              conv2d(src(0).data(), geom, sparse_packed_[ui],
-                     biases_[i].data(), nd.act, dst.data(), scratch_);
+              conv2d(srcp(0), geom, sparse_packed_[ui], biases_[i].data(),
+                     nd.act, dstp, scratch_);
               break;
             case WeightStorage::kDense:
-              conv2d(src(0).data(), geom, packed_[ui], biases_[i].data(),
-                     nd.act, dst.data(), scratch_);
+              conv2d(srcp(0), geom, packed_[ui], biases_[i].data(), nd.act,
+                     dstp, scratch_);
               break;
           }
         }
@@ -744,48 +819,56 @@ const std::vector<Tensor>& Engine::run(const Tensor& input) {
         const FeatShape s = graph_.shape(nd.inputs[0]);
         const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
                                 nd.stride, nd.pad};
-        dwconv2d(src(0).data(), geom, weights_[i].data(), biases_[i].data(),
-                 nd.act, dst.data());
+        dwconv2d(srcp(0), geom, weights_[i].data(), biases_[i].data(),
+                 nd.act, dstp);
         break;
       }
       case OpKind::kDeconv: {
         const FeatShape s = graph_.shape(nd.inputs[0]);
-        deconv2d_2x(src(0).data(), s.c, s.h, s.w, nd.out_c,
-                    weights_[i].data(), biases_[i].data(), nd.act,
-                    dst.data());
+        deconv2d_2x(srcp(0), s.c, s.h, s.w, nd.out_c, weights_[i].data(),
+                    biases_[i].data(), nd.act, dstp);
         break;
       }
       case OpKind::kMaxPool: {
         const FeatShape s = graph_.shape(nd.inputs[0]);
         const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
                                 nd.stride, nd.pad};
-        maxpool2d(src(0).data(), geom, dst.data());
+        maxpool2d(srcp(0), geom, dstp);
         break;
       }
       case OpKind::kUpsample: {
         const FeatShape s = graph_.shape(nd.inputs[0]);
-        upsample2x_nearest(src(0).data(), s.c, s.h, s.w, dst.data());
+        upsample2x_nearest(srcp(0), s.c, s.h, s.w, dstp);
         break;
       }
-      case OpKind::kConcat:
-        concat_channels(concat_srcs_[static_cast<std::size_t>(i)],
-                        concat_channels_[static_cast<std::size_t>(i)], out.h,
-                        out.w, dst.data());
+      case OpKind::kConcat: {
+        // Inputs the fusion plan placed into this buffer already wrote
+        // their channel range; copy only the rest.
+        std::size_t coff = 0;
+        for (int s : nd.inputs) {
+          const std::size_t cn = graph_.shape(s).numel();
+          if (fusion_.nodes[static_cast<std::size_t>(s)].place_parent != i)
+            std::copy_n(act_base_[static_cast<std::size_t>(s)], cn,
+                        dstp + coff);
+          coff += cn;
+        }
         break;
+      }
       case OpKind::kAdd:
-        add_elementwise(src(0).data(), src(1).data(), out.numel(),
-                        dst.data());
-        apply_activation(nd.act, dst.data(), out.numel());
+        if (fusion_.nodes[static_cast<std::size_t>(i)].skip)
+          break;  // folded into the producer conv's epilogue
+        add_elementwise(srcp(0), srcp(1), out.numel(), dstp);
+        apply_activation(nd.act, dstp, out.numel());
         break;
       case OpKind::kSlice: {
         const FeatShape s = graph_.shape(nd.inputs[0]);
-        slice_channels(src(0).data(), s.c, s.h, s.w, nd.slice_begin,
-                       nd.slice_end, dst.data());
+        slice_channels(srcp(0), s.c, s.h, s.w, nd.slice_begin, nd.slice_end,
+                       dstp);
         break;
       }
       case OpKind::kGlobalAvgPool: {
         const FeatShape s = graph_.shape(nd.inputs[0]);
-        global_avg_pool(src(0).data(), s.c, s.h, s.w, dst.data());
+        global_avg_pool(srcp(0), s.c, s.h, s.w, dstp);
         break;
       }
       case OpKind::kLinear: {
@@ -793,22 +876,20 @@ const std::vector<Tensor>& Engine::run(const Tensor& input) {
         if (int8 && qlayers_[ui].valid()) {
           qlinear(u8_input(nd.inputs[0]),
                   graph_.shape(nd.inputs[0]).numel(), qlayers_[ui],
-                  biases_[i].data(), dst.data(), /*out_u8=*/nullptr,
-                  scratch_);
+                  biases_[i].data(), dstp, /*out_u8=*/nullptr, scratch_);
         } else {
           switch (plan_.nodes[ui].storage) {
             case WeightStorage::kHalf:
-              linear(src(0).data(), half_packed_[ui], biases_[i].data(),
-                     nd.act, dst.data());
+              linear(srcp(0), half_packed_[ui], biases_[i].data(), nd.act,
+                     dstp);
               break;
             case WeightStorage::kSparse:
             case WeightStorage::kSparseHalf:
-              linear(src(0).data(), sparse_packed_[ui], biases_[i].data(),
-                     nd.act, dst.data());
+              linear(srcp(0), sparse_packed_[ui], biases_[i].data(), nd.act,
+                     dstp);
               break;
             case WeightStorage::kDense:
-              linear(src(0).data(), packed_[ui], biases_[i].data(), nd.act,
-                     dst.data());
+              linear(srcp(0), packed_[ui], biases_[i].data(), nd.act, dstp);
               break;
           }
         }
@@ -819,8 +900,8 @@ const std::vector<Tensor>& Engine::run(const Tensor& input) {
 
   has_run_ = true;
   // Snapshot image 0 into the pre-sized output tensors (activations are
-  // {max_batch, ...} after plan_batch; batch-1 callers get batch-1
-  // tensors either way).
+  // {max_batch, ...} after a batched prepare(); batch-1 callers get
+  // batch-1 tensors either way).
   materialize_outputs(0, outputs_);
   return outputs_;
 }
@@ -854,22 +935,29 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
     const Node& nd = graph_.node(i);
     const FeatShape out = graph_.shape(i);
     const std::size_t out_chw = out.numel();
-    Tensor& dst = activations_[static_cast<std::size_t>(i)];
-    if (pack_dirty_[static_cast<std::size_t>(i)] != 0) repack(i);
+    const std::size_t ii = static_cast<std::size_t>(i);
+    // This node's activation view: image b lives at dst_base + b *
+    // dst_stride (the stride is the owning root's per-image extent
+    // when the fusion plan placed this node inside another buffer).
+    float* dst_base = act_base_[ii];
+    const std::size_t dst_stride = act_stride_[ii];
+    if (pack_dirty_[ii] != 0) repack(i);
 
     // Image b of input k's activation (all images are live: every node
     // below processes the full batch).
     auto src_at = [&](std::size_t k, int b) -> const float* {
-      const int s = nd.inputs[k];
-      return activations_[static_cast<std::size_t>(s)].data() +
-             static_cast<std::size_t>(b) * graph_.shape(s).numel();
+      const std::size_t s = static_cast<std::size_t>(nd.inputs[k]);
+      return act_base_[s] + static_cast<std::size_t>(b) * act_stride_[s];
+    };
+    auto dst_at = [&](int b) -> float* {
+      return dst_base + static_cast<std::size_t>(b) * dst_stride;
     };
 
     switch (nd.kind) {
       case OpKind::kInput:
         for (int b = 0; b < batch; ++b) {
           std::copy_n(inputs[static_cast<std::size_t>(b)].data(), out_chw,
-                      dst.data() + static_cast<std::size_t>(b) * out_chw);
+                      dst_at(b));
         }
         break;
       case OpKind::kConv: {
@@ -877,50 +965,81 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
         const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
                                 nd.stride, nd.pad};
         const std::size_t ui = static_cast<std::size_t>(i);
+        const std::size_t sstride =
+            act_stride_[static_cast<std::size_t>(nd.inputs[0])];
         const WeightStorage st = plan_.nodes[ui].storage;
+        // Residual fusion (see run()): retarget the write to the
+        // skipped Add's buffer and preload the other operand per image
+        // unless aliased.
+        const NodeFusion& fus = fusion_.nodes[ui];
+        EpiMode mode = EpiMode::kStore;
+        Act act = nd.act;
+        float* outp = dst_base;
+        std::size_t out_stride = dst_stride;
+        if (fus.residual_add) {
+          const std::size_t ai = static_cast<std::size_t>(fus.residual_out);
+          mode = fus.mode;
+          act = fus.act;
+          outp = act_base_[ai];
+          out_stride = act_stride_[ai];
+          if (fusion_.nodes[ai].place_parent != fus.residual_src) {
+            const std::size_t xi =
+                static_cast<std::size_t>(fus.residual_src);
+            const std::size_t cn = graph_.shape(fus.residual_out).numel();
+            for (int b = 0; b < batch; ++b)
+              std::copy_n(act_base_[xi] +
+                              static_cast<std::size_t>(b) * act_stride_[xi],
+                          cn, outp + static_cast<std::size_t>(b) * out_stride);
+          }
+        }
         switch (plan_.nodes[ui].algo) {
           case ConvAlgo::kWinograd:
-            conv2d_winograd(src_at(0, 0), s.numel(), batch, geom,
-                            wino_panels_[ui], biases_[i].data(), nd.act,
-                            dst.data(), out_chw, scratch_);
+            conv2d_winograd(src_at(0, 0), sstride, batch, geom,
+                            wino_panels_[ui], biases_[i].data(), act, outp,
+                            out_stride, scratch_, mode);
+            break;
+          case ConvAlgo::kIm2colFused:
+            conv2d_fused(src_at(0, 0), sstride, batch, geom, packed_[ui],
+                         biases_[i].data(), act, outp, out_stride, scratch_,
+                         mode);
             break;
           case ConvAlgo::kDirectGemm:
             switch (st) {
               case WeightStorage::kHalf:
-                conv2d_direct1x1(src_at(0, 0), s.numel(), batch, geom,
+                conv2d_direct1x1(src_at(0, 0), sstride, batch, geom,
                                  half_packed_[ui], biases_[i].data(), nd.act,
-                                 dst.data(), out_chw);
+                                 outp, out_stride);
                 break;
               case WeightStorage::kSparse:
               case WeightStorage::kSparseHalf:
-                conv2d_direct1x1(src_at(0, 0), s.numel(), batch, geom,
+                conv2d_direct1x1(src_at(0, 0), sstride, batch, geom,
                                  sparse_packed_[ui], biases_[i].data(),
-                                 nd.act, dst.data(), out_chw);
+                                 nd.act, outp, out_stride);
                 break;
               case WeightStorage::kDense:
-                conv2d_direct1x1(src_at(0, 0), s.numel(), batch, geom,
-                                 packed_[ui], biases_[i].data(), nd.act,
-                                 dst.data(), out_chw);
+                conv2d_direct1x1(src_at(0, 0), sstride, batch, geom,
+                                 packed_[ui], biases_[i].data(), act, outp,
+                                 out_stride, mode);
                 break;
             }
             break;
           default:
             switch (st) {
               case WeightStorage::kHalf:
-                conv2d_batched(src_at(0, 0), s.numel(), batch, geom,
+                conv2d_batched(src_at(0, 0), sstride, batch, geom,
                                half_packed_[ui], biases_[i].data(), nd.act,
-                               dst.data(), out_chw, scratch_);
+                               outp, out_stride, scratch_);
                 break;
               case WeightStorage::kSparse:
               case WeightStorage::kSparseHalf:
-                conv2d_batched(src_at(0, 0), s.numel(), batch, geom,
+                conv2d_batched(src_at(0, 0), sstride, batch, geom,
                                sparse_packed_[ui], biases_[i].data(), nd.act,
-                               dst.data(), out_chw, scratch_);
+                               outp, out_stride, scratch_);
                 break;
               case WeightStorage::kDense:
-                conv2d_batched(src_at(0, 0), s.numel(), batch, geom,
-                               packed_[ui], biases_[i].data(), nd.act,
-                               dst.data(), out_chw, scratch_);
+                conv2d_batched(src_at(0, 0), sstride, batch, geom,
+                               packed_[ui], biases_[i].data(), nd.act, outp,
+                               out_stride, scratch_);
                 break;
             }
             break;
@@ -933,7 +1052,7 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
                                 nd.stride, nd.pad};
         for (int b = 0; b < batch; ++b) {
           dwconv2d(src_at(0, b), geom, weights_[i].data(), biases_[i].data(),
-                   nd.act, dst.data() + static_cast<std::size_t>(b) * out_chw);
+                   nd.act, dst_at(b));
         }
         break;
       }
@@ -942,7 +1061,7 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
         for (int b = 0; b < batch; ++b) {
           deconv2d_2x(src_at(0, b), s.c, s.h, s.w, nd.out_c,
                       weights_[i].data(), biases_[i].data(), nd.act,
-                      dst.data() + static_cast<std::size_t>(b) * out_chw);
+                      dst_at(b));
         }
         break;
       }
@@ -951,65 +1070,72 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
         const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel,
                                 nd.stride, nd.pad};
         for (int b = 0; b < batch; ++b) {
-          maxpool2d(src_at(0, b), geom,
-                    dst.data() + static_cast<std::size_t>(b) * out_chw);
+          maxpool2d(src_at(0, b), geom, dst_at(b));
         }
         break;
       }
       case OpKind::kUpsample: {
         const FeatShape s = graph_.shape(nd.inputs[0]);
         for (int b = 0; b < batch; ++b) {
-          upsample2x_nearest(src_at(0, b), s.c, s.h, s.w,
-                             dst.data() +
-                                 static_cast<std::size_t>(b) * out_chw);
+          upsample2x_nearest(src_at(0, b), s.c, s.h, s.w, dst_at(b));
         }
         break;
       }
       case OpKind::kConcat: {
-        // Reserved for the widest concat at construction: this resize
-        // never reallocates, keeping the batched path heap-free.
-        concat_batch_srcs_.resize(nd.inputs.size());
         for (int b = 0; b < batch; ++b) {
+          std::size_t coff = 0;
           for (std::size_t k = 0; k < nd.inputs.size(); ++k) {
-            concat_batch_srcs_[k] = src_at(k, b);
+            const int sn = nd.inputs[k];
+            const std::size_t cn = graph_.shape(sn).numel();
+            if (fusion_.nodes[static_cast<std::size_t>(sn)].place_parent !=
+                i)
+              std::copy_n(src_at(k, b), cn, dst_at(b) + coff);
+            coff += cn;
           }
-          concat_channels(concat_batch_srcs_,
-                          concat_channels_[static_cast<std::size_t>(i)],
-                          out.h, out.w,
-                          dst.data() + static_cast<std::size_t>(b) * out_chw);
         }
         break;
       }
-      case OpKind::kAdd:
-        // Both sources hold all images contiguously, so one call covers
-        // the whole batch.
-        add_elementwise(src_at(0, 0), src_at(1, 0),
-                        out_chw * static_cast<std::size_t>(batch),
-                        dst.data());
-        apply_activation(nd.act, dst.data(),
-                         out_chw * static_cast<std::size_t>(batch));
+      case OpKind::kAdd: {
+        if (fusion_.nodes[ii].skip)
+          break;  // folded into the producer conv's epilogue
+        const std::size_t s0 = static_cast<std::size_t>(nd.inputs[0]);
+        const std::size_t s1 = static_cast<std::size_t>(nd.inputs[1]);
+        if (act_stride_[s0] == out_chw && act_stride_[s1] == out_chw &&
+            dst_stride == out_chw) {
+          // All three buffers hold the batch contiguously: one call
+          // covers every image.
+          add_elementwise(src_at(0, 0), src_at(1, 0),
+                          out_chw * static_cast<std::size_t>(batch),
+                          dst_base);
+          apply_activation(nd.act, dst_base,
+                           out_chw * static_cast<std::size_t>(batch));
+        } else {
+          for (int b = 0; b < batch; ++b) {
+            add_elementwise(src_at(0, b), src_at(1, b), out_chw, dst_at(b));
+            apply_activation(nd.act, dst_at(b), out_chw);
+          }
+        }
         break;
+      }
       case OpKind::kSlice: {
         const FeatShape s = graph_.shape(nd.inputs[0]);
         for (int b = 0; b < batch; ++b) {
           slice_channels(src_at(0, b), s.c, s.h, s.w, nd.slice_begin,
-                         nd.slice_end,
-                         dst.data() + static_cast<std::size_t>(b) * out_chw);
+                         nd.slice_end, dst_at(b));
         }
         break;
       }
       case OpKind::kGlobalAvgPool: {
         const FeatShape s = graph_.shape(nd.inputs[0]);
         for (int b = 0; b < batch; ++b) {
-          global_avg_pool(src_at(0, b), s.c, s.h, s.w,
-                          dst.data() + static_cast<std::size_t>(b) * out_chw);
+          global_avg_pool(src_at(0, b), s.c, s.h, s.w, dst_at(b));
         }
         break;
       }
       case OpKind::kLinear: {
         const std::size_t ui = static_cast<std::size_t>(i);
         for (int b = 0; b < batch; ++b) {
-          float* obuf = dst.data() + static_cast<std::size_t>(b) * out_chw;
+          float* obuf = dst_at(b);
           switch (plan_.nodes[ui].storage) {
             case WeightStorage::kHalf:
               linear(src_at(0, b), half_packed_[ui], biases_[i].data(),
@@ -1042,6 +1168,15 @@ const Tensor& Engine::node_output(int node) const {
   OCB_CHECK(node >= 0 && node < graph_.node_count());
   OCB_CHECK_MSG(has_run_, "node_output before run()");
   const std::size_t i = static_cast<std::size_t>(node);
+  if (act_base_[i] != activations_[i].data()) {
+    // The fusion plan keeps this node's data inside another buffer (or
+    // the shared arena); materialise the per-node view on demand.
+    const std::size_t numel = graph_.shape(node).numel();
+    for (int b = 0; b < max_batch_; ++b)
+      std::copy_n(act_base_[i] + static_cast<std::size_t>(b) * act_stride_[i],
+                  numel,
+                  activations_[i].data() + static_cast<std::size_t>(b) * numel);
+  }
   if (!float_stale_.empty() && float_stale_[i] != 0) {
     // The node kept its output in u8 (all consumers were INT8);
     // materialise the float view on demand.

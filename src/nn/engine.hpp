@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/fusion.hpp"
 #include "nn/graph.hpp"
 #include "nn/ops.hpp"
 #include "nn/planner.hpp"
@@ -55,6 +56,10 @@ struct PlanRequest {
   /// 16-bit encoding used when the planner picks half storage (kFp16
   /// precision).
   HalfFormat half_format = HalfFormat::kFp16;
+  /// Graph fusion + activation memory planning (see nn/fusion.hpp).
+  /// All-off by default. Ignored under kInt8 (the quantized path keeps
+  /// per-node u8 buffers). calibrate() requires an unfused plan.
+  FusionConfig fusion{};
 };
 
 /// The engine's active plan, returned by prepare() for observability.
@@ -74,6 +79,17 @@ struct ExecutionPlan {
   /// — a node with kSparseHalf counts in both.
   int sparse_nodes = 0;
   int fp16_nodes = 0;
+  /// Conv nodes running the im2col-free stripe paths (kIm2colFused or
+  /// kIm2colQuantFused).
+  int fused_nodes = 0;
+  /// Graph-fusion results (see nn/fusion.hpp): Add nodes folded into
+  /// conv epilogues and concat input copies eliminated by placement.
+  int residual_fused = 0;
+  int concat_elided = 0;
+  /// Activation memory: the one-buffer-per-node baseline vs the
+  /// liveness-planned arena. Equal unless FusionConfig::plan_memory.
+  std::size_t arena_peak_bytes_before = 0;
+  std::size_t arena_peak_bytes_after = 0;
   /// PlanCache traffic attributable to the last prepare() (approximate
   /// when other threads plan concurrently against the same cache).
   std::uint64_t cache_hits = 0;
@@ -116,8 +132,6 @@ class Engine {
   /// (e.g. `auto outs = engine.run(x);`) to keep a snapshot.
   const std::vector<Tensor>& run(const Tensor& input);
 
-  [[deprecated("call prepare() with PlanRequest::max_batch instead")]]
-  void plan_batch(int max_batch);
   int max_batch() const noexcept { return max_batch_; }
 
   /// Run up to max_batch() frames as one fused forward pass: every
@@ -134,7 +148,14 @@ class Engine {
       const std::vector<Tensor>& inputs);
 
   /// Output tensor of a specific node from the most recent run().
+  /// Nodes the active fusion plan placed into another buffer are
+  /// copied back on demand; under FusionConfig::plan_memory only
+  /// graph outputs and nodes still live at the end of the pass hold
+  /// meaningful data (dead buffers may have been reused).
   const Tensor& node_output(int node) const;
+
+  /// The active fusion/memory plan (default when fusion is off).
+  const MemoryPlan& fusion_plan() const noexcept { return fusion_; }
 
   /// Direct access to a conv/linear node's weights (tests & trainer).
   /// Mutating the returned tensor marks the node's packed panels dirty;
@@ -150,12 +171,10 @@ class Engine {
   /// Run `frames` through the FP32 path, recording per-node output
   /// min/max. The result is also retained internally, so a following
   /// prepare() for kInt8 needs no explicit calibration argument.
-  /// Requires the active precision to be kFp32.
+  /// Requires the active precision to be kFp32 and an unfused plan
+  /// (every node's float output must be observable).
   QuantCalibration calibrate(const std::vector<Tensor>& frames);
 
-  [[deprecated("call prepare() with PlanRequest::precision instead")]]
-  void set_precision(Precision precision,
-                     const QuantCalibration* calib = nullptr);
   /// The active plan's precision (folded into PlanRequest; this is a
   /// read-only view of plan().precision).
   Precision precision() const noexcept { return precision_; }
@@ -169,9 +188,12 @@ class Engine {
   void pack_winograd(int node);
   void build_int8_plan();
   /// Grow activations/outputs/arena for micro-batches of `max_batch`
-  /// (grow-only; the old plan_batch body).
+  /// (grow-only).
   void grow_batch_plan(int max_batch);
-  void rebuild_concat_lists();
+  /// Recompute per-node activation base pointers and per-image strides
+  /// from the active fusion plan (identity mapping when fusion is
+  /// off). Must run after anything that moves activation storage.
+  void rebuild_act_layout();
   /// (Re)allocates the output snapshot slots: outputs_ plus one
   /// batch_outputs_ row per planned batch image. The only place output
   /// storage is allocated — the run paths just copy into it.
@@ -194,12 +216,6 @@ class Engine {
   /// Per-node Winograd weight panels (16 each), packed lazily when the
   /// plan first selects kWinograd for the node.
   std::vector<std::vector<PackedA>> wino_panels_;
-  std::vector<std::vector<const float*>> concat_srcs_;
-  std::vector<std::vector<int>> concat_channels_;
-  /// Per-image concat argument scratch for run_batch (capacity = widest
-  /// concat in the graph, reserved once — resize below capacity is
-  /// allocation-free).
-  std::vector<const float*> concat_batch_srcs_;
   /// Pre-sized output snapshots returned by run() / run_batch().
   std::vector<Tensor> outputs_;
   std::vector<std::vector<Tensor>> batch_outputs_;
@@ -208,6 +224,16 @@ class Engine {
   int max_batch_ = 1;     ///< activation batch capacity (see prepare)
   std::size_t batch_scratch_bytes_ = 0;  ///< arena block already reserved
   std::size_t wino_scratch_bytes_ = 0;   ///< ditto, winograd V+M buffers
+  std::size_t fused_scratch_bytes_ = 0;  ///< ditto, fused stripe panels
+
+  /// Active fusion/memory plan and the per-node activation views it
+  /// induces: node i's image b lives at act_base_[i] + b*act_stride_[i]
+  /// (into its own tensor, another node's buffer, or act_arena_).
+  MemoryPlan fusion_;
+  FusionConfig fusion_cfg_{};
+  std::vector<float*> act_base_;
+  std::vector<std::size_t> act_stride_;
+  std::vector<float> act_arena_;  ///< planned-offset storage (plan_memory)
 
   ExecutionPlan plan_;               ///< active plan (see prepare)
   std::vector<ConvPlan> plan_scratch_;  ///< pre-sized planning staging

@@ -107,11 +107,12 @@ template <typename Packed>
 void conv2d_direct1x1_impl(const float* input, std::size_t in_stride,
                            int batch, const ConvGeometry& geom,
                            const Packed& weight, const float* bias, Act act,
-                           float* output, std::size_t out_stride) {
+                           float* output, std::size_t out_stride,
+                           EpiMode mode = EpiMode::kStore) {
   OCB_CHECK_MSG(geom.kernel_h == 1 && geom.kernel_w == 1 &&
                     geom.stride == 1 && geom.pad == 0,
                 "conv2d_direct1x1 needs a 1x1 stride-1 pad-0 conv");
-  const GemmEpilogue epi{bias, to_epilogue_act(act)};
+  const GemmEpilogue epi{bias, to_epilogue_act(act), mode};
   for (int b = 0; b < batch; ++b) {
     gemm_any(weight, input + static_cast<std::size_t>(b) * in_stride,
              output + static_cast<std::size_t>(b) * out_stride,
@@ -175,9 +176,28 @@ void conv2d_batched(const float* input, std::size_t in_stride, int batch,
 void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
                       const ConvGeometry& geom, const PackedA& weight,
                       const float* bias, Act act, float* output,
-                      std::size_t out_stride) {
+                      std::size_t out_stride, EpiMode mode) {
   conv2d_direct1x1_impl(input, in_stride, batch, geom, weight, bias, act,
-                        output, out_stride);
+                        output, out_stride, mode);
+}
+
+void conv2d_fused(const float* input, std::size_t in_stride, int batch,
+                  const ConvGeometry& geom, const PackedA& weight,
+                  const float* bias, Act act, float* output,
+                  std::size_t out_stride, ConvScratch& scratch,
+                  EpiMode mode) {
+  OCB_CHECK_MSG(batch >= 1, "conv2d_fused needs at least one image");
+  scratch.arena.reset();
+  float* panels =
+      scratch.arena.alloc_floats(fused_conv_scratch_floats(geom));
+  const GemmEpilogue epi{bias, to_epilogue_act(act), mode};
+  for (int b = 0; b < batch; ++b) {
+    const Im2colPanelPacker packer(
+        input + static_cast<std::size_t>(b) * in_stride, geom);
+    gemm_packed_im2col(weight, packer,
+                       output + static_cast<std::size_t>(b) * out_stride,
+                       geom.col_cols(), panels, epi);
+  }
 }
 
 void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
@@ -200,7 +220,7 @@ void conv2d_winograd(const float* input, std::size_t in_stride, int batch,
                      const ConvGeometry& geom,
                      const std::vector<PackedA>& u_panels, const float* bias,
                      Act act, float* output, std::size_t out_stride,
-                     ConvScratch& scratch) {
+                     ConvScratch& scratch, EpiMode mode) {
   OCB_CHECK_MSG(batch >= 1, "conv2d_winograd needs at least one image");
   OCB_CHECK_MSG(winograd::applicable(geom),
                 "conv2d_winograd needs a 3x3 stride-1 conv");
@@ -232,7 +252,7 @@ void conv2d_winograd(const float* input, std::size_t in_stride, int batch,
   for (int b = 0; b < batch; ++b) {
     winograd::transform_output(
         m, ld, static_cast<std::size_t>(b) * p_img, geom,
-        static_cast<int>(out_c), bias, epi_act,
+        static_cast<int>(out_c), bias, epi_act, mode,
         output + static_cast<std::size_t>(b) * out_stride);
   }
 }

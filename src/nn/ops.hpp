@@ -60,11 +60,26 @@ void conv2d_batched(const float* input, std::size_t in_stride, int batch,
 /// input already *is* the [in_c × h·w] column matrix, so the lowering
 /// copy (and its scratch) is skipped entirely. Batched images run one
 /// GEMM each. The planner picks this when the copy traffic outweighs
-/// the widened-GEMM benefit (see nn/planner.hpp).
+/// the widened-GEMM benefit (see nn/planner.hpp). `mode` fuses a
+/// residual add into the GEMM epilogue: output is preloaded with (or
+/// aliased onto) the residual and combined per EpiMode.
 void conv2d_direct1x1(const float* input, std::size_t in_stride, int batch,
                       const ConvGeometry& geom, const PackedA& weight,
                       const float* bias, Act act, float* output,
-                      std::size_t out_stride);
+                      std::size_t out_stride,
+                      EpiMode mode = EpiMode::kStore);
+
+/// Fused im2col-free conv (ConvAlgo::kIm2colFused): column stripes are
+/// packed straight from each CHW image and consumed by the stripe GEMM
+/// before the next stripe is packed, so the full column matrix never
+/// exists (see gemm_packed_im2col). Scratch use is
+/// fused_conv_scratch_floats(geom) — independent of the output size.
+/// `mode` fuses a residual add exactly as in conv2d_direct1x1.
+void conv2d_fused(const float* input, std::size_t in_stride, int batch,
+                  const ConvGeometry& geom, const PackedA& weight,
+                  const float* bias, Act act, float* output,
+                  std::size_t out_stride, ConvScratch& scratch,
+                  EpiMode mode = EpiMode::kStore);
 
 /// Compressed-storage variants of the conv GEMM paths: identical
 /// lowering, arena use and fused epilogue, but the GEMM reads
@@ -104,7 +119,7 @@ void conv2d_winograd(const float* input, std::size_t in_stride, int batch,
                      const ConvGeometry& geom,
                      const std::vector<PackedA>& u_panels, const float* bias,
                      Act act, float* output, std::size_t out_stride,
-                     ConvScratch& scratch);
+                     ConvScratch& scratch, EpiMode mode = EpiMode::kStore);
 
 /// Depthwise conv: one k×k filter per channel. `weight` is [c × k·k].
 /// Bias and activation are fused into the output loop.

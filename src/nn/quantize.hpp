@@ -88,9 +88,12 @@ QuantizedLayer quantize_layer(const float* weight, std::size_t m,
 /// quantized with `layer.in_q`). Lowering scratch (the activation quad
 /// buffer) comes from `scratch`, which is reset here — mirroring the
 /// fp32 conv2d contract. Exactly one of `out_f32`/`out_u8` is non-null.
+/// With `fused` (ConvAlgo::kIm2colQuantFused) the quad buffer is never
+/// materialized: stripes pack on the fly and scratch use drops to
+/// fused_qconv_scratch_bytes(geom).
 void qconv2d(const std::uint8_t* input_q, const ConvGeometry& geom,
              const QuantizedLayer& layer, const float* bias, float* out_f32,
-             std::uint8_t* out_u8, ConvScratch& scratch);
+             std::uint8_t* out_u8, ConvScratch& scratch, bool fused = false);
 
 /// INT8 linear over an already-quantized u8 input vector of `k`
 /// features. Exactly one of `out_f32`/`out_u8` is non-null.

@@ -86,6 +86,7 @@ void ThreadPool::run_range_chunks(RangeJob& job) {
     const std::size_t lo =
         job.next.fetch_add(job.chunk, std::memory_order_relaxed);
     if (lo >= job.end) break;
+    tasks_dispatched_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t hi = std::min(job.end, lo + job.chunk);
     try {
       job.fn(job.ctx, lo, hi);
@@ -119,17 +120,22 @@ void ThreadPool::for_range_impl(std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
 
   // Small ranges or a single worker: run inline, no synchronisation.
-  if (workers_.size() <= 1 || n <= grain) {
+  // The floor is pool-size-aware: a range with fewer grains than
+  // executors (workers plus the caller) cannot hand every thread a full
+  // chunk, and on such jobs — packed-GEMM panel loops with grain 1 on
+  // small shapes — the wake + claim round-trip costs more than the
+  // leftover parallelism wins.
+  const std::size_t executors = workers_.size() + 1;
+  const std::size_t grains = (n + grain - 1) / grain;
+  if (workers_.size() <= 1 || n <= grain || grains < executors) {
     fn(ctx, begin, end);
     return;
   }
 
   // Chunk geometry mirrors the old future-based splitter: at most
-  // 4 chunks per executor (workers plus this caller), never below the
-  // grain. Everything lives on this stack frame.
-  const std::size_t executors = workers_.size() + 1;
-  const std::size_t chunks =
-      std::min(executors * 4, (n + grain - 1) / grain);
+  // 4 chunks per executor, never below the grain. Everything lives on
+  // this stack frame.
+  const std::size_t chunks = std::min(executors * 4, grains);
   RangeJob job;
   job.fn = fn;
   job.ctx = ctx;

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -42,6 +43,14 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Total range chunks claimed through the pool since construction
+  /// (inline fallbacks dispatch none). Observability hook for the
+  /// pool-size-aware dispatch floor in for_range: small ranges must not
+  /// pay per-chunk wake/claim overhead, and tests assert it.
+  std::uint64_t tasks_dispatched() const noexcept {
+    return tasks_dispatched_.load(std::memory_order_relaxed);
+  }
 
   /// Enqueue a task; the returned future reports completion/exceptions.
   std::future<void> submit(std::function<void()> task) OCB_EXCLUDES(mutex_);
@@ -83,6 +92,8 @@ class ThreadPool {
   void unlink_range_job(RangeJob& job) OCB_REQUIRES(mutex_);
 
   std::vector<std::thread> workers_;  // immutable between ctor and dtor
+  // Lock-free relaxed counter (monotonic, no ordering needed).
+  std::atomic<std::uint64_t> tasks_dispatched_{0};
 
   Mutex mutex_;
   CondVar cv_;        ///< workers: task queued, range published, or stopping

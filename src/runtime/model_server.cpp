@@ -71,7 +71,8 @@ const char* serve_outcome_name(ServeOutcome outcome) noexcept {
 // ---------------------------------------------------------------------------
 // Runners
 
-EngineBatchRunner::EngineBatchRunner(nn::Engine& engine, int max_batch)
+EngineBatchRunner::EngineBatchRunner(nn::Engine& engine, int max_batch,
+                                     nn::FusionConfig fusion)
     : engine_(&engine) {
   OCB_CHECK_MSG(max_batch >= 1, "EngineBatchRunner needs max_batch >= 1");
   // Route through the unified planning entry point, keeping whatever
@@ -79,6 +80,7 @@ EngineBatchRunner::EngineBatchRunner(nn::Engine& engine, int max_batch)
   nn::PlanRequest request;
   request.max_batch = max_batch;
   request.precision = engine_->precision();
+  request.fusion = fusion;
   engine_->prepare(request);
 }
 

@@ -97,13 +97,17 @@ class BatchRunner {
 
 /// Real inference: feeds the batch through nn::Engine::run_batch (one
 /// widened GEMM per conv) and reports measured wall time. The engine
-/// must outlive the runner; prepare(PlanRequest{max_batch}) is applied
-/// at construction (preserving the engine's prepared precision).
-/// Payloads are shared_ptr<std::vector<Tensor>> — the engine outputs
-/// for that frame, identical to what run(frame) yields.
+/// must outlive the runner; prepare(PlanRequest{max_batch, fusion}) is
+/// applied at construction (preserving the engine's prepared
+/// precision). `fusion` opts the served engine into graph fusion +
+/// arena planning (see nn/fusion.hpp); it is ignored for kInt8-prepared
+/// engines, matching the engine contract. Payloads are
+/// shared_ptr<std::vector<Tensor>> — the engine outputs for that
+/// frame, identical to what run(frame) yields.
 class EngineBatchRunner final : public BatchRunner {
  public:
-  EngineBatchRunner(nn::Engine& engine, int max_batch);
+  EngineBatchRunner(nn::Engine& engine, int max_batch,
+                    nn::FusionConfig fusion = {});
   BatchOutput run(const std::vector<ServeRequest>& batch) override;
 
  private:

@@ -185,37 +185,97 @@ void gemm_scalar_blocked(const float* a, const float* b, float* c,
 }  // namespace
 
 namespace detail {
+namespace {
+
+/// One packed row panel against a B window: B has row stride ldb and C
+/// row stride ldc (ldb == ldc == n for the classic full-matrix call).
+/// Handles raw accumulate plus every EpiMode; the k-stream order is
+/// identical across modes so results stay bit-stable.
+void packed_panel_scalar(const PackedA& a, std::size_t p, const float* b,
+                         std::size_t ldb, float* c, std::size_t ldc,
+                         std::size_t n, bool accumulate,
+                         const GemmEpilogue& epi) {
+  constexpr std::size_t MR = PackedA::kRowTile;
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const float* ap = a.panel(p);
+  const std::size_t i0 = p * MR;
+  const std::size_t mr = std::min(MR, m - i0);
+
+  if (epi.mode == EpiMode::kActThenAcc) {
+    // C += act(acc + bias): the raw accumulator must stay separate from
+    // C, so run column chunks through a stack tile (no heap).
+    constexpr std::size_t JB = 64;
+    float tmp[MR * JB];
+    for (std::size_t j0 = 0; j0 < n; j0 += JB) {
+      const std::size_t jb = std::min(JB, n - j0);
+      std::fill_n(tmp, mr * JB, 0.0f);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* brow = b + kk * ldb + j0;
+        for (std::size_t r = 0; r < mr; ++r) {
+          const float aval = ap[kk * MR + r];
+          float* trow = tmp + r * JB;
+          for (std::size_t j = 0; j < jb; ++j) trow[j] += aval * brow[j];
+        }
+      }
+      for (std::size_t r = 0; r < mr; ++r) {
+        const float bias = epi.bias != nullptr ? epi.bias[i0 + r] : 0.0f;
+        float* crow = c + (i0 + r) * ldc + j0;
+        const float* trow = tmp + r * JB;
+        for (std::size_t j = 0; j < jb; ++j)
+          crow[j] += apply_epi_act(epi.act, trow[j] + bias);
+      }
+    }
+    return;
+  }
+
+  // kStore clears C first; kAccThenAct and raw accumulate stream onto
+  // the existing contents.
+  if (!accumulate && epi.mode == EpiMode::kStore) {
+    for (std::size_t r = 0; r < mr; ++r)
+      std::memset(c + (i0 + r) * ldc, 0, n * sizeof(float));
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* brow = b + kk * ldb;
+    for (std::size_t r = 0; r < mr; ++r) {
+      const float aval = ap[kk * MR + r];
+      float* crow = c + (i0 + r) * ldc;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  if (!accumulate &&
+      (epi.bias != nullptr || epi.act != EpiAct::kNone)) {
+    for (std::size_t r = 0; r < mr; ++r)
+      epilogue_row_scalar(c + (i0 + r) * ldc, n,
+                          epi.bias != nullptr ? epi.bias[i0 + r] : 0.0f,
+                          epi.act);
+  }
+}
+
+}  // namespace
 
 void gemm_packed_scalar(const PackedA& a, const float* b, float* c,
                         std::size_t n, bool accumulate,
                         const GemmEpilogue& epilogue, bool parallel) {
-  constexpr std::size_t MR = PackedA::kRowTile;
-  const std::size_t m = a.rows();
-  const std::size_t k = a.cols();
-
   auto panel_job = [&](std::size_t p) {
-    const float* ap = a.panel(p);
-    const std::size_t i0 = p * MR;
-    const std::size_t mr = std::min(MR, m - i0);
-    float* cpanel = c + i0 * n;
-    if (!accumulate) std::memset(cpanel, 0, mr * n * sizeof(float));
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float* brow = b + kk * n;
-      for (std::size_t r = 0; r < mr; ++r) {
-        const float aval = ap[kk * MR + r];
-        float* crow = cpanel + r * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-      }
-    }
-    if (epilogue.active()) {
-      for (std::size_t r = 0; r < mr; ++r)
-        epilogue_row_scalar(
-            cpanel + r * n, n,
-            epilogue.bias != nullptr ? epilogue.bias[i0 + r] : 0.0f,
-            epilogue.act);
-    }
+    packed_panel_scalar(a, p, b, n, c, n, n, accumulate, epilogue);
   };
+  const std::size_t panels = a.panel_count();
+  if (parallel && panels > 1) {
+    parallel_for(0, panels, panel_job, /*grain=*/1);
+  } else {
+    for (std::size_t p = 0; p < panels; ++p) panel_job(p);
+  }
+}
 
+void gemm_packed_stripe_scalar(const PackedA& a, const float* b,
+                               std::size_t ldb, float* c, std::size_t ldc,
+                               std::size_t n, const GemmEpilogue& epilogue,
+                               bool parallel) {
+  auto panel_job = [&](std::size_t p) {
+    packed_panel_scalar(a, p, b, ldb, c, ldc, n, /*accumulate=*/false,
+                        epilogue);
+  };
   const std::size_t panels = a.panel_count();
   if (parallel && panels > 1) {
     parallel_for(0, panels, panel_job, /*grain=*/1);
@@ -271,6 +331,8 @@ void gemm_ex(const float* a, const float* b, float* c, std::size_t m,
   OCB_CHECK_MSG(!(epilogue.active() && accumulate),
                 "fused epilogue requires accumulate == false");
   if (k == 0) {
+    OCB_CHECK_MSG(epilogue.mode == EpiMode::kStore,
+                  "k == 0 with a residual epilogue mode is unsupported");
     if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
     if (epilogue.active())
       for (std::size_t i = 0; i < m; ++i)
@@ -290,6 +352,15 @@ void gemm_ex(const float* a, const float* b, float* c, std::size_t m,
   }
 
   detail::record_dispatch_level(simd::Level::kScalar);
+  if (epilogue.mode != EpiMode::kStore) {
+    // The blocked kernel would overwrite the residual already sitting in
+    // C; the packed kernel handles both accumulating modes in-place.
+    PackedA& pack = thread_pack_buffer();
+    pack.pack(a, m, k);
+    detail::gemm_packed_scalar(pack, b, c, n, /*accumulate=*/false, epilogue,
+                               config.parallel);
+    return;
+  }
   gemm_scalar_blocked(a, b, c, m, k, n, accumulate, config);
   if (epilogue.active()) {
     auto row_epilogue = [&](std::size_t i) {
@@ -319,6 +390,8 @@ void gemm_packed(const PackedA& a, const float* b, float* c, std::size_t n,
   OCB_CHECK_MSG(!(epilogue.active() && accumulate),
                 "fused epilogue requires accumulate == false");
   if (a.cols() == 0) {
+    OCB_CHECK_MSG(epilogue.mode == EpiMode::kStore,
+                  "k == 0 with a residual epilogue mode is unsupported");
     if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
     if (epilogue.active())
       for (std::size_t i = 0; i < m; ++i)
@@ -335,6 +408,93 @@ void gemm_packed(const PackedA& a, const float* b, float* c, std::size_t n,
     detail::record_dispatch_level(simd::Level::kScalar);
     detail::gemm_packed_scalar(a, b, c, n, accumulate, epilogue,
                                config.parallel);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused im2col-free conv GEMM
+// ---------------------------------------------------------------------------
+
+std::size_t fused_panel_cols(std::size_t k) noexcept {
+  // One K×width stripe should stay L2-resident next to the C window and
+  // the streaming weight panels. Narrow stripes are the enemy: every
+  // stripe re-walks the full packed-A panel set, so the width should be
+  // as wide as the cache allows — 1.5 MiB leaves headroom on the 2 MiB
+  // L2 of the server parts this path is tuned on, and the width cap
+  // keeps one stripe a small multiple of the kernel's 512-column block.
+  constexpr std::size_t kPanelBudgetBytes = 3 * 512 * 1024;
+  std::size_t w =
+      kPanelBudgetBytes / (std::max<std::size_t>(1, k) * sizeof(float));
+  w = std::min<std::size_t>(1024, w) & ~std::size_t{15};
+  return std::max<std::size_t>(16, w);
+}
+
+std::size_t fused_panel_buffers(std::size_t stripes) noexcept {
+  const std::size_t executors = ThreadPool::global().size() + 1;
+  return std::max<std::size_t>(
+      1, std::min({stripes, executors, std::size_t{16}}));
+}
+
+std::size_t fused_conv_scratch_floats(const ConvGeometry& geom) noexcept {
+  const std::size_t k = geom.col_rows();
+  const std::size_t n = geom.col_cols();
+  const std::size_t w = fused_panel_cols(k);
+  const std::size_t stripes = (n + w - 1) / w;
+  return fused_panel_buffers(stripes) * k * w;
+}
+
+void gemm_packed_im2col(const PackedA& a, const Im2colPanelPacker& packer,
+                        float* c, std::size_t ldc, float* panels,
+                        const GemmEpilogue& epilogue,
+                        const GemmConfig& config) {
+  const std::size_t m = a.rows();
+  const std::size_t n = packer.cols();
+  const std::size_t k = a.cols();
+  if (m == 0 || n == 0) return;
+  OCB_CHECK_MSG(k == packer.rows(),
+                "packed weight depth != im2col column rows");
+  OCB_CHECK_MSG(k > 0, "fused conv GEMM requires a non-empty reduction");
+  OCB_CHECK_MSG(ldc >= n, "output row stride below the column count");
+
+  const std::size_t w = fused_panel_cols(k);
+  const std::size_t stripes = (n + w - 1) / w;
+  const std::size_t bufs = fused_panel_buffers(stripes);
+  const bool simd = use_simd(config);
+  detail::record_dispatch_level(simd ? simd::Level::kAvx2
+                                     : simd::Level::kScalar);
+
+  auto run_stripe = [&](std::size_t s, float* panel, bool inner_parallel) {
+    const std::size_t j0 = s * w;
+    const std::size_t jw = std::min(w, n - j0);
+    packer.pack(j0, jw, panel);
+    if (simd) {
+      detail::gemm_packed_stripe_avx2(a, panel, jw, c + j0, ldc, jw,
+                                      epilogue, inner_parallel);
+    } else {
+      detail::gemm_packed_stripe_scalar(a, panel, jw, c + j0, ldc, jw,
+                                        epilogue, inner_parallel);
+    }
+  };
+
+  const std::size_t executors = ThreadPool::global().size() + 1;
+  if (config.parallel && bufs > 1 && stripes >= executors) {
+    // Wave parallelism: `bufs` stripes pack and multiply concurrently,
+    // each wave slot owning one panel buffer; panels never outlive the
+    // wave so the scratch footprint stays bufs × K × w.
+    for (std::size_t s0 = 0; s0 < stripes; s0 += bufs) {
+      const std::size_t wave = std::min(bufs, stripes - s0);
+      parallel_for(
+          0, wave,
+          [&](std::size_t i) {
+            run_stripe(s0 + i, panels + i * k * w, /*inner_parallel=*/false);
+          },
+          /*grain=*/1);
+    }
+  } else {
+    // Too few stripes to win by stripe parallelism: keep one buffer hot
+    // and let the row-panel loop inside each stripe parallelise.
+    for (std::size_t s = 0; s < stripes; ++s)
+      run_stripe(s, panels, config.parallel);
   }
 }
 

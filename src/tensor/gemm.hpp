@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "tensor/im2col.hpp"
 #include "tensor/simd.hpp"
 
 namespace ocb {
@@ -53,16 +54,30 @@ enum class EpiAct { kNone, kRelu, kLeakyRelu, kSilu, kSigmoid };
 /// train with ag::relu(x, 0.1), and the engine export must match).
 inline constexpr float kLeakySlope = 0.1f;
 
+/// How the epilogue combines the freshly computed accumulator with the
+/// existing contents of C. The two accumulating modes fuse a residual
+/// add into the GEMM write-back so the add never runs as a separate
+/// elementwise pass: the caller preloads C with the residual tensor and
+/// picks the mode matching where the graph's activation sits.
+enum class EpiMode {
+  kStore,       ///< C = act(acc + bias) — overwrite (the classic path)
+  kAccThenAct,  ///< C = act(C + acc + bias) — add feeds the activation
+  kActThenAcc,  ///< C = C + act(acc + bias) — activated conv, raw add
+};
+
 /// Fused epilogue applied as C is written back: per-row bias add then
-/// activation. Only valid with accumulate == false — with accumulate
-/// the C tile is re-read and the activation would compose with already
-/// activated values (see DESIGN.md §7).
+/// activation, combined with C per `mode`. Only valid with
+/// accumulate == false — with accumulate the C tile is re-read raw and
+/// the activation would compose with already activated values (see
+/// DESIGN.md §7); the EpiMode accumulators subsume that use case.
 struct GemmEpilogue {
   const float* bias = nullptr;  ///< length M, added to every row i; optional
   EpiAct act = EpiAct::kNone;
+  EpiMode mode = EpiMode::kStore;
 
   bool active() const noexcept {
-    return bias != nullptr || act != EpiAct::kNone;
+    return bias != nullptr || act != EpiAct::kNone ||
+           mode != EpiMode::kStore;
   }
 };
 
@@ -119,6 +134,41 @@ void gemm_packed(const PackedA& a, const float* b, float* c, std::size_t n,
 /// Reference triple-loop implementation used by tests as the oracle.
 void gemm_naive(const float* a, const float* b, float* c, std::size_t m,
                 std::size_t k, std::size_t n, bool accumulate = false);
+
+// ---------------------------------------------------------------------------
+// Fused im2col-free convolution GEMM (oneDNN/FBGEMM-style on-the-fly
+// packing). The full K×N column matrix is never materialized: the
+// column range is processed in cache-resident stripes, each packed
+// straight from the NCHW image by an Im2colPanelPacker and consumed by
+// the stripe GEMM before the next stripe is packed. Bytes moved drop
+// from 2·K·N floats (write + read back of the column matrix through
+// DRAM) to K·stripe floats resident in L2.
+// ---------------------------------------------------------------------------
+
+/// Stripe width (columns) for a fused conv with reduction depth k:
+/// sized so one K×width panel stays within the L2 budget, clamped to
+/// [16, 512] and rounded to the 16-column register tile.
+std::size_t fused_panel_cols(std::size_t k) noexcept;
+
+/// Number of stripe panels packed concurrently (bounded by the global
+/// pool size); the fused driver processes stripes in waves of this
+/// many buffers.
+std::size_t fused_panel_buffers(std::size_t stripes) noexcept;
+
+/// Scratch floats gemm_packed_im2col needs for one image of `geom`
+/// (fused_panel_buffers × col_rows × fused_panel_cols). The engine
+/// reserves this in its conv arena at plan time.
+std::size_t fused_conv_scratch_floats(const ConvGeometry& geom) noexcept;
+
+/// C[M × ldc] = act(packed(A) · im2col(image) + bias) without ever
+/// materializing the column matrix. `c` addresses an M×cols() window
+/// with row stride ldc (>= packer.cols()); `panels` must hold
+/// fused_conv_scratch_floats of the packer's geometry. Epilogue modes
+/// apply exactly as in gemm_packed.
+void gemm_packed_im2col(const PackedA& a, const Im2colPanelPacker& packer,
+                        float* c, std::size_t ldc, float* panels,
+                        const GemmEpilogue& epilogue = {},
+                        const GemmConfig& config = {});
 
 // Scalar reference of the epilogue's fast activations (same exp2-based
 // polynomial the AVX2 path vectorises; see gemm_avx2.cpp for the error

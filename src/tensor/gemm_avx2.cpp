@@ -45,14 +45,17 @@ constexpr std::size_t MR = PackedA::kRowTile;  // 6
 constexpr std::size_t kColBlock = 512;         // B stripe kept cache-hot
 
 /// One register tile: rows [i0, i0+mr) × columns [j, j + 8·NV).
-/// `ap` is the panel (k-major, MR floats per k), `ld` the row stride of
-/// B and C. Accumulates over the full K extent, applies the epilogue in
-/// registers, then writes each live row back exactly once.
+/// `ap` is the panel (k-major, MR floats per k); B rows stride `ldb`,
+/// C rows stride `ldc` (equal for the classic call, distinct on the
+/// fused stripe path). Accumulates over the full K extent, combines
+/// with C per the epilogue mode in registers, then writes each live row
+/// back exactly once.
 template <int NV>
 inline void kernel_tile(const float* ap, const float* b, float* c,
-                        std::size_t ld, std::size_t k, std::size_t mr,
-                        bool accumulate, const float* bias_panel,
-                        EpiAct act) noexcept {
+                        std::size_t ldb, std::size_t ldc, std::size_t k,
+                        std::size_t mr, bool accumulate,
+                        const float* bias_panel, EpiAct act,
+                        EpiMode mode) noexcept {
   __m256 acc[MR][NV];
   for (std::size_t r = 0; r < MR; ++r)
     for (int v = 0; v < NV; ++v) acc[r][v] = _mm256_setzero_ps();
@@ -67,11 +70,11 @@ inline void kernel_tile(const float* ap, const float* b, float* c,
       for (int v = 0; v < NV; ++v)
         acc[r][v] = _mm256_fmadd_ps(av, bv[v], acc[r][v]);
     }
-    bp += ld;
+    bp += ldb;
   }
 
   for (std::size_t r = 0; r < mr; ++r) {
-    float* crow = c + r * ld;
+    float* crow = c + r * ldc;
     const __m256 bias = bias_panel != nullptr
                             ? _mm256_broadcast_ss(bias_panel + r)
                             : _mm256_setzero_ps();
@@ -80,7 +83,19 @@ inline void kernel_tile(const float* ap, const float* b, float* c,
       if (accumulate) {
         val = _mm256_add_ps(_mm256_loadu_ps(crow + 8 * v), val);
       } else {
-        val = apply_act256(_mm256_add_ps(val, bias), act);
+        switch (mode) {
+          case EpiMode::kStore:
+            val = apply_act256(_mm256_add_ps(val, bias), act);
+            break;
+          case EpiMode::kAccThenAct:
+            val = _mm256_add_ps(_mm256_loadu_ps(crow + 8 * v), val);
+            val = apply_act256(_mm256_add_ps(val, bias), act);
+            break;
+          case EpiMode::kActThenAcc:
+            val = apply_act256(_mm256_add_ps(val, bias), act);
+            val = _mm256_add_ps(_mm256_loadu_ps(crow + 8 * v), val);
+            break;
+        }
       }
       _mm256_storeu_ps(crow + 8 * v, val);
     }
@@ -88,21 +103,31 @@ inline void kernel_tile(const float* ap, const float* b, float* c,
 }
 
 /// Scalar remainder for the final n % 8 columns of a panel.
-void kernel_tail(const float* ap, const float* b, float* c, std::size_t ld,
-                 std::size_t k, std::size_t cols, std::size_t mr,
-                 bool accumulate, const float* bias_panel,
-                 EpiAct act) noexcept {
+void kernel_tail(const float* ap, const float* b, float* c, std::size_t ldb,
+                 std::size_t ldc, std::size_t k, std::size_t cols,
+                 std::size_t mr, bool accumulate, const float* bias_panel,
+                 EpiAct act, EpiMode mode) noexcept {
   for (std::size_t r = 0; r < mr; ++r) {
     for (std::size_t j = 0; j < cols; ++j) {
       float acc = 0.0f;
       for (std::size_t kk = 0; kk < k; ++kk)
-        acc += ap[kk * MR + r] * b[kk * ld + j];
-      float* out = c + r * ld + j;
+        acc += ap[kk * MR + r] * b[kk * ldb + j];
+      float* out = c + r * ldc + j;
       if (accumulate) {
         *out += acc;
-      } else {
-        if (bias_panel != nullptr) acc += bias_panel[r];
-        *out = apply_epi_act(act, acc);
+        continue;
+      }
+      if (bias_panel != nullptr) acc += bias_panel[r];
+      switch (mode) {
+        case EpiMode::kStore:
+          *out = apply_epi_act(act, acc);
+          break;
+        case EpiMode::kAccThenAct:
+          *out = apply_epi_act(act, *out + acc);
+          break;
+        case EpiMode::kActThenAcc:
+          *out += apply_epi_act(act, acc);
+          break;
       }
     }
   }
@@ -110,13 +135,20 @@ void kernel_tail(const float* ap, const float* b, float* c, std::size_t ld,
 
 }  // namespace
 
-void gemm_packed_avx2(const PackedA& a, const float* b, float* c,
-                      std::size_t n, bool accumulate,
-                      const GemmEpilogue& epilogue, bool parallel) {
+namespace {
+
+/// Shared driver: panels × column blocks over a B window with row
+/// stride ldb and a C window with row stride ldc. The classic call
+/// passes ldb == ldc == n; the fused stripe passes the panel width.
+void packed_driver_avx2(const PackedA& a, const float* b, std::size_t ldb,
+                        float* c, std::size_t ldc, std::size_t n,
+                        bool accumulate, const GemmEpilogue& epilogue,
+                        bool parallel) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t panels = a.panel_count();
   const EpiAct act = epilogue.act;
+  const EpiMode mode = epilogue.mode;
 
   // Column blocks keep one K×kColBlock stripe of B cache-resident while
   // every row panel streams over it; panels parallelise freely inside a
@@ -129,17 +161,17 @@ void gemm_packed_avx2(const PackedA& a, const float* b, float* c,
       const std::size_t mr = std::min(MR, m - i0);
       const float* bias_panel =
           epilogue.bias != nullptr ? epilogue.bias + i0 : nullptr;
-      float* cpanel = c + i0 * n;
+      float* cpanel = c + i0 * ldc;
       std::size_t j = jc;
       for (; j + 16 <= jc_end; j += 16)
-        kernel_tile<2>(ap, b + j, cpanel + j, n, k, mr, accumulate,
-                       bias_panel, act);
+        kernel_tile<2>(ap, b + j, cpanel + j, ldb, ldc, k, mr, accumulate,
+                       bias_panel, act, mode);
       for (; j + 8 <= jc_end; j += 8)
-        kernel_tile<1>(ap, b + j, cpanel + j, n, k, mr, accumulate,
-                       bias_panel, act);
+        kernel_tile<1>(ap, b + j, cpanel + j, ldb, ldc, k, mr, accumulate,
+                       bias_panel, act, mode);
       if (j < jc_end)
-        kernel_tail(ap, b + j, cpanel + j, n, k, jc_end - j, mr, accumulate,
-                    bias_panel, act);
+        kernel_tail(ap, b + j, cpanel + j, ldb, ldc, k, jc_end - j, mr,
+                    accumulate, bias_panel, act, mode);
     };
     if (parallel && panels > 1) {
       parallel_for(0, panels, panel_job, /*grain=*/1);
@@ -147,6 +179,22 @@ void gemm_packed_avx2(const PackedA& a, const float* b, float* c,
       for (std::size_t p = 0; p < panels; ++p) panel_job(p);
     }
   }
+}
+
+}  // namespace
+
+void gemm_packed_avx2(const PackedA& a, const float* b, float* c,
+                      std::size_t n, bool accumulate,
+                      const GemmEpilogue& epilogue, bool parallel) {
+  packed_driver_avx2(a, b, n, c, n, n, accumulate, epilogue, parallel);
+}
+
+void gemm_packed_stripe_avx2(const PackedA& a, const float* b,
+                             std::size_t ldb, float* c, std::size_t ldc,
+                             std::size_t n, const GemmEpilogue& epilogue,
+                             bool parallel) {
+  packed_driver_avx2(a, b, ldb, c, ldc, n, /*accumulate=*/false, epilogue,
+                     parallel);
 }
 
 }  // namespace ocb::detail
@@ -165,6 +213,13 @@ void gemm_packed_avx2(const PackedA& a, const float* b, float* c,
   // The dispatcher never routes here when avx2_compiled() is false;
   // keep a correct fallback anyway rather than a trap.
   gemm_packed_scalar(a, b, c, n, accumulate, epilogue, parallel);
+}
+
+void gemm_packed_stripe_avx2(const PackedA& a, const float* b,
+                             std::size_t ldb, float* c, std::size_t ldc,
+                             std::size_t n, const GemmEpilogue& epilogue,
+                             bool parallel) {
+  gemm_packed_stripe_scalar(a, b, ldb, c, ldc, n, epilogue, parallel);
 }
 
 }  // namespace ocb::detail

@@ -25,6 +25,21 @@ void gemm_packed_scalar(const PackedA& a, const float* b, float* c,
                         std::size_t n, bool accumulate,
                         const GemmEpilogue& epilogue, bool parallel);
 
+/// Stripe variants for the fused im2col-free path: B is a packed
+/// K×n panel with row stride `ldb` (a column window of the virtual
+/// column matrix) while C keeps the full output row stride `ldc`. The
+/// n==ldb==ldc case degenerates to the kernels above. The stripe is at
+/// most fused_panel_cols wide, so no further column blocking happens
+/// inside.
+void gemm_packed_stripe_avx2(const PackedA& a, const float* b,
+                             std::size_t ldb, float* c, std::size_t ldc,
+                             std::size_t n, const GemmEpilogue& epilogue,
+                             bool parallel);
+void gemm_packed_stripe_scalar(const PackedA& a, const float* b,
+                               std::size_t ldb, float* c, std::size_t ldc,
+                               std::size_t n, const GemmEpilogue& epilogue,
+                               bool parallel);
+
 /// Apply `epilogue` to row i of C (scalar; used for k == 0 edge cases
 /// and the scalar blocked path).
 void epilogue_row_scalar(float* row, std::size_t n, float bias, EpiAct act);

@@ -77,6 +77,127 @@ void im2col_u8_quads(const std::uint8_t* image, const ConvGeometry& geom,
   }
 }
 
+namespace {
+
+/// Valid output-x range [xlo, xhi) of one kernel tap kx: the x for
+/// which sx = x·stride − pad + kx stays inside [0, in_w). Shared by
+/// both panel packers so the float and quad windows agree on padding.
+inline void tap_x_range(const ConvGeometry& geom, int kx, int* xlo,
+                        int* xhi) noexcept {
+  const int lo = geom.pad - kx;
+  *xlo = lo > 0 ? (lo + geom.stride - 1) / geom.stride : 0;
+  const int hi_num = geom.in_w - 1 + geom.pad - kx;
+  *xhi = hi_num < 0 ? 0 : hi_num / geom.stride + 1;
+  if (*xhi < *xlo) *xhi = *xlo;
+}
+
+}  // namespace
+
+void Im2colPanelPacker::pack(std::size_t col0, std::size_t width,
+                             float* dst) const {
+  const ConvGeometry& g = geom_;
+  const int ow = g.out_w();
+  OCB_CHECK_MSG(col0 + width <= cols(),
+                "im2col panel window exceeds the column matrix");
+  const std::size_t plane = static_cast<std::size_t>(g.in_h) * g.in_w;
+  const std::size_t j1 = col0 + width;
+  std::size_t row = 0;
+  for (int c = 0; c < g.in_c; ++c) {
+    const float* src = image_ + static_cast<std::size_t>(c) * plane;
+    for (int ky = 0; ky < g.kernel_h; ++ky) {
+      for (int kx = 0; kx < g.kernel_w; ++kx, ++row) {
+        int xlo = 0, xhi = 0;
+        tap_x_range(g, kx, &xlo, &xhi);
+        float* out = dst + row * width;
+        std::size_t j = col0;
+        while (j < j1) {
+          // The window slice inside one output row y: x in [x0, x0+seg).
+          const int y = static_cast<int>(j / ow);
+          const int x0 = static_cast<int>(j % ow);
+          const int seg =
+              static_cast<int>(std::min<std::size_t>(j1 - j, ow - x0));
+          const int sy = y * g.stride - g.pad + ky;
+          if (sy < 0 || sy >= g.in_h) {
+            std::fill_n(out, seg, 0.0f);
+          } else {
+            const float* srow =
+                src + static_cast<std::size_t>(sy) * g.in_w;
+            const int a = std::max(x0, xlo);
+            const int b = std::min(x0 + seg, xhi);
+            if (a >= b) {
+              std::fill_n(out, seg, 0.0f);
+            } else {
+              std::fill_n(out, a - x0, 0.0f);
+              if (g.stride == 1) {
+                std::copy_n(srow + (a - g.pad + kx), b - a, out + (a - x0));
+              } else if (g.stride == 2) {
+                detail::gather_stride2(srow + (2 * a - g.pad + kx), b - a,
+                                       out + (a - x0));
+              } else {
+                for (int x = a; x < b; ++x)
+                  out[x - x0] = srow[x * g.stride - g.pad + kx];
+              }
+              std::fill_n(out + (b - x0), x0 + seg - b, 0.0f);
+            }
+          }
+          out += seg;
+          j += static_cast<std::size_t>(seg);
+        }
+      }
+    }
+  }
+}
+
+void Im2colQuadPanelPacker::pack(std::size_t col0, std::size_t width,
+                                 std::uint8_t* dst) const {
+  const ConvGeometry& g = geom_;
+  const int ow = g.out_w();
+  OCB_CHECK_MSG(col0 + width <= cols(),
+                "im2col quad window exceeds the column matrix");
+  constexpr std::size_t Q = 4;  // PackedQuantA::kQuadK
+  const std::size_t nrows = rows();
+  const std::size_t plane = static_cast<std::size_t>(g.in_h) * g.in_w;
+  const std::size_t j1 = col0 + width;
+  if (nrows % Q != 0) {
+    // Partial final quad row: zero once, live bytes overwritten below.
+    std::fill_n(dst + (nrows / Q) * width * Q, width * Q, std::uint8_t{0});
+  }
+  std::size_t row = 0;
+  for (int c = 0; c < g.in_c; ++c) {
+    const std::uint8_t* src = image_ + static_cast<std::size_t>(c) * plane;
+    for (int ky = 0; ky < g.kernel_h; ++ky) {
+      for (int kx = 0; kx < g.kernel_w; ++kx, ++row) {
+        int xlo = 0, xhi = 0;
+        tap_x_range(g, kx, &xlo, &xhi);
+        std::uint8_t* out = dst + (row / Q) * width * Q + row % Q;
+        std::size_t j = col0;
+        while (j < j1) {
+          const int y = static_cast<int>(j / ow);
+          const int x0 = static_cast<int>(j % ow);
+          const int seg =
+              static_cast<int>(std::min<std::size_t>(j1 - j, ow - x0));
+          const int sy = y * g.stride - g.pad + ky;
+          if (sy < 0 || sy >= g.in_h) {
+            for (int x = 0; x < seg; ++x, out += Q) *out = pad_value_;
+          } else {
+            const std::uint8_t* srow =
+                src + static_cast<std::size_t>(sy) * g.in_w;
+            const int a = std::max(x0, xlo);
+            const int b = std::min(x0 + seg, xhi);
+            for (int x = x0; x < std::min(a, x0 + seg); ++x, out += Q)
+              *out = pad_value_;
+            for (int x = std::max(a, x0); x < b; ++x, out += Q)
+              *out = srow[x * g.stride - g.pad + kx];
+            for (int x = std::max(b, x0); x < x0 + seg; ++x, out += Q)
+              *out = pad_value_;
+          }
+          j += static_cast<std::size_t>(seg);
+        }
+      }
+    }
+  }
+}
+
 void col2im(const float* col, const ConvGeometry& geom, float* image_grad) {
   const int oh = geom.out_h();
   const int ow = geom.out_w();

@@ -60,4 +60,64 @@ void col2im(const float* col, const ConvGeometry& geom, float* image_grad);
 void im2col_u8_quads(const std::uint8_t* image, const ConvGeometry& geom,
                      std::uint8_t pad_value, std::uint8_t* out);
 
+namespace detail {
+/// Strided gather used by Im2colPanelPacker on stride-2 rows:
+/// out[i] = src[2·i] for i in [0, n). AVX2 deinterleave when the
+/// dispatcher allows it (im2col_avx2.cpp), scalar otherwise.
+void gather_stride2(const float* src, int n, float* out) noexcept;
+}  // namespace detail
+
+/// On-the-fly im2col panel packer — the fused (materialization-free)
+/// lowering. Instead of expanding the full [col_rows × col_cols] column
+/// matrix into scratch, the fused GEMM asks for one cache-resident
+/// column window at a time: pack() walks the (c, kh, kw) strides of the
+/// NCHW image directly and zero-fills padding, producing exactly the
+/// columns [col0, col0 + width) of the matrix the materialized im2col
+/// would have built. Row r of the window lands at dst[r·width + j].
+/// Values are bitwise identical to the materialized lowering, so the
+/// two paths differ only in summation grouping at register-tile edges.
+class Im2colPanelPacker {
+ public:
+  Im2colPanelPacker(const float* image, const ConvGeometry& geom) noexcept
+      : image_(image), geom_(geom) {}
+
+  std::size_t rows() const noexcept { return geom_.col_rows(); }
+  std::size_t cols() const noexcept { return geom_.col_cols(); }
+  const ConvGeometry& geometry() const noexcept { return geom_; }
+
+  /// Pack columns [col0, col0 + width) into the row-major panel `dst`
+  /// (row stride = width). Requires col0 + width <= cols().
+  void pack(std::size_t col0, std::size_t width, float* dst) const;
+
+ private:
+  const float* image_;
+  ConvGeometry geom_;
+};
+
+/// Quantized twin of Im2colPanelPacker: packs a column window of the
+/// activation quad layout (see im2col_u8_quads) for the fused INT8
+/// path. The window's quad row q holds bytes
+/// dst[(q·width + j)·4 + (k mod 4)]; spatial padding writes the
+/// activation zero-point and partial-quad tail bytes are zeroed, both
+/// matching the materialized lowering byte for byte.
+class Im2colQuadPanelPacker {
+ public:
+  Im2colQuadPanelPacker(const std::uint8_t* image, const ConvGeometry& geom,
+                        std::uint8_t pad_value) noexcept
+      : image_(image), geom_(geom), pad_value_(pad_value) {}
+
+  std::size_t rows() const noexcept { return geom_.col_rows(); }
+  std::size_t cols() const noexcept { return geom_.col_cols(); }
+
+  /// Pack columns [col0, col0 + width) of the quad layout into `dst`,
+  /// which must hold quad_count · width · 4 bytes for
+  /// quad_count = ceil(col_rows / 4).
+  void pack(std::size_t col0, std::size_t width, std::uint8_t* dst) const;
+
+ private:
+  const std::uint8_t* image_;
+  ConvGeometry geom_;
+  std::uint8_t pad_value_;
+};
+
 }  // namespace ocb

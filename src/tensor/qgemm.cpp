@@ -100,6 +100,7 @@ void qgemm_packed_scalar(const PackedQuantA& a, const std::uint8_t* b_quads,
                          const QGemmOut& out, bool parallel) {
   const std::size_t m = a.rows();
   const std::size_t quads = a.quad_count();
+  const std::size_t ldc = out.ldc != 0 ? out.ldc : n;
   const float inv_out_scale =
       out.u8 != nullptr ? 1.0f / out.out_scale : 1.0f;
 
@@ -131,8 +132,8 @@ void qgemm_packed_scalar(const PackedQuantA& a, const std::uint8_t* b_quads,
       }
       for (std::size_t r = 0; r < mr; ++r)
         for (std::size_t j = 0; j < jb; ++j)
-          store_one(acc[r][j], i0 + r, (i0 + r) * n + j0 + j, epilogue, out,
-                    inv_out_scale);
+          store_one(acc[r][j], i0 + r, (i0 + r) * ldc + j0 + j, epilogue,
+                    out, inv_out_scale);
     }
   };
 
@@ -197,6 +198,117 @@ void qgemm_packed_u8(const PackedQuantA& a, const std::uint8_t* b_quads,
   out.out_scale = out_scale;
   out.out_zp = out_zp;
   qgemm_dispatch(a, b_quads, n, epilogue, out, config);
+}
+
+// ---------------------------------------------------------------------------
+// Fused im2col-free path
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Stripe width for a fused INT8 conv: one quads×width×4-byte panel
+/// under the same L2 budget as the FP32 fused_panel_cols.
+std::size_t fused_quad_panel_cols(std::size_t quads) noexcept {
+  constexpr std::size_t kPanelBudgetBytes = 192 * 1024;
+  std::size_t w = kPanelBudgetBytes /
+                  std::max<std::size_t>(1, quads * PackedQuantA::kQuadK);
+  w = std::min<std::size_t>(512, w) & ~std::size_t{15};
+  return std::max<std::size_t>(16, w);
+}
+
+void qgemm_im2col_dispatch(const PackedQuantA& a,
+                           const Im2colQuadPanelPacker& packer,
+                           const detail::QGemmOut& proto, std::size_t ldc,
+                           std::uint8_t* panels,
+                           const QGemmEpilogue& epilogue,
+                           const QGemmConfig& config) {
+  OCB_CHECK_MSG(epilogue.scale != nullptr,
+                "quantized gemm requires per-row dequantize scales");
+  const std::size_t m = a.rows();
+  const std::size_t n = packer.cols();
+  if (m == 0 || n == 0) return;
+  OCB_CHECK_MSG(a.cols() == packer.rows(),
+                "packed weight depth != im2col column rows");
+  OCB_CHECK_MSG(ldc >= n, "output row stride below the column count");
+
+  const std::size_t quads = a.quad_count();
+  const std::size_t w = fused_quad_panel_cols(quads);
+  const std::size_t stripes = (n + w - 1) / w;
+  const std::size_t bufs = fused_panel_buffers(stripes);
+  const std::size_t panel_bytes = quads * PackedQuantA::kQuadK * w;
+  const bool simd = use_simd(config);
+  detail::record_dispatch_level(simd ? simd::Level::kAvx2
+                                     : simd::Level::kScalar);
+
+  auto run_stripe = [&](std::size_t s, std::uint8_t* panel,
+                        bool inner_parallel) {
+    const std::size_t j0 = s * w;
+    const std::size_t jw = std::min(w, n - j0);
+    packer.pack(j0, jw, panel);
+    detail::QGemmOut out = proto;
+    if (out.f32 != nullptr) out.f32 += j0;
+    if (out.u8 != nullptr) out.u8 += j0;
+    out.ldc = ldc;
+    if (simd) {
+      detail::qgemm_packed_avx2(a, panel, jw, epilogue, out, inner_parallel);
+    } else {
+      detail::qgemm_packed_scalar(a, panel, jw, epilogue, out,
+                                  inner_parallel);
+    }
+  };
+
+  const std::size_t executors = ThreadPool::global().size() + 1;
+  if (config.parallel && bufs > 1 && stripes >= executors) {
+    for (std::size_t s0 = 0; s0 < stripes; s0 += bufs) {
+      const std::size_t wave = std::min(bufs, stripes - s0);
+      parallel_for(
+          0, wave,
+          [&](std::size_t i) {
+            run_stripe(s0 + i, panels + i * panel_bytes,
+                       /*inner_parallel=*/false);
+          },
+          /*grain=*/1);
+    }
+  } else {
+    for (std::size_t s = 0; s < stripes; ++s)
+      run_stripe(s, panels, config.parallel);
+  }
+}
+
+}  // namespace
+
+std::size_t fused_qconv_scratch_bytes(const ConvGeometry& geom) noexcept {
+  const std::size_t quads =
+      (geom.col_rows() + PackedQuantA::kQuadK - 1) / PackedQuantA::kQuadK;
+  const std::size_t n = geom.col_cols();
+  const std::size_t w = fused_quad_panel_cols(quads);
+  const std::size_t stripes = (n + w - 1) / w;
+  return fused_panel_buffers(stripes) * quads * PackedQuantA::kQuadK * w;
+}
+
+void qgemm_packed_im2col(const PackedQuantA& a,
+                         const Im2colQuadPanelPacker& packer, float* c,
+                         std::size_t ldc, std::uint8_t* panels,
+                         const QGemmEpilogue& epilogue,
+                         const QGemmConfig& config) {
+  detail::QGemmOut out;
+  out.f32 = c;
+  qgemm_im2col_dispatch(a, packer, out, ldc, panels, epilogue, config);
+}
+
+void qgemm_packed_im2col_u8(const PackedQuantA& a,
+                            const Im2colQuadPanelPacker& packer,
+                            std::uint8_t* c, std::size_t ldc,
+                            float out_scale, std::int32_t out_zp,
+                            std::uint8_t* panels,
+                            const QGemmEpilogue& epilogue,
+                            const QGemmConfig& config) {
+  OCB_CHECK_MSG(out_scale > 0.0f, "u8 output requires a positive scale");
+  detail::QGemmOut out;
+  out.u8 = c;
+  out.out_scale = out_scale;
+  out.out_zp = out_zp;
+  qgemm_im2col_dispatch(a, packer, out, ldc, panels, epilogue, config);
 }
 
 }  // namespace ocb

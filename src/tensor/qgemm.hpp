@@ -112,4 +112,34 @@ void qgemm_naive_i32(const std::int8_t* a, const std::uint8_t* b,
                      std::int32_t* c, std::size_t m, std::size_t k,
                      std::size_t n);
 
+// ---------------------------------------------------------------------------
+// Fused im2col-free INT8 conv GEMM: the quantized twin of
+// gemm_packed_im2col (gemm.hpp). Activation quad stripes are packed
+// straight from the u8 image by an Im2colQuadPanelPacker and consumed
+// before the next stripe is packed — the full quad buffer is never
+// materialized.
+// ---------------------------------------------------------------------------
+
+/// Scratch bytes the fused INT8 conv GEMM needs for one image of
+/// `geom` (stripe buffers of the activation quad layout).
+std::size_t fused_qconv_scratch_bytes(const ConvGeometry& geom) noexcept;
+
+/// C (float, M × ldc window) = act(dequant(Wq · im2col(image)) + bias)
+/// without materializing the quad buffer. `panels` must hold
+/// fused_qconv_scratch_bytes of the packer's geometry.
+void qgemm_packed_im2col(const PackedQuantA& a,
+                         const Im2colQuadPanelPacker& packer, float* c,
+                         std::size_t ldc, std::uint8_t* panels,
+                         const QGemmEpilogue& epilogue,
+                         const QGemmConfig& config = {});
+
+/// As qgemm_packed_im2col but requantizing to u8 (mid-graph path).
+void qgemm_packed_im2col_u8(const PackedQuantA& a,
+                            const Im2colQuadPanelPacker& packer,
+                            std::uint8_t* c, std::size_t ldc,
+                            float out_scale, std::int32_t out_zp,
+                            std::uint8_t* panels,
+                            const QGemmEpilogue& epilogue,
+                            const QGemmConfig& config = {});
+
 }  // namespace ocb

@@ -71,10 +71,10 @@ inline void store_u8x8(std::uint8_t* dst, __m256 v, float inv_out_scale,
 /// points at the tile's first column inside the activation quad rows.
 template <int NV>
 inline void kernel_tile(const std::int8_t* ap, const std::uint8_t* bq,
-                        std::size_t n, std::size_t quads, std::size_t mr,
-                        std::size_t i0, const QGemmEpilogue& epi,
-                        const QGemmOut& out, std::size_t j,
-                        float inv_out_scale) noexcept {
+                        std::size_t n, std::size_t ldc, std::size_t quads,
+                        std::size_t mr, std::size_t i0,
+                        const QGemmEpilogue& epi, const QGemmOut& out,
+                        std::size_t j, float inv_out_scale) noexcept {
   const __m256i ones = _mm256_set1_epi16(1);
   __m256i acc[MR][NV];
   for (std::size_t r = 0; r < MR; ++r)
@@ -110,9 +110,9 @@ inline void kernel_tile(const std::int8_t* ap, const std::uint8_t* bq,
       const __m256 val =
           finish_row(acc[r][v], off, epi.scale[row], bias, epi.act);
       if (out.f32 != nullptr) {
-        _mm256_storeu_ps(out.f32 + row * n + j + 8 * v, val);
+        _mm256_storeu_ps(out.f32 + row * ldc + j + 8 * v, val);
       } else {
-        store_u8x8(out.u8 + row * n + j + 8 * v, val, inv_out_scale,
+        store_u8x8(out.u8 + row * ldc + j + 8 * v, val, inv_out_scale,
                    out.out_zp);
       }
     }
@@ -121,10 +121,10 @@ inline void kernel_tile(const std::int8_t* ap, const std::uint8_t* bq,
 
 /// Scalar remainder for the final n % 8 columns of a panel.
 void kernel_tail(const std::int8_t* ap, const std::uint8_t* bq,
-                 std::size_t n, std::size_t quads, std::size_t cols,
-                 std::size_t mr, std::size_t i0, const QGemmEpilogue& epi,
-                 const QGemmOut& out, std::size_t j,
-                 float inv_out_scale) noexcept {
+                 std::size_t n, std::size_t ldc, std::size_t quads,
+                 std::size_t cols, std::size_t mr, std::size_t i0,
+                 const QGemmEpilogue& epi, const QGemmOut& out,
+                 std::size_t j, float inv_out_scale) noexcept {
   for (std::size_t r = 0; r < mr; ++r) {
     const std::size_t row = i0 + r;
     for (std::size_t jj = 0; jj < cols; ++jj) {
@@ -142,9 +142,9 @@ void kernel_tail(const std::int8_t* ap, const std::uint8_t* bq,
       if (epi.bias != nullptr) v += epi.bias[row];
       v = apply_epi_act(epi.act, v);
       if (out.f32 != nullptr)
-        out.f32[row * n + j + jj] = v;
+        out.f32[row * ldc + j + jj] = v;
       else
-        out.u8[row * n + j + jj] =
+        out.u8[row * ldc + j + jj] =
             requantize_u8(v, inv_out_scale, out.out_zp);
     }
   }
@@ -158,6 +158,7 @@ void qgemm_packed_avx2(const PackedQuantA& a, const std::uint8_t* b_quads,
   const std::size_t m = a.rows();
   const std::size_t quads = a.quad_count();
   const std::size_t panels = a.panel_count();
+  const std::size_t ldc = out.ldc != 0 ? out.ldc : n;
   const float inv_out_scale =
       out.u8 != nullptr ? 1.0f / out.out_scale : 1.0f;
 
@@ -169,13 +170,13 @@ void qgemm_packed_avx2(const PackedQuantA& a, const std::uint8_t* b_quads,
       const std::size_t mr = std::min(MR, m - i0);
       std::size_t j = jc;
       for (; j + 16 <= jc_end; j += 16)
-        kernel_tile<2>(ap, b_quads + j * Q, n, quads, mr, i0, epilogue, out,
-                       j, inv_out_scale);
+        kernel_tile<2>(ap, b_quads + j * Q, n, ldc, quads, mr, i0, epilogue,
+                       out, j, inv_out_scale);
       for (; j + 8 <= jc_end; j += 8)
-        kernel_tile<1>(ap, b_quads + j * Q, n, quads, mr, i0, epilogue, out,
-                       j, inv_out_scale);
+        kernel_tile<1>(ap, b_quads + j * Q, n, ldc, quads, mr, i0, epilogue,
+                       out, j, inv_out_scale);
       if (j < jc_end)
-        kernel_tail(ap, b_quads + j * Q, n, quads, jc_end - j, mr, i0,
+        kernel_tail(ap, b_quads + j * Q, n, ldc, quads, jc_end - j, mr, i0,
                     epilogue, out, j, inv_out_scale);
     };
     if (parallel && panels > 1) {

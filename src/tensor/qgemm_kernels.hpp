@@ -19,6 +19,10 @@ struct QGemmOut {
   std::uint8_t* u8 = nullptr;
   float out_scale = 1.0f;
   std::int32_t out_zp = 0;
+  /// Output row stride in elements; 0 means dense (= the GEMM's n).
+  /// The fused im2col path writes a column window of a wider output, so
+  /// its stride exceeds the stripe width.
+  std::size_t ldc = 0;
 };
 
 /// AVX2 `vpmaddubsw`/`vpmaddwd` kernel. Must only be called when

@@ -71,7 +71,7 @@ void transform_input_scalar(const float* image, const ConvGeometry& geom,
 void transform_output_scalar(const float* m, std::size_t ld,
                              std::size_t col_offset, const ConvGeometry& geom,
                              int out_c, const float* bias, EpiAct act,
-                             float* output) {
+                             EpiMode mode, float* output) {
   const int oh = geom.out_h(), ow = geom.out_w();
   const int th = tiles_h(geom), tw = tiles_w(geom);
   const std::size_t plane = static_cast<std::size_t>(out_c) * ld;
@@ -84,7 +84,7 @@ void transform_output_scalar(const float* m, std::size_t ld,
         inverse_tile_scalar(mk, plane,
                             static_cast<std::size_t>(ty) * tw + tx,
                             ty * kTileOut, tx * kTileOut, oh, ow, bk, act,
-                            dst);
+                            mode, dst);
       }
     }
   }
@@ -107,19 +107,20 @@ void transform_input(const float* image, const ConvGeometry& geom, float* v,
 
 void transform_output(const float* m, std::size_t ld, std::size_t col_offset,
                       const ConvGeometry& geom, int out_c, const float* bias,
-                      EpiAct act, float* output) {
+                      EpiAct act, EpiMode mode, float* output) {
   OCB_CHECK_MSG(applicable(geom),
                 "winograd output transform needs a 3x3 stride-1 conv");
   // The AVX2 kernel writes 16-pixel output row segments, so it needs 8
-  // unclipped tiles per tile row.
-  if (simd::active() == simd::Level::kAvx2 &&
-      geom.out_w() / kTileOut >= 8) {
+  // unclipped tiles per tile row. Accumulating (residual-fused) modes
+  // run non-overlapping register blocks with a scalar row remainder;
+  // plain stores keep the overlapping-tail trick (see winograd_avx2.cpp).
+  if (simd::active() == simd::Level::kAvx2 && geom.out_w() / kTileOut >= 8) {
     detail::transform_output_avx2(m, ld, col_offset, geom, out_c, bias, act,
-                                  output);
+                                  mode, output);
     return;
   }
   detail::transform_output_scalar(m, ld, col_offset, geom, out_c, bias, act,
-                                  output);
+                                  mode, output);
 }
 
 }  // namespace ocb::winograd

@@ -93,9 +93,11 @@ void transform_input(const float* image, const ConvGeometry& geom, float* v,
 /// into one image's CHW output plane, fusing the bias add and
 /// activation (the GEMMs must therefore run with an empty epilogue).
 /// Reads columns [col_offset, col_offset + tile_count) of each matrix;
-/// odd out_h/out_w edge tiles are clipped.
+/// odd out_h/out_w edge tiles are clipped. `mode` combines the result
+/// with the existing output exactly as the GEMM epilogue (residual
+/// fusion preloads `output`); accumulating modes run scalar.
 void transform_output(const float* m, std::size_t ld, std::size_t col_offset,
                       const ConvGeometry& geom, int out_c, const float* bias,
-                      EpiAct act, float* output);
+                      EpiAct act, EpiMode mode, float* output);
 
 }  // namespace ocb::winograd

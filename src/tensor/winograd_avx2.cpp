@@ -137,16 +137,43 @@ void transform_input_avx2(const float* image, const ConvGeometry& geom,
 void transform_output_avx2(const float* m, std::size_t ld,
                            std::size_t col_offset, const ConvGeometry& geom,
                            int out_c, const float* bias, EpiAct act,
-                           float* output) {
+                           EpiMode mode, float* output) {
   const int oh = geom.out_h(), ow = geom.out_w();
   const int th = tiles_h(geom), tw = tiles_w(geom);
   const int full_tw = ow / kTileOut;  // tiles with both columns in-bounds
+  // The overlapping-tail trick (recompute the last 8 tiles of a row so
+  // the block never leaves full_tw) rewrites pixels. That is idempotent
+  // when storing, but an accumulating mode reads the output back, so
+  // the residual-fused modes use non-overlapping blocks and finish each
+  // row with scalar tiles instead.
+  const bool overlap_tail = mode == EpiMode::kStore;
   const std::size_t plane = static_cast<std::size_t>(out_c) * ld;
   for (int k = 0; k < out_c; ++k) {
     const float* mk = m + static_cast<std::size_t>(k) * ld + col_offset;
     float* dst = output + static_cast<std::size_t>(k) * oh * ow;
     const float bk = bias != nullptr ? bias[k] : 0.0f;
     const __m256 bv = _mm256_set1_ps(bk);
+    // Combine one 8-pixel segment with the output row per `mode`,
+    // matching inverse_tile_scalar's operation order exactly.
+    const auto emit = [&](float* row, __m256 y) {
+      switch (mode) {
+        case EpiMode::kStore:
+          _mm256_storeu_ps(
+              row, ocb::detail::apply_act256(_mm256_add_ps(y, bv), act));
+          break;
+        case EpiMode::kAccThenAct:
+          _mm256_storeu_ps(
+              row, ocb::detail::apply_act256(_mm256_add_ps(
+                       _mm256_add_ps(_mm256_loadu_ps(row), y), bv), act));
+          break;
+        case EpiMode::kActThenAcc:
+          _mm256_storeu_ps(
+              row, _mm256_add_ps(_mm256_loadu_ps(row),
+                                 ocb::detail::apply_act256(
+                                     _mm256_add_ps(y, bv), act)));
+          break;
+      }
+    };
     for (int ty = 0; ty < th; ++ty) {
       const int oy0 = ty * kTileOut;
       if (oy0 + kTileOut > oh) {
@@ -154,10 +181,12 @@ void transform_output_avx2(const float* m, std::size_t ld,
         for (int tx = 0; tx < tw; ++tx)
           inverse_tile_scalar(mk, plane,
                               static_cast<std::size_t>(ty) * tw + tx, oy0,
-                              tx * kTileOut, oh, ow, bk, act, dst);
+                              tx * kTileOut, oh, ow, bk, act, mode, dst);
         continue;
       }
-      for (int tx0 = 0;;) {
+      int covered = 0;  // tiles written by register blocks this row
+      for (int tx0 = 0; tx0 + 8 <= full_tw ||
+                        (overlap_tail && full_tw >= 8 && covered < full_tw);) {
         if (tx0 + 8 > full_tw) tx0 = full_tw - 8;  // tail: overlap
         const std::size_t p0 = static_cast<std::size_t>(ty) * tw + tx0;
         __m256 mm[kTileElems];
@@ -171,40 +200,35 @@ void transform_output_avx2(const float* m, std::size_t ld,
           t1[j] = _mm256_sub_ps(_mm256_sub_ps(mm[4 + j], mm[8 + j]),
                                 mm[12 + j]);
         }
-        __m256 y00 = _mm256_add_ps(_mm256_add_ps(t0[0], t0[1]), t0[2]);
-        __m256 y01 = _mm256_sub_ps(_mm256_sub_ps(t0[1], t0[2]), t0[3]);
-        __m256 y10 = _mm256_add_ps(_mm256_add_ps(t1[0], t1[1]), t1[2]);
-        __m256 y11 = _mm256_sub_ps(_mm256_sub_ps(t1[1], t1[2]), t1[3]);
-        y00 = ocb::detail::apply_act256(_mm256_add_ps(y00, bv), act);
-        y01 = ocb::detail::apply_act256(_mm256_add_ps(y01, bv), act);
-        y10 = ocb::detail::apply_act256(_mm256_add_ps(y10, bv), act);
-        y11 = ocb::detail::apply_act256(_mm256_add_ps(y11, bv), act);
+        const __m256 y00 = _mm256_add_ps(_mm256_add_ps(t0[0], t0[1]), t0[2]);
+        const __m256 y01 = _mm256_sub_ps(_mm256_sub_ps(t0[1], t0[2]), t0[3]);
+        const __m256 y10 = _mm256_add_ps(_mm256_add_ps(t1[0], t1[1]), t1[2]);
+        const __m256 y11 = _mm256_sub_ps(_mm256_sub_ps(t1[1], t1[2]), t1[3]);
         // Interleave the even/odd pixel phases back into two 16-pixel
-        // output row segments.
+        // output row segments, then fold in bias/activation/residual.
         const int ox0 = tx0 * kTileOut;
         {
           const __m256 lo = _mm256_unpacklo_ps(y00, y01);
           const __m256 hi = _mm256_unpackhi_ps(y00, y01);
           float* row = dst + static_cast<std::size_t>(oy0) * ow + ox0;
-          _mm256_storeu_ps(row, _mm256_permute2f128_ps(lo, hi, 0x20));
-          _mm256_storeu_ps(row + 8, _mm256_permute2f128_ps(lo, hi, 0x31));
+          emit(row, _mm256_permute2f128_ps(lo, hi, 0x20));
+          emit(row + 8, _mm256_permute2f128_ps(lo, hi, 0x31));
         }
         {
           const __m256 lo = _mm256_unpacklo_ps(y10, y11);
           const __m256 hi = _mm256_unpackhi_ps(y10, y11);
           float* row = dst + static_cast<std::size_t>(oy0 + 1) * ow + ox0;
-          _mm256_storeu_ps(row, _mm256_permute2f128_ps(lo, hi, 0x20));
-          _mm256_storeu_ps(row + 8, _mm256_permute2f128_ps(lo, hi, 0x31));
+          emit(row, _mm256_permute2f128_ps(lo, hi, 0x20));
+          emit(row + 8, _mm256_permute2f128_ps(lo, hi, 0x31));
         }
-        if (tx0 + 8 >= full_tw) break;
+        covered = tx0 + 8;
         tx0 += 8;
       }
-      if (full_tw < tw) {
-        // Clipped last column (odd out_w).
-        inverse_tile_scalar(mk, plane,
-                            static_cast<std::size_t>(ty) * tw + (tw - 1),
-                            oy0, (tw - 1) * kTileOut, oh, ow, bk, act, dst);
-      }
+      // Residual-mode row remainder plus the clipped last column (odd
+      // out_w) — everything the register blocks did not cover.
+      for (int tx = covered; tx < tw; ++tx)
+        inverse_tile_scalar(mk, plane, static_cast<std::size_t>(ty) * tw + tx,
+                            oy0, tx * kTileOut, oh, ow, bk, act, mode, dst);
     }
   }
 }
@@ -225,8 +249,9 @@ void transform_input_avx2(const float* image, const ConvGeometry& geom,
 void transform_output_avx2(const float* m, std::size_t ld,
                            std::size_t col_offset, const ConvGeometry& geom,
                            int out_c, const float* bias, EpiAct act,
-                           float* output) {
-  transform_output_scalar(m, ld, col_offset, geom, out_c, bias, act, output);
+                           EpiMode mode, float* output) {
+  transform_output_scalar(m, ld, col_offset, geom, out_c, bias, act, mode,
+                          output);
 }
 
 }  // namespace ocb::winograd::detail

@@ -89,10 +89,11 @@ inline void input_tile_scalar(const float* src, int h, int w, int iy0,
 /// Inverse-transform column `p` of the 16 product matrices rooted at
 /// `mk` (`plane` floats apart) into the 2×2 output tile at (oy0, ox0),
 /// fusing the bias add and activation; rows/columns past oh/ow are
-/// clipped.
+/// clipped. `mode` combines the tile with the existing output exactly
+/// as the GEMM epilogue does (residual fusion preloads dst).
 inline void inverse_tile_scalar(const float* mk, std::size_t plane,
                                 std::size_t p, int oy0, int ox0, int oh,
-                                int ow, float bk, EpiAct act,
+                                int ow, float bk, EpiAct act, EpiMode mode,
                                 float* dst) noexcept {
   float tile[4][4];
   for (int xi = 0; xi < kTileElems; ++xi)
@@ -116,7 +117,17 @@ inline void inverse_tile_scalar(const float* mk, std::size_t plane,
     for (int dx = 0; dx < kTileOut; ++dx) {
       const int ox = ox0 + dx;
       if (ox >= ow) break;
-      out_row[ox] = apply_epi_act(act, y[dx] + bk);
+      switch (mode) {
+        case EpiMode::kStore:
+          out_row[ox] = apply_epi_act(act, y[dx] + bk);
+          break;
+        case EpiMode::kAccThenAct:
+          out_row[ox] = apply_epi_act(act, out_row[ox] + y[dx] + bk);
+          break;
+        case EpiMode::kActThenAcc:
+          out_row[ox] += apply_epi_act(act, y[dx] + bk);
+          break;
+      }
     }
   }
 }
@@ -128,7 +139,7 @@ void transform_input_scalar(const float* image, const ConvGeometry& geom,
 void transform_output_scalar(const float* m, std::size_t ld,
                              std::size_t col_offset, const ConvGeometry& geom,
                              int out_c, const float* bias, EpiAct act,
-                             float* output);
+                             EpiMode mode, float* output);
 
 /// AVX2 transforms vectorised across 8 consecutive tiles of one tile
 /// row (defined in winograd_avx2.cpp; baseline builds of that TU
@@ -141,6 +152,6 @@ void transform_input_avx2(const float* image, const ConvGeometry& geom,
 void transform_output_avx2(const float* m, std::size_t ld,
                            std::size_t col_offset, const ConvGeometry& geom,
                            int out_c, const float* bias, EpiAct act,
-                           float* output);
+                           EpiMode mode, float* output);
 
 }  // namespace ocb::winograd::detail

