@@ -68,6 +68,20 @@ hosts should raise the floor to 1.25 (see EXPERIMENTS.md). Speedups and arena ra
 ns/frame is additionally compared against the baseline file unless
 --ratio-only.
 
+Also understands BENCH_fault.json (top-level "bench": "fault"), the
+fault-injection resilience bench (DESIGN.md §14). Fails when the
+checksum layer's verify-cadence overhead exceeds
+--max-verify-overhead-pct (default 2.0) of the median clean frame,
+when a warmed verify-enabled frame performed heap allocations (only
+enforced when the build counts them), when any model's injected
+corruption went undetected (recovery.detected false or zero flips
+landed), when recovery failed to restore bit-exact clean outputs
+(max_abs_diff_after != 0), when the serving quarantine took more than
+--max-quarantine-frames (default 4) to bench a corrupted model or
+never re-admitted it after reload, or when a devsim degradation mode
+failed to slow the modelled device. All fault quantities are
+machine-relative, so they hold on any runner.
+
 Usage:
   scripts/check_bench_regression.py BENCH_kernels.json \
       --baseline bench/baselines/BENCH_kernels.json [--tolerance 0.15]
@@ -79,6 +93,8 @@ Usage:
       --baseline bench/baselines/BENCH_pareto.json
   scripts/check_bench_regression.py BENCH_fusion.json \
       --baseline bench/baselines/BENCH_fusion.json
+  scripts/check_bench_regression.py BENCH_fault.json \
+      --baseline bench/baselines/BENCH_fault.json
 """
 
 from __future__ import annotations
@@ -378,6 +394,67 @@ def check_fusion(
     return failures
 
 
+def check_fault(
+    current: dict,
+    max_verify_overhead_pct: float,
+    max_quarantine_frames: int,
+) -> list[str]:
+    """Gate the fault-injection bench: the checksum layer must stay
+    cheap on the clean path and actually detect + repair corruption,
+    and the serving quarantine must bench and re-admit a faulted model
+    within the frame budget."""
+    failures: list[str] = []
+    alloc_counting = current.get("alloc_counting", False)
+
+    overhead = current.get("verify_overhead_pct", 0.0)
+    if overhead > max_verify_overhead_pct:
+        failures.append(
+            f"checksum verify overhead {overhead:.2f}% of median frame "
+            f"exceeds budget {max_verify_overhead_pct:.2f}%"
+        )
+
+    for model in current.get("models", []):
+        name = model["name"]
+        if alloc_counting and model.get("warm_allocs", 0) != 0:
+            failures.append(
+                f"{name}: warmed verify-enabled frame performed "
+                f"{model['warm_allocs']} heap allocation(s)"
+            )
+        recovery = model.get("recovery", {})
+        if recovery.get("flips", 0) <= 0:
+            failures.append(f"{name}: injection landed no bit flips")
+        if not recovery.get("detected", False):
+            failures.append(
+                f"{name}: injected weight corruption went undetected"
+            )
+        if recovery.get("max_abs_diff_after", 1.0) != 0.0:
+            failures.append(
+                f"{name}: recovery did not restore bit-exact outputs "
+                f"(max |diff| after "
+                f"{recovery.get('max_abs_diff_after'):.2e})"
+            )
+        quarantine = model.get("quarantine", {})
+        frames = quarantine.get("frames_to_quarantine", -1)
+        if frames < 0 or frames > max_quarantine_frames:
+            failures.append(
+                f"{name}: corrupted model not quarantined within "
+                f"{max_quarantine_frames} frames (took {frames})"
+            )
+        if not quarantine.get("readmitted", False):
+            failures.append(
+                f"{name}: quarantined model never re-admitted after reload"
+            )
+
+    devsim = current.get("devsim", {})
+    for mode in ("thermal_slowdown", "bandwidth_slowdown"):
+        if devsim.get(mode, 0.0) <= 1.0:
+            failures.append(
+                f"devsim {mode} {devsim.get(mode, 0.0):.2f} does not slow "
+                "the modelled device"
+            )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly generated BENCH_kernels.json")
@@ -461,9 +538,51 @@ def main() -> int:
         help="largest trained-detector accuracy move (percentage "
         "points vs fp32) a gated pareto variant may show",
     )
+    parser.add_argument(
+        "--max-verify-overhead-pct",
+        type=float,
+        default=2.0,
+        help="largest checksum-verify overhead (%% of the median clean "
+        "frame at the default cadence) the fault bench may show",
+    )
+    parser.add_argument(
+        "--max-quarantine-frames",
+        type=int,
+        default=4,
+        help="frames the serving quarantine may take to bench a model "
+        "failing its checksum sweep (fault bench)",
+    )
     args = parser.parse_args()
 
     current = load(args.current)
+
+    if current.get("bench") == "fault":
+        failures = check_fault(
+            current,
+            args.max_verify_overhead_pct,
+            args.max_quarantine_frames,
+        )
+        if failures:
+            print("bench regression check FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        models = current.get("models", [])
+        worst_frames = max(
+            (
+                m.get("quarantine", {}).get("frames_to_quarantine", -1)
+                for m in models
+            ),
+            default=-1,
+        )
+        print(
+            "bench regression check passed (fault: "
+            f"{len(models)} models, verify overhead "
+            f"{current.get('verify_overhead_pct', 0.0):.2f}%, recovery "
+            "bit-exact, quarantine within "
+            f"{worst_frames} frame(s), simd={current.get('simd')})"
+        )
+        return 0
 
     if current.get("bench") == "fusion":
         try:

@@ -55,6 +55,13 @@ correctness:
                    as test/telemetry oracles; a sparse-plan hot path
                    calling one silently forfeits the entire bandwidth
                    win the plan was priced on.
+  fault-hook-guard fault-injection hook calls (maybe_corrupt_lanes /
+                   set_lane_fault) in src/tensor or src/nn outside an
+                   #if region mentioning OCB_FAULT_HOOKS. The hooks
+                   must compile to nothing in Release hot paths when
+                   the option is off; an unguarded call site would ship
+                   the corruption branch (and its atomic load) in every
+                   production kernel dispatch (DESIGN.md §14).
   bench-baseline   bench/baselines/*.json must parse and carry the
                    top-level keys scripts/check_bench_regression.py
                    keys off, so a malformed baseline fails in lint, not
@@ -395,6 +402,52 @@ def check_sparse_dense_unpack(rel: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+# --- rule: fault-hook-guard -------------------------------------------------
+
+FAULT_HOOK_RE = re.compile(r"\b(?:maybe_corrupt_lanes|set_lane_fault)\s*\(")
+# The hook's own declaration/definition TU provides the #else no-ops;
+# everything else in the kernel layers must guard call sites so the
+# Release hot path compiles them out entirely.
+FAULT_HOOK_ALLOWED = {
+    "src/tensor/fault_hook.hpp",
+    "src/tensor/fault_hook.cpp",
+}
+FAULT_HOOK_PATHS = ("src/tensor/", "src/nn/")
+
+
+def check_fault_hook_guard(rel: str, lines: list[str]) -> list[Finding]:
+    if rel in FAULT_HOOK_ALLOWED or not rel.startswith(FAULT_HOOK_PATHS):
+        return []
+    findings = []
+    # Stack of open preprocessor conditionals: True when the opening
+    # directive mentions OCB_FAULT_HOOKS (the whole region through any
+    # #else counts as guarded — the #else branch is the compiled-out
+    # side and can only contain no-ops).
+    if_stack: list[bool] = []
+    for i, raw in enumerate(lines, 1):
+        stripped = raw.lstrip()
+        if stripped.startswith("#"):
+            directive = stripped[1:].lstrip()
+            if directive.startswith(("ifdef", "ifndef", "if")):
+                if_stack.append("OCB_FAULT_HOOKS" in raw)
+            elif directive.startswith("endif") and if_stack:
+                if_stack.pop()
+            continue
+        code = strip_comments_and_strings(raw)
+        if not FAULT_HOOK_RE.search(code):
+            continue
+        if "fault-hook-guard" in allowed_rules(raw):
+            continue
+        if any(if_stack):
+            continue
+        findings.append(Finding(
+            "fault-hook-guard", rel, i,
+            "fault-injection hook call outside an #if OCB_FAULT_HOOKS "
+            "region — Release hot paths must compile the hooks out "
+            "(DESIGN.md §14)"))
+    return findings
+
+
 # --- rule: bench-baseline ---------------------------------------------------
 
 BASELINE_REQUIRED_KEYS = {
@@ -404,6 +457,8 @@ BASELINE_REQUIRED_KEYS = {
     "BENCH_precision_sweep.json": {"latency", "accuracy"},
     "BENCH_pareto.json": {"bench", "kernel_gates", "equivalence", "frontier"},
     "BENCH_fusion.json": {"bench", "simd", "gate_model", "models"},
+    "BENCH_fault.json": {"bench", "simd", "alloc_counting", "verify_cadence",
+                         "verify_overhead_pct", "models", "devsim"},
 }
 
 
@@ -444,6 +499,7 @@ FILE_CHECKS = [
     check_im2col_materialize,
     check_simd_tu,
     check_sparse_dense_unpack,
+    check_fault_hook_guard,
 ]
 
 
@@ -525,6 +581,12 @@ SELF_TEST_CASES = [
      ["sparse_packed_[i].unpack_masked_dense(scratch.data());"]),
     ("sparse-dense-unpack", "src/nn/bad.cpp",
      ["half_packed_[i].unpack_dense(scratch.data());"]),
+    ("fault-hook-guard", "src/tensor/bad.cpp",
+     ["fault_hook::detail::maybe_corrupt_lanes(c, m, n, ldc);"]),
+    ("fault-hook-guard", "src/nn/bad.cpp",
+     ["#if defined(OCB_FAULT_HOOKS)",
+      "#endif",
+      "fault_hook::set_lane_fault(fault);"]),
 ]
 
 SELF_TEST_CLEAN = [
@@ -561,6 +623,14 @@ SELF_TEST_CLEAN = [
      ["void PackedSparseA::unpack_masked_dense(float* out) const {"]),
     ("src/nn/good2.cpp",
      ["// unpack_masked_dense is the test oracle, not a hot path"]),
+    ("src/tensor/good_gemm.cpp",
+     ["#if defined(OCB_FAULT_HOOKS)",
+      "  fault_hook::detail::maybe_corrupt_lanes(c, m, n, n);",
+      "#endif"]),
+    ("src/tensor/fault_hook.cpp",
+     ["void set_lane_fault(const LaneFault& fault) noexcept {"]),
+    ("src/runtime/good3.cpp",
+     ["injector.arm_lane_fault();  // outside the kernel layers"]),
 ]
 
 

@@ -1,0 +1,22 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over raw bytes.
+//
+// The integrity layer (DESIGN.md §14) records one CRC per packed
+// weight-panel buffer at pack time and re-verifies it on a cadence, so
+// the implementation is sized for multi-megabyte buffers on the frame
+// path: slicing-by-8 with compile-time tables (8 KiB, constexpr-built)
+// processes 8 bytes per step and never allocates, keeping the clean
+// verify path inside the engine's AllocGuard contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ocb {
+
+/// CRC32 of `bytes` bytes at `data`. Chain partial buffers by feeding
+/// the previous result as `seed`: crc32(b, n2, crc32(a, n1)) equals the
+/// CRC of the concatenation.
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace ocb

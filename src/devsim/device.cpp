@@ -1,5 +1,6 @@
 #include "devsim/device.hpp"
 
+#include "core/check.hpp"
 #include "core/error.hpp"
 
 namespace ocb::devsim {
@@ -33,6 +34,17 @@ const std::vector<DeviceSpec>& device_table() {
        /*int8_speedup=*/4.0},
   };
   return kTable;
+}
+
+DeviceSpec degraded(const DeviceSpec& spec, const Degradation& d) {
+  OCB_CHECK_MSG(d.compute_scale > 0.0 && d.compute_scale <= 1.0,
+                "degradation compute_scale must be in (0, 1]");
+  OCB_CHECK_MSG(d.bandwidth_scale > 0.0 && d.bandwidth_scale <= 1.0,
+                "degradation bandwidth_scale must be in (0, 1]");
+  DeviceSpec out = spec;
+  out.eff_gflops *= d.compute_scale;
+  out.eff_bw_gbps *= d.bandwidth_scale;
+  return out;
 }
 
 const DeviceSpec& device_spec(DeviceId id) {

@@ -46,6 +46,23 @@ struct DeviceSpec {
   }
 };
 
+/// Degradation modes the fault layer drives through the simulator:
+/// thermal throttling scales sustained compute, a failing/contended
+/// memory subsystem scales sustained bandwidth. Scales are fractions of
+/// the healthy value in (0, 1]; 1.0 = unaffected.
+struct Degradation {
+  double compute_scale = 1.0;    ///< thermal throttle: eff_gflops ×= this
+  double bandwidth_scale = 1.0;  ///< bandwidth collapse: eff_bw_gbps ×= this
+  bool any() const noexcept {
+    return compute_scale != 1.0 || bandwidth_scale != 1.0;
+  }
+};
+
+/// A copy of `spec` with its effective execution parameters scaled by
+/// the degradation. The roofline model then prices the slowdown the
+/// same way it prices healthy devices.
+DeviceSpec degraded(const DeviceSpec& spec, const Degradation& d);
+
 /// The three Jetson boards (Table 3 order) + the RTX 4090.
 const std::vector<DeviceSpec>& device_table();
 

@@ -90,6 +90,9 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
   sparse_packed_.resize(static_cast<std::size_t>(n));
   half_packed_.resize(static_cast<std::size_t>(n));
   wino_panels_.resize(static_cast<std::size_t>(n));
+  pack_crc_.assign(static_cast<std::size_t>(n), 0);
+  sparse_crc_.assign(static_cast<std::size_t>(n), 0);
+  half_crc_.assign(static_cast<std::size_t>(n), 0);
   plan_.nodes.assign(static_cast<std::size_t>(n), ConvPlan{});
   plan_scratch_.assign(static_cast<std::size_t>(n), ConvPlan{});
 
@@ -142,7 +145,10 @@ Engine::Engine(const Graph& graph, std::uint64_t seed) : graph_(graph) {
     const FeatShape out = graph_.shape(i);
     activations_[static_cast<std::size_t>(i)] =
         Tensor({1, out.c, out.h, out.w});
-    if (nd.kind == OpKind::kConv || nd.kind == OpKind::kLinear) repack(i);
+    if (nd.kind == OpKind::kConv || nd.kind == OpKind::kLinear) {
+      repack(i);
+      integrity_nodes_.push_back(i);
+    }
     if (nd.kind == OpKind::kConv) {
       const FeatShape s = graph_.shape(nd.inputs[0]);
       const ConvGeometry geom{s.c, s.h, s.w, nd.kernel, nd.kernel, nd.stride,
@@ -210,6 +216,10 @@ void Engine::rebuild_act_layout() {
 const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
   OCB_CHECK_MSG(request.max_batch >= 1, "prepare needs a positive max_batch");
   const int n = graph_.node_count();
+  // Config-only: the verification cadence never keys the plan, so
+  // adopting it up front keeps an otherwise-unchanged re-prepare on the
+  // heap-free early-return path below.
+  integrity_ = request.integrity;
   const bool new_calib = request.calibration != nullptr;
   if (new_calib) calib_ = *request.calibration;
   if (request.precision == Precision::kInt8) {
@@ -530,6 +540,7 @@ void Engine::repack(int node) {
     }
   }
   pack_dirty_[i] = 0;
+  record_checksums(i);
 }
 
 void Engine::pack_storage(int node) {
@@ -540,7 +551,10 @@ void Engine::pack_storage(int node) {
   const std::size_t k = packed_[i].cols();
   const float* w = weights_[i].data();
   if (st == WeightStorage::kHalf) {
-    if (half_packed_[i].empty()) half_packed_[i].pack(w, m, k, half_format_);
+    if (half_packed_[i].empty()) {
+      half_packed_[i].pack(w, m, k, half_format_);
+      record_checksums(i);
+    }
     return;
   }
   const bool want_half = st == WeightStorage::kSparseHalf;
@@ -552,6 +566,7 @@ void Engine::pack_storage(int node) {
   } else {
     sparse_packed_[i].pack(w, m, k, mask.data());
   }
+  record_checksums(i);
 }
 
 void Engine::pack_winograd(int node) {
@@ -562,6 +577,62 @@ void Engine::pack_winograd(int node) {
   const FeatShape in0 = graph_.shape(nd.inputs[0]);
   winograd::pack_weights(weights_[i].data(), nd.out_c, in0.c,
                          wino_panels_[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Weight integrity (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void Engine::record_checksums(std::size_t i) {
+  pack_crc_[i] = packed_[i].empty() ? 0 : packed_[i].checksum();
+  sparse_crc_[i] = sparse_packed_[i].empty() ? 0 : sparse_packed_[i].checksum();
+  half_crc_[i] = half_packed_[i].empty() ? 0 : half_packed_[i].checksum();
+}
+
+bool Engine::verify_node(int node, bool recover) {
+  const std::size_t i = static_cast<std::size_t>(node);
+  ++integrity_report_.nodes_checked;
+  const bool dense_ok =
+      packed_[i].empty() || packed_[i].checksum() == pack_crc_[i];
+  const bool sparse_ok = sparse_packed_[i].empty() ||
+                         sparse_packed_[i].checksum() == sparse_crc_[i];
+  const bool half_ok =
+      half_packed_[i].empty() || half_packed_[i].checksum() == half_crc_[i];
+  if (dense_ok && sparse_ok && half_ok) return true;
+  ++integrity_report_.mismatches;
+  if (recover) {
+    // Re-pack every live format of the node from the master fp32
+    // weights; repack() re-records the checksums.
+    repack(node);
+    ++integrity_report_.repacks;
+  }
+  return false;
+}
+
+int Engine::verify_weights(bool recover) {
+  int failed = 0;
+  for (int node : integrity_nodes_)
+    if (!verify_node(node, recover)) ++failed;
+  return failed;
+}
+
+void Engine::maybe_verify_tick() {
+  if (integrity_.verify_every <= 0 || integrity_nodes_.empty()) return;
+  if (++integrity_tick_ < integrity_.verify_every) return;
+  integrity_tick_ = 0;
+  verify_node(integrity_nodes_[integrity_cursor_], integrity_.recover);
+  integrity_cursor_ = (integrity_cursor_ + 1) % integrity_nodes_.size();
+}
+
+PackedA& Engine::packed_panels(int node) {
+  const std::size_t i = static_cast<std::size_t>(node);
+  OCB_CHECK_MSG(i < packed_.size() && !packed_[i].empty(),
+                "packed_panels: node carries no packed weight panels");
+  return packed_[i];
+}
+
+std::uint32_t Engine::recorded_checksum(int node) const {
+  return pack_crc_[static_cast<std::size_t>(node)];
 }
 
 QuantCalibration Engine::calibrate(const std::vector<Tensor>& frames) {
@@ -683,6 +754,7 @@ const std::vector<Tensor>& Engine::run(const Tensor& input) {
   const Shape expected{1, in_shape.c, in_shape.h, in_shape.w};
   OCB_CHECK_MSG(input.shape() == expected,
                 "engine input shape mismatch: got " + input.shape().str());
+  maybe_verify_tick();
 
   const bool int8 = precision_ == Precision::kInt8;
   if (int8) std::fill(u8_valid_.begin(), u8_valid_.end(), 0);
@@ -929,6 +1001,7 @@ std::span<const std::vector<Tensor>> Engine::run_batch(
                   "engine batch input shape mismatch: got " +
                       in.shape().str());
   }
+  maybe_verify_tick();
 
   const int n = graph_.node_count();
   for (int i = 0; i < n; ++i) {

@@ -38,6 +38,29 @@
 
 namespace ocb::nn {
 
+/// Weight-integrity checking (DESIGN.md §14). The engine records a
+/// CRC32 per packed weight panel (dense, sparse and half formats) at
+/// pack time; verification compares the live panels against the
+/// recorded values and, on mismatch, re-packs the node from the master
+/// fp32 weights_ tensor — which silent in-memory corruption cannot
+/// reach through the packed-panel accessors.
+struct IntegrityConfig {
+  /// Verify one node (round-robin) every N frames; 0 disables. The
+  /// cadence amortises the sweep so a frame pays one panel's CRC, not
+  /// the whole model's.
+  int verify_every = 0;
+  /// Re-pack a failing node from the master weights (true) or only
+  /// count the mismatch (false — detection-only telemetry).
+  bool recover = true;
+};
+
+/// Counters accumulated by the verification path since construction.
+struct IntegrityReport {
+  std::uint64_t nodes_checked = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t repacks = 0;
+};
+
 /// Everything a planning pass depends on. Defaults reproduce a plain
 /// fp32 batch-1 engine with the full candidate set enabled.
 struct PlanRequest {
@@ -60,6 +83,9 @@ struct PlanRequest {
   /// All-off by default. Ignored under kInt8 (the quantized path keeps
   /// per-node u8 buffers). calibrate() requires an unfused plan.
   FusionConfig fusion{};
+  /// Checksum-verification cadence for the packed weight panels.
+  /// Config-only: changing it never invalidates the plan or allocates.
+  IntegrityConfig integrity{};
 };
 
 /// The engine's active plan, returned by prepare() for observability.
@@ -179,8 +205,37 @@ class Engine {
   /// read-only view of plan().precision).
   Precision precision() const noexcept { return precision_; }
 
+  /// Verify every packed weight panel against its recorded CRC32 now
+  /// (a full sweep, independent of the configured cadence). Returns
+  /// the number of nodes whose live panels mismatched; with `recover`
+  /// each failing node is re-packed from the master weights before
+  /// returning. The clean (no-mismatch) sweep is heap-free.
+  int verify_weights(bool recover = true);
+
+  /// Counters accumulated by cadence ticks and explicit sweeps.
+  const IntegrityReport& integrity_report() const noexcept {
+    return integrity_report_;
+  }
+
+  /// Direct access to a node's packed fp32 panels for fault injection:
+  /// writes through PackedA::mutable_data() bypass pack_dirty_
+  /// tracking, modelling silent memory corruption the checksum layer
+  /// must catch. Node must be conv/linear (non-empty panels).
+  PackedA& packed_panels(int node);
+
+  /// The CRC32 recorded for a node's dense panels at pack time.
+  std::uint32_t recorded_checksum(int node) const;
+
  private:
   void repack(int node);
+  /// Re-record the CRC32s of node i's packed panels (all live formats).
+  void record_checksums(std::size_t i);
+  /// Verify one node's panels; re-pack from master weights on mismatch
+  /// when `recover`. Returns true when all live panels matched.
+  bool verify_node(int node, bool recover);
+  /// Cadence hook called once per frame by the run paths: after every
+  /// integrity_.verify_every frames, verify the next node round-robin.
+  void maybe_verify_tick();
   /// Build the compressed weight panels (sparse and/or half) the active
   /// plan wants for `node`, if any are missing or stale.
   void pack_storage(int node);
@@ -237,6 +292,17 @@ class Engine {
 
   ExecutionPlan plan_;               ///< active plan (see prepare)
   std::vector<ConvPlan> plan_scratch_;  ///< pre-sized planning staging
+
+  /// Checksum state: recorded CRCs per node and format (0 = no panel),
+  /// the conv/linear node list the cadence walks, and its cursor.
+  IntegrityConfig integrity_{};
+  IntegrityReport integrity_report_{};
+  std::vector<std::uint32_t> pack_crc_;
+  std::vector<std::uint32_t> sparse_crc_;
+  std::vector<std::uint32_t> half_crc_;
+  std::vector<int> integrity_nodes_;
+  std::size_t integrity_cursor_ = 0;
+  int integrity_tick_ = 0;
 
   Precision precision_ = Precision::kFp32;
   SparsityConfig sparsity_{};             ///< active pruning config

@@ -58,6 +58,13 @@ class Executor {
   virtual FrameResult run(const FrameContext& ctx) = 0;
   virtual const std::string& name() const noexcept = 0;
 
+  /// Recovery hook the streaming pipeline calls when a quarantined
+  /// stage's cooldown expires (StreamConfig::quarantine_after): rebuild
+  /// whatever internal state may have been corrupted (re-verify weight
+  /// panels, reload a model) and report whether the stage is fit for
+  /// re-admission. Default: stateless executors are always fit.
+  virtual bool reload() { return true; }
+
   /// Transitional adapter for pre-streaming callers that only want the
   /// per-frame latency in ms.
   double infer_ms() { return run(FrameContext{}).latency_ms; }

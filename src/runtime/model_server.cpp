@@ -72,8 +72,9 @@ const char* serve_outcome_name(ServeOutcome outcome) noexcept {
 // Runners
 
 EngineBatchRunner::EngineBatchRunner(nn::Engine& engine, int max_batch,
-                                     nn::FusionConfig fusion)
-    : engine_(&engine) {
+                                     nn::FusionConfig fusion,
+                                     nn::IntegrityConfig integrity)
+    : engine_(&engine), integrity_(integrity) {
   OCB_CHECK_MSG(max_batch >= 1, "EngineBatchRunner needs max_batch >= 1");
   // Route through the unified planning entry point, keeping whatever
   // precision the caller prepared the engine with.
@@ -82,6 +83,22 @@ EngineBatchRunner::EngineBatchRunner(nn::Engine& engine, int max_batch,
   request.precision = engine_->precision();
   request.fusion = fusion;
   engine_->prepare(request);
+}
+
+bool EngineBatchRunner::healthy() {
+  if (integrity_.verify_every <= 0) return true;
+  if (++batches_since_verify_ < integrity_.verify_every) return true;
+  batches_since_verify_ = 0;
+  // Detection only: recovery is reload()'s job, so the server's
+  // strike/quarantine accounting sees the corruption first.
+  return engine_->verify_weights(/*recover=*/false) == 0;
+}
+
+bool EngineBatchRunner::reload() {
+  // Re-pack every failing node from the master weights, then prove the
+  // repair took with a second (detection-only) sweep.
+  engine_->verify_weights(/*recover=*/true);
+  return engine_->verify_weights(/*recover=*/false) == 0;
 }
 
 BatchRunner::BatchOutput EngineBatchRunner::run(
@@ -156,6 +173,8 @@ struct ModelServer::Model {
   bool running = false;  ///< a batch is in flight (per-model serialisation)
   bool degraded = false;
   int cooldown_left = 0;
+  int health_strikes = 0;    ///< consecutive unhealthy batches
+  bool quarantined = false;  ///< next batch must pass a reload() probe
   /// kBlock submitters parked in room_cv_: counted so the shutdown
   /// accounting can see requests that are submitted but neither queued
   /// nor resolved yet.
@@ -357,18 +376,27 @@ void ModelServer::worker_loop() {
       m->queue.pop_front();
     }
     m->running = true;
+    const bool probing = m->quarantined;
+    const bool quarantine_on = m->config.quarantine_after > 0;
     ++in_flight_;
     mutex_.unlock();
     room_cv_.notify_all();
 
     // Model objects are owned by unique_ptr and never destroyed before
-    // shutdown, so `m` stays valid across the unlocked batch run.
+    // shutdown, so `m` stays valid across the unlocked batch run. The
+    // per-model serialisation (m->running) means the runner — including
+    // the reload probe and health verdict — is never entered
+    // concurrently, so it needs no locking of its own.
     std::vector<ServeRequest> requests;
     requests.reserve(batch.size());
     for (Pending& p : batch) requests.push_back(p.request);
+    bool reload_ok = true;
+    if (probing) reload_ok = m->runner->reload();
     const auto dispatch = Clock::now();
     BatchRunner::BatchOutput out = m->runner->run(requests);
     const auto done = Clock::now();
+    const bool batch_healthy =
+        !quarantine_on || (reload_ok && m->runner->healthy());
 
     mutex_.lock();
     const double per_frame_ms = out.batch_ms / static_cast<double>(take);
@@ -384,11 +412,32 @@ void ModelServer::worker_loop() {
       t.serve_ms.add(elapsed_ms(p.enqueued, done) / config_.time_scale);
       ++t.completed;
     }
+    if (probing) ++t.reloads;
+    if (quarantine_on) {
+      if (!batch_healthy) {
+        // A failed checksum sweep (or failed reload probe) is a health
+        // strike; enough consecutive strikes — or any failure while
+        // already quarantined — (re-)enters quarantine: the model
+        // degrades for the cooldown, then the next batch re-probes.
+        ++t.unhealthy_batches;
+        if (m->quarantined ||
+            ++m->health_strikes >= m->config.quarantine_after) {
+          m->health_strikes = 0;
+          m->quarantined = true;
+          ++t.quarantines;
+          m->degraded = true;
+          m->cooldown_left = m->config.degraded_cooldown;
+        }
+      } else {
+        m->health_strikes = 0;
+        m->quarantined = false;  // probe passed: re-admit
+      }
+    }
     if (timed_out) {
       ++t.timeouts;
       m->degraded = true;
       m->cooldown_left = m->config.degraded_cooldown;
-    } else if (m->degraded) {
+    } else if (m->degraded && !m->quarantined) {
       m->degraded = false;  // successful probe: resume normal service
     }
     m->running = false;
@@ -513,6 +562,8 @@ std::string ServerReport::to_json() const {
        << serve_priority_name(m.priority) << "\",\"submitted\":" << m.submitted
        << ",\"completed\":" << m.completed << ",\"dropped\":" << m.dropped
        << ",\"degraded\":" << m.degraded << ",\"timeouts\":" << m.timeouts
+       << ",\"unhealthy_batches\":" << m.unhealthy_batches
+       << ",\"quarantines\":" << m.quarantines << ",\"reloads\":" << m.reloads
        << ",\"batches\":" << m.batches
        << ",\"batched_frames\":" << m.batched_frames
        << ",\"largest_batch\":" << m.largest_batch << ",\"mean_batch\":";

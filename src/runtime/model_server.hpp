@@ -93,6 +93,15 @@ class BatchRunner {
 
   virtual ~BatchRunner() = default;
   virtual BatchOutput run(const std::vector<ServeRequest>& batch) = 0;
+
+  /// Post-batch health verdict (DESIGN.md §14). Called by the worker
+  /// after run(), outside the server lock; false counts a health
+  /// strike towards quarantine (ServedModelConfig::quarantine_after).
+  /// Default: stateless runners are always healthy.
+  virtual bool healthy() { return true; }
+  /// Recovery probe for a quarantined model: repair internal state
+  /// (re-pack corrupted panels, reload weights) and report fitness.
+  virtual bool reload() { return true; }
 };
 
 /// Real inference: feeds the batch through nn::Engine::run_batch (one
@@ -106,12 +115,22 @@ class BatchRunner {
 /// frame, identical to what run(frame) yields.
 class EngineBatchRunner final : public BatchRunner {
  public:
+  /// `integrity` wires the checksum layer into serving health:
+  /// healthy() sweeps the engine's packed panels (detection-only)
+  /// every integrity.verify_every batches, and reload() re-packs
+  /// failing nodes from the master weights then re-verifies. The
+  /// default (verify_every = 0) keeps both as unconditional passes.
   EngineBatchRunner(nn::Engine& engine, int max_batch,
-                    nn::FusionConfig fusion = {});
+                    nn::FusionConfig fusion = {},
+                    nn::IntegrityConfig integrity = {});
   BatchOutput run(const std::vector<ServeRequest>& batch) override;
+  bool healthy() override;
+  bool reload() override;
 
  private:
   nn::Engine* engine_;
+  nn::IntegrityConfig integrity_{};
+  int batches_since_verify_ = 0;
 };
 
 /// Roofline-modelled inference on a devsim device. Batch latency
@@ -157,6 +176,11 @@ struct ServedModelConfig {
   double timeout_ms = 0.0;
   /// Requests answered kDegraded before the next batch probes again.
   int degraded_cooldown = 8;
+  /// Quarantine after this many consecutive unhealthy batches
+  /// (BatchRunner::healthy() == false): the model degrades for
+  /// `degraded_cooldown` requests, then the next batch is preceded by
+  /// a BatchRunner::reload() probe before re-admission. 0 disables.
+  int quarantine_after = 0;
 };
 
 /// One model's serving telemetry.
@@ -168,6 +192,9 @@ struct ModelServeTelemetry {
   std::uint64_t dropped = 0;    ///< requests resolved kDropped
   std::uint64_t degraded = 0;   ///< requests resolved kDegraded (bypass)
   std::uint64_t timeouts = 0;   ///< batches over the latency budget
+  std::uint64_t unhealthy_batches = 0;  ///< healthy() == false verdicts
+  std::uint64_t quarantines = 0;        ///< quarantine entries
+  std::uint64_t reloads = 0;            ///< reload() probes attempted
   std::uint64_t batches = 0;    ///< runner invocations
   std::uint64_t batched_frames = 0;  ///< sum of batch sizes
   std::size_t largest_batch = 0;

@@ -93,6 +93,12 @@ PipelineBuilder& PipelineBuilder::degraded_cooldown_frames(int frames) {
   return *this;
 }
 
+PipelineBuilder& PipelineBuilder::quarantine_after(int frames) {
+  OCB_CHECK_MSG(frames >= 0, "quarantine threshold must be >= 0");
+  quarantine_after_ = frames;
+  return *this;
+}
+
 PipelineBuilder& PipelineBuilder::emulate_occupancy(bool on) noexcept {
   emulate_occupancy_ = on;
   return *this;
@@ -122,6 +128,7 @@ std::unique_ptr<StreamingPipeline> PipelineBuilder::build_streaming() {
   config.deadline_ms = deadline_ms_;
   config.stage_timeout_ms = stage_timeout_ms_;
   config.degraded_cooldown_frames = degraded_cooldown_frames_;
+  config.quarantine_after = quarantine_after_;
   config.emulate_occupancy = emulate_occupancy_;
   config.time_scale = time_scale_;
   config.source_fps = source_fps_;

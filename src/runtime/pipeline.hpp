@@ -86,6 +86,10 @@ class PipelineBuilder {
   PipelineBuilder& stage_timeout_ms(double ms);
   /// Frames a degraded stage bypasses before probing the executor again.
   PipelineBuilder& degraded_cooldown_frames(int frames);
+  /// Streaming only: consecutive unhealthy frames (executor throws or
+  /// reports kDegraded) before the stage is quarantined and must pass
+  /// an Executor::reload() probe to rejoin. 0 disables quarantine.
+  PipelineBuilder& quarantine_after(int frames);
   /// Streaming only: stages occupy their worker for the modelled
   /// latency (sleep), so queueing dynamics follow the device model.
   PipelineBuilder& emulate_occupancy(bool on = true) noexcept;
@@ -114,6 +118,7 @@ class PipelineBuilder {
   double deadline_ms_ = 1000.0 / 30.0;
   double stage_timeout_ms_ = 0.0;
   int degraded_cooldown_frames_ = 8;
+  int quarantine_after_ = 0;
   bool emulate_occupancy_ = false;
   double time_scale_ = 1.0;
   double source_fps_ = 0.0;

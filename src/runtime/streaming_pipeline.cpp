@@ -82,8 +82,22 @@ struct StageRuntime {
   std::uint64_t frames_out = 0;
   std::uint64_t degraded_frames = 0;
   int cooldown_left = 0;
+  int health_strikes = 0;    ///< consecutive executor-reported kDegraded
+  bool quarantined = false;  ///< must reload() successfully to re-admit
+  std::uint64_t quarantines = 0;
+  std::uint64_t reloads = 0;
   LatencyRecorder latency;
 };
+
+/// Executor::reload() under the same fault isolation as run(): a
+/// throwing reload counts as a failed probe, not a dead stream.
+bool safe_reload(Executor& executor) {
+  try {
+    return executor.reload();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
 
 }  // namespace
 
@@ -134,7 +148,21 @@ StreamReport StreamingPipeline::run(FrameSource& source, int max_frames) {
                            double& latency_out) -> StageStatus {
     if (st.cooldown_left > 0) {
       --st.cooldown_left;
-      if (st.cooldown_left == 0) st.degraded.store(false);
+      if (st.cooldown_left == 0) {
+        // A quarantined stage must prove itself before re-admission:
+        // reload its executor, and serve another cooldown on failure.
+        if (st.quarantined) {
+          ++st.reloads;
+          if (safe_reload(*st.executor)) {
+            st.quarantined = false;
+            st.degraded.store(false);
+          } else {
+            st.cooldown_left = std::max(1, cfg.degraded_cooldown_frames);
+          }
+        } else {
+          st.degraded.store(false);
+        }
+      }
       ++st.degraded_frames;
       latency_out = 0.0;
       return StageStatus::kSkipped;
@@ -158,15 +186,47 @@ StreamReport StreamingPipeline::run(FrameSource& source, int max_frames) {
     const double elapsed = wall_ms() - t0;
 
     StageStatus status = StageStatus::kOk;
-    if (threw || st.degraded.load()) {
+    // Health strikes: an executor that *reports* kDegraded (failed
+    // weight checksum, tripped plausibility check) is unhealthy even
+    // though it returned normally. quarantine_after consecutive
+    // unhealthy frames (throws count too) trip quarantine.
+    const bool reported_degraded =
+        !threw && result.status == StageStatus::kDegraded;
+    bool quarantine_now = false;
+    if (cfg.quarantine_after > 0) {
+      if (threw || reported_degraded) {
+        if (++st.health_strikes >= cfg.quarantine_after) {
+          st.health_strikes = 0;
+          st.quarantined = true;
+          ++st.quarantines;
+          quarantine_now = true;
+        }
+      } else {
+        st.health_strikes = 0;
+      }
+    }
+    if (threw || quarantine_now || st.degraded.load()) {
       status = StageStatus::kDegraded;
       ++st.degraded_frames;
       if (cfg.degraded_cooldown_frames > 0) {
         st.degraded.store(true);
         st.cooldown_left = cfg.degraded_cooldown_frames;
+      } else if (st.quarantined) {
+        // No bypass window configured: probe the reload immediately so
+        // a quarantined stage cannot wedge in the degraded state.
+        ++st.reloads;
+        st.quarantined = !safe_reload(*st.executor);
+        st.degraded.store(false);
       } else {
         st.degraded.store(false);
       }
+    } else if (reported_degraded && cfg.quarantine_after > 0) {
+      // Unhealthy but below the quarantine threshold: the frame is
+      // flagged, the stage keeps running. (With quarantine disabled,
+      // executor-reported status passes through untouched — the
+      // pre-quarantine contract.)
+      status = StageStatus::kDegraded;
+      ++st.degraded_frames;
     }
     latency_out = threw ? 0.0 : result.latency_ms;
     if (!threw) {
@@ -306,6 +366,8 @@ StreamReport StreamingPipeline::run(FrameSource& source, int max_frames) {
     t.queue_dropped = st.in->dropped();
     t.degraded = st.degraded_frames;
     t.timeouts = st.timeouts.load();
+    t.quarantines = st.quarantines;
+    t.reloads = st.reloads;
     t.queue_high_water = st.in->high_water();
     t.queue_capacity = st.in->capacity();
     t.latency = st.latency;

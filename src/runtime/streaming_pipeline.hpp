@@ -40,6 +40,13 @@ struct StreamConfig {
   double stage_timeout_ms = 0.0;       ///< watchdog budget; 0 disables
   double watchdog_period_ms = 2.0;     ///< watchdog poll interval
   int degraded_cooldown_frames = 8;    ///< bypassed frames before a probe
+  /// Health-based quarantine (DESIGN.md §14): a stage whose executor
+  /// *reports* kDegraded (a failed checksum, a tripped plausibility
+  /// check) this many consecutive times is quarantined — bypassed for
+  /// the cooldown, then Executor::reload()ed and probed before
+  /// re-admission. 0 disables (kDegraded results pass through
+  /// unpunished, the pre-quarantine behaviour).
+  int quarantine_after = 0;
   bool emulate_occupancy = false;      ///< sleep stages for modelled latency
   double time_scale = 1.0;             ///< real seconds per stream second
   double source_fps = 0.0;             ///< 0 = emit as fast as accepted

@@ -147,6 +147,7 @@ std::string StreamReport::to_json() const {
        << ",\"frames_out\":" << s.frames_out
        << ",\"queue_dropped\":" << s.queue_dropped
        << ",\"degraded\":" << s.degraded << ",\"timeouts\":" << s.timeouts
+       << ",\"quarantines\":" << s.quarantines << ",\"reloads\":" << s.reloads
        << ",\"queue_high_water\":" << s.queue_high_water
        << ",\"queue_capacity\":" << s.queue_capacity << ',';
     append_recorder_json(os, "latency", s.latency);

@@ -62,6 +62,8 @@ struct StageTelemetry {
   std::uint64_t queue_dropped = 0;  ///< frames lost at this stage's input queue
   std::uint64_t degraded = 0;     ///< frames flagged/skipped while degraded
   std::uint64_t timeouts = 0;     ///< watchdog firings against this stage
+  std::uint64_t quarantines = 0;  ///< health-strike quarantine entries
+  std::uint64_t reloads = 0;      ///< executor reload() probes attempted
   std::size_t queue_high_water = 0;
   std::size_t queue_capacity = 0;
   LatencyRecorder latency;        ///< per-frame executor latency (ms)

@@ -1,0 +1,70 @@
+#include "tensor/fault_hook.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace ocb::fault_hook {
+
+bool compiled() noexcept {
+#if defined(OCB_FAULT_HOOKS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(OCB_FAULT_HOOKS)
+
+namespace {
+// Individually-atomic fields: arm/disarm may race with a running GEMM
+// on another thread (the tests only assert determinism when armed
+// before the run), but the bytes themselves must never tear under TSan.
+std::atomic<bool> g_enabled{false};
+std::atomic<std::size_t> g_lane{0};
+std::atomic<std::uint32_t> g_bits{0};
+std::atomic<std::uint64_t> g_count{0};
+}  // namespace
+
+void set_lane_fault(const LaneFault& fault) noexcept {
+  g_lane.store(fault.lane % kLanes, std::memory_order_relaxed);
+  g_bits.store(fault.stuck_bits, std::memory_order_relaxed);
+  g_enabled.store(fault.enabled, std::memory_order_release);
+}
+
+LaneFault lane_fault() noexcept {
+  LaneFault out;
+  out.enabled = g_enabled.load(std::memory_order_acquire);
+  out.lane = g_lane.load(std::memory_order_relaxed);
+  out.stuck_bits = g_bits.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t corrupted_elements() noexcept {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void maybe_corrupt_lanes(float* c, std::size_t m, std::size_t n,
+                         std::size_t ldc) noexcept {
+  if (!g_enabled.load(std::memory_order_acquire)) return;
+  const std::size_t lane = g_lane.load(std::memory_order_relaxed);
+  const std::uint32_t bits = g_bits.load(std::memory_order_relaxed);
+  float stuck = 0.0f;
+  std::memcpy(&stuck, &bits, sizeof(stuck));
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    for (std::size_t j = lane; j < n; j += kLanes) {
+      row[j] = stuck;
+      ++hits;
+    }
+  }
+  g_count.fetch_add(hits, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+#endif  // OCB_FAULT_HOOKS
+
+}  // namespace ocb::fault_hook

@@ -1,0 +1,68 @@
+// Stuck-at-lane fault-injection hook for the GEMM dispatch path.
+//
+// Models a failing SIMD lane: one of the 8 fp32 lanes of the epilogue
+// write-back sticks at a constant bit pattern, so every output column
+// j with j % 8 == lane holds the stuck value after the kernel stores
+// the block. The corruption is applied by the dispatch wrappers
+// (gemm_packed / gemm_packed_im2col) after the kernel — and the
+// parallel_for workers — have finished, so the write is single-threaded
+// and identical for the AVX2 and scalar paths.
+//
+// The hook is compiled into the dispatch path only when OCB_FAULT_HOOKS
+// is defined (CMake option of the same name, PUBLIC on ocb::tensor);
+// without it everything below collapses to inline no-ops and Release
+// hot paths carry no trace of the machinery. scripts/ocb_lint.py (rule
+// fault-hook-guard) enforces that call sites inside src/tensor and
+// src/nn stay behind `#if defined(OCB_FAULT_HOOKS)` guards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ocb::fault_hook {
+
+/// fp32 lanes per AVX2 vector — the granularity a stuck lane repeats at.
+inline constexpr std::size_t kLanes = 8;
+
+struct LaneFault {
+  bool enabled = false;
+  std::size_t lane = 0;          ///< 0..kLanes-1: columns j ≡ lane (mod 8)
+  std::uint32_t stuck_bits = 0;  ///< bit pattern forced into the lane
+};
+
+/// True when the hooks are compiled in (OCB_FAULT_HOOKS was defined
+/// when ocb::tensor was built).
+bool compiled() noexcept;
+
+#if defined(OCB_FAULT_HOOKS)
+
+/// Arm/disarm the process-wide lane fault. Thread-safe (atomics):
+/// concurrently running GEMMs observe the switch at their next
+/// dispatch; arm before the run you want corrupted for determinism.
+void set_lane_fault(const LaneFault& fault) noexcept;
+LaneFault lane_fault() noexcept;
+
+/// Output elements overwritten by the hook since process start.
+std::uint64_t corrupted_elements() noexcept;
+
+namespace detail {
+/// Apply the armed lane fault to an m×n C block with row stride ldc.
+/// One relaxed load when disarmed.
+void maybe_corrupt_lanes(float* c, std::size_t m, std::size_t n,
+                         std::size_t ldc) noexcept;
+}  // namespace detail
+
+#else
+
+inline void set_lane_fault(const LaneFault&) noexcept {}
+inline LaneFault lane_fault() noexcept { return {}; }
+inline std::uint64_t corrupted_elements() noexcept { return 0; }
+
+namespace detail {
+inline void maybe_corrupt_lanes(float*, std::size_t, std::size_t,
+                                std::size_t) noexcept {}
+}  // namespace detail
+
+#endif  // OCB_FAULT_HOOKS
+
+}  // namespace ocb::fault_hook

@@ -6,8 +6,10 @@
 #include <cstring>
 #include <vector>
 
+#include "core/crc32.hpp"
 #include "core/error.hpp"
 #include "parallel/parallel_for.hpp"
+#include "tensor/fault_hook.hpp"
 #include "tensor/gemm_kernels.hpp"
 #include "tensor/simd.hpp"
 
@@ -117,6 +119,10 @@ void PackedA::pack(const float* a, std::size_t m, std::size_t k) {
         dst[kk * kRowTile + r] = 0.0f;
     }
   }
+}
+
+std::uint32_t PackedA::checksum() const noexcept {
+  return crc32(data_.data(), data_.size() * sizeof(float));
 }
 
 // ---------------------------------------------------------------------------
@@ -409,6 +415,9 @@ void gemm_packed(const PackedA& a, const float* b, float* c, std::size_t n,
     detail::gemm_packed_scalar(a, b, c, n, accumulate, epilogue,
                                config.parallel);
   }
+#if defined(OCB_FAULT_HOOKS)
+  fault_hook::detail::maybe_corrupt_lanes(c, m, n, n);
+#endif
 }
 
 // ---------------------------------------------------------------------------
@@ -496,6 +505,9 @@ void gemm_packed_im2col(const PackedA& a, const Im2colPanelPacker& packer,
     for (std::size_t s = 0; s < stripes; ++s)
       run_stripe(s, panels, config.parallel);
   }
+#if defined(OCB_FAULT_HOOKS)
+  fault_hook::detail::maybe_corrupt_lanes(c, m, n, ldc);
+#endif
 }
 
 }  // namespace ocb

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "tensor/im2col.hpp"
@@ -108,6 +109,17 @@ class PackedA {
   const float* panel(std::size_t p) const noexcept {
     return data_.data() + p * kRowTile * k_;
   }
+
+  /// Raw packed buffer (panel-major, zero-padded tail) and its length.
+  const float* data() const noexcept { return data_.data(); }
+  std::size_t stored_floats() const noexcept { return data_.size(); }
+  /// Mutable buffer access for fault injection and tests: writes are
+  /// invisible to the engine's pack tracking — exactly the silent
+  /// in-memory corruption the checksum layer (DESIGN.md §14) detects.
+  float* mutable_data() noexcept { return data_.data(); }
+  /// CRC32 over the packed buffer (heap-free; core/crc32.hpp). The
+  /// engine records this at pack time and re-verifies it on a cadence.
+  std::uint32_t checksum() const noexcept;
 
  private:
   std::vector<float> data_;

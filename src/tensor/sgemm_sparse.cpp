@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/crc32.hpp"
 #include "core/error.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tensor/gemm_kernels.hpp"
@@ -154,6 +155,10 @@ void PackedHalfA::unpack_dense(float* out) const {
   }
 }
 
+std::uint32_t PackedHalfA::checksum() const noexcept {
+  return crc32(data_.data(), data_.size() * sizeof(std::uint16_t));
+}
+
 // ---------------------------------------------------------------------------
 // PackedSparseA
 // ---------------------------------------------------------------------------
@@ -234,6 +239,15 @@ std::size_t PackedSparseA::stored_bytes() const noexcept {
       sizeof(std::uint32_t) +
       kRowTile * (half_ ? sizeof(std::uint16_t) : sizeof(float));
   return indices_.size() * per_col;
+}
+
+std::uint32_t PackedSparseA::checksum() const noexcept {
+  std::uint32_t crc =
+      crc32(offsets_.data(), offsets_.size() * sizeof(std::uint32_t));
+  crc = crc32(indices_.data(), indices_.size() * sizeof(std::uint32_t), crc);
+  crc = crc32(values_.data(), values_.size() * sizeof(float), crc);
+  return crc32(values16_.data(), values16_.size() * sizeof(std::uint16_t),
+               crc);
 }
 
 void PackedSparseA::unpack_masked_dense(float* out) const {

@@ -79,6 +79,12 @@ class PackedHalfA {
   /// values the kernel computes with). Test/telemetry oracle.
   void unpack_dense(float* out) const;
 
+  /// Mutable buffer access for fault injection; writes bypass pack
+  /// tracking (silent corruption, detected by the checksum layer).
+  std::uint16_t* mutable_data() noexcept { return data_.data(); }
+  /// CRC32 over the packed 16-bit payload (heap-free).
+  std::uint32_t checksum() const noexcept;
+
  private:
   std::vector<std::uint16_t> data_;
   std::size_t m_ = 0, k_ = 0;
@@ -149,6 +155,12 @@ class PackedSparseA {
   /// For fp32 packs this reproduces mask∘A bit-exactly. Test oracle —
   /// sparse-plan hot paths must read the packed panels, not this.
   void unpack_masked_dense(float* out) const;
+
+  /// Mutable fp32 value payload (fp32 packs) for fault injection.
+  float* mutable_values() noexcept { return values_.data(); }
+  /// CRC32 chained over offsets, indices and both value payloads, so a
+  /// flipped bit anywhere in the compressed representation is caught.
+  std::uint32_t checksum() const noexcept;
 
  private:
   void build_index(const float* a, std::size_t m, std::size_t k,

@@ -1,0 +1,99 @@
+#include "vip/plausibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace ocb::vip {
+
+namespace {
+
+bool finite_box(const Detection& d) noexcept {
+  return std::isfinite(d.box.x0) && std::isfinite(d.box.y0) &&
+         std::isfinite(d.box.x1) && std::isfinite(d.box.y1) &&
+         std::isfinite(d.confidence);
+}
+
+}  // namespace
+
+PlausibilityChecker::PlausibilityChecker(PlausibilityConfig config)
+    : config_(config) {
+  OCB_CHECK_MSG(config_.min_extent_px >= 0.0f,
+                "min_extent_px must be non-negative");
+  OCB_CHECK_MSG(config_.sectors > 0, "plausibility needs >= 1 sector");
+}
+
+FrameVerdict PlausibilityChecker::check(const std::vector<Detection>& dets,
+                                        float frame_w,
+                                        float frame_h) const {
+  (void)frame_w;
+  (void)frame_h;
+  FrameVerdict v;
+  if (dets.size() > config_.max_detections) v.flags |= kTooManyDetections;
+  for (const Detection& d : dets) {
+    unsigned box_flags = 0;
+    if (!finite_box(d)) {
+      box_flags |= kNonFiniteBox;
+    } else {
+      if (d.box.width() < config_.min_extent_px ||
+          d.box.height() < config_.min_extent_px)
+        box_flags |= kDegenerateBox;
+      if (d.confidence < 0.0f || d.confidence > 1.0f)
+        box_flags |= kScoreOutOfRange;
+    }
+    if (box_flags != 0) ++v.suspect_boxes;
+    v.flags |= box_flags;
+  }
+  return v;
+}
+
+FrameVerdict PlausibilityChecker::check(
+    const std::vector<Detection>& dets, const Image& depth,
+    const std::vector<SectorReading>& sectors) const {
+  const float w = static_cast<float>(depth.width());
+  const float h = static_cast<float>(depth.height());
+  FrameVerdict v = check(dets, w, h);
+  for (const Detection& d : dets) {
+    if (!finite_box(d)) continue;  // already flagged above
+    unsigned box_flags = 0;
+
+    // Depth finiteness inside the (clipped) box: a NaN/Inf depth pixel
+    // under a detection poisons the distance estimate the navigator
+    // would act on.
+    const Box b = d.box.clipped(w, h);
+    if (b.valid()) {
+      const int x0 = static_cast<int>(b.x0);
+      const int y0 = static_cast<int>(b.y0);
+      const int x1 = std::min(depth.width(), static_cast<int>(b.x1) + 1);
+      const int y1 = std::min(depth.height(), static_cast<int>(b.y1) + 1);
+      for (int y = y0; y < y1 && box_flags == 0; ++y)
+        for (int x = x0; x < x1; ++x)
+          if (!std::isfinite(depth.at(0, y, x))) {
+            box_flags |= kNonFiniteDepth;
+            break;
+          }
+    }
+
+    // Cross-check: a box tall enough to read as "near" while the depth
+    // map's matching sector reports clear space well beyond the
+    // cross-check distance means detector and depth model disagree
+    // about the same scene — one of them is lying.
+    if (h > 0.0f && d.box.height() > config_.near_height_frac * h &&
+        !sectors.empty()) {
+      const float sector_w = w / static_cast<float>(config_.sectors);
+      const int sector = std::clamp(
+          sector_w > 0.0f ? static_cast<int>(d.box.cx() / sector_w) : 0, 0,
+          config_.sectors - 1);
+      for (const SectorReading& s : sectors)
+        if (s.sector == sector && s.nearest_m > config_.cross_check_m)
+          box_flags |= kDepthDisagreement;
+    }
+
+    if (box_flags != 0) ++v.suspect_boxes;
+    v.flags |= box_flags;
+  }
+  return v;
+}
+
+}  // namespace ocb::vip

@@ -1,0 +1,79 @@
+// Output-plausibility cross-checks (DESIGN.md §14).
+//
+// The resilience layer's last line of defence: even with checksummed
+// weights, a fault can corrupt activations or detector outputs between
+// the engine and the navigator. This checker flags frames whose
+// detector/depth outputs are physically implausible — non-finite or
+// degenerate boxes, out-of-range scores, detection floods, non-finite
+// depth, and detection-vs-depth disagreement (a large, near-looking
+// detection while the depth map's matching sector reports clear road).
+//
+// Thresholds are deliberately generous: a clean pipeline must never
+// trip them (the property tests in tests/test_vip.cpp randomise clean
+// frames against exactly that claim), while NaN/Inf and degenerate
+// outputs always do. check() is const, heap-free and per-frame cheap,
+// so the streaming pipeline can run it on every frame.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "detect/box.hpp"
+#include "image/image.hpp"
+#include "vip/obstacle.hpp"
+
+namespace ocb::vip {
+
+/// Bitmask of independent plausibility violations for one frame.
+enum PlausibilityFlag : unsigned {
+  kPlausible = 0,
+  kNonFiniteBox = 1u << 0,      ///< NaN/Inf box coordinate or score
+  kDegenerateBox = 1u << 1,     ///< zero/negative/sub-pixel extent
+  kScoreOutOfRange = 1u << 2,   ///< confidence outside [0, 1]
+  kTooManyDetections = 1u << 3, ///< detection flood (corrupt NMS/head)
+  kNonFiniteDepth = 1u << 4,    ///< NaN/Inf depth inside a detection box
+  kDepthDisagreement = 1u << 5, ///< near-looking box, clear depth sector
+};
+
+struct PlausibilityConfig {
+  /// Minimum believable box extent in pixels (both axes).
+  float min_extent_px = 0.5f;
+  /// More simultaneous detections than this is a flood.
+  std::size_t max_detections = 64;
+  /// A box taller than this fraction of the frame reads as "near".
+  float near_height_frac = 0.5f;
+  /// ...and disagrees with depth when its sector reports clear beyond
+  /// this many metres.
+  float cross_check_m = 8.0f;
+  /// Horizontal sectors the readings were produced with.
+  int sectors = 3;
+};
+
+struct FrameVerdict {
+  unsigned flags = kPlausible;
+  std::size_t suspect_boxes = 0;  ///< detections contributing any flag
+
+  bool plausible() const noexcept { return flags == kPlausible; }
+};
+
+class PlausibilityChecker {
+ public:
+  explicit PlausibilityChecker(PlausibilityConfig config = {});
+
+  /// Detector-only sanity: box finiteness, extents, scores, count.
+  FrameVerdict check(const std::vector<Detection>& dets, float frame_w,
+                     float frame_h) const;
+
+  /// Full cross-check: detector sanity plus depth finiteness inside
+  /// boxes and detection-vs-depth agreement against the obstacle
+  /// detector's sector readings for the same frame.
+  FrameVerdict check(const std::vector<Detection>& dets, const Image& depth,
+                     const std::vector<SectorReading>& sectors) const;
+
+  const PlausibilityConfig& config() const noexcept { return config_; }
+
+ private:
+  PlausibilityConfig config_;
+};
+
+}  // namespace ocb::vip

@@ -232,5 +232,54 @@ TEST(Placement, EdgeCloudSkipsCloudWhenRttTooHigh) {
   EXPECT_FALSE(plan->cloud.has_value());
 }
 
+TEST(Placement, EmptyCandidateListGivesNothing) {
+  EXPECT_FALSE(
+      best_on_device({}, devsim::DeviceId::kOrinAgx, 1000.0).has_value());
+  EXPECT_FALSE(plan_edge_cloud({}, devsim::DeviceId::kOrinAgx, 1000.0, 10.0)
+                   .has_value());
+}
+
+TEST(Placement, AccuracyTieBreaksOnLatency) {
+  // Two candidates with identical accuracy: the faster one must win.
+  std::vector<Candidate> tied = {
+      {models::profile_model(models::ModelId::kYoloV8m), 0.99},
+      {models::profile_model(models::ModelId::kYoloV8n), 0.99},
+  };
+  const auto placement =
+      best_on_device(tied, devsim::DeviceId::kOrinAgx, 1000.0);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->model_name, "YOLOv8-n");
+}
+
+TEST(Placement, MinEdgeAccuracyFiltersEdgeButNotCloud) {
+  const auto candidates = make_candidates();
+  // 0.99 excludes v8-n (0.986) from the *edge* shortlist; the edge pick
+  // must clear the floor even if a less accurate model would be faster.
+  const auto plan = plan_edge_cloud(candidates, devsim::DeviceId::kOrinAgx,
+                                    200.0, 30.0, 0.99);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GE(plan->edge.accuracy, 0.99);
+  EXPECT_NE(plan->edge.model_name, "YOLOv8-n");
+}
+
+TEST(Placement, UnreachableEdgeAccuracyFloorGivesNothing) {
+  const auto candidates = make_candidates();
+  EXPECT_FALSE(plan_edge_cloud(candidates, devsim::DeviceId::kOrinAgx, 200.0,
+                               30.0, 0.999)
+                   .has_value());
+}
+
+TEST(Placement, CloudLatencyIncludesRoundTrip) {
+  const auto candidates = make_candidates();
+  const auto plan = plan_edge_cloud(candidates, devsim::DeviceId::kXavierNx,
+                                    200.0, 30.0);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_TRUE(plan->cloud.has_value());
+  EXPECT_DOUBLE_EQ(plan->cloud_round_trip_ms, 30.0);
+  // The cloud placement's reported latency already pays the RTT, so it
+  // can never beat the bare network round trip.
+  EXPECT_GT(plan->cloud->latency_ms, 30.0);
+}
+
 }  // namespace
 }  // namespace ocb::runtime

@@ -401,6 +401,129 @@ TEST(StreamingPipeline, FaultyStageDegradesInsteadOfKillingTheStream) {
   EXPECT_GT(report.frames_degraded, 0u);
 }
 
+TEST(StreamingPipeline, ThrowingExecutorQuarantinesReloadsAndRecovers) {
+  // An executor that throws for a stretch of frames must not wedge the
+  // stage queue: with quarantine enabled the stage is benched, its
+  // reload() recovery hook runs at cooldown expiry, and once the fault
+  // clears the probe re-admits it and the tail of the stream runs
+  // clean (DESIGN.md §14).
+  class CrashyExecutor final : public Executor {
+   public:
+    FrameResult run(const FrameContext& ctx) override {
+      ++runs;
+      if (ctx.index >= 4 && ctx.index < 8) throw Error("injected fault");
+      return {1.0, name_, StageStatus::kOk, nullptr};
+    }
+    bool reload() override {
+      ++reloads;
+      return true;
+    }
+    const std::string& name() const noexcept override { return name_; }
+    int runs = 0;
+    int reloads = 0;
+
+   private:
+    std::string name_ = "crashy";
+  };
+
+  auto owned = std::make_unique<CrashyExecutor>();
+  CrashyExecutor* executor = owned.get();
+  PipelineBuilder builder;
+  builder.stage(std::move(owned))
+      .quarantine_after(2)
+      .degraded_cooldown_frames(2)
+      .deadline_ms(1000.0);
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(40, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  // Nothing wedged: every frame drained.
+  EXPECT_EQ(report.frames_completed, 40u);
+  EXPECT_EQ(report.frames_dropped, 0u);
+  const StageTelemetry& stage = report.stages[0];
+  EXPECT_GE(stage.quarantines, 1u);
+  EXPECT_GE(stage.reloads, 1u);
+  EXPECT_GT(executor->reloads, 0);
+  EXPECT_GT(report.frames_degraded, 0u);
+  // Re-admitted: the executor ran real frames again after the fault
+  // window (4 pre-fault + at least one post-probe frame).
+  EXPECT_GT(executor->runs, 5);
+  // ...and the recovery stuck: only a bounded slice was degraded.
+  EXPECT_LT(stage.degraded, 20u);
+}
+
+TEST(StreamingPipeline, ReportedDegradedStrikesLeadToQuarantine) {
+  // Executors signal soft faults (failed checksum, tripped plausibility
+  // check) by *reporting* kDegraded rather than throwing. Consecutive
+  // reports cross the strike threshold and quarantine the stage; a
+  // healthy reload re-admits it.
+  class SoftFaultExecutor final : public Executor {
+   public:
+    FrameResult run(const FrameContext& ctx) override {
+      const StageStatus status = (ctx.index >= 3 && ctx.index < 9)
+                                     ? StageStatus::kDegraded
+                                     : StageStatus::kOk;
+      return {1.0, name_, status, nullptr};
+    }
+    bool reload() override {
+      ++reloads;
+      return true;
+    }
+    const std::string& name() const noexcept override { return name_; }
+    int reloads = 0;
+
+   private:
+    std::string name_ = "soft-fault";
+  };
+
+  auto owned = std::make_unique<SoftFaultExecutor>();
+  SoftFaultExecutor* executor = owned.get();
+  PipelineBuilder builder;
+  builder.stage(std::move(owned))
+      .quarantine_after(3)
+      .degraded_cooldown_frames(2)
+      .deadline_ms(1000.0);
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(30, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  EXPECT_EQ(report.frames_completed, 30u);
+  const StageTelemetry& stage = report.stages[0];
+  EXPECT_GE(stage.quarantines, 1u);
+  EXPECT_GE(stage.reloads, 1u);
+  EXPECT_GT(executor->reloads, 0);
+  EXPECT_GT(report.frames_degraded, 0u);
+}
+
+TEST(StreamingPipeline, DegradedReportsPassThroughWithoutQuarantineOptIn) {
+  // quarantine_after = 0 (the default) preserves the pre-quarantine
+  // contract: a stage may report kDegraded forever without being
+  // benched, and its frames still count as completed.
+  class AlwaysDegradedExecutor final : public Executor {
+   public:
+    FrameResult run(const FrameContext&) override {
+      return {1.0, name_, StageStatus::kDegraded, nullptr};
+    }
+    const std::string& name() const noexcept override { return name_; }
+
+   private:
+    std::string name_ = "grumbler";
+  };
+
+  PipelineBuilder builder;
+  builder.stage(std::make_unique<AlwaysDegradedExecutor>())
+      .deadline_ms(1000.0);
+  auto pipeline = builder.build_streaming();
+  SyntheticSource source(25, 30.0);
+  const StreamReport report = pipeline->run(source);
+
+  EXPECT_EQ(report.frames_completed, 25u);
+  EXPECT_EQ(report.stages[0].quarantines, 0u);
+  EXPECT_EQ(report.stages[0].reloads, 0u);
+  EXPECT_EQ(report.stages[0].degraded, 0u);
+  EXPECT_EQ(report.frames_degraded, 0u);
+}
+
 TEST(StreamingPipeline, WatchdogProbeDuringShutdownDoesNotWedge) {
   // The last frames of the stream stall the stage past its budget, so
   // the watchdog fires and the degraded cooldown is still pending when

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/rng.hpp"
 
@@ -10,6 +11,7 @@
 #include "vip/alerts.hpp"
 #include "vip/fall_svm.hpp"
 #include "vip/obstacle.hpp"
+#include "vip/plausibility.hpp"
 
 namespace ocb::vip {
 namespace {
@@ -69,6 +71,31 @@ TEST(Tracker, LosesTrackAfterConfiguredFrames) {
 TEST(Tracker, IgnoresWrongClass) {
   VestTracker tracker;
   EXPECT_FALSE(tracker.update({{{10, 10, 40, 60}, 0.9f, 5}}).locked);
+}
+
+TEST(Tracker, ReacquiresAfterTrackLoss) {
+  TrackerConfig config;
+  config.lost_after = 2;
+  VestTracker tracker(config);
+  tracker.update({{{10, 10, 40, 60}, 0.9f, 0}});
+  for (int i = 0; i < 3; ++i) tracker.update({});
+  ASSERT_FALSE(tracker.state().locked);
+  // After loss the gate resets: a fresh detection anywhere re-locks
+  // without the teleport check against the stale box.
+  const TrackState& state = tracker.update({{{200, 200, 230, 260}, 0.6f, 0}});
+  EXPECT_TRUE(state.locked);
+  EXPECT_FLOAT_EQ(state.box.x0, 200.0f);
+}
+
+TEST(Tracker, PrefersContinuityOverRawConfidence) {
+  VestTracker tracker;
+  tracker.update({{{10, 10, 40, 60}, 0.9f, 0}});
+  // A slightly more confident detection with poor overlap loses to the
+  // near-identical one: continuity is worth more than 0.02 confidence.
+  const TrackState& state = tracker.update({{{11, 10, 41, 60}, 0.91f, 0},
+                                            {{30, 10, 60, 60}, 0.93f, 0}});
+  EXPECT_EQ(state.frames_since_seen, 0);
+  EXPECT_LT(state.box.x0, 15.0f);  // EMA toward 11, not toward 30
 }
 
 TEST(Tracker, ResetClearsState) {
@@ -211,6 +238,138 @@ TEST(Obstacle, RenderedSceneDepthDetectsPedestrianAhead) {
   EXPECT_TRUE(readings[1].alert);  // ahead
 }
 
+// ---------------- plausibility (DESIGN.md §14) ----------------
+
+// Property: a consistent (clean) frame must never trip the checker.
+// Random finite boxes with sane extents and scores, over finite depth,
+// with sector readings that agree with any near-looking detection.
+TEST(Plausibility, CleanRandomFramesNeverFlagged) {
+  const int w = 96, h = 72;
+  PlausibilityChecker checker;
+  Rng rng(11);
+  for (int frame = 0; frame < 200; ++frame) {
+    Image depth(w, h, 1, 25.0f);
+    std::vector<SectorReading> sectors(3);
+    for (int s = 0; s < 3; ++s) {
+      sectors[s].sector = s;
+      sectors[s].nearest_m = 25.0f;
+    }
+    const int count = static_cast<int>(rng.uniform_int(0, 12));
+    std::vector<Detection> dets;
+    for (int i = 0; i < count; ++i) {
+      Detection d;
+      const float bw = static_cast<float>(rng.uniform(1.0, 40.0));
+      const float bh = static_cast<float>(rng.uniform(1.0, h - 2.0));
+      d.box.x0 = static_cast<float>(rng.uniform(0.0, w - bw - 1.0));
+      d.box.y0 = static_cast<float>(rng.uniform(0.0, h - bh - 1.0));
+      d.box.x1 = d.box.x0 + bw;
+      d.box.y1 = d.box.y0 + bh;
+      d.confidence = static_cast<float>(rng.uniform(0.05, 0.99));
+      // A near-looking (tall) detection in a clean frame comes with
+      // matching near depth — keep detector and depth consistent.
+      if (bh > 0.5f * h) {
+        const int sector = std::min(2, static_cast<int>(d.box.cx() / (w / 3)));
+        sectors[static_cast<std::size_t>(sector)].nearest_m = 2.0f;
+      }
+      dets.push_back(d);
+    }
+    EXPECT_TRUE(checker.check(dets, w, h).plausible());
+    const FrameVerdict v = checker.check(dets, depth, sectors);
+    EXPECT_TRUE(v.plausible()) << "frame " << frame << " flags " << v.flags;
+    EXPECT_EQ(v.suspect_boxes, 0u);
+  }
+}
+
+TEST(Plausibility, EmptyFrameIsPlausible) {
+  PlausibilityChecker checker;
+  EXPECT_TRUE(checker.check({}, 96.0f, 72.0f).plausible());
+}
+
+// Property: a non-finite value in any box field is always flagged.
+TEST(Plausibility, NonFiniteBoxAlwaysFlagged) {
+  PlausibilityChecker checker;
+  const float bads[] = {std::numeric_limits<float>::quiet_NaN(),
+                        std::numeric_limits<float>::infinity(),
+                        -std::numeric_limits<float>::infinity()};
+  for (const float bad : bads) {
+    for (int field = 0; field < 5; ++field) {
+      Detection d{{10, 10, 40, 60}, 0.9f, 0};
+      float* slots[] = {&d.box.x0, &d.box.y0, &d.box.x1, &d.box.y1,
+                        &d.confidence};
+      *slots[field] = bad;
+      const FrameVerdict v = checker.check({d}, 96.0f, 72.0f);
+      EXPECT_TRUE(v.flags & kNonFiniteBox) << "field " << field;
+      EXPECT_EQ(v.suspect_boxes, 1u);
+    }
+  }
+}
+
+// Property: degenerate extents (zero, negative, sub-pixel) always flag.
+TEST(Plausibility, DegenerateBoxAlwaysFlagged) {
+  PlausibilityChecker checker;
+  const Box boxes[] = {{10, 10, 10, 60},     // zero width
+                       {10, 10, 40, 10},     // zero height
+                       {40, 10, 10, 60},     // negative width
+                       {10, 10, 10.2f, 60},  // sub-pixel width
+                       {10, 60, 40, 10}};    // negative height
+  for (const Box& b : boxes) {
+    const FrameVerdict v = checker.check({{b, 0.9f, 0}}, 96.0f, 72.0f);
+    EXPECT_TRUE(v.flags & kDegenerateBox);
+  }
+}
+
+TEST(Plausibility, ScoreOutsideUnitIntervalFlagged) {
+  PlausibilityChecker checker;
+  EXPECT_TRUE(checker.check({{{10, 10, 40, 60}, -0.1f, 0}}, 96, 72).flags &
+              kScoreOutOfRange);
+  EXPECT_TRUE(checker.check({{{10, 10, 40, 60}, 1.5f, 0}}, 96, 72).flags &
+              kScoreOutOfRange);
+  EXPECT_TRUE(checker.check({{{10, 10, 40, 60}, 1.0f, 0}}, 96, 72)
+                  .plausible());  // boundary is legal
+}
+
+TEST(Plausibility, DetectionFloodFlagged) {
+  PlausibilityConfig config;
+  config.max_detections = 8;
+  PlausibilityChecker checker(config);
+  std::vector<Detection> dets(9, {{10, 10, 40, 60}, 0.9f, 0});
+  EXPECT_TRUE(checker.check(dets, 96.0f, 72.0f).flags & kTooManyDetections);
+  dets.resize(8);
+  EXPECT_TRUE(checker.check(dets, 96.0f, 72.0f).plausible());
+}
+
+TEST(Plausibility, NanDepthInsideBoxFlagged) {
+  PlausibilityChecker checker;
+  Image depth(96, 72, 1, 10.0f);
+  depth.at(0, 30, 20) = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<Detection> dets{{{10, 10, 40, 60}, 0.9f, 0}};
+  const FrameVerdict v = checker.check(dets, depth, {});
+  EXPECT_TRUE(v.flags & kNonFiniteDepth);
+  // The same NaN outside every box stays unflagged: only depth the
+  // navigator would act on is checked.
+  const std::vector<Detection> far_dets{{{60, 10, 90, 60}, 0.9f, 0}};
+  EXPECT_TRUE(checker.check(far_dets, depth, {}).plausible());
+}
+
+TEST(Plausibility, NearBoxOverClearSectorDisagrees) {
+  PlausibilityChecker checker;
+  Image depth(96, 72, 1, 25.0f);
+  std::vector<SectorReading> sectors(3);
+  for (int s = 0; s < 3; ++s) {
+    sectors[s].sector = s;
+    sectors[s].nearest_m = 25.0f;  // depth says: all clear
+  }
+  // A detection filling most of the frame height reads as "near".
+  const std::vector<Detection> dets{{{40, 2, 60, 70}, 0.9f, 0}};
+  const FrameVerdict v = checker.check(dets, depth, sectors);
+  EXPECT_TRUE(v.flags & kDepthDisagreement);
+  EXPECT_EQ(v.suspect_boxes, 1u);
+  // With the matching sector actually reporting something near, the
+  // same detection is plausible.
+  sectors[1].nearest_m = 2.0f;
+  EXPECT_TRUE(checker.check(dets, depth, sectors).plausible());
+}
+
 // ---------------- alert manager ----------------
 
 TEST(Alerts, EmitsAndRecordsHistory) {
@@ -250,6 +409,23 @@ TEST(Alerts, HistoryBounded) {
   for (int i = 0; i < 20; ++i)
     manager.raise(AlertKind::kFallDetected, "f", static_cast<double>(i));
   EXPECT_EQ(manager.history().size(), 5u);
+}
+
+TEST(Alerts, KindNamesAreStable) {
+  EXPECT_STREQ(alert_kind_name(AlertKind::kVipLost), "vip_lost");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kVipReacquired), "vip_reacquired");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kObstacle), "obstacle");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kFallDetected), "fall_detected");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kLowConfidence), "low_confidence");
+}
+
+TEST(FallSvm, UntrainedClassifierIsNeutral) {
+  FallSvm svm;
+  Rng rng(6);
+  EXPECT_FALSE(svm.trained());
+  // Zero weights, zero bias: decision is exactly 0 ⇒ never "fallen".
+  EXPECT_FLOAT_EQ(svm.decision(sample_fallen_pose(rng)), 0.0f);
+  EXPECT_FALSE(svm.is_fallen(sample_fallen_pose(rng)));
 }
 
 TEST(Alerts, SeverityMapping) {
