@@ -25,6 +25,13 @@ correctness:
                    member without OCB_GUARDED_BY. Convention: fields the
                    mutex guards come after it and carry the annotation;
                    immutable / single-owner fields go before it.
+  guarded-by-exists
+                   OCB_GUARDED_BY(m) must name a Mutex member declared
+                   in the same class or an enclosing one. On non-clang
+                   builds the macro expands to nothing, so a dangling
+                   mutex name compiles everywhere and silently disables
+                   the -Wthread-safety proof for that field on the one
+                   CI leg that could have checked it.
   include-hygiene  files that use ocb::Mutex / MutexLock / CondVar /
                    OCB_GUARDED_BY must include core/thread_annotations.hpp
                    themselves rather than leaning on transitive includes.
@@ -70,9 +77,11 @@ correctness:
 Suppressions: append `// ocb-lint: allow(<rule>)` to the offending line.
 
 Usage:
-  scripts/ocb_lint.py                 # lint the whole tree
-  scripts/ocb_lint.py --diff BASE     # only files changed since BASE
-  scripts/ocb_lint.py --self-test     # prove every rule still fires
+  scripts/ocb_lint.py                   # lint the whole tree
+  scripts/ocb_lint.py --diff BASE       # only files changed since BASE
+  scripts/ocb_lint.py --self-test       # prove every rule still fires
+  scripts/ocb_lint.py --format=json     # machine-readable findings
+  scripts/ocb_lint.py --format=github   # ::error annotations for CI
 """
 
 from __future__ import annotations
@@ -270,6 +279,69 @@ def check_unguarded_fields(rel: str, lines: list[str]) -> list[Finding]:
                 "data member declared after a Mutex without "
                 "OCB_GUARDED_BY — move it above the mutex if it is not "
                 "guarded, or annotate it"))
+    return findings
+
+
+# --- rule: guarded-by-exists ------------------------------------------------
+
+CLASS_DECL_RE = re.compile(r"\b(class|struct)\s+[A-Za-z_]\w*")
+ENUM_CLASS_RE = re.compile(r"\benum\s+(class|struct)\b")
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:ocb::)?Mutex\s+([A-Za-z_]\w*)\s*;")
+GUARDED_USE_RE = re.compile(
+    r"\bOCB_(?:PT_)?GUARDED_BY\s*\(\s*([A-Za-z_]\w*)\s*\)")
+
+
+def check_guarded_by_exists(rel: str, lines: list[str]) -> list[Finding]:
+    """Cross-line: every OCB_GUARDED_BY(m) inside a class body must name
+    a Mutex member of that class or an enclosing one. Scope tracking is
+    brace-based over comment/string-stripped lines; a use is resolved
+    against the scope objects live at its line, *after* the whole file
+    is scanned, so a mutex declared below the annotated field (or below
+    a nested class) still counts — the annotation on a continuation
+    line in nn/conv_plan.hpp and the nested-helper pattern both rely on
+    that. Uses outside any class body (macro shims, file-scope globals)
+    are left alone: clang resolves those in a context this scanner
+    cannot model."""
+    if rel in RAW_MUTEX_ALLOWED or not rel.startswith("src/"):
+        return []
+    class_scopes: list[dict] = []  # {"open_depth": int, "mutexes": set}
+    uses: list[tuple[int, str, list[dict]]] = []
+    depth = 0
+    pending_class = False
+    for i, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        m = MUTEX_DECL_RE.match(code)
+        if m and class_scopes:
+            class_scopes[-1]["mutexes"].add(m.group(1))
+        if class_scopes and "guarded-by-exists" not in allowed_rules(raw):
+            for use in GUARDED_USE_RE.finditer(code):
+                uses.append((i, use.group(1), list(class_scopes)))
+        if CLASS_DECL_RE.search(code) and not ENUM_CLASS_RE.search(code):
+            pending_class = True
+        for ch in code:
+            if ch == ";" and pending_class:
+                pending_class = False  # forward declaration
+            elif ch == "{":
+                if pending_class:
+                    class_scopes.append({"open_depth": depth,
+                                         "mutexes": set()})
+                    pending_class = False
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if class_scopes and depth == class_scopes[-1]["open_depth"]:
+                    class_scopes.pop()  # uses keep their reference
+    findings = []
+    for line_no, name, scopes in uses:
+        if any(name in s["mutexes"] for s in scopes):
+            continue
+        findings.append(Finding(
+            "guarded-by-exists", rel, line_no,
+            f"OCB_GUARDED_BY({name}) does not name a Mutex member of "
+            "this class or an enclosing one — the macro expands to "
+            "nothing off-clang, so a dangling name silently disables "
+            "the -Wthread-safety proof for this field"))
     return findings
 
 
@@ -495,6 +567,7 @@ FILE_CHECKS = [
     check_raw_assert,
     check_hot_path_heap,
     check_unguarded_fields,
+    check_guarded_by_exists,
     check_include_hygiene,
     check_im2col_materialize,
     check_simd_tu,
@@ -541,6 +614,47 @@ def run_lint(files: list[Path], with_baselines: bool) -> list[Finding]:
     return findings
 
 
+# --- output formats ---------------------------------------------------------
+
+
+def gh_data(s: str) -> str:
+    """Escape a ::error message payload per GitHub's workflow-command
+    syntax (order matters: % first)."""
+    return s.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def gh_property(s: str) -> str:
+    """Escape a ::error property value (file=, title=), which
+    additionally reserves ':' and ','."""
+    return gh_data(s).replace(":", "%3A").replace(",", "%2C")
+
+
+def emit(findings: list[Finding], files: list[Path], fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps({
+            "tool": "ocb_lint",
+            "files": len(files),
+            "findings": [{"rule": f.rule, "path": f.path, "line": f.line,
+                          "message": f.message} for f in findings],
+        }, indent=2))
+        return
+    if fmt == "github":
+        # Annotations surface inline on the PR diff; the trailing
+        # summary line still lands in the job log.
+        for f in findings:
+            print(f"::error file={gh_property(f.path)},line={f.line},"
+                  f"title={gh_property('ocb_lint ' + f.rule)}::"
+                  f"{gh_data(f.message)}")
+    else:
+        for f in findings:
+            print(f)
+    if findings:
+        print(f"\nocb_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)")
+    else:
+        print(f"ocb_lint: clean ({len(files)} files)")
+
+
 # --- self-test --------------------------------------------------------------
 
 SELF_TEST_CASES = [
@@ -562,6 +676,20 @@ SELF_TEST_CASES = [
       " private:",
       "  mutable Mutex mutex_;",
       "  std::size_t depth_ = 0;",
+      "};"]),
+    ("guarded-by-exists", "src/runtime/bad.hpp",
+     ["#include \"core/thread_annotations.hpp\"",
+      "class Q {",
+      "  mutable Mutex mutex_;",
+      "  std::size_t depth_ OCB_GUARDED_BY(mutx_) = 0;",
+      "};"]),
+    ("guarded-by-exists", "src/runtime/bad2.hpp",
+     ["#include \"core/thread_annotations.hpp\"",
+      "class A {",
+      "  mutable Mutex mutex_;",
+      "};",
+      "class B {",
+      "  int hits_ OCB_GUARDED_BY(mutex_) = 0;",
       "};"]),
     ("include-hygiene", "src/runtime/bad.hpp",
      ["class Q {",
@@ -606,6 +734,18 @@ SELF_TEST_CLEAN = [
     ("src/nn/good.cpp",
      ["buffer_.resize(n);  // owning container growth is fine",
       "auto plan = std::make_unique<Plan>();  // not a raw new"]),
+    ("src/runtime/good4.hpp",
+     ["#include \"core/thread_annotations.hpp\"",
+      "class Q {",
+      "  struct Waiter {",
+      "    int generation_ OCB_GUARDED_BY(mutex_) = 0;",
+      "  };",
+      "  mutable Mutex mutex_;  // declared after the nested use",
+      "  std::deque<int>",
+      "      items_ OCB_GUARDED_BY(mutex_);",
+      "};",
+      "Mutex g_registry_mu;",
+      "#define WRAP(x) OCB_GUARDED_BY(x)  // file scope: lenient"]),
     ("src/runtime/good2.cpp",
      ["// im2col(x) in a comment is fine",
       "engine->prepare(request);",
@@ -652,6 +792,11 @@ def self_test() -> int:
     if not bad:
         print("self-test FAIL: bench-baseline accepted a non-JSON file")
         failures += 1
+    # GitHub annotation escaping: a %, newline, colon or comma in a
+    # finding must not break the ::error command syntax.
+    if gh_data("a%\nb") != "a%25%0Ab" or gh_property("f:1,t") != "f%3A1%2Ct":
+        print("self-test FAIL: github annotation escaping")
+        failures += 1
     if failures == 0:
         print(f"self-test OK: {len(SELF_TEST_CASES)} firing cases, "
               f"{len(SELF_TEST_CLEAN)} clean cases")
@@ -666,6 +811,11 @@ def main() -> int:
     parser.add_argument("--self-test", action="store_true",
                         help="verify every rule fires on a known-bad "
                              "snippet and stays quiet on known-good ones")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text",
+                        help="finding output: human text (default), a "
+                             "JSON document, or GitHub ::error "
+                             "annotations for CI")
     parser.add_argument("paths", nargs="*",
                         help="explicit files to lint (default: the tree)")
     args = parser.parse_args()
@@ -686,14 +836,8 @@ def main() -> int:
         with_baselines = True
 
     findings = run_lint(files, with_baselines)
-    for f in findings:
-        print(f)
-    if findings:
-        print(f"\nocb_lint: {len(findings)} finding(s) in "
-              f"{len(files)} file(s)")
-        return 1
-    print(f"ocb_lint: clean ({len(files)} files)")
-    return 0
+    emit(findings, files, args.format)
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":

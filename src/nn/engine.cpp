@@ -1,6 +1,7 @@
 #include "nn/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 
 #include "core/error.hpp"
@@ -9,6 +10,9 @@
 namespace ocb::nn {
 
 namespace {
+
+/// Process-wide plan-verification hook (see Engine::set_plan_verify_hook).
+std::atomic<Engine::PlanVerifyHook> g_plan_verify_hook{nullptr};
 
 /// Weights as the quantizer should see them: when pruning is active for
 /// the layer, a masked copy staged in `scratch` (the int8 kernels stay
@@ -450,7 +454,68 @@ const ExecutionPlan& Engine::prepare(const PlanRequest& request) {
         break;
     }
   }
+
+  // Debug-build soundness gate (DESIGN.md §15): hand the fully
+  // assembled plan to the static verifier before anyone can run it.
+  // The early-return path above never reaches here — it returns a plan
+  // a previous rebuild already gated.
+#if defined(OCB_PLAN_VERIFY)
+  if (const PlanVerifyHook hook = plan_verify_hook()) hook(*this);
+#endif
   return plan_;
+}
+
+void Engine::set_plan_verify_hook(PlanVerifyHook hook) noexcept {
+  g_plan_verify_hook.store(hook, std::memory_order_release);
+}
+
+Engine::PlanVerifyHook Engine::plan_verify_hook() noexcept {
+  return g_plan_verify_hook.load(std::memory_order_acquire);
+}
+
+Engine::PanelState Engine::panel_state(int node) const {
+  const std::size_t i = static_cast<std::size_t>(node);
+  OCB_CHECK_MSG(i < packed_.size(), "panel_state: node out of range");
+  PanelState st;
+  st.dense = !packed_[i].empty();
+  st.sparse = !sparse_packed_[i].empty();
+  st.sparse_half = st.sparse && sparse_packed_[i].half();
+  st.half = !half_packed_[i].empty();
+  st.winograd = !wino_panels_[i].empty();
+  st.dense_crc = pack_crc_[i];
+  st.sparse_crc = sparse_crc_[i];
+  st.half_crc = half_crc_[i];
+  return st;
+}
+
+Engine::QuantState Engine::quant_state(int node) const {
+  const std::size_t i = static_cast<std::size_t>(node);
+  OCB_CHECK_MSG(i < static_cast<std::size_t>(graph_.node_count()),
+                "quant_state: node out of range");
+  QuantState st;
+  if (i < qlayers_.size() && qlayers_[i].valid()) {
+    st.quantized = true;
+    st.emit_u8 = qlayers_[i].emit_u8;
+  }
+  return st;
+}
+
+Engine::ActLayoutView Engine::act_layout(int node) const {
+  const std::size_t i = static_cast<std::size_t>(node);
+  OCB_CHECK_MSG(i < act_base_.size(), "act_layout: node out of range");
+  ActLayoutView v;
+  v.base = act_base_[i];
+  v.stride_floats = act_stride_[i];
+  if (fusion_.planned) {
+    v.backing = act_arena_.data();
+    v.backing_floats = act_arena_.size();
+  } else {
+    const int root = fusion_.root_of(node, nullptr);
+    const Tensor& t = activations_[static_cast<std::size_t>(root)];
+    v.backing = t.data();
+    v.backing_floats = t.numel();
+  }
+  return v;
 }
 
 void Engine::grow_batch_plan(int max_batch) {

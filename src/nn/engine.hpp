@@ -226,6 +226,55 @@ class Engine {
   /// The CRC32 recorded for a node's dense panels at pack time.
   std::uint32_t recorded_checksum(int node) const;
 
+  // --- Plan-verifier introspection (src/verify, DESIGN.md §15) -------
+  // Read-only views of the state the static plan verifier audits. The
+  // verifier re-derives soundness independently; these accessors only
+  // expose *what the engine did*, never whether it was legal.
+
+  /// Which packed weight formats a node carries and the CRC32 recorded
+  /// for each at pack time (0 = format not packed).
+  struct PanelState {
+    bool dense = false;
+    bool sparse = false;
+    bool sparse_half = false;  ///< sparse panels store 16-bit values
+    bool half = false;
+    bool winograd = false;  ///< transformed 3×3 panels present
+    std::uint32_t dense_crc = 0;
+    std::uint32_t sparse_crc = 0;
+    std::uint32_t half_crc = 0;
+  };
+  PanelState panel_state(int node) const;
+
+  /// A node's INT8 execution state under the active plan.
+  struct QuantState {
+    bool quantized = false;  ///< node runs the u8×s8 kernels
+    bool emit_u8 = false;    ///< output stays u8-resident mid-graph
+  };
+  QuantState quant_state(int node) const;
+
+  /// The applied activation layout for one node: image b of the node
+  /// lives at base + b·stride_floats, inside [backing, backing +
+  /// backing_floats) — the arena when the plan placed memory, the
+  /// node's root tensor otherwise.
+  struct ActLayoutView {
+    const float* base = nullptr;
+    std::size_t stride_floats = 0;
+    const float* backing = nullptr;
+    std::size_t backing_floats = 0;
+  };
+  ActLayoutView act_layout(int node) const;
+
+  /// Debug-build plan-verification gate. When the build compiles the
+  /// gate in (OCB_PLAN_VERIFY, default outside Release) and a hook is
+  /// installed, every prepare() that rebuilt the plan invokes it with
+  /// the fully assembled engine state before returning; the hook is
+  /// expected to OCB_CHECK-fail on an unsound plan (see
+  /// ocb::verify::install_prepare_gate). Process-wide and atomic; the
+  /// setter exists in every build so callers need no #if of their own.
+  using PlanVerifyHook = void (*)(const Engine& engine);
+  static void set_plan_verify_hook(PlanVerifyHook hook) noexcept;
+  static PlanVerifyHook plan_verify_hook() noexcept;
+
  private:
   void repack(int node);
   /// Re-record the CRC32s of node i's packed panels (all live formats).
